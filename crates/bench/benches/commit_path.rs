@@ -1,0 +1,130 @@
+//! Criterion micro-benchmarks of the commit path: Tinca's transactional
+//! commit vs the journal-style double write, across transaction sizes.
+//! These back the paper's §4 design claims with host-time measurements of
+//! the actual implementation (the figure harnesses measure simulated
+//! time; here we measure the real data-structure work).
+
+use blockdev::{DiskKind, SimDisk, BLOCK_SIZE};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use nvmsim::{NvmConfig, NvmDevice, NvmTech, SimClock};
+use tinca::{TincaCache, TincaConfig};
+
+fn build_cache(role_switch: bool) -> TincaCache {
+    build_cache_cfg(TincaConfig { ring_bytes: 256 << 10, role_switch, ..TincaConfig::default() })
+}
+
+fn build_cache_cfg(cfg: TincaConfig) -> TincaCache {
+    let clock = SimClock::new();
+    let nvm = NvmDevice::new(NvmConfig::new(64 << 20, NvmTech::Pcm), clock.clone());
+    let disk = SimDisk::new(DiskKind::Ssd, 1 << 18, clock);
+    TincaCache::format(nvm, disk, cfg)
+}
+
+fn bench_commit_sizes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("commit_txn_size");
+    for &blocks in &[1usize, 8, 64, 256] {
+        group.throughput(Throughput::Bytes((blocks * BLOCK_SIZE) as u64));
+        group.bench_with_input(BenchmarkId::new("tinca", blocks), &blocks, |b, &n| {
+            let mut cache = build_cache(true);
+            let payload = [0x5Au8; BLOCK_SIZE];
+            let mut round = 0u64;
+            b.iter(|| {
+                let mut txn = cache.init_txn();
+                for i in 0..n as u64 {
+                    // Rotate block numbers so hits and misses both occur.
+                    txn.write((round * 7 + i) % 4096, &payload);
+                }
+                cache.commit(&txn).unwrap();
+                round += 1;
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_role_switch_ablation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("role_switch_ablation");
+    for (name, role_switch) in [("role_switch", true), ("double_write", false)] {
+        group.bench_function(name, |b| {
+            let mut cache = build_cache(role_switch);
+            let payload = [0xA5u8; BLOCK_SIZE];
+            let mut round = 0u64;
+            b.iter(|| {
+                let mut txn = cache.init_txn();
+                for i in 0..16u64 {
+                    txn.write((round * 3 + i) % 2048, &payload);
+                }
+                cache.commit(&txn).unwrap();
+                round += 1;
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_commit_hit_vs_miss(c: &mut Criterion) {
+    let mut group = c.benchmark_group("commit_hit_vs_miss");
+    group.bench_function("all_hits_cow", |b| {
+        let mut cache = build_cache(true);
+        let payload = [1u8; BLOCK_SIZE];
+        // Pre-populate so every commit is a COW write hit.
+        let mut seed = cache.init_txn();
+        for i in 0..64u64 {
+            seed.write(i, &payload);
+        }
+        cache.commit(&seed).unwrap();
+        b.iter(|| {
+            let mut txn = cache.init_txn();
+            for i in 0..64u64 {
+                txn.write(i, &payload);
+            }
+            cache.commit(&txn).unwrap();
+        });
+    });
+    group.bench_function("all_misses_fresh", |b| {
+        let mut cache = build_cache(true);
+        let payload = [2u8; BLOCK_SIZE];
+        let mut next = 0u64;
+        b.iter(|| {
+            let mut txn = cache.init_txn();
+            for _ in 0..64 {
+                txn.write(next, &payload);
+                next += 1;
+            }
+            cache.commit(&txn).unwrap();
+        });
+    });
+    group.finish();
+}
+
+fn bench_ring_batching(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ring_batching");
+    for (name, batched) in [("per_block_head", false), ("batched_head", true)] {
+        group.bench_function(name, |b| {
+            let mut cache = build_cache_cfg(TincaConfig {
+                ring_bytes: 256 << 10,
+                batched_ring: batched,
+                ..TincaConfig::default()
+            });
+            let payload = [0x77u8; BLOCK_SIZE];
+            let mut round = 0u64;
+            b.iter(|| {
+                let mut txn = cache.init_txn();
+                for i in 0..32u64 {
+                    txn.write((round * 5 + i) % 2048, &payload);
+                }
+                cache.commit(&txn).unwrap();
+                round += 1;
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_commit_sizes, bench_role_switch_ablation, bench_commit_hit_vs_miss,
+        bench_ring_batching
+);
+criterion_main!(benches);

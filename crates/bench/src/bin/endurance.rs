@@ -1,0 +1,10 @@
+//! Regenerates the endurance extension experiment. Pass `--quick` for a smoke run.
+use bench::figs;
+
+fn quick() -> bool {
+    std::env::args().any(|a| a == "--quick")
+}
+
+fn main() {
+    let _ = figs::endurance::run(quick());
+}

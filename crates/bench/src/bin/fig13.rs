@@ -1,0 +1,10 @@
+//! Regenerates fig13 of the paper. Pass `--quick` for a smoke-sized run.
+use bench::figs;
+
+fn quick() -> bool {
+    std::env::args().any(|a| a == "--quick")
+}
+
+fn main() {
+    let _ = figs::fig13::run(quick());
+}

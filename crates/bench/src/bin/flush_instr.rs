@@ -1,0 +1,10 @@
+//! Regenerates the flush_instr extension experiment. Pass `--quick` for a smoke run.
+use bench::figs;
+
+fn quick() -> bool {
+    std::env::args().any(|a| a == "--quick")
+}
+
+fn main() {
+    let _ = figs::flush_instr::run(quick());
+}

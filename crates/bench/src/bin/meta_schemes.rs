@@ -1,0 +1,10 @@
+//! Regenerates the metadata-scheme comparison. Pass `--quick` for a smoke run.
+use bench::figs;
+
+fn quick() -> bool {
+    std::env::args().any(|a| a == "--quick")
+}
+
+fn main() {
+    let _ = figs::meta_schemes::run(quick());
+}

@@ -1,0 +1,58 @@
+//! Regenerates the paper's entire evaluation: every table and figure, in
+//! order, writing CSVs to `EXPERIMENTS-results/`.
+//!
+//! ```text
+//! cargo run --release -p bench --bin run_all          # full scaled runs
+//! cargo run --release -p bench --bin run_all -- --quick   # smoke sizes
+//! ```
+
+use bench::figs;
+use std::time::Instant;
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let t0 = Instant::now();
+    let done = |name: &str| {
+        eprintln!("  [{name} done at {:.1}s]", t0.elapsed().as_secs_f64());
+    };
+    figs::tables::table1();
+    done("table1");
+    figs::tables::table2();
+    done("table2");
+    figs::fig3::fig3a(quick);
+    done("fig3a");
+    figs::fig3::fig3b(quick);
+    done("fig3b");
+    figs::fig4::run(quick);
+    done("fig4");
+    figs::fig7::run(quick);
+    done("fig7");
+    figs::fig8::run(quick);
+    done("fig8");
+    figs::fig10::run(quick);
+    done("fig10");
+    figs::fig11::run(quick);
+    done("fig11");
+    figs::fig12::fig12a(quick);
+    done("fig12a");
+    figs::fig12::fig12b(quick);
+    done("fig12b");
+    figs::fig12::fig12c(quick);
+    done("fig12c");
+    figs::fig13::run(quick);
+    done("fig13");
+    figs::ubj_compare::run(quick);
+    done("ubj_compare");
+    figs::endurance::run(quick);
+    done("endurance");
+    figs::flush_instr::run(quick);
+    done("flush_instr");
+    figs::meta_schemes::run(quick);
+    done("meta_schemes");
+    figs::recoverability::run(quick);
+    done("recoverability");
+    println!(
+        "\nAll experiments regenerated in {:.1}s (quick={quick}). CSVs in EXPERIMENTS-results/.",
+        t0.elapsed().as_secs_f64()
+    );
+}

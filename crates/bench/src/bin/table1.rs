@@ -1,0 +1,6 @@
+//! Regenerates Table 1 of the paper (NVM technology parameters).
+use bench::figs;
+
+fn main() {
+    let _ = figs::tables::table1();
+}

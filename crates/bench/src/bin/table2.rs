@@ -1,0 +1,6 @@
+//! Regenerates Table 2 of the paper (benchmark roster).
+use bench::figs;
+
+fn main() {
+    let _ = figs::tables::table2();
+}

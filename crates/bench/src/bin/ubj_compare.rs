@@ -1,0 +1,10 @@
+//! Regenerates the §5.4.4 Tinca-vs-UBJ comparison, quantified.
+use bench::figs;
+
+fn quick() -> bool {
+    std::env::args().any(|a| a == "--quick")
+}
+
+fn main() {
+    let _ = figs::ubj_compare::run(quick());
+}

@@ -1,0 +1,51 @@
+//! One module per table/figure of the paper's evaluation.
+
+pub mod endurance;
+pub mod fig10;
+pub mod fig11;
+pub mod fig12;
+pub mod fig13;
+pub mod fig3;
+pub mod flush_instr;
+pub mod fig4;
+pub mod fig7;
+pub mod meta_schemes;
+pub mod fig8;
+pub mod recoverability;
+pub mod tables;
+pub mod ubj_compare;
+
+use fssim::stack::{StackConfig, System};
+
+/// The scaled local-machine configuration shared by the local figures
+/// (÷256 of the paper's 8 GB NVM / 128 GB SSD testbed, with a 32 MB NVM
+/// cache so runs finish in seconds). Quick mode shrinks the cache — all
+/// dataset sizes derive from it, so the dataset:cache pressure the paper
+/// creates (20 GB : 8 GB etc.) is preserved at every size.
+pub fn local_cfg(system: System, quick: bool) -> StackConfig {
+    let mut cfg = StackConfig::scaled_local(system);
+    cfg.nvm_bytes = if quick { 8 << 20 } else { 32 << 20 };
+    cfg
+}
+
+/// Per-node configuration for the cluster figures (four nodes).
+pub fn cluster_cfg(system: System, quick: bool) -> StackConfig {
+    let mut cfg = StackConfig::scaled_local(system);
+    cfg.nvm_bytes = if quick { 4 << 20 } else { 8 << 20 };
+    cfg.max_files = 4 << 10;
+    cfg
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn configs_build() {
+        let c = local_cfg(System::Tinca, false);
+        assert_eq!(c.nvm_bytes, 32 << 20);
+        assert!(local_cfg(System::Tinca, true).nvm_bytes < c.nvm_bytes);
+        let k = cluster_cfg(System::Classic, false);
+        assert_eq!(k.nvm_bytes, 8 << 20);
+    }
+}

@@ -1,0 +1,36 @@
+//! §5.1 recoverability — the power-pull experiment, mechanised as a crash
+//! fuzz campaign.
+
+use crashsim::fuzz_system;
+use fssim::stack::System;
+
+use crate::table::Table;
+use crate::{banner, write_csv};
+
+/// Fuzzes both systems with crashes at random persistence events and
+/// adversarial write-back resolution. Paper: "Each time Tinca can recover
+/// and crash consistency of the system is never impaired."
+pub fn run(quick: bool) -> Table {
+    banner(
+        "Recoverability (§5.1)",
+        "Crash-fuzz campaign: random power cuts + adversarial write-back resolution",
+        "zero consistency violations for Tinca (and for Classic's JBD2 stack)",
+    );
+    let runs: u64 = if quick { 10 } else { 40 };
+    let mut t = Table::new(&["System", "runs", "mid-run crashes", "violations"]);
+    for (sys, seed) in [(System::Tinca, 51_000u64), (System::Classic, 52_000)] {
+        let report = fuzz_system(sys, seed, runs, 60);
+        t.row(vec![
+            sys.name().into(),
+            report.runs.to_string(),
+            report.crashes.to_string(),
+            report.violations.len().to_string(),
+        ]);
+        for v in &report.violations {
+            println!("  !! {v}");
+        }
+    }
+    t.print();
+    write_csv("recoverability", &t.headers(), t.rows());
+    t
+}

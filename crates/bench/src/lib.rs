@@ -1,0 +1,59 @@
+//! # bench — the figure/table harnesses of the paper's evaluation (§5)
+//!
+//! Every table and figure of the evaluation has a module in [`figs`] whose
+//! `run(quick)` regenerates its rows/series from the simulated stacks, and
+//! a thin binary in `src/bin/` wrapping it (`cargo run --release -p bench
+//! --bin fig7`). `run_all` executes the whole evaluation and writes CSVs
+//! under `EXPERIMENTS-results/`.
+//!
+//! `quick = true` shrinks datasets/op counts for CI-speed smoke runs; the
+//! default sizes are the ÷128-scaled configuration documented in
+//! `DESIGN.md` (shape reproduction, not absolute numbers).
+
+pub mod figs;
+pub mod table;
+
+use std::fs;
+use std::io::Write as _;
+use std::path::PathBuf;
+
+/// Directory where `run_all` leaves machine-readable results.
+pub fn results_dir() -> PathBuf {
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join("EXPERIMENTS-results");
+    fs::create_dir_all(&dir).expect("create results dir");
+    dir
+}
+
+/// Writes one CSV file of results.
+pub fn write_csv(name: &str, headers: &[&str], rows: &[Vec<String>]) {
+    let path = results_dir().join(format!("{name}.csv"));
+    let mut f = fs::File::create(&path).expect("create csv");
+    writeln!(f, "{}", headers.join(",")).unwrap();
+    for row in rows {
+        writeln!(f, "{}", row.join(",")).unwrap();
+    }
+    eprintln!("  [csv] {}", path.display());
+}
+
+/// Prints the standard experiment banner.
+pub fn banner(id: &str, what: &str, paper_expectation: &str) {
+    println!("==========================================================================");
+    println!("{id}: {what}");
+    println!("  paper: {paper_expectation}");
+    println!("==========================================================================");
+}
+
+/// Formats a float compactly for tables.
+pub fn fmt(v: f64) -> String {
+    if v == 0.0 {
+        "0".into()
+    } else if v.abs() >= 1000.0 {
+        format!("{v:.0}")
+    } else if v.abs() >= 10.0 {
+        format!("{v:.1}")
+    } else {
+        format!("{v:.2}")
+    }
+}

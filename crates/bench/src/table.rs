@@ -1,0 +1,77 @@
+//! Minimal aligned-column table printer for harness output.
+
+/// A simple text table: headers plus string rows, printed with aligned
+/// columns.
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    pub fn new(headers: &[&str]) -> Table {
+        Table { headers: headers.iter().map(|s| s.to_string()).collect(), rows: Vec::new() }
+    }
+
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.headers.len(), "row width mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Column widths for alignment.
+    fn widths(&self) -> Vec<usize> {
+        let mut w: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                w[i] = w[i].max(c.len());
+            }
+        }
+        w
+    }
+
+    pub fn print(&self) {
+        let w = self.widths();
+        let line = |cells: &[String]| {
+            let mut out = String::new();
+            for (i, c) in cells.iter().enumerate() {
+                out.push_str(&format!("{:>width$}  ", c, width = w[i]));
+            }
+            println!("{}", out.trim_end());
+        };
+        line(&self.headers);
+        println!("{}", w.iter().map(|n| "-".repeat(*n + 2)).collect::<String>());
+        for row in &self.rows {
+            line(row);
+        }
+        println!();
+    }
+
+    pub fn rows(&self) -> &[Vec<String>] {
+        &self.rows
+    }
+
+    pub fn headers(&self) -> Vec<&str> {
+        self.headers.iter().map(|s| s.as_str()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn aligns_and_stores() {
+        let mut t = Table::new(&["a", "metric"]);
+        t.row(vec!["1".into(), "2.5".into()]);
+        t.row(vec!["100".into(), "3".into()]);
+        assert_eq!(t.rows().len(), 2);
+        assert_eq!(t.headers(), vec!["a", "metric"]);
+        t.print(); // should not panic
+    }
+
+    #[test]
+    #[should_panic(expected = "width mismatch")]
+    fn rejects_ragged_rows() {
+        let mut t = Table::new(&["a"]);
+        t.row(vec!["1".into(), "2".into()]);
+    }
+}

@@ -1,0 +1,34 @@
+//! Smoke tests for the harness plumbing (the heavy figure runs are
+//! exercised by `run_all`; here we keep the cheap paths under `cargo
+//! test`).
+
+#[test]
+fn tables_render_and_write_csv() {
+    let t1 = bench::figs::tables::table1();
+    assert_eq!(t1.rows().len(), 4, "four NVM technologies");
+    let t2 = bench::figs::tables::table2();
+    assert_eq!(t2.rows().len(), 6, "six benchmarks");
+    // CSVs landed.
+    let dir = bench::results_dir();
+    assert!(dir.join("table1.csv").exists());
+    assert!(dir.join("table2.csv").exists());
+}
+
+#[test]
+fn fmt_is_compact() {
+    assert_eq!(bench::fmt(0.0), "0");
+    assert_eq!(bench::fmt(3.14159), "3.14");
+    assert_eq!(bench::fmt(42.123), "42.1");
+    assert_eq!(bench::fmt(12345.6), "12346");
+}
+
+#[test]
+fn local_cfgs_scale_down_in_quick_mode() {
+    use fssim::stack::System;
+    let full = bench::figs::local_cfg(System::Tinca, false);
+    let quick = bench::figs::local_cfg(System::Tinca, true);
+    assert!(quick.nvm_bytes < full.nvm_bytes);
+    let cfull = bench::figs::cluster_cfg(System::Classic, false);
+    let cquick = bench::figs::cluster_cfg(System::Classic, true);
+    assert!(cquick.nvm_bytes < cfull.nvm_bytes);
+}

@@ -1,0 +1,38 @@
+//! The block device abstraction used by caches and file systems.
+
+use crate::DiskStats;
+
+/// Block size of the disks and caches in this reproduction (the paper's
+/// cache manages NVM "in a unit of 4KB block by default", §4.2).
+pub const BLOCK_SIZE: usize = 4096;
+
+/// A block-addressed storage device.
+///
+/// Blocks are addressed by a `u64` logical block number. Reads of blocks
+/// never written return zeroes (as a fresh device would).
+pub trait BlockDevice: Send + Sync {
+    /// Reads block `blk` into `buf` (`buf.len() == BLOCK_SIZE`).
+    fn read_block(&self, blk: u64, buf: &mut [u8]);
+
+    /// Writes `buf` (`BLOCK_SIZE` bytes) to block `blk`. Writes are modelled
+    /// as durable when the call returns (the devices in this reproduction
+    /// are the *backing* store below the NVM cache; their internal caching
+    /// is outside the paper's consistency argument).
+    fn write_block(&self, blk: u64, buf: &[u8]);
+
+    /// Number of addressable blocks.
+    fn num_blocks(&self) -> u64;
+
+    /// Snapshot of the device's cumulative counters.
+    fn stats(&self) -> DiskStats;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn block_size_is_4k() {
+        assert_eq!(BLOCK_SIZE, 4096);
+    }
+}

@@ -1,0 +1,105 @@
+//! Disk latency models.
+
+use crate::BLOCK_SIZE;
+
+/// The class of backing disk (§5.4.1 compares SSD and HDD).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum DiskKind {
+    /// SATA SSD: fixed per-4K-block latencies.
+    Ssd,
+    /// 7200 RPM hard disk: seek + rotational + transfer.
+    Hdd,
+}
+
+impl DiskKind {
+    /// Display name used in figure output.
+    pub fn name(self) -> &'static str {
+        match self {
+            DiskKind::Ssd => "SSD",
+            DiskKind::Hdd => "HDD",
+        }
+    }
+}
+
+/// Computes per-request latency for a [`DiskKind`].
+#[derive(Clone, Debug)]
+pub struct LatencyModel {
+    kind: DiskKind,
+}
+
+impl LatencyModel {
+    pub fn new(kind: DiskKind) -> Self {
+        Self { kind }
+    }
+
+    pub fn kind(&self) -> DiskKind {
+        self.kind
+    }
+
+    /// Latency in ns of reading one 4 KB block at `blk`, given the previous
+    /// head position `last_blk` (ignored for SSDs).
+    pub fn read_ns(&self, blk: u64, last_blk: u64) -> u64 {
+        match self.kind {
+            DiskKind::Ssd => 60_000, // ~60 µs random 4K read, SATA SSD
+            DiskKind::Hdd => hdd_ns(blk, last_blk),
+        }
+    }
+
+    /// Latency in ns of writing one 4 KB block.
+    pub fn write_ns(&self, blk: u64, last_blk: u64) -> u64 {
+        match self.kind {
+            DiskKind::Ssd => 80_000, // ~80 µs random 4K write, SATA SSD
+            DiskKind::Hdd => hdd_ns(blk, last_blk),
+        }
+    }
+}
+
+/// 7200 RPM disk: ~4.16 ms mean rotational delay, seek scaled by distance
+/// up to ~9 ms full stroke, ~150 MB/s sequential transfer. Consecutive
+/// blocks pay only transfer cost.
+fn hdd_ns(blk: u64, last_blk: u64) -> u64 {
+    const TRANSFER_NS: u64 = BLOCK_SIZE as u64 * 1_000_000_000 / (150 * 1024 * 1024);
+    if blk == last_blk + 1 || blk == last_blk {
+        return TRANSFER_NS;
+    }
+    let distance = blk.abs_diff(last_blk);
+    // Seek time grows sub-linearly with distance; cap at full stroke.
+    let seek = 1_000_000 + (distance as f64).sqrt() as u64 * 1_500;
+    let seek = seek.min(9_000_000);
+    let rotation = 4_160_000;
+    seek + rotation + TRANSFER_NS
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ssd_is_position_independent() {
+        let m = LatencyModel::new(DiskKind::Ssd);
+        assert_eq!(m.write_ns(0, 1_000_000), m.write_ns(5, 6));
+        assert_eq!(m.read_ns(0, 99), 60_000);
+    }
+
+    #[test]
+    fn hdd_sequential_is_cheap() {
+        let m = LatencyModel::new(DiskKind::Hdd);
+        let seq = m.write_ns(101, 100);
+        let rand = m.write_ns(1_000_000, 100);
+        assert!(rand > 50 * seq, "random {rand} should dwarf sequential {seq}");
+    }
+
+    #[test]
+    fn hdd_much_slower_than_ssd_random() {
+        let ssd = LatencyModel::new(DiskKind::Ssd).write_ns(123_456, 0);
+        let hdd = LatencyModel::new(DiskKind::Hdd).write_ns(123_456, 0);
+        assert!(hdd > 20 * ssd);
+    }
+
+    #[test]
+    fn hdd_seek_caps_at_full_stroke() {
+        let m = LatencyModel::new(DiskKind::Hdd);
+        let far = m.read_ns(u64::MAX / 2, 0);
+        assert!(far < 20_000_000, "latency should stay bounded: {far}");
+    }
+}

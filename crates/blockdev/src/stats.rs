@@ -1,0 +1,35 @@
+//! Disk I/O counters (the paper reports disk blocks written per operation).
+
+/// Cumulative counters for one disk.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct DiskStats {
+    /// Blocks read.
+    pub reads: u64,
+    /// Blocks written.
+    pub writes: u64,
+    /// Simulated nanoseconds spent in this device.
+    pub busy_ns: u64,
+}
+
+impl DiskStats {
+    /// Per-field difference `self - earlier`.
+    pub fn delta(&self, earlier: &DiskStats) -> DiskStats {
+        DiskStats {
+            reads: self.reads - earlier.reads,
+            writes: self.writes - earlier.writes,
+            busy_ns: self.busy_ns - earlier.busy_ns,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn delta_subtracts() {
+        let a = DiskStats { reads: 1, writes: 2, busy_ns: 10 };
+        let b = DiskStats { reads: 5, writes: 7, busy_ns: 50 };
+        assert_eq!(b.delta(&a), DiskStats { reads: 4, writes: 5, busy_ns: 40 });
+    }
+}

@@ -1,0 +1,253 @@
+//! Block-format cache metadata (Flashcache style) and NVM layout.
+
+use blockdev::BLOCK_SIZE;
+
+/// Magic for a formatted Classic region.
+pub const MAGIC: u64 = 0x434c_4153_5349_4331; // "CLASSIC1"
+pub const MAGIC_OFF: usize = 0;
+pub const NUM_BLOCKS_OFF: usize = 8;
+pub const ASSOC_OFF: usize = 16;
+pub const HEADER_BYTES: usize = BLOCK_SIZE;
+
+/// Bytes per slot record. Flashcache's on-SSD metadata is per-slot block
+/// state packed into metadata blocks; 16 B per slot mirrors its layout.
+pub const RECORD_BYTES: usize = 16;
+/// Slot records per 4 KB metadata block.
+pub const RECORDS_PER_META_BLOCK: usize = BLOCK_SIZE / RECORD_BYTES;
+/// Size of the metadata append-log region (FlashTier/bcache scheme).
+pub const LOG_BYTES: usize = 64 << 10;
+/// 16 B log records in the log region.
+pub const LOG_SLOTS: usize = LOG_BYTES / RECORD_BYTES;
+
+/// Tag bit marking a log slot as holding a record (so a record that
+/// *invalidates* a slot is distinguishable from an empty log slot).
+const LOG_PRESENT: u64 = 1 << 7;
+
+const FLAG_VALID: u64 = 1 << 0;
+const FLAG_DIRTY: u64 = 1 << 1;
+
+/// One slot's metadata record.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SlotRecord {
+    pub valid: bool,
+    pub dirty: bool,
+    /// On-disk block number cached in this slot.
+    pub disk_blk: u64,
+}
+
+impl SlotRecord {
+    pub const INVALID: SlotRecord = SlotRecord { valid: false, dirty: false, disk_blk: 0 };
+
+    pub fn encode(&self) -> [u8; RECORD_BYTES] {
+        let mut out = [0u8; RECORD_BYTES];
+        if self.valid {
+            let mut flags = FLAG_VALID;
+            if self.dirty {
+                flags |= FLAG_DIRTY;
+            }
+            let lo = flags | (self.disk_blk << 8);
+            out[..8].copy_from_slice(&lo.to_le_bytes());
+        }
+        out
+    }
+
+    pub fn decode(raw: &[u8]) -> SlotRecord {
+        let lo = u64::from_le_bytes(raw[..8].try_into().unwrap());
+        if lo & FLAG_VALID == 0 {
+            return SlotRecord::INVALID;
+        }
+        SlotRecord { valid: true, dirty: lo & FLAG_DIRTY != 0, disk_blk: lo >> 8 }
+    }
+}
+
+/// NVM partitioning for the Classic cache:
+/// header | metadata blocks | metadata log | data.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ClassicLayout {
+    pub meta_off: usize,
+    pub meta_blocks: usize,
+    /// Metadata append-log region ([`MetadataScheme::Log`]); always
+    /// reserved so both schemes share one layout.
+    ///
+    /// [`MetadataScheme::Log`]: crate::MetadataScheme::Log
+    pub log_off: usize,
+    pub data_off: usize,
+    pub num_blocks: u32,
+    pub num_sets: u32,
+    pub assoc: u32,
+}
+
+impl ClassicLayout {
+    /// Partitions `capacity` bytes with `assoc`-way sets. The slot count is
+    /// rounded down to a whole number of sets.
+    pub fn compute(capacity: usize, assoc: u32) -> ClassicLayout {
+        assert!(capacity > HEADER_BYTES + 2 * BLOCK_SIZE, "NVM region too small");
+        assert!(capacity > HEADER_BYTES + LOG_BYTES + 2 * BLOCK_SIZE, "NVM region too small");
+        let usable = capacity - HEADER_BYTES - LOG_BYTES;
+        let mut num_blocks = usable / (BLOCK_SIZE + RECORD_BYTES);
+        // Whole sets only (the last partial set would skew the hash).
+        num_blocks -= num_blocks % assoc.min(num_blocks as u32) as usize;
+        assert!(num_blocks > 0, "capacity below one set");
+        loop {
+            let meta_blocks = num_blocks.div_ceil(RECORDS_PER_META_BLOCK);
+            let total =
+                HEADER_BYTES + meta_blocks * BLOCK_SIZE + LOG_BYTES + num_blocks * BLOCK_SIZE;
+            if total <= capacity {
+                let assoc = assoc.min(num_blocks as u32);
+                let log_off = HEADER_BYTES + meta_blocks * BLOCK_SIZE;
+                return ClassicLayout {
+                    meta_off: HEADER_BYTES,
+                    meta_blocks,
+                    log_off,
+                    data_off: log_off + LOG_BYTES,
+                    num_blocks: num_blocks as u32,
+                    num_sets: num_blocks as u32 / assoc,
+                    assoc,
+                };
+            }
+            num_blocks -= assoc as usize;
+            assert!(num_blocks > 0, "capacity below one set");
+        }
+    }
+
+    /// Byte address of log slot `i`.
+    pub fn log_slot_addr(&self, i: usize) -> usize {
+        debug_assert!(i < LOG_SLOTS);
+        self.log_off + i * RECORD_BYTES
+    }
+
+    /// The set a disk block hashes to (Flashcache hashes the block number).
+    pub fn set_of(&self, disk_blk: u64) -> u32 {
+        // Fibonacci hash of the block number, reduced to a set.
+        let h = disk_blk.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        (h >> 32) as u32 % self.num_sets
+    }
+
+    /// Slot range `[start, end)` of a set.
+    pub fn set_slots(&self, set: u32) -> std::ops::Range<u32> {
+        let start = set * self.assoc;
+        start..start + self.assoc
+    }
+
+    /// Byte address of data block `slot`.
+    pub fn data_addr(&self, slot: u32) -> usize {
+        debug_assert!(slot < self.num_blocks);
+        self.data_off + slot as usize * BLOCK_SIZE
+    }
+
+    /// Index of the metadata block covering `slot`.
+    pub fn meta_block_of(&self, slot: u32) -> usize {
+        slot as usize / RECORDS_PER_META_BLOCK
+    }
+
+    /// Byte address of metadata block `mb`.
+    pub fn meta_block_addr(&self, mb: usize) -> usize {
+        debug_assert!(mb < self.meta_blocks);
+        self.meta_off + mb * BLOCK_SIZE
+    }
+
+    /// Byte offset of `slot`'s record inside the metadata area.
+    pub fn record_addr(&self, slot: u32) -> usize {
+        self.meta_off + slot as usize * RECORD_BYTES
+    }
+}
+
+/// Encodes one metadata-log record: `(generation, slot, state)`.
+pub fn encode_log_record(gen: u32, slot: u32, rec: SlotRecord) -> u128 {
+    let lo = u64::from_le_bytes(rec.encode()[..8].try_into().unwrap()) | LOG_PRESENT;
+    let hi = (gen as u64) | ((slot as u64) << 32);
+    (lo as u128) | ((hi as u128) << 64)
+}
+
+/// Decodes a log record; `None` for an empty slot.
+pub fn decode_log_record(raw: u128) -> Option<(u32, u32, SlotRecord)> {
+    let lo = raw as u64;
+    if lo & LOG_PRESENT == 0 {
+        return None;
+    }
+    let hi = (raw >> 64) as u64;
+    let mut bytes = [0u8; RECORD_BYTES];
+    bytes[..8].copy_from_slice(&(lo & !LOG_PRESENT).to_le_bytes());
+    Some((hi as u32, (hi >> 32) as u32, SlotRecord::decode(&bytes)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn log_record_round_trip() {
+        for rec in [
+            SlotRecord { valid: true, dirty: true, disk_blk: 9999 },
+            SlotRecord::INVALID,
+        ] {
+            let raw = encode_log_record(7, 42, rec);
+            let (gen, slot, dec) = decode_log_record(raw).unwrap();
+            assert_eq!((gen, slot, dec), (7, 42, rec));
+        }
+        assert_eq!(decode_log_record(0), None);
+    }
+
+    #[test]
+    fn log_region_between_meta_and_data() {
+        let l = ClassicLayout::compute(8 << 20, 64);
+        assert_eq!(l.log_off, l.meta_off + l.meta_blocks * BLOCK_SIZE);
+        assert_eq!(l.data_off, l.log_off + LOG_BYTES);
+        assert_eq!(l.log_slot_addr(1) - l.log_slot_addr(0), RECORD_BYTES);
+    }
+
+    #[test]
+    fn record_round_trip() {
+        for (valid, dirty, blk) in [(true, true, 12345u64), (true, false, 0), (false, false, 0)] {
+            let r = if valid { SlotRecord { valid, dirty, disk_blk: blk } } else { SlotRecord::INVALID };
+            assert_eq!(SlotRecord::decode(&r.encode()), r);
+        }
+    }
+
+    #[test]
+    fn layout_fits_and_is_set_aligned() {
+        for cap in [2 << 20, 32 << 20] {
+            let l = ClassicLayout::compute(cap, 64);
+            assert_eq!(l.num_blocks % l.assoc, 0);
+            let total = l.data_off + l.num_blocks as usize * BLOCK_SIZE;
+            assert!(total <= cap);
+            assert!(l.num_sets >= 1);
+        }
+    }
+
+    #[test]
+    fn small_cache_clamps_assoc() {
+        let l = ClassicLayout::compute(2 << 20, 100_000);
+        assert!(l.assoc <= l.num_blocks);
+        assert_eq!(l.num_sets, 1);
+    }
+
+    #[test]
+    fn set_of_is_stable_and_in_range() {
+        let l = ClassicLayout::compute(8 << 20, 64);
+        for blk in [0u64, 1, 999, 1 << 40] {
+            let s = l.set_of(blk);
+            assert_eq!(s, l.set_of(blk));
+            assert!(s < l.num_sets);
+        }
+    }
+
+    #[test]
+    fn sets_partition_slots() {
+        let l = ClassicLayout::compute(8 << 20, 64);
+        let mut covered = 0;
+        for s in 0..l.num_sets {
+            let r = l.set_slots(s);
+            covered += r.len();
+        }
+        assert_eq!(covered as u32, l.num_blocks);
+    }
+
+    #[test]
+    fn meta_block_covers_256_records() {
+        let l = ClassicLayout::compute(8 << 20, 64);
+        assert_eq!(l.meta_block_of(0), 0);
+        assert_eq!(l.meta_block_of(255), 0);
+        assert_eq!(l.meta_block_of(256), 1);
+    }
+}

@@ -1,0 +1,51 @@
+//! 10 GbE network cost model.
+
+/// Latency/bandwidth model for the cluster interconnect (the paper: four
+/// nodes on 10 Gigabit Ethernet).
+#[derive(Clone, Copy, Debug)]
+pub struct NetModel {
+    /// Per-message overhead in ns (kernel + NIC + switch).
+    pub base_ns: u64,
+    /// Nanoseconds per byte (10 GbE ≈ 1.25 GB/s ≈ 0.8 ns/B).
+    pub ns_per_byte_x1000: u64,
+}
+
+impl NetModel {
+    /// 10 GbE defaults: 40 µs per message, 1.25 GB/s.
+    pub fn ten_gbe() -> NetModel {
+        NetModel { base_ns: 40_000, ns_per_byte_x1000: 800 }
+    }
+
+    /// Cost of moving `bytes` in one message.
+    pub fn transfer_ns(&self, bytes: u64) -> u64 {
+        self.base_ns + bytes * self.ns_per_byte_x1000 / 1000
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_messages_are_latency_bound() {
+        let n = NetModel::ten_gbe();
+        assert!(n.transfer_ns(100) < 2 * n.base_ns);
+    }
+
+    #[test]
+    fn large_transfers_are_bandwidth_bound() {
+        let n = NetModel::ten_gbe();
+        // 1 MB at 1.25 GB/s ≈ 0.84 ms ≫ base latency.
+        let t = n.transfer_ns(1 << 20);
+        assert!(t > 10 * n.base_ns);
+        // Within 2× of the ideal line rate.
+        let ideal = (1u64 << 20) * 800 / 1000;
+        assert!(t < 2 * ideal);
+    }
+
+    #[test]
+    fn monotone_in_size() {
+        let n = NetModel::ten_gbe();
+        assert!(n.transfer_ns(2000) > n.transfer_ns(1000));
+    }
+}

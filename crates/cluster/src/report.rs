@@ -1,0 +1,120 @@
+//! Aggregated cluster measurements.
+
+use crate::NodeReport;
+
+/// Aggregate over all nodes of one cluster run.
+#[derive(Clone, Debug)]
+pub struct ClusterReport {
+    pub label: String,
+    pub nodes: Vec<NodeReport>,
+    /// Client-side operation count (rows, file ops, …).
+    pub client_ops: u64,
+    /// Application bytes the client generated (pre-replication).
+    pub client_bytes: u64,
+    /// Minimum execution time imposed by the client itself (0 when the
+    /// client is never the bottleneck).
+    pub client_floor_ns: u64,
+}
+
+impl ClusterReport {
+    /// Cluster execution time = the slowest of the storage nodes and the
+    /// client floor (replicas run in parallel), in simulated seconds
+    /// (Fig. 10(a)).
+    pub fn exec_seconds(&self) -> f64 {
+        let node_max = self.nodes.iter().map(|n| n.sim_ns).max().unwrap_or(0);
+        node_max.max(self.client_floor_ns) as f64 / 1e9
+    }
+
+    /// Total `clflush` across nodes per client MB (Fig. 10(b), 11(b)).
+    pub fn clflush_per_mb(&self) -> f64 {
+        let mb = self.client_bytes as f64 / (1 << 20) as f64;
+        if mb == 0.0 {
+            return 0.0;
+        }
+        self.total_clflush() as f64 / mb
+    }
+
+    /// Total disk blocks written per client MB (Fig. 10(c), 11(c)).
+    pub fn disk_writes_per_mb(&self) -> f64 {
+        let mb = self.client_bytes as f64 / (1 << 20) as f64;
+        if mb == 0.0 {
+            return 0.0;
+        }
+        self.total_disk_writes() as f64 / mb
+    }
+
+    /// Client operations per simulated second (Fig. 11(a)'s OPs/s).
+    pub fn ops_per_sec(&self) -> f64 {
+        let s = self.exec_seconds();
+        if s == 0.0 {
+            return 0.0;
+        }
+        self.client_ops as f64 / s
+    }
+
+    /// `clflush` per client operation (Fig. 11(b)).
+    pub fn clflush_per_op(&self) -> f64 {
+        self.total_clflush() as f64 / self.client_ops.max(1) as f64
+    }
+
+    /// Disk blocks written per client operation (Fig. 11(c)).
+    pub fn disk_writes_per_op(&self) -> f64 {
+        self.total_disk_writes() as f64 / self.client_ops.max(1) as f64
+    }
+
+    pub fn total_clflush(&self) -> u64 {
+        self.nodes.iter().map(|n| n.nvm.clflush).sum()
+    }
+
+    pub fn total_disk_writes(&self) -> u64 {
+        self.nodes.iter().map(|n| n.disk.writes).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use blockdev::DiskStats;
+    use fssim::{CacheSnapshot, FsStats};
+    use nvmsim::NvmStats;
+
+    fn node(id: usize, sim_ns: u64, clflush: u64, writes: u64) -> NodeReport {
+        NodeReport {
+            node_id: id,
+            sim_ns,
+            nvm: NvmStats { clflush, ..Default::default() },
+            disk: DiskStats { writes, ..Default::default() },
+            fs: FsStats::default(),
+            cache: CacheSnapshot::default(),
+            files: 0,
+        }
+    }
+
+    #[test]
+    fn slowest_node_defines_exec_time() {
+        let r = ClusterReport {
+            label: "t".into(),
+            nodes: vec![node(0, 1_000_000_000, 100, 4), node(1, 3_000_000_000, 200, 8)],
+            client_ops: 30,
+            client_bytes: 2 << 20,
+            client_floor_ns: 0,
+        };
+        assert_eq!(r.exec_seconds(), 3.0);
+        assert_eq!(r.total_clflush(), 300);
+        assert_eq!(r.clflush_per_mb(), 150.0);
+        assert_eq!(r.disk_writes_per_mb(), 6.0);
+        assert_eq!(r.ops_per_sec(), 10.0);
+    }
+
+    #[test]
+    fn client_floor_bounds_exec_time() {
+        let r = ClusterReport {
+            label: "t".into(),
+            nodes: vec![node(0, 1_000_000_000, 1, 1)],
+            client_ops: 1,
+            client_bytes: 1 << 20,
+            client_floor_ns: 5_000_000_000,
+        };
+        assert_eq!(r.exec_seconds(), 5.0, "client bottleneck dominates");
+    }
+}

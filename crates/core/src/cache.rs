@@ -1,0 +1,655 @@
+//! The transactional NVM disk cache (§4).
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use blockdev::{BlockDevice, BLOCK_SIZE};
+use nvmsim::Nvm;
+
+use crate::entry::{CacheEntry, Role, FRESH};
+use crate::freemon::FreeMonitor;
+use crate::layout::{
+    Layout, DATA_BLOCKS_OFF, ENTRY_COUNT_OFF, HEAD_OFF, MAGIC, MAGIC_OFF, RING_CAP_OFF, TAIL_OFF,
+};
+use crate::lru::LruList;
+use crate::{CacheStats, TincaConfig, TincaError, Txn, WritePolicy};
+
+/// Shared handle to the backing disk below the cache.
+pub type DynDisk = Arc<dyn BlockDevice>;
+
+/// The transactional NVM disk cache.
+///
+/// `TincaCache` is both a write-back block cache and a transaction manager:
+/// the file system stages updates in a [`Txn`] (DRAM) and calls
+/// [`commit`](Self::commit), which makes all staged blocks durable in NVM
+/// atomically — without ever writing a block's payload twice (the paper's
+/// *role switch*, §4.3–4.4).
+///
+/// Persistent state lives entirely in the NVM region ([`Layout`]): the
+/// `Head`/`Tail` ring pointers, the ring buffer of in-flight block numbers,
+/// the 16-byte cache entries, and the 4 KB data blocks. Everything else
+/// (hash index, LRU list, free monitors) is DRAM-only and is rebuilt by
+/// [`recover`](Self::recover) (§4.6).
+pub struct TincaCache {
+    nvm: Nvm,
+    disk: DynDisk,
+    layout: Layout,
+    cfg: TincaConfig,
+    /// DRAM copies of the persistent Head/Tail sequence numbers.
+    head: u64,
+    tail: u64,
+    /// disk block number → entry index.
+    index: HashMap<u64, u32>,
+    lru: LruList,
+    free_blocks: FreeMonitor,
+    free_entries: FreeMonitor,
+    /// NVM blocks pinned by the committing transaction (§4.6 rule 2).
+    pin_blocks: Vec<bool>,
+    pin_block_list: Vec<u32>,
+    /// Entries pinned by the committing transaction.
+    pin_entries: Vec<bool>,
+    pin_entry_list: Vec<u32>,
+    stats: CacheStats,
+}
+
+impl TincaCache {
+    /// Formats the NVM region and creates an empty cache.
+    pub fn format(nvm: Nvm, disk: DynDisk, cfg: TincaConfig) -> Self {
+        let layout = Layout::compute(nvm.capacity(), cfg.ring_bytes);
+        // Zero the entry array so every entry decodes as invalid.
+        let zeros = vec![0u8; 64 << 10];
+        let entry_bytes = layout.entry_count as usize * crate::layout::ENTRY_BYTES;
+        let mut off = 0;
+        while off < entry_bytes {
+            let n = zeros.len().min(entry_bytes - off);
+            nvm.write(layout.entries_off + off, &zeros[..n]);
+            nvm.clflush(layout.entries_off + off, n);
+            off += n;
+        }
+        nvm.sfence();
+        // Header fields; magic last so a half-formatted region is invalid.
+        nvm.atomic_write_u64(RING_CAP_OFF, layout.ring_cap);
+        nvm.atomic_write_u64(ENTRY_COUNT_OFF, layout.entry_count as u64);
+        nvm.atomic_write_u64(DATA_BLOCKS_OFF, layout.data_blocks as u64);
+        nvm.atomic_write_u64(HEAD_OFF, 0);
+        nvm.atomic_write_u64(TAIL_OFF, 0);
+        nvm.persist(0, 192);
+        nvm.atomic_write_u64(MAGIC_OFF, MAGIC);
+        nvm.persist(MAGIC_OFF, 8);
+        Self::from_parts(nvm, disk, cfg, layout, 0, 0)
+    }
+
+    fn from_parts(
+        nvm: Nvm,
+        disk: DynDisk,
+        cfg: TincaConfig,
+        layout: Layout,
+        head: u64,
+        tail: u64,
+    ) -> Self {
+        TincaCache {
+            nvm,
+            disk,
+            cfg,
+            head,
+            tail,
+            index: HashMap::new(),
+            lru: LruList::new(layout.entry_count),
+            free_blocks: FreeMonitor::new_all_free(layout.data_blocks),
+            free_entries: FreeMonitor::new_all_free(layout.entry_count),
+            pin_blocks: vec![false; layout.data_blocks as usize],
+            pin_block_list: Vec::new(),
+            pin_entries: vec![false; layout.entry_count as usize],
+            pin_entry_list: Vec::new(),
+            stats: CacheStats::default(),
+            layout,
+        }
+    }
+
+    /// Starts a running transaction (`tinca_init_txn`, §4.1). Running
+    /// transactions are DRAM-only; any number may be open concurrently.
+    pub fn init_txn(&self) -> Txn {
+        Txn::new()
+    }
+
+    /// Commits all blocks staged in `txn` atomically (`tinca_commit`, §4.4).
+    ///
+    /// On success every staged block is durable in NVM and mapped by the
+    /// cache; the payload of each block was written exactly **once** (no
+    /// journal double write). On error the cache is rolled back to its
+    /// pre-transaction state (`tinca_abort` semantics).
+    pub fn commit(&mut self, txn: &Txn) -> Result<(), TincaError> {
+        if txn.is_empty() {
+            return Ok(());
+        }
+        let n = txn.len();
+        if n as u64 > self.layout.ring_cap {
+            return Err(TincaError::TxnTooLarge { blocks: n, ring_cap: self.layout.ring_cap });
+        }
+        let worst_case = if self.cfg.role_switch { 2 * n } else { 3 * n };
+        if worst_case >= self.layout.data_blocks as usize {
+            return Err(TincaError::CacheExhausted {
+                needed: worst_case,
+                data_blocks: self.layout.data_blocks,
+            });
+        }
+
+        debug_assert_eq!(self.head, self.tail, "previous transaction left the ring open");
+        let mut touched: Vec<u32> = Vec::with_capacity(n);
+        let mut replaced_prevs: Vec<u32> = Vec::with_capacity(n);
+        let result = self.commit_blocks(txn, &mut touched, &mut replaced_prevs);
+        let result = result.and_then(|()| {
+            if self.cfg.role_switch {
+                self.complete_role_switch(&touched);
+                Ok(())
+            } else {
+                // Ablation: journal-style completion — copy every committed
+                // block to a second NVM block (the "checkpoint" write).
+                self.complete_double_write(&mut touched)
+            }
+        });
+        match result {
+            Ok(()) => {
+                // Commit point: Tail := Head (one 8 B atomic store).
+                self.tail = self.head;
+                self.nvm.atomic_write_u64(TAIL_OFF, self.tail);
+                self.nvm.persist(TAIL_OFF, 8);
+                // DRAM-only reclamation, strictly after the commit point:
+                // previous versions become free, committed blocks turn MRU
+                // (§4.6 rule 2b).
+                for p in replaced_prevs {
+                    self.free_blocks.release(p);
+                }
+                for &idx in &touched {
+                    self.lru.touch(idx);
+                }
+                self.stats.commits += 1;
+                self.stats.committed_blocks += n as u64;
+                if self.cfg.write_policy == WritePolicy::WriteThrough {
+                    self.write_through(&touched);
+                }
+                self.clear_pins();
+                Ok(())
+            }
+            Err(e) => {
+                self.revoke_in_flight(&touched);
+                self.clear_pins();
+                self.stats.aborts += 1;
+                Err(e)
+            }
+        }
+    }
+
+    /// Aborts a running transaction (`tinca_abort`, §4.1). Running
+    /// transactions are DRAM-only, so nothing needs revoking; the staged
+    /// blocks are simply dropped. (A *committing* transaction that fails
+    /// mid-way is revoked internally by [`commit`](Self::commit).)
+    pub fn abort(&mut self, txn: Txn) {
+        drop(txn);
+        self.stats.aborts += 1;
+    }
+
+    /// Steps 1–3 + per-block ring recording of the commit protocol.
+    fn commit_blocks(
+        &mut self,
+        txn: &Txn,
+        touched: &mut Vec<u32>,
+        replaced_prevs: &mut Vec<u32>,
+    ) -> Result<(), TincaError> {
+        for (disk_blk, data) in txn.blocks() {
+            // (1) COW block write: new NVM block, payload, flush, fence.
+            let new_blk = self.alloc_block()?;
+            self.pin_block(new_blk);
+            let addr = self.layout.data_addr(new_blk);
+            self.nvm.write(addr, &data[..]);
+            self.nvm.persist(addr, BLOCK_SIZE);
+            // (2) Create/update the cache entry with one 16 B atomic store.
+            let idx = match self.index.get(disk_blk) {
+                Some(&idx) => {
+                    let old = self.read_entry(idx);
+                    debug_assert!(old.valid && old.disk_blk == *disk_blk);
+                    debug_assert_eq!(old.role, Role::Buffer);
+                    let prev = old.cur;
+                    self.pin_block(prev);
+                    replaced_prevs.push(prev);
+                    let e = CacheEntry::new(Role::Log, true, *disk_blk, prev, new_blk);
+                    self.write_entry(idx, e);
+                    self.stats.write_hits += 1;
+                    idx
+                }
+                None => {
+                    let idx = self
+                        .free_entries
+                        .allocate()
+                        .expect("entry pool exhausts strictly after block pool");
+                    let e = CacheEntry::new(Role::Log, true, *disk_blk, FRESH, new_blk);
+                    self.write_entry(idx, e);
+                    self.index.insert(*disk_blk, idx);
+                    self.lru.push_mru(idx);
+                    self.stats.write_misses += 1;
+                    idx
+                }
+            };
+            self.pin_entry(idx);
+            touched.push(idx);
+            // (3) Record the block number in the ring via an 8 B atomic
+            // store, then (4) move Head. In batched mode the slot is only
+            // flushed (fence deferred) and Head moves once at the end.
+            let slot = self.layout.ring_slot_addr(self.head);
+            self.nvm.atomic_write_u64(slot, *disk_blk);
+            if self.cfg.batched_ring {
+                self.nvm.clflush(slot, 8);
+                self.head += 1;
+            } else {
+                self.nvm.persist(slot, 8);
+                self.head += 1;
+                self.nvm.atomic_write_u64(HEAD_OFF, self.head);
+                self.nvm.persist(HEAD_OFF, 8);
+            }
+        }
+        if self.cfg.batched_ring {
+            // All slots durable before the single Head move.
+            self.nvm.sfence();
+            self.nvm.atomic_write_u64(HEAD_OFF, self.head);
+            self.nvm.persist(HEAD_OFF, 8);
+        }
+        Ok(())
+    }
+
+    /// Step (4) of §4.4: flip every committed block from *log* to *buffer*.
+    /// One atomic store + flush per entry, a single fence for the batch.
+    /// `prev` fields are retained; they are reclaimed only after `Tail`
+    /// moves, so a crash here can still revoke the whole transaction.
+    fn complete_role_switch(&mut self, touched: &[u32]) {
+        for &idx in touched {
+            let e = self.read_entry(idx);
+            debug_assert_eq!(e.role, Role::Log);
+            let addr = self.layout.entry_addr(idx);
+            self.nvm.atomic_write_u128(addr, e.switched_to_buffer().encode());
+            self.nvm.clflush(addr, 16);
+        }
+        self.nvm.sfence();
+    }
+
+    /// Ablation path (`role_switch = false`): emulate journaling's double
+    /// write *inside* the cache — every committed block is copied to a
+    /// second NVM block ("checkpoint" copy) before the commit point.
+    fn complete_double_write(&mut self, touched: &mut [u32]) -> Result<(), TincaError> {
+        let mut buf = [0u8; BLOCK_SIZE];
+        for i in 0..touched.len() {
+            let idx = touched[i];
+            let e = self.read_entry(idx);
+            debug_assert_eq!(e.role, Role::Log);
+            let chk = self.alloc_block()?;
+            self.pin_block(chk);
+            self.nvm.read(self.layout.data_addr(e.cur), &mut buf);
+            let addr = self.layout.data_addr(chk);
+            self.nvm.write(addr, &buf);
+            self.nvm.persist(addr, BLOCK_SIZE);
+            let log_blk = e.cur;
+            let switched = CacheEntry::new(Role::Buffer, true, e.disk_blk, e.prev, chk);
+            self.write_entry(idx, switched);
+            // The log copy is garbage once the entry points at the
+            // checkpoint copy — but keep it allocated (pinned) until the
+            // commit point so revocation stays possible; it is released
+            // in DRAM below only because `clear_pins` runs after `Tail`.
+            self.free_blocks.release(log_blk);
+        }
+        Ok(())
+    }
+
+    /// Write-through extension: push every committed block to disk and mark
+    /// it clean.
+    fn write_through(&mut self, touched: &[u32]) {
+        let mut buf = [0u8; BLOCK_SIZE];
+        for &idx in touched {
+            let e = self.read_entry(idx);
+            self.nvm.read(self.layout.data_addr(e.cur), &mut buf);
+            self.disk.write_block(e.disk_blk, &buf);
+            self.stats.writebacks += 1;
+            let clean = CacheEntry { modified: false, ..e };
+            self.write_entry(idx, clean);
+        }
+    }
+
+    /// Revokes the already-written blocks of a failed committing
+    /// transaction (runtime `tinca_abort` of a committing transaction).
+    fn revoke_in_flight(&mut self, touched: &[u32]) {
+        for &idx in touched {
+            let e = self.read_entry(idx);
+            if !e.valid || e.is_revoked_marker() {
+                continue;
+            }
+            self.revoke_entry(idx, e);
+        }
+        // Close the ring. `Head` is re-persisted first: in batched-ring
+        // mode the in-DRAM head may be ahead of the persistent one, and
+        // `Tail` must never persist past `Head`.
+        self.nvm.atomic_write_u64(HEAD_OFF, self.head);
+        self.nvm.persist(HEAD_OFF, 8);
+        self.tail = self.head;
+        self.nvm.atomic_write_u64(TAIL_OFF, self.tail);
+        self.nvm.persist(TAIL_OFF, 8);
+    }
+
+    /// Undoes one in-flight entry: restores the previous version, or
+    /// deletes the entry if the block was fresh. Shared by runtime abort
+    /// and crash recovery.
+    pub(crate) fn revoke_entry(&mut self, idx: u32, e: CacheEntry) {
+        debug_assert!(e.valid && !e.is_revoked_marker());
+        match e.revoked() {
+            Some(restored) => {
+                self.write_entry(idx, restored);
+                if !self.free_blocks.is_free(e.cur) {
+                    self.free_blocks.release(e.cur);
+                }
+            }
+            None => {
+                self.write_entry(idx, CacheEntry::INVALID);
+                self.index.remove(&e.disk_blk);
+                if self.lru.contains(idx) {
+                    self.lru.remove(idx);
+                }
+                self.free_entries.release(idx);
+                if !self.free_blocks.is_free(e.cur) {
+                    self.free_blocks.release(e.cur);
+                }
+            }
+        }
+        self.stats.revoked_blocks += 1;
+    }
+
+    /// Reads on-disk block `disk_blk` through the cache (§4.6: Tinca caches
+    /// reads as well as writes).
+    pub fn read(&mut self, disk_blk: u64, buf: &mut [u8]) {
+        assert_eq!(buf.len(), BLOCK_SIZE);
+        if let Some(&idx) = self.index.get(&disk_blk) {
+            let e = self.read_entry(idx);
+            debug_assert!(e.valid && e.disk_blk == disk_blk);
+            self.nvm.read(self.layout.data_addr(e.cur), buf);
+            self.lru.touch(idx);
+            self.stats.read_hits += 1;
+            return;
+        }
+        self.disk.read_block(disk_blk, buf);
+        self.stats.read_misses += 1;
+        if self.cfg.cache_reads {
+            self.fill_clean(disk_blk, buf);
+        }
+    }
+
+    /// Inserts a clean copy of `disk_blk` after a read miss. Best-effort:
+    /// if no block can be allocated the read is simply not cached.
+    fn fill_clean(&mut self, disk_blk: u64, data: &[u8]) {
+        let Ok(blk) = self.alloc_block() else { return };
+        let addr = self.layout.data_addr(blk);
+        self.nvm.write(addr, data);
+        self.nvm.persist(addr, BLOCK_SIZE);
+        let idx = self
+            .free_entries
+            .allocate()
+            .expect("entry pool exhausts strictly after block pool");
+        let e = CacheEntry::new(Role::Buffer, false, disk_blk, FRESH, blk);
+        self.write_entry(idx, e);
+        self.index.insert(disk_blk, idx);
+        self.lru.push_mru(idx);
+    }
+
+    /// Allocates an NVM data block, evicting the LRU unpinned buffer block
+    /// if the free pool is empty.
+    fn alloc_block(&mut self) -> Result<u32, TincaError> {
+        if let Some(b) = self.free_blocks.allocate() {
+            return Ok(b);
+        }
+        let victim = self.lru.iter_lru().find(|&idx| {
+            if self.pin_entries[idx as usize] {
+                return false;
+            }
+            let e = self.read_entry(idx);
+            // Log blocks and blocks pinned as a committing prev/cur stay
+            // (§4.6 rule 2); everything else is fair game.
+            e.valid && e.role == Role::Buffer && !self.pin_blocks[e.cur as usize]
+        });
+        let Some(idx) = victim else {
+            return Err(TincaError::NoVictim);
+        };
+        self.evict(idx);
+        Ok(self.free_blocks.allocate().expect("eviction frees a block"))
+    }
+
+    /// Evicts entry `idx`: writes the block back if dirty, then
+    /// persistently invalidates the entry *before* its NVM block can be
+    /// reused (so a crash never sees an entry naming a reused block).
+    fn evict(&mut self, idx: u32) {
+        let e = self.read_entry(idx);
+        debug_assert!(e.valid && e.role == Role::Buffer);
+        if e.modified {
+            let mut buf = [0u8; BLOCK_SIZE];
+            self.nvm.read(self.layout.data_addr(e.cur), &mut buf);
+            self.disk.write_block(e.disk_blk, &buf);
+            self.stats.writebacks += 1;
+        }
+        self.write_entry(idx, CacheEntry::INVALID);
+        self.index.remove(&e.disk_blk);
+        self.lru.remove(idx);
+        self.free_entries.release(idx);
+        self.free_blocks.release(e.cur);
+        self.stats.evictions += 1;
+    }
+
+    /// Writes back every dirty cached block and marks it clean. Used at
+    /// orderly shutdown and by verification harnesses.
+    pub fn flush_all(&mut self) {
+        debug_assert_eq!(self.head, self.tail);
+        let mut buf = [0u8; BLOCK_SIZE];
+        let idxs: Vec<u32> = self.index.values().copied().collect();
+        for idx in idxs {
+            let e = self.read_entry(idx);
+            if e.valid && e.modified {
+                self.nvm.read(self.layout.data_addr(e.cur), &mut buf);
+                self.disk.write_block(e.disk_blk, &buf);
+                self.stats.writebacks += 1;
+                self.write_entry(idx, CacheEntry { modified: false, ..e });
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Accessors & inspection
+    // ------------------------------------------------------------------
+
+    /// The cache's NVM space partitioning.
+    pub fn layout(&self) -> &Layout {
+        &self.layout
+    }
+
+    /// The NVM device below the cache.
+    pub fn nvm(&self) -> &Nvm {
+        &self.nvm
+    }
+
+    /// The disk below the cache.
+    pub fn disk(&self) -> &DynDisk {
+        &self.disk
+    }
+
+    /// Cumulative cache counters.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// The configuration this cache runs with.
+    pub fn config(&self) -> &TincaConfig {
+        &self.cfg
+    }
+
+    /// Number of currently cached (valid) blocks.
+    pub fn cached_blocks(&self) -> usize {
+        self.index.len()
+    }
+
+    /// Number of free NVM data blocks.
+    pub fn free_block_count(&self) -> usize {
+        self.free_blocks.free_count()
+    }
+
+    /// True if `disk_blk` is cached.
+    pub fn contains(&self, disk_blk: u64) -> bool {
+        self.index.contains_key(&disk_blk)
+    }
+
+    /// Returns the cached payload of `disk_blk`, if present (no LRU touch,
+    /// no stats — inspection only).
+    pub fn peek(&self, disk_blk: u64) -> Option<[u8; BLOCK_SIZE]> {
+        let &idx = self.index.get(&disk_blk)?;
+        let e = self.read_entry(idx);
+        let mut buf = [0u8; BLOCK_SIZE];
+        self.nvm.read(self.layout.data_addr(e.cur), &mut buf);
+        Some(buf)
+    }
+
+    pub(crate) fn read_entry(&self, idx: u32) -> CacheEntry {
+        CacheEntry::decode(self.nvm.read_u128(self.layout.entry_addr(idx)))
+    }
+
+    pub(crate) fn write_entry(&self, idx: u32, e: CacheEntry) {
+        let addr = self.layout.entry_addr(idx);
+        self.nvm.atomic_write_u128(addr, e.encode());
+        self.nvm.persist(addr, 16);
+    }
+
+    // ------------------------------------------------------------------
+    // Pinning (§4.6 rule 2)
+    // ------------------------------------------------------------------
+
+    fn pin_block(&mut self, b: u32) {
+        if b != FRESH && !self.pin_blocks[b as usize] {
+            self.pin_blocks[b as usize] = true;
+            self.pin_block_list.push(b);
+        }
+    }
+
+    fn pin_entry(&mut self, idx: u32) {
+        if !self.pin_entries[idx as usize] {
+            self.pin_entries[idx as usize] = true;
+            self.pin_entry_list.push(idx);
+        }
+    }
+
+    fn clear_pins(&mut self) {
+        for b in self.pin_block_list.drain(..) {
+            self.pin_blocks[b as usize] = false;
+        }
+        for i in self.pin_entry_list.drain(..) {
+            self.pin_entries[i as usize] = false;
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Recovery plumbing (the algorithm lives in recovery.rs)
+    // ------------------------------------------------------------------
+
+    pub(crate) fn recovery_parts(
+        nvm: Nvm,
+        disk: DynDisk,
+        cfg: TincaConfig,
+        layout: Layout,
+        head: u64,
+        tail: u64,
+    ) -> Self {
+        let mut c = Self::from_parts(nvm, disk, cfg, layout, head, tail);
+        c.free_blocks = FreeMonitor::new_all_used(layout.data_blocks);
+        c.free_entries = FreeMonitor::new_all_used(layout.entry_count);
+        c
+    }
+
+    pub(crate) fn set_head_tail(&mut self, head: u64, tail: u64) {
+        self.head = head;
+        self.tail = tail;
+    }
+
+    pub(crate) fn head_tail(&self) -> (u64, u64) {
+        (self.head, self.tail)
+    }
+
+    pub(crate) fn dram_insert(&mut self, disk_blk: u64, idx: u32) {
+        self.index.insert(disk_blk, idx);
+        self.lru.push_mru(idx);
+    }
+
+    pub(crate) fn index_get(&self, disk_blk: u64) -> Option<u32> {
+        self.index.get(&disk_blk).copied()
+    }
+
+    pub(crate) fn free_blocks_mut(&mut self) -> &mut FreeMonitor {
+        &mut self.free_blocks
+    }
+
+    pub(crate) fn free_entries_mut(&mut self) -> &mut FreeMonitor {
+        &mut self.free_entries
+    }
+
+    pub(crate) fn stats_mut(&mut self) -> &mut CacheStats {
+        &mut self.stats
+    }
+
+    /// Exhaustive self-check of the DRAM/NVM invariants; used by tests and
+    /// the crash-recovery verifier. Returns a description of the first
+    /// violation found.
+    pub fn check_consistency(&self) -> Result<(), String> {
+        if self.head != self.tail {
+            return Err(format!("ring open outside commit: head={} tail={}", self.head, self.tail));
+        }
+        let mut seen_cur = vec![false; self.layout.data_blocks as usize];
+        let mut valid_count = 0usize;
+        for idx in 0..self.layout.entry_count {
+            let e = self.read_entry(idx);
+            if !e.valid {
+                if !self.free_entries.is_free(idx) {
+                    return Err(format!("invalid entry {idx} not in free-entry pool"));
+                }
+                continue;
+            }
+            valid_count += 1;
+            if e.role == Role::Log {
+                return Err(format!("entry {idx} still has log role at rest"));
+            }
+            if e.cur as usize >= self.layout.data_blocks as usize {
+                return Err(format!("entry {idx} cur block {} out of range", e.cur));
+            }
+            if seen_cur[e.cur as usize] {
+                return Err(format!("NVM block {} referenced by two entries", e.cur));
+            }
+            seen_cur[e.cur as usize] = true;
+            if self.free_blocks.is_free(e.cur) {
+                return Err(format!("entry {idx} cur block {} is in the free pool", e.cur));
+            }
+            match self.index.get(&e.disk_blk) {
+                Some(&i) if i == idx => {}
+                other => {
+                    return Err(format!(
+                        "entry {idx} (disk blk {}) not indexed correctly: {other:?}",
+                        e.disk_blk
+                    ))
+                }
+            }
+            if !self.lru.contains(idx) {
+                return Err(format!("valid entry {idx} missing from LRU list"));
+            }
+        }
+        if valid_count != self.index.len() {
+            return Err(format!(
+                "index size {} != valid entries {valid_count}",
+                self.index.len()
+            ));
+        }
+        if valid_count != self.lru.len() {
+            return Err(format!("LRU size {} != valid entries {valid_count}", self.lru.len()));
+        }
+        let used_blocks = self.layout.data_blocks as usize - self.free_blocks.free_count();
+        if used_blocks != valid_count {
+            return Err(format!("{used_blocks} blocks in use but {valid_count} valid entries"));
+        }
+        Ok(())
+    }
+}

@@ -1,0 +1,62 @@
+//! Tinca configuration knobs.
+
+/// Write-allocation policy of the cache. The paper uses write-back by
+/// default (§4.6); write-through is provided as an extension for the
+/// ablation benches.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum WritePolicy {
+    /// Dirty blocks stay in NVM until evicted (paper default).
+    WriteBack,
+    /// Every committed block is also written to disk immediately.
+    WriteThrough,
+}
+
+/// Configuration for a [`crate::TincaCache`].
+#[derive(Clone, Debug)]
+pub struct TincaConfig {
+    /// Ring buffer size in bytes (paper default 1 MB; scaled runs use less).
+    /// One committing transaction must fit: `ring_bytes / 8` block slots.
+    pub ring_bytes: usize,
+    /// Whether read misses populate the cache (§4.6: "Tinca caches for both
+    /// write and read requests").
+    pub cache_reads: bool,
+    /// Write policy (paper default: write-back).
+    pub write_policy: WritePolicy,
+    /// Ablation knob: when `false`, the role switch is disabled and commit
+    /// degrades to journal-style double writes (log copy + home copy), to
+    /// quantify the paper's central optimisation. Default `true`.
+    pub role_switch: bool,
+    /// Optimisation beyond the paper: batch the ring-slot flushes and move
+    /// `Head` once per transaction (one fence pair) instead of per block
+    /// (the paper's steps 3–4). Crash-safe because `Head == Tail` until
+    /// the single `Head` store, so recovery falls back to the full entry
+    /// scan, which revokes every log-role entry regardless of the ring.
+    /// Default `false` (the paper's exact protocol).
+    pub batched_ring: bool,
+}
+
+impl Default for TincaConfig {
+    fn default() -> Self {
+        Self {
+            ring_bytes: 64 << 10,
+            cache_reads: true,
+            write_policy: WritePolicy::WriteBack,
+            role_switch: true,
+            batched_ring: false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_paper() {
+        let c = TincaConfig::default();
+        assert!(c.cache_reads);
+        assert_eq!(c.write_policy, WritePolicy::WriteBack);
+        assert!(c.role_switch);
+        assert!(!c.batched_ring, "default is the paper's exact protocol");
+    }
+}

@@ -1,0 +1,51 @@
+//! Error type for cache operations.
+
+use std::fmt;
+
+/// Errors reported by [`crate::TincaCache`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TincaError {
+    /// The transaction stages more blocks than the ring buffer can record.
+    TxnTooLarge { blocks: usize, ring_cap: u64 },
+    /// The transaction cannot fit in the cache even after evicting every
+    /// unpinned block (a committing transaction may pin up to two NVM
+    /// blocks per staged block, §5.4.3).
+    CacheExhausted { needed: usize, data_blocks: u32 },
+    /// No evictable victim was found while allocating a block mid-commit.
+    NoVictim,
+    /// The NVM region does not carry a valid Tinca header.
+    BadMagic { found: u64 },
+}
+
+impl fmt::Display for TincaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TincaError::TxnTooLarge { blocks, ring_cap } => {
+                write!(f, "transaction of {blocks} blocks exceeds ring capacity {ring_cap}")
+            }
+            TincaError::CacheExhausted { needed, data_blocks } => {
+                write!(f, "transaction needs up to {needed} NVM blocks but cache has {data_blocks}")
+            }
+            TincaError::NoVictim => write!(f, "no evictable cache block (all pinned)"),
+            TincaError::BadMagic { found } => {
+                write!(f, "NVM region is not a Tinca cache (magic {found:#x})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TincaError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = TincaError::TxnTooLarge { blocks: 100, ring_cap: 10 };
+        assert!(e.to_string().contains("100"));
+        assert!(e.to_string().contains("10"));
+        let e = TincaError::BadMagic { found: 0xabc };
+        assert!(e.to_string().contains("0xabc"));
+    }
+}

@@ -1,0 +1,152 @@
+//! NVM space layout (Fig. 5 of the paper): header, ring buffer,
+//! cache-entry array, data blocks.
+
+use blockdev::BLOCK_SIZE;
+
+/// Magic number identifying a formatted Tinca NVM region ("TINCAv01").
+pub const MAGIC: u64 = 0x5449_4e43_4176_3031;
+
+/// Header field offsets (bytes). `Head` and `Tail` live on their own cache
+/// lines so each can be flushed independently with a single `clflush`.
+pub const MAGIC_OFF: usize = 0;
+pub const RING_CAP_OFF: usize = 8;
+pub const ENTRY_COUNT_OFF: usize = 16;
+pub const DATA_BLOCKS_OFF: usize = 24;
+pub const HEAD_OFF: usize = 64;
+pub const TAIL_OFF: usize = 128;
+
+/// Size reserved for the header.
+pub const HEADER_BYTES: usize = BLOCK_SIZE;
+
+/// Size of one cache entry in bytes (§4.2: 16 B, atomically writable with
+/// `LOCK cmpxchg16b`).
+pub const ENTRY_BYTES: usize = 16;
+
+/// Size of one ring-buffer slot (an on-disk block number, 8 B).
+pub const RING_SLOT_BYTES: usize = 8;
+
+/// Computed partitioning of the NVM region.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Layout {
+    /// Byte offset of the ring buffer.
+    pub ring_off: usize,
+    /// Ring capacity in slots (block numbers).
+    pub ring_cap: u64,
+    /// Byte offset of the cache-entry array.
+    pub entries_off: usize,
+    /// Number of cache-entry slots (== number of data blocks).
+    pub entry_count: u32,
+    /// Byte offset of the data-block area (4 KB aligned).
+    pub data_off: usize,
+    /// Number of 4 KB data blocks.
+    pub data_blocks: u32,
+}
+
+impl Layout {
+    /// Partitions an NVM region of `capacity` bytes with a ring buffer of
+    /// (at least) `ring_bytes`. The paper's default ring is 1 MB; the
+    /// scaled-down experiments use 64 KB.
+    pub fn compute(capacity: usize, ring_bytes: usize) -> Layout {
+        let ring_bytes = ring_bytes.next_multiple_of(BLOCK_SIZE);
+        let ring_cap = (ring_bytes / RING_SLOT_BYTES) as u64;
+        let fixed = HEADER_BYTES + ring_bytes;
+        assert!(capacity > fixed + BLOCK_SIZE, "NVM region too small: {capacity} bytes");
+        let usable = capacity - fixed;
+        // Each data block costs 4 KB of data plus 16 B of entry; round the
+        // entry area up to a block so the data area stays 4 KB aligned.
+        let mut data_blocks = usable / (BLOCK_SIZE + ENTRY_BYTES);
+        loop {
+            let entry_area = (data_blocks * ENTRY_BYTES).next_multiple_of(BLOCK_SIZE);
+            if fixed + entry_area + data_blocks * BLOCK_SIZE <= capacity {
+                let entries_off = fixed;
+                let data_off = fixed + entry_area;
+                return Layout {
+                    ring_off: HEADER_BYTES,
+                    ring_cap,
+                    entries_off,
+                    entry_count: data_blocks as u32,
+                    data_off,
+                    data_blocks: data_blocks as u32,
+                };
+            }
+            data_blocks -= 1;
+        }
+    }
+
+    /// Byte address of ring slot for sequence number `seq`.
+    pub fn ring_slot_addr(&self, seq: u64) -> usize {
+        self.ring_off + (seq % self.ring_cap) as usize * RING_SLOT_BYTES
+    }
+
+    /// Byte address of cache entry `idx`.
+    pub fn entry_addr(&self, idx: u32) -> usize {
+        debug_assert!(idx < self.entry_count);
+        self.entries_off + idx as usize * ENTRY_BYTES
+    }
+
+    /// Byte address of NVM data block `blk`.
+    pub fn data_addr(&self, blk: u32) -> usize {
+        debug_assert!(blk < self.data_blocks, "NVM block {blk} >= {}", self.data_blocks);
+        self.data_off + blk as usize * BLOCK_SIZE
+    }
+
+    /// Total bytes consumed (must be ≤ device capacity).
+    pub fn total_bytes(&self) -> usize {
+        self.data_off + self.data_blocks as usize * BLOCK_SIZE
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn layout_fits_capacity() {
+        for cap in [1 << 20, 16 << 20, 128 << 20] {
+            let l = Layout::compute(cap, 64 << 10);
+            assert!(l.total_bytes() <= cap, "{l:?} exceeds {cap}");
+            assert!(l.data_blocks > 0);
+            assert_eq!(l.data_off % BLOCK_SIZE, 0);
+            assert_eq!(l.entries_off % BLOCK_SIZE, 0);
+        }
+    }
+
+    #[test]
+    fn entry_overhead_is_small() {
+        // §4.2: an 8 GB cache needs 32 MB of entries — 0.4 % of capacity.
+        let l = Layout::compute(128 << 20, 64 << 10);
+        let entry_bytes = l.entry_count as usize * ENTRY_BYTES;
+        let frac = entry_bytes as f64 / (128 << 20) as f64;
+        assert!(frac < 0.005, "entry overhead {frac} should be < 0.5 %");
+    }
+
+    #[test]
+    fn ring_wraps() {
+        let l = Layout::compute(1 << 20, 4096);
+        let cap = l.ring_cap;
+        assert_eq!(l.ring_slot_addr(0), l.ring_slot_addr(cap));
+        assert_ne!(l.ring_slot_addr(0), l.ring_slot_addr(1));
+    }
+
+    #[test]
+    fn addresses_do_not_overlap() {
+        let l = Layout::compute(4 << 20, 8192);
+        assert!(l.ring_off >= HEADER_BYTES);
+        assert!(l.entries_off >= l.ring_off + l.ring_cap as usize * RING_SLOT_BYTES);
+        assert!(l.data_off >= l.entries_off + l.entry_count as usize * ENTRY_BYTES);
+    }
+
+    #[test]
+    fn entry_addresses_are_16_aligned() {
+        let l = Layout::compute(4 << 20, 8192);
+        for idx in [0u32, 1, 5, l.entry_count - 1] {
+            assert_eq!(l.entry_addr(idx) % 16, 0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "too small")]
+    fn tiny_region_rejected() {
+        let _ = Layout::compute(8192, 4096);
+    }
+}

@@ -1,0 +1,57 @@
+//! # tinca — Transactional NVM Disk Cache
+//!
+//! A user-space reproduction of **Tinca** from *"Transactional NVM Cache
+//! with High Performance and Crash Consistency"* (Qingsong Wei et al.,
+//! SC '17). Tinca is a self-contained NVM caching layer that also provides
+//! transactional primitives to the file system above it, so that:
+//!
+//! * the file system needs **no journal** — commit atomicity comes from
+//!   the cache (`tinca_init_txn` / `tinca_commit` / `tinca_abort`, §4.1);
+//! * no data block is ever written twice for consistency: a committed
+//!   block is converted in place from *log* to *buffer* role (§4.3's
+//!   **role switch**) instead of being checkpointed;
+//! * cache metadata is managed in 16-byte, atomically-writable entries
+//!   rather than metadata blocks (§4.2), eliminating the per-write
+//!   metadata-block flush storm of Flashcache-style designs.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use blockdev::{BlockDevice, DiskKind, SimDisk, BLOCK_SIZE};
+//! use nvmsim::{NvmConfig, NvmDevice, NvmTech, SimClock};
+//! use tinca::{TincaCache, TincaConfig};
+//!
+//! let clock = SimClock::new();
+//! let nvm = NvmDevice::new(NvmConfig::new(4 << 20, NvmTech::Pcm), clock.clone());
+//! let disk = SimDisk::new(DiskKind::Ssd, 1 << 16, clock.clone());
+//! let mut cache = TincaCache::format(nvm, disk, TincaConfig::default());
+//!
+//! // Atomically commit two blocks.
+//! let mut txn = cache.init_txn();
+//! txn.write(10, &[0xAA; BLOCK_SIZE]);
+//! txn.write(11, &[0xBB; BLOCK_SIZE]);
+//! cache.commit(&txn).unwrap();
+//!
+//! let mut buf = [0u8; BLOCK_SIZE];
+//! cache.read(10, &mut buf);
+//! assert_eq!(buf[0], 0xAA);
+//! ```
+
+mod cache;
+mod config;
+mod entry;
+mod error;
+mod freemon;
+mod layout;
+mod lru;
+mod recovery;
+mod stats;
+mod txn;
+
+pub use cache::{DynDisk, TincaCache};
+pub use config::{TincaConfig, WritePolicy};
+pub use entry::{CacheEntry, Role, FRESH};
+pub use error::TincaError;
+pub use layout::Layout;
+pub use stats::CacheStats;
+pub use txn::{block_buf, BlockBuf, Txn};

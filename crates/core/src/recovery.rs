@@ -1,0 +1,150 @@
+//! Crash recovery (§4.5).
+//!
+//! `Head`/`Tail` and the per-entry role bits drive recovery:
+//!
+//! * `Head == Tail` — either no transaction was committing, or the crash
+//!   hit before the first `Head` move. A scan of all entries finds any
+//!   *log-role* block and revokes it.
+//! * `Head != Tail` — the crash hit mid-commit. Every block recorded in
+//!   the ring window `[Tail, Head)` is revoked — including blocks whose
+//!   role was already switched to *buffer* by the crash-interrupted
+//!   role-switch pass (the ring is what identifies them; their `prev`
+//!   fields are still intact because previous versions are only reclaimed
+//!   after `Tail` moves).
+//!
+//! We additionally always run the full-entry scan: the entry update of the
+//! block being committed persists *before* its ring slot, so the last
+//! in-flight block can be log-role yet missing from the ring window.
+//!
+//! Recovery is **idempotent**: revoked entries carry the `prev == cur`
+//! marker (see [`crate::CacheEntry::revoked`]), so a crash during recovery
+//! followed by a second recovery pass cannot revoke twice.
+
+use std::collections::HashMap;
+
+use blockdev::BLOCK_SIZE;
+use nvmsim::Nvm;
+
+use crate::cache::DynDisk;
+use crate::entry::Role;
+use crate::layout::{
+    Layout, DATA_BLOCKS_OFF, ENTRY_COUNT_OFF, HEAD_OFF, MAGIC, MAGIC_OFF, RING_CAP_OFF, TAIL_OFF,
+};
+use crate::{TincaCache, TincaConfig, TincaError};
+
+impl TincaCache {
+    /// Opens an existing Tinca NVM region after a crash or clean shutdown:
+    /// validates the header, revokes any incomplete transaction, and
+    /// rebuilds the DRAM index/LRU/free monitors (§4.5, §4.6).
+    pub fn recover(nvm: Nvm, disk: DynDisk, cfg: TincaConfig) -> Result<Self, TincaError> {
+        let magic = nvm.read_u64(MAGIC_OFF);
+        if magic != MAGIC {
+            return Err(TincaError::BadMagic { found: magic });
+        }
+        let layout = Layout::compute(nvm.capacity(), cfg.ring_bytes);
+        let ring_cap = nvm.read_u64(RING_CAP_OFF);
+        let entry_count = nvm.read_u64(ENTRY_COUNT_OFF);
+        let data_blocks = nvm.read_u64(DATA_BLOCKS_OFF);
+        assert_eq!(
+            (ring_cap, entry_count, data_blocks),
+            (layout.ring_cap, layout.entry_count as u64, layout.data_blocks as u64),
+            "NVM header does not match configuration (changed ring_bytes or capacity?)"
+        );
+        let head = nvm.read_u64(HEAD_OFF);
+        let tail = nvm.read_u64(TAIL_OFF);
+        let mut cache = Self::recovery_parts(nvm, disk, cfg, layout, head, tail);
+        cache.run_recovery();
+        Ok(cache)
+    }
+
+    fn run_recovery(&mut self) {
+        let (head, tail) = self.head_tail();
+        let layout = *self.layout();
+
+        // Pass 1: full entry scan — map disk blocks to entries, collect
+        // log-role leftovers.
+        let mut by_disk: HashMap<u64, u32> = HashMap::new();
+        let mut log_entries: Vec<u32> = Vec::new();
+        for idx in 0..layout.entry_count {
+            let e = self.read_entry(idx);
+            if e.valid {
+                by_disk.insert(e.disk_blk, idx);
+                if e.role == Role::Log {
+                    log_entries.push(idx);
+                }
+            }
+        }
+
+        // Pass 2: revoke everything the ring window names.
+        if head != tail {
+            for seq in tail..head {
+                let disk_blk = self.nvm().read_u64(layout.ring_slot_addr(seq));
+                let Some(&idx) = by_disk.get(&disk_blk) else { continue };
+                let e = self.read_entry(idx);
+                if e.valid && !e.is_revoked_marker() {
+                    self.revoke_entry(idx, e);
+                }
+            }
+        }
+
+        // Pass 3: revoke in-flight log blocks whose ring slot never
+        // persisted.
+        for idx in log_entries {
+            let e = self.read_entry(idx);
+            if e.valid && e.role == Role::Log {
+                self.revoke_entry(idx, e);
+            }
+        }
+
+        // Close the ring: Tail := Head.
+        self.set_head_tail(head, head);
+        self.nvm().atomic_write_u64(TAIL_OFF, head);
+        self.nvm().persist(TAIL_OFF, 8);
+
+        // Pass 4: rebuild the DRAM structures from the surviving entries
+        // (§4.6: "they can be reconstructed on the startup of system").
+        let mut cur_used = vec![false; layout.data_blocks as usize];
+        for idx in 0..layout.entry_count {
+            let e = self.read_entry(idx);
+            if e.valid {
+                assert!(
+                    self.index_get(e.disk_blk).is_none(),
+                    "two valid entries map disk block {}",
+                    e.disk_blk
+                );
+                assert!(
+                    !cur_used[e.cur as usize],
+                    "two valid entries reference NVM block {}",
+                    e.cur
+                );
+                cur_used[e.cur as usize] = true;
+                self.dram_insert(e.disk_blk, idx);
+            } else if !self.free_entries_mut().is_free(idx) {
+                self.free_entries_mut().release(idx);
+            }
+        }
+        for b in 0..layout.data_blocks {
+            if !cur_used[b as usize] && !self.free_blocks_mut().is_free(b) {
+                self.free_blocks_mut().release(b);
+            }
+        }
+        self.stats_mut().recoveries += 1;
+    }
+
+    /// Convenience used by tests and harnesses: the number of 4 KB blocks
+    /// the data area holds (capacity knob for workload sizing).
+    pub fn data_block_count(&self) -> u32 {
+        self.layout().data_blocks
+    }
+
+    /// Reads `disk_blk` *without* populating the cache — used by recovery
+    /// verifiers to compare post-crash contents against an oracle.
+    pub fn read_nocache(&self, disk_blk: u64, buf: &mut [u8]) {
+        assert_eq!(buf.len(), BLOCK_SIZE);
+        if let Some(data) = self.peek(disk_blk) {
+            buf.copy_from_slice(&data);
+        } else {
+            self.disk().read_block(disk_blk, buf);
+        }
+    }
+}

@@ -1,0 +1,87 @@
+//! Cache-level counters (hit rates, commits, evictions — Figs. 7–13).
+
+/// Cumulative counters for one [`crate::TincaCache`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Read requests served from NVM.
+    pub read_hits: u64,
+    /// Read requests that went to disk.
+    pub read_misses: u64,
+    /// Committed block writes whose disk block was already cached (Fig. 12c
+    /// reports this as the *write hit rate*).
+    pub write_hits: u64,
+    /// Committed block writes for fresh (uncached) disk blocks.
+    pub write_misses: u64,
+    /// Transactions committed.
+    pub commits: u64,
+    /// Total blocks across all committed transactions.
+    pub committed_blocks: u64,
+    /// Transactions aborted (explicitly or by failed commit).
+    pub aborts: u64,
+    /// Cache blocks evicted (clean or dirty).
+    pub evictions: u64,
+    /// Dirty evictions that wrote a block to disk.
+    pub writebacks: u64,
+    /// Blocks revoked during recovery or abort.
+    pub revoked_blocks: u64,
+    /// Recovery passes executed.
+    pub recoveries: u64,
+}
+
+impl CacheStats {
+    /// Write hit rate in `[0, 1]`; `None` before any write.
+    pub fn write_hit_rate(&self) -> Option<f64> {
+        let total = self.write_hits + self.write_misses;
+        (total > 0).then(|| self.write_hits as f64 / total as f64)
+    }
+
+    /// Read hit rate in `[0, 1]`; `None` before any read.
+    pub fn read_hit_rate(&self) -> Option<f64> {
+        let total = self.read_hits + self.read_misses;
+        (total > 0).then(|| self.read_hits as f64 / total as f64)
+    }
+
+    /// Per-field difference `self - earlier`.
+    pub fn delta(&self, e: &CacheStats) -> CacheStats {
+        CacheStats {
+            read_hits: self.read_hits - e.read_hits,
+            read_misses: self.read_misses - e.read_misses,
+            write_hits: self.write_hits - e.write_hits,
+            write_misses: self.write_misses - e.write_misses,
+            commits: self.commits - e.commits,
+            committed_blocks: self.committed_blocks - e.committed_blocks,
+            aborts: self.aborts - e.aborts,
+            evictions: self.evictions - e.evictions,
+            writebacks: self.writebacks - e.writebacks,
+            revoked_blocks: self.revoked_blocks - e.revoked_blocks,
+            recoveries: self.recoveries - e.recoveries,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hit_rates() {
+        let s = CacheStats { write_hits: 3, write_misses: 1, read_hits: 1, read_misses: 3, ..Default::default() };
+        assert_eq!(s.write_hit_rate(), Some(0.75));
+        assert_eq!(s.read_hit_rate(), Some(0.25));
+    }
+
+    #[test]
+    fn hit_rate_none_when_empty() {
+        assert_eq!(CacheStats::default().write_hit_rate(), None);
+        assert_eq!(CacheStats::default().read_hit_rate(), None);
+    }
+
+    #[test]
+    fn delta_subtracts() {
+        let a = CacheStats { commits: 2, ..Default::default() };
+        let b = CacheStats { commits: 7, evictions: 3, ..Default::default() };
+        let d = b.delta(&a);
+        assert_eq!(d.commits, 5);
+        assert_eq!(d.evictions, 3);
+    }
+}

@@ -1,0 +1,114 @@
+//! Running transactions (§4.1, §4.4).
+//!
+//! A running transaction lives entirely in DRAM: the file system links the
+//! data blocks it wants committed, then hands the transaction to
+//! [`crate::TincaCache::commit`], which turns it into the *committing*
+//! transaction and drives the commit protocol.
+
+use std::collections::HashMap;
+
+use blockdev::BLOCK_SIZE;
+
+/// One 4 KB block payload.
+pub type BlockBuf = Box<[u8; BLOCK_SIZE]>;
+
+/// Copies a slice into a fresh [`BlockBuf`].
+pub fn block_buf(data: &[u8]) -> BlockBuf {
+    assert_eq!(data.len(), BLOCK_SIZE);
+    let mut b: BlockBuf = Box::new([0u8; BLOCK_SIZE]);
+    b.copy_from_slice(data);
+    b
+}
+
+/// A running transaction: an ordered set of (disk block → new contents)
+/// updates. Writing the same block twice coalesces to the newest contents,
+/// as JBD2's running transaction would.
+#[derive(Debug, Default)]
+pub struct Txn {
+    blocks: Vec<(u64, BlockBuf)>,
+    index: HashMap<u64, usize>,
+}
+
+impl Txn {
+    /// Starts an empty running transaction (`tinca_init_txn`).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Stages `data` as the new contents of on-disk block `disk_blk`.
+    pub fn write(&mut self, disk_blk: u64, data: &[u8]) {
+        assert_eq!(data.len(), BLOCK_SIZE, "transactions stage whole 4 KB blocks");
+        match self.index.get(&disk_blk) {
+            Some(&i) => self.blocks[i].1.copy_from_slice(data),
+            None => {
+                self.index.insert(disk_blk, self.blocks.len());
+                self.blocks.push((disk_blk, block_buf(data)));
+            }
+        }
+    }
+
+    /// Reads back staged contents, if this transaction updates `disk_blk`.
+    pub fn get(&self, disk_blk: u64) -> Option<&[u8; BLOCK_SIZE]> {
+        self.index.get(&disk_blk).map(|&i| &*self.blocks[i].1)
+    }
+
+    /// Number of distinct blocks staged.
+    pub fn len(&self) -> usize {
+        self.blocks.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.blocks.is_empty()
+    }
+
+    /// The staged updates, in first-write order.
+    pub fn blocks(&self) -> &[(u64, BlockBuf)] {
+        &self.blocks
+    }
+
+    /// Disk block numbers staged, in first-write order.
+    pub fn disk_blocks(&self) -> impl Iterator<Item = u64> + '_ {
+        self.blocks.iter().map(|(b, _)| *b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn buf(byte: u8) -> Vec<u8> {
+        vec![byte; BLOCK_SIZE]
+    }
+
+    #[test]
+    fn stages_blocks_in_order() {
+        let mut t = Txn::new();
+        t.write(5, &buf(1));
+        t.write(3, &buf(2));
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.disk_blocks().collect::<Vec<_>>(), vec![5, 3]);
+    }
+
+    #[test]
+    fn rewrite_coalesces() {
+        let mut t = Txn::new();
+        t.write(5, &buf(1));
+        t.write(5, &buf(9));
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.get(5).unwrap()[0], 9);
+    }
+
+    #[test]
+    fn get_missing_is_none() {
+        let t = Txn::new();
+        assert!(t.get(1).is_none());
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "4 KB")]
+    fn partial_block_rejected() {
+        let mut t = Txn::new();
+        t.write(0, &[0u8; 100]);
+    }
+}

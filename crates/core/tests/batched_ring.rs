@@ -1,0 +1,144 @@
+//! The batched-ring optimisation (one fence pair per transaction instead
+//! of per block) must keep the exact crash-atomicity guarantees of the
+//! paper's per-block protocol, while measurably reducing fences.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+use blockdev::{DiskKind, SimDisk, BLOCK_SIZE};
+use nvmsim::{CrashPolicy, CrashTripped, NvmConfig, NvmDevice, NvmTech, SimClock};
+use tinca::{TincaCache, TincaConfig};
+
+fn cfg(batched: bool) -> TincaConfig {
+    TincaConfig { ring_bytes: 4096, batched_ring: batched, ..TincaConfig::default() }
+}
+
+fn fresh(batched: bool) -> (TincaCache, nvmsim::Nvm, blockdev::Disk) {
+    let clock = SimClock::new();
+    let nvm = NvmDevice::new(NvmConfig::new(1 << 20, NvmTech::Pcm), clock.clone());
+    let disk = SimDisk::new(DiskKind::Ssd, 1 << 16, clock);
+    let cache = TincaCache::format(nvm.clone(), disk.clone(), cfg(batched));
+    (cache, nvm, disk)
+}
+
+fn blk(b: u8) -> [u8; BLOCK_SIZE] {
+    [b; BLOCK_SIZE]
+}
+
+fn quiet() {
+    use std::sync::Once;
+    static ONCE: Once = Once::new();
+    ONCE.call_once(|| {
+        let default = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            if info.payload().downcast_ref::<CrashTripped>().is_none() {
+                default(info);
+            }
+        }));
+    });
+}
+
+#[test]
+fn batching_saves_fences() {
+    let run = |batched: bool| {
+        let (mut cache, nvm, _) = fresh(batched);
+        let before = nvm.stats();
+        let mut txn = cache.init_txn();
+        for i in 0..32u64 {
+            txn.write(i, &blk(1));
+        }
+        cache.commit(&txn).unwrap();
+        nvm.stats().delta(&before).sfence
+    };
+    let per_block = run(false);
+    let batched = run(true);
+    // Per-block: 2 extra fences per block (slot + head). Batched: 2 total.
+    assert!(
+        batched + 32 <= per_block,
+        "batching should save ~2 fences per block: {batched} vs {per_block}"
+    );
+}
+
+#[test]
+fn batched_commit_reads_back_and_recovers() {
+    let (mut cache, nvm, disk) = fresh(true);
+    for round in 0..10u8 {
+        let mut txn = cache.init_txn();
+        for i in 0..16u64 {
+            txn.write(i, &blk(round + 1));
+        }
+        cache.commit(&txn).unwrap();
+    }
+    cache.check_consistency().unwrap();
+    drop(cache);
+    nvm.crash(CrashPolicy::Random(5));
+    let rec = TincaCache::recover(nvm, disk, cfg(true)).unwrap();
+    rec.check_consistency().unwrap();
+    let mut buf = [0u8; BLOCK_SIZE];
+    for i in 0..16u64 {
+        rec.read_nocache(i, &mut buf);
+        assert_eq!(buf, blk(10), "block {i}");
+    }
+}
+
+#[test]
+fn batched_crash_sweep_is_atomic() {
+    quiet();
+    let blocks = [1u64, 2, 3];
+    // Event window of the second commit under batching.
+    let window = {
+        let (mut c, nvm, _) = fresh(true);
+        let mut s = c.init_txn();
+        for &b in &blocks {
+            s.write(b, &blk(1));
+        }
+        c.commit(&s).unwrap();
+        let e0 = nvm.events();
+        let mut t = c.init_txn();
+        for &b in &blocks {
+            t.write(b, &blk(2));
+        }
+        c.commit(&t).unwrap();
+        nvm.events() - e0
+    };
+    let mut crashed = 0;
+    let mut completed = 0;
+    for trip in 1..=window + 2 {
+        let (mut cache, nvm, disk) = fresh(true);
+        let mut seed = cache.init_txn();
+        for &b in &blocks {
+            seed.write(b, &blk(1));
+        }
+        cache.commit(&seed).unwrap();
+        let mut txn = cache.init_txn();
+        for &b in &blocks {
+            txn.write(b, &blk(2));
+        }
+        nvm.set_trip(Some(trip));
+        let interrupted = catch_unwind(AssertUnwindSafe(|| cache.commit(&txn))).is_err();
+        nvm.set_trip(None);
+        drop(cache);
+        nvm.crash(CrashPolicy::Random(trip * 131));
+        let rec = TincaCache::recover(nvm, disk, cfg(true)).unwrap();
+        rec.check_consistency()
+            .unwrap_or_else(|e| panic!("trip {trip}: {e}"));
+        let mut buf = [0u8; BLOCK_SIZE];
+        let versions: Vec<u8> = blocks
+            .iter()
+            .map(|&b| {
+                rec.read_nocache(b, &mut buf);
+                assert!(buf.iter().all(|&x| x == buf[0]), "torn payload at trip {trip}");
+                buf[0]
+            })
+            .collect();
+        let all_old = versions.iter().all(|&v| v == 1);
+        let all_new = versions.iter().all(|&v| v == 2);
+        assert!(all_old || all_new, "torn txn at trip {trip}: {versions:?}");
+        if interrupted {
+            crashed += 1;
+        } else {
+            assert!(all_new, "completed commit lost at trip {trip}");
+            completed += 1;
+        }
+    }
+    assert!(crashed > 0 && completed > 0);
+}

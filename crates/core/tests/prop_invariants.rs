@@ -1,0 +1,176 @@
+//! Property-based tests: the cache must behave exactly like a flat
+//! key→value store over (disk block → payload), under arbitrary
+//! interleavings of commits, reads, evictions, recoveries and crashes.
+
+use std::collections::HashMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+use blockdev::{DiskKind, SimDisk, BLOCK_SIZE};
+use nvmsim::{CrashPolicy, CrashTripped, NvmConfig, NvmDevice, NvmTech, SimClock};
+use proptest::prelude::*;
+use tinca::{TincaCache, TincaConfig};
+
+const NVM_BYTES: usize = 512 << 10; // small: forces eviction pressure
+const RING_BYTES: usize = 4096;
+const BLOCK_SPACE: u64 = 256; // disk blocks the generator draws from
+
+fn cfg() -> TincaConfig {
+    TincaConfig { ring_bytes: RING_BYTES, ..TincaConfig::default() }
+}
+
+fn fresh() -> (nvmsim::Nvm, blockdev::Disk, TincaCache) {
+    let clock = SimClock::new();
+    let nvm = NvmDevice::new(NvmConfig::new(NVM_BYTES, NvmTech::Pcm), clock.clone());
+    let disk = SimDisk::new(DiskKind::Ssd, 1 << 16, clock);
+    let cache = TincaCache::format(nvm.clone(), disk.clone(), cfg());
+    (nvm, disk, cache)
+}
+
+fn blk(byte: u8) -> [u8; BLOCK_SIZE] {
+    [byte; BLOCK_SIZE]
+}
+
+#[derive(Clone, Debug)]
+enum Op {
+    /// Commit a transaction of (block, fill byte) writes.
+    Commit(Vec<(u64, u8)>),
+    /// Read a block and check it against the model.
+    Read(u64),
+    /// Drop the cache, (optionally) crash the device, recover.
+    Restart { crash_seed: Option<u64> },
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        6 => proptest::collection::vec((0..BLOCK_SPACE, any::<u8>()), 1..12).prop_map(Op::Commit),
+        3 => (0..BLOCK_SPACE).prop_map(Op::Read),
+        1 => proptest::option::of(any::<u64>()).prop_map(|crash_seed| Op::Restart { crash_seed }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 48, ..ProptestConfig::default() })]
+
+    /// After any op sequence (including crashes *between* commits and
+    /// recoveries), every committed value is readable and the cache
+    /// invariants hold.
+    #[test]
+    fn cache_matches_model(ops in proptest::collection::vec(op_strategy(), 1..60)) {
+        let (nvm, disk, mut cache) = fresh();
+        let mut model: HashMap<u64, u8> = HashMap::new();
+        for op in ops {
+            match op {
+                Op::Commit(writes) => {
+                    let mut txn = cache.init_txn();
+                    for (b, v) in &writes {
+                        txn.write(*b, &blk(*v));
+                    }
+                    cache.commit(&txn).unwrap();
+                    for (b, v) in writes {
+                        model.insert(b, v);
+                    }
+                }
+                Op::Read(b) => {
+                    let mut buf = [0u8; BLOCK_SIZE];
+                    cache.read(b, &mut buf);
+                    let want = model.get(&b).copied().unwrap_or(0);
+                    prop_assert_eq!(buf, blk(want), "read mismatch on block {}", b);
+                }
+                Op::Restart { crash_seed } => {
+                    drop(cache);
+                    match crash_seed {
+                        Some(s) => nvm.crash(CrashPolicy::Random(s)),
+                        None => nvm.crash(CrashPolicy::LoseVolatile),
+                    }
+                    cache = TincaCache::recover(nvm.clone(), disk.clone(), cfg()).unwrap();
+                    cache.check_consistency().map_err(|e| {
+                        TestCaseError::fail(format!("inconsistent after restart: {e}"))
+                    })?;
+                }
+            }
+        }
+        cache.check_consistency().map_err(|e| TestCaseError::fail(e))?;
+        // Final sweep: the full model must be readable.
+        let mut buf = [0u8; BLOCK_SIZE];
+        for (&b, &v) in &model {
+            cache.read(b, &mut buf);
+            prop_assert_eq!(buf, blk(v), "final sweep mismatch on block {}", b);
+        }
+    }
+
+    /// Crash at a random event inside a random commit: the transaction is
+    /// atomic and all previously committed data survives.
+    #[test]
+    fn random_crash_point_atomicity(
+        pre in proptest::collection::vec((0..64u64, 1..=250u8), 1..10),
+        txn_writes in proptest::collection::vec(0..64u64, 1..10),
+        trip in 1..400u64,
+        seed in any::<u64>(),
+    ) {
+        quiet_crash_panics();
+        let (nvm, disk, mut cache) = fresh();
+        let mut model: HashMap<u64, u8> = HashMap::new();
+        // Pre-populate with committed data.
+        let mut seed_txn = cache.init_txn();
+        for (b, v) in &pre {
+            seed_txn.write(*b, &blk(*v));
+            model.insert(*b, *v);
+        }
+        cache.commit(&seed_txn).unwrap();
+
+        // The crashing transaction writes 255 everywhere it touches.
+        let mut txn = cache.init_txn();
+        let mut touched: Vec<u64> = vec![];
+        for b in txn_writes {
+            txn.write(b, &blk(255));
+            if !touched.contains(&b) {
+                touched.push(b);
+            }
+        }
+        nvm.set_trip(Some(trip));
+        let outcome = catch_unwind(AssertUnwindSafe(|| cache.commit(&txn)));
+        nvm.set_trip(None);
+        let committed = matches!(outcome, Ok(Ok(())));
+        drop(cache);
+        nvm.crash(CrashPolicy::Random(seed));
+
+        let rec = TincaCache::recover(nvm, disk, cfg()).unwrap();
+        rec.check_consistency().map_err(|e| TestCaseError::fail(e))?;
+
+        let mut buf = [0u8; BLOCK_SIZE];
+        let versions: Vec<(u64, u8)> = touched
+            .iter()
+            .map(|&b| {
+                rec.read_nocache(b, &mut buf);
+                prop_assert!(buf.iter().all(|&x| x == buf[0]), "torn payload");
+                Ok((b, buf[0]))
+            })
+            .collect::<Result<_, TestCaseError>>()?;
+        let all_new = versions.iter().all(|&(_, v)| v == 255);
+        let all_old = versions
+            .iter()
+            .all(|&(b, v)| v == model.get(&b).copied().unwrap_or(0));
+        prop_assert!(all_old || all_new, "torn txn at trip {}: {:?}", trip, versions);
+        if committed {
+            prop_assert!(all_new, "committed txn lost at trip {}", trip);
+        }
+        // Blocks untouched by the crashing txn keep their committed values.
+        for (&b, &v) in model.iter().filter(|(b, _)| !touched.contains(b)) {
+            rec.read_nocache(b, &mut buf);
+            prop_assert_eq!(buf, blk(v), "unrelated block {} damaged", b);
+        }
+    }
+}
+
+fn quiet_crash_panics() {
+    use std::sync::Once;
+    static ONCE: Once = Once::new();
+    ONCE.call_once(|| {
+        let default = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            if info.payload().downcast_ref::<CrashTripped>().is_none() {
+                default(info);
+            }
+        }));
+    });
+}

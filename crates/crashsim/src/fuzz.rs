@@ -1,0 +1,213 @@
+//! Randomised crash fuzzing: a seeded workload, a random crash point, an
+//! adversarial write-back resolution, then full verification — repeated.
+
+use fssim::stack::{StackConfig, System};
+use fssim::FsSim;
+use nvmsim::CrashPolicy;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::{CrashHarness, FsOracle};
+
+/// One fuzz run's result.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum FuzzOutcome {
+    /// Workload completed before the trip fired.
+    Completed,
+    /// Crash injected, recovery verified clean.
+    CrashedVerified,
+    /// Crash injected and verification failed (a consistency bug!).
+    Violation(String),
+}
+
+/// Aggregate over a fuzz campaign.
+#[derive(Clone, Debug, Default)]
+pub struct FuzzReport {
+    pub runs: u64,
+    pub completed: u64,
+    pub crashes: u64,
+    pub violations: Vec<String>,
+}
+
+impl FuzzReport {
+    pub fn clean(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
+/// A deterministic scripted workload step.
+enum Step {
+    Create(String),
+    Write { name: String, offset: u64, len: usize, fill: u8 },
+    Delete(String),
+    Fsync,
+}
+
+fn script(rng: &mut StdRng, steps: usize, max_files: usize) -> Vec<Step> {
+    let mut live: Vec<String> = Vec::new();
+    let mut out = Vec::with_capacity(steps);
+    let mut next_id = 0u32;
+    for _ in 0..steps {
+        let roll = rng.gen_range(0..100);
+        if roll < 20 && live.len() < max_files {
+            let name = format!("f{next_id}");
+            next_id += 1;
+            live.push(name.clone());
+            out.push(Step::Create(name));
+        } else if roll < 70 && !live.is_empty() {
+            let name = live[rng.gen_range(0..live.len())].clone();
+            out.push(Step::Write {
+                name,
+                offset: rng.gen_range(0..16) * 1024,
+                len: rng.gen_range(1..8192),
+                fill: rng.gen_range(1..=255),
+            });
+        } else if roll < 80 && live.len() > 1 {
+            let i = rng.gen_range(0..live.len());
+            let name = live.remove(i);
+            out.push(Step::Delete(name));
+        } else {
+            out.push(Step::Fsync);
+        }
+    }
+    out.push(Step::Fsync);
+    out
+}
+
+fn apply(fs: &mut FsSim, oracle: &mut FsOracle, step: &Step) {
+    match step {
+        Step::Create(name) => {
+            if fs.create(name).is_ok() {
+                oracle.create(name);
+            }
+        }
+        Step::Write { name, offset, len, fill } => {
+            if let Ok(ino) = fs.open(name) {
+                let data = vec![*fill; *len];
+                if fs.write(ino, *offset, &data).is_ok() {
+                    oracle.write(name, *offset, &data);
+                }
+            }
+        }
+        Step::Delete(name) => {
+            if fs.delete(name).is_ok() {
+                oracle.delete(name);
+            }
+        }
+        Step::Fsync => {
+            fs.fsync().expect("fsync");
+            oracle.committed();
+        }
+    }
+}
+
+/// How the simulated failure happens (§5.1 runs both scenarios).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FailureMode {
+    /// "Unexpectedly plugging out the power cable": un-fenced write-back
+    /// state resolves adversarially.
+    PowerPull,
+    /// "Suddenly killing Tinca's process": DRAM state is lost but the CPU
+    /// caches survive and eventually drain — everything stored reaches
+    /// NVM.
+    ProcessKill,
+}
+
+/// Runs one seeded crash-fuzz iteration against `system`.
+///
+/// The workload batches through explicit fsyncs only (`txn_block_limit`
+/// is raised above the script's reach), so the oracle knows every commit
+/// boundary exactly.
+pub fn fuzz_one(system: System, seed: u64, steps: usize) -> FuzzOutcome {
+    fuzz_one_mode(system, seed, steps, FailureMode::PowerPull)
+}
+
+/// [`fuzz_one`] with an explicit failure mode.
+pub fn fuzz_one_mode(system: System, seed: u64, steps: usize, mode: FailureMode) -> FuzzOutcome {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut cfg = StackConfig::tiny(system);
+    cfg.txn_block_limit = 100_000; // commits only at explicit fsync
+    let mut harness = CrashHarness::new(cfg);
+    let mut oracle = FsOracle::new();
+    let plan = script(&mut rng, steps, 12);
+
+    // Measure the full run once to bound the trip point.
+    let trip = rng.gen_range(1..20_000u64);
+    let crashed = {
+        let oracle_ref = &mut oracle;
+        let plan_ref = &plan;
+        harness.run_with_trip(trip, move |fs| {
+            for step in plan_ref {
+                apply(fs, oracle_ref, step);
+            }
+        })
+    };
+    if !crashed {
+        return FuzzOutcome::Completed;
+    }
+    let policy = match mode {
+        FailureMode::PowerPull => CrashPolicy::Random(seed ^ 0xD1CE),
+        FailureMode::ProcessKill => CrashPolicy::PersistAll,
+    };
+    harness.crash_and_remount(policy);
+    match harness.verify(&oracle) {
+        Ok(()) => FuzzOutcome::CrashedVerified,
+        Err(e) => FuzzOutcome::Violation(format!("seed {seed} trip {trip} ({mode:?}): {e}")),
+    }
+}
+
+/// Runs a fuzz campaign of `runs` seeds against `system` (power pulls).
+pub fn fuzz_system(system: System, base_seed: u64, runs: u64, steps: usize) -> FuzzReport {
+    fuzz_system_mode(system, base_seed, runs, steps, FailureMode::PowerPull)
+}
+
+/// [`fuzz_system`] with an explicit failure mode.
+pub fn fuzz_system_mode(
+    system: System,
+    base_seed: u64,
+    runs: u64,
+    steps: usize,
+    mode: FailureMode,
+) -> FuzzReport {
+    let mut report = FuzzReport::default();
+    for i in 0..runs {
+        report.runs += 1;
+        match fuzz_one_mode(system, base_seed + i, steps, mode) {
+            FuzzOutcome::Completed => report.completed += 1,
+            FuzzOutcome::CrashedVerified => report.crashes += 1,
+            FuzzOutcome::Violation(v) => {
+                report.crashes += 1;
+                report.violations.push(v);
+            }
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scripts_are_deterministic() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        let sa = script(&mut a, 50, 8);
+        let sb = script(&mut b, 50, 8);
+        assert_eq!(sa.len(), sb.len());
+        for (x, y) in sa.iter().zip(&sb) {
+            match (x, y) {
+                (Step::Create(p), Step::Create(q)) => assert_eq!(p, q),
+                (Step::Fsync, Step::Fsync) => {}
+                (Step::Delete(p), Step::Delete(q)) => assert_eq!(p, q),
+                (
+                    Step::Write { name: p, offset: o1, len: l1, fill: f1 },
+                    Step::Write { name: q, offset: o2, len: l2, fill: f2 },
+                ) => {
+                    assert_eq!((p, o1, l1, f1), (q, o2, l2, f2));
+                }
+                _ => panic!("scripts diverged"),
+            }
+        }
+    }
+}

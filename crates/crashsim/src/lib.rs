@@ -1,0 +1,32 @@
+//! # crashsim — crash injection and recovery verification
+//!
+//! The paper validates Tinca's recoverability by pulling the power cable
+//! and killing the process a handful of times (§5.1). This crate
+//! mechanises and strengthens that experiment:
+//!
+//! * a **trip** can be armed at *any* NVM persistence event (every
+//!   `clflush`, `sfence`, or atomic store), simulating a power cut at that
+//!   exact instant;
+//! * the un-fenced write-back state is resolved adversarially (each dirty
+//!   word independently persists or drops, honouring 16-byte atomics);
+//! * an **oracle** tracks the file-system state that must be durable
+//!   (everything up to the last successful `fsync`) and the state that may
+//!   additionally be visible (the in-flight transaction, all-or-nothing);
+//! * after recovery, the harness checks the observed state is exactly one
+//!   of the two, and that cache + FS internal invariants hold.
+
+//! ```
+//! use crashsim::{fuzz_system, FuzzReport};
+//! use fssim::stack::System;
+//!
+//! let report: FuzzReport = fuzz_system(System::Tinca, 7, 3, 30);
+//! assert!(report.clean(), "no consistency violations: {:?}", report.violations);
+//! ```
+
+mod fuzz;
+mod harness;
+mod oracle;
+
+pub use fuzz::{fuzz_one, fuzz_one_mode, fuzz_system, fuzz_system_mode, FailureMode, FuzzOutcome, FuzzReport};
+pub use harness::{quiet_crash_panics, CrashHarness, VerifyError};
+pub use oracle::FsOracle;

@@ -1,0 +1,330 @@
+//! Cache-layer abstraction: the file system runs identically above Tinca,
+//! Classic, or the bare disk; only the commit step differs.
+
+use blockdev::{BlockDevice, BLOCK_SIZE};
+use classic::ClassicCache;
+use std::sync::Arc;
+use tinca::TincaCache;
+use ubj::UbjCache;
+
+/// What the file system needs from the layer below it.
+pub trait CacheBackend {
+    /// Reads one block (cache-aware).
+    fn read(&mut self, blk: u64, buf: &mut [u8]);
+
+    /// Durably writes one block (used by JBD2 and no-journal modes; every
+    /// call is persistent when it returns, which is the ordering JBD2's
+    /// commit-record protocol relies on).
+    fn write_block(&mut self, blk: u64, data: &[u8]);
+
+    /// Atomically commits a set of blocks (used by Tinca mode).
+    /// Backends without transactional support return an error.
+    fn commit_txn(&mut self, blocks: &[(u64, Box<[u8; BLOCK_SIZE]>)]) -> Result<(), String>;
+
+    /// Whether [`Self::commit_txn`] is supported.
+    fn supports_txn(&self) -> bool;
+
+    /// Writes every dirty cached block to disk (orderly shutdown).
+    fn flush_all(&mut self);
+
+    /// Reads without populating the cache (verification).
+    fn read_nocache(&self, blk: u64, buf: &mut [u8]);
+
+    /// Cache-internal invariant check (verification harnesses).
+    fn check(&self) -> Result<(), String> {
+        Ok(())
+    }
+
+    /// Cache counters for figure harnesses (zero for cacheless backends).
+    fn cache_snapshot(&self) -> crate::CacheSnapshot {
+        crate::CacheSnapshot::default()
+    }
+
+    /// Device flush barrier (REQ_FLUSH) from the file system. The legacy
+    /// write-back cache drains dirty blocks to disk; a transactional NVM
+    /// cache needs nothing — its commit *is* the durability point.
+    fn flush_barrier(&mut self) {}
+
+    /// Downcasting hook so harnesses can reach implementation-specific
+    /// counters (e.g. UBJ's memcpy/stall statistics).
+    fn as_any(&self) -> &dyn std::any::Any;
+}
+
+/// Tinca as the cache layer: `write_block` is a one-block transaction,
+/// `commit_txn` maps directly onto `tinca_commit`.
+pub struct TincaBackend {
+    pub cache: TincaCache,
+}
+
+impl TincaBackend {
+    pub fn new(cache: TincaCache) -> Self {
+        Self { cache }
+    }
+}
+
+impl CacheBackend for TincaBackend {
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+
+    fn read(&mut self, blk: u64, buf: &mut [u8]) {
+        self.cache.read(blk, buf);
+    }
+
+    fn write_block(&mut self, blk: u64, data: &[u8]) {
+        let mut txn = self.cache.init_txn();
+        txn.write(blk, data);
+        self.cache.commit(&txn).expect("single-block commit cannot exceed limits");
+    }
+
+    fn commit_txn(&mut self, blocks: &[(u64, Box<[u8; BLOCK_SIZE]>)]) -> Result<(), String> {
+        let mut txn = self.cache.init_txn();
+        for (blk, data) in blocks {
+            txn.write(*blk, &data[..]);
+        }
+        self.cache.commit(&txn).map_err(|e| e.to_string())
+    }
+
+    fn supports_txn(&self) -> bool {
+        true
+    }
+
+    fn flush_all(&mut self) {
+        self.cache.flush_all();
+    }
+
+    fn read_nocache(&self, blk: u64, buf: &mut [u8]) {
+        self.cache.read_nocache(blk, buf);
+    }
+
+    fn check(&self) -> Result<(), String> {
+        self.cache.check_consistency()
+    }
+
+    fn cache_snapshot(&self) -> crate::CacheSnapshot {
+        let s = self.cache.stats();
+        crate::CacheSnapshot {
+            write_hits: s.write_hits,
+            write_misses: s.write_misses,
+            read_hits: s.read_hits,
+            read_misses: s.read_misses,
+            evictions: s.evictions,
+            writebacks: s.writebacks,
+        }
+    }
+}
+
+/// Flashcache-like cache layer: no transactions; the FS must journal.
+pub struct ClassicBackend {
+    pub cache: ClassicCache,
+}
+
+impl ClassicBackend {
+    pub fn new(cache: ClassicCache) -> Self {
+        Self { cache }
+    }
+}
+
+impl CacheBackend for ClassicBackend {
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+
+    fn read(&mut self, blk: u64, buf: &mut [u8]) {
+        self.cache.read(blk, buf);
+    }
+
+    fn write_block(&mut self, blk: u64, data: &[u8]) {
+        self.cache.write(blk, data);
+    }
+
+    fn commit_txn(&mut self, _blocks: &[(u64, Box<[u8; BLOCK_SIZE]>)]) -> Result<(), String> {
+        Err("Classic cache has no transactional support — use JBD2 journaling above it".into())
+    }
+
+    fn supports_txn(&self) -> bool {
+        false
+    }
+
+    fn flush_all(&mut self) {
+        self.cache.flush_all();
+    }
+
+    fn read_nocache(&self, blk: u64, buf: &mut [u8]) {
+        self.cache.read_nocache(blk, buf);
+    }
+
+    fn check(&self) -> Result<(), String> {
+        self.cache.check_consistency()
+    }
+
+    fn cache_snapshot(&self) -> crate::CacheSnapshot {
+        let s = self.cache.stats();
+        crate::CacheSnapshot {
+            write_hits: s.write_hits,
+            write_misses: s.write_misses,
+            read_hits: s.read_hits,
+            read_misses: s.read_misses,
+            evictions: s.evictions,
+            writebacks: s.writebacks,
+        }
+    }
+
+    fn flush_barrier(&mut self) {
+        self.cache.flush_barrier();
+    }
+}
+
+/// UBJ-like layer (§5.4.4 comparison baseline): the NVM *is* the buffer
+/// cache; commits freeze blocks in place, checkpoints drain whole
+/// transactions to disk.
+pub struct UbjBackend {
+    pub cache: UbjCache,
+}
+
+impl UbjBackend {
+    pub fn new(cache: UbjCache) -> Self {
+        Self { cache }
+    }
+}
+
+impl CacheBackend for UbjBackend {
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+
+    fn read(&mut self, blk: u64, buf: &mut [u8]) {
+        self.cache.read(blk, buf);
+    }
+
+    fn write_block(&mut self, blk: u64, data: &[u8]) {
+        let mut b: Box<[u8; BLOCK_SIZE]> = Box::new([0u8; BLOCK_SIZE]);
+        b.copy_from_slice(data);
+        self.cache.commit_txn(&[(blk, b)]).expect("single-block commit");
+    }
+
+    fn commit_txn(&mut self, blocks: &[(u64, Box<[u8; BLOCK_SIZE]>)]) -> Result<(), String> {
+        self.cache.commit_txn(blocks)
+    }
+
+    fn supports_txn(&self) -> bool {
+        true
+    }
+
+    fn flush_all(&mut self) {
+        self.cache.checkpoint_all();
+    }
+
+    fn read_nocache(&self, blk: u64, buf: &mut [u8]) {
+        self.cache.read_nocache(blk, buf);
+    }
+
+    fn check(&self) -> Result<(), String> {
+        self.cache.check_consistency()
+    }
+
+    fn cache_snapshot(&self) -> crate::CacheSnapshot {
+        let s = self.cache.stats();
+        crate::CacheSnapshot {
+            write_hits: s.write_hits,
+            write_misses: s.write_misses,
+            read_hits: s.read_hits,
+            read_misses: s.read_misses,
+            evictions: s.evictions,
+            writebacks: s.checkpoint_blocks,
+        }
+    }
+}
+
+/// No cache at all — the file system talks straight to the disk.
+/// Useful as a correctness baseline in tests.
+pub struct RawDiskBackend {
+    pub disk: Arc<dyn BlockDevice>,
+}
+
+impl RawDiskBackend {
+    pub fn new(disk: Arc<dyn BlockDevice>) -> Self {
+        Self { disk }
+    }
+}
+
+impl CacheBackend for RawDiskBackend {
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+
+    fn read(&mut self, blk: u64, buf: &mut [u8]) {
+        self.disk.read_block(blk, buf);
+    }
+
+    fn write_block(&mut self, blk: u64, data: &[u8]) {
+        self.disk.write_block(blk, data);
+    }
+
+    fn commit_txn(&mut self, _blocks: &[(u64, Box<[u8; BLOCK_SIZE]>)]) -> Result<(), String> {
+        Err("raw disk has no transactional support".into())
+    }
+
+    fn supports_txn(&self) -> bool {
+        false
+    }
+
+    fn flush_all(&mut self) {}
+
+    fn read_nocache(&self, blk: u64, buf: &mut [u8]) {
+        self.disk.read_block(blk, buf);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use blockdev::{DiskKind, SimDisk};
+    use nvmsim::{NvmConfig, NvmDevice, NvmTech, SimClock};
+
+    #[test]
+    fn tinca_backend_supports_txn() {
+        let clock = SimClock::new();
+        let nvm = NvmDevice::new(NvmConfig::new(1 << 20, NvmTech::Pcm), clock.clone());
+        let disk = SimDisk::new(DiskKind::Ssd, 1 << 14, clock);
+        let cache = TincaCache::format(nvm, disk, tinca::TincaConfig {
+            ring_bytes: 4096,
+            ..Default::default()
+        });
+        let mut be = TincaBackend::new(cache);
+        assert!(be.supports_txn());
+        let blocks = vec![(5u64, Box::new([7u8; BLOCK_SIZE]))];
+        be.commit_txn(&blocks).unwrap();
+        let mut buf = [0u8; BLOCK_SIZE];
+        be.read(5, &mut buf);
+        assert_eq!(buf[0], 7);
+    }
+
+    #[test]
+    fn classic_backend_rejects_txn() {
+        let clock = SimClock::new();
+        let nvm = NvmDevice::new(NvmConfig::new(2 << 20, NvmTech::Pcm), clock.clone());
+        let disk = SimDisk::new(DiskKind::Ssd, 1 << 14, clock);
+        let cache = ClassicCache::format(nvm, disk, classic::ClassicConfig {
+            assoc: 64,
+            ..Default::default()
+        });
+        let mut be = ClassicBackend::new(cache);
+        assert!(!be.supports_txn());
+        assert!(be.commit_txn(&[]).is_err());
+        be.write_block(3, &[9u8; BLOCK_SIZE]);
+        let mut buf = [0u8; BLOCK_SIZE];
+        be.read(3, &mut buf);
+        assert_eq!(buf[0], 9);
+    }
+
+    #[test]
+    fn raw_disk_round_trip() {
+        let disk = SimDisk::new(DiskKind::Ssd, 1 << 10, SimClock::new());
+        let mut be = RawDiskBackend::new(disk);
+        be.write_block(1, &[3u8; BLOCK_SIZE]);
+        let mut buf = [0u8; BLOCK_SIZE];
+        be.read_nocache(1, &mut buf);
+        assert_eq!(buf[0], 3);
+    }
+}

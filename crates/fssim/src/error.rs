@@ -1,0 +1,52 @@
+//! File-system error type.
+
+use std::fmt;
+
+/// Errors reported by [`crate::FsSim`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum FsError {
+    /// No such file.
+    NotFound(String),
+    /// A file with this name already exists.
+    Exists(String),
+    /// File name longer than the name-table entry allows (55 bytes).
+    NameTooLong(String),
+    /// No free inodes / name slots.
+    TooManyFiles,
+    /// No free data blocks.
+    NoSpace,
+    /// Read/write beyond the maximum file size.
+    FileTooLarge,
+    /// The superblock is missing or damaged.
+    BadSuperblock(String),
+    /// The cache layer rejected a transaction.
+    Backend(String),
+}
+
+impl fmt::Display for FsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FsError::NotFound(n) => write!(f, "no such file: {n}"),
+            FsError::Exists(n) => write!(f, "file exists: {n}"),
+            FsError::NameTooLong(n) => write!(f, "file name too long: {n}"),
+            FsError::TooManyFiles => write!(f, "out of inodes or name slots"),
+            FsError::NoSpace => write!(f, "out of data blocks"),
+            FsError::FileTooLarge => write!(f, "file exceeds maximum size"),
+            FsError::BadSuperblock(m) => write!(f, "bad superblock: {m}"),
+            FsError::Backend(m) => write!(f, "cache backend error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for FsError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_subject() {
+        assert!(FsError::NotFound("a.txt".into()).to_string().contains("a.txt"));
+        assert!(FsError::NoSpace.to_string().contains("data blocks"));
+    }
+}

@@ -1,0 +1,169 @@
+//! On-disk layout of the mini file system.
+
+use blockdev::BLOCK_SIZE;
+
+/// Bytes per name-table entry (8 B inode + 1 B length + ≤55 B name).
+pub const NAME_ENTRY_BYTES: usize = 64;
+/// Name entries per block.
+pub const NAMES_PER_BLOCK: usize = BLOCK_SIZE / NAME_ENTRY_BYTES;
+/// Maximum file-name length.
+pub const MAX_NAME_LEN: usize = 55;
+
+/// Disk layout:
+///
+/// ```text
+/// [0]              superblock
+/// [1 .. j]         journal (JBD2 mode only; reserved in all modes)
+/// [j .. n]         name table
+/// [n .. i]         inode table
+/// [i .. b]         block bitmap (covers the data area)
+/// [b .. end]       data blocks
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Geometry {
+    pub total_blocks: u64,
+    pub journal_blocks: u64,
+    pub max_files: u64,
+    pub journal_off: u64,
+    pub name_off: u64,
+    pub name_blocks: u64,
+    pub inode_off: u64,
+    pub inode_blocks: u64,
+    pub bitmap_off: u64,
+    pub bitmap_blocks: u64,
+    pub data_off: u64,
+    pub data_blocks: u64,
+    /// Commit the running transaction once it stages this many blocks
+    /// (JBD2 batches transactions; the paper's Fig. 13 measures thousands
+    /// of blocks per transaction).
+    pub txn_block_limit: usize,
+    /// DRAM page-cache capacity in clean blocks (both stacks get the same
+    /// page cache so DRAM never skews the comparison; the UBJ stack sets 0
+    /// because its buffer cache *is* the NVM).
+    pub dram_cache_blocks: usize,
+}
+
+impl Geometry {
+    /// Computes a layout for `total_blocks`, reserving `journal_blocks` for
+    /// the redo journal and provisioning `max_files` files.
+    pub fn compute(total_blocks: u64, journal_blocks: u64, max_files: u64) -> Geometry {
+        Self::with_txn_limit(total_blocks, journal_blocks, max_files, 128)
+    }
+
+    /// [`Self::compute`] with an explicit transaction batch size.
+    pub fn with_txn_limit(
+        total_blocks: u64,
+        journal_blocks: u64,
+        max_files: u64,
+        txn_block_limit: usize,
+    ) -> Geometry {
+        let journal_off = 1;
+        let name_off = journal_off + journal_blocks;
+        let name_blocks = max_files.div_ceil(NAMES_PER_BLOCK as u64);
+        let inode_off = name_off + name_blocks;
+        let inode_blocks = max_files.div_ceil(crate::INODES_PER_BLOCK as u64);
+        let bitmap_off = inode_off + inode_blocks;
+        // Solve for the bitmap size: each bitmap block maps 32768 data blocks.
+        let remaining = total_blocks
+            .checked_sub(bitmap_off)
+            .expect("disk too small for metadata");
+        let bits_per_block = (BLOCK_SIZE * 8) as u64;
+        let bitmap_blocks = remaining.div_ceil(bits_per_block + 1).max(1);
+        let data_off = bitmap_off + bitmap_blocks;
+        let data_blocks = total_blocks - data_off;
+        assert!(data_blocks > 16, "disk too small: no data area left");
+        Geometry {
+            total_blocks,
+            journal_blocks,
+            max_files,
+            journal_off,
+            name_off,
+            name_blocks,
+            inode_off,
+            inode_blocks,
+            bitmap_off,
+            bitmap_blocks,
+            data_off,
+            data_blocks,
+            txn_block_limit,
+            dram_cache_blocks: 4096,
+        }
+    }
+
+    /// Overrides the DRAM page-cache size.
+    pub fn with_dram_cache(mut self, blocks: usize) -> Geometry {
+        self.dram_cache_blocks = blocks;
+        self
+    }
+
+    /// The block and in-block slot of name entry `slot`.
+    pub fn name_entry_pos(&self, slot: u64) -> (u64, usize) {
+        (
+            self.name_off + slot / NAMES_PER_BLOCK as u64,
+            (slot % NAMES_PER_BLOCK as u64) as usize * NAME_ENTRY_BYTES,
+        )
+    }
+
+    /// The block and in-block slot of inode `ino`.
+    pub fn inode_pos(&self, ino: u64) -> (u64, usize) {
+        let per = crate::INODES_PER_BLOCK as u64;
+        (
+            self.inode_off + ino / per,
+            (ino % per) as usize * crate::inode::INODE_BYTES,
+        )
+    }
+
+    /// The bitmap block and bit index covering data block `b` (an absolute
+    /// disk block in the data area).
+    pub fn bitmap_pos(&self, b: u64) -> (u64, usize) {
+        debug_assert!(b >= self.data_off && b < self.total_blocks);
+        let rel = b - self.data_off;
+        let bits = (BLOCK_SIZE * 8) as u64;
+        (self.bitmap_off + rel / bits, (rel % bits) as usize)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn regions_are_disjoint_and_ordered() {
+        let g = Geometry::compute(1 << 20, 2048, 10_000);
+        assert!(g.journal_off < g.name_off);
+        assert!(g.name_off < g.inode_off);
+        assert!(g.inode_off < g.bitmap_off);
+        assert!(g.bitmap_off < g.data_off);
+        assert_eq!(g.data_off + g.data_blocks, g.total_blocks);
+    }
+
+    #[test]
+    fn bitmap_covers_data_area() {
+        let g = Geometry::compute(1 << 20, 2048, 10_000);
+        let bits = g.bitmap_blocks * (BLOCK_SIZE * 8) as u64;
+        assert!(bits >= g.data_blocks, "bitmap too small");
+        // Last data block maps inside the bitmap region.
+        let (bb, _) = g.bitmap_pos(g.total_blocks - 1);
+        assert!(bb < g.data_off);
+        assert!(bb >= g.bitmap_off);
+    }
+
+    #[test]
+    fn positions_round_trip() {
+        let g = Geometry::compute(1 << 18, 512, 1000);
+        let (b0, o0) = g.name_entry_pos(0);
+        assert_eq!((b0, o0), (g.name_off, 0));
+        let (b1, o1) = g.name_entry_pos(NAMES_PER_BLOCK as u64 + 1);
+        assert_eq!(b1, g.name_off + 1);
+        assert_eq!(o1, NAME_ENTRY_BYTES);
+        let (ib, io) = g.inode_pos(crate::INODES_PER_BLOCK as u64);
+        assert_eq!(ib, g.inode_off + 1);
+        assert_eq!(io, 0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn tiny_disk_panics() {
+        let _ = Geometry::compute(64, 32, 100_000);
+    }
+}

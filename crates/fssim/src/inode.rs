@@ -1,0 +1,152 @@
+//! Inodes: 256 bytes each, direct + indirect + double-indirect pointers.
+
+use blockdev::BLOCK_SIZE;
+
+/// Bytes per on-disk inode.
+pub const INODE_BYTES: usize = 256;
+/// Inodes per 4 KB block.
+pub const INODES_PER_BLOCK: usize = BLOCK_SIZE / INODE_BYTES;
+/// Direct block pointers per inode.
+pub const NDIRECT: usize = 12;
+/// Block pointers per indirect block.
+pub const PTRS_PER_BLOCK: usize = BLOCK_SIZE / 8;
+/// Maximum file size in blocks (≈ 1 GB with 4 KB blocks).
+pub const MAX_FILE_BLOCKS: u64 =
+    NDIRECT as u64 + PTRS_PER_BLOCK as u64 + (PTRS_PER_BLOCK * PTRS_PER_BLOCK) as u64;
+
+/// Sentinel for "no block assigned".
+pub const NO_BLOCK: u64 = 0;
+
+/// An in-memory inode (the decoded form of 256 on-disk bytes).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Inode {
+    pub used: bool,
+    pub size: u64,
+    pub direct: [u64; NDIRECT],
+    pub indirect: u64,
+    pub dindirect: u64,
+}
+
+impl Inode {
+    pub const FREE: Inode = Inode {
+        used: false,
+        size: 0,
+        direct: [NO_BLOCK; NDIRECT],
+        indirect: NO_BLOCK,
+        dindirect: NO_BLOCK,
+    };
+
+    /// Number of blocks `size` bytes occupy.
+    pub fn block_count(&self) -> u64 {
+        self.size.div_ceil(BLOCK_SIZE as u64)
+    }
+
+    pub fn encode(&self) -> [u8; INODE_BYTES] {
+        let mut out = [0u8; INODE_BYTES];
+        out[0] = self.used as u8;
+        out[8..16].copy_from_slice(&self.size.to_le_bytes());
+        for (i, d) in self.direct.iter().enumerate() {
+            out[16 + i * 8..24 + i * 8].copy_from_slice(&d.to_le_bytes());
+        }
+        let base = 16 + NDIRECT * 8;
+        out[base..base + 8].copy_from_slice(&self.indirect.to_le_bytes());
+        out[base + 8..base + 16].copy_from_slice(&self.dindirect.to_le_bytes());
+        out
+    }
+
+    pub fn decode(raw: &[u8]) -> Inode {
+        let mut ino = Inode::FREE;
+        ino.used = raw[0] != 0;
+        ino.size = u64::from_le_bytes(raw[8..16].try_into().unwrap());
+        for i in 0..NDIRECT {
+            ino.direct[i] = u64::from_le_bytes(raw[16 + i * 8..24 + i * 8].try_into().unwrap());
+        }
+        let base = 16 + NDIRECT * 8;
+        ino.indirect = u64::from_le_bytes(raw[base..base + 8].try_into().unwrap());
+        ino.dindirect = u64::from_le_bytes(raw[base + 8..base + 16].try_into().unwrap());
+        ino
+    }
+}
+
+/// Classification of a file-block index into the pointer hierarchy.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BlockPath {
+    Direct(usize),
+    /// `(slot in indirect block)`
+    Indirect(usize),
+    /// `(slot in dindirect block, slot in second-level block)`
+    DoubleIndirect(usize, usize),
+}
+
+/// Maps file block index `fb` to its pointer location.
+pub fn classify(fb: u64) -> Option<BlockPath> {
+    if fb < NDIRECT as u64 {
+        return Some(BlockPath::Direct(fb as usize));
+    }
+    let fb = fb - NDIRECT as u64;
+    if fb < PTRS_PER_BLOCK as u64 {
+        return Some(BlockPath::Indirect(fb as usize));
+    }
+    let fb = fb - PTRS_PER_BLOCK as u64;
+    if fb < (PTRS_PER_BLOCK * PTRS_PER_BLOCK) as u64 {
+        return Some(BlockPath::DoubleIndirect(
+            (fb / PTRS_PER_BLOCK as u64) as usize,
+            (fb % PTRS_PER_BLOCK as u64) as usize,
+        ));
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn encode_decode_round_trip() {
+        let mut ino = Inode::FREE;
+        ino.used = true;
+        ino.size = 123_456_789;
+        ino.direct[0] = 42;
+        ino.direct[11] = 99;
+        ino.indirect = 1000;
+        ino.dindirect = 2000;
+        assert_eq!(Inode::decode(&ino.encode()), ino);
+    }
+
+    #[test]
+    fn free_inode_is_zeroes() {
+        assert!(Inode::FREE.encode().iter().all(|&b| b == 0));
+        assert_eq!(Inode::decode(&[0u8; INODE_BYTES]), Inode::FREE);
+    }
+
+    #[test]
+    fn block_count_rounds_up() {
+        let mut ino = Inode::FREE;
+        ino.size = 1;
+        assert_eq!(ino.block_count(), 1);
+        ino.size = BLOCK_SIZE as u64;
+        assert_eq!(ino.block_count(), 1);
+        ino.size = BLOCK_SIZE as u64 + 1;
+        assert_eq!(ino.block_count(), 2);
+    }
+
+    #[test]
+    fn classify_boundaries() {
+        assert_eq!(classify(0), Some(BlockPath::Direct(0)));
+        assert_eq!(classify(11), Some(BlockPath::Direct(11)));
+        assert_eq!(classify(12), Some(BlockPath::Indirect(0)));
+        assert_eq!(classify(12 + 511), Some(BlockPath::Indirect(511)));
+        assert_eq!(classify(12 + 512), Some(BlockPath::DoubleIndirect(0, 0)));
+        assert_eq!(
+            classify(12 + 512 + 512 * 512 - 1),
+            Some(BlockPath::DoubleIndirect(511, 511))
+        );
+        assert_eq!(classify(MAX_FILE_BLOCKS), None);
+    }
+
+    #[test]
+    fn max_file_is_about_a_gigabyte() {
+        let bytes = MAX_FILE_BLOCKS * BLOCK_SIZE as u64;
+        assert!(bytes > 1 << 30);
+    }
+}

@@ -1,0 +1,733 @@
+//! The NVM device: a persistent image plus a volatile CPU-cache overlay.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::line::{FlushRecord, LineBuf, CACHE_LINE, WORDS_PER_LINE, WORD_SIZE};
+use crate::{NvmConfig, NvmStats, SimClock, WearSummary};
+
+/// Panic payload thrown when an armed crash trip fires (see
+/// [`NvmDevice::set_trip`]). `crashsim` catches this with `catch_unwind`
+/// to emulate a power failure at an exact persistence event.
+#[derive(Clone, Copy, Debug)]
+pub struct CrashTripped {
+    /// The persistence-event ordinal at which the trip fired.
+    pub event: u64,
+}
+
+/// How a simulated crash treats data that has not been fenced to NVM.
+#[derive(Clone, Copy, Debug)]
+pub enum CrashPolicy {
+    /// Everything volatile is lost: un-fenced flushes and dirty lines drop.
+    /// The most adversarial *ordered* outcome.
+    LoseVolatile,
+    /// Everything reaches NVM: flushed epochs and dirty lines all persist.
+    PersistAll,
+    /// Each dirty word / atomic unit independently persists or drops,
+    /// decided by an RNG with the given seed. Models write-back reordering
+    /// between fences plus spontaneous cache eviction.
+    Random(u64),
+}
+
+struct State {
+    persistent: Vec<u8>,
+    overlay: HashMap<usize, LineBuf>,
+    epoch: Vec<FlushRecord>,
+    stats: NvmStats,
+    /// Media writes per cache line (endurance accounting — the paper's
+    /// lifetime argument for avoiding double writes, §1/§3.1).
+    wear: Vec<u32>,
+    events: u64,
+    trip_at: Option<u64>,
+}
+
+/// Cloneable handle to an [`NvmDevice`].
+pub type Nvm = Arc<NvmDevice>;
+
+/// A simulated byte-addressable NVM device.
+///
+/// All methods take `&self`; the device is internally synchronised and is
+/// shared between the cache layer, the recovery code, and crash-injection
+/// harnesses via [`Nvm`] (an `Arc`).
+pub struct NvmDevice {
+    cfg: NvmConfig,
+    clock: SimClock,
+    state: Mutex<State>,
+}
+
+impl NvmDevice {
+    /// Creates a zero-initialised device and returns a shared handle.
+    pub fn new(cfg: NvmConfig, clock: SimClock) -> Nvm {
+        let persistent = vec![0u8; cfg.capacity];
+        let lines = cfg.capacity / CACHE_LINE;
+        Arc::new(Self {
+            cfg,
+            clock,
+            state: Mutex::new(State {
+                persistent,
+                overlay: HashMap::new(),
+                epoch: Vec::new(),
+                stats: NvmStats::default(),
+                wear: vec![0; lines],
+                events: 0,
+                trip_at: None,
+            }),
+        })
+    }
+
+    /// Device capacity in bytes.
+    pub fn capacity(&self) -> usize {
+        self.cfg.capacity
+    }
+
+    /// The device's configuration.
+    pub fn config(&self) -> &NvmConfig {
+        &self.cfg
+    }
+
+    /// The simulated clock this device charges latency against.
+    pub fn clock(&self) -> &SimClock {
+        &self.clock
+    }
+
+    /// Snapshot of the cumulative counters.
+    pub fn stats(&self) -> NvmStats {
+        self.state.lock().stats
+    }
+
+    /// Arms a crash trip: after `events_from_now` more persistence events
+    /// (`clflush`, `sfence`, or atomic store), the device panics with
+    /// [`CrashTripped`]. `None` disarms.
+    pub fn set_trip(&self, events_from_now: Option<u64>) {
+        let mut st = self.state.lock();
+        st.trip_at = events_from_now.map(|n| st.events + n);
+    }
+
+    /// Total persistence events so far (used to size crash-fuzz sweeps).
+    pub fn events(&self) -> u64 {
+        self.state.lock().events
+    }
+
+    fn check_range(&self, addr: usize, len: usize) {
+        assert!(
+            addr.checked_add(len).is_some_and(|end| end <= self.cfg.capacity),
+            "NVM access out of range: addr={addr} len={len} cap={}",
+            self.cfg.capacity
+        );
+    }
+
+    /// Plain stores of `buf` at `addr`. Lands in the volatile overlay; not
+    /// durable until flushed and fenced.
+    pub fn write(&self, addr: usize, buf: &[u8]) {
+        self.check_range(addr, buf.len());
+        if buf.is_empty() {
+            return;
+        }
+        let mut st = self.state.lock();
+        let mut pos = 0usize;
+        let mut lines = 0u64;
+        while pos < buf.len() {
+            let a = addr + pos;
+            let line = a / CACHE_LINE;
+            let off = a % CACHE_LINE;
+            let n = (CACHE_LINE - off).min(buf.len() - pos);
+            let lb = overlay_line(&mut st, line);
+            lb.data[off..off + n].copy_from_slice(&buf[pos..pos + n]);
+            let first_w = off / WORD_SIZE;
+            let last_w = (off + n - 1) / WORD_SIZE;
+            lb.mark_dirty_words(first_w, last_w);
+            pos += n;
+            lines += 1;
+        }
+        st.stats.bytes_stored += buf.len() as u64;
+        self.clock.advance(self.cfg.store_ns * lines);
+    }
+
+    /// Reads `buf.len()` bytes at `addr`, seeing the newest (possibly
+    /// volatile) data, as a CPU load would.
+    pub fn read(&self, addr: usize, buf: &mut [u8]) {
+        self.check_range(addr, buf.len());
+        if buf.is_empty() {
+            return;
+        }
+        let mut st = self.state.lock();
+        let mut pos = 0usize;
+        let mut media_lines = 0u64;
+        let mut cached_lines = 0u64;
+        while pos < buf.len() {
+            let a = addr + pos;
+            let line = a / CACHE_LINE;
+            let off = a % CACHE_LINE;
+            let n = (CACHE_LINE - off).min(buf.len() - pos);
+            if let Some(lb) = st.overlay.get(&line) {
+                buf[pos..pos + n].copy_from_slice(&lb.data[off..off + n]);
+                cached_lines += 1;
+            } else {
+                let base = line * CACHE_LINE;
+                buf[pos..pos + n].copy_from_slice(&st.persistent[base + off..base + off + n]);
+                media_lines += 1;
+            }
+            pos += n;
+        }
+        st.stats.bytes_read += buf.len() as u64;
+        st.stats.lines_read += media_lines;
+        self.clock
+            .advance(self.cfg.tech.read_ns() * media_lines + self.cfg.store_ns * cached_lines);
+    }
+
+    /// 8-byte failure-atomic store (plain `mov` of an aligned u64).
+    pub fn atomic_write_u64(&self, addr: usize, value: u64) {
+        assert!(addr % 8 == 0, "atomic u64 store must be 8-byte aligned");
+        self.check_range(addr, 8);
+        let mut st = self.state.lock();
+        let line = addr / CACHE_LINE;
+        let off = addr % CACHE_LINE;
+        let lb = overlay_line(&mut st, line);
+        lb.data[off..off + 8].copy_from_slice(&value.to_le_bytes());
+        let w = off / WORD_SIZE;
+        lb.mark_dirty_words(w, w);
+        st.stats.atomic_stores += 1;
+        st.stats.bytes_stored += 8;
+        self.clock.advance(self.cfg.atomic_store_ns);
+        self.bump_event(st);
+    }
+
+    /// 16-byte failure-atomic store (`LOCK cmpxchg16b`, §4.2 of the paper).
+    /// The two words persist all-or-nothing across a crash.
+    pub fn atomic_write_u128(&self, addr: usize, value: u128) {
+        assert!(addr % 16 == 0, "atomic u128 store must be 16-byte aligned");
+        self.check_range(addr, 16);
+        let mut st = self.state.lock();
+        let line = addr / CACHE_LINE;
+        let off = addr % CACHE_LINE;
+        let lb = overlay_line(&mut st, line);
+        lb.data[off..off + 16].copy_from_slice(&value.to_le_bytes());
+        lb.mark_atomic_pair(off / WORD_SIZE);
+        st.stats.atomic_stores += 1;
+        st.stats.bytes_stored += 16;
+        self.clock.advance(self.cfg.atomic_store_ns);
+        self.bump_event(st);
+    }
+
+    /// Convenience aligned u64 load.
+    pub fn read_u64(&self, addr: usize) -> u64 {
+        let mut b = [0u8; 8];
+        self.read(addr, &mut b);
+        u64::from_le_bytes(b)
+    }
+
+    /// Convenience aligned u128 load.
+    pub fn read_u128(&self, addr: usize) -> u128 {
+        let mut b = [0u8; 16];
+        self.read(addr, &mut b);
+        u128::from_le_bytes(b)
+    }
+
+    /// Executes `clflush` for every cache line overlapping `[addr, addr+len)`.
+    /// Flushed data is ordered/durable only after the next [`Self::sfence`].
+    pub fn clflush(&self, addr: usize, len: usize) {
+        if len == 0 {
+            return;
+        }
+        self.check_range(addr, len);
+        let first = addr / CACHE_LINE;
+        let last = (addr + len - 1) / CACHE_LINE;
+        let mut st = self.state.lock();
+        for line in first..=last {
+            st.stats.clflush += 1;
+            let rec = match st.overlay.get_mut(&line) {
+                Some(lb) if !lb.is_clean() => {
+                    let rec = FlushRecord {
+                        line,
+                        data: lb.data,
+                        dirty: lb.dirty,
+                        pair_lead: lb.pair_lead,
+                    };
+                    lb.dirty = 0;
+                    lb.pair_lead = 0;
+                    Some(rec)
+                }
+                _ => None,
+            };
+            if let Some(rec) = rec {
+                st.epoch.push(rec);
+                st.stats.lines_written += 1;
+                st.wear[line] += 1;
+                self.clock.advance(self.cfg.flush_dirty_ns());
+            } else {
+                self.clock.advance(self.cfg.clflush_clean_ns);
+            }
+            if let Some(event) = bump_event(&mut st) {
+                drop(st);
+                std::panic::panic_any(CrashTripped { event });
+            }
+        }
+    }
+
+    /// Executes `sfence`: all previously flushed lines become durable, in
+    /// order, before any later store may persist.
+    pub fn sfence(&self) {
+        let mut st = self.state.lock();
+        let epoch = std::mem::take(&mut st.epoch);
+        for rec in epoch {
+            apply_record(&mut st.persistent, &rec, u8::MAX);
+        }
+        // With an invalidating flush (clflush/clflushopt) the written-back
+        // lines leave the CPU cache: drop the clean overlay copies (this
+        // also bounds overlay memory). `clwb` keeps them cached, so later
+        // reads stay at cache speed.
+        if self.cfg.flush_instr.invalidates() {
+            st.overlay.retain(|_, lb| !lb.is_clean());
+        }
+        st.stats.sfence += 1;
+        self.clock.advance(self.cfg.sfence_ns);
+        self.bump_event(st);
+    }
+
+    /// `clflush` the range then `sfence` — the paper's standard persist
+    /// sequence for a store.
+    pub fn persist(&self, addr: usize, len: usize) {
+        self.clflush(addr, len);
+        self.sfence();
+    }
+
+    /// Simulates a power failure. Volatile state is resolved according to
+    /// `policy`, then discarded; the device keeps running on the surviving
+    /// persistent image (as after a reboot). Any armed trip is cleared.
+    pub fn crash(&self, policy: CrashPolicy) {
+        let mut st = self.state.lock();
+        match policy {
+            CrashPolicy::LoseVolatile => {}
+            CrashPolicy::PersistAll => {
+                let epoch = std::mem::take(&mut st.epoch);
+                for rec in epoch {
+                    apply_record(&mut st.persistent, &rec, u8::MAX);
+                }
+                let mut lines: Vec<usize> = st.overlay.keys().copied().collect();
+                lines.sort_unstable();
+                for line in lines {
+                    let lb = st.overlay[&line].clone();
+                    if !lb.is_clean() {
+                        let rec = FlushRecord {
+                            line,
+                            data: lb.data,
+                            dirty: lb.dirty,
+                            pair_lead: lb.pair_lead,
+                        };
+                        apply_record(&mut st.persistent, &rec, u8::MAX);
+                    }
+                }
+            }
+            CrashPolicy::Random(seed) => {
+                let mut rng = StdRng::seed_from_u64(seed);
+                let epoch = std::mem::take(&mut st.epoch);
+                for rec in epoch {
+                    let keep = random_keep_mask(&mut rng, &rec);
+                    apply_record(&mut st.persistent, &rec, keep);
+                }
+                let mut lines: Vec<usize> = st.overlay.keys().copied().collect();
+                lines.sort_unstable();
+                for line in lines {
+                    let lb = st.overlay[&line].clone();
+                    if lb.is_clean() {
+                        continue;
+                    }
+                    let rec = FlushRecord {
+                        line,
+                        data: lb.data,
+                        dirty: lb.dirty,
+                        pair_lead: lb.pair_lead,
+                    };
+                    let keep = random_keep_mask(&mut rng, &rec);
+                    apply_record(&mut st.persistent, &rec, keep);
+                }
+            }
+        }
+        st.overlay.clear();
+        st.epoch.clear();
+        st.trip_at = None;
+    }
+
+    /// Endurance summary: media writes per line across the device.
+    pub fn wear_summary(&self) -> WearSummary {
+        let st = self.state.lock();
+        let mut max = 0u32;
+        let mut hottest = 0usize;
+        let mut touched = 0u64;
+        let mut total = 0u64;
+        for (i, &w) in st.wear.iter().enumerate() {
+            total += w as u64;
+            if w > 0 {
+                touched += 1;
+            }
+            if w > max {
+                max = w;
+                hottest = i;
+            }
+        }
+        WearSummary {
+            total_line_writes: total,
+            max_line_writes: max,
+            hottest_line_addr: hottest * CACHE_LINE,
+            lines_touched: touched,
+            lines_total: st.wear.len() as u64,
+        }
+    }
+
+    /// Media writes so far to the line containing `addr`.
+    pub fn wear_of(&self, addr: usize) -> u32 {
+        self.state.lock().wear[addr / CACHE_LINE]
+    }
+
+    /// Endurance summary restricted to `[addr_lo, addr_hi)` — e.g. a
+    /// cache's payload area, excluding its pointer/metadata hotspots.
+    pub fn wear_summary_range(&self, addr_lo: usize, addr_hi: usize) -> WearSummary {
+        let st = self.state.lock();
+        let lo = addr_lo / CACHE_LINE;
+        let hi = (addr_hi / CACHE_LINE).min(st.wear.len());
+        let mut max = 0u32;
+        let mut hottest = lo;
+        let mut touched = 0u64;
+        let mut total = 0u64;
+        for i in lo..hi {
+            let w = st.wear[i];
+            total += w as u64;
+            if w > 0 {
+                touched += 1;
+            }
+            if w > max {
+                max = w;
+                hottest = i;
+            }
+        }
+        WearSummary {
+            total_line_writes: total,
+            max_line_writes: max,
+            hottest_line_addr: hottest * CACHE_LINE,
+            lines_touched: touched,
+            lines_total: (hi - lo) as u64,
+        }
+    }
+
+    /// Reads directly from the persistent image, bypassing the overlay —
+    /// what a post-crash reboot would observe. Intended for tests and
+    /// recovery verification.
+    pub fn read_persistent(&self, addr: usize, buf: &mut [u8]) {
+        self.check_range(addr, buf.len());
+        let st = self.state.lock();
+        buf.copy_from_slice(&st.persistent[addr..addr + buf.len()]);
+    }
+
+    fn bump_event(&self, st: parking_lot::MutexGuard<'_, State>) {
+        let mut st = st;
+        if let Some(event) = bump_event(&mut st) {
+            drop(st);
+            std::panic::panic_any(CrashTripped { event });
+        }
+    }
+}
+
+/// Increments the persistence-event counter; returns `Some(event)` if an
+/// armed trip fired (the caller must drop the lock and panic).
+fn bump_event(st: &mut State) -> Option<u64> {
+    st.events += 1;
+    match st.trip_at {
+        Some(t) if st.events >= t => Some(st.events),
+        _ => None,
+    }
+}
+
+fn overlay_line(st: &mut State, line: usize) -> &mut LineBuf {
+    if !st.overlay.contains_key(&line) {
+        let base = line * CACHE_LINE;
+        let mut data = [0u8; CACHE_LINE];
+        data.copy_from_slice(&st.persistent[base..base + CACHE_LINE]);
+        st.overlay.insert(line, LineBuf::clean(data));
+    }
+    st.overlay.get_mut(&line).unwrap()
+}
+
+/// Applies the words of `rec` selected by `keep & rec.dirty` to the image.
+fn apply_record(persistent: &mut [u8], rec: &FlushRecord, keep: u8) {
+    let base = rec.line * CACHE_LINE;
+    let mask = rec.dirty & keep;
+    for w in 0..WORDS_PER_LINE {
+        if mask & (1 << w) != 0 {
+            let o = w * WORD_SIZE;
+            persistent[base + o..base + o + WORD_SIZE].copy_from_slice(&rec.data[o..o + WORD_SIZE]);
+        }
+    }
+}
+
+/// Chooses, per dirty word, whether it persists — honouring 16-byte atomic
+/// pairs (both words share one coin flip).
+fn random_keep_mask(rng: &mut StdRng, rec: &FlushRecord) -> u8 {
+    let mut keep = 0u8;
+    let mut w = 0;
+    while w < WORDS_PER_LINE {
+        let bit = 1u8 << w;
+        if rec.dirty & bit == 0 {
+            w += 1;
+            continue;
+        }
+        if rec.pair_lead & bit != 0 {
+            if rng.gen::<bool>() {
+                keep |= bit | (bit << 1);
+            }
+            w += 2;
+        } else {
+            if rng.gen::<bool>() {
+                keep |= bit;
+            }
+            w += 1;
+        }
+    }
+    keep
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::NvmTech;
+
+    fn dev() -> Nvm {
+        NvmDevice::new(NvmConfig::new(4096, NvmTech::Pcm), SimClock::new())
+    }
+
+    #[test]
+    fn read_your_writes_before_flush() {
+        let d = dev();
+        d.write(100, b"hello");
+        let mut b = [0u8; 5];
+        d.read(100, &mut b);
+        assert_eq!(&b, b"hello");
+    }
+
+    #[test]
+    fn unflushed_write_lost_on_crash() {
+        let d = dev();
+        d.write(0, &[0xAA; 64]);
+        d.crash(CrashPolicy::LoseVolatile);
+        let mut b = [0u8; 64];
+        d.read(0, &mut b);
+        assert_eq!(b, [0u8; 64]);
+    }
+
+    #[test]
+    fn flushed_but_unfenced_write_lost_under_lose_volatile() {
+        let d = dev();
+        d.write(0, &[0xAA; 64]);
+        d.clflush(0, 64);
+        d.crash(CrashPolicy::LoseVolatile);
+        let mut b = [0u8; 64];
+        d.read(0, &mut b);
+        assert_eq!(b, [0u8; 64]);
+    }
+
+    #[test]
+    fn fenced_write_survives_any_crash() {
+        for policy in [CrashPolicy::LoseVolatile, CrashPolicy::PersistAll, CrashPolicy::Random(7)] {
+            let d = dev();
+            d.write(0, &[0xAB; 64]);
+            d.persist(0, 64);
+            d.crash(policy);
+            let mut b = [0u8; 64];
+            d.read(0, &mut b);
+            assert_eq!(b, [0xAB; 64]);
+        }
+    }
+
+    #[test]
+    fn persist_all_keeps_unflushed_stores() {
+        let d = dev();
+        d.write(128, &[0x11; 8]);
+        d.crash(CrashPolicy::PersistAll);
+        assert_eq!(d.read_u64(128), u64::from_le_bytes([0x11; 8]));
+    }
+
+    #[test]
+    fn atomic_u128_never_tears() {
+        let old: u128 = 0x1111_1111_1111_1111_2222_2222_2222_2222;
+        let new: u128 = 0x3333_3333_3333_3333_4444_4444_4444_4444;
+        for seed in 0..64 {
+            let d = dev();
+            d.write(0, &old.to_le_bytes());
+            d.persist(0, 16);
+            d.atomic_write_u128(0, new);
+            d.clflush(0, 16);
+            // Crash before the fence: the store may or may not persist,
+            // but must never be half-applied.
+            d.crash(CrashPolicy::Random(seed));
+            let got = d.read_u128(0);
+            assert!(got == old || got == new, "torn 16B atomic: {got:#x} (seed {seed})");
+        }
+    }
+
+    #[test]
+    fn plain_16_byte_write_can_tear() {
+        let old = [0u8; 16];
+        let new = [0xFFu8; 16];
+        let mut torn = false;
+        for seed in 0..256 {
+            let d = dev();
+            d.write(0, &old);
+            d.persist(0, 16);
+            d.write(0, &new);
+            d.clflush(0, 16);
+            d.crash(CrashPolicy::Random(seed));
+            let mut got = [0u8; 16];
+            d.read(0, &mut got);
+            if got != old && got != new {
+                torn = true;
+                break;
+            }
+        }
+        assert!(torn, "expected some seed to tear a plain 16B write");
+    }
+
+    #[test]
+    fn fence_orders_epochs() {
+        // Epoch 1 is fenced, epoch 2 is not: after an adversarial crash the
+        // first write must survive even though the second is lost.
+        let d = dev();
+        d.write(0, &[1u8; 8]);
+        d.persist(0, 8);
+        d.write(64, &[2u8; 8]);
+        d.clflush(64, 8);
+        d.crash(CrashPolicy::LoseVolatile);
+        assert_eq!(d.read_u64(0), u64::from_le_bytes([1; 8]));
+        assert_eq!(d.read_u64(64), 0);
+    }
+
+    #[test]
+    fn rewrite_after_flush_keeps_flushed_version_on_fence() {
+        let d = dev();
+        d.write(0, &[1u8; 8]);
+        d.clflush(0, 8);
+        d.write(0, &[2u8; 8]); // dirty again, newer value volatile
+        d.sfence(); // applies the flushed snapshot (value 1)
+        d.crash(CrashPolicy::LoseVolatile);
+        assert_eq!(d.read_u64(0), u64::from_le_bytes([1; 8]));
+    }
+
+    #[test]
+    fn stats_count_flushes_and_fences() {
+        let d = dev();
+        d.write(0, &[7u8; 256]);
+        d.clflush(0, 256); // 4 lines, all dirty
+        d.sfence();
+        d.clflush(0, 256); // 4 lines, now clean
+        let s = d.stats();
+        assert_eq!(s.clflush, 8);
+        assert_eq!(s.lines_written, 4);
+        assert_eq!(s.sfence, 1);
+        assert_eq!(s.bytes_stored, 256);
+    }
+
+    #[test]
+    fn clean_flush_is_cheaper() {
+        let d = dev();
+        d.write(0, &[1u8; 64]);
+        let t0 = d.clock().now_ns();
+        d.clflush(0, 64);
+        let dirty_cost = d.clock().now_ns() - t0;
+        d.sfence();
+        let t1 = d.clock().now_ns();
+        d.clflush(0, 64);
+        let clean_cost = d.clock().now_ns() - t1;
+        assert!(dirty_cost > clean_cost);
+    }
+
+    #[test]
+    fn trip_fires_at_exact_event() {
+        let d = dev();
+        d.write(0, &[1u8; 64]);
+        d.set_trip(Some(2)); // 1st event: clflush below; 2nd: sfence
+        d.clflush(0, 64);
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| d.sfence()));
+        let err = r.expect_err("trip should fire");
+        let t = err.downcast_ref::<CrashTripped>().expect("payload type");
+        assert_eq!(t.event, 2);
+        // Events fire after the instruction takes effect, so the fence has
+        // already made the write durable; the device stays usable.
+        d.crash(CrashPolicy::LoseVolatile);
+        assert_eq!(d.read_u64(0), u64::from_le_bytes([1; 8]));
+    }
+
+    #[test]
+    fn read_persistent_bypasses_overlay() {
+        let d = dev();
+        d.write(0, &[9u8; 8]);
+        let mut b = [1u8; 8];
+        d.read_persistent(0, &mut b);
+        assert_eq!(b, [0u8; 8]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_write_panics() {
+        let d = dev();
+        d.write(4090, &[0u8; 16]);
+    }
+
+    #[test]
+    fn wear_counts_media_writes_per_line() {
+        let d = dev();
+        d.write(0, &[1u8; 64]);
+        d.persist(0, 64);
+        d.write(0, &[2u8; 64]);
+        d.persist(0, 64);
+        d.write(128, &[3u8; 64]);
+        d.persist(128, 64);
+        assert_eq!(d.wear_of(0), 2);
+        assert_eq!(d.wear_of(130), 1);
+        assert_eq!(d.wear_of(64), 0);
+        let w = d.wear_summary();
+        assert_eq!(w.total_line_writes, 3);
+        assert_eq!(w.max_line_writes, 2);
+        assert_eq!(w.hottest_line_addr, 0);
+        assert_eq!(w.lines_touched, 2);
+    }
+
+    #[test]
+    fn clwb_keeps_lines_cached_for_fast_rereads() {
+        use crate::FlushInstr;
+        let mk = |instr: FlushInstr| {
+            let cfg = NvmConfig::new(4096, NvmTech::Pcm).with_flush_instr(instr);
+            NvmDevice::new(cfg, SimClock::new())
+        };
+        // clflush: after persist, the re-read pays media latency.
+        let d = mk(FlushInstr::Clflush);
+        d.write(0, &[1u8; 64]);
+        d.persist(0, 64);
+        let r0 = d.stats().lines_read;
+        let mut b = [0u8; 64];
+        d.read(0, &mut b);
+        assert_eq!(d.stats().lines_read - r0, 1, "clflush evicts → media read");
+        // clwb: the line stays cached.
+        let d = mk(FlushInstr::Clwb);
+        d.write(0, &[1u8; 64]);
+        d.persist(0, 64);
+        let r0 = d.stats().lines_read;
+        d.read(0, &mut b);
+        assert_eq!(d.stats().lines_read - r0, 0, "clwb retains → cache read");
+        // Durability is identical.
+        d.crash(CrashPolicy::LoseVolatile);
+        d.read(0, &mut b);
+        assert_eq!(b, [1u8; 64]);
+    }
+
+    #[test]
+    fn clock_charges_media_latency_on_flush() {
+        let d = dev();
+        d.write(0, &[1u8; 64]);
+        let t0 = d.clock().now_ns();
+        d.clflush(0, 64);
+        // PCM write = 240ns + 40ns overhead
+        assert_eq!(d.clock().now_ns() - t0, 280);
+    }
+}

@@ -1,0 +1,195 @@
+//! Property tests of the NVM crash model: the invariants every layer
+//! above relies on, under arbitrary store/flush/fence interleavings.
+
+use nvmsim::{CrashPolicy, NvmConfig, NvmDevice, NvmTech, SimClock};
+use proptest::prelude::*;
+
+const CAP: usize = 8192;
+
+#[derive(Clone, Debug)]
+enum Op {
+    Write { addr: u16, len: u8, fill: u8 },
+    Atomic8 { word: u16, val: u64 },
+    Atomic16 { pair: u16, val: u128 },
+    Flush { addr: u16, len: u8 },
+    Fence,
+}
+
+fn ops() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        4 => (0u16..(CAP as u16 - 255), 1u8..=255, any::<u8>())
+            .prop_map(|(addr, len, fill)| Op::Write { addr, len, fill }),
+        2 => (0u16..(CAP / 8) as u16, any::<u64>()).prop_map(|(word, val)| Op::Atomic8 { word, val }),
+        2 => (0u16..(CAP / 16) as u16, any::<u128>())
+            .prop_map(|(pair, val)| Op::Atomic16 { pair, val }),
+        3 => (0u16..(CAP as u16 - 255), 1u8..=255).prop_map(|(addr, len)| Op::Flush { addr, len }),
+        2 => Just(Op::Fence),
+    ]
+}
+
+/// A byte-granular shadow model of the persistence semantics.
+struct Shadow {
+    /// Guaranteed-durable contents (as of the last applicable fence).
+    durable: Vec<u8>,
+    /// Volatile view (what reads must return pre-crash).
+    volatile: Vec<u8>,
+    /// Stored since last flush (not yet staged).
+    dirty: Vec<bool>,
+    /// Flushed but not yet fenced: *all* snapshots taken since the last
+    /// fence, oldest first (two un-fenced flushes of one line can leave
+    /// either snapshot on the medium after a crash).
+    staged: Vec<Vec<u8>>,
+}
+
+impl Shadow {
+    fn new() -> Shadow {
+        Shadow {
+            durable: vec![0; CAP],
+            volatile: vec![0; CAP],
+            dirty: vec![false; CAP],
+            staged: vec![Vec::new(); CAP],
+        }
+    }
+
+    fn write(&mut self, addr: usize, data: &[u8]) {
+        for (i, &b) in data.iter().enumerate() {
+            self.volatile[addr + i] = b;
+            self.dirty[addr + i] = true;
+        }
+    }
+
+    fn flush(&mut self, addr: usize, len: usize) {
+        // Whole cache lines are staged, snapshotting flush-time contents.
+        let first = addr / 64 * 64;
+        let last = (addr + len - 1) / 64 * 64 + 64;
+        for i in first..last.min(CAP) {
+            if self.dirty[i] {
+                self.dirty[i] = false;
+                let v = self.volatile[i];
+                self.staged[i].push(v);
+            }
+        }
+    }
+
+    fn fence(&mut self) {
+        for i in 0..CAP {
+            if let Some(&v) = self.staged[i].last() {
+                self.durable[i] = v;
+                self.staged[i].clear();
+            }
+        }
+    }
+
+    /// True if a crash can only leave the durable value at byte `i`.
+    fn guaranteed(&self, i: usize) -> bool {
+        !self.dirty[i] && self.staged[i].is_empty() && self.durable[i] == self.volatile[i]
+    }
+
+    /// The set of values byte `i` may legally hold after a crash.
+    fn legal(&self, i: usize) -> Vec<u8> {
+        let mut v = vec![self.durable[i], self.volatile[i]];
+        v.extend_from_slice(&self.staged[i]);
+        v
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    /// (1) Reads always see the newest data. (2) After a crash, every
+    /// store that was flushed + fenced reads back exactly; every byte
+    /// reads as either its durable or its newest volatile value — never
+    /// anything else.
+    #[test]
+    fn crash_preserves_fenced_prefix(seq in proptest::collection::vec(ops(), 1..80), seed in any::<u64>()) {
+        let dev = NvmDevice::new(NvmConfig::new(CAP, NvmTech::Pcm), SimClock::new());
+        let mut shadow = Shadow::new();
+        for op in &seq {
+            match *op {
+                Op::Write { addr, len, fill } => {
+                    let data = vec![fill; len as usize];
+                    dev.write(addr as usize, &data);
+                    shadow.write(addr as usize, &data);
+                }
+                Op::Atomic8 { word, val } => {
+                    let addr = word as usize * 8;
+                    dev.atomic_write_u64(addr, val);
+                    shadow.write(addr, &val.to_le_bytes());
+                }
+                Op::Atomic16 { pair, val } => {
+                    let addr = pair as usize * 16;
+                    dev.atomic_write_u128(addr, val);
+                    shadow.write(addr, &val.to_le_bytes());
+                }
+                Op::Flush { addr, len } => {
+                    dev.clflush(addr as usize, len as usize);
+                    shadow.flush(addr as usize, len as usize);
+                }
+                Op::Fence => {
+                    dev.sfence();
+                    shadow.fence();
+                }
+            }
+        }
+        // Pre-crash: reads see the newest data everywhere.
+        let mut pre = vec![0u8; CAP];
+        dev.read(0, &mut pre);
+        prop_assert_eq!(&pre, &shadow.volatile, "pre-crash read mismatch");
+
+        dev.crash(CrashPolicy::Random(seed));
+        let mut post = vec![0u8; CAP];
+        dev.read(0, &mut post);
+        for i in 0..CAP {
+            if shadow.guaranteed(i) {
+                prop_assert_eq!(
+                    post[i], shadow.durable[i],
+                    "guaranteed-durable byte {} lost", i
+                );
+            } else {
+                // May be the durable, staged, or newest value — never
+                // anything else.
+                prop_assert!(
+                    shadow.legal(i).contains(&post[i]),
+                    "byte {} holds {} which is none of {:?}",
+                    i, post[i], shadow.legal(i)
+                );
+            }
+        }
+    }
+
+    /// LoseVolatile is the floor: exactly the fenced state survives.
+    #[test]
+    fn lose_volatile_yields_exact_fenced_state(seq in proptest::collection::vec(ops(), 1..60)) {
+        let dev = NvmDevice::new(NvmConfig::new(CAP, NvmTech::Pcm), SimClock::new());
+        let mut shadow = Shadow::new();
+        for op in &seq {
+            match *op {
+                Op::Write { addr, len, fill } => {
+                    let data = vec![fill; len as usize];
+                    dev.write(addr as usize, &data);
+                    shadow.write(addr as usize, &data);
+                }
+                Op::Atomic8 { word, val } => {
+                    dev.atomic_write_u64(word as usize * 8, val);
+                    shadow.write(word as usize * 8, &val.to_le_bytes());
+                }
+                Op::Atomic16 { pair, val } => {
+                    dev.atomic_write_u128(pair as usize * 16, val);
+                    shadow.write(pair as usize * 16, &val.to_le_bytes());
+                }
+                Op::Flush { addr, len } => {
+                    dev.clflush(addr as usize, len as usize);
+                    shadow.flush(addr as usize, len as usize);
+                }
+                Op::Fence => {
+                    dev.sfence();
+                    shadow.fence();
+                }
+            }
+        }
+        dev.crash(CrashPolicy::LoseVolatile);
+        let mut post = vec![0u8; CAP];
+        dev.read(0, &mut post);
+        prop_assert_eq!(&post, &shadow.durable);
+    }
+}

@@ -1,0 +1,28 @@
+//! UBJ configuration.
+
+/// Tuning for [`crate::UbjCache`].
+#[derive(Clone, Debug)]
+pub struct UbjConfig {
+    /// Checkpoint when free NVM blocks drop below this fraction (per
+    /// mill): UBJ checkpoints to free space, not continuously.
+    pub checkpoint_low_water_permille: u32,
+    /// Transactions checkpointed per space-reclamation stall (UBJ's unit
+    /// is whole transactions).
+    pub checkpoint_batch_txns: usize,
+}
+
+impl Default for UbjConfig {
+    fn default() -> Self {
+        Self { checkpoint_low_water_permille: 100, checkpoint_batch_txns: 1 }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn default_low_water_is_ten_percent() {
+        let c = super::UbjConfig::default();
+        assert_eq!(c.checkpoint_low_water_permille, 100);
+        assert_eq!(c.checkpoint_batch_txns, 1);
+    }
+}

@@ -1,0 +1,102 @@
+//! UBJ's 16-byte persistent block entries.
+
+/// `prev` value for "no previous frozen copy".
+pub const FRESH: u32 = u32::MAX;
+
+/// Lifecycle of a block in UBJ's NVM buffer cache.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum UbjState {
+    /// Cached copy identical to disk; droppable at any time.
+    Clean,
+    /// Uncommitted working copy; discarded by crash recovery.
+    Dirty,
+    /// Mid-commit marker: becomes Frozen if the commit flag published,
+    /// reverts otherwise.
+    PreFrozen,
+    /// Committed-in-place, awaiting checkpoint; must not be lost.
+    Frozen,
+}
+
+const FLAG_VALID: u64 = 1 << 0;
+const STATE_SHIFT: u64 = 1;
+const STATE_MASK: u64 = 0b11 << STATE_SHIFT;
+const DISK_BLK_MAX: u64 = (1 << 56) - 1;
+
+/// One 16-byte entry: `[flags | disk_blk:7B] [prev:u32 | cur:u32]`.
+/// Always written with a single 16-byte atomic store.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct UbjEntry {
+    pub valid: bool,
+    pub state: UbjState,
+    pub disk_blk: u64,
+    /// NVM block holding the superseded *frozen* copy while a newer dirty
+    /// copy exists ([`FRESH`] otherwise).
+    pub prev: u32,
+    /// NVM block holding the current copy.
+    pub cur: u32,
+}
+
+impl UbjEntry {
+    pub const INVALID: UbjEntry =
+        UbjEntry { valid: false, state: UbjState::Clean, disk_blk: 0, prev: 0, cur: 0 };
+
+    pub fn new(state: UbjState, disk_blk: u64, prev: u32, cur: u32) -> UbjEntry {
+        assert!(disk_blk <= DISK_BLK_MAX);
+        UbjEntry { valid: true, state, disk_blk, prev, cur }
+    }
+
+    pub fn encode(&self) -> u128 {
+        if !self.valid {
+            return 0;
+        }
+        let state = match self.state {
+            UbjState::Clean => 0u64,
+            UbjState::Dirty => 1,
+            UbjState::PreFrozen => 2,
+            UbjState::Frozen => 3,
+        };
+        let lo = FLAG_VALID | (state << STATE_SHIFT) | (self.disk_blk << 8);
+        let hi = (self.prev as u64) | ((self.cur as u64) << 32);
+        (lo as u128) | ((hi as u128) << 64)
+    }
+
+    pub fn decode(raw: u128) -> UbjEntry {
+        let lo = raw as u64;
+        let hi = (raw >> 64) as u64;
+        if lo & FLAG_VALID == 0 {
+            return UbjEntry::INVALID;
+        }
+        let state = match (lo & STATE_MASK) >> STATE_SHIFT {
+            0 => UbjState::Clean,
+            1 => UbjState::Dirty,
+            2 => UbjState::PreFrozen,
+            _ => UbjState::Frozen,
+        };
+        UbjEntry { valid: true, state, disk_blk: lo >> 8, prev: hi as u32, cur: (hi >> 32) as u32 }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_all_states() {
+        for state in [UbjState::Clean, UbjState::Dirty, UbjState::PreFrozen, UbjState::Frozen] {
+            let e = UbjEntry::new(state, 0xDEAD_BEEF, 7, 42);
+            assert_eq!(UbjEntry::decode(e.encode()), e);
+        }
+    }
+
+    #[test]
+    fn invalid_is_zero() {
+        assert_eq!(UbjEntry::INVALID.encode(), 0);
+        assert_eq!(UbjEntry::decode(0), UbjEntry::INVALID);
+    }
+
+    #[test]
+    fn max_disk_blk() {
+        let e = UbjEntry::new(UbjState::Frozen, DISK_BLK_MAX, FRESH, 1);
+        assert_eq!(UbjEntry::decode(e.encode()).disk_blk, DISK_BLK_MAX);
+    }
+}

@@ -1,0 +1,118 @@
+//! Skewed samplers: Zipf (Filebench file popularity) and TPC-C's NURand.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Zipf-distributed sampler over `0..n` with exponent `theta`, using a
+/// precomputed CDF (O(n) setup, O(log n) sampling). Filebench's file-set
+/// accesses and web-proxy popularity follow this shape.
+#[derive(Clone, Debug)]
+pub struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    pub fn new(n: usize, theta: f64) -> Zipf {
+        assert!(n > 0);
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for i in 1..=n {
+            acc += 1.0 / (i as f64).powf(theta);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for c in &mut cdf {
+            *c /= total;
+        }
+        Zipf { cdf }
+    }
+
+    pub fn sample(&self, rng: &mut StdRng) -> usize {
+        let u: f64 = rng.gen();
+        self.cdf.partition_point(|&c| c < u).min(self.cdf.len() - 1)
+    }
+
+    pub fn len(&self) -> usize {
+        self.cdf.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.cdf.is_empty()
+    }
+}
+
+/// TPC-C NURand(A, x, y): non-uniform random over `[x, y]` (TPC-C spec
+/// §2.1.6) — the hot-item skew of the OLTP workload.
+pub fn nurand(rng: &mut StdRng, a: u64, c: u64, x: u64, y: u64) -> u64 {
+    let r1 = rng.gen_range(0..=a);
+    let r2 = rng.gen_range(x..=y);
+    (((r1 | r2) + c) % (y - x + 1)) + x
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn zipf_is_skewed_towards_head() {
+        let z = Zipf::new(1000, 0.99);
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut head = 0usize;
+        let samples = 20_000;
+        for _ in 0..samples {
+            if z.sample(&mut rng) < 100 {
+                head += 1;
+            }
+        }
+        // Top 10% of items should draw far more than 10% of accesses.
+        assert!(head as f64 / samples as f64 > 0.4, "head share {head}/{samples}");
+    }
+
+    #[test]
+    fn zipf_covers_range() {
+        let z = Zipf::new(10, 1.0);
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut seen = [false; 10];
+        for _ in 0..5000 {
+            seen[z.sample(&mut rng)] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all items reachable");
+    }
+
+    #[test]
+    fn zipf_theta_zero_is_roughly_uniform() {
+        let z = Zipf::new(4, 0.0);
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut counts = [0u32; 4];
+        for _ in 0..40_000 {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        for &c in &counts {
+            assert!((8_000..12_000).contains(&c), "counts {counts:?}");
+        }
+    }
+
+    #[test]
+    fn nurand_stays_in_range() {
+        let mut rng = StdRng::seed_from_u64(4);
+        for _ in 0..10_000 {
+            let v = nurand(&mut rng, 1023, 7, 1, 3000);
+            assert!((1..=3000).contains(&v));
+        }
+    }
+
+    #[test]
+    fn nurand_is_nonuniform() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let n = 50_000;
+        let mut buckets = [0u32; 10];
+        for _ in 0..n {
+            let v = nurand(&mut rng, 255, 13, 0, 999);
+            buckets[(v / 100) as usize] += 1;
+        }
+        let max = *buckets.iter().max().unwrap() as f64;
+        let min = *buckets.iter().min().unwrap() as f64;
+        assert!(max / min > 1.2, "should be visibly skewed: {buckets:?}");
+    }
+}

@@ -1,0 +1,149 @@
+//! Measurement plumbing: snapshot device counters around a measured phase
+//! and derive the per-op metrics the paper's figures report.
+
+use blockdev::{BlockDevice, DiskStats};
+use fssim::stack::Stack;
+use fssim::{CacheSnapshot, FsStats};
+use nvmsim::NvmStats;
+
+/// A before/after measurement window over one stack.
+pub struct Measurement {
+    label: String,
+    t0: u64,
+    nvm0: NvmStats,
+    disk0: DiskStats,
+    fs0: FsStats,
+    cache0: CacheSnapshot,
+}
+
+/// Opens a measurement window on `stack`.
+pub fn measure(stack: &Stack, label: &str) -> Measurement {
+    Measurement {
+        label: label.to_string(),
+        t0: stack.clock.now_ns(),
+        nvm0: stack.nvm.stats(),
+        disk0: stack.disk.stats(),
+        fs0: stack.fs.stats(),
+        cache0: stack.fs.backend().cache_snapshot(),
+    }
+}
+
+impl Measurement {
+    /// Closes the window; `ops` is the number of measured operations
+    /// (write ops, file ops, or transactions — whatever the figure
+    /// normalises by).
+    pub fn finish(self, stack: &Stack, ops: u64) -> RunReport {
+        RunReport {
+            label: self.label,
+            ops,
+            sim_ns: stack.clock.now_ns() - self.t0,
+            nvm: stack.nvm.stats().delta(&self.nvm0),
+            disk: stack.disk.stats().delta(&self.disk0),
+            fs: stack.fs.stats().delta(&self.fs0),
+            cache: stack.fs.backend().cache_snapshot().delta(&self.cache0),
+        }
+    }
+}
+
+/// Deltas over one measured phase, plus derived metrics.
+#[derive(Clone, Debug)]
+pub struct RunReport {
+    pub label: String,
+    pub ops: u64,
+    pub sim_ns: u64,
+    pub nvm: NvmStats,
+    pub disk: DiskStats,
+    pub fs: FsStats,
+    pub cache: CacheSnapshot,
+}
+
+impl RunReport {
+    /// Operations per simulated second (IOPS / OPs/s).
+    pub fn ops_per_sec(&self) -> f64 {
+        if self.sim_ns == 0 {
+            return 0.0;
+        }
+        self.ops as f64 / (self.sim_ns as f64 / 1e9)
+    }
+
+    /// Operations per simulated minute (the TPM of Fig. 8).
+    pub fn ops_per_min(&self) -> f64 {
+        self.ops_per_sec() * 60.0
+    }
+
+    /// `clflush` executions per operation (Figs. 7(b), 8(b), 11(b)).
+    pub fn clflush_per_op(&self) -> f64 {
+        self.nvm.clflush as f64 / self.ops.max(1) as f64
+    }
+
+    /// Disk blocks written per operation (Figs. 7(c), 8(c), 11(c)).
+    pub fn disk_writes_per_op(&self) -> f64 {
+        self.disk.writes as f64 / self.ops.max(1) as f64
+    }
+
+    /// MB written back to the NVM medium (Fig. 3(a)'s write traffic).
+    pub fn nvm_mb_written(&self) -> f64 {
+        self.nvm.bytes_written_back() as f64 / (1 << 20) as f64
+    }
+
+    /// Application bandwidth in MB/s over the measured phase (Fig. 3(b)).
+    pub fn app_write_mb_per_sec(&self) -> f64 {
+        if self.sim_ns == 0 {
+            return 0.0;
+        }
+        self.fs.bytes_written as f64 / (1 << 20) as f64 / (self.sim_ns as f64 / 1e9)
+    }
+
+    /// `clflush` per MB of application data (Fig. 10(b)).
+    pub fn clflush_per_mb(&self) -> f64 {
+        let mb = self.fs.bytes_written as f64 / (1 << 20) as f64;
+        if mb == 0.0 {
+            return 0.0;
+        }
+        self.nvm.clflush as f64 / mb
+    }
+
+    /// Disk blocks written per MB of application data (Fig. 10(c)).
+    pub fn disk_writes_per_mb(&self) -> f64 {
+        let mb = self.fs.bytes_written as f64 / (1 << 20) as f64;
+        if mb == 0.0 {
+            return 0.0;
+        }
+        self.disk.writes as f64 / mb
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report(ops: u64, sim_ns: u64) -> RunReport {
+        RunReport {
+            label: "t".into(),
+            ops,
+            sim_ns,
+            nvm: NvmStats { clflush: 640, ..Default::default() },
+            disk: DiskStats { writes: 20, ..Default::default() },
+            fs: FsStats { bytes_written: 2 << 20, ..Default::default() },
+            cache: CacheSnapshot::default(),
+        }
+    }
+
+    #[test]
+    fn derived_metrics() {
+        let r = report(10, 1_000_000_000);
+        assert_eq!(r.ops_per_sec(), 10.0);
+        assert_eq!(r.ops_per_min(), 600.0);
+        assert_eq!(r.clflush_per_op(), 64.0);
+        assert_eq!(r.disk_writes_per_op(), 2.0);
+        assert_eq!(r.clflush_per_mb(), 320.0);
+        assert_eq!(r.disk_writes_per_mb(), 10.0);
+    }
+
+    #[test]
+    fn zero_guards() {
+        let r = report(0, 0);
+        assert_eq!(r.ops_per_sec(), 0.0);
+        assert_eq!(r.app_write_mb_per_sec(), 0.0);
+    }
+}

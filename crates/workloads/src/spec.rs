@@ -1,0 +1,90 @@
+//! Table 2 of the paper: the benchmark roster, both at paper scale and at
+//! this reproduction's default scale (÷128 on dataset sizes, op-count
+//! bounded instead of wall-clock bounded).
+
+/// One row of Table 2.
+#[derive(Clone, Debug)]
+pub struct BenchmarkRow {
+    pub tier: &'static str,
+    pub benchmark: &'static str,
+    pub rw_ratio: &'static str,
+    pub request_size: &'static str,
+    pub paper_dataset: &'static str,
+    /// Dataset at the default full-size harness scale (32 MB local NVM
+    /// cache / 8 MB per cluster node; paper ratios preserved).
+    pub scaled_dataset: &'static str,
+    pub description: &'static str,
+}
+
+/// The full Table 2 roster.
+pub fn table2() -> Vec<BenchmarkRow> {
+    vec![
+        BenchmarkRow {
+            tier: "Local",
+            benchmark: "Fio",
+            rw_ratio: "3/7, 5/5, 7/3",
+            request_size: "4KB",
+            paper_dataset: "20GB",
+            scaled_dataset: "80MB (2.5x cache)",
+            description: "Varied ratios of mixed random write and read",
+        },
+        BenchmarkRow {
+            tier: "Local",
+            benchmark: "TPC-C",
+            rw_ratio: "Typical TPC-C",
+            request_size: "Typical TPC-C",
+            paper_dataset: "32GB",
+            scaled_dataset: "128MB (4x cache)",
+            description: "OLTP workload issued by HammerDB to MySQL",
+        },
+        BenchmarkRow {
+            tier: "Cluster",
+            benchmark: "TeraGen",
+            rw_ratio: "All Writes",
+            request_size: "100B per row",
+            paper_dataset: "100GB",
+            scaled_dataset: "32MB (4x node cache)",
+            description: "A generator that creates input data for TeraSort",
+        },
+        BenchmarkRow {
+            tier: "Cluster",
+            benchmark: "Filebench Fileserver",
+            rw_ratio: "1/2",
+            request_size: "16KB",
+            paper_dataset: "51.2GB",
+            scaled_dataset: "32MB pool (4x node cache)",
+            description: "File server operating on a large number of files",
+        },
+        BenchmarkRow {
+            tier: "Cluster",
+            benchmark: "Filebench Webproxy",
+            rw_ratio: "5/1",
+            request_size: "16KB",
+            paper_dataset: "32GB",
+            scaled_dataset: "32MB pool (4x node cache)",
+            description: "Web proxy server in the Internet",
+        },
+        BenchmarkRow {
+            tier: "Cluster",
+            benchmark: "Filebench Varmail",
+            rw_ratio: "1/1",
+            request_size: "16KB",
+            paper_dataset: "32GB",
+            scaled_dataset: "32MB pool (4x node cache)",
+            description: "Email server operating on a large number of emails",
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn six_benchmarks_as_in_the_paper() {
+        let rows = table2();
+        assert_eq!(rows.len(), 6);
+        assert_eq!(rows.iter().filter(|r| r.tier == "Local").count(), 2);
+        assert_eq!(rows.iter().filter(|r| r.tier == "Cluster").count(), 4);
+    }
+}

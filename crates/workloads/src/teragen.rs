@@ -1,0 +1,126 @@
+//! TeraGen-like generator (§5.3.1): sequential 100-byte rows appended to
+//! chunked output files — the pure-write stream the paper uses to stress
+//! the replication pipeline of HDFS.
+
+use fssim::stack::Stack;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::report::{measure, RunReport};
+
+/// TeraGen parameters.
+#[derive(Clone, Debug)]
+pub struct TeraGenSpec {
+    /// Total bytes to generate (paper: 100 GB across the cluster).
+    pub total_bytes: u64,
+    /// Bytes per row (paper: 100 B per row).
+    pub row_bytes: usize,
+    /// Output chunk size — a new file starts at this boundary (HDFS block
+    /// 128 MB scaled down).
+    pub chunk_bytes: u64,
+    /// Rows buffered per FS write call (client-side buffering).
+    pub rows_per_write: usize,
+    pub seed: u64,
+}
+
+impl TeraGenSpec {
+    pub fn scaled(total_bytes: u64) -> TeraGenSpec {
+        TeraGenSpec {
+            total_bytes,
+            row_bytes: 100,
+            chunk_bytes: 2 << 20,
+            rows_per_write: 160, // 16 000 B ≈ 4 blocks per call
+            seed: 0x7E7A,
+        }
+    }
+}
+
+/// A TeraGen run writing into some stack.
+pub struct TeraGen {
+    spec: TeraGenSpec,
+    rng: StdRng,
+    bytes_written: u64,
+}
+
+impl TeraGen {
+    pub fn new(spec: TeraGenSpec) -> TeraGen {
+        let rng = StdRng::seed_from_u64(spec.seed);
+        TeraGen { spec, rng, bytes_written: 0 }
+    }
+
+    /// Generates the dataset; `ops` in the report counts MB written
+    /// (Fig. 10 normalises per MB). Returns (report, execution seconds).
+    pub fn run(&mut self, stack: &mut Stack) -> RunReport {
+        let m = measure(stack, "teragen");
+        let write_bytes = self.spec.row_bytes * self.spec.rows_per_write;
+        let mut row_buf = vec![0u8; write_bytes];
+        let mut chunk_idx = 0u32;
+        let mut file = stack.fs.create(&format!("teragen-{chunk_idx:04}")).expect("create");
+        let mut in_chunk = 0u64;
+        while self.bytes_written < self.spec.total_bytes {
+            if in_chunk >= self.spec.chunk_bytes {
+                stack.fs.fsync().expect("chunk fsync");
+                chunk_idx += 1;
+                file = stack.fs.create(&format!("teragen-{chunk_idx:04}")).expect("create");
+                in_chunk = 0;
+            }
+            // TeraGen rows: random key, patterned payload.
+            self.rng.fill(&mut row_buf[..]);
+            let n = write_bytes.min((self.spec.total_bytes - self.bytes_written) as usize);
+            stack.fs.append(file, &row_buf[..n]).expect("append");
+            self.bytes_written += n as u64;
+            in_chunk += n as u64;
+        }
+        stack.fs.fsync().expect("final fsync");
+        let mb = self.bytes_written / (1 << 20);
+        m.finish(stack, mb.max(1))
+    }
+
+    pub fn bytes_written(&self) -> u64 {
+        self.bytes_written
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fssim::stack::{build, StackConfig, System};
+
+    #[test]
+    fn generates_exact_volume_across_chunks() {
+        let mut stack = build(&StackConfig::tiny(System::Tinca)).unwrap();
+        let mut tg = TeraGen::new(TeraGenSpec {
+            total_bytes: 3 << 20,
+            row_bytes: 100,
+            chunk_bytes: 1 << 20,
+            rows_per_write: 160,
+            seed: 1,
+        });
+        let r = tg.run(&mut stack);
+        assert_eq!(tg.bytes_written(), 3 << 20);
+        assert_eq!(r.ops, 3); // MB
+        // 3 chunks + the initial file: at least 3 files exist.
+        assert!(stack.fs.file_count() >= 3);
+        stack.fs.check_consistency().unwrap();
+    }
+
+    #[test]
+    fn pure_write_workload() {
+        let mut stack = build(&StackConfig::tiny(System::Classic)).unwrap();
+        let mut tg = TeraGen::new(TeraGenSpec::scaled(1 << 20));
+        let r = tg.run(&mut stack);
+        assert_eq!(r.fs.read_ops, 0, "TeraGen never reads");
+        assert!(r.fs.bytes_written >= 1 << 20);
+    }
+
+    #[test]
+    fn deterministic() {
+        let run = || {
+            let mut stack = build(&StackConfig::tiny(System::Tinca)).unwrap();
+            let mut tg = TeraGen::new(TeraGenSpec::scaled(1 << 20));
+            let r = tg.run(&mut stack);
+            (r.nvm.clflush, r.sim_ns)
+        };
+        assert_eq!(run(), run());
+    }
+}

@@ -1,0 +1,58 @@
+//! Workspace-level cluster tests: replicated stacks behave like the
+//! paper's Fig. 9 deployment.
+
+use tinca_repro::cluster::{GlusterCluster, GlusterFilebench, HdfsCluster};
+use tinca_repro::fssim::stack::{StackConfig, System};
+use tinca_repro::workloads::filebench::Personality;
+
+#[test]
+fn hdfs_replication_scales_cluster_work() {
+    let cfg = StackConfig::tiny(System::Tinca);
+    let one = HdfsCluster::new(4, 1, &cfg, 1 << 20).run_teragen(4 << 20, 16 << 10);
+    let three = HdfsCluster::new(4, 3, &cfg, 1 << 20).run_teragen(4 << 20, 16 << 10);
+    // Replication multiplies aggregate cache traffic ~3x.
+    let ratio = three.total_clflush() as f64 / one.total_clflush() as f64;
+    assert!((2.2..4.0).contains(&ratio), "clflush ratio {ratio}");
+    // Every byte the client generated is accounted for.
+    assert_eq!(one.client_bytes, 4 << 20);
+    assert_eq!(one.client_ops, (4 << 20) / 100);
+}
+
+#[test]
+fn tinca_cluster_beats_classic_cluster_on_teragen() {
+    let mut times = Vec::new();
+    for sys in [System::Classic, System::Tinca] {
+        let cfg = StackConfig::tiny(sys);
+        let report = HdfsCluster::new(4, 2, &cfg, 1 << 20).run_teragen(6 << 20, 16 << 10);
+        times.push(report.exec_seconds());
+    }
+    assert!(
+        times[1] < times[0],
+        "Tinca cluster ({}) should finish before Classic ({})",
+        times[1],
+        times[0]
+    );
+}
+
+#[test]
+fn gluster_filebench_runs_all_personalities() {
+    for p in [Personality::Fileserver, Personality::Webproxy, Personality::Varmail] {
+        let cfg = StackConfig::tiny(System::Tinca);
+        let cluster = GlusterCluster::new(4, 2, &cfg);
+        let report = GlusterFilebench {
+            personality: p,
+            nfiles: 32,
+            file_bytes: 32 << 10,
+            io_bytes: 16 << 10,
+            ops: 120,
+            seed: 0xC1,
+        }
+        .run(cluster);
+        assert_eq!(report.client_ops, 120, "{}", p.name());
+        assert!(report.ops_per_sec() > 0.0);
+        // Replica-2 mirroring: writes land on exactly two nodes; all four
+        // nodes hold some share of the hashed namespace.
+        let nodes_with_files = report.nodes.iter().filter(|n| n.files > 0).count();
+        assert_eq!(nodes_with_files, 4, "{}", p.name());
+    }
+}

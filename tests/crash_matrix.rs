@@ -1,0 +1,80 @@
+//! Workspace-level crash matrix: both consistent systems, several crash
+//! policies, full verification — a compact version of the §5.1
+//! recoverability experiment run as part of the test suite.
+
+use tinca_repro::crashsim::{fuzz_system, CrashHarness, FsOracle};
+use tinca_repro::fssim::stack::{StackConfig, System};
+use tinca_repro::nvmsim::CrashPolicy;
+
+#[test]
+fn fuzz_matrix_is_clean() {
+    for (sys, seed) in [(System::Tinca, 777u64), (System::Classic, 888)] {
+        let report = fuzz_system(sys, seed, 12, 50);
+        assert!(report.clean(), "{}: {:?}", sys.name(), report.violations);
+    }
+}
+
+#[test]
+fn trip_sweep_over_one_fs_transaction() {
+    // Seed a file, then overwrite it in one fsync; crash at a spread of
+    // points; the observed state must always be old-or-new, never mixed.
+    for trip in (25..1200u64).step_by(120) {
+        let mut cfg = StackConfig::tiny(System::Tinca);
+        cfg.txn_block_limit = 100_000;
+        let mut h = CrashHarness::new(cfg);
+        let mut oracle = FsOracle::new();
+        h.run(|fs| {
+            let f = fs.create("doc").unwrap();
+            fs.write(f, 0, &[1u8; 24_000]).unwrap();
+            fs.fsync().unwrap();
+        });
+        oracle.create("doc");
+        oracle.write("doc", 0, &[1u8; 24_000]);
+        oracle.committed();
+        let _ = h.run_with_trip(trip, |fs| {
+            let f = fs.open("doc").unwrap();
+            fs.write(f, 0, &[2u8; 24_000]).unwrap();
+            fs.fsync().unwrap();
+        });
+        oracle.write("doc", 0, &[2u8; 24_000]);
+        h.crash_and_remount(CrashPolicy::Random(trip));
+        h.verify(&oracle)
+            .unwrap_or_else(|e| panic!("Tinca torn at trip {trip}: {e}"));
+    }
+}
+
+#[test]
+fn deletion_is_crash_atomic() {
+    let mut cfg = StackConfig::tiny(System::Tinca);
+    cfg.txn_block_limit = 100_000;
+    for trip in [40u64, 200, 800] {
+        let mut h = CrashHarness::new(cfg.clone());
+        let mut oracle = FsOracle::new();
+        h.run(|fs| {
+            let f = fs.create("victim").unwrap();
+            fs.write(f, 0, &[5u8; 10_000]).unwrap();
+            let g = fs.create("keeper").unwrap();
+            fs.write(g, 0, &[6u8; 5_000]).unwrap();
+            fs.fsync().unwrap();
+        });
+        oracle.create("victim");
+        oracle.write("victim", 0, &[5u8; 10_000]);
+        oracle.create("keeper");
+        oracle.write("keeper", 0, &[6u8; 5_000]);
+        oracle.committed();
+        let _ = h.run_with_trip(trip, |fs| {
+            fs.delete("victim").unwrap();
+            fs.fsync().unwrap();
+        });
+        oracle.delete("victim");
+        h.crash_and_remount(CrashPolicy::Random(trip ^ 0xDEAD));
+        h.verify(&oracle)
+            .unwrap_or_else(|e| panic!("delete torn at trip {trip}: {e}"));
+        // Whatever happened to "victim", "keeper" is intact.
+        let fs = h.fs();
+        let g = fs.open("keeper").unwrap();
+        let mut buf = [0u8; 5_000];
+        fs.read(g, 0, &mut buf).unwrap();
+        assert!(buf.iter().all(|&b| b == 6));
+    }
+}
