@@ -41,7 +41,10 @@ fn bench_single_block_write(c: &mut Criterion) {
     });
     group.bench_function("classic_no_meta", |b| {
         let (nvm, disk) = nvm_disk();
-        let cfg = ClassicConfig { sync_metadata: false, ..ClassicConfig::default() };
+        let cfg = ClassicConfig {
+            sync_metadata: false,
+            ..ClassicConfig::default()
+        };
         let mut cache = ClassicCache::format(nvm, disk, cfg);
         let payload = [5u8; BLOCK_SIZE];
         let mut i = 0u64;

@@ -10,7 +10,11 @@ use nvmsim::{NvmConfig, NvmDevice, NvmTech, SimClock};
 use tinca::{TincaCache, TincaConfig};
 
 fn build_cache(role_switch: bool) -> TincaCache {
-    build_cache_cfg(TincaConfig { ring_bytes: 256 << 10, role_switch, ..TincaConfig::default() })
+    build_cache_cfg(TincaConfig {
+        ring_bytes: 256 << 10,
+        role_switch,
+        ..TincaConfig::default()
+    })
 }
 
 fn build_cache_cfg(cfg: TincaConfig) -> TincaCache {

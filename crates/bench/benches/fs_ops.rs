@@ -48,7 +48,8 @@ fn bench_file_read_hit(c: &mut Criterion) {
             let mut buf = vec![0u8; 16 << 10];
             let mut i = 0u64;
             b.iter(|| {
-                s.fs.read(f, (i % 120) * BLOCK_SIZE as u64, &mut buf).unwrap();
+                s.fs.read(f, (i % 120) * BLOCK_SIZE as u64, &mut buf)
+                    .unwrap();
                 i += 1;
             });
         });

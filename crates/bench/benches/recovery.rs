@@ -37,8 +37,7 @@ fn bench_recovery_scan(c: &mut Criterion) {
             let (nvm, disk) = crashed_image(mb << 20, 80);
             b.iter(|| {
                 let cache =
-                    TincaCache::recover(nvm.clone(), disk.clone(), TincaConfig::default())
-                        .unwrap();
+                    TincaCache::recover(nvm.clone(), disk.clone(), TincaConfig::default()).unwrap();
                 assert!(cache.cached_blocks() > 0);
             });
         });

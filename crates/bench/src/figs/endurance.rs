@@ -85,13 +85,12 @@ pub fn run(quick: bool) -> Table {
         rows.iter().find(|(n, _)| n == "Classic"),
         rows.iter().find(|(n, _)| n == "Tinca"),
     ) {
-        println!("  payload lifetime ratio Tinca/Classic: {:.2}x", tinca.1 / classic.1);
         println!(
-            "  note: counting ALL lines, Tinca's ring Head/Tail pointer lines are the wear"
+            "  payload lifetime ratio Tinca/Classic: {:.2}x",
+            tinca.1 / classic.1
         );
-        println!(
-            "  hotspot (one media write per committed block) — the paper keeps them at fixed"
-        );
+        println!("  note: counting ALL lines, Tinca's ring Head/Tail pointer lines are the wear");
+        println!("  hotspot (one media write per committed block) — the paper keeps them at fixed");
         println!("  NVM addresses; a deployment would wear-level that cache line.");
     }
     write_csv("endurance", &t.headers(), t.rows());

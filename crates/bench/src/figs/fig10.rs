@@ -19,7 +19,12 @@ pub fn run(quick: bool) -> Table {
     );
 
     let mut t = Table::new(&[
-        "Replicas", "System", "time (s)", "clflush/MB", "disk wr/MB", "time saved",
+        "Replicas",
+        "System",
+        "time (s)",
+        "clflush/MB",
+        "disk wr/MB",
+        "time saved",
     ]);
     for replicas in [1usize, 2, 3] {
         let mut secs = Vec::new();

@@ -19,9 +19,18 @@ pub fn run(quick: bool) -> Table {
     );
     let ops: u64 = if quick { 500 } else { 4_000 };
     let mut t = Table::new(&[
-        "Workload", "System", "OPs/s", "clflush/op", "disk wr/op", "ratio",
+        "Workload",
+        "System",
+        "OPs/s",
+        "clflush/op",
+        "disk wr/op",
+        "ratio",
     ]);
-    for p in [Personality::Fileserver, Personality::Webproxy, Personality::Varmail] {
+    for p in [
+        Personality::Fileserver,
+        Personality::Webproxy,
+        Personality::Varmail,
+    ] {
         let mut ops_s = Vec::new();
         for sys in [System::Classic, System::Tinca] {
             let cfg = cluster_cfg(sys, quick);

@@ -33,7 +33,12 @@ pub fn fig12a(quick: bool) -> Table {
             } else {
                 String::new()
             };
-            t.row(vec![kind.name().into(), sys.name().into(), fmt(r.ops_per_min()), ratio]);
+            t.row(vec![
+                kind.name().into(),
+                sys.name().into(),
+                fmt(r.ops_per_min()),
+                ratio,
+            ]);
         }
     }
     t.print();
@@ -63,7 +68,12 @@ pub fn fig12b(quick: bool) -> Table {
             } else {
                 String::new()
             };
-            t.row(vec![tech.name().into(), sys.name().into(), fmt(r.ops_per_min()), ratio]);
+            t.row(vec![
+                tech.name().into(),
+                sys.name().into(),
+                fmt(r.ops_per_min()),
+                ratio,
+            ]);
         }
     }
     t.print();

@@ -64,7 +64,14 @@ pub fn run(quick: bool) -> Table {
     let mean = |v: &[u32]| v.iter().map(|&x| x as f64).sum::<f64>() / v.len().max(1) as f64;
     let max = |v: &[u32]| v.iter().copied().max().unwrap_or(0);
 
-    let mut t = Table::new(&["Workload", "txns", "mean blk/txn", "max blk/txn", "worst COW MB", "% of cache"]);
+    let mut t = Table::new(&[
+        "Workload",
+        "txns",
+        "mean blk/txn",
+        "max blk/txn",
+        "worst COW MB",
+        "% of cache",
+    ]);
     let cache_bytes = (32 << 20) as f64;
     for (name, sizes) in [("fileserver", &fs_sizes), ("webproxy", &wp_sizes)] {
         let worst = max(sizes) as f64 * BLOCK_SIZE as f64;
@@ -94,7 +101,11 @@ pub fn run(quick: bool) -> Table {
             ]
         })
         .collect();
-    write_csv("fig13_series", &["txn", "fileserver_blocks", "webproxy_blocks"], &series);
+    write_csv(
+        "fig13_series",
+        &["txn", "fileserver_blocks", "webproxy_blocks"],
+        &series,
+    );
     write_csv("fig13", &t.headers(), t.rows());
     t
 }

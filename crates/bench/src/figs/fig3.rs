@@ -3,8 +3,8 @@
 
 use fssim::stack::{build, System};
 use nvmsim::NvmConfig;
-use workloads::fio::{Fio, FioSpec};
 use workloads::filebench::{Filebench, FilebenchSpec, Personality};
+use workloads::fio::{Fio, FioSpec};
 use workloads::measure;
 
 use crate::figs::local_cfg;
@@ -22,7 +22,11 @@ pub fn fig3a(quick: bool) -> Table {
     );
     let ops: u64 = if quick { 1_500 } else { 8_000 };
     let mut t = Table::new(&["Workload", "no-journal MB", "journal MB", "ratio"]);
-    for p in [Personality::Fileserver, Personality::Webproxy, Personality::Varmail] {
+    for p in [
+        Personality::Fileserver,
+        Personality::Webproxy,
+        Personality::Varmail,
+    ] {
         let mut traffic = Vec::new();
         for sys in [System::ClassicNoJournal, System::Classic] {
             let cfg = local_cfg(sys, quick);
@@ -98,7 +102,11 @@ pub fn fig3b(quick: bool) -> Table {
         if first == 0.0 {
             first = bw;
         }
-        t.row(vec![name.into(), fmt(bw), format!("{:.0}%", bw / first * 100.0)]);
+        t.row(vec![
+            name.into(),
+            fmt(bw),
+            format!("{:.0}%", bw / first * 100.0),
+        ]);
     }
     t.print();
     write_csv("fig3b", &t.headers(), t.rows());

@@ -18,7 +18,12 @@ pub fn run(quick: bool) -> Table {
     );
     let ops: u64 = if quick { 6_000 } else { 30_000 };
     let mut t = Table::new(&[
-        "R/W", "System", "write IOPS", "clflush/op", "disk wr/op", "IOPS ratio",
+        "R/W",
+        "System",
+        "write IOPS",
+        "clflush/op",
+        "disk wr/op",
+        "IOPS ratio",
     ]);
     for read_pct in [30u32, 50, 70] {
         let mut iops = Vec::new();

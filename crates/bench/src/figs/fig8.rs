@@ -36,9 +36,20 @@ pub fn run(quick: bool) -> Table {
         "TPC-C: TPM, clflush/txn, disk writes/txn vs user count",
         "Tinca ~1.7-1.8x TPM; clflush/txn ~30-36% of Classic; Tinca declines less",
     );
-    let users_list: &[u32] = if quick { &[5, 20] } else { &[5, 10, 15, 20, 40, 60] };
+    let users_list: &[u32] = if quick {
+        &[5, 20]
+    } else {
+        &[5, 10, 15, 20, 40, 60]
+    };
     let txns: u64 = if quick { 600 } else { 3_000 };
-    let mut t = Table::new(&["Users", "System", "TPM", "clflush/txn", "disk wr/txn", "TPM ratio"]);
+    let mut t = Table::new(&[
+        "Users",
+        "System",
+        "TPM",
+        "clflush/txn",
+        "disk wr/txn",
+        "TPM ratio",
+    ]);
     for &users in users_list {
         let mut tpm = Vec::new();
         for sys in [System::Classic, System::Tinca] {

@@ -22,9 +22,18 @@ pub fn run(quick: bool) -> Table {
         "successors cheaper but not free; clwb additionally keeps flushed lines readable at cache speed",
     );
     let ops: u64 = if quick { 3_000 } else { 20_000 };
-    let mut t = Table::new(&["Instruction", "write IOPS", "vs clflush", "NVM line reads/op"]);
+    let mut t = Table::new(&[
+        "Instruction",
+        "write IOPS",
+        "vs clflush",
+        "NVM line reads/op",
+    ]);
     let mut base = 0.0f64;
-    for instr in [FlushInstr::Clflush, FlushInstr::Clflushopt, FlushInstr::Clwb] {
+    for instr in [
+        FlushInstr::Clflush,
+        FlushInstr::Clflushopt,
+        FlushInstr::Clwb,
+    ] {
         let mut cfg = local_cfg(System::Tinca, quick);
         cfg.nvm_override =
             Some(NvmConfig::new(cfg.nvm_bytes, cfg.nvm_tech).with_flush_instr(instr));

@@ -21,7 +21,13 @@ pub fn run(quick: bool) -> Table {
         "block-format metadata is the most expensive; the log helps; Tinca's entries are cheapest",
     );
     let ops: u64 = if quick { 3_000 } else { 20_000 };
-    let mut t = Table::new(&["System", "metadata scheme", "write IOPS", "clflush/op", "vs sync-block"]);
+    let mut t = Table::new(&[
+        "System",
+        "metadata scheme",
+        "write IOPS",
+        "clflush/op",
+        "vs sync-block",
+    ]);
     let mut base = 0.0f64;
     for (sys, scheme) in [
         (System::Classic, "sync metadata blocks"),

@@ -6,11 +6,11 @@ pub mod fig11;
 pub mod fig12;
 pub mod fig13;
 pub mod fig3;
-pub mod flush_instr;
 pub mod fig4;
 pub mod fig7;
-pub mod meta_schemes;
 pub mod fig8;
+pub mod flush_instr;
+pub mod meta_schemes;
 pub mod recoverability;
 pub mod tables;
 pub mod ubj_compare;

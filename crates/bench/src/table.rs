@@ -9,7 +9,10 @@ pub struct Table {
 
 impl Table {
     pub fn new(headers: &[&str]) -> Table {
-        Table { headers: headers.iter().map(|s| s.to_string()).collect(), rows: Vec::new() }
+        Table {
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
     }
 
     pub fn row(&mut self, cells: Vec<String>) {
@@ -38,7 +41,10 @@ impl Table {
             println!("{}", out.trim_end());
         };
         line(&self.headers);
-        println!("{}", w.iter().map(|n| "-".repeat(*n + 2)).collect::<String>());
+        println!(
+            "{}",
+            w.iter().map(|n| "-".repeat(*n + 2)).collect::<String>()
+        );
         for row in &self.rows {
             line(row);
         }

@@ -86,7 +86,10 @@ mod tests {
         let m = LatencyModel::new(DiskKind::Hdd);
         let seq = m.write_ns(101, 100);
         let rand = m.write_ns(1_000_000, 100);
-        assert!(rand > 50 * seq, "random {rand} should dwarf sequential {seq}");
+        assert!(
+            rand > 50 * seq,
+            "random {rand} should dwarf sequential {seq}"
+        );
     }
 
     #[test]

@@ -28,8 +28,23 @@ mod tests {
 
     #[test]
     fn delta_subtracts() {
-        let a = DiskStats { reads: 1, writes: 2, busy_ns: 10 };
-        let b = DiskStats { reads: 5, writes: 7, busy_ns: 50 };
-        assert_eq!(b.delta(&a), DiskStats { reads: 4, writes: 5, busy_ns: 40 });
+        let a = DiskStats {
+            reads: 1,
+            writes: 2,
+            busy_ns: 10,
+        };
+        let b = DiskStats {
+            reads: 5,
+            writes: 7,
+            busy_ns: 50,
+        };
+        assert_eq!(
+            b.delta(&a),
+            DiskStats {
+                reads: 4,
+                writes: 5,
+                busy_ns: 40
+            }
+        );
     }
 }

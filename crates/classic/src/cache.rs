@@ -8,7 +8,7 @@ use nvmsim::Nvm;
 
 use crate::meta::{
     decode_log_record, encode_log_record, ClassicLayout, SlotRecord, ASSOC_OFF, LOG_SLOTS, MAGIC,
-    MAGIC_OFF, NUM_BLOCKS_OFF, RECORD_BYTES, RECORDS_PER_META_BLOCK,
+    MAGIC_OFF, NUM_BLOCKS_OFF, RECORDS_PER_META_BLOCK, RECORD_BYTES,
 };
 use crate::setlru::SetLru;
 use crate::{ClassicConfig, ClassicStats, MetadataScheme};
@@ -174,7 +174,14 @@ impl ClassicCache {
         self.nvm.persist(addr, BLOCK_SIZE);
         self.write_seq += 1;
         self.last_write[slot as usize] = self.write_seq;
-        self.set_record(slot, SlotRecord { valid: true, dirty: true, disk_blk });
+        self.set_record(
+            slot,
+            SlotRecord {
+                valid: true,
+                dirty: true,
+                disk_blk,
+            },
+        );
         self.clean_set(self.layout.set_of(disk_blk));
     }
 
@@ -204,7 +211,13 @@ impl ClassicCache {
             self.nvm.read(self.layout.data_addr(slot), &mut buf);
             self.disk.write_block(rec.disk_blk, &buf);
             self.stats.writebacks += 1;
-            self.set_record(slot, SlotRecord { dirty: false, ..rec });
+            self.set_record(
+                slot,
+                SlotRecord {
+                    dirty: false,
+                    ..rec
+                },
+            );
         }
     }
 
@@ -226,7 +239,14 @@ impl ClassicCache {
             let addr = self.layout.data_addr(slot);
             self.nvm.write(addr, buf);
             self.nvm.persist(addr, BLOCK_SIZE);
-            self.set_record(slot, SlotRecord { valid: true, dirty: false, disk_blk });
+            self.set_record(
+                slot,
+                SlotRecord {
+                    valid: true,
+                    dirty: false,
+                    disk_blk,
+                },
+            );
         }
     }
 
@@ -326,7 +346,13 @@ impl ClassicCache {
                 self.nvm.read(self.layout.data_addr(slot), &mut buf);
                 self.disk.write_block(rec.disk_blk, &buf);
                 self.stats.writebacks += 1;
-                self.set_record(slot, SlotRecord { dirty: false, ..rec });
+                self.set_record(
+                    slot,
+                    SlotRecord {
+                        dirty: false,
+                        ..rec
+                    },
+                );
             }
         }
     }
@@ -388,7 +414,10 @@ impl ClassicCache {
             let set = (slot / self.layout.assoc) as usize;
             self.set_dirty[set] -= 1;
             let rec = self.records[slot as usize];
-            self.records[slot as usize] = SlotRecord { dirty: false, ..rec };
+            self.records[slot as usize] = SlotRecord {
+                dirty: false,
+                ..rec
+            };
             touched_slots.push(slot);
         }
         if self.cfg.sync_metadata {
@@ -486,7 +515,10 @@ impl ClassicCache {
                 valid += 1;
                 let set = self.layout.set_of(mem.disk_blk);
                 if !self.layout.set_slots(set).contains(&slot) {
-                    return Err(format!("slot {slot} holds block {} of foreign set", mem.disk_blk));
+                    return Err(format!(
+                        "slot {slot} holds block {} of foreign set",
+                        mem.disk_blk
+                    ));
                 }
                 if self.index.get(&mem.disk_blk) != Some(&slot) {
                     return Err(format!("slot {slot} not indexed"));
@@ -499,7 +531,10 @@ impl ClassicCache {
             }
         }
         if valid != self.index.len() {
-            return Err(format!("index size {} != valid slots {valid}", self.index.len()));
+            return Err(format!(
+                "index size {} != valid slots {valid}",
+                self.index.len()
+            ));
         }
         Ok(())
     }
@@ -515,7 +550,10 @@ mod tests {
         let clock = SimClock::new();
         let nvm = NvmDevice::new(NvmConfig::new(2 << 20, NvmTech::Pcm), clock.clone());
         let disk = SimDisk::new(DiskKind::Ssd, 1 << 16, clock);
-        let cfg = ClassicConfig { assoc, ..ClassicConfig::default() };
+        let cfg = ClassicConfig {
+            assoc,
+            ..ClassicConfig::default()
+        };
         let cache = ClassicCache::format(nvm.clone(), disk.clone(), cfg);
         (cache, nvm, disk)
     }
@@ -545,7 +583,11 @@ mod tests {
         let d = nvm.stats().delta(&before);
         assert_eq!(c.stats().meta_block_writes, 2);
         // Two data blocks + two metadata blocks, each 64 dirty lines.
-        assert!(d.lines_written >= 4 * 64, "lines written: {}", d.lines_written);
+        assert!(
+            d.lines_written >= 4 * 64,
+            "lines written: {}",
+            d.lines_written
+        );
         c.check_consistency().unwrap();
     }
 
@@ -554,13 +596,20 @@ mod tests {
         let clock = SimClock::new();
         let nvm = NvmDevice::new(NvmConfig::new(2 << 20, NvmTech::Pcm), clock.clone());
         let disk = SimDisk::new(DiskKind::Ssd, 1 << 16, clock);
-        let cfg = ClassicConfig { assoc: 64, sync_metadata: false, ..ClassicConfig::default() };
+        let cfg = ClassicConfig {
+            assoc: 64,
+            sync_metadata: false,
+            ..ClassicConfig::default()
+        };
         let mut c = ClassicCache::format(nvm.clone(), disk, cfg);
         let before = nvm.stats();
         c.write(1, &blk(1));
         let d = nvm.stats().delta(&before);
         assert_eq!(c.stats().meta_block_writes, 0);
-        assert!(d.lines_written < 70, "only the data block should be written");
+        assert!(
+            d.lines_written < 70,
+            "only the data block should be written"
+        );
     }
 
     #[test]
@@ -594,7 +643,10 @@ mod tests {
         }
         // The set holds 4 slots: the first block must have been evicted
         // even though the rest of the cache is empty.
-        assert!(!c.contains(same_set[0]), "set conflict must evict within the set");
+        assert!(
+            !c.contains(same_set[0]),
+            "set conflict must evict within the set"
+        );
         assert_eq!(c.stats().evictions, 1);
         let mut buf = [0u8; BLOCK_SIZE];
         disk.read_block(same_set[0], &mut buf);
@@ -609,8 +661,15 @@ mod tests {
         c.write(8, &blk(10));
         drop(c);
         nvm.crash(CrashPolicy::LoseVolatile);
-        let rec = ClassicCache::recover(nvm, disk, ClassicConfig { assoc: 64, ..Default::default() })
-            .unwrap();
+        let rec = ClassicCache::recover(
+            nvm,
+            disk,
+            ClassicConfig {
+                assoc: 64,
+                ..Default::default()
+            },
+        )
+        .unwrap();
         assert!(rec.contains(7) && rec.contains(8));
         let mut buf = [0u8; BLOCK_SIZE];
         rec.read_nocache(7, &mut buf);
@@ -627,14 +686,15 @@ mod tests {
             let clock = SimClock::new();
             let nvm = NvmDevice::new(NvmConfig::new(2 << 20, NvmTech::Pcm), clock.clone());
             let disk = SimDisk::new(DiskKind::Ssd, 1 << 16, clock);
-            let cfg = ClassicConfig { assoc: 64, ..ClassicConfig::default() };
+            let cfg = ClassicConfig {
+                assoc: 64,
+                ..ClassicConfig::default()
+            };
             let mut c = ClassicCache::format(nvm.clone(), disk.clone(), cfg.clone());
             c.write(3, &blk(1));
             // Second write crashes mid-flush.
             nvm.set_trip(Some(20));
-            let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                c.write(3, &blk(2))
-            }));
+            let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| c.write(3, &blk(2))));
             nvm.set_trip(None);
             if r.is_ok() {
                 continue;
@@ -649,7 +709,10 @@ mod tests {
                 break;
             }
         }
-        assert!(torn, "in-place overwrite should be tearable — that is the point of the baseline");
+        assert!(
+            torn,
+            "in-place overwrite should be tearable — that is the point of the baseline"
+        );
     }
 
     #[test]

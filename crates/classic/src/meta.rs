@@ -36,7 +36,11 @@ pub struct SlotRecord {
 }
 
 impl SlotRecord {
-    pub const INVALID: SlotRecord = SlotRecord { valid: false, dirty: false, disk_blk: 0 };
+    pub const INVALID: SlotRecord = SlotRecord {
+        valid: false,
+        dirty: false,
+        disk_blk: 0,
+    };
 
     pub fn encode(&self) -> [u8; RECORD_BYTES] {
         let mut out = [0u8; RECORD_BYTES];
@@ -56,7 +60,11 @@ impl SlotRecord {
         if lo & FLAG_VALID == 0 {
             return SlotRecord::INVALID;
         }
-        SlotRecord { valid: true, dirty: lo & FLAG_DIRTY != 0, disk_blk: lo >> 8 }
+        SlotRecord {
+            valid: true,
+            dirty: lo & FLAG_DIRTY != 0,
+            disk_blk: lo >> 8,
+        }
     }
 }
 
@@ -81,8 +89,14 @@ impl ClassicLayout {
     /// Partitions `capacity` bytes with `assoc`-way sets. The slot count is
     /// rounded down to a whole number of sets.
     pub fn compute(capacity: usize, assoc: u32) -> ClassicLayout {
-        assert!(capacity > HEADER_BYTES + 2 * BLOCK_SIZE, "NVM region too small");
-        assert!(capacity > HEADER_BYTES + LOG_BYTES + 2 * BLOCK_SIZE, "NVM region too small");
+        assert!(
+            capacity > HEADER_BYTES + 2 * BLOCK_SIZE,
+            "NVM region too small"
+        );
+        assert!(
+            capacity > HEADER_BYTES + LOG_BYTES + 2 * BLOCK_SIZE,
+            "NVM region too small"
+        );
         let usable = capacity - HEADER_BYTES - LOG_BYTES;
         let mut num_blocks = usable / (BLOCK_SIZE + RECORD_BYTES);
         // Whole sets only (the last partial set would skew the hash).
@@ -178,7 +192,11 @@ mod tests {
     #[test]
     fn log_record_round_trip() {
         for rec in [
-            SlotRecord { valid: true, dirty: true, disk_blk: 9999 },
+            SlotRecord {
+                valid: true,
+                dirty: true,
+                disk_blk: 9999,
+            },
             SlotRecord::INVALID,
         ] {
             let raw = encode_log_record(7, 42, rec);
@@ -199,7 +217,15 @@ mod tests {
     #[test]
     fn record_round_trip() {
         for (valid, dirty, blk) in [(true, true, 12345u64), (true, false, 0), (false, false, 0)] {
-            let r = if valid { SlotRecord { valid, dirty, disk_blk: blk } } else { SlotRecord::INVALID };
+            let r = if valid {
+                SlotRecord {
+                    valid,
+                    dirty,
+                    disk_blk: blk,
+                }
+            } else {
+                SlotRecord::INVALID
+            };
             assert_eq!(SlotRecord::decode(&r.encode()), r);
         }
     }

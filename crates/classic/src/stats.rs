@@ -51,10 +51,18 @@ mod tests {
 
     #[test]
     fn rates_and_delta() {
-        let s = ClassicStats { write_hits: 1, write_misses: 3, ..Default::default() };
+        let s = ClassicStats {
+            write_hits: 1,
+            write_misses: 3,
+            ..Default::default()
+        };
         assert_eq!(s.write_hit_rate(), Some(0.25));
         assert_eq!(s.read_hit_rate(), None);
-        let t = ClassicStats { write_hits: 5, write_misses: 3, ..Default::default() };
+        let t = ClassicStats {
+            write_hits: 5,
+            write_misses: 3,
+            ..Default::default()
+        };
         assert_eq!(t.delta(&s).write_hits, 4);
     }
 }

@@ -19,7 +19,11 @@ fn blk(b: u8) -> [u8; BLOCK_SIZE] {
 
 #[test]
 fn fallow_blocks_reach_disk_on_barrier() {
-    let cfg = ClassicConfig { assoc: 64, fallow_age_writes: 16, ..ClassicConfig::default() };
+    let cfg = ClassicConfig {
+        assoc: 64,
+        fallow_age_writes: 16,
+        ..ClassicConfig::default()
+    };
     let (mut c, disk) = setup(cfg);
     // Block 1 goes dirty, then 20 other writes age it past the fallow window.
     c.write(1, &blk(0xAA));
@@ -30,13 +34,21 @@ fn fallow_blocks_reach_disk_on_barrier() {
     c.flush_barrier();
     let mut buf = [0u8; BLOCK_SIZE];
     disk.read_block(1, &mut buf);
-    assert_eq!(buf, blk(0xAA), "fallow block must be on disk after the barrier");
+    assert_eq!(
+        buf,
+        blk(0xAA),
+        "fallow block must be on disk after the barrier"
+    );
     c.check_consistency().unwrap();
 }
 
 #[test]
 fn hot_blocks_absorb_across_barriers() {
-    let cfg = ClassicConfig { assoc: 64, fallow_age_writes: 64, ..ClassicConfig::default() };
+    let cfg = ClassicConfig {
+        assoc: 64,
+        fallow_age_writes: 64,
+        ..ClassicConfig::default()
+    };
     let (mut c, disk) = setup(cfg);
     // Rewrite the same block between barriers: it never goes fallow.
     for round in 0..20 {
@@ -54,7 +66,11 @@ fn hot_blocks_absorb_across_barriers() {
 fn cold_versions_hit_disk_once_each() {
     // Journal-like pattern: a small region rewritten cyclically with long
     // gaps — every version must reach the disk (no absorption).
-    let cfg = ClassicConfig { assoc: 64, fallow_age_writes: 2, ..ClassicConfig::default() };
+    let cfg = ClassicConfig {
+        assoc: 64,
+        fallow_age_writes: 2,
+        ..ClassicConfig::default()
+    };
     let (mut c, disk) = setup(cfg);
     let region: Vec<u64> = (200..264).collect(); // 64-block "journal"
     for wrap in 0..4u8 {
@@ -85,12 +101,20 @@ fn drain_can_be_disabled() {
         c.write(i, &blk(1));
     }
     c.flush_barrier();
-    assert_eq!(disk.stats().writes, 0, "disabled drain must not touch the disk");
+    assert_eq!(
+        disk.stats().writes,
+        0,
+        "disabled drain must not touch the disk"
+    );
 }
 
 #[test]
 fn barrier_cleaning_is_elevator_ordered() {
-    let cfg = ClassicConfig { assoc: 256, fallow_age_writes: 4, ..ClassicConfig::default() };
+    let cfg = ClassicConfig {
+        assoc: 256,
+        fallow_age_writes: 4,
+        ..ClassicConfig::default()
+    };
     let clock = SimClock::new();
     let nvm = NvmDevice::new(NvmConfig::new(4 << 20, NvmTech::Pcm), clock.clone());
     // HDD makes ordering observable through cost: sorted cleaning of a
@@ -123,7 +147,11 @@ fn barrier_cleaning_is_elevator_ordered() {
 
 #[test]
 fn cleaned_blocks_stay_cached_and_clean() {
-    let cfg = ClassicConfig { assoc: 64, fallow_age_writes: 4, ..ClassicConfig::default() };
+    let cfg = ClassicConfig {
+        assoc: 64,
+        fallow_age_writes: 4,
+        ..ClassicConfig::default()
+    };
     let (mut c, disk) = setup(cfg);
     c.write(5, &blk(9));
     for i in 100..110u64 {

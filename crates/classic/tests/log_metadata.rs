@@ -33,7 +33,10 @@ fn log_appends_instead_of_block_rewrites() {
     let d = nvm.stats().delta(&before);
     let s = c.stats();
     assert_eq!(s.meta_log_appends, 2);
-    assert_eq!(s.meta_block_writes, 0, "no metadata blocks outside checkpoints");
+    assert_eq!(
+        s.meta_block_writes, 0,
+        "no metadata blocks outside checkpoints"
+    );
     // Two data blocks (64 lines each) + two 16 B log records (1 line each).
     assert!(
         d.lines_written <= 2 * 64 + 4,
@@ -52,7 +55,11 @@ fn log_scheme_is_much_cheaper_than_sync_block() {
         let mut c = ClassicCache::format(
             nvm.clone(),
             disk,
-            ClassicConfig { assoc: 64, metadata_scheme: scheme, ..ClassicConfig::default() },
+            ClassicConfig {
+                assoc: 64,
+                metadata_scheme: scheme,
+                ..ClassicConfig::default()
+            },
         );
         let before = nvm.stats();
         for i in 0..200u64 {
@@ -111,7 +118,10 @@ fn checkpoint_on_log_full_and_recovery_across_generations() {
     rec.check_consistency().unwrap();
     for (i, w) in want {
         rec.read_nocache(i, &mut buf);
-        assert_eq!(buf, w, "block {i} state diverged across checkpoint generations");
+        assert_eq!(
+            buf, w,
+            "block {i} state diverged across checkpoint generations"
+        );
     }
 }
 
@@ -129,7 +139,10 @@ fn flush_barrier_logs_cleaned_slots() {
     }
     let appends_before = c.stats().meta_log_appends;
     c.flush_barrier();
-    assert!(c.stats().meta_log_appends > appends_before, "cleaning must log state changes");
+    assert!(
+        c.stats().meta_log_appends > appends_before,
+        "cleaning must log state changes"
+    );
     // Crash after the barrier: the clean state must be recovered (no
     // spurious re-writeback of block 5).
     drop(c);
@@ -138,5 +151,8 @@ fn flush_barrier_logs_cleaned_slots() {
     let w = disk.stats().writes;
     rec.flush_all();
     let rewritten = disk.stats().writes - w;
-    assert!(rewritten < 11, "most blocks were already clean, rewrote {rewritten}");
+    assert!(
+        rewritten < 11,
+        "most blocks were already clean, rewrote {rewritten}"
+    );
 }

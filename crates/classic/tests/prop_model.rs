@@ -13,7 +13,10 @@ const BLOCK_SPACE: u64 = 512;
 
 #[derive(Clone, Debug)]
 enum Op {
-    Write { blk: u64, fill: u8 },
+    Write {
+        blk: u64,
+        fill: u8,
+    },
     Read(u64),
     Barrier,
     FlushAll,
@@ -32,7 +35,11 @@ fn ops() -> impl Strategy<Value = Op> {
 }
 
 fn cfg() -> ClassicConfig {
-    ClassicConfig { assoc: 32, fallow_age_writes: 16, ..ClassicConfig::default() }
+    ClassicConfig {
+        assoc: 32,
+        fallow_age_writes: 16,
+        ..ClassicConfig::default()
+    }
 }
 
 proptest! {

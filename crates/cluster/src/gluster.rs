@@ -24,12 +24,19 @@ impl GlusterCluster {
     pub const OP_OVERHEAD_NS: u64 = 250_000;
 
     pub fn new(n_nodes: usize, replicas: usize, cfg: &StackConfig) -> Self {
-        assert!(replicas >= 1 && n_nodes % replicas == 0, "nodes must divide into replica groups");
+        assert!(
+            replicas >= 1 && n_nodes.is_multiple_of(replicas),
+            "nodes must divide into replica groups"
+        );
         let net = NetModel::ten_gbe();
         let nodes = (0..n_nodes)
             .map(|i| NodeHandle::spawn(i, cfg.clone(), net, Self::OP_OVERHEAD_NS))
             .collect();
-        GlusterCluster { nodes, replicas, groups: n_nodes / replicas }
+        GlusterCluster {
+            nodes,
+            replicas,
+            groups: n_nodes / replicas,
+        }
     }
 
     /// The replica group (node indices) a file hashes to.
@@ -45,7 +52,9 @@ impl GlusterCluster {
 
     fn create(&self, name: &str) {
         for ni in self.group_of(name) {
-            self.nodes[ni].send(NodeCmd::Create { name: name.to_string() });
+            self.nodes[ni].send(NodeCmd::Create {
+                name: name.to_string(),
+            });
         }
     }
 
@@ -63,12 +72,19 @@ impl GlusterCluster {
     fn read(&self, name: &str, offset: u64, len: usize) {
         // Reads go to the group primary only.
         let primary = self.group_of(name)[0];
-        self.nodes[primary].send(NodeCmd::Read { name: name.to_string(), offset, len, reply: None });
+        self.nodes[primary].send(NodeCmd::Read {
+            name: name.to_string(),
+            offset,
+            len,
+            reply: None,
+        });
     }
 
     fn delete(&self, name: &str) {
         for ni in self.group_of(name) {
-            self.nodes[ni].send(NodeCmd::Delete { name: name.to_string() });
+            self.nodes[ni].send(NodeCmd::Delete {
+                name: name.to_string(),
+            });
         }
     }
 
@@ -92,8 +108,18 @@ impl GlusterCluster {
     }
 
     fn finish(self, label: String, client_ops: u64, client_bytes: u64) -> ClusterReport {
-        let nodes = self.nodes.into_iter().map(|h| h.finish()).collect();
-        ClusterReport { label, nodes, client_ops, client_bytes, client_floor_ns: 0 }
+        let nodes = self
+            .nodes
+            .into_iter()
+            .map(super::node::NodeHandle::finish)
+            .collect();
+        ClusterReport {
+            label,
+            nodes,
+            client_ops,
+            client_bytes,
+            client_floor_ns: 0,
+        }
     }
 }
 
@@ -226,7 +252,10 @@ mod tests {
             reply: Some(tx),
         });
         let data = rx.recv().unwrap();
-        assert!(data.iter().all(|&b| b == 3), "fsynced mirrored data lost in crash");
+        assert!(
+            data.iter().all(|&b| b == 3),
+            "fsynced mirrored data lost in crash"
+        );
         let _ = c.finish("t".into(), 1, 12_000);
     }
 

@@ -72,7 +72,9 @@ impl HdfsCluster {
             let pipeline = self.place();
             let chunk_name = format!("chunk-{chunk_idx:06}");
             for &ni in &pipeline {
-                self.nodes[ni].send(NodeCmd::Create { name: chunk_name.clone() });
+                self.nodes[ni].send(NodeCmd::Create {
+                    name: chunk_name.clone(),
+                });
             }
             let mut in_chunk = 0u64;
             while in_chunk < self.chunk_bytes && written < total_bytes {
@@ -99,7 +101,7 @@ impl HdfsCluster {
         let nodes = self
             .nodes
             .into_iter()
-            .map(|h| h.finish())
+            .map(super::node::NodeHandle::finish)
             .collect::<Vec<_>>();
         ClusterReport {
             label: format!("teragen r={}", self.replicas),

@@ -13,7 +13,10 @@ pub struct NetModel {
 impl NetModel {
     /// 10 GbE defaults: 40 µs per message, 1.25 GB/s.
     pub fn ten_gbe() -> NetModel {
-        NetModel { base_ns: 40_000, ns_per_byte_x1000: 800 }
+        NetModel {
+            base_ns: 40_000,
+            ns_per_byte_x1000: 800,
+        }
     }
 
     /// Cost of moving `bytes` in one message.

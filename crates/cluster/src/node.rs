@@ -10,15 +10,33 @@ use crate::NetModel;
 
 /// Commands a node accepts from the cluster client.
 pub enum NodeCmd {
-    Create { name: String },
+    Create {
+        name: String,
+    },
     /// Write `data` at `offset`; `net_bytes` is charged to the node's
     /// clock as network transfer before the write executes.
-    Write { name: String, offset: u64, data: Vec<u8>, net_bytes: u64 },
-    Append { name: String, data: Vec<u8>, net_bytes: u64 },
+    Write {
+        name: String,
+        offset: u64,
+        data: Vec<u8>,
+        net_bytes: u64,
+    },
+    Append {
+        name: String,
+        data: Vec<u8>,
+        net_bytes: u64,
+    },
     /// Read `len` bytes; the reply channel, when given, receives the data
     /// (tests); otherwise the read is applied for its cost only.
-    Read { name: String, offset: u64, len: usize, reply: Option<Sender<Vec<u8>>> },
-    Delete { name: String },
+    Read {
+        name: String,
+        offset: u64,
+        len: usize,
+        reply: Option<Sender<Vec<u8>>>,
+    },
+    Delete {
+        name: String,
+    },
     Fsync,
     /// Re-baselines the node's measurement window (used after a setup
     /// phase so reports cover only the measured phase).
@@ -27,9 +45,13 @@ pub enum NodeCmd {
     /// volatile write-back state adversarially (seeded), and the node
     /// reboots through cache recovery + journal replay before processing
     /// the next command.
-    Crash { seed: u64 },
+    Crash {
+        seed: u64,
+    },
     /// Finish: flush, report, and shut the node down.
-    Finish { reply: Sender<NodeReport> },
+    Finish {
+        reply: Sender<NodeReport>,
+    },
 }
 
 /// What a node reports when finished.
@@ -59,7 +81,12 @@ impl NodeHandle {
     /// `op_overhead_ns` models the distributed file system's per-operation
     /// software cost (RPC dispatch, FUSE crossings, replication
     /// coordination) charged on every data command.
-    pub fn spawn(node_id: usize, cfg: StackConfig, net: NetModel, op_overhead_ns: u64) -> NodeHandle {
+    pub fn spawn(
+        node_id: usize,
+        cfg: StackConfig,
+        net: NetModel,
+        op_overhead_ns: u64,
+    ) -> NodeHandle {
         let (tx, rx) = unbounded::<NodeCmd>();
         let (ready_tx, ready_rx) = bounded::<()>(1);
         let join = std::thread::Builder::new()
@@ -67,7 +94,11 @@ impl NodeHandle {
             .spawn(move || node_main(node_id, cfg, net, op_overhead_ns, rx, ready_tx))
             .expect("spawn node thread");
         ready_rx.recv().expect("node ready");
-        NodeHandle { node_id, tx, join: Some(join) }
+        NodeHandle {
+            node_id,
+            tx,
+            join: Some(join),
+        }
     }
 
     pub fn send(&self, cmd: NodeCmd) {
@@ -77,7 +108,9 @@ impl NodeHandle {
     /// Finishes the node and collects its report.
     pub fn finish(mut self) -> NodeReport {
         let (tx, rx) = bounded(1);
-        self.tx.send(NodeCmd::Finish { reply: tx }).expect("node alive");
+        self.tx
+            .send(NodeCmd::Finish { reply: tx })
+            .expect("node alive");
         let report = rx.recv().expect("node report");
         if let Some(j) = self.join.take() {
             j.join().expect("node thread joined cleanly");
@@ -134,17 +167,35 @@ fn node_main(
                 stack.clock.advance(net.transfer_ns(64) + op_overhead_ns);
                 stack.fs.create(&name).expect("create");
             }
-            NodeCmd::Write { name, offset, data, net_bytes } => {
-                stack.clock.advance(net.transfer_ns(net_bytes) + op_overhead_ns);
+            NodeCmd::Write {
+                name,
+                offset,
+                data,
+                net_bytes,
+            } => {
+                stack
+                    .clock
+                    .advance(net.transfer_ns(net_bytes) + op_overhead_ns);
                 let ino = stack.fs.open(&name).expect("open");
                 stack.fs.write(ino, offset, &data).expect("write");
             }
-            NodeCmd::Append { name, data, net_bytes } => {
-                stack.clock.advance(net.transfer_ns(net_bytes) + op_overhead_ns);
+            NodeCmd::Append {
+                name,
+                data,
+                net_bytes,
+            } => {
+                stack
+                    .clock
+                    .advance(net.transfer_ns(net_bytes) + op_overhead_ns);
                 let ino = stack.fs.open(&name).expect("open");
                 stack.fs.append(ino, &data).expect("append");
             }
-            NodeCmd::Read { name, offset, len, reply } => {
+            NodeCmd::Read {
+                name,
+                offset,
+                len,
+                reply,
+            } => {
                 stack.clock.advance(op_overhead_ns);
                 let ino = stack.fs.open(&name).expect("open");
                 let mut buf = vec![0u8; len];
@@ -189,10 +240,20 @@ mod tests {
     fn node_round_trip() {
         let h = NodeHandle::spawn(0, StackConfig::tiny(System::Tinca), NetModel::ten_gbe(), 0);
         h.send(NodeCmd::Create { name: "a".into() });
-        h.send(NodeCmd::Write { name: "a".into(), offset: 0, data: vec![7u8; 5000], net_bytes: 5000 });
+        h.send(NodeCmd::Write {
+            name: "a".into(),
+            offset: 0,
+            data: vec![7u8; 5000],
+            net_bytes: 5000,
+        });
         h.send(NodeCmd::Fsync);
         let (tx, rx) = bounded(1);
-        h.send(NodeCmd::Read { name: "a".into(), offset: 0, len: 5000, reply: Some(tx) });
+        h.send(NodeCmd::Read {
+            name: "a".into(),
+            offset: 0,
+            len: 5000,
+            reply: Some(tx),
+        });
         let data = rx.recv().unwrap();
         assert_eq!(data.len(), 5000);
         assert!(data.iter().all(|&b| b == 7));
@@ -205,7 +266,9 @@ mod tests {
     #[test]
     fn node_survives_a_crash_reboot_cycle() {
         let h = NodeHandle::spawn(2, StackConfig::tiny(System::Tinca), NetModel::ten_gbe(), 0);
-        h.send(NodeCmd::Create { name: "durable".into() });
+        h.send(NodeCmd::Create {
+            name: "durable".into(),
+        });
         h.send(NodeCmd::Write {
             name: "durable".into(),
             offset: 0,
@@ -217,13 +280,28 @@ mod tests {
         // Post-reboot, the fsynced file must read back intact, and the
         // node keeps serving.
         let (tx, rx) = bounded(1);
-        h.send(NodeCmd::Read { name: "durable".into(), offset: 0, len: 6000, reply: Some(tx) });
+        h.send(NodeCmd::Read {
+            name: "durable".into(),
+            offset: 0,
+            len: 6000,
+            reply: Some(tx),
+        });
         let data = rx.recv().unwrap();
-        assert!(data.iter().all(|&b| b == 0xCD), "data lost across node crash");
-        h.send(NodeCmd::Append { name: "durable".into(), data: vec![1u8; 100], net_bytes: 100 });
+        assert!(
+            data.iter().all(|&b| b == 0xCD),
+            "data lost across node crash"
+        );
+        h.send(NodeCmd::Append {
+            name: "durable".into(),
+            data: vec![1u8; 100],
+            net_bytes: 100,
+        });
         let report = h.finish();
         assert_eq!(report.files, 1);
-        assert!(report.sim_ns >= 2_000_000_000, "reboot penalty must show in time");
+        assert!(
+            report.sim_ns >= 2_000_000_000,
+            "reboot penalty must show in time"
+        );
     }
 
     #[test]

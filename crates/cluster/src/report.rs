@@ -82,8 +82,14 @@ mod tests {
         NodeReport {
             node_id: id,
             sim_ns,
-            nvm: NvmStats { clflush, ..Default::default() },
-            disk: DiskStats { writes, ..Default::default() },
+            nvm: NvmStats {
+                clflush,
+                ..Default::default()
+            },
+            disk: DiskStats {
+                writes,
+                ..Default::default()
+            },
             fs: FsStats::default(),
             cache: CacheSnapshot::default(),
             files: 0,
@@ -94,7 +100,10 @@ mod tests {
     fn slowest_node_defines_exec_time() {
         let r = ClusterReport {
             label: "t".into(),
-            nodes: vec![node(0, 1_000_000_000, 100, 4), node(1, 3_000_000_000, 200, 8)],
+            nodes: vec![
+                node(0, 1_000_000_000, 100, 4),
+                node(1, 3_000_000_000, 200, 8),
+            ],
             client_ops: 30,
             client_bytes: 2 << 20,
             client_floor_ns: 0,

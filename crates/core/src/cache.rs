@@ -124,7 +124,10 @@ impl TincaCache {
         }
         let n = txn.len();
         if n as u64 > self.layout.ring_cap {
-            return Err(TincaError::TxnTooLarge { blocks: n, ring_cap: self.layout.ring_cap });
+            return Err(TincaError::TxnTooLarge {
+                blocks: n,
+                ring_cap: self.layout.ring_cap,
+            });
         }
         let worst_case = if self.cfg.role_switch { 2 * n } else { 3 * n };
         if worst_case >= self.layout.data_blocks as usize {
@@ -134,7 +137,10 @@ impl TincaCache {
             });
         }
 
-        debug_assert_eq!(self.head, self.tail, "previous transaction left the ring open");
+        debug_assert_eq!(
+            self.head, self.tail,
+            "previous transaction left the ring open"
+        );
         let mut touched: Vec<u32> = Vec::with_capacity(n);
         let mut replaced_prevs: Vec<u32> = Vec::with_capacity(n);
         let result = self.commit_blocks(txn, &mut touched, &mut replaced_prevs);
@@ -154,6 +160,7 @@ impl TincaCache {
                 self.tail = self.head;
                 self.nvm.atomic_write_u64(TAIL_OFF, self.tail);
                 self.nvm.persist(TAIL_OFF, 8);
+                self.nvm.note_commit(TAIL_OFF, 8);
                 // DRAM-only reclamation, strictly after the commit point:
                 // previous versions become free, committed blocks turn MRU
                 // (§4.6 rule 2b).
@@ -265,7 +272,8 @@ impl TincaCache {
             let e = self.read_entry(idx);
             debug_assert_eq!(e.role, Role::Log);
             let addr = self.layout.entry_addr(idx);
-            self.nvm.atomic_write_u128(addr, e.switched_to_buffer().encode());
+            self.nvm
+                .atomic_write_u128(addr, e.switched_to_buffer().encode());
             self.nvm.clflush(addr, 16);
         }
         self.nvm.sfence();
@@ -276,8 +284,7 @@ impl TincaCache {
     /// second NVM block ("checkpoint" copy) before the commit point.
     fn complete_double_write(&mut self, touched: &mut [u32]) -> Result<(), TincaError> {
         let mut buf = [0u8; BLOCK_SIZE];
-        for i in 0..touched.len() {
-            let idx = touched[i];
+        for &idx in touched.iter() {
             let e = self.read_entry(idx);
             debug_assert_eq!(e.role, Role::Log);
             let chk = self.alloc_block()?;
@@ -307,7 +314,10 @@ impl TincaCache {
             self.nvm.read(self.layout.data_addr(e.cur), &mut buf);
             self.disk.write_block(e.disk_blk, &buf);
             self.stats.writebacks += 1;
-            let clean = CacheEntry { modified: false, ..e };
+            let clean = CacheEntry {
+                modified: false,
+                ..e
+            };
             self.write_entry(idx, clean);
         }
     }
@@ -330,6 +340,7 @@ impl TincaCache {
         self.tail = self.head;
         self.nvm.atomic_write_u64(TAIL_OFF, self.tail);
         self.nvm.persist(TAIL_OFF, 8);
+        self.nvm.note_commit(TAIL_OFF, 8);
     }
 
     /// Undoes one in-flight entry: restores the previous version, or
@@ -449,7 +460,13 @@ impl TincaCache {
                 self.nvm.read(self.layout.data_addr(e.cur), &mut buf);
                 self.disk.write_block(e.disk_blk, &buf);
                 self.stats.writebacks += 1;
-                self.write_entry(idx, CacheEntry { modified: false, ..e });
+                self.write_entry(
+                    idx,
+                    CacheEntry {
+                        modified: false,
+                        ..e
+                    },
+                );
             }
         }
     }
@@ -598,7 +615,10 @@ impl TincaCache {
     /// violation found.
     pub fn check_consistency(&self) -> Result<(), String> {
         if self.head != self.tail {
-            return Err(format!("ring open outside commit: head={} tail={}", self.head, self.tail));
+            return Err(format!(
+                "ring open outside commit: head={} tail={}",
+                self.head, self.tail
+            ));
         }
         let mut seen_cur = vec![false; self.layout.data_blocks as usize];
         let mut valid_count = 0usize;
@@ -622,7 +642,10 @@ impl TincaCache {
             }
             seen_cur[e.cur as usize] = true;
             if self.free_blocks.is_free(e.cur) {
-                return Err(format!("entry {idx} cur block {} is in the free pool", e.cur));
+                return Err(format!(
+                    "entry {idx} cur block {} is in the free pool",
+                    e.cur
+                ));
             }
             match self.index.get(&e.disk_blk) {
                 Some(&i) if i == idx => {}
@@ -644,11 +667,16 @@ impl TincaCache {
             ));
         }
         if valid_count != self.lru.len() {
-            return Err(format!("LRU size {} != valid entries {valid_count}", self.lru.len()));
+            return Err(format!(
+                "LRU size {} != valid entries {valid_count}",
+                self.lru.len()
+            ));
         }
         let used_blocks = self.layout.data_blocks as usize - self.free_blocks.free_count();
         if used_blocks != valid_count {
-            return Err(format!("{used_blocks} blocks in use but {valid_count} valid entries"));
+            return Err(format!(
+                "{used_blocks} blocks in use but {valid_count} valid entries"
+            ));
         }
         Ok(())
     }

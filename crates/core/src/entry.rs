@@ -60,8 +60,18 @@ impl CacheEntry {
 
     /// Creates a valid entry.
     pub fn new(role: Role, modified: bool, disk_blk: u64, prev: u32, cur: u32) -> Self {
-        assert!(disk_blk <= DISK_BLK_MAX, "disk block number exceeds 7 bytes");
-        CacheEntry { valid: true, role, modified, disk_blk, prev, cur }
+        assert!(
+            disk_blk <= DISK_BLK_MAX,
+            "disk block number exceeds 7 bytes"
+        );
+        CacheEntry {
+            valid: true,
+            role,
+            modified,
+            disk_blk,
+            prev,
+            cur,
+        }
     }
 
     /// Packs the entry into its 16-byte NVM representation.
@@ -90,7 +100,11 @@ impl CacheEntry {
         }
         CacheEntry {
             valid: true,
-            role: if lo & FLAG_LOG != 0 { Role::Log } else { Role::Buffer },
+            role: if lo & FLAG_LOG != 0 {
+                Role::Log
+            } else {
+                Role::Buffer
+            },
             modified: lo & FLAG_MOD != 0,
             disk_blk: lo >> 8,
             prev: hi as u32,
@@ -103,7 +117,10 @@ impl CacheEntry {
     /// retained — it is only reclaimed (in DRAM) once `Tail` has moved, so a
     /// crash between role switch and `Tail` can still revoke.
     pub fn switched_to_buffer(&self) -> CacheEntry {
-        CacheEntry { role: Role::Buffer, ..*self }
+        CacheEntry {
+            role: Role::Buffer,
+            ..*self
+        }
     }
 
     /// The entry after revoking an uncommitted update: the previous version

@@ -21,10 +21,19 @@ impl fmt::Display for TincaError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             TincaError::TxnTooLarge { blocks, ring_cap } => {
-                write!(f, "transaction of {blocks} blocks exceeds ring capacity {ring_cap}")
+                write!(
+                    f,
+                    "transaction of {blocks} blocks exceeds ring capacity {ring_cap}"
+                )
             }
-            TincaError::CacheExhausted { needed, data_blocks } => {
-                write!(f, "transaction needs up to {needed} NVM blocks but cache has {data_blocks}")
+            TincaError::CacheExhausted {
+                needed,
+                data_blocks,
+            } => {
+                write!(
+                    f,
+                    "transaction needs up to {needed} NVM blocks but cache has {data_blocks}"
+                )
             }
             TincaError::NoVictim => write!(f, "no evictable cache block (all pinned)"),
             TincaError::BadMagic { found } => {
@@ -42,7 +51,10 @@ mod tests {
 
     #[test]
     fn display_is_informative() {
-        let e = TincaError::TxnTooLarge { blocks: 100, ring_cap: 10 };
+        let e = TincaError::TxnTooLarge {
+            blocks: 100,
+            ring_cap: 10,
+        };
         assert!(e.to_string().contains("100"));
         assert!(e.to_string().contains("10"));
         let e = TincaError::BadMagic { found: 0xabc };

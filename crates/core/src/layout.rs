@@ -50,7 +50,10 @@ impl Layout {
         let ring_bytes = ring_bytes.next_multiple_of(BLOCK_SIZE);
         let ring_cap = (ring_bytes / RING_SLOT_BYTES) as u64;
         let fixed = HEADER_BYTES + ring_bytes;
-        assert!(capacity > fixed + BLOCK_SIZE, "NVM region too small: {capacity} bytes");
+        assert!(
+            capacity > fixed + BLOCK_SIZE,
+            "NVM region too small: {capacity} bytes"
+        );
         let usable = capacity - fixed;
         // Each data block costs 4 KB of data plus 16 B of entry; round the
         // entry area up to a block so the data area stays 4 KB aligned.
@@ -86,7 +89,11 @@ impl Layout {
 
     /// Byte address of NVM data block `blk`.
     pub fn data_addr(&self, blk: u32) -> usize {
-        debug_assert!(blk < self.data_blocks, "NVM block {blk} >= {}", self.data_blocks);
+        debug_assert!(
+            blk < self.data_blocks,
+            "NVM block {blk} >= {}",
+            self.data_blocks
+        );
         self.data_off + blk as usize * BLOCK_SIZE
     }
 

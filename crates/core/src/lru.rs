@@ -49,7 +49,10 @@ impl LruList {
 
     /// Inserts `idx` at the MRU end. Panics if already present.
     pub fn push_mru(&mut self, idx: u32) {
-        assert!(!self.linked[idx as usize], "index {idx} already in LRU list");
+        assert!(
+            !self.linked[idx as usize],
+            "index {idx} already in LRU list"
+        );
         let i = idx as usize;
         self.prev[i] = NIL;
         self.next[i] = self.head;
@@ -101,7 +104,10 @@ impl LruList {
 
     /// Iterates indices from LRU to MRU (victim-selection order).
     pub fn iter_lru(&self) -> LruIter<'_> {
-        LruIter { list: self, cur: self.tail }
+        LruIter {
+            list: self,
+            cur: self.tail,
+        }
     }
 }
 
@@ -208,7 +214,9 @@ mod tests {
         let mut model: VecDeque<u32> = VecDeque::new(); // front = MRU
         let mut x: u64 = 0x9E3779B97F4A7C15;
         for step in 0..10_000u32 {
-            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let idx = (x >> 33) as u32 % 64;
             match step % 3 {
                 0 => {

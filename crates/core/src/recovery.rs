@@ -47,7 +47,11 @@ impl TincaCache {
         let data_blocks = nvm.read_u64(DATA_BLOCKS_OFF);
         assert_eq!(
             (ring_cap, entry_count, data_blocks),
-            (layout.ring_cap, layout.entry_count as u64, layout.data_blocks as u64),
+            (
+                layout.ring_cap,
+                layout.entry_count as u64,
+                layout.data_blocks as u64
+            ),
             "NVM header does not match configuration (changed ring_bytes or capacity?)"
         );
         let head = nvm.read_u64(HEAD_OFF);
@@ -79,7 +83,9 @@ impl TincaCache {
         if head != tail {
             for seq in tail..head {
                 let disk_blk = self.nvm().read_u64(layout.ring_slot_addr(seq));
-                let Some(&idx) = by_disk.get(&disk_blk) else { continue };
+                let Some(&idx) = by_disk.get(&disk_blk) else {
+                    continue;
+                };
                 let e = self.read_entry(idx);
                 if e.valid && !e.is_revoked_marker() {
                     self.revoke_entry(idx, e);
@@ -100,6 +106,7 @@ impl TincaCache {
         self.set_head_tail(head, head);
         self.nvm().atomic_write_u64(TAIL_OFF, head);
         self.nvm().persist(TAIL_OFF, 8);
+        self.nvm().note_commit(TAIL_OFF, 8);
 
         // Pass 4: rebuild the DRAM structures from the surviving entries
         // (§4.6: "they can be reconstructed on the startup of system").

@@ -65,7 +65,13 @@ mod tests {
 
     #[test]
     fn hit_rates() {
-        let s = CacheStats { write_hits: 3, write_misses: 1, read_hits: 1, read_misses: 3, ..Default::default() };
+        let s = CacheStats {
+            write_hits: 3,
+            write_misses: 1,
+            read_hits: 1,
+            read_misses: 3,
+            ..Default::default()
+        };
         assert_eq!(s.write_hit_rate(), Some(0.75));
         assert_eq!(s.read_hit_rate(), Some(0.25));
     }
@@ -78,8 +84,15 @@ mod tests {
 
     #[test]
     fn delta_subtracts() {
-        let a = CacheStats { commits: 2, ..Default::default() };
-        let b = CacheStats { commits: 7, evictions: 3, ..Default::default() };
+        let a = CacheStats {
+            commits: 2,
+            ..Default::default()
+        };
+        let b = CacheStats {
+            commits: 7,
+            evictions: 3,
+            ..Default::default()
+        };
         let d = b.delta(&a);
         assert_eq!(d.commits, 5);
         assert_eq!(d.evictions, 3);

@@ -37,7 +37,11 @@ impl Txn {
 
     /// Stages `data` as the new contents of on-disk block `disk_blk`.
     pub fn write(&mut self, disk_blk: u64, data: &[u8]) {
-        assert_eq!(data.len(), BLOCK_SIZE, "transactions stage whole 4 KB blocks");
+        assert_eq!(
+            data.len(),
+            BLOCK_SIZE,
+            "transactions stage whole 4 KB blocks"
+        );
         match self.index.get(&disk_blk) {
             Some(&i) => self.blocks[i].1.copy_from_slice(data),
             None => {

@@ -9,7 +9,11 @@ use nvmsim::{CrashPolicy, CrashTripped, NvmConfig, NvmDevice, NvmTech, SimClock}
 use tinca::{TincaCache, TincaConfig};
 
 fn cfg(batched: bool) -> TincaConfig {
-    TincaConfig { ring_bytes: 4096, batched_ring: batched, ..TincaConfig::default() }
+    TincaConfig {
+        ring_bytes: 4096,
+        batched_ring: batched,
+        ..TincaConfig::default()
+    }
 }
 
 fn fresh(batched: bool) -> (TincaCache, nvmsim::Nvm, blockdev::Disk) {
@@ -126,7 +130,10 @@ fn batched_crash_sweep_is_atomic() {
             .iter()
             .map(|&b| {
                 rec.read_nocache(b, &mut buf);
-                assert!(buf.iter().all(|&x| x == buf[0]), "torn payload at trip {trip}");
+                assert!(
+                    buf.iter().all(|&x| x == buf[0]),
+                    "torn payload at trip {trip}"
+                );
                 buf[0]
             })
             .collect();

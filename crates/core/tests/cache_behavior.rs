@@ -7,11 +7,17 @@ use blockdev::{BlockDevice, DiskKind, SimDisk, BLOCK_SIZE};
 use nvmsim::{NvmConfig, NvmDevice, NvmTech, SimClock};
 use tinca::{TincaCache, TincaConfig, TincaError, WritePolicy};
 
-fn setup(nvm_bytes: usize, ring_bytes: usize) -> (TincaCache, nvmsim::Nvm, blockdev::Disk, SimClock) {
+fn setup(
+    nvm_bytes: usize,
+    ring_bytes: usize,
+) -> (TincaCache, nvmsim::Nvm, blockdev::Disk, SimClock) {
     let clock = SimClock::new();
     let nvm = NvmDevice::new(NvmConfig::new(nvm_bytes, NvmTech::Pcm), clock.clone());
     let disk = SimDisk::new(DiskKind::Ssd, 1 << 20, clock.clone());
-    let cfg = TincaConfig { ring_bytes, ..TincaConfig::default() };
+    let cfg = TincaConfig {
+        ring_bytes,
+        ..TincaConfig::default()
+    };
     let cache = TincaCache::format(nvm.clone(), disk.clone(), cfg);
     (cache, nvm, disk, clock)
 }
@@ -94,7 +100,11 @@ fn read_caching_can_be_disabled() {
     let clock = SimClock::new();
     let nvm = NvmDevice::new(NvmConfig::new(1 << 20, NvmTech::Pcm), clock.clone());
     let disk = SimDisk::new(DiskKind::Ssd, 1 << 16, clock.clone());
-    let cfg = TincaConfig { ring_bytes: 4096, cache_reads: false, ..TincaConfig::default() };
+    let cfg = TincaConfig {
+        ring_bytes: 4096,
+        cache_reads: false,
+        ..TincaConfig::default()
+    };
     let mut cache = TincaCache::format(nvm, disk.clone(), cfg);
     let mut buf = [0u8; BLOCK_SIZE];
     cache.read(5, &mut buf);
@@ -135,7 +145,11 @@ fn clean_eviction_does_not_touch_disk() {
         cache.read(i, &mut buf);
     }
     assert!(cache.stats().evictions >= 4);
-    assert_eq!(disk.stats().writes, 0, "clean blocks must not be written back");
+    assert_eq!(
+        disk.stats().writes,
+        0,
+        "clean blocks must not be written back"
+    );
 }
 
 #[test]
@@ -231,7 +245,11 @@ fn ablation_double_write_costs_two_payload_writes() {
     let clock = SimClock::new();
     let nvm = NvmDevice::new(NvmConfig::new(4 << 20, NvmTech::Pcm), clock.clone());
     let disk = SimDisk::new(DiskKind::Ssd, 1 << 16, clock.clone());
-    let cfg = TincaConfig { ring_bytes: 4096, role_switch: false, ..TincaConfig::default() };
+    let cfg = TincaConfig {
+        ring_bytes: 4096,
+        role_switch: false,
+        ..TincaConfig::default()
+    };
     let mut cache = TincaCache::format(nvm.clone(), disk, cfg);
     let before = nvm.stats();
     let mut txn = cache.init_txn();
@@ -364,7 +382,10 @@ fn simulated_time_advances_with_work() {
     let commit_cost = clock.now_ns() - t0;
     // 64 payload flushes at PCM speed (280 ns each) dominate.
     assert!(commit_cost > 64 * 240, "commit too cheap: {commit_cost} ns");
-    assert!(commit_cost < 100_000, "commit unreasonably expensive: {commit_cost} ns");
+    assert!(
+        commit_cost < 100_000,
+        "commit unreasonably expensive: {commit_cost} ns"
+    );
 }
 
 #[test]

@@ -45,7 +45,10 @@ fn observed(cache: &TincaCache, b: u64) -> u8 {
     let mut buf = [0u8; BLOCK_SIZE];
     cache.read_nocache(b, &mut buf);
     let first = buf[0];
-    assert!(buf.iter().all(|&x| x == first), "torn block payload for {b}");
+    assert!(
+        buf.iter().all(|&x| x == first),
+        "torn block payload for {b}"
+    );
     first
 }
 
@@ -75,7 +78,10 @@ fn run_one_crash(trip: u64, policy: CrashPolicy, blocks: &[u64]) -> bool {
         Ok(Ok(())) => false,
         Ok(Err(e)) => panic!("commit failed without crash: {e}"),
         Err(p) => {
-            assert!(p.downcast_ref::<CrashTripped>().is_some(), "unexpected panic kind");
+            assert!(
+                p.downcast_ref::<CrashTripped>().is_some(),
+                "unexpected panic kind"
+            );
             true
         }
     };
@@ -83,7 +89,9 @@ fn run_one_crash(trip: u64, policy: CrashPolicy, blocks: &[u64]) -> bool {
     nvm.crash(policy);
 
     let recovered = TincaCache::recover(nvm, disk, tinca_cfg()).expect("recovery must succeed");
-    recovered.check_consistency().unwrap_or_else(|e| panic!("inconsistent after recovery: {e}"));
+    recovered
+        .check_consistency()
+        .unwrap_or_else(|e| panic!("inconsistent after recovery: {e}"));
 
     let versions: Vec<u8> = blocks.iter().map(|&b| observed(&recovered, b)).collect();
     let all_old = versions.iter().all(|&v| v == 1);
@@ -99,7 +107,10 @@ fn run_one_crash(trip: u64, policy: CrashPolicy, blocks: &[u64]) -> bool {
 }
 
 fn tinca_cfg() -> TincaConfig {
-    TincaConfig { ring_bytes: RING_BYTES, ..TincaConfig::default() }
+    TincaConfig {
+        ring_bytes: RING_BYTES,
+        ..TincaConfig::default()
+    }
 }
 
 #[test]
@@ -136,12 +147,19 @@ fn crash_sweep_every_event_of_a_commit() {
         }
     }
     assert!(crashes > 0, "sweep never crashed mid-commit");
-    assert!(completions > 0, "sweep never reached completion (tail event)");
+    assert!(
+        completions > 0,
+        "sweep never reached completion (tail event)"
+    );
 }
 
 #[test]
 fn crash_long_after_commit_keeps_everything() {
-    for policy in [CrashPolicy::LoseVolatile, CrashPolicy::PersistAll, CrashPolicy::Random(3)] {
+    for policy in [
+        CrashPolicy::LoseVolatile,
+        CrashPolicy::PersistAll,
+        CrashPolicy::Random(3),
+    ] {
         let (nvm, disk) = fresh_stack();
         let mut cache = TincaCache::format(nvm.clone(), disk.clone(), tinca_cfg());
         for round in 0..5u64 {
@@ -279,7 +297,10 @@ fn double_crash_during_recovery_is_idempotent() {
                 nvm_i.set_trip(None);
                 rec1.check_consistency().unwrap();
                 let v: Vec<u8> = blocks.iter().map(|&b| observed(&rec1, b)).collect();
-                assert!(v.iter().all(|&x| x == 1) || v.iter().all(|&x| x == 2), "{v:?}");
+                assert!(
+                    v.iter().all(|&x| x == 1) || v.iter().all(|&x| x == 2),
+                    "{v:?}"
+                );
             }
             Ok(Err(e)) => panic!("recovery error: {e}"),
             Err(_) => {
@@ -389,7 +410,10 @@ fn recovery_counts_revoked_blocks() {
     nvm.crash(CrashPolicy::LoseVolatile);
     let rec = TincaCache::recover(nvm, disk, tinca_cfg()).unwrap();
     if crashed {
-        assert!(rec.stats().revoked_blocks > 0, "crash mid-commit should revoke blocks");
+        assert!(
+            rec.stats().revoked_blocks > 0,
+            "crash mid-commit should revoke blocks"
+        );
     }
     rec.check_consistency().unwrap();
 }
@@ -423,7 +447,7 @@ fn recovery_across_ring_wraparound() {
         seed.write(v, &blk(1));
     }
     cache.commit(&seed).unwrap(); // this txn itself wraps the ring
-    // Now crash a wrapping update mid-commit.
+                                  // Now crash a wrapping update mid-commit.
     let mut txn = cache.init_txn();
     for &v in &victims {
         txn.write(v, &blk(2));

@@ -15,7 +15,10 @@ const RING_BYTES: usize = 4096;
 const BLOCK_SPACE: u64 = 256; // disk blocks the generator draws from
 
 fn cfg() -> TincaConfig {
-    TincaConfig { ring_bytes: RING_BYTES, ..TincaConfig::default() }
+    TincaConfig {
+        ring_bytes: RING_BYTES,
+        ..TincaConfig::default()
+    }
 }
 
 fn fresh() -> (nvmsim::Nvm, blockdev::Disk, TincaCache) {

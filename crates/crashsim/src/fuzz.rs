@@ -38,7 +38,12 @@ impl FuzzReport {
 /// A deterministic scripted workload step.
 enum Step {
     Create(String),
-    Write { name: String, offset: u64, len: usize, fill: u8 },
+    Write {
+        name: String,
+        offset: u64,
+        len: usize,
+        fill: u8,
+    },
     Delete(String),
     Fsync,
 }
@@ -81,7 +86,12 @@ fn apply(fs: &mut FsSim, oracle: &mut FsOracle, step: &Step) {
                 oracle.create(name);
             }
         }
-        Step::Write { name, offset, len, fill } => {
+        Step::Write {
+            name,
+            offset,
+            len,
+            fill,
+        } => {
             if let Ok(ino) = fs.open(name) {
                 let data = vec![*fill; *len];
                 if fs.write(ino, *offset, &data).is_ok() {
@@ -201,8 +211,18 @@ mod tests {
                 (Step::Fsync, Step::Fsync) => {}
                 (Step::Delete(p), Step::Delete(q)) => assert_eq!(p, q),
                 (
-                    Step::Write { name: p, offset: o1, len: l1, fill: f1 },
-                    Step::Write { name: q, offset: o2, len: l2, fill: f2 },
+                    Step::Write {
+                        name: p,
+                        offset: o1,
+                        len: l1,
+                        fill: f1,
+                    },
+                    Step::Write {
+                        name: q,
+                        offset: o2,
+                        len: l2,
+                        fill: f2,
+                    },
                 ) => {
                     assert_eq!((p, o1, l1, f1), (q, o2, l2, f2));
                 }

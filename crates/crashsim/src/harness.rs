@@ -5,7 +5,8 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 
 use fssim::stack::{build, remount, Stack, StackConfig};
 use fssim::FsSim;
-use nvmsim::{CrashPolicy, CrashTripped};
+use nvmsim::{CrashPolicy, CrashTripped, NvmConfig};
+use persistcheck::{CheckConfig, Checker, Report};
 
 use crate::FsOracle;
 
@@ -31,6 +32,9 @@ pub enum VerifyError {
     TornState(String),
     /// Cache- or FS-internal invariants violated.
     Inconsistent(String),
+    /// The shadow persist-order analyzer flagged the event trace (a store
+    /// reached a commit point unflushed, unfenced, or tearably written).
+    PersistOrder(String),
 }
 
 impl std::fmt::Display for VerifyError {
@@ -38,22 +42,52 @@ impl std::fmt::Display for VerifyError {
         match self {
             VerifyError::TornState(m) => write!(f, "torn state: {m}"),
             VerifyError::Inconsistent(m) => write!(f, "inconsistent internals: {m}"),
+            VerifyError::PersistOrder(m) => write!(f, "persist-order violation: {m}"),
         }
     }
 }
 
-/// Drives one crash experiment on one stack.
+/// Drives one crash experiment on one stack. Every harness runs the
+/// persist-order analyzer in shadow mode: the NVM device records its
+/// event trace (no effect on simulated time), and [`Self::verify`] fails
+/// if any commit point was reached with unflushed or unfenced stores.
 pub struct CrashHarness {
     cfg: StackConfig,
     stack: Option<Stack>,
+    checker: Checker,
 }
 
 impl CrashHarness {
-    /// Builds a fresh stack.
-    pub fn new(cfg: StackConfig) -> Self {
+    /// Builds a fresh stack with event tracing enabled.
+    pub fn new(mut cfg: StackConfig) -> Self {
         quiet_crash_panics();
+        let nvm_cfg = cfg
+            .nvm_override
+            .take()
+            .unwrap_or_else(|| NvmConfig::new(cfg.nvm_bytes, cfg.nvm_tech));
+        cfg.nvm_override = Some(nvm_cfg.with_tracing());
         let stack = build(&cfg).expect("stack build");
-        Self { cfg, stack: Some(stack) }
+        let checker = Checker::new(CheckConfig::with_metadata(
+            stack.fs.backend().metadata_ranges(),
+        ));
+        Self {
+            cfg,
+            stack: Some(stack),
+            checker,
+        }
+    }
+
+    /// Feeds the events traced since the last drain to the analyzer.
+    fn drain_trace(&mut self) {
+        if let Some(stack) = self.stack.as_ref() {
+            self.checker.push_all(&stack.nvm.take_trace());
+        }
+    }
+
+    /// The analyzer's cumulative view of this harness's event trace.
+    pub fn persist_report(&mut self) -> Report {
+        self.drain_trace();
+        self.checker.report()
     }
 
     /// The live file system (panics after a crash until remounted).
@@ -109,8 +143,17 @@ impl CrashHarness {
     /// hold, and the visible file set + contents equal either the durable
     /// or the staged state (all-or-nothing).
     pub fn verify(&mut self, oracle: &FsOracle) -> Result<(), VerifyError> {
+        self.drain_trace();
+        let report = self.checker.report();
+        if !report.is_clean() {
+            return Err(VerifyError::PersistOrder(report.to_string()));
+        }
         let stack = self.stack.as_mut().expect("stack live");
-        stack.fs.backend().check().map_err(VerifyError::Inconsistent)?;
+        stack
+            .fs
+            .backend()
+            .check()
+            .map_err(VerifyError::Inconsistent)?;
         stack
             .fs
             .check_consistency()

@@ -27,6 +27,8 @@ mod fuzz;
 mod harness;
 mod oracle;
 
-pub use fuzz::{fuzz_one, fuzz_one_mode, fuzz_system, fuzz_system_mode, FailureMode, FuzzOutcome, FuzzReport};
+pub use fuzz::{
+    fuzz_one, fuzz_one_mode, fuzz_system, fuzz_system_mode, FailureMode, FuzzOutcome, FuzzReport,
+};
 pub use harness::{quiet_crash_panics, CrashHarness, VerifyError};
 pub use oracle::FsOracle;

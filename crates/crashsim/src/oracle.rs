@@ -30,7 +30,10 @@ impl FsOracle {
 
     /// Records a write at `offset` (staged).
     pub fn write(&mut self, name: &str, offset: u64, data: &[u8]) {
-        let f = self.staged.get_mut(name).expect("oracle: write to unknown file");
+        let f = self
+            .staged
+            .get_mut(name)
+            .expect("oracle: write to unknown file");
         let end = offset as usize + data.len();
         if f.len() < end {
             f.resize(end, 0);

@@ -121,8 +121,33 @@ fn quiescent_crash_preserves_exact_state() {
         oracle.committed();
         assert!(oracle.quiescent());
         h.crash_and_remount(CrashPolicy::LoseVolatile);
-        h.verify(&oracle).unwrap_or_else(|e| panic!("{}: {e}", system.name()));
+        h.verify(&oracle)
+            .unwrap_or_else(|e| panic!("{}: {e}", system.name()));
     }
+}
+
+#[test]
+fn shadow_analyzer_observes_commits_and_stays_clean() {
+    // Every harness runs the persist-order analyzer in shadow mode; on an
+    // unmodified Tinca stack it must see real commit points and report
+    // zero correctness violations — including across a crash/remount,
+    // where recovery's ring close is itself a commit point.
+    let mut h = CrashHarness::new(StackConfig::tiny(System::Tinca));
+    h.run(|fs| {
+        let f = fs.create("doc").unwrap();
+        fs.write(f, 0, &[7u8; 8192]).unwrap();
+        fs.fsync().unwrap();
+    });
+    let report = h.persist_report();
+    assert!(report.commits >= 1, "analyzer must observe commit points");
+    assert!(
+        report.is_clean(),
+        "unmodified protocol must be clean:\n{report}"
+    );
+    h.crash_and_remount(CrashPolicy::LoseVolatile);
+    let report = h.persist_report();
+    assert!(report.crashes >= 1, "the crash must appear in the trace");
+    assert!(report.is_clean(), "recovery must stay clean:\n{report}");
 }
 
 #[test]
@@ -150,7 +175,8 @@ fn repeated_crash_remount_cycles() {
             oracle.committed();
         }
         h.crash_and_remount(CrashPolicy::Random(round * 7 + 1));
-        h.verify(&oracle).unwrap_or_else(|e| panic!("round {round}: {e}"));
+        h.verify(&oracle)
+            .unwrap_or_else(|e| panic!("round {round}: {e}"));
         // Re-sync the oracle to whatever survived, then continue.
         let mut fresh = FsOracle::new();
         let fs = h.fs();

@@ -45,6 +45,14 @@ pub trait CacheBackend {
     /// cache needs nothing — its commit *is* the durability point.
     fn flush_barrier(&mut self) {}
 
+    /// NVM address ranges holding cache metadata (commit records, cache
+    /// entries, ring buffer). Crash harnesses hand these to the
+    /// persist-order analyzer so its torn-update rule applies only where
+    /// tearing corrupts recovery. Empty for layers without NVM metadata.
+    fn metadata_ranges(&self) -> Vec<std::ops::Range<usize>> {
+        Vec::new()
+    }
+
     /// Downcasting hook so harnesses can reach implementation-specific
     /// counters (e.g. UBJ's memcpy/stall statistics).
     fn as_any(&self) -> &dyn std::any::Any;
@@ -74,7 +82,9 @@ impl CacheBackend for TincaBackend {
     fn write_block(&mut self, blk: u64, data: &[u8]) {
         let mut txn = self.cache.init_txn();
         txn.write(blk, data);
-        self.cache.commit(&txn).expect("single-block commit cannot exceed limits");
+        self.cache
+            .commit(&txn)
+            .expect("single-block commit cannot exceed limits");
     }
 
     fn commit_txn(&mut self, blocks: &[(u64, Box<[u8; BLOCK_SIZE]>)]) -> Result<(), String> {
@@ -111,6 +121,12 @@ impl CacheBackend for TincaBackend {
             evictions: s.evictions,
             writebacks: s.writebacks,
         }
+    }
+
+    fn metadata_ranges(&self) -> Vec<std::ops::Range<usize>> {
+        // Everything below the data area: header, ring, entry table.
+        let metadata = 0..self.cache.layout().data_off;
+        vec![metadata]
     }
 }
 
@@ -200,7 +216,9 @@ impl CacheBackend for UbjBackend {
     fn write_block(&mut self, blk: u64, data: &[u8]) {
         let mut b: Box<[u8; BLOCK_SIZE]> = Box::new([0u8; BLOCK_SIZE]);
         b.copy_from_slice(data);
-        self.cache.commit_txn(&[(blk, b)]).expect("single-block commit");
+        self.cache
+            .commit_txn(&[(blk, b)])
+            .expect("single-block commit");
     }
 
     fn commit_txn(&mut self, blocks: &[(u64, Box<[u8; BLOCK_SIZE]>)]) -> Result<(), String> {
@@ -287,10 +305,14 @@ mod tests {
         let clock = SimClock::new();
         let nvm = NvmDevice::new(NvmConfig::new(1 << 20, NvmTech::Pcm), clock.clone());
         let disk = SimDisk::new(DiskKind::Ssd, 1 << 14, clock);
-        let cache = TincaCache::format(nvm, disk, tinca::TincaConfig {
-            ring_bytes: 4096,
-            ..Default::default()
-        });
+        let cache = TincaCache::format(
+            nvm,
+            disk,
+            tinca::TincaConfig {
+                ring_bytes: 4096,
+                ..Default::default()
+            },
+        );
         let mut be = TincaBackend::new(cache);
         assert!(be.supports_txn());
         let blocks = vec![(5u64, Box::new([7u8; BLOCK_SIZE]))];
@@ -305,10 +327,14 @@ mod tests {
         let clock = SimClock::new();
         let nvm = NvmDevice::new(NvmConfig::new(2 << 20, NvmTech::Pcm), clock.clone());
         let disk = SimDisk::new(DiskKind::Ssd, 1 << 14, clock);
-        let cache = ClassicCache::format(nvm, disk, classic::ClassicConfig {
-            assoc: 64,
-            ..Default::default()
-        });
+        let cache = ClassicCache::format(
+            nvm,
+            disk,
+            classic::ClassicConfig {
+                assoc: 64,
+                ..Default::default()
+            },
+        );
         let mut be = ClassicBackend::new(cache);
         assert!(!be.supports_txn());
         assert!(be.commit_txn(&[]).is_err());

@@ -46,7 +46,9 @@ mod tests {
 
     #[test]
     fn display_mentions_subject() {
-        assert!(FsError::NotFound("a.txt".into()).to_string().contains("a.txt"));
+        assert!(FsError::NotFound("a.txt".into())
+            .to_string()
+            .contains("a.txt"));
         assert!(FsError::NoSpace.to_string().contains("data blocks"));
     }
 }

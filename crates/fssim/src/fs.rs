@@ -288,7 +288,9 @@ impl FsSim {
             entry[8] = n.len() as u8;
             entry[9..9 + n.len()].copy_from_slice(n.as_bytes());
         }
-        self.stage_mutate(blk, |b| b[off..off + NAME_ENTRY_BYTES].copy_from_slice(&entry));
+        self.stage_mutate(blk, |b| {
+            b[off..off + NAME_ENTRY_BYTES].copy_from_slice(&entry);
+        });
     }
 
     // ------------------------------------------------------------------
@@ -357,7 +359,9 @@ impl FsSim {
     }
 
     fn write_ptr(&mut self, blk: u64, slot: usize, value: u64) {
-        self.stage_mutate(blk, |b| b[slot * 8..slot * 8 + 8].copy_from_slice(&value.to_le_bytes()));
+        self.stage_mutate(blk, |b| {
+            b[slot * 8..slot * 8 + 8].copy_from_slice(&value.to_le_bytes());
+        });
     }
 
     /// Resolves file block `fb` of inode `ino`, returning the data block or
@@ -458,7 +462,10 @@ impl FsSim {
             self.free_inodes.push(ino);
             return Err(FsError::TooManyFiles);
         };
-        self.inodes[ino as usize] = Inode { used: true, ..Inode::FREE };
+        self.inodes[ino as usize] = Inode {
+            used: true,
+            ..Inode::FREE
+        };
         self.stage_inode(ino);
         self.stage_name_entry(slot, ino, Some(name));
         self.names.insert(name.into(), (ino, slot));
@@ -510,7 +517,9 @@ impl FsSim {
                 buf[in_off..in_off + n].copy_from_slice(&data[pos..pos + n]);
                 self.stage_full(blk, buf);
             } else {
-                self.stage_mutate(blk, |b| b[in_off..in_off + n].copy_from_slice(&data[pos..pos + n]));
+                self.stage_mutate(blk, |b| {
+                    b[in_off..in_off + n].copy_from_slice(&data[pos..pos + n]);
+                });
             }
             pos += n;
         }
@@ -630,7 +639,7 @@ impl FsSim {
         }
         // Zero the tail of the (kept) final partial block so a later
         // extension reads zeroes, not stale bytes.
-        if new_size < inode.size && new_size % BLOCK_SIZE as u64 != 0 {
+        if new_size < inode.size && !new_size.is_multiple_of(BLOCK_SIZE as u64) {
             let fb = new_size / BLOCK_SIZE as u64;
             let blk = self.resolve(ino, fb)?;
             if blk != NO_BLOCK {
@@ -772,8 +781,11 @@ impl FsSim {
                 self.free_data_blocks
             ));
         }
-        let files: Vec<(String, u64)> =
-            self.names.iter().map(|(n, &(i, _))| (n.clone(), i)).collect();
+        let files: Vec<(String, u64)> = self
+            .names
+            .iter()
+            .map(|(n, &(i, _))| (n.clone(), i))
+            .collect();
         for (name, ino) in files {
             if !self.inodes[ino as usize].used {
                 return Err(format!("file {name} points at free inode {ino}"));

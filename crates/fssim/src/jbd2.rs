@@ -207,7 +207,10 @@ impl Jbd2 {
         self.head += 1;
         self.stats.commit_blocks += 1;
         self.stats.commits += 1;
-        self.committed.push_back(JTxn { blocks, slots: needed });
+        self.committed.push_back(JTxn {
+            blocks,
+            slots: needed,
+        });
         // The commit record is followed by a device flush barrier
         // (barrier=1 semantics): the legacy stack conservatively drains
         // the write-back cache below it.
@@ -264,7 +267,9 @@ impl Jbd2 {
                     break 'txn;
                 }
                 for i in 0..count {
-                    homes.push(u64::from_le_bytes(block[32 + i * 8..40 + i * 8].try_into().unwrap()));
+                    homes.push(u64::from_le_bytes(
+                        block[32 + i * 8..40 + i * 8].try_into().unwrap(),
+                    ));
                 }
                 p += 1;
                 for _ in 0..count {
@@ -369,8 +374,7 @@ mod tests {
         let mut j = Jbd2::format(&g, &mut be);
         // Each txn: 1 desc + 10 log + 1 commit = 12 slots. 6+ txns wrap.
         for round in 0..20u64 {
-            let blocks: Vec<(u64, Buf)> =
-                (0..10).map(|i| (7000 + i, buf(round as u8))).collect();
+            let blocks: Vec<(u64, Buf)> = (0..10).map(|i| (7000 + i, buf(round as u8))).collect();
             j.commit(&mut be, blocks);
         }
         assert!(j.stats.checkpoint_blocks > 0, "wrap must force checkpoints");
@@ -434,7 +438,10 @@ mod tests {
         j.checkpoint_all(&mut be);
         drop(j);
         let j2 = Jbd2::recover(&g, &mut be).unwrap();
-        assert_eq!(j2.stats.replayed_txns, 0, "checkpointed txns are past the tail");
+        assert_eq!(
+            j2.stats.replayed_txns, 0,
+            "checkpointed txns are past the tail"
+        );
         let mut b = [0u8; BLOCK_SIZE];
         disk.read_block(9500, &mut b);
         assert_eq!(b[0], 4);
@@ -447,8 +454,9 @@ mod tests {
         let (mut be, disk) = backend();
         let mut j = Jbd2::format(&g, &mut be);
         let n = TAGS_PER_DESC + 5;
-        let blocks: Vec<(u64, Buf)> =
-            (0..n as u64).map(|i| (10_000 + i, buf((i % 250) as u8))).collect();
+        let blocks: Vec<(u64, Buf)> = (0..n as u64)
+            .map(|i| (10_000 + i, buf((i % 250) as u8)))
+            .collect();
         j.commit(&mut be, blocks);
         assert_eq!(j.stats.desc_blocks, 2);
         drop(j);
@@ -468,10 +476,16 @@ mod tests {
         let (mut be, disk) = backend();
         let mut j = Jbd2::format(&g, &mut be);
         let w0 = disk.stats().writes;
-        j.commit(&mut be, vec![(5000, buf(1)), (5001, buf(2)), (5002, buf(3))]);
+        j.commit(
+            &mut be,
+            vec![(5000, buf(1)), (5001, buf(2)), (5002, buf(3))],
+        );
         j.checkpoint_all(&mut be);
         let writes = disk.stats().writes - w0;
         // 3 log + 3 checkpoint + 1 desc + 1 commit + 1 sb update = 9
-        assert!(writes >= 8, "expected ≥ 2× amplification, got {writes} writes for 3 blocks");
+        assert!(
+            writes >= 8,
+            "expected ≥ 2× amplification, got {writes} writes for 3 blocks"
+        );
     }
 }

@@ -67,8 +67,8 @@ impl PageCache {
         if self.dirty.contains_key(&blk) || self.clean_capacity == 0 {
             return;
         }
-        if self.clean.contains_key(&blk) {
-            self.clean.insert(blk, data);
+        if let std::collections::hash_map::Entry::Occupied(mut e) = self.clean.entry(blk) {
+            e.insert(data);
             return;
         }
         if self.clean.len() >= self.clean_capacity {

@@ -57,7 +57,11 @@ mod tests {
 
     #[test]
     fn snapshot_rates() {
-        let s = CacheSnapshot { write_hits: 9, write_misses: 1, ..Default::default() };
+        let s = CacheSnapshot {
+            write_hits: 9,
+            write_misses: 1,
+            ..Default::default()
+        };
         assert_eq!(s.write_hit_rate(), Some(0.9));
         assert_eq!(CacheSnapshot::default().write_hit_rate(), None);
         assert_eq!(CacheSnapshot::default().read_hit_rate(), None);
@@ -65,8 +69,15 @@ mod tests {
 
     #[test]
     fn snapshot_delta() {
-        let a = CacheSnapshot { evictions: 2, ..Default::default() };
-        let b = CacheSnapshot { evictions: 10, writebacks: 4, ..Default::default() };
+        let a = CacheSnapshot {
+            evictions: 2,
+            ..Default::default()
+        };
+        let b = CacheSnapshot {
+            evictions: 10,
+            writebacks: 4,
+            ..Default::default()
+        };
         let d = b.delta(&a);
         assert_eq!(d.evictions, 8);
         assert_eq!(d.writebacks, 4);

@@ -147,10 +147,9 @@ impl StackConfig {
 
     fn journal_mode(&self) -> JournalMode {
         match self.system {
-            System::Tinca
-            | System::TincaNoRoleSwitch
-            | System::Ubj
-            | System::TincaBatched => JournalMode::Tinca,
+            System::Tinca | System::TincaNoRoleSwitch | System::Ubj | System::TincaBatched => {
+                JournalMode::Tinca
+            }
             System::Classic | System::ClassicNoMeta | System::ClassicLogMeta => JournalMode::Jbd2,
             System::ClassicNoJournal | System::ClassicNoJournalNoMeta => JournalMode::None,
         }
@@ -216,9 +215,19 @@ pub fn build(cfg: &StackConfig) -> Result<Stack, FsError> {
         FsSim::mkfs(Box::new(UbjBackend::new(cache)), geo, cfg.journal_mode())?
     } else {
         let cache = ClassicCache::format(nvm.clone(), disk.clone(), cfg.classic_config());
-        FsSim::mkfs(Box::new(ClassicBackend::new(cache)), geo, cfg.journal_mode())?
+        FsSim::mkfs(
+            Box::new(ClassicBackend::new(cache)),
+            geo,
+            cfg.journal_mode(),
+        )?
     };
-    Ok(Stack { fs, nvm, disk, clock: clock.clone(), config: cfg.clone() })
+    Ok(Stack {
+        fs,
+        nvm,
+        disk,
+        clock: clock.clone(),
+        config: cfg.clone(),
+    })
 }
 
 /// Re-mounts a stack on existing devices after a (simulated) reboot:
@@ -240,11 +249,18 @@ pub fn remount(
             .map_err(FsError::Backend)?;
         FsSim::mount(Box::new(UbjBackend::new(cache)), geo)?
     } else {
-        let cache = ClassicCache::recover(nvm.clone(), disk.clone() as Arc<_>, cfg.classic_config())
-            .map_err(FsError::Backend)?;
+        let cache =
+            ClassicCache::recover(nvm.clone(), disk.clone() as Arc<_>, cfg.classic_config())
+                .map_err(FsError::Backend)?;
         FsSim::mount(Box::new(ClassicBackend::new(cache)), geo)?
     };
-    Ok(Stack { fs, nvm, disk, clock, config: cfg.clone() })
+    Ok(Stack {
+        fs,
+        nvm,
+        disk,
+        clock,
+        config: cfg.clone(),
+    })
 }
 
 #[cfg(test)]

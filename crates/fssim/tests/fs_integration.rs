@@ -170,7 +170,8 @@ fn many_files_and_remount_preserves_namespace() {
         let mut s = build(&cfg).unwrap();
         for i in 0..100u32 {
             let f = s.fs.create(&format!("file-{i:03}")).unwrap();
-            s.fs.write(f, 0, format!("contents of {i}").as_bytes()).unwrap();
+            s.fs.write(f, 0, format!("contents of {i}").as_bytes())
+                .unwrap();
         }
         s.fs.delete("file-050").unwrap();
         s.fs.fsync().unwrap();
@@ -199,7 +200,10 @@ fn txn_batching_commits_at_limit() {
     assert_eq!(s.fs.stats().commits, 0);
     // Enough distinct blocks to cross the limit.
     s.fs.write(f, 0, &vec![1u8; 16 * BLOCK_SIZE]).unwrap();
-    assert!(s.fs.stats().commits >= 1, "batch limit must trigger a commit");
+    assert!(
+        s.fs.stats().commits >= 1,
+        "batch limit must trigger a commit"
+    );
     assert!(!s.fs.txn_sizes().is_empty());
 }
 
@@ -267,7 +271,10 @@ fn truncate_shrinks_and_frees() {
     let free_full = s.fs.free_space_blocks();
     s.fs.truncate(f, 5 * BLOCK_SIZE as u64 + 100).unwrap();
     assert_eq!(s.fs.file_size(f), 5 * BLOCK_SIZE as u64 + 100);
-    assert!(s.fs.free_space_blocks() > free_full, "blocks past the cut must free");
+    assert!(
+        s.fs.free_space_blocks() > free_full,
+        "blocks past the cut must free"
+    );
     // Contents up to the cut survive; the freed range reads as zero after
     // re-extension.
     let mut buf = vec![0u8; 6 * BLOCK_SIZE];
@@ -290,13 +297,20 @@ fn truncate_partial_block_zeroes_stale_tail() {
     s.fs.write(f, 0, &[5u8; 3000]).unwrap();
     s.fs.truncate(f, 1000).unwrap();
     s.fs.write(f, 0, &[6u8; 500]).unwrap(); // keep the file short
-    // Grow back over the previously-written range: old bytes must be gone.
+                                            // Grow back over the previously-written range: old bytes must be gone.
     s.fs.truncate(f, 3000).unwrap();
     let mut buf = vec![1u8; 3000];
     s.fs.read(f, 0, &mut buf).unwrap();
     assert!(buf[..500].iter().all(|&b| b == 6));
-    assert!(buf[500..1000].iter().all(|&b| b == 5), "bytes below the cut survive");
-    assert!(buf[1000..].iter().all(|&b| b == 0), "stale tail must read zero, got {:?}", &buf[1000..1010]);
+    assert!(
+        buf[500..1000].iter().all(|&b| b == 5),
+        "bytes below the cut survive"
+    );
+    assert!(
+        buf[1000..].iter().all(|&b| b == 0),
+        "stale tail must read zero, got {:?}",
+        &buf[1000..1010]
+    );
 }
 
 #[test]
@@ -307,9 +321,15 @@ fn rename_preserves_contents_and_survives_remount() {
     s.fs.write(f, 0, b"payload").unwrap();
     s.fs.rename("old-name", "new-name").unwrap();
     assert!(!s.fs.exists("old-name"));
-    assert!(matches!(s.fs.rename("old-name", "x"), Err(FsError::NotFound(_))));
+    assert!(matches!(
+        s.fs.rename("old-name", "x"),
+        Err(FsError::NotFound(_))
+    ));
     s.fs.create("third").unwrap();
-    assert!(matches!(s.fs.rename("third", "new-name"), Err(FsError::Exists(_))));
+    assert!(matches!(
+        s.fs.rename("third", "new-name"),
+        Err(FsError::Exists(_))
+    ));
     s.fs.fsync().unwrap();
     let (nvm, disk, clock) = (s.nvm.clone(), s.disk.clone(), s.clock.clone());
     drop(s.fs);

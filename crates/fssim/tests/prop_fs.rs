@@ -11,8 +11,17 @@ use proptest::prelude::*;
 #[derive(Clone, Debug)]
 enum Op {
     Create(u8),
-    Write { file: u8, offset: u16, len: u16, fill: u8 },
-    Read { file: u8, offset: u16, len: u16 },
+    Write {
+        file: u8,
+        offset: u16,
+        len: u16,
+        fill: u8,
+    },
+    Read {
+        file: u8,
+        offset: u16,
+        len: u16,
+    },
     Delete(u8),
     Fsync,
     Remount,
@@ -48,7 +57,12 @@ fn run_model(system: System, ops: Vec<Op>) -> Result<(), TestCaseError> {
                     model.insert(i, Vec::new());
                 }
             }
-            Op::Write { file, offset, len, fill } => {
+            Op::Write {
+                file,
+                offset,
+                len,
+                fill,
+            } => {
                 let Some(contents) = model.get_mut(&file) else {
                     prop_assert!(stack.fs.open(&name(file)).is_err());
                     continue;
@@ -63,11 +77,16 @@ fn run_model(system: System, ops: Vec<Op>) -> Result<(), TestCaseError> {
                 contents[offset as usize..end].copy_from_slice(&data);
             }
             Op::Read { file, offset, len } => {
-                let Some(contents) = model.get(&file) else { continue };
+                let Some(contents) = model.get(&file) else {
+                    continue;
+                };
                 let ino = stack.fs.open(&name(file)).unwrap();
                 let mut buf = vec![0u8; len as usize];
                 let n = stack.fs.read(ino, offset as u64, &mut buf).unwrap();
-                let want_n = contents.len().saturating_sub(offset as usize).min(len as usize);
+                let want_n = contents
+                    .len()
+                    .saturating_sub(offset as usize)
+                    .min(len as usize);
                 prop_assert_eq!(n, want_n, "read length of file {}", file);
                 if n > 0 {
                     prop_assert_eq!(
@@ -101,10 +120,7 @@ fn run_model(system: System, ops: Vec<Op>) -> Result<(), TestCaseError> {
         stack.fs.read(ino, 0, &mut buf).unwrap();
         prop_assert_eq!(&buf, contents, "final contents of file {}", i);
     }
-    stack
-        .fs
-        .check_consistency()
-        .map_err(TestCaseError::fail)?;
+    stack.fs.check_consistency().map_err(TestCaseError::fail)?;
     stack.fs.backend().check().map_err(TestCaseError::fail)?;
     Ok(())
 }

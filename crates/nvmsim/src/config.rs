@@ -54,7 +54,12 @@ impl NvmTech {
 
     /// All technologies, in the order Table 1 lists them.
     pub fn all() -> [NvmTech; 4] {
-        [NvmTech::Nvdimm, NvmTech::SttRam, NvmTech::Reram, NvmTech::Pcm]
+        [
+            NvmTech::Nvdimm,
+            NvmTech::SttRam,
+            NvmTech::Reram,
+            NvmTech::Pcm,
+        ]
     }
 }
 
@@ -117,12 +122,20 @@ pub struct NvmConfig {
     pub store_ns: u64,
     /// Cost of a `LOCK cmpxchg16b`-class atomic store.
     pub atomic_store_ns: u64,
+    /// Records a [`crate::TracedOp`] per device event for persist-order
+    /// analysis (the `persistcheck` crate). Off by default; recording does
+    /// not advance the simulated clock or the persistence-event counter,
+    /// so traced and untraced runs behave identically.
+    pub trace_events: bool,
 }
 
 impl NvmConfig {
     /// Configuration with the paper's default medium (emulated PCM).
     pub fn new(capacity: usize, tech: NvmTech) -> Self {
-        assert!(capacity % crate::CACHE_LINE == 0, "capacity must be line-aligned");
+        assert!(
+            capacity.is_multiple_of(crate::CACHE_LINE),
+            "capacity must be line-aligned"
+        );
         Self {
             capacity,
             tech,
@@ -132,6 +145,7 @@ impl NvmConfig {
             sfence_ns: 20,
             store_ns: 2,
             atomic_store_ns: 15,
+            trace_events: false,
         }
     }
 
@@ -145,6 +159,12 @@ impl NvmConfig {
         self.flush_instr = instr;
         self.clflush_overhead_ns = instr.overhead_ns();
         self.clflush_clean_ns = instr.overhead_ns() / 2;
+        self
+    }
+
+    /// Enables event-trace recording (see [`Self::trace_events`]).
+    pub fn with_tracing(mut self) -> Self {
+        self.trace_events = true;
         self
     }
 }

@@ -8,7 +8,8 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use crate::line::{FlushRecord, LineBuf, CACHE_LINE, WORDS_PER_LINE, WORD_SIZE};
-use crate::{NvmConfig, NvmStats, SimClock, WearSummary};
+use crate::trace::TraceBuf;
+use crate::{NvmConfig, NvmStats, SimClock, TraceEvent, TracedOp, WearSummary};
 
 /// Panic payload thrown when an armed crash trip fires (see
 /// [`NvmDevice::set_trip`]). `crashsim` catches this with `catch_unwind`
@@ -43,6 +44,20 @@ struct State {
     wear: Vec<u32>,
     events: u64,
     trip_at: Option<u64>,
+    /// Event recorder for persist-order analysis; `None` unless
+    /// [`NvmConfig::trace_events`] is set.
+    trace: Option<TraceBuf>,
+    /// True between a crash and the next commit annotation; reads in this
+    /// window are traced as [`TraceEvent::ReadAfterRecovery`].
+    in_recovery: bool,
+}
+
+/// Appends to the trace when recording is enabled; free of clock and
+/// event-counter side effects, so traced runs simulate identically.
+fn record(st: &mut State, event: impl FnOnce() -> TraceEvent) {
+    if let Some(t) = &mut st.trace {
+        t.push(event());
+    }
 }
 
 /// Cloneable handle to an [`NvmDevice`].
@@ -64,6 +79,7 @@ impl NvmDevice {
     pub fn new(cfg: NvmConfig, clock: SimClock) -> Nvm {
         let persistent = vec![0u8; cfg.capacity];
         let lines = cfg.capacity / CACHE_LINE;
+        let trace = cfg.trace_events.then(TraceBuf::default);
         Arc::new(Self {
             cfg,
             clock,
@@ -75,6 +91,8 @@ impl NvmDevice {
                 wear: vec![0; lines],
                 events: 0,
                 trip_at: None,
+                trace,
+                in_recovery: false,
             }),
         })
     }
@@ -114,7 +132,8 @@ impl NvmDevice {
 
     fn check_range(&self, addr: usize, len: usize) {
         assert!(
-            addr.checked_add(len).is_some_and(|end| end <= self.cfg.capacity),
+            addr.checked_add(len)
+                .is_some_and(|end| end <= self.cfg.capacity),
             "NVM access out of range: addr={addr} len={len} cap={}",
             self.cfg.capacity
         );
@@ -128,6 +147,10 @@ impl NvmDevice {
             return;
         }
         let mut st = self.state.lock();
+        record(&mut st, || TraceEvent::Store {
+            addr,
+            len: buf.len(),
+        });
         let mut pos = 0usize;
         let mut lines = 0u64;
         while pos < buf.len() {
@@ -155,6 +178,12 @@ impl NvmDevice {
             return;
         }
         let mut st = self.state.lock();
+        if st.in_recovery {
+            record(&mut st, || TraceEvent::ReadAfterRecovery {
+                addr,
+                len: buf.len(),
+            });
+        }
         let mut pos = 0usize;
         let mut media_lines = 0u64;
         let mut cached_lines = 0u64;
@@ -181,9 +210,13 @@ impl NvmDevice {
 
     /// 8-byte failure-atomic store (plain `mov` of an aligned u64).
     pub fn atomic_write_u64(&self, addr: usize, value: u64) {
-        assert!(addr % 8 == 0, "atomic u64 store must be 8-byte aligned");
+        assert!(
+            addr.is_multiple_of(8),
+            "atomic u64 store must be 8-byte aligned"
+        );
         self.check_range(addr, 8);
         let mut st = self.state.lock();
+        record(&mut st, || TraceEvent::AtomicStore { addr, len: 8 });
         let line = addr / CACHE_LINE;
         let off = addr % CACHE_LINE;
         let lb = overlay_line(&mut st, line);
@@ -199,9 +232,13 @@ impl NvmDevice {
     /// 16-byte failure-atomic store (`LOCK cmpxchg16b`, §4.2 of the paper).
     /// The two words persist all-or-nothing across a crash.
     pub fn atomic_write_u128(&self, addr: usize, value: u128) {
-        assert!(addr % 16 == 0, "atomic u128 store must be 16-byte aligned");
+        assert!(
+            addr.is_multiple_of(16),
+            "atomic u128 store must be 16-byte aligned"
+        );
         self.check_range(addr, 16);
         let mut st = self.state.lock();
+        record(&mut st, || TraceEvent::AtomicStore { addr, len: 16 });
         let line = addr / CACHE_LINE;
         let off = addr % CACHE_LINE;
         let lb = overlay_line(&mut st, line);
@@ -253,6 +290,8 @@ impl NvmDevice {
                 }
                 _ => None,
             };
+            let staged = rec.is_some();
+            record(&mut st, || TraceEvent::Clflush { line, staged });
             if let Some(rec) = rec {
                 st.epoch.push(rec);
                 st.stats.lines_written += 1;
@@ -272,6 +311,8 @@ impl NvmDevice {
     /// order, before any later store may persist.
     pub fn sfence(&self) {
         let mut st = self.state.lock();
+        let staged_lines = st.epoch.len();
+        record(&mut st, || TraceEvent::Sfence { staged_lines });
         let epoch = std::mem::take(&mut st.epoch);
         for rec in epoch {
             apply_record(&mut st.persistent, &rec, u8::MAX);
@@ -300,6 +341,8 @@ impl NvmDevice {
     /// persistent image (as after a reboot). Any armed trip is cleared.
     pub fn crash(&self, policy: CrashPolicy) {
         let mut st = self.state.lock();
+        record(&mut st, || TraceEvent::Crash);
+        st.in_recovery = true;
         match policy {
             CrashPolicy::LoseVolatile => {}
             CrashPolicy::PersistAll => {
@@ -422,6 +465,48 @@ impl NvmDevice {
         buf.copy_from_slice(&st.persistent[addr..addr + buf.len()]);
     }
 
+    /// Annotates the trace: the commit record in `[addr, addr + len)` was
+    /// just persisted, so the protocol now relies on everything it
+    /// references being durable. Pure annotation — no clock, statistics,
+    /// or persistence-event side effects — and a no-op unless tracing is
+    /// enabled, so commit paths may call it unconditionally.
+    pub fn note_commit(&self, addr: usize, len: usize) {
+        let mut st = self.state.lock();
+        if st.trace.is_none() {
+            return;
+        }
+        self.check_range(addr, len);
+        record(&mut st, || TraceEvent::Commit { addr, len });
+        st.in_recovery = false;
+    }
+
+    /// Whether event tracing is enabled on this device.
+    pub fn is_tracing(&self) -> bool {
+        self.cfg.trace_events
+    }
+
+    /// Drains and returns the recorded trace. Sequence numbers keep
+    /// increasing across drains. Empty when tracing is disabled.
+    pub fn take_trace(&self) -> Vec<TracedOp> {
+        let mut st = self.state.lock();
+        st.trace.as_mut().map(TraceBuf::take).unwrap_or_default()
+    }
+
+    /// Clones the recorded-but-not-drained trace without consuming it.
+    pub fn trace_snapshot(&self) -> Vec<TracedOp> {
+        let st = self.state.lock();
+        st.trace
+            .as_ref()
+            .map(TraceBuf::snapshot)
+            .unwrap_or_default()
+    }
+
+    /// Total events recorded so far, including drained ones.
+    pub fn trace_len(&self) -> u64 {
+        let st = self.state.lock();
+        st.trace.as_ref().map_or(0, TraceBuf::len)
+    }
+
     fn bump_event(&self, st: parking_lot::MutexGuard<'_, State>) {
         let mut st = st;
         if let Some(event) = bump_event(&mut st) {
@@ -530,7 +615,11 @@ mod tests {
 
     #[test]
     fn fenced_write_survives_any_crash() {
-        for policy in [CrashPolicy::LoseVolatile, CrashPolicy::PersistAll, CrashPolicy::Random(7)] {
+        for policy in [
+            CrashPolicy::LoseVolatile,
+            CrashPolicy::PersistAll,
+            CrashPolicy::Random(7),
+        ] {
             let d = dev();
             d.write(0, &[0xAB; 64]);
             d.persist(0, 64);
@@ -563,7 +652,10 @@ mod tests {
             // but must never be half-applied.
             d.crash(CrashPolicy::Random(seed));
             let got = d.read_u128(0);
-            assert!(got == old || got == new, "torn 16B atomic: {got:#x} (seed {seed})");
+            assert!(
+                got == old || got == new,
+                "torn 16B atomic: {got:#x} (seed {seed})"
+            );
         }
     }
 
@@ -719,6 +811,128 @@ mod tests {
         d.crash(CrashPolicy::LoseVolatile);
         d.read(0, &mut b);
         assert_eq!(b, [1u8; 64]);
+    }
+
+    fn traced_dev() -> Nvm {
+        NvmDevice::new(
+            NvmConfig::new(4096, NvmTech::Pcm).with_tracing(),
+            SimClock::new(),
+        )
+    }
+
+    #[test]
+    fn tracing_off_records_nothing() {
+        let d = dev();
+        assert!(!d.is_tracing());
+        d.write(0, &[1u8; 64]);
+        d.persist(0, 64);
+        d.note_commit(0, 8);
+        assert_eq!(d.trace_len(), 0);
+        assert!(d.take_trace().is_empty());
+    }
+
+    #[test]
+    fn trace_records_event_stream_in_order() {
+        use crate::TraceEvent as E;
+        let d = traced_dev();
+        d.write(0, &[1u8; 64]);
+        d.clflush(0, 64);
+        d.sfence();
+        d.atomic_write_u64(64, 7);
+        d.note_commit(64, 8);
+        let t = d.take_trace();
+        let kinds: Vec<_> = t.iter().map(|op| op.event.kind()).collect();
+        assert_eq!(
+            kinds,
+            ["store", "clflush", "sfence", "atomic-store", "commit"]
+        );
+        assert_eq!(t[0].seq, 0);
+        assert_eq!(t[4].seq, 4);
+        assert_eq!(
+            t[1].event,
+            E::Clflush {
+                line: 0,
+                staged: true
+            }
+        );
+        assert_eq!(t[2].event, E::Sfence { staged_lines: 1 });
+        assert_eq!(t[4].event, E::Commit { addr: 64, len: 8 });
+    }
+
+    #[test]
+    fn trace_marks_clean_flushes_and_empty_fences() {
+        use crate::TraceEvent as E;
+        let d = traced_dev();
+        d.write(0, &[1u8; 64]);
+        d.persist(0, 64);
+        d.clflush(0, 64); // clean: nothing to stage
+        d.sfence(); // empty epoch
+        let t = d.take_trace();
+        assert_eq!(
+            t[3].event,
+            E::Clflush {
+                line: 0,
+                staged: false
+            }
+        );
+        assert_eq!(t[4].event, E::Sfence { staged_lines: 0 });
+    }
+
+    #[test]
+    fn trace_survives_crash_and_tags_recovery_reads() {
+        use crate::TraceEvent as E;
+        let d = traced_dev();
+        d.write(0, &[1u8; 8]);
+        d.persist(0, 8);
+        d.crash(CrashPolicy::LoseVolatile);
+        let _ = d.read_u64(0); // recovery inspecting survivor state
+        d.note_commit(0, 8); // recovery done
+        let _ = d.read_u64(0); // normal read: not traced
+        let t = d.take_trace();
+        let kinds: Vec<_> = t.iter().map(|op| op.event.kind()).collect();
+        assert_eq!(
+            kinds,
+            [
+                "store",
+                "clflush",
+                "sfence",
+                "crash",
+                "read-after-recovery",
+                "commit"
+            ]
+        );
+        assert_eq!(t[4].event, E::ReadAfterRecovery { addr: 0, len: 8 });
+    }
+
+    #[test]
+    fn trace_seq_keeps_increasing_across_drains() {
+        let d = traced_dev();
+        d.write(0, &[1u8; 8]);
+        let a = d.take_trace();
+        d.sfence();
+        let b = d.take_trace();
+        assert_eq!(a[0].seq, 0);
+        assert_eq!(b[0].seq, 1);
+        assert_eq!(d.trace_len(), 2);
+    }
+
+    #[test]
+    fn tracing_does_not_change_time_stats_or_events() {
+        let run = |d: Nvm| {
+            d.write(0, &[5u8; 128]);
+            d.persist(0, 128);
+            d.atomic_write_u64(256, 9);
+            d.persist(256, 8);
+            d.note_commit(256, 8);
+            (d.clock().now_ns(), d.events(), d.stats())
+        };
+        let (t0, e0, s0) = run(dev());
+        let (t1, e1, s1) = run(traced_dev());
+        assert_eq!(t0, t1, "tracing must not change simulated time");
+        assert_eq!(e0, e1, "tracing must not change persistence-event count");
+        assert_eq!(s0.clflush, s1.clflush);
+        assert_eq!(s0.sfence, s1.sfence);
+        assert_eq!(s0.bytes_stored, s1.bytes_stored);
     }
 
     #[test]

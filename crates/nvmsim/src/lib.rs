@@ -42,9 +42,11 @@ mod config;
 mod device;
 mod line;
 mod stats;
+mod trace;
 
 pub use clock::SimClock;
 pub use config::{FlushInstr, NvmConfig, NvmTech};
 pub use device::{CrashPolicy, CrashTripped, Nvm, NvmDevice};
 pub use line::{CACHE_LINE, WORDS_PER_LINE, WORD_SIZE};
 pub use stats::{NvmStats, WearSummary};
+pub use trace::{TraceEvent, TracedOp};

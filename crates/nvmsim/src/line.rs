@@ -23,7 +23,11 @@ pub struct LineBuf {
 impl LineBuf {
     /// A clean line initialised from the persistent image.
     pub fn clean(data: [u8; CACHE_LINE]) -> Self {
-        Self { data, dirty: 0, pair_lead: 0 }
+        Self {
+            data,
+            dirty: 0,
+            pair_lead: 0,
+        }
     }
 
     /// Marks words `[first, last]` dirty and clears any atomic pairing that

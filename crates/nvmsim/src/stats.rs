@@ -100,8 +100,17 @@ mod tests {
 
     #[test]
     fn delta_subtracts_fieldwise() {
-        let a = NvmStats { clflush: 10, sfence: 4, ..Default::default() };
-        let b = NvmStats { clflush: 25, sfence: 9, lines_written: 3, ..Default::default() };
+        let a = NvmStats {
+            clflush: 10,
+            sfence: 4,
+            ..Default::default()
+        };
+        let b = NvmStats {
+            clflush: 25,
+            sfence: 9,
+            lines_written: 3,
+            ..Default::default()
+        };
         let d = b.delta(&a);
         assert_eq!(d.clflush, 15);
         assert_eq!(d.sfence, 5);
@@ -110,7 +119,10 @@ mod tests {
 
     #[test]
     fn writeback_bytes() {
-        let s = NvmStats { lines_written: 2, ..Default::default() };
+        let s = NvmStats {
+            lines_written: 2,
+            ..Default::default()
+        };
         assert_eq!(s.bytes_written_back(), 128);
     }
 
@@ -128,6 +140,9 @@ mod tests {
         // 10^6-cycle medium: 10^6/100 traffic multiples × 10 mean writes.
         assert_eq!(w.lifetime_device_writes(1_000_000), 100_000.0);
         assert_eq!(WearSummary::default().concentration(), 0.0);
-        assert_eq!(WearSummary::default().lifetime_device_writes(10), f64::INFINITY);
+        assert_eq!(
+            WearSummary::default().lifetime_device_writes(10),
+            f64::INFINITY
+        );
     }
 }

@@ -1,0 +1,93 @@
+//! Optional event-trace recording for persist-order analysis.
+//!
+//! When [`crate::NvmConfig::trace_events`] is set, the device appends one
+//! [`TracedOp`] per store, atomic store, `clflush`ed line, `sfence`, crash,
+//! commit annotation, and post-crash read. The `persistcheck` crate replays
+//! this stream through its rule engine to find persist-ordering bugs the
+//! way `pmemcheck` does for real pmem programs.
+//!
+//! Tracing is off by default and the recording path is a single
+//! `Option` test per operation, so benchmarks with tracing disabled
+//! measure exactly the same simulated time and statistics.
+
+/// One recorded device event.
+///
+/// Addresses are device byte offsets; `line` numbers are cache-line
+/// indices (`addr / CACHE_LINE`).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TraceEvent {
+    /// Plain CPU store covering `[addr, addr + len)`. Volatile until the
+    /// covering lines are flushed and fenced; 8-byte failure atomicity.
+    Store { addr: usize, len: usize },
+    /// Failure-atomic store (`len` is 8 or 16). Still volatile until
+    /// flushed and fenced, but never tears.
+    AtomicStore { addr: usize, len: usize },
+    /// `clflush`/`clflushopt`/`clwb` of one cache line. `staged` is true
+    /// when the line was dirty and its write-back entered the open fence
+    /// epoch; false for a clean-line flush (a no-op, and a perf smell).
+    Clflush { line: usize, staged: bool },
+    /// `sfence`. `staged_lines` is how many flushed lines the fence made
+    /// durable; zero means the fence ordered nothing (a perf smell).
+    Sfence { staged_lines: usize },
+    /// Client annotation ([`crate::NvmDevice::note_commit`]): the commit
+    /// record in `[addr, addr + len)` has just been persisted, and the
+    /// protocol now considers everything it references durable.
+    Commit { addr: usize, len: usize },
+    /// Simulated power failure.
+    Crash,
+    /// Read of `[addr, addr + len)` issued after a crash and before the
+    /// next commit annotation — i.e. recovery inspecting survivor state.
+    ReadAfterRecovery { addr: usize, len: usize },
+}
+
+impl TraceEvent {
+    /// Short lowercase mnemonic, for reports.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            TraceEvent::Store { .. } => "store",
+            TraceEvent::AtomicStore { .. } => "atomic-store",
+            TraceEvent::Clflush { .. } => "clflush",
+            TraceEvent::Sfence { .. } => "sfence",
+            TraceEvent::Commit { .. } => "commit",
+            TraceEvent::Crash => "crash",
+            TraceEvent::ReadAfterRecovery { .. } => "read-after-recovery",
+        }
+    }
+}
+
+/// A [`TraceEvent`] plus its logical timestamp: the 0-based ordinal of the
+/// event in the recorded stream. Analyzer reports cite these ordinals.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TracedOp {
+    pub seq: u64,
+    pub event: TraceEvent,
+}
+
+/// The recording buffer held inside the device state.
+#[derive(Debug, Default)]
+pub(crate) struct TraceBuf {
+    ops: Vec<TracedOp>,
+    /// Events recorded before the most recent `take()`, so `seq` keeps
+    /// increasing across partial drains.
+    base: u64,
+}
+
+impl TraceBuf {
+    pub(crate) fn push(&mut self, event: TraceEvent) {
+        let seq = self.base + self.ops.len() as u64;
+        self.ops.push(TracedOp { seq, event });
+    }
+
+    pub(crate) fn take(&mut self) -> Vec<TracedOp> {
+        self.base += self.ops.len() as u64;
+        std::mem::take(&mut self.ops)
+    }
+
+    pub(crate) fn snapshot(&self) -> Vec<TracedOp> {
+        self.ops.clone()
+    }
+
+    pub(crate) fn len(&self) -> u64 {
+        self.base + self.ops.len() as u64
+    }
+}

@@ -1,0 +1,682 @@
+//! # persistcheck — persist-ordering analysis over nvmsim traces
+//!
+//! A `pmemcheck`-style rule engine: replay an [`nvmsim`] event trace
+//! (recorded with [`NvmConfig::with_tracing`](nvmsim::NvmConfig)) and
+//! report stores that a crash could expose as lost, reordered, or torn —
+//! plus persistence-instruction waste.
+//!
+//! ## Rules
+//!
+//! Correctness (any hit fails the check):
+//!
+//! * **missing-flush** — a line stored inside the commit window (since the
+//!   previous commit/crash) is still dirty when the commit record
+//!   persists: a crash right after the commit point can lose data the
+//!   commit record claims durable.
+//! * **flush-without-fence** — a commit-window line was flushed but only
+//!   became durable on the *same* `sfence` as the commit record itself.
+//!   Within one fence epoch write-backs are unordered, so a crash inside
+//!   that epoch can persist the commit record without the data. (With
+//!   [`CheckConfig::strict`], a fence epoch still open at a crash or at
+//!   the end of the trace is also flagged; shadow-mode checking leaves
+//!   this off because crash injection legitimately trips mid-epoch.)
+//! * **torn-update** — a plain multi-word store to a single metadata cache
+//!   line that was durable before: plain stores only have 8-byte failure
+//!   atomicity, so recovery can observe the line half-updated. Metadata
+//!   updates must go through `atomic_write_u64`/`atomic_write_u128`.
+//!
+//! Performance lints (reported separately, never fail the check):
+//!
+//! * **redundant-flush** — `clflush` of a clean line: costs latency,
+//!   persists nothing.
+//! * **fence-without-flush** — `sfence` with an empty flush epoch: orders
+//!   nothing.
+//!
+//! The analyzer is protocol-agnostic: it keys on
+//! [`TraceEvent::Commit`](nvmsim::TraceEvent) annotations emitted by the
+//! commit path ([`NvmDevice::note_commit`](nvmsim::NvmDevice)) and on the
+//! caller-declared metadata address ranges in [`CheckConfig`].
+
+use std::collections::HashMap;
+use std::fmt;
+use std::ops::Range;
+
+use nvmsim::{TraceEvent, TracedOp, CACHE_LINE, WORD_SIZE};
+
+/// How many example event ordinals each perf-lint counter retains.
+const LINT_EXAMPLES: usize = 8;
+
+/// Analyzer configuration.
+#[derive(Clone, Debug, Default)]
+pub struct CheckConfig {
+    /// Byte ranges holding crash-critical metadata (headers, ring slots,
+    /// entry tables). The torn-update rule only fires inside these ranges;
+    /// bulk data regions are exempt because block payloads are guarded by
+    /// the commit protocol, not by store atomicity.
+    pub metadata_ranges: Vec<Range<usize>>,
+    /// Also flag fence epochs left open at a crash or at the end of the
+    /// trace as flush-without-fence. Off in shadow mode: injected crashes
+    /// land mid-epoch by design.
+    pub strict: bool,
+}
+
+impl CheckConfig {
+    /// Config with the given metadata ranges, non-strict.
+    pub fn with_metadata(metadata_ranges: Vec<Range<usize>>) -> Self {
+        CheckConfig {
+            metadata_ranges,
+            strict: false,
+        }
+    }
+
+    fn overlaps_metadata(&self, start: usize, end: usize) -> bool {
+        self.metadata_ranges
+            .iter()
+            .any(|r| start < r.end && r.start < end)
+    }
+}
+
+/// The five analyzer rules.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Rule {
+    MissingFlush,
+    FlushWithoutFence,
+    TornUpdate,
+    RedundantFlush,
+    FenceWithoutFlush,
+}
+
+impl Rule {
+    /// Stable kebab-case rule name, as printed in reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            Rule::MissingFlush => "missing-flush",
+            Rule::FlushWithoutFence => "flush-without-fence",
+            Rule::TornUpdate => "torn-update",
+            Rule::RedundantFlush => "redundant-flush",
+            Rule::FenceWithoutFlush => "fence-without-flush",
+        }
+    }
+
+    /// Whether a hit means possible data loss (vs. wasted work).
+    pub fn is_correctness(self) -> bool {
+        matches!(
+            self,
+            Rule::MissingFlush | Rule::FlushWithoutFence | Rule::TornUpdate
+        )
+    }
+}
+
+impl fmt::Display for Rule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One correctness violation.
+#[derive(Clone, Debug)]
+pub struct Violation {
+    pub rule: Rule,
+    /// Base address of the affected cache line.
+    pub addr: usize,
+    /// Trace ordinals of the responsible events (e.g. the store and the
+    /// commit that exposed it).
+    pub events: Vec<u64>,
+    /// Human-readable explanation.
+    pub detail: String,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let evs: Vec<String> = self.events.iter().map(|e| format!("#{e}")).collect();
+        write!(
+            f,
+            "{} @ {:#x} [{}]: {}",
+            self.rule.name(),
+            self.addr,
+            evs.join(", "),
+            self.detail
+        )
+    }
+}
+
+/// Analysis result: correctness violations plus perf-lint counters.
+#[derive(Clone, Debug, Default)]
+pub struct Report {
+    /// Correctness violations (missing-flush, flush-without-fence,
+    /// torn-update), in trace order.
+    pub violations: Vec<Violation>,
+    /// Number of clean-line `clflush`es (redundant-flush lint).
+    pub redundant_flushes: u64,
+    /// First few trace ordinals of redundant flushes.
+    pub redundant_flush_events: Vec<u64>,
+    /// Number of no-op `sfence`s (fence-without-flush lint).
+    pub empty_fences: u64,
+    /// First few trace ordinals of no-op fences.
+    pub empty_fence_events: Vec<u64>,
+    /// Commit annotations seen.
+    pub commits: u64,
+    /// Crashes seen.
+    pub crashes: u64,
+    /// Events analyzed.
+    pub events: u64,
+}
+
+impl Report {
+    /// True when no correctness violation was found (perf lints may
+    /// still be non-zero).
+    pub fn is_clean(&self) -> bool {
+        self.violations.is_empty()
+    }
+
+    /// Number of correctness violations of `rule`.
+    pub fn count(&self, rule: Rule) -> usize {
+        self.violations.iter().filter(|v| v.rule == rule).count()
+    }
+
+    /// Names of the rules that fired, deduplicated, in trace order.
+    pub fn fired_rules(&self) -> Vec<&'static str> {
+        let mut out: Vec<&'static str> = Vec::new();
+        for v in &self.violations {
+            if !out.contains(&v.rule.name()) {
+                out.push(v.rule.name());
+            }
+        }
+        out
+    }
+}
+
+impl fmt::Display for Report {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "persistcheck: {} events, {} commits, {} crashes",
+            self.events, self.commits, self.crashes
+        )?;
+        writeln!(f, "  correctness violations: {}", self.violations.len())?;
+        for v in &self.violations {
+            writeln!(f, "    {v}")?;
+        }
+        let fmt_examples = |evs: &[u64]| -> String {
+            if evs.is_empty() {
+                String::new()
+            } else {
+                let s: Vec<String> = evs.iter().map(|e| format!("#{e}")).collect();
+                format!(" (first at {})", s.join(", "))
+            }
+        };
+        writeln!(
+            f,
+            "  redundant-flush      : {} clean-line clflush{}{}",
+            self.redundant_flushes,
+            if self.redundant_flushes == 1 {
+                ""
+            } else {
+                "es"
+            },
+            fmt_examples(&self.redundant_flush_events)
+        )?;
+        writeln!(
+            f,
+            "  fence-without-flush  : {} no-op sfence{}{}",
+            self.empty_fences,
+            if self.empty_fences == 1 { "" } else { "s" },
+            fmt_examples(&self.empty_fence_events)
+        )?;
+        write!(
+            f,
+            "verdict: {}",
+            if self.is_clean() { "CLEAN" } else { "FAIL" }
+        )
+    }
+}
+
+/// Per-cache-line analyzer state.
+#[derive(Clone, Copy, Debug, Default)]
+struct LineState {
+    /// Stored since last flush.
+    dirty: bool,
+    /// Flushed into the currently open fence epoch.
+    staged: bool,
+    /// Ordinal of the most recent flush of this line.
+    last_flush_seq: u64,
+    /// Fence epoch (1-based sfence count) at which the line last became
+    /// durable; 0 = never fenced.
+    last_fence: u64,
+    /// Ever made durable by a fence (used as the torn-update
+    /// precondition: formatting fresh, never-persisted space with plain
+    /// stores is fine).
+    durable_once: bool,
+}
+
+/// Incremental trace analyzer. Feed events with [`Checker::push`] (in
+/// trace order, possibly across multiple drains of the device trace), then
+/// read [`Checker::report`] or call [`Checker::finish`].
+#[derive(Debug)]
+pub struct Checker {
+    cfg: CheckConfig,
+    lines: HashMap<usize, LineState>,
+    /// Lines flushed into the currently open fence epoch.
+    epoch_lines: Vec<usize>,
+    /// Lines stored since the last commit/crash → ordinal of latest store.
+    window: HashMap<usize, u64>,
+    /// sfences seen so far (1-based epoch ids).
+    fences: u64,
+    last_seq: Option<u64>,
+    report: Report,
+}
+
+impl Checker {
+    pub fn new(cfg: CheckConfig) -> Self {
+        Checker {
+            cfg,
+            lines: HashMap::new(),
+            epoch_lines: Vec::new(),
+            window: HashMap::new(),
+            fences: 0,
+            last_seq: None,
+            report: Report::default(),
+        }
+    }
+
+    /// Feeds one event. Events must arrive in `seq` order.
+    pub fn push(&mut self, op: &TracedOp) {
+        if let Some(prev) = self.last_seq {
+            debug_assert!(
+                op.seq > prev,
+                "trace events out of order: {} after {prev}",
+                op.seq
+            );
+        }
+        self.last_seq = Some(op.seq);
+        self.report.events += 1;
+        match op.event {
+            TraceEvent::Store { addr, len } => self.on_store(op.seq, addr, len, false),
+            TraceEvent::AtomicStore { addr, len } => self.on_store(op.seq, addr, len, true),
+            TraceEvent::Clflush { line, staged } => self.on_clflush(op.seq, line, staged),
+            TraceEvent::Sfence { staged_lines } => self.on_sfence(op.seq, staged_lines),
+            TraceEvent::Commit { addr, len } => self.on_commit(op.seq, addr, len),
+            TraceEvent::Crash => self.on_crash(op.seq),
+            TraceEvent::ReadAfterRecovery { .. } => {}
+        }
+    }
+
+    /// Feeds a batch of events.
+    pub fn push_all(&mut self, ops: &[TracedOp]) {
+        for op in ops {
+            self.push(op);
+        }
+    }
+
+    /// Snapshot of the findings so far (strict end-of-trace checks not
+    /// applied — use [`Checker::finish`] for those).
+    pub fn report(&self) -> Report {
+        self.report.clone()
+    }
+
+    /// Consumes the checker, applying strict end-of-trace checks when
+    /// configured, and returns the final report.
+    pub fn finish(mut self) -> Report {
+        if self.cfg.strict {
+            let seq = self.last_seq.map_or(0, |s| s + 1);
+            self.flag_open_epoch(seq, "end of trace");
+        }
+        self.report
+    }
+
+    fn on_store(&mut self, seq: u64, addr: usize, len: usize, atomic: bool) {
+        if len == 0 {
+            return;
+        }
+        let first = addr / CACHE_LINE;
+        let last = (addr + len - 1) / CACHE_LINE;
+        for line in first..=last {
+            let base = line * CACHE_LINE;
+            let start = addr.max(base);
+            let end = (addr + len).min(base + CACHE_LINE);
+            let ls = self.lines.entry(line).or_default();
+            let words = (end - 1) / WORD_SIZE - start / WORD_SIZE + 1;
+            if !atomic && words >= 2 && ls.durable_once && self.cfg.overlaps_metadata(start, end) {
+                self.report.violations.push(Violation {
+                    rule: Rule::TornUpdate,
+                    addr: base,
+                    events: vec![seq],
+                    detail: format!(
+                        "plain store of {} bytes ({words} words) to durable metadata line \
+                         {base:#x}; only 8-byte atomicity — use atomic_write_u64/u128",
+                        end - start
+                    ),
+                });
+            }
+            let ls = self.lines.entry(line).or_default();
+            ls.dirty = true;
+            self.window.insert(line, seq);
+        }
+    }
+
+    fn on_clflush(&mut self, seq: u64, line: usize, staged: bool) {
+        if staged {
+            let ls = self.lines.entry(line).or_default();
+            ls.dirty = false;
+            if !ls.staged {
+                ls.staged = true;
+                self.epoch_lines.push(line);
+            }
+            ls.last_flush_seq = seq;
+        } else {
+            self.report.redundant_flushes += 1;
+            if self.report.redundant_flush_events.len() < LINT_EXAMPLES {
+                self.report.redundant_flush_events.push(seq);
+            }
+        }
+    }
+
+    fn on_sfence(&mut self, seq: u64, staged_lines: usize) {
+        self.fences += 1;
+        if staged_lines == 0 {
+            self.report.empty_fences += 1;
+            if self.report.empty_fence_events.len() < LINT_EXAMPLES {
+                self.report.empty_fence_events.push(seq);
+            }
+        }
+        let fences = self.fences;
+        for line in self.epoch_lines.drain(..) {
+            if let Some(ls) = self.lines.get_mut(&line) {
+                ls.staged = false;
+                ls.last_fence = fences;
+                ls.durable_once = true;
+            }
+        }
+    }
+
+    fn on_commit(&mut self, seq: u64, addr: usize, len: usize) {
+        self.report.commits += 1;
+        let rec_first = addr / CACHE_LINE;
+        let rec_last = if len == 0 {
+            rec_first
+        } else {
+            (addr + len - 1) / CACHE_LINE
+        };
+        // Deterministic report order: judge window lines oldest-store first.
+        let mut entries: Vec<(usize, u64)> = self.window.iter().map(|(&l, &s)| (l, s)).collect();
+        entries.sort_by_key(|&(l, s)| (s, l));
+        for (line, store_seq) in entries {
+            if (rec_first..=rec_last).contains(&line) {
+                continue; // the commit record itself
+            }
+            let Some(ls) = self.lines.get(&line) else {
+                continue;
+            };
+            let base = line * CACHE_LINE;
+            if ls.dirty {
+                self.report.violations.push(Violation {
+                    rule: Rule::MissingFlush,
+                    addr: base,
+                    events: vec![store_seq, seq],
+                    detail: format!(
+                        "line {base:#x} stored at #{store_seq} never flushed before the \
+                         commit record persisted at #{seq}; a crash now loses committed data"
+                    ),
+                });
+            } else if ls.last_fence == self.fences {
+                self.report.violations.push(Violation {
+                    rule: Rule::FlushWithoutFence,
+                    addr: base,
+                    events: vec![ls.last_flush_seq, seq],
+                    detail: format!(
+                        "line {base:#x} flushed at #{} but only fenced together with the \
+                         commit record at #{seq}; within one fence epoch write-backs are \
+                         unordered, so the commit record can persist first",
+                        ls.last_flush_seq
+                    ),
+                });
+            }
+        }
+        self.window.clear();
+    }
+
+    fn on_crash(&mut self, seq: u64) {
+        self.report.crashes += 1;
+        if self.cfg.strict {
+            self.flag_open_epoch(seq, "crash");
+        }
+        // The device drops volatile state at a crash; mirror it.
+        for ls in self.lines.values_mut() {
+            ls.dirty = false;
+            ls.staged = false;
+        }
+        self.epoch_lines.clear();
+        self.window.clear();
+    }
+
+    fn flag_open_epoch(&mut self, seq: u64, at: &str) {
+        let open = std::mem::take(&mut self.epoch_lines);
+        for line in open {
+            let Some(ls) = self.lines.get(&line) else {
+                continue;
+            };
+            if !ls.staged {
+                continue;
+            }
+            let base = line * CACHE_LINE;
+            self.report.violations.push(Violation {
+                rule: Rule::FlushWithoutFence,
+                addr: base,
+                events: vec![ls.last_flush_seq, seq],
+                detail: format!(
+                    "line {base:#x} flushed at #{} but its fence epoch was still open at \
+                     {at} (#{seq}); the write-back was not yet ordered durable",
+                    ls.last_flush_seq
+                ),
+            });
+        }
+    }
+}
+
+/// One-shot analysis of a complete trace.
+pub fn check(trace: &[TracedOp], cfg: CheckConfig) -> Report {
+    let mut c = Checker::new(cfg);
+    c.push_all(trace);
+    c.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nvmsim::{NvmConfig, NvmDevice, NvmTech, SimClock};
+
+    /// A traced 4 KiB device; metadata = first 256 bytes.
+    fn traced() -> (nvmsim::Nvm, CheckConfig) {
+        let dev = NvmDevice::new(
+            NvmConfig::new(4096, NvmTech::Pcm).with_tracing(),
+            SimClock::new(),
+        );
+        (dev, CheckConfig::with_metadata(vec![0..256]))
+    }
+
+    #[test]
+    fn clean_commit_protocol_passes() {
+        let (d, cfg) = traced();
+        // data → persist → commit record → persist → commit note.
+        d.write(1024, &[7u8; 128]);
+        d.persist(1024, 128);
+        d.atomic_write_u64(0, 1);
+        d.persist(0, 8);
+        d.note_commit(0, 8);
+        let r = check(&d.take_trace(), cfg);
+        assert!(r.is_clean(), "unexpected violations: {r}");
+        assert_eq!(r.commits, 1);
+    }
+
+    #[test]
+    fn missing_flush_detected() {
+        let (d, cfg) = traced();
+        d.write(1024, &[7u8; 128]); // never flushed
+        d.atomic_write_u64(0, 1);
+        d.persist(0, 8);
+        d.note_commit(0, 8);
+        let r = check(&d.take_trace(), cfg);
+        assert_eq!(
+            r.count(Rule::MissingFlush),
+            2,
+            "one violation per dirty line: {r}"
+        );
+        assert_eq!(r.fired_rules(), ["missing-flush"]);
+        // Events name the store and the commit.
+        let v = &r.violations[0];
+        assert_eq!(v.events.len(), 2);
+        assert_eq!(v.addr, 1024);
+    }
+
+    #[test]
+    fn flush_without_fence_detected_at_commit() {
+        let (d, cfg) = traced();
+        d.write(1024, &[7u8; 64]);
+        d.clflush(1024, 64); // flushed, but no sfence of its own…
+        d.atomic_write_u64(0, 1);
+        d.persist(0, 8); // …the commit's fence carries it
+        d.note_commit(0, 8);
+        let r = check(&d.take_trace(), cfg);
+        assert_eq!(r.count(Rule::FlushWithoutFence), 1, "{r}");
+        assert_eq!(r.fired_rules(), ["flush-without-fence"]);
+    }
+
+    #[test]
+    fn strict_flags_epoch_open_at_crash() {
+        let (d, mut cfg) = traced();
+        d.write(1024, &[7u8; 64]);
+        d.clflush(1024, 64);
+        d.crash(nvmsim::CrashPolicy::LoseVolatile);
+        cfg.strict = true;
+        let r = check(&d.take_trace(), cfg.clone());
+        assert_eq!(r.count(Rule::FlushWithoutFence), 1);
+        // Non-strict shadow mode tolerates it (crash injection trips
+        // mid-epoch by design).
+        let (d2, _) = traced();
+        d2.write(1024, &[7u8; 64]);
+        d2.clflush(1024, 64);
+        d2.crash(nvmsim::CrashPolicy::LoseVolatile);
+        cfg.strict = false;
+        assert!(check(&d2.take_trace(), cfg).is_clean());
+    }
+
+    #[test]
+    fn torn_update_detected_on_durable_metadata() {
+        let (d, cfg) = traced();
+        // Make the metadata line durable first (e.g. formatted earlier).
+        d.write(64, &[0u8; 16]);
+        d.persist(64, 16);
+        // Now a plain two-word update — recovery could see it half-done.
+        d.write(64, &[9u8; 16]);
+        let r = check(&d.take_trace(), cfg);
+        assert_eq!(r.count(Rule::TornUpdate), 1, "{r}");
+        assert_eq!(r.fired_rules(), ["torn-update"]);
+    }
+
+    #[test]
+    fn torn_update_not_flagged_for_atomic_or_fresh_or_data() {
+        let (d, cfg) = traced();
+        // 16-byte atomic to durable metadata: fine.
+        d.write(64, &[0u8; 16]);
+        d.persist(64, 16);
+        d.atomic_write_u128(64, 42);
+        // Plain multi-word to *fresh* metadata (formatting): fine.
+        d.write(128, &[0u8; 64]);
+        // Plain multi-word outside metadata ranges (bulk data): fine.
+        d.write(2048, &[5u8; 512]);
+        let r = check(&d.take_trace(), cfg);
+        assert_eq!(r.count(Rule::TornUpdate), 0, "{r}");
+    }
+
+    #[test]
+    fn redundant_flush_counted_not_failed() {
+        let (d, cfg) = traced();
+        d.write(1024, &[1u8; 64]);
+        d.persist(1024, 64);
+        d.clflush(1024, 64); // clean line
+        d.clflush(1024, 64); // again
+        let r = check(&d.take_trace(), cfg);
+        assert!(r.is_clean());
+        assert_eq!(r.redundant_flushes, 2);
+        assert_eq!(r.redundant_flush_events.len(), 2);
+    }
+
+    #[test]
+    fn fence_without_flush_counted_not_failed() {
+        let (d, cfg) = traced();
+        d.sfence();
+        d.write(1024, &[1u8; 8]);
+        d.persist(1024, 8);
+        d.sfence();
+        let r = check(&d.take_trace(), cfg);
+        assert!(r.is_clean());
+        assert_eq!(r.empty_fences, 2);
+    }
+
+    #[test]
+    fn rewrite_after_flush_is_missing_flush() {
+        let (d, cfg) = traced();
+        d.write(1024, &[1u8; 8]);
+        d.persist(1024, 8);
+        d.write(1024, &[2u8; 8]); // re-dirtied, never re-flushed
+        d.atomic_write_u64(0, 1);
+        d.persist(0, 8);
+        d.note_commit(0, 8);
+        let r = check(&d.take_trace(), cfg);
+        assert_eq!(r.count(Rule::MissingFlush), 1, "{r}");
+    }
+
+    #[test]
+    fn crash_clears_commit_window() {
+        let (d, cfg) = traced();
+        d.write(1024, &[1u8; 8]); // dirty…
+        d.crash(nvmsim::CrashPolicy::LoseVolatile); // …but lost with the crash
+        let _ = d.read_u64(0); // recovery looks around
+        d.atomic_write_u64(0, 1);
+        d.persist(0, 8);
+        d.note_commit(0, 8); // recovery's closing commit
+        let r = check(&d.take_trace(), cfg);
+        assert!(r.is_clean(), "{r}");
+        assert_eq!(r.crashes, 1);
+    }
+
+    #[test]
+    fn incremental_drains_match_one_shot() {
+        let (d, cfg) = traced();
+        d.write(1024, &[7u8; 64]);
+        let part1 = d.take_trace();
+        d.atomic_write_u64(0, 1);
+        d.persist(0, 8);
+        d.note_commit(0, 8);
+        let part2 = d.take_trace();
+        let mut c = Checker::new(cfg.clone());
+        c.push_all(&part1);
+        c.push_all(&part2);
+        let inc = c.finish();
+
+        let (d2, _) = traced();
+        d2.write(1024, &[7u8; 64]);
+        d2.atomic_write_u64(0, 1);
+        d2.persist(0, 8);
+        d2.note_commit(0, 8);
+        let whole = check(&d2.take_trace(), cfg);
+        assert_eq!(
+            inc.count(Rule::MissingFlush),
+            whole.count(Rule::MissingFlush)
+        );
+        assert_eq!(inc.events, whole.events);
+    }
+
+    #[test]
+    fn report_display_names_rules() {
+        let (d, cfg) = traced();
+        d.write(1024, &[7u8; 64]);
+        d.atomic_write_u64(0, 1);
+        d.persist(0, 8);
+        d.note_commit(0, 8);
+        let r = check(&d.take_trace(), cfg);
+        let text = r.to_string();
+        assert!(text.contains("missing-flush"), "{text}");
+        assert!(text.contains("FAIL"), "{text}");
+    }
+}

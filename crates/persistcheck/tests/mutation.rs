@@ -1,0 +1,200 @@
+//! Mutation tests: a faithful copy of the Tinca commit protocol (§4.4)
+//! with test-only fault knobs. Deleting a single `clflush`/`sfence`, or
+//! downgrading an atomic store to a plain one, must be flagged by the
+//! analyzer with the exact rule name — and the unmutated protocol must
+//! come back clean.
+
+use nvmsim::{Nvm, NvmConfig, NvmDevice, NvmTech, SimClock};
+use persistcheck::{check, CheckConfig, Rule};
+
+/// Mini NVM layout mirroring the real one: metadata low, data high.
+const TAIL_OFF: usize = 0;
+const HEAD_OFF: usize = 64;
+const RING_OFF: usize = 128;
+const ENTRY_OFF: usize = 256;
+const DATA_OFF: usize = 1024;
+const BLOCK: usize = 512;
+
+/// Test-only holes punched into the protocol.
+#[derive(Clone, Copy, Default)]
+struct Faults {
+    /// Skip the COW data block's clflush+sfence (step 1).
+    skip_data_flush: bool,
+    /// Skip the role-switch sfence, letting the entry write-back ride the
+    /// commit record's fence (step 4).
+    skip_role_switch_fence: bool,
+    /// Write the 16-byte entry with a plain store instead of
+    /// `atomic_write_u128` (step 2).
+    plain_entry_store: bool,
+}
+
+fn device() -> Nvm {
+    NvmDevice::new(
+        NvmConfig::new(8192, NvmTech::Pcm).with_tracing(),
+        SimClock::new(),
+    )
+}
+
+fn config() -> CheckConfig {
+    CheckConfig::with_metadata(vec![0..DATA_OFF])
+}
+
+/// One commit of one block, following §4.4 step for step.
+fn commit_once(d: &Nvm, txn_no: u64, faults: Faults) {
+    // (1) COW block write: payload, flush, fence.
+    let payload = vec![txn_no as u8; BLOCK];
+    d.write(DATA_OFF, &payload);
+    if !faults.skip_data_flush {
+        d.persist(DATA_OFF, BLOCK);
+    }
+    // (2) Cache entry: one 16-byte atomic store, persisted.
+    let entry = (u128::from(txn_no) << 64) | 0x1; // log role
+    if faults.plain_entry_store {
+        d.write(ENTRY_OFF, &entry.to_le_bytes());
+    } else {
+        d.atomic_write_u128(ENTRY_OFF, entry);
+    }
+    d.persist(ENTRY_OFF, 16);
+    // (3) Ring slot + Head move, 8-byte atomics.
+    d.atomic_write_u64(RING_OFF, txn_no);
+    d.persist(RING_OFF, 8);
+    d.atomic_write_u64(HEAD_OFF, txn_no);
+    d.persist(HEAD_OFF, 8);
+    // (4) Role switch: atomic entry update + flush, one fence for the batch.
+    let switched = (u128::from(txn_no) << 64) | 0x2; // buffer role
+    d.atomic_write_u128(ENTRY_OFF, switched);
+    d.clflush(ENTRY_OFF, 16);
+    if !faults.skip_role_switch_fence {
+        d.sfence();
+    }
+    // (5) Commit point: Tail := Head, persisted, then the annotation.
+    d.atomic_write_u64(TAIL_OFF, txn_no);
+    d.persist(TAIL_OFF, 8);
+    d.note_commit(TAIL_OFF, 8);
+}
+
+#[test]
+fn unmutated_protocol_is_clean() {
+    let d = device();
+    for txn in 1..=5 {
+        commit_once(&d, txn, Faults::default());
+    }
+    let r = check(&d.take_trace(), config());
+    assert!(
+        r.is_clean(),
+        "clean protocol must report zero violations:\n{r}"
+    );
+    assert_eq!(r.commits, 5);
+}
+
+#[test]
+fn deleting_the_data_flush_is_missing_flush() {
+    let d = device();
+    commit_once(
+        &d,
+        1,
+        Faults {
+            skip_data_flush: true,
+            ..Faults::default()
+        },
+    );
+    let r = check(&d.take_trace(), config());
+    assert_eq!(
+        r.fired_rules(),
+        ["missing-flush"],
+        "exactly the missing-flush rule must fire:\n{r}"
+    );
+    // Every dirty data line is cited, each naming its store and the commit.
+    assert_eq!(
+        r.count(Rule::MissingFlush),
+        BLOCK / nvmsim::CACHE_LINE,
+        "{r}"
+    );
+    for v in &r.violations {
+        assert!(v.addr >= DATA_OFF && v.addr < DATA_OFF + BLOCK);
+        assert_eq!(v.events.len(), 2, "store + commit ordinals");
+    }
+}
+
+#[test]
+fn deleting_the_role_switch_fence_is_flush_without_fence() {
+    let d = device();
+    commit_once(
+        &d,
+        1,
+        Faults {
+            skip_role_switch_fence: true,
+            ..Faults::default()
+        },
+    );
+    let r = check(&d.take_trace(), config());
+    assert_eq!(
+        r.fired_rules(),
+        ["flush-without-fence"],
+        "exactly the flush-without-fence rule must fire:\n{r}"
+    );
+    assert_eq!(r.count(Rule::FlushWithoutFence), 1, "{r}");
+    let v = &r.violations[0];
+    assert_eq!(v.addr, ENTRY_OFF, "the entry line rode the commit's fence");
+}
+
+#[test]
+fn plain_entry_store_is_torn_update() {
+    let d = device();
+    // First commit makes the entry line durable; the mutated second commit
+    // then overwrites it with a plain (tearable) 2-word store.
+    commit_once(&d, 1, Faults::default());
+    commit_once(
+        &d,
+        2,
+        Faults {
+            plain_entry_store: true,
+            ..Faults::default()
+        },
+    );
+    let r = check(&d.take_trace(), config());
+    assert_eq!(
+        r.fired_rules(),
+        ["torn-update"],
+        "exactly the torn-update rule must fire:\n{r}"
+    );
+    assert_eq!(r.count(Rule::TornUpdate), 1, "{r}");
+    assert_eq!(r.violations[0].addr, ENTRY_OFF);
+}
+
+#[test]
+fn each_mutation_is_flagged_under_its_own_name() {
+    // The report's Display output names the exact rule, so a CI failure
+    // log identifies the deleted instruction directly.
+    let cases: [(Faults, &str); 3] = [
+        (
+            Faults {
+                skip_data_flush: true,
+                ..Faults::default()
+            },
+            "missing-flush",
+        ),
+        (
+            Faults {
+                skip_role_switch_fence: true,
+                ..Faults::default()
+            },
+            "flush-without-fence",
+        ),
+        (
+            Faults {
+                plain_entry_store: true,
+                ..Faults::default()
+            },
+            "torn-update",
+        ),
+    ];
+    for (faults, rule_name) in cases {
+        let d = device();
+        commit_once(&d, 1, Faults::default()); // warm, clean commit
+        commit_once(&d, 2, faults);
+        let r = check(&d.take_trace(), config());
+        assert_eq!(r.fired_rules(), [rule_name], "{r}");
+        assert!(r.to_string().contains(rule_name), "{r}");
+    }
+}

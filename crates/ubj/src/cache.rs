@@ -32,7 +32,10 @@ struct Layout {
 
 impl Layout {
     fn compute(capacity: usize) -> Layout {
-        assert!(capacity > HEADER_BYTES + 2 * BLOCK_SIZE, "NVM region too small");
+        assert!(
+            capacity > HEADER_BYTES + 2 * BLOCK_SIZE,
+            "NVM region too small"
+        );
         let usable = capacity - HEADER_BYTES;
         let mut data_blocks = usable / (BLOCK_SIZE + ENTRY_BYTES);
         loop {
@@ -172,7 +175,11 @@ impl UbjCache {
                 _ => {}
             }
             let e = c.read_entry(idx);
-            assert!(!used[e.cur as usize], "two entries share NVM block {}", e.cur);
+            assert!(
+                !used[e.cur as usize],
+                "two entries share NVM block {}",
+                e.cur
+            );
             used[e.cur as usize] = true;
             c.index.insert(e.disk_blk, idx);
             match e.state {
@@ -229,7 +236,13 @@ impl UbjCache {
             let addr = self.layout.data_addr(e.cur);
             self.nvm.clflush(addr, BLOCK_SIZE);
             self.nvm.sfence();
-            self.write_entry(idx, UbjEntry { state: UbjState::PreFrozen, ..e });
+            self.write_entry(
+                idx,
+                UbjEntry {
+                    state: UbjState::PreFrozen,
+                    ..e
+                },
+            );
         }
         // Phase 2: publish — the commit point.
         self.nvm.atomic_write_u64(FLAG_OFF, 1);
@@ -297,7 +310,10 @@ impl UbjCache {
             }
         } else {
             let blk = self.alloc_block()?;
-            let idx = self.free_entries.pop().expect("entry pool tracks block pool");
+            let idx = self
+                .free_entries
+                .pop()
+                .expect("entry pool tracks block pool");
             self.nvm.write(self.layout.data_addr(blk), data);
             self.write_entry(idx, UbjEntry::new(UbjState::Dirty, disk_blk, FRESH, blk));
             self.index.insert(disk_blk, idx);
@@ -325,7 +341,10 @@ impl UbjCache {
         self.disk.read_block(disk_blk, buf);
         self.stats.read_misses += 1;
         if let Ok(blk) = self.alloc_block() {
-            let idx = self.free_entries.pop().expect("entry pool tracks block pool");
+            let idx = self
+                .free_entries
+                .pop()
+                .expect("entry pool tracks block pool");
             let addr = self.layout.data_addr(blk);
             self.nvm.write(addr, buf);
             self.nvm.persist(addr, BLOCK_SIZE);
@@ -383,7 +402,10 @@ impl UbjCache {
             self.disk.write_block(e.disk_blk, &buf);
             self.stats.checkpoint_blocks += 1;
             // The block is now clean (disk == NVM): evictable.
-            self.write_entry(r.idx, UbjEntry::new(UbjState::Clean, e.disk_blk, FRESH, e.cur));
+            self.write_entry(
+                r.idx,
+                UbjEntry::new(UbjState::Clean, e.disk_blk, FRESH, e.cur),
+            );
             self.clean_lru.push_back(r.idx);
         }
         self.stats.checkpoints += 1;

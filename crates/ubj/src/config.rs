@@ -13,7 +13,10 @@ pub struct UbjConfig {
 
 impl Default for UbjConfig {
     fn default() -> Self {
-        Self { checkpoint_low_water_permille: 100, checkpoint_batch_txns: 1 }
+        Self {
+            checkpoint_low_water_permille: 100,
+            checkpoint_batch_txns: 1,
+        }
     }
 }
 

@@ -37,12 +37,23 @@ pub struct UbjEntry {
 }
 
 impl UbjEntry {
-    pub const INVALID: UbjEntry =
-        UbjEntry { valid: false, state: UbjState::Clean, disk_blk: 0, prev: 0, cur: 0 };
+    pub const INVALID: UbjEntry = UbjEntry {
+        valid: false,
+        state: UbjState::Clean,
+        disk_blk: 0,
+        prev: 0,
+        cur: 0,
+    };
 
     pub fn new(state: UbjState, disk_blk: u64, prev: u32, cur: u32) -> UbjEntry {
         assert!(disk_blk <= DISK_BLK_MAX);
-        UbjEntry { valid: true, state, disk_blk, prev, cur }
+        UbjEntry {
+            valid: true,
+            state,
+            disk_blk,
+            prev,
+            cur,
+        }
     }
 
     pub fn encode(&self) -> u128 {
@@ -72,7 +83,13 @@ impl UbjEntry {
             2 => UbjState::PreFrozen,
             _ => UbjState::Frozen,
         };
-        UbjEntry { valid: true, state, disk_blk: lo >> 8, prev: hi as u32, cur: (hi >> 32) as u32 }
+        UbjEntry {
+            valid: true,
+            state,
+            disk_blk: lo >> 8,
+            prev: hi as u32,
+            cur: (hi >> 32) as u32,
+        }
     }
 }
 
@@ -82,7 +99,12 @@ mod tests {
 
     #[test]
     fn round_trip_all_states() {
-        for state in [UbjState::Clean, UbjState::Dirty, UbjState::PreFrozen, UbjState::Frozen] {
+        for state in [
+            UbjState::Clean,
+            UbjState::Dirty,
+            UbjState::PreFrozen,
+            UbjState::Frozen,
+        ] {
             let e = UbjEntry::new(state, 0xDEAD_BEEF, 7, 42);
             assert_eq!(UbjEntry::decode(e.encode()), e);
         }

@@ -57,8 +57,17 @@ mod tests {
 
     #[test]
     fn delta_and_rates() {
-        let a = UbjStats { commits: 1, frozen_copies: 2, ..Default::default() };
-        let b = UbjStats { commits: 5, frozen_copies: 9, checkpoints: 1, ..Default::default() };
+        let a = UbjStats {
+            commits: 1,
+            frozen_copies: 2,
+            ..Default::default()
+        };
+        let b = UbjStats {
+            commits: 5,
+            frozen_copies: 9,
+            checkpoints: 1,
+            ..Default::default()
+        };
         let d = b.delta(&a);
         assert_eq!(d.commits, 4);
         assert_eq!(d.frozen_copies, 7);

@@ -57,7 +57,10 @@ fn commit_in_place_writes_payload_once() {
     c.commit_txn(&blocks).unwrap();
     let d = nvm.stats().delta(&before);
     let per_block = d.lines_written as f64 / 8.0;
-    assert!(per_block < 70.0, "freeze-in-place must not copy: {per_block} lines/block");
+    assert!(
+        per_block < 70.0,
+        "freeze-in-place must not copy: {per_block} lines/block"
+    );
 }
 
 #[test]
@@ -86,7 +89,10 @@ fn tinca_never_pays_that_memcpy() {
     let mut tinca = tinca::TincaCache::format(
         nvm.clone(),
         disk,
-        tinca::TincaConfig { ring_bytes: 4096, ..Default::default() },
+        tinca::TincaConfig {
+            ring_bytes: 4096,
+            ..Default::default()
+        },
     );
     let mut t1 = tinca.init_txn();
     t1.write(5, &blk(1)[..]);
@@ -98,8 +104,16 @@ fn tinca_never_pays_that_memcpy() {
     let d = nvm.stats().delta(&before);
     // One payload write (64 lines) + metadata; the old version is never
     // read or copied (the few line reads are 16 B entry lookups).
-    assert!(d.lines_written < 70, "Tinca COW should write once: {}", d.lines_written);
-    assert!(d.lines_read < 5, "Tinca COW must not read the old payload: {}", d.lines_read);
+    assert!(
+        d.lines_written < 70,
+        "Tinca COW should write once: {}",
+        d.lines_written
+    );
+    assert!(
+        d.lines_read < 5,
+        "Tinca COW must not read the old payload: {}",
+        d.lines_read
+    );
 }
 
 #[test]
@@ -141,7 +155,10 @@ fn space_pressure_forces_checkpoint_stall() {
     for i in 0..n + 20 {
         c.commit_txn(&[(i, blk((i % 250) as u8))]).unwrap();
     }
-    assert!(c.stats().checkpoints > 0, "space pressure must trigger checkpoints");
+    assert!(
+        c.stats().checkpoints > 0,
+        "space pressure must trigger checkpoints"
+    );
     assert!(disk.stats().writes > 0);
     c.check_consistency().unwrap();
 }
@@ -159,7 +176,11 @@ fn committed_data_survives_crash() {
     assert_eq!(buf[0], 0xAA);
     rec.read_nocache(2, &mut buf);
     assert_eq!(buf[0], 0xBB);
-    assert_eq!(rec.pending_checkpoint_txns(), 1, "frozen blocks still need checkpointing");
+    assert_eq!(
+        rec.pending_checkpoint_txns(),
+        1,
+        "frozen blocks still need checkpointing"
+    );
 }
 
 #[test]
@@ -168,21 +189,24 @@ fn crash_sweep_commit_is_atomic() {
     // Seed v1, then crash a v2 commit at every persistence event.
     let window = {
         let (mut c, nvm, _) = setup(1 << 20);
-        c.commit_txn(&[(1, blk(1)), (2, blk(1)), (3, blk(1))]).unwrap();
+        c.commit_txn(&[(1, blk(1)), (2, blk(1)), (3, blk(1))])
+            .unwrap();
         let e0 = nvm.events();
-        c.commit_txn(&[(1, blk(2)), (2, blk(2)), (3, blk(2))]).unwrap();
+        c.commit_txn(&[(1, blk(2)), (2, blk(2)), (3, blk(2))])
+            .unwrap();
         nvm.events() - e0
     };
     let mut crashed_runs = 0;
     for trip in 1..=window + 2 {
         let (mut c, nvm, disk) = setup(1 << 20);
-        c.commit_txn(&[(1, blk(1)), (2, blk(1)), (3, blk(1))]).unwrap();
+        c.commit_txn(&[(1, blk(1)), (2, blk(1)), (3, blk(1))])
+            .unwrap();
         nvm.set_trip(Some(trip));
-        let crashed =
-            catch_unwind(AssertUnwindSafe(|| {
-                c.commit_txn(&[(1, blk(2)), (2, blk(2)), (3, blk(2))]).unwrap()
-            }))
-            .is_err();
+        let crashed = catch_unwind(AssertUnwindSafe(|| {
+            c.commit_txn(&[(1, blk(2)), (2, blk(2)), (3, blk(2))])
+                .unwrap()
+        }))
+        .is_err();
         nvm.set_trip(None);
         drop(c);
         nvm.crash(CrashPolicy::Random(trip * 31));
@@ -193,7 +217,10 @@ fn crash_sweep_commit_is_atomic() {
         let mut buf = [0u8; BLOCK_SIZE];
         for (i, b) in [1u64, 2, 3].iter().enumerate() {
             rec.read_nocache(*b, &mut buf);
-            assert!(buf.iter().all(|&x| x == buf[0]), "torn payload at trip {trip}");
+            assert!(
+                buf.iter().all(|&x| x == buf[0]),
+                "torn payload at trip {trip}"
+            );
             versions[i] = buf[0];
         }
         let all_old = versions.iter().all(|&v| v == 1);

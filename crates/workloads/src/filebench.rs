@@ -115,7 +115,10 @@ impl Filebench {
     pub fn setup(&mut self, stack: &mut Stack) {
         let chunk = vec![0x33u8; 64 * BLOCK_SIZE];
         for i in 0..self.spec.nfiles {
-            let f = stack.fs.create(&Self::file_name(i)).expect("create pool file");
+            let f = stack
+                .fs
+                .create(&Self::file_name(i))
+                .expect("create pool file");
             let mut off = 0u64;
             while off < self.spec.file_bytes {
                 let n = chunk.len().min((self.spec.file_bytes - off) as usize);
@@ -136,7 +139,11 @@ impl Filebench {
         let (rw_r, rw_w) = self.spec.personality.rw_ratio();
         let mut buf = vec![0u8; self.spec.io_bytes];
         let wbuf = vec![0x44u8; self.spec.io_bytes];
-        let max_off = self.spec.file_bytes.saturating_sub(self.spec.io_bytes as u64).max(1);
+        let max_off = self
+            .spec
+            .file_bytes
+            .saturating_sub(self.spec.io_bytes as u64)
+            .max(1);
         for _ in 0..self.spec.ops {
             let i = self.zipf.sample(&mut self.rng);
             let name = Self::file_name(i);
@@ -220,7 +227,10 @@ mod tests {
         fb.setup(&mut stack);
         let r = fb.run(&mut stack);
         let (reads, writes, _, _) = fb.counts();
-        assert!(writes > reads, "fileserver is 1/2 R/W: r={reads} w={writes}");
+        assert!(
+            writes > reads,
+            "fileserver is 1/2 R/W: r={reads} w={writes}"
+        );
         assert_eq!(r.ops, 300);
     }
 

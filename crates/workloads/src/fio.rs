@@ -53,7 +53,13 @@ pub struct Fio {
 impl Fio {
     pub fn new(spec: FioSpec) -> Fio {
         let rng = StdRng::seed_from_u64(spec.seed);
-        Fio { spec, rng, file: None, write_ops: 0, read_ops: 0 }
+        Fio {
+            spec,
+            rng,
+            file: None,
+            write_ops: 0,
+            read_ops: 0,
+        }
     }
 
     /// Pre-allocates the target file (the paper lets Fio lay out its file
@@ -88,7 +94,8 @@ impl Fio {
             } else {
                 stack.fs.write(f, off, &wbuf).expect("write");
                 self.write_ops += 1;
-                if self.spec.fsync_every > 0 && self.write_ops % self.spec.fsync_every == 0 {
+                if self.spec.fsync_every > 0 && self.write_ops.is_multiple_of(self.spec.fsync_every)
+                {
                     stack.fs.fsync().expect("fsync");
                 }
             }

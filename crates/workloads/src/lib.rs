@@ -34,8 +34,8 @@
 //! assert!(report.ops_per_sec() > 0.0);
 //! ```
 
-pub mod fio;
 pub mod filebench;
+pub mod fio;
 pub mod rand_util;
 pub mod report;
 pub mod spec;

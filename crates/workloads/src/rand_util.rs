@@ -66,7 +66,10 @@ mod tests {
             }
         }
         // Top 10% of items should draw far more than 10% of accesses.
-        assert!(head as f64 / samples as f64 > 0.4, "head share {head}/{samples}");
+        assert!(
+            head as f64 / samples as f64 > 0.4,
+            "head share {head}/{samples}"
+        );
     }
 
     #[test]

@@ -122,9 +122,18 @@ mod tests {
             label: "t".into(),
             ops,
             sim_ns,
-            nvm: NvmStats { clflush: 640, ..Default::default() },
-            disk: DiskStats { writes: 20, ..Default::default() },
-            fs: FsStats { bytes_written: 2 << 20, ..Default::default() },
+            nvm: NvmStats {
+                clflush: 640,
+                ..Default::default()
+            },
+            disk: DiskStats {
+                writes: 20,
+                ..Default::default()
+            },
+            fs: FsStats {
+                bytes_written: 2 << 20,
+                ..Default::default()
+            },
             cache: CacheSnapshot::default(),
         }
     }

@@ -45,7 +45,11 @@ pub struct TeraGen {
 impl TeraGen {
     pub fn new(spec: TeraGenSpec) -> TeraGen {
         let rng = StdRng::seed_from_u64(spec.seed);
-        TeraGen { spec, rng, bytes_written: 0 }
+        TeraGen {
+            spec,
+            rng,
+            bytes_written: 0,
+        }
     }
 
     /// Generates the dataset; `ops` in the report counts MB written
@@ -55,13 +59,19 @@ impl TeraGen {
         let write_bytes = self.spec.row_bytes * self.spec.rows_per_write;
         let mut row_buf = vec![0u8; write_bytes];
         let mut chunk_idx = 0u32;
-        let mut file = stack.fs.create(&format!("teragen-{chunk_idx:04}")).expect("create");
+        let mut file = stack
+            .fs
+            .create(&format!("teragen-{chunk_idx:04}"))
+            .expect("create");
         let mut in_chunk = 0u64;
         while self.bytes_written < self.spec.total_bytes {
             if in_chunk >= self.spec.chunk_bytes {
                 stack.fs.fsync().expect("chunk fsync");
                 chunk_idx += 1;
-                file = stack.fs.create(&format!("teragen-{chunk_idx:04}")).expect("create");
+                file = stack
+                    .fs
+                    .create(&format!("teragen-{chunk_idx:04}"))
+                    .expect("create");
                 in_chunk = 0;
             }
             // TeraGen rows: random key, patterned payload.
@@ -99,7 +109,7 @@ mod tests {
         let r = tg.run(&mut stack);
         assert_eq!(tg.bytes_written(), 3 << 20);
         assert_eq!(r.ops, 3); // MB
-        // 3 chunks + the initial file: at least 3 files exist.
+                              // 3 chunks + the initial file: at least 3 files exist.
         assert!(stack.fs.file_count() >= 3);
         stack.fs.check_consistency().unwrap();
     }

@@ -33,7 +33,6 @@ impl TxnType {
             _ => TxnType::StockLevel,
         }
     }
-
 }
 
 /// Page-region layout inside a warehouse file, mirroring the locality
@@ -59,7 +58,14 @@ impl Regions {
         let cust_len = pages / 4;
         let order_start = cust_start + cust_len;
         let order_len = pages - order_start;
-        Regions { stock_start, stock_len, cust_start, cust_len, order_start, order_len }
+        Regions {
+            stock_start,
+            stock_len,
+            cust_start,
+            cust_len,
+            order_start,
+            order_len,
+        }
     }
 
     fn warehouse(&self) -> u64 {
@@ -155,7 +161,15 @@ impl Tpcc {
             .collect();
         let sched_rng = StdRng::seed_from_u64(spec.seed ^ 0x5C4E_D001);
         let cursors = vec![0u64; spec.warehouses as usize];
-        Tpcc { spec, users, files: Vec::new(), cursors, sched_rng, completed: 0, since_fsync: 0 }
+        Tpcc {
+            spec,
+            users,
+            files: Vec::new(),
+            cursors,
+            sched_rng,
+            completed: 0,
+            since_fsync: 0,
+        }
     }
 
     /// Creates and pre-allocates the warehouse files ("loading the
@@ -163,7 +177,10 @@ impl Tpcc {
     pub fn setup(&mut self, stack: &mut Stack) {
         let chunk = vec![0x11u8; 128 * BLOCK_SIZE];
         for w in 0..self.spec.warehouses {
-            let f = stack.fs.create(&format!("warehouse-{w:03}")).expect("create");
+            let f = stack
+                .fs
+                .create(&format!("warehouse-{w:03}"))
+                .expect("create");
             let mut off = 0u64;
             while off < self.spec.warehouse_bytes {
                 let n = chunk.len().min((self.spec.warehouse_bytes - off) as usize);

@@ -51,7 +51,10 @@ pub fn parse_trace(text: &str) -> Result<Vec<TraceOp>, TraceParseError> {
         if line.is_empty() {
             continue;
         }
-        let err = |message: String| TraceParseError { line: i + 1, message };
+        let err = |message: String| TraceParseError {
+            line: i + 1,
+            message,
+        };
         let mut parts = line.split(',').map(str::trim);
         let kind = parts.next().unwrap_or("");
         match kind {
@@ -124,9 +127,7 @@ pub fn synthesize(spec: &TraceSpec) -> Vec<TraceOp> {
     for _ in 0..spec.ops {
         let region = zipf.sample(&mut rng) as u64;
         let blk = (region * region_blocks + rng.gen_range(0..region_blocks)).min(spec.blocks - 1);
-        let len = *[1u32, 1, 1, 2, 4, 8]
-            .get(rng.gen_range(0..6))
-            .unwrap();
+        let len = *[1u32, 1, 1, 2, 4, 8].get(rng.gen_range(0..6)).unwrap();
         let len = len.min((spec.blocks - blk) as u32).max(1);
         if rng.gen_range(0..100) < spec.read_pct {
             out.push(TraceOp::Read { blk, len });
@@ -161,7 +162,11 @@ impl TraceReplayer {
             .max()
             .unwrap_or(1)
             .max(1);
-        TraceReplayer { ops, file: None, blocks }
+        TraceReplayer {
+            ops,
+            file: None,
+            blocks,
+        }
     }
 
     /// Blocks the trace's address space spans.

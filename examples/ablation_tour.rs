@@ -12,12 +12,30 @@ use tinca_repro::workloads::measure;
 
 fn main() {
     let systems = [
-        (System::Tinca, "the paper's design: role switch + 16B entries"),
-        (System::TincaNoRoleSwitch, "ablation: commit degrades to double writes"),
-        (System::Ubj, "UBJ baseline: freeze-in-place + txn checkpoints"),
-        (System::Classic, "legacy stack: JBD2 journal over Flashcache"),
-        (System::ClassicNoMeta, "Classic without synchronous metadata"),
-        (System::ClassicNoJournal, "Classic without journaling (unsafe)"),
+        (
+            System::Tinca,
+            "the paper's design: role switch + 16B entries",
+        ),
+        (
+            System::TincaNoRoleSwitch,
+            "ablation: commit degrades to double writes",
+        ),
+        (
+            System::Ubj,
+            "UBJ baseline: freeze-in-place + txn checkpoints",
+        ),
+        (
+            System::Classic,
+            "legacy stack: JBD2 journal over Flashcache",
+        ),
+        (
+            System::ClassicNoMeta,
+            "Classic without synchronous metadata",
+        ),
+        (
+            System::ClassicNoJournal,
+            "Classic without journaling (unsafe)",
+        ),
     ];
     println!(
         "{:<26} {:>10} {:>12} {:>12} {:>12}   note",

@@ -10,8 +10,14 @@ use tinca_repro::cluster::HdfsCluster;
 use tinca_repro::fssim::stack::{StackConfig, System};
 
 fn main() {
-    let replicas: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(3);
-    let mib: u64 = std::env::args().nth(2).and_then(|s| s.parse().ok()).unwrap_or(32);
+    let replicas: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(3);
+    let mib: u64 = std::env::args()
+        .nth(2)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(32);
 
     println!("TeraGen {mib} MiB on 4 data nodes, {replicas} replica(s)\n");
     let mut times = Vec::new();

@@ -102,7 +102,14 @@ fn main() {
     }))
     .is_err();
     stack.nvm.set_trip(None);
-    println!("batch 2 {}", if crashed { "interrupted by power cut" } else { "completed" });
+    println!(
+        "batch 2 {}",
+        if crashed {
+            "interrupted by power cut"
+        } else {
+            "completed"
+        }
+    );
 
     // Reboot: crash the device, recover the cache, remount the FS.
     let (nvm, disk, clock) = (stack.nvm.clone(), stack.disk.clone(), stack.clock.clone());

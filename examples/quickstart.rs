@@ -24,7 +24,10 @@ fn main() {
     txn.write(2000, &[0xBB; BLOCK_SIZE]);
     txn.write(3000, &[0xCC; BLOCK_SIZE]);
     cache.commit(&txn).expect("commit");
-    println!("committed 3 blocks in {} ns of simulated time", clock.now_ns());
+    println!(
+        "committed 3 blocks in {} ns of simulated time",
+        clock.now_ns()
+    );
 
     let s = nvm.stats();
     println!(
@@ -47,7 +50,9 @@ fn main() {
     // and revokes any incomplete transaction (there is none here).
     let recovered =
         TincaCache::recover(nvm, disk, TincaConfig::default()).expect("recover after crash");
-    recovered.check_consistency().expect("consistent after crash");
+    recovered
+        .check_consistency()
+        .expect("consistent after crash");
 
     let mut buf = [0u8; BLOCK_SIZE];
     recovered.read_nocache(1000, &mut buf);

@@ -26,8 +26,10 @@ fn main() {
                 fsync_every: 64,
                 seed: 0x7ACE,
             };
-            println!("(no trace given — synthesising {} skewed ops over {} blocks)\n",
-                spec.ops, spec.blocks);
+            println!(
+                "(no trace given — synthesising {} skewed ops over {} blocks)\n",
+                spec.ops, spec.blocks
+            );
             synthesize(&spec)
         }
     };

@@ -13,6 +13,7 @@
 //! | [`workloads`] | Fio / TPC-C / Filebench / TeraGen generators |
 //! | [`cluster`] | HDFS- and GlusterFS-like replicated clusters |
 //! | [`crashsim`] | crash injection + recovery verification |
+//! | [`persistcheck`] | pmemcheck-style persist-ordering analyzer over NVM event traces |
 //!
 //! See `examples/quickstart.rs` for a five-minute tour, and the `bench`
 //! crate's binaries (`cargo run --release -p bench --bin run_all`) for the
@@ -24,6 +25,7 @@ pub use cluster;
 pub use crashsim;
 pub use fssim;
 pub use nvmsim;
+pub use persistcheck;
 pub use tinca;
 pub use ubj;
 pub use workloads;

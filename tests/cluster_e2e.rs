@@ -36,7 +36,11 @@ fn tinca_cluster_beats_classic_cluster_on_teragen() {
 
 #[test]
 fn gluster_filebench_runs_all_personalities() {
-    for p in [Personality::Fileserver, Personality::Webproxy, Personality::Varmail] {
+    for p in [
+        Personality::Fileserver,
+        Personality::Webproxy,
+        Personality::Varmail,
+    ] {
         let cfg = StackConfig::tiny(System::Tinca);
         let cluster = GlusterCluster::new(4, 2, &cfg);
         let report = GlusterFilebench {

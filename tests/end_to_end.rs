@@ -25,7 +25,10 @@ fn fio_spec(read_pct: u32, nvm_bytes: usize) -> FioSpec {
 fn tinca_beats_classic_on_write_heavy_fio() {
     let mut results = Vec::new();
     for sys in [System::Classic, System::Tinca] {
-        let cfg = StackConfig { nvm_bytes: 8 << 20, ..StackConfig::scaled_local(sys) };
+        let cfg = StackConfig {
+            nvm_bytes: 8 << 20,
+            ..StackConfig::scaled_local(sys)
+        };
         let mut stack = build(&cfg).unwrap();
         let mut fio = Fio::new(fio_spec(30, cfg.nvm_bytes));
         fio.setup(&mut stack);
@@ -81,14 +84,23 @@ fn both_systems_keep_fsynced_data_across_crash() {
 #[test]
 fn whole_stack_is_deterministic() {
     let run = || {
-        let cfg = StackConfig { nvm_bytes: 4 << 20, ..StackConfig::tiny(System::Tinca) };
+        let cfg = StackConfig {
+            nvm_bytes: 4 << 20,
+            ..StackConfig::tiny(System::Tinca)
+        };
         let mut stack = build(&cfg).unwrap();
         let mut fio = Fio::new(fio_spec(50, cfg.nvm_bytes));
         fio.setup(&mut stack);
         let m = measure(&stack, "det");
         let _ = fio.run(&mut stack);
         let r = m.finish(&stack, 1);
-        (r.nvm.clflush, r.nvm.sfence, r.disk.writes, r.disk.reads, r.sim_ns)
+        (
+            r.nvm.clflush,
+            r.nvm.sfence,
+            r.disk.writes,
+            r.disk.reads,
+            r.sim_ns,
+        )
     };
     assert_eq!(run(), run());
 }
@@ -126,7 +138,10 @@ fn tinca_cache_space_efficiency_under_oltp() {
     use tinca_repro::workloads::tpcc::{Tpcc, TpccSpec};
     let mut hits = Vec::new();
     for sys in [System::Classic, System::Tinca] {
-        let cfg = StackConfig { nvm_bytes: 8 << 20, ..StackConfig::scaled_local(sys) };
+        let cfg = StackConfig {
+            nvm_bytes: 8 << 20,
+            ..StackConfig::scaled_local(sys)
+        };
         let mut stack = build(&cfg).unwrap();
         let mut tpcc = Tpcc::new(TpccSpec {
             warehouses: 8,

@@ -1,0 +1,268 @@
+//! Offline stand-in for the subset of the `criterion` crate this workspace
+//! uses. The build container has no network access to crates.io, so the
+//! benches link against this minimal harness: it runs each benchmark a
+//! fixed number of timed iterations and prints mean wall-clock time per
+//! iteration (no statistics, plots, or baselines — swap in the real
+//! `criterion` for those).
+
+#![allow(clippy::all, clippy::pedantic)]
+
+use std::fmt::{self, Display};
+use std::time::Instant;
+
+/// Opaque value barrier, forwarding to `std::hint::black_box`.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Throughput annotation for a benchmark (printed alongside the timing).
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    Bytes(u64),
+    Elements(u64),
+    BytesDecimal(u64),
+}
+
+/// A benchmark identifier: function name plus a parameter value.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+/// Names acceptable where criterion takes `impl Into<BenchmarkId>`-ish ids.
+pub trait IntoBenchmarkId {
+    fn into_id(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_id(self) -> String {
+        self.id
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_id(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_id(self) -> String {
+        self
+    }
+}
+
+/// Timing loop handle passed to benchmark closures.
+pub struct Bencher {
+    iters: u64,
+    elapsed_ns: u128,
+}
+
+impl Bencher {
+    /// Times `iters` calls of `routine`.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // One untimed warm-up call.
+        black_box(routine());
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed_ns = start.elapsed().as_nanos();
+    }
+}
+
+/// The benchmark runner.
+pub struct Criterion {
+    sample_size: u64,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 100 }
+    }
+}
+
+impl Criterion {
+    /// Sets how many timed iterations each benchmark runs.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n > 0);
+        self.sample_size = n as u64;
+        self
+    }
+
+    /// Runs a single benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl IntoBenchmarkId, f: F) {
+        run_one(id.into_id(), self.sample_size, None, f);
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: self.sample_size,
+            throughput: None,
+            _parent: std::marker::PhantomData,
+        }
+    }
+
+    /// Compatibility no-op (the real criterion parses CLI args here).
+    pub fn final_summary(&self) {}
+}
+
+/// A group of benchmarks sharing a name prefix and settings.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: u64,
+    throughput: Option<Throughput>,
+    _parent: std::marker::PhantomData<&'a ()>,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n > 0);
+        self.sample_size = n as u64;
+        self
+    }
+
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl IntoBenchmarkId, f: F) {
+        run_one(
+            format!("{}/{}", self.name, id.into_id()),
+            self.sample_size,
+            self.throughput,
+            f,
+        );
+    }
+
+    pub fn bench_with_input<I, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        input: &I,
+        mut f: F,
+    ) {
+        run_one(
+            format!("{}/{}", self.name, id.into_id()),
+            self.sample_size,
+            self.throughput,
+            |b| f(b, input),
+        );
+    }
+
+    pub fn finish(self) {}
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(id: String, iters: u64, tp: Option<Throughput>, mut f: F) {
+    let mut b = Bencher {
+        iters,
+        elapsed_ns: 0,
+    };
+    f(&mut b);
+    let per_iter = if b.elapsed_ns > 0 {
+        b.elapsed_ns / u128::from(iters.max(1))
+    } else {
+        0
+    };
+    let rate = match tp {
+        Some(Throughput::Bytes(n)) | Some(Throughput::BytesDecimal(n)) if per_iter > 0 => {
+            let mbps = n as f64 * 1e9 / per_iter as f64 / (1 << 20) as f64;
+            format!("  {mbps:10.1} MiB/s")
+        }
+        Some(Throughput::Elements(n)) if per_iter > 0 => {
+            let eps = n as f64 * 1e9 / per_iter as f64;
+            format!("  {eps:10.0} elem/s")
+        }
+        _ => String::new(),
+    };
+    println!(
+        "{id:<50} {:>12} ns/iter ({iters} iters){rate}",
+        format_num(per_iter)
+    );
+}
+
+fn format_num(n: u128) -> String {
+    let s = n.to_string();
+    let mut out = String::new();
+    for (i, c) in s.chars().enumerate() {
+        if i > 0 && (s.len() - i) % 3 == 0 {
+            out.push(',');
+        }
+        out.push(c);
+    }
+    out
+}
+
+/// Declares a benchmark group, in either of criterion's two syntaxes.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c: $crate::Criterion = $config;
+            $( $target(&mut c); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main`, running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_routine() {
+        let mut c = Criterion::default().sample_size(3);
+        let mut count = 0u32;
+        c.bench_function("counter", |b| b.iter(|| count += 1));
+        // 3 timed + 1 warm-up call.
+        assert_eq!(count, 4);
+    }
+
+    #[test]
+    fn group_applies_input() {
+        let mut c = Criterion::default().sample_size(2);
+        let mut g = c.benchmark_group("g");
+        g.throughput(Throughput::Bytes(4096));
+        let mut seen = 0u64;
+        g.bench_with_input(BenchmarkId::new("x", 7), &7u64, |b, &v| b.iter(|| seen = v));
+        g.finish();
+        assert_eq!(seen, 7);
+    }
+
+    #[test]
+    fn id_formats() {
+        assert_eq!(BenchmarkId::new("f", 3).into_id(), "f/3");
+        assert_eq!(BenchmarkId::from_parameter("p").into_id(), "p");
+    }
+}

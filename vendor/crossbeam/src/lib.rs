@@ -1,0 +1,127 @@
+//! Offline stand-in for the subset of `crossbeam` this workspace uses:
+//! `channel::{bounded, unbounded, Sender, Receiver}` over `std::sync::mpsc`.
+//!
+//! The build container has no network access to crates.io; the real
+//! `crossbeam` is a drop-in replacement.
+
+#![allow(clippy::all, clippy::pedantic)]
+
+pub mod channel {
+    use std::sync::mpsc;
+
+    pub use std::sync::mpsc::{RecvError, RecvTimeoutError, TryRecvError};
+
+    /// Sending half of a channel. Unifies std's `Sender`/`SyncSender` the
+    /// way `crossbeam::channel::Sender` does.
+    #[derive(Clone, Debug)]
+    pub enum Sender<T> {
+        Unbounded(mpsc::Sender<T>),
+        Bounded(mpsc::SyncSender<T>),
+    }
+
+    /// An error returned when the receiving half has disconnected.
+    #[derive(Clone, Copy, PartialEq, Eq)]
+    pub struct SendError<T>(pub T);
+
+    // Like upstream crossbeam, Debug does not require `T: Debug`, so
+    // `send(...).expect(...)` works with any payload type.
+    impl<T> std::fmt::Debug for SendError<T> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str("SendError(..)")
+        }
+    }
+
+    impl<T> std::fmt::Display for SendError<T> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str("sending on a disconnected channel")
+        }
+    }
+
+    impl<T> std::error::Error for SendError<T> {}
+
+    impl<T> Sender<T> {
+        /// Sends `msg`, blocking while a bounded channel is full.
+        pub fn send(&self, msg: T) -> Result<(), SendError<T>> {
+            match self {
+                Sender::Unbounded(s) => s.send(msg).map_err(|e| SendError(e.0)),
+                Sender::Bounded(s) => s.send(msg).map_err(|e| SendError(e.0)),
+            }
+        }
+    }
+
+    /// Receiving half of a channel.
+    #[derive(Debug)]
+    pub struct Receiver<T>(mpsc::Receiver<T>);
+
+    impl<T> Receiver<T> {
+        pub fn recv(&self) -> Result<T, RecvError> {
+            self.0.recv()
+        }
+
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            self.0.try_recv()
+        }
+
+        pub fn recv_timeout(&self, timeout: std::time::Duration) -> Result<T, RecvTimeoutError> {
+            self.0.recv_timeout(timeout)
+        }
+
+        pub fn iter(&self) -> mpsc::Iter<'_, T> {
+            self.0.iter()
+        }
+    }
+
+    impl<T> IntoIterator for Receiver<T> {
+        type Item = T;
+        type IntoIter = mpsc::IntoIter<T>;
+        fn into_iter(self) -> Self::IntoIter {
+            self.0.into_iter()
+        }
+    }
+
+    /// Creates a channel of unlimited capacity.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = mpsc::channel();
+        (Sender::Unbounded(tx), Receiver(rx))
+    }
+
+    /// Creates a channel of capacity `cap` (0 = rendezvous).
+    pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = mpsc::sync_channel(cap);
+        (Sender::Bounded(tx), Receiver(rx))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::channel::{bounded, unbounded};
+
+    #[test]
+    fn unbounded_round_trip() {
+        let (tx, rx) = unbounded();
+        tx.send(1).unwrap();
+        tx.send(2).unwrap();
+        assert_eq!(rx.recv().unwrap(), 1);
+        assert_eq!(rx.recv().unwrap(), 2);
+    }
+
+    #[test]
+    fn bounded_works_across_threads() {
+        let (tx, rx) = bounded(1);
+        let h = std::thread::spawn(move || {
+            for i in 0..10 {
+                tx.send(i).unwrap();
+            }
+        });
+        let got: Vec<i32> = rx.into_iter().collect();
+        h.join().unwrap();
+        assert_eq!(got, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn recv_errors_after_sender_drop() {
+        let (tx, rx) = unbounded::<u8>();
+        drop(tx);
+        assert!(rx.recv().is_err());
+    }
+}

@@ -1,0 +1,264 @@
+//! Offline stand-in for the subset of the `rand` crate this workspace uses.
+//!
+//! The build container has no network access to crates.io, so the workspace
+//! vendors a minimal, API-compatible implementation: `StdRng` (xoshiro256++
+//! seeded via SplitMix64), `SeedableRng::seed_from_u64`, and the `Rng`
+//! methods the simulators call (`gen`, `gen_range`, `gen_bool`, `fill`).
+//!
+//! Deterministic for a given seed, which is all the simulators rely on; it
+//! makes no cryptographic or statistical-test-suite claims.
+
+#![allow(clippy::all, clippy::pedantic)]
+
+use std::ops::{Range, RangeInclusive};
+
+/// Low-level source of randomness.
+pub trait RngCore {
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+    fn next_u64(&mut self) -> u64;
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        let mut chunks = dest.chunks_exact_mut(8);
+        for c in &mut chunks {
+            c.copy_from_slice(&self.next_u64().to_le_bytes());
+        }
+        let rem = chunks.into_remainder();
+        if !rem.is_empty() {
+            let b = self.next_u64().to_le_bytes();
+            rem.copy_from_slice(&b[..rem.len()]);
+        }
+    }
+}
+
+/// RNGs constructible from a small seed.
+pub trait SeedableRng: Sized {
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// Deterministic 64-bit generator (xoshiro256++).
+    #[derive(Clone, Debug)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            // SplitMix64 expansion of the seed into the full state, as the
+            // xoshiro authors recommend.
+            let mut sm = seed;
+            let mut next = || {
+                sm = sm.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut z = sm;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                z ^ (z >> 31)
+            };
+            StdRng {
+                s: [next(), next(), next(), next()],
+            }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let s = &mut self.s;
+            let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+/// Types producible by [`Rng::gen`] (the `Standard` distribution).
+pub trait StandardSample {
+    fn standard_sample<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+macro_rules! standard_int {
+    ($($t:ty),*) => {$(
+        impl StandardSample for $t {
+            fn standard_sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+standard_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl StandardSample for u128 {
+    fn standard_sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (u128::from(rng.next_u64()) << 64) | u128::from(rng.next_u64())
+    }
+}
+
+impl StandardSample for i128 {
+    fn standard_sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        u128::standard_sample(rng) as i128
+    }
+}
+
+impl StandardSample for bool {
+    fn standard_sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl StandardSample for f64 {
+    fn standard_sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        // 53 random mantissa bits in [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl StandardSample for f32 {
+    fn standard_sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 40) as f32 * (1.0 / (1u64 << 24) as f32)
+    }
+}
+
+/// Types drawable uniformly from a range. The generic [`SampleRange`]
+/// impls below hang off this trait, mirroring upstream `rand`'s structure
+/// so type inference flows from the use site into range literals
+/// (`rng.gen_range(0..100) < some_u32` infers `u32`).
+pub trait SampleUniform: Sized {
+    /// Uniform value in `[lo, hi]` if `inclusive`, else `[lo, hi)`.
+    fn sample_uniform<R: RngCore + ?Sized>(
+        lo: Self,
+        hi: Self,
+        inclusive: bool,
+        rng: &mut R,
+    ) -> Self;
+}
+
+macro_rules! sample_uniform_int {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_uniform<R: RngCore + ?Sized>(
+                lo: Self,
+                hi: Self,
+                inclusive: bool,
+                rng: &mut R,
+            ) -> Self {
+                // Wrapping u128 arithmetic handles signed ranges: the
+                // two's-complement difference is the true span.
+                let mut span = (hi as u128).wrapping_sub(lo as u128);
+                if inclusive {
+                    span = span.wrapping_add(1);
+                    if span == 0 {
+                        // Full-width inclusive range.
+                        return u128::standard_sample(rng) as $t;
+                    }
+                } else {
+                    assert!(span > 0, "gen_range: empty range");
+                }
+                lo.wrapping_add((u128::standard_sample(rng) % span) as $t)
+            }
+        }
+    )*};
+}
+sample_uniform_int!(u8, u16, u32, u64, u128, usize, i8, i16, i32, i64, i128, isize);
+
+/// Ranges usable with [`Rng::gen_range`].
+pub trait SampleRange<T> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+impl<T: SampleUniform + PartialOrd> SampleRange<T> for Range<T> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        assert!(self.start < self.end, "gen_range: empty range");
+        T::sample_uniform(self.start, self.end, false, rng)
+    }
+}
+
+impl<T: SampleUniform + PartialOrd> SampleRange<T> for RangeInclusive<T> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        let (lo, hi) = self.into_inner();
+        assert!(lo <= hi, "gen_range: empty range");
+        T::sample_uniform(lo, hi, true, rng)
+    }
+}
+
+/// User-facing random-value methods, mirroring `rand::Rng`.
+pub trait Rng: RngCore {
+    fn gen<T: StandardSample>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::standard_sample(self)
+    }
+
+    fn gen_range<T, Rg: SampleRange<T>>(&mut self, range: Rg) -> T
+    where
+        Self: Sized,
+    {
+        range.sample_from(self)
+    }
+
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        f64::standard_sample(self) < p
+    }
+
+    fn fill(&mut self, dest: &mut [u8])
+    where
+        Self: Sized,
+    {
+        self.fill_bytes(dest);
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_for_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.gen::<u64>(), b.gen::<u64>());
+        }
+    }
+
+    #[test]
+    fn seeds_differ() {
+        let mut a = StdRng::seed_from_u64(1);
+        let mut b = StdRng::seed_from_u64(2);
+        assert_ne!(a.gen::<u64>(), b.gen::<u64>());
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut r = StdRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let v = r.gen_range(10..20);
+            assert!((10..20).contains(&v));
+            let w: u8 = r.gen_range(1..=255);
+            assert!(w >= 1);
+            let f: f64 = r.gen();
+            assert!((0.0..1.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn bool_is_roughly_fair() {
+        let mut r = StdRng::seed_from_u64(3);
+        let trues = (0..10_000).filter(|_| r.gen::<bool>()).count();
+        assert!((4_000..6_000).contains(&trues), "trues = {trues}");
+    }
+}
