@@ -1,0 +1,23 @@
+//! Scaling figure: sharded-pool throughput and flushes/txn vs threads,
+//! with a per-shard persist-order audit of every run.
+//!
+//! Usage: `cargo run --release -p bench --bin scaling [-- --quick]`
+//!
+//! Exits non-zero if any shard's commit trace has a persist-order
+//! correctness violation, or if the N=4 pool fails to reach 2x the N=1
+//! throughput at the highest thread count.
+
+use bench::figs::scaling;
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let (_table, speedup, clean) = scaling::run(quick);
+    if !clean {
+        eprintln!("persist-order violations on the sharded commit path");
+        std::process::exit(1);
+    }
+    if speedup < 2.0 {
+        eprintln!("sharded pool speedup {speedup:.2}x below the 2x bar");
+        std::process::exit(1);
+    }
+}

@@ -12,6 +12,7 @@ pub mod fig8;
 pub mod flush_instr;
 pub mod meta_schemes;
 pub mod recoverability;
+pub mod scaling;
 pub mod tables;
 pub mod ubj_compare;
 

@@ -1,0 +1,144 @@
+//! Scaling figure — sharded pool throughput and flushes/txn vs threads.
+//!
+//! The paper drives Tinca with multi-threaded Fio; this figure shows what
+//! the sharded front-end buys: an `N = 4` pool against an `N = 1` pool at
+//! 1–16 worker threads, same total NVM budget, same per-thread workload.
+//!
+//! * **throughput** (ops per simulated second of parallel wall time):
+//!   `N = 1` serialises every commit on one shard clock; `N = 4` spreads
+//!   them over four independent sub-region clocks, so wall time is the
+//!   *max* shard advance and throughput scales with shards.
+//! * **flushes/txn**: group commit batches queued transactions into one
+//!   ring commit; more threads per shard → bigger batches → fewer
+//!   `clflush`+`sfence` per transaction on the contended pool.
+//!
+//! Every run traces NVM events; the persist-order analyzer must report
+//! zero correctness violations on **each shard's** commit stream.
+
+use blockdev::{DiskKind, SimDisk};
+use nvmsim::{shard_devices, Nvm, NvmConfig, NvmTech, SimClock};
+use persistcheck::{CheckConfig, Checker};
+use tinca::{PoolConfig, TincaConfig, TincaPool};
+use workloads::mtfio::{MtFio, MtFioSpec, MtReport};
+
+use crate::table::Table;
+use crate::{banner, fmt, write_csv};
+
+/// One measured point of the figure.
+pub struct ScalingPoint {
+    pub shards: usize,
+    pub threads: usize,
+    pub report: MtReport,
+    /// Persist-order correctness violations summed over shards.
+    pub violations: usize,
+}
+
+fn build_pool(shards: usize, nvm_bytes: usize) -> (TincaPool, Vec<Nvm>) {
+    let devices = shard_devices(
+        &NvmConfig::new(nvm_bytes, NvmTech::Pcm).with_tracing(),
+        shards,
+    );
+    let disk = SimDisk::new(DiskKind::Ssd, 1 << 20, SimClock::new());
+    let pool = TincaPool::format(
+        devices.clone(),
+        disk,
+        PoolConfig {
+            shards,
+            cache: TincaConfig {
+                ring_bytes: 16 << 10,
+                ..TincaConfig::default()
+            },
+            ..PoolConfig::default()
+        },
+    );
+    (pool, devices)
+}
+
+/// Runs one (shards, threads) point: the measured phase plus a per-shard
+/// persist-order audit of the full event trace.
+pub fn run_point(shards: usize, threads: usize, quick: bool) -> ScalingPoint {
+    let nvm_bytes = if quick { 4 << 20 } else { 16 << 20 };
+    let (pool, devices) = build_pool(shards, nvm_bytes);
+    let spec = MtFioSpec {
+        threads,
+        read_pct: 30,
+        blocks: if quick { 512 } else { 2048 },
+        ops_per_thread: if quick { 250 } else { 1500 },
+        txn_blocks: 2,
+        seed: 0x5CA1 + shards as u64,
+    };
+    let fio = MtFio::new(spec);
+    fio.setup(&pool, if quick { 64 } else { 256 });
+    let report = fio.run(&pool);
+    pool.flush_all();
+
+    let mut violations = 0usize;
+    for (s, d) in devices.iter().enumerate() {
+        let mut checker = Checker::new(CheckConfig::with_metadata(pool.shard_metadata_ranges(s)));
+        checker.push_all(&d.take_trace());
+        let r = checker.report();
+        if !r.is_clean() {
+            violations += r.violations.len();
+            eprintln!("--- shard {s} ({shards} shards, {threads} threads) ---\n{r}");
+        }
+    }
+    ScalingPoint {
+        shards,
+        threads,
+        report,
+        violations,
+    }
+}
+
+/// Runs the full figure. Returns `(table, speedup, clean)` where `speedup`
+/// is N=4 over N=1 throughput at the highest thread count and `clean` is
+/// true iff no shard's trace had a persist-order violation.
+pub fn run(quick: bool) -> (Table, f64, bool) {
+    banner(
+        "scaling",
+        "Sharded pool: throughput & flushes/txn vs threads (N=1 vs N=4)",
+        "N=4 at 8 threads >= 2x N=1 throughput; persistcheck clean per shard",
+    );
+    let thread_counts: &[usize] = if quick { &[1, 4] } else { &[1, 2, 4, 8, 16] };
+    let mut t = Table::new(&[
+        "shards",
+        "threads",
+        "ops/s",
+        "flushes/txn",
+        "batched %",
+        "wall ms",
+        "busy ms",
+        "violations",
+    ]);
+    let mut clean = true;
+    // throughput[shard-series][thread-index]
+    let mut tput = [[0f64; 5]; 2];
+    for (si, &shards) in [1usize, 4].iter().enumerate() {
+        for (ti, &threads) in thread_counts.iter().enumerate() {
+            let p = run_point(shards, threads, quick);
+            clean &= p.violations == 0;
+            tput[si][ti] = p.report.ops_per_sec();
+            t.row(vec![
+                shards.to_string(),
+                threads.to_string(),
+                fmt(p.report.ops_per_sec()),
+                fmt(p.report.flushes_per_txn()),
+                fmt(p.report.batched_fraction() * 100.0),
+                fmt(p.report.wall_ns as f64 / 1e6),
+                fmt(p.report.busy_ns as f64 / 1e6),
+                p.violations.to_string(),
+            ]);
+        }
+    }
+    let last = thread_counts.len() - 1;
+    let speedup = tput[1][last] / tput[0][last].max(f64::MIN_POSITIVE);
+    t.print();
+    println!(
+        "N=4 over N=1 at {} threads: {:.2}x (persistcheck {})",
+        thread_counts[last],
+        speedup,
+        if clean { "CLEAN" } else { "FAIL" }
+    );
+    write_csv("scaling", &t.headers(), t.rows());
+    (t, speedup, clean)
+}

@@ -129,12 +129,22 @@ impl TincaCache {
                 ring_cap: self.layout.ring_cap,
             });
         }
-        let worst_case = if self.cfg.role_switch { 2 * n } else { 3 * n };
-        if worst_case >= self.layout.data_blocks as usize {
-            return Err(TincaError::CacheExhausted {
-                needed: worst_case,
-                data_blocks: self.layout.data_blocks,
-            });
+        // Admission: the commit protocol allocates one new NVM block per
+        // staged block (two in the double-write ablation), while the
+        // current versions of staged-and-cached blocks stay pinned as
+        // revocation `prev`s. Supply is the free pool plus every cached
+        // block that stays evictable mid-protocol — NOT the total block
+        // count: a commit admitted against `data_blocks` alone could run
+        // out of victims mid-protocol and take the revoke path.
+        let needed = if self.cfg.role_switch { n } else { 2 * n };
+        let overlap = txn
+            .blocks()
+            .iter()
+            .filter(|(b, _)| self.index.contains_key(b))
+            .count();
+        let available = self.free_blocks.free_count() + (self.index.len() - overlap);
+        if needed > available {
+            return Err(TincaError::CacheExhausted { needed, available });
         }
 
         debug_assert_eq!(
@@ -172,6 +182,7 @@ impl TincaCache {
                 }
                 self.stats.commits += 1;
                 self.stats.committed_blocks += n as u64;
+                self.stats.coalesced_writes += txn.coalesced_writes();
                 if self.cfg.write_policy == WritePolicy::WriteThrough {
                     self.write_through(&touched);
                 }
@@ -181,10 +192,36 @@ impl TincaCache {
             Err(e) => {
                 self.revoke_in_flight(&touched);
                 self.clear_pins();
-                self.stats.aborts += 1;
+                self.stats.failed_commits += 1;
                 Err(e)
             }
         }
+    }
+
+    /// Commits a batch of transactions as **one** ring commit (group
+    /// commit): the batch is folded into a single committing transaction
+    /// (later writers win, payload buffers are moved, not copied), so the
+    /// whole group pays one Tail store + fence — the same amortisation
+    /// JBD2 gets from batching fsyncs into one compound transaction.
+    ///
+    /// The batch is atomic as a unit: either every transaction's blocks are
+    /// durable or none are (a mid-protocol failure revokes the merged
+    /// transaction and every waiter sees the error).
+    pub fn commit_group(&mut self, txns: Vec<Txn>) -> Result<(), TincaError> {
+        let k = txns.len() as u64;
+        let mut it = txns.into_iter();
+        let Some(mut merged) = it.next() else {
+            return Ok(());
+        };
+        for t in it {
+            merged.absorb(t);
+        }
+        let res = self.commit(&merged);
+        if res.is_ok() && k > 1 {
+            self.stats.group_commits += 1;
+            self.stats.batched_txns += k;
+        }
+        res
     }
 
     /// Aborts a running transaction (`tinca_abort`, §4.1). Running
@@ -193,7 +230,7 @@ impl TincaCache {
     /// mid-way is revoked internally by [`commit`](Self::commit).)
     pub fn abort(&mut self, txn: Txn) {
         drop(txn);
-        self.stats.aborts += 1;
+        self.stats.user_aborts += 1;
     }
 
     /// Steps 1–3 + per-block ring recording of the commit protocol.

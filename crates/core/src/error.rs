@@ -9,8 +9,9 @@ pub enum TincaError {
     TxnTooLarge { blocks: usize, ring_cap: u64 },
     /// The transaction cannot fit in the cache even after evicting every
     /// unpinned block (a committing transaction may pin up to two NVM
-    /// blocks per staged block, §5.4.3).
-    CacheExhausted { needed: usize, data_blocks: u32 },
+    /// blocks per staged block, §5.4.3). `available` counts the free pool
+    /// plus every block evictable during this commit.
+    CacheExhausted { needed: usize, available: usize },
     /// No evictable victim was found while allocating a block mid-commit.
     NoVictim,
     /// The NVM region does not carry a valid Tinca header.
@@ -26,13 +27,11 @@ impl fmt::Display for TincaError {
                     "transaction of {blocks} blocks exceeds ring capacity {ring_cap}"
                 )
             }
-            TincaError::CacheExhausted {
-                needed,
-                data_blocks,
-            } => {
+            TincaError::CacheExhausted { needed, available } => {
                 write!(
                     f,
-                    "transaction needs up to {needed} NVM blocks but cache has {data_blocks}"
+                    "transaction needs up to {needed} NVM blocks but only {available} \
+                     are free or evictable"
                 )
             }
             TincaError::NoVictim => write!(f, "no evictable cache block (all pinned)"),

@@ -44,6 +44,7 @@ mod error;
 mod freemon;
 mod layout;
 mod lru;
+mod pool;
 mod recovery;
 mod stats;
 mod txn;
@@ -53,5 +54,6 @@ pub use config::{TincaConfig, WritePolicy};
 pub use entry::{CacheEntry, Role, FRESH};
 pub use error::TincaError;
 pub use layout::Layout;
+pub use pool::{PoolConfig, TincaPool};
 pub use stats::CacheStats;
 pub use txn::{block_buf, BlockBuf, Txn};

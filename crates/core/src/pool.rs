@@ -1,0 +1,430 @@
+//! `TincaPool` — a sharded, thread-safe front-end over [`TincaCache`].
+//!
+//! The paper evaluates Tinca under multi-threaded Fio/Filebench/MySQL
+//! load; a single `TincaCache` serialises everything behind `&mut self`.
+//! The pool partitions the NVM into `N` independent shards — each shard is
+//! a complete `TincaCache` on its own NVM device region (disjoint
+//! [`Layout`](crate::Layout)s, own `Head`/`Tail` ring, own entry table) —
+//! and routes disk block `b` to shard `b % N`. Because every commit point
+//! is still a single 8-byte `Tail` store *within one shard's region*, the
+//! paper's single-commit-point crash argument holds per shard unchanged.
+//!
+//! ## Group commit
+//!
+//! Transactions queued on the same shard while a commit is in flight are
+//! batched: the first arrival becomes the *leader*, drains the queue (up
+//! to the shard's ring capacity), folds the batch into one committing
+//! transaction ([`Txn::absorb`] — buffers moved, later writers win) and
+//! drives **one** ring commit — one `Tail` store + fence for the whole
+//! batch, exactly how JBD2 amortises fsyncs into a compound transaction.
+//! Followers block on the shard's condition variable and receive the
+//! group's result.
+//!
+//! With `N = 1` and a single thread, every batch has exactly one member
+//! and the pool is bit-for-bit identical to a bare `TincaCache`: same NVM
+//! stores, flushes, fences, simulated time, and statistics.
+//!
+//! ## Atomicity scope
+//!
+//! A transaction whose blocks all route to one shard commits atomically
+//! (all-or-nothing across any crash). A transaction spanning shards is
+//! split and committed per shard in shard order; each fragment is atomic,
+//! but a crash between fragments can persist some shards' fragments and
+//! not others (the same guarantee per-allocation-group journals give).
+//! Block-aligned workloads — Fio 4 KB requests, per-shard files — never
+//! split.
+
+use std::collections::{HashMap, VecDeque};
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::{Condvar, Mutex as StdMutex, MutexGuard as StdGuard, PoisonError};
+
+use blockdev::BLOCK_SIZE;
+use nvmsim::Nvm;
+use parking_lot::Mutex;
+
+use crate::cache::DynDisk;
+use crate::{CacheStats, TincaCache, TincaConfig, TincaError, Txn};
+
+/// Configuration for a [`TincaPool`].
+#[derive(Clone, Debug)]
+pub struct PoolConfig {
+    /// Number of shards (NVM sub-regions / independent commit rings).
+    pub shards: usize,
+    /// Maximum transactions folded into one group commit.
+    pub max_batch_txns: usize,
+    /// Per-shard cache configuration.
+    pub cache: TincaConfig,
+}
+
+impl Default for PoolConfig {
+    fn default() -> Self {
+        PoolConfig {
+            shards: 1,
+            max_batch_txns: 64,
+            cache: TincaConfig::default(),
+        }
+    }
+}
+
+impl PoolConfig {
+    /// `n`-shard pool with default cache knobs.
+    pub fn with_shards(n: usize) -> Self {
+        PoolConfig {
+            shards: n,
+            ..Default::default()
+        }
+    }
+}
+
+/// Group-commit queue state of one shard.
+struct GcState {
+    next_ticket: u64,
+    queue: VecDeque<(u64, Txn)>,
+    results: HashMap<u64, Result<(), TincaError>>,
+    leader: bool,
+}
+
+struct Shard {
+    cache: Mutex<TincaCache>,
+    gc: StdMutex<GcState>,
+    cv: Condvar,
+    /// Ring slots of this shard's layout (bounds one merged batch).
+    ring_slots: usize,
+}
+
+fn lock_gc<'a>(sh: &'a Shard) -> StdGuard<'a, GcState> {
+    sh.gc.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Sharded multi-threaded front-end; see the module docs.
+pub struct TincaPool {
+    shards: Vec<Shard>,
+    max_batch_txns: usize,
+}
+
+impl TincaPool {
+    /// Formats one [`TincaCache`] per device and assembles the pool.
+    /// `devices[i]` becomes shard `i`; all shards share the backing disk
+    /// (their disk-block sets are disjoint by routing).
+    pub fn format(devices: Vec<Nvm>, disk: DynDisk, cfg: PoolConfig) -> Self {
+        assert_eq!(
+            devices.len(),
+            cfg.shards,
+            "one NVM device per shard required"
+        );
+        assert!(cfg.shards >= 1, "pool needs at least one shard");
+        let shards = devices
+            .into_iter()
+            .map(|nvm| Self::shard(TincaCache::format(nvm, disk.clone(), cfg.cache.clone())))
+            .collect();
+        TincaPool {
+            shards,
+            max_batch_txns: cfg.max_batch_txns.max(1),
+        }
+    }
+
+    /// Recovers every shard from its NVM region after a crash or clean
+    /// shutdown. Each shard runs the full §4.5 recovery independently.
+    pub fn recover(devices: Vec<Nvm>, disk: DynDisk, cfg: PoolConfig) -> Result<Self, TincaError> {
+        assert_eq!(
+            devices.len(),
+            cfg.shards,
+            "one NVM device per shard required"
+        );
+        assert!(cfg.shards >= 1, "pool needs at least one shard");
+        let mut shards = Vec::with_capacity(cfg.shards);
+        for nvm in devices {
+            shards.push(Self::shard(TincaCache::recover(
+                nvm,
+                disk.clone(),
+                cfg.cache.clone(),
+            )?));
+        }
+        Ok(TincaPool {
+            shards,
+            max_batch_txns: cfg.max_batch_txns.max(1),
+        })
+    }
+
+    fn shard(cache: TincaCache) -> Shard {
+        let ring_slots = cache.layout().ring_cap as usize;
+        Shard {
+            cache: Mutex::new(cache),
+            gc: StdMutex::new(GcState {
+                next_ticket: 0,
+                queue: VecDeque::new(),
+                results: HashMap::new(),
+                leader: false,
+            }),
+            cv: Condvar::new(),
+            ring_slots,
+        }
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The shard disk block `disk_blk` routes to.
+    pub fn shard_of(&self, disk_blk: u64) -> usize {
+        (disk_blk % self.shards.len() as u64) as usize
+    }
+
+    /// Starts a running transaction (DRAM-only, same as
+    /// [`TincaCache::init_txn`]).
+    pub fn init_txn(&self) -> Txn {
+        Txn::new()
+    }
+
+    /// Commits `txn`. Single-shard transactions (all blocks route to one
+    /// shard — always true for `N = 1`) are atomic and may be group-
+    /// committed with concurrent transactions on the same shard. Spanning
+    /// transactions are split and committed per shard in shard order; the
+    /// first error is returned after every fragment was attempted.
+    pub fn commit(&self, txn: Txn) -> Result<(), TincaError> {
+        if txn.is_empty() {
+            return Ok(());
+        }
+        if self.shards.len() == 1 {
+            return self.commit_on_shard(0, txn);
+        }
+        let mut home = None;
+        for b in txn.disk_blocks() {
+            let s = self.shard_of(b);
+            if *home.get_or_insert(s) != s {
+                home = None;
+                break;
+            }
+        }
+        if let Some(s) = home {
+            return self.commit_on_shard(s, txn);
+        }
+        // Spanning transaction: split, preserving first-write order and
+        // moving payload buffers.
+        let coalesced = txn.coalesced_writes();
+        let mut parts: Vec<Option<Txn>> = (0..self.shards.len()).map(|_| None).collect();
+        for (blk, buf) in txn.into_blocks() {
+            let s = (blk % self.shards.len() as u64) as usize;
+            parts[s].get_or_insert_with(Txn::new).stage_owned(blk, buf);
+        }
+        let mut first_err = Ok(());
+        let mut first_part = true;
+        for (s, part) in parts.into_iter().enumerate() {
+            let Some(mut part) = part else { continue };
+            if first_part {
+                // Keep the original transaction's coalescing count on its
+                // first fragment so pool-wide stats still add up.
+                part.add_coalesced(coalesced);
+                first_part = false;
+            }
+            let res = self.commit_on_shard(s, part);
+            if first_err.is_ok() {
+                first_err = res;
+            }
+        }
+        first_err
+    }
+
+    /// Submits a whole batch of transactions at once: all are routed and
+    /// queued before any shard commits, so transactions sharing a shard
+    /// are guaranteed to ride one group commit (deterministically — no
+    /// reliance on thread timing). Returns one result per transaction, in
+    /// submission order.
+    pub fn commit_many(&self, txns: Vec<Txn>) -> Vec<Result<(), TincaError>> {
+        let n = txns.len();
+        // Fragments per shard, tagged with the submitting txn's index.
+        let mut per_shard: Vec<Vec<(usize, Txn)>> =
+            (0..self.shards.len()).map(|_| Vec::new()).collect();
+        for (i, txn) in txns.into_iter().enumerate() {
+            if txn.is_empty() {
+                continue;
+            }
+            let coalesced = txn.coalesced_writes();
+            let mut parts: Vec<Option<Txn>> = (0..self.shards.len()).map(|_| None).collect();
+            for (blk, buf) in txn.into_blocks() {
+                let s = (blk % self.shards.len() as u64) as usize;
+                parts[s].get_or_insert_with(Txn::new).stage_owned(blk, buf);
+            }
+            let mut first_part = true;
+            for (s, part) in parts.into_iter().enumerate() {
+                let Some(mut part) = part else { continue };
+                if first_part {
+                    part.add_coalesced(coalesced);
+                    first_part = false;
+                }
+                per_shard[s].push((i, part));
+            }
+        }
+        let mut results: Vec<Result<(), TincaError>> = vec![Ok(()); n];
+        for (s, batch) in per_shard.into_iter().enumerate() {
+            if batch.is_empty() {
+                continue;
+            }
+            let (idxs, parts): (Vec<usize>, Vec<Txn>) = batch.into_iter().unzip();
+            let res = self.shards[s].cache.lock().commit_group(parts);
+            if let Err(e) = res {
+                for i in idxs {
+                    if results[i].is_ok() {
+                        results[i] = Err(e);
+                    }
+                }
+            }
+        }
+        results
+    }
+
+    /// Queues `txn` on shard `s` and returns its group's commit result.
+    /// The first queued thread becomes the leader: it drains a batch
+    /// (bounded by the ring capacity and `max_batch_txns`), merges it, and
+    /// runs one ring commit while followers wait on the condvar.
+    fn commit_on_shard(&self, s: usize, txn: Txn) -> Result<(), TincaError> {
+        let sh = &self.shards[s];
+        let ticket = {
+            let mut gc = lock_gc(sh);
+            let t = gc.next_ticket;
+            gc.next_ticket += 1;
+            gc.queue.push_back((t, txn));
+            t
+        };
+        let mut gc = lock_gc(sh);
+        loop {
+            if let Some(res) = gc.results.remove(&ticket) {
+                return res;
+            }
+            if gc.leader {
+                gc = sh.cv.wait(gc).unwrap_or_else(PoisonError::into_inner);
+                continue;
+            }
+            gc.leader = true;
+            let mut tickets = Vec::new();
+            let mut batch = Vec::new();
+            let mut staged = 0usize;
+            while let Some((t, queued)) = gc.queue.pop_front() {
+                // Always take one; stop before the merged transaction could
+                // overflow the ring (coalescing only shrinks it further).
+                if !batch.is_empty()
+                    && (batch.len() >= self.max_batch_txns || staged + queued.len() > sh.ring_slots)
+                {
+                    gc.queue.push_front((t, queued));
+                    break;
+                }
+                staged += queued.len();
+                tickets.push(t);
+                batch.push(queued);
+            }
+            drop(gc);
+            // A crash trip (simulated power failure) may panic out of the
+            // commit; restore leadership and wake waiters before unwinding
+            // so surviving threads are not stranded.
+            let res = catch_unwind(AssertUnwindSafe(|| sh.cache.lock().commit_group(batch)));
+            gc = lock_gc(sh);
+            gc.leader = false;
+            match res {
+                Ok(res) => {
+                    for t in tickets {
+                        gc.results.insert(t, res);
+                    }
+                    sh.cv.notify_all();
+                }
+                Err(payload) => {
+                    drop(gc);
+                    sh.cv.notify_all();
+                    resume_unwind(payload);
+                }
+            }
+        }
+    }
+
+    /// Reads on-disk block `disk_blk` through its home shard.
+    pub fn read(&self, disk_blk: u64, buf: &mut [u8]) {
+        assert_eq!(buf.len(), BLOCK_SIZE);
+        let s = self.shard_of(disk_blk);
+        self.shards[s].cache.lock().read(disk_blk, buf);
+    }
+
+    /// Reads without populating any cache (verification).
+    pub fn read_nocache(&self, disk_blk: u64, buf: &mut [u8]) {
+        let s = self.shard_of(disk_blk);
+        self.shards[s].cache.lock().read_nocache(disk_blk, buf);
+    }
+
+    /// True if `disk_blk` is cached in its home shard.
+    pub fn contains(&self, disk_blk: u64) -> bool {
+        let s = self.shard_of(disk_blk);
+        self.shards[s].cache.lock().contains(disk_blk)
+    }
+
+    /// Cached payload of `disk_blk`, if present (inspection only).
+    pub fn peek(&self, disk_blk: u64) -> Option<[u8; BLOCK_SIZE]> {
+        let s = self.shard_of(disk_blk);
+        self.shards[s].cache.lock().peek(disk_blk)
+    }
+
+    /// Writes back every dirty block of every shard (orderly shutdown).
+    pub fn flush_all(&self) {
+        for sh in &self.shards {
+            sh.cache.lock().flush_all();
+        }
+    }
+
+    /// Runs [`TincaCache::check_consistency`] on every shard.
+    pub fn check_consistency(&self) -> Result<(), String> {
+        for (i, sh) in self.shards.iter().enumerate() {
+            sh.cache
+                .lock()
+                .check_consistency()
+                .map_err(|e| format!("shard {i}: {e}"))?;
+        }
+        Ok(())
+    }
+
+    /// Pool-wide counters (sum over shards).
+    pub fn stats(&self) -> CacheStats {
+        self.shards.iter().fold(CacheStats::default(), |acc, sh| {
+            acc.merge(&sh.cache.lock().stats())
+        })
+    }
+
+    /// One shard's counters.
+    pub fn shard_stats(&self, s: usize) -> CacheStats {
+        self.shards[s].cache.lock().stats()
+    }
+
+    /// Runs `f` with shard `s`'s cache locked (tests, fuzzers, benches).
+    pub fn with_shard<R>(&self, s: usize, f: impl FnOnce(&mut TincaCache) -> R) -> R {
+        f(&mut self.shards[s].cache.lock())
+    }
+
+    /// NVM metadata byte ranges of shard `s` (header + ring + entry table,
+    /// in that shard's device address space) for persist-order analysis.
+    pub fn shard_metadata_ranges(&self, s: usize) -> Vec<std::ops::Range<usize>> {
+        let metadata = 0..self.shards[s].cache.lock().layout().data_off;
+        vec![metadata]
+    }
+
+    /// Free NVM data blocks across all shards.
+    pub fn free_block_count(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|sh| sh.cache.lock().free_block_count())
+            .sum()
+    }
+
+    /// Valid cached blocks across all shards.
+    pub fn cached_blocks(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|sh| sh.cache.lock().cached_blocks())
+            .sum()
+    }
+}
+
+impl std::fmt::Debug for TincaPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TincaPool")
+            .field("shards", &self.shards.len())
+            .field("max_batch_txns", &self.max_batch_txns)
+            .finish()
+    }
+}

@@ -12,12 +12,22 @@ pub struct CacheStats {
     pub write_hits: u64,
     /// Committed block writes for fresh (uncached) disk blocks.
     pub write_misses: u64,
-    /// Transactions committed.
+    /// Ring commits executed (one per group in batched commits).
     pub commits: u64,
     /// Total blocks across all committed transactions.
     pub committed_blocks: u64,
-    /// Transactions aborted (explicitly or by failed commit).
-    pub aborts: u64,
+    /// Running transactions dropped by an explicit `abort()` call.
+    pub user_aborts: u64,
+    /// Committing transactions that failed mid-protocol and were revoked.
+    pub failed_commits: u64,
+    /// Ring commits that carried more than one user transaction (group
+    /// commit — one Tail store + fence amortised over the batch).
+    pub group_commits: u64,
+    /// User transactions that rode in a multi-transaction ring commit.
+    pub batched_txns: u64,
+    /// Staged rewrites coalesced into an already-staged block (JBD2-style
+    /// running-transaction merging; equal payloads skip the copy too).
+    pub coalesced_writes: u64,
     /// Cache blocks evicted (clean or dirty).
     pub evictions: u64,
     /// Dirty evictions that wrote a block to disk.
@@ -41,6 +51,11 @@ impl CacheStats {
         (total > 0).then(|| self.read_hits as f64 / total as f64)
     }
 
+    /// All aborted transactions: user aborts plus failed commits.
+    pub fn aborts(&self) -> u64 {
+        self.user_aborts + self.failed_commits
+    }
+
     /// Per-field difference `self - earlier`.
     pub fn delta(&self, e: &CacheStats) -> CacheStats {
         CacheStats {
@@ -50,11 +65,37 @@ impl CacheStats {
             write_misses: self.write_misses - e.write_misses,
             commits: self.commits - e.commits,
             committed_blocks: self.committed_blocks - e.committed_blocks,
-            aborts: self.aborts - e.aborts,
+            user_aborts: self.user_aborts - e.user_aborts,
+            failed_commits: self.failed_commits - e.failed_commits,
+            group_commits: self.group_commits - e.group_commits,
+            batched_txns: self.batched_txns - e.batched_txns,
+            coalesced_writes: self.coalesced_writes - e.coalesced_writes,
             evictions: self.evictions - e.evictions,
             writebacks: self.writebacks - e.writebacks,
             revoked_blocks: self.revoked_blocks - e.revoked_blocks,
             recoveries: self.recoveries - e.recoveries,
+        }
+    }
+
+    /// Per-field sum `self + other` (merging per-shard counters into one
+    /// pool-wide view).
+    pub fn merge(&self, o: &CacheStats) -> CacheStats {
+        CacheStats {
+            read_hits: self.read_hits + o.read_hits,
+            read_misses: self.read_misses + o.read_misses,
+            write_hits: self.write_hits + o.write_hits,
+            write_misses: self.write_misses + o.write_misses,
+            commits: self.commits + o.commits,
+            committed_blocks: self.committed_blocks + o.committed_blocks,
+            user_aborts: self.user_aborts + o.user_aborts,
+            failed_commits: self.failed_commits + o.failed_commits,
+            group_commits: self.group_commits + o.group_commits,
+            batched_txns: self.batched_txns + o.batched_txns,
+            coalesced_writes: self.coalesced_writes + o.coalesced_writes,
+            evictions: self.evictions + o.evictions,
+            writebacks: self.writebacks + o.writebacks,
+            revoked_blocks: self.revoked_blocks + o.revoked_blocks,
+            recoveries: self.recoveries + o.recoveries,
         }
     }
 }
@@ -83,6 +124,16 @@ mod tests {
     }
 
     #[test]
+    fn aborts_sums_both_kinds() {
+        let s = CacheStats {
+            user_aborts: 2,
+            failed_commits: 3,
+            ..Default::default()
+        };
+        assert_eq!(s.aborts(), 5);
+    }
+
+    #[test]
     fn delta_subtracts() {
         let a = CacheStats {
             commits: 2,
@@ -91,10 +142,34 @@ mod tests {
         let b = CacheStats {
             commits: 7,
             evictions: 3,
+            failed_commits: 1,
+            coalesced_writes: 4,
             ..Default::default()
         };
         let d = b.delta(&a);
         assert_eq!(d.commits, 5);
         assert_eq!(d.evictions, 3);
+        assert_eq!(d.failed_commits, 1);
+        assert_eq!(d.coalesced_writes, 4);
+    }
+
+    #[test]
+    fn merge_adds_per_shard_views() {
+        let a = CacheStats {
+            commits: 2,
+            group_commits: 1,
+            batched_txns: 3,
+            ..Default::default()
+        };
+        let b = CacheStats {
+            commits: 5,
+            user_aborts: 1,
+            ..Default::default()
+        };
+        let m = a.merge(&b);
+        assert_eq!(m.commits, 7);
+        assert_eq!(m.group_commits, 1);
+        assert_eq!(m.batched_txns, 3);
+        assert_eq!(m.user_aborts, 1);
     }
 }

@@ -22,11 +22,14 @@ pub fn block_buf(data: &[u8]) -> BlockBuf {
 
 /// A running transaction: an ordered set of (disk block → new contents)
 /// updates. Writing the same block twice coalesces to the newest contents,
-/// as JBD2's running transaction would.
+/// as JBD2's running transaction would; rewrites with identical payloads
+/// skip the 4 KB copy entirely (the memcmp is cheaper than the memcpy and
+/// leaves the staged buffer untouched).
 #[derive(Debug, Default)]
 pub struct Txn {
     blocks: Vec<(u64, BlockBuf)>,
     index: HashMap<u64, usize>,
+    coalesced: u64,
 }
 
 impl Txn {
@@ -43,11 +46,43 @@ impl Txn {
             "transactions stage whole 4 KB blocks"
         );
         match self.index.get(&disk_blk) {
-            Some(&i) => self.blocks[i].1.copy_from_slice(data),
+            Some(&i) => {
+                self.coalesced += 1;
+                let staged = &mut self.blocks[i].1;
+                if staged[..] != *data {
+                    staged.copy_from_slice(data);
+                }
+            }
             None => {
                 self.index.insert(disk_blk, self.blocks.len());
                 self.blocks.push((disk_blk, block_buf(data)));
             }
+        }
+    }
+
+    /// Stages an already-boxed payload without copying. Coalesces like
+    /// [`write`](Self::write) but swaps the buffer in on a rewrite.
+    pub fn stage_owned(&mut self, disk_blk: u64, data: BlockBuf) {
+        match self.index.get(&disk_blk) {
+            Some(&i) => {
+                self.coalesced += 1;
+                self.blocks[i].1 = data;
+            }
+            None => {
+                self.index.insert(disk_blk, self.blocks.len());
+                self.blocks.push((disk_blk, data));
+            }
+        }
+    }
+
+    /// Merges `other` into `self`, moving its staged buffers (no payload
+    /// copies). `other`'s updates are newer: where both stage the same
+    /// block, `other`'s contents win. This is how group commit folds a
+    /// batch of queued transactions into one committing transaction.
+    pub fn absorb(&mut self, other: Txn) {
+        self.coalesced += other.coalesced;
+        for (disk_blk, buf) in other.blocks {
+            self.stage_owned(disk_blk, buf);
         }
     }
 
@@ -65,9 +100,28 @@ impl Txn {
         self.blocks.is_empty()
     }
 
+    /// Rewrites coalesced into an already-staged block so far.
+    pub fn coalesced_writes(&self) -> u64 {
+        self.coalesced
+    }
+
+    /// Credits `n` coalesced rewrites to this transaction (used when a
+    /// pool splits a transaction so the fragments' counters still sum to
+    /// the original's).
+    pub(crate) fn add_coalesced(&mut self, n: u64) {
+        self.coalesced += n;
+    }
+
     /// The staged updates, in first-write order.
     pub fn blocks(&self) -> &[(u64, BlockBuf)] {
         &self.blocks
+    }
+
+    /// Consumes the transaction, yielding the staged updates in first-write
+    /// order (used to split a transaction across pool shards without
+    /// copying payloads).
+    pub fn into_blocks(self) -> Vec<(u64, BlockBuf)> {
+        self.blocks
     }
 
     /// Disk block numbers staged, in first-write order.
@@ -91,6 +145,7 @@ mod tests {
         t.write(3, &buf(2));
         assert_eq!(t.len(), 2);
         assert_eq!(t.disk_blocks().collect::<Vec<_>>(), vec![5, 3]);
+        assert_eq!(t.coalesced_writes(), 0);
     }
 
     #[test]
@@ -100,6 +155,57 @@ mod tests {
         t.write(5, &buf(9));
         assert_eq!(t.len(), 1);
         assert_eq!(t.get(5).unwrap()[0], 9);
+        assert_eq!(t.coalesced_writes(), 1);
+    }
+
+    #[test]
+    fn equal_payload_rewrite_coalesces_without_corruption() {
+        let mut t = Txn::new();
+        t.write(5, &buf(7));
+        t.write(5, &buf(7)); // identical: copy skipped, still counted
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.get(5).unwrap()[0], 7);
+        assert_eq!(t.coalesced_writes(), 1);
+        t.write(5, &buf(8)); // different: contents must update
+        assert_eq!(t.get(5).unwrap()[0], 8);
+        assert_eq!(t.coalesced_writes(), 2);
+    }
+
+    #[test]
+    fn absorb_moves_and_coalesces() {
+        let mut a = Txn::new();
+        a.write(1, &buf(1));
+        a.write(2, &buf(2));
+        let mut b = Txn::new();
+        b.write(2, &buf(9)); // overlaps a: newer contents win
+        b.write(3, &buf(3));
+        a.absorb(b);
+        assert_eq!(a.len(), 3);
+        assert_eq!(a.get(1).unwrap()[0], 1);
+        assert_eq!(a.get(2).unwrap()[0], 9);
+        assert_eq!(a.get(3).unwrap()[0], 3);
+        assert_eq!(a.coalesced_writes(), 1);
+        assert_eq!(a.disk_blocks().collect::<Vec<_>>(), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn stage_owned_swaps_buffers() {
+        let mut t = Txn::new();
+        t.stage_owned(4, block_buf(&buf(1)));
+        t.stage_owned(4, block_buf(&buf(2)));
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.get(4).unwrap()[0], 2);
+        assert_eq!(t.coalesced_writes(), 1);
+    }
+
+    #[test]
+    fn into_blocks_preserves_order() {
+        let mut t = Txn::new();
+        t.write(9, &buf(1));
+        t.write(4, &buf(2));
+        let blocks = t.into_blocks();
+        let nums: Vec<u64> = blocks.iter().map(|(b, _)| *b).collect();
+        assert_eq!(nums, vec![9, 4]);
     }
 
     #[test]

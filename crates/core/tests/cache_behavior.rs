@@ -170,12 +170,56 @@ fn txn_larger_than_ring_is_rejected() {
 fn txn_too_big_for_cache_is_rejected_cleanly() {
     let (mut cache, _, _, _) = setup(256 << 10, 64 << 10);
     let n = cache.data_block_count() as usize;
-    let mut txn = cache.init_txn();
+    // Fill the cache completely with committed blocks.
     for i in 0..n {
-        txn.write(i as u64, &blk(1));
+        let mut t = cache.init_txn();
+        t.write(i as u64, &blk(1));
+        cache.commit(&t).unwrap();
+    }
+    assert_eq!(cache.free_block_count(), 0);
+    // A transaction needing more blocks than free + evictable must be
+    // turned away at admission — cleanly, not by revoking a half-staged
+    // commit after NoVictim fires.
+    let mut txn = cache.init_txn();
+    for i in 0..=n {
+        txn.write(1_000 + i as u64, &blk(2));
     }
     let err = cache.commit(&txn).unwrap_err();
-    assert!(matches!(err, TincaError::CacheExhausted { .. }));
+    assert!(matches!(
+        err,
+        TincaError::CacheExhausted { needed, available }
+            if needed == n + 1 && available == n
+    ));
+    let s = cache.stats();
+    assert_eq!(s.failed_commits, 0, "admission must reject before staging");
+    assert_eq!(s.revoked_blocks, 0, "no revocation on clean rejection");
+    // Previously committed contents are untouched.
+    let mut buf = [0u8; BLOCK_SIZE];
+    cache.read(0, &mut buf);
+    assert_eq!(buf, blk(1));
+    cache.check_consistency().unwrap();
+}
+
+#[test]
+fn full_capacity_fresh_txn_is_admitted() {
+    // Regression: admission used to compare worst-case demand against the
+    // *total* data-block count instead of the free pool plus evictable
+    // blocks, rejecting a perfectly feasible transaction that exactly
+    // fills an empty cache.
+    let (mut cache, _, _, _) = setup(256 << 10, 64 << 10);
+    let n = cache.data_block_count() as usize;
+    let mut txn = cache.init_txn();
+    for i in 0..n {
+        txn.write(i as u64, &blk(3));
+    }
+    cache.commit(&txn).unwrap();
+    assert_eq!(cache.free_block_count(), 0);
+    assert_eq!(cache.cached_blocks(), n);
+    let mut buf = [0u8; BLOCK_SIZE];
+    for i in 0..n as u64 {
+        cache.read(i, &mut buf);
+        assert_eq!(buf, blk(3));
+    }
     cache.check_consistency().unwrap();
 }
 
@@ -355,7 +399,8 @@ fn abort_running_txn_leaves_cache_untouched() {
     t.write(1, &blk(1));
     cache.abort(t);
     assert_eq!(nvm.stats(), before, "running txns are DRAM-only");
-    assert_eq!(cache.stats().aborts, 1);
+    assert_eq!(cache.stats().user_aborts, 1);
+    assert_eq!(cache.stats().aborts(), 1);
     assert_eq!(cache.cached_blocks(), 0);
 }
 

@@ -1,0 +1,309 @@
+//! Integration tests for `TincaPool`: single-shard equivalence, shard
+//! routing, group commit, and deterministic multi-threaded stress.
+
+use std::sync::{Arc, Barrier};
+
+use blockdev::{DiskKind, SimDisk, BLOCK_SIZE};
+use nvmsim::{shard_devices, NvmConfig, NvmDevice, NvmTech, SimClock};
+use tinca::{PoolConfig, TincaCache, TincaConfig, TincaPool, Txn};
+
+fn blk(byte: u8) -> [u8; BLOCK_SIZE] {
+    [byte; BLOCK_SIZE]
+}
+
+fn cache_cfg() -> TincaConfig {
+    TincaConfig {
+        ring_bytes: 4096,
+        ..TincaConfig::default()
+    }
+}
+
+fn pool(shards: usize, nvm_bytes: usize) -> TincaPool {
+    let devices = shard_devices(&NvmConfig::new(nvm_bytes, NvmTech::Pcm), shards);
+    let disk = SimDisk::new(DiskKind::Ssd, 1 << 20, SimClock::new());
+    TincaPool::format(
+        devices,
+        disk,
+        PoolConfig {
+            shards,
+            cache: cache_cfg(),
+            ..PoolConfig::default()
+        },
+    )
+}
+
+/// With one shard and one thread the pool must be indistinguishable from a
+/// bare `TincaCache`: same persistent image, same NVM counters, same
+/// simulated time, same cache statistics.
+#[test]
+fn single_shard_pool_matches_bare_cache_bit_for_bit() {
+    let cap = 1 << 20;
+    let mk = || {
+        let clock = SimClock::new();
+        let nvm = NvmDevice::new(NvmConfig::new(cap, NvmTech::Pcm), clock.clone());
+        let disk = SimDisk::new(DiskKind::Ssd, 1 << 20, clock.clone());
+        (nvm, disk)
+    };
+
+    // Reference: bare cache.
+    let (nvm_a, disk_a) = mk();
+    let mut cache = TincaCache::format(nvm_a.clone(), disk_a, cache_cfg());
+    // Pool under test: one shard on an identical device.
+    let (nvm_b, disk_b) = mk();
+    let p = TincaPool::format(
+        vec![nvm_b.clone()],
+        disk_b,
+        PoolConfig {
+            shards: 1,
+            cache: cache_cfg(),
+            ..PoolConfig::default()
+        },
+    );
+
+    // Identical workload on both, including coalescing rewrites and reads.
+    let mut buf = [0u8; BLOCK_SIZE];
+    for round in 0..20u64 {
+        let mut ta = cache.init_txn();
+        let mut tb = p.init_txn();
+        for t in [&mut ta, &mut tb] {
+            t.write(round % 7, &blk((round % 251) as u8));
+            t.write(100 + round, &blk(1));
+            t.write(round % 7, &blk((round % 249) as u8)); // coalesce
+        }
+        cache.commit(&ta).unwrap();
+        p.commit(tb).unwrap();
+        cache.read(round % 7, &mut buf);
+        let mut buf2 = [0u8; BLOCK_SIZE];
+        p.read(round % 7, &mut buf2);
+        assert_eq!(buf, buf2);
+    }
+
+    assert_eq!(cache.stats(), p.stats(), "cache statistics must match");
+    assert_eq!(
+        nvm_a.stats(),
+        nvm_b.stats(),
+        "NVM event counters must match"
+    );
+    assert_eq!(
+        nvm_a.clock().now_ns(),
+        nvm_b.clock().now_ns(),
+        "simulated time must match"
+    );
+    let mut img_a = vec![0u8; cap];
+    let mut img_b = vec![0u8; cap];
+    nvm_a.read_persistent(0, &mut img_a);
+    nvm_b.read_persistent(0, &mut img_b);
+    assert!(img_a == img_b, "persistent NVM images must be identical");
+    cache.check_consistency().unwrap();
+    p.check_consistency().unwrap();
+}
+
+#[test]
+fn blocks_route_to_home_shards_and_read_back() {
+    let p = pool(4, 4 << 20);
+    for b in 0..64u64 {
+        let mut t = p.init_txn();
+        t.write(b, &blk((b % 251) as u8));
+        p.commit(t).unwrap();
+    }
+    let mut buf = [0u8; BLOCK_SIZE];
+    for b in 0..64u64 {
+        assert_eq!(p.shard_of(b), (b % 4) as usize);
+        assert!(p.contains(b));
+        p.read(b, &mut buf);
+        assert_eq!(buf, blk((b % 251) as u8));
+    }
+    // 64 blocks spread evenly: every shard committed 16.
+    for s in 0..4 {
+        assert_eq!(p.shard_stats(s).commits, 16, "shard {s}");
+        assert_eq!(p.shard_stats(s).committed_blocks, 16, "shard {s}");
+    }
+    assert_eq!(p.stats().commits, 64);
+    assert_eq!(p.cached_blocks(), 64);
+    p.check_consistency().unwrap();
+}
+
+#[test]
+fn spanning_txn_lands_on_every_shard() {
+    let p = pool(2, 2 << 20);
+    let mut t = p.init_txn();
+    t.write(0, &blk(1)); // shard 0
+    t.write(1, &blk(2)); // shard 1
+    t.write(2, &blk(3)); // shard 0
+    p.commit(t).unwrap();
+    let mut buf = [0u8; BLOCK_SIZE];
+    for (b, v) in [(0u64, 1u8), (1, 2), (2, 3)] {
+        p.read(b, &mut buf);
+        assert_eq!(buf, blk(v));
+    }
+    assert_eq!(p.shard_stats(0).committed_blocks, 2);
+    assert_eq!(p.shard_stats(1).committed_blocks, 1);
+    p.check_consistency().unwrap();
+}
+
+/// `commit_many` folds same-shard transactions into ONE ring commit: one
+/// Tail store + fence for the whole batch.
+#[test]
+fn commit_many_batches_into_one_ring_commit() {
+    let p = pool(1, 1 << 20);
+    let baseline = pool(1, 1 << 20);
+
+    // Batched: 8 one-block txns in one submission.
+    let txns: Vec<Txn> = (0..8u64)
+        .map(|i| {
+            let mut t = p.init_txn();
+            t.write(i, &blk(i as u8 + 1));
+            t
+        })
+        .collect();
+    let results = p.commit_many(txns);
+    assert!(results.iter().all(Result::is_ok));
+
+    // Unbatched reference: same 8 txns committed one by one.
+    for i in 0..8u64 {
+        let mut t = baseline.init_txn();
+        t.write(i, &blk(i as u8 + 1));
+        baseline.commit(t).unwrap();
+    }
+
+    let s = p.stats();
+    assert_eq!(s.commits, 1, "one ring commit for the whole batch");
+    assert_eq!(s.group_commits, 1);
+    assert_eq!(s.batched_txns, 8);
+    assert_eq!(s.committed_blocks, 8);
+    assert_eq!(baseline.stats().commits, 8);
+
+    // The batch amortises the commit point: strictly fewer fences.
+    let fences_batched = p.with_shard(0, |c| c.nvm().stats().sfence);
+    let fences_single = baseline.with_shard(0, |c| c.nvm().stats().sfence);
+    assert!(
+        fences_batched < fences_single,
+        "group commit must fence less: {fences_batched} vs {fences_single}"
+    );
+
+    // Same visible contents either way.
+    let mut a = [0u8; BLOCK_SIZE];
+    let mut b = [0u8; BLOCK_SIZE];
+    for i in 0..8u64 {
+        p.read(i, &mut a);
+        baseline.read(i, &mut b);
+        assert_eq!(a, b);
+    }
+    p.check_consistency().unwrap();
+}
+
+#[test]
+fn commit_many_coalesces_overlapping_txns_last_writer_wins() {
+    let p = pool(1, 1 << 20);
+    let mut t1 = p.init_txn();
+    t1.write(5, &blk(1));
+    let mut t2 = p.init_txn();
+    t2.write(5, &blk(2)); // same block, newer value
+    let results = p.commit_many(vec![t1, t2]);
+    assert!(results.iter().all(Result::is_ok));
+    let mut buf = [0u8; BLOCK_SIZE];
+    p.read(5, &mut buf);
+    assert_eq!(buf, blk(2), "later transaction in the batch must win");
+    let s = p.stats();
+    assert_eq!(s.commits, 1);
+    assert_eq!(s.coalesced_writes, 1, "the fold coalesced one rewrite");
+    p.check_consistency().unwrap();
+}
+
+/// Deterministic multi-thread stress: 8 threads over 4 shards in barrier-
+/// synchronised rounds. Every thread owns a disjoint block set (all blocks
+/// of a thread share one home shard), so expected final contents are exact
+/// regardless of interleaving.
+#[test]
+fn multithreaded_stress_rounds_preserve_consistency() {
+    const THREADS: usize = 8;
+    const ROUNDS: u64 = 12;
+    const BLOCKS_PER_THREAD: u64 = 4;
+
+    let p = Arc::new(pool(4, 8 << 20));
+    let barrier = Arc::new(Barrier::new(THREADS));
+
+    // Thread t owns blocks {t, t+8, t+16, t+24}: all ≡ t (mod 8), hence all
+    // on shard t % 4 — two threads share each shard, forcing contention and
+    // group-commit opportunities without cross-thread data races.
+    std::thread::scope(|s| {
+        for t in 0..THREADS {
+            let p = Arc::clone(&p);
+            let barrier = Arc::clone(&barrier);
+            s.spawn(move || {
+                let mut buf = [0u8; BLOCK_SIZE];
+                for round in 0..ROUNDS {
+                    barrier.wait();
+                    let mut txn = p.init_txn();
+                    for k in 0..BLOCKS_PER_THREAD {
+                        let b = t as u64 + 8 * k;
+                        txn.write(b, &blk((round + 1) as u8));
+                    }
+                    p.commit(txn).unwrap();
+                    // Read-your-writes immediately after commit.
+                    for k in 0..BLOCKS_PER_THREAD {
+                        let b = t as u64 + 8 * k;
+                        p.read(b, &mut buf);
+                        assert_eq!(
+                            buf,
+                            blk((round + 1) as u8),
+                            "thread {t} round {round} block {b}"
+                        );
+                    }
+                }
+            });
+        }
+    });
+
+    // Global post-conditions: final contents, per-shard consistency, and
+    // exact commit accounting.
+    let mut buf = [0u8; BLOCK_SIZE];
+    for t in 0..THREADS as u64 {
+        for k in 0..BLOCKS_PER_THREAD {
+            let b = t + 8 * k;
+            p.read(b, &mut buf);
+            assert_eq!(buf, blk(ROUNDS as u8), "block {b} must hold final round");
+        }
+    }
+    p.check_consistency().unwrap();
+    let s = p.stats();
+    // Every user transaction rode exactly one ring commit: lone commits
+    // carry one txn each, group commits carry `batched_txns` in total.
+    let user_txns = (s.commits - s.group_commits) + s.batched_txns;
+    assert_eq!(user_txns, THREADS as u64 * ROUNDS);
+    assert_eq!(
+        s.committed_blocks,
+        THREADS as u64 * ROUNDS * BLOCKS_PER_THREAD
+    );
+    assert_eq!(s.failed_commits, 0);
+}
+
+#[test]
+fn pool_recovers_all_shards_after_clean_shutdown() {
+    let devices = shard_devices(&NvmConfig::new(4 << 20, NvmTech::Pcm), 4);
+    let disk = SimDisk::new(DiskKind::Ssd, 1 << 20, SimClock::new());
+    let cfg = PoolConfig {
+        shards: 4,
+        cache: cache_cfg(),
+        ..PoolConfig::default()
+    };
+    let p = TincaPool::format(devices.clone(), disk.clone(), cfg.clone());
+    for b in 0..32u64 {
+        let mut t = p.init_txn();
+        t.write(b, &blk((b + 1) as u8));
+        p.commit(t).unwrap();
+    }
+    drop(p);
+    // Power-cycle every shard: only persisted state survives.
+    for d in &devices {
+        d.crash(nvmsim::CrashPolicy::LoseVolatile);
+    }
+    let p = TincaPool::recover(devices, disk, cfg).unwrap();
+    let mut buf = [0u8; BLOCK_SIZE];
+    for b in 0..32u64 {
+        p.read(b, &mut buf);
+        assert_eq!(buf, blk((b + 1) as u8), "block {b} lost across remount");
+    }
+    p.check_consistency().unwrap();
+    assert_eq!(p.stats().recoveries, 4, "each shard runs its own recovery");
+}

@@ -26,9 +26,11 @@
 mod fuzz;
 mod harness;
 mod oracle;
+mod poolfuzz;
 
 pub use fuzz::{
     fuzz_one, fuzz_one_mode, fuzz_system, fuzz_system_mode, FailureMode, FuzzOutcome, FuzzReport,
 };
 pub use harness::{quiet_crash_panics, CrashHarness, VerifyError};
 pub use oracle::FsOracle;
+pub use poolfuzz::{pool_fuzz_campaign, pool_fuzz_one, PoolFuzzOutcome, PoolFuzzReport};

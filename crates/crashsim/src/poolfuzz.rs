@@ -1,0 +1,272 @@
+//! Crash fuzzing for the sharded [`TincaPool`] front-end.
+//!
+//! The FS-level fuzzer ([`crate::fuzz`]) exercises one single-threaded
+//! stack. This module attacks the pool: a seeded script of block
+//! transactions runs against an `N`-shard pool with a crash trip armed on
+//! **one** shard's NVM device; when it fires mid-commit, *every* shard is
+//! power-cycled (each resolving its un-fenced write-back state
+//! adversarially), the pool is recovered shard by shard, and the result is
+//! verified:
+//!
+//! * every shard passes `check_consistency`;
+//! * every transaction committed before the crash reads back exactly;
+//! * the in-flight transaction is all-or-nothing **per shard fragment**
+//!   (the pool's documented atomicity scope);
+//! * every shard's event trace passes the persist-order analyzer — the
+//!   crash on one shard must not leave any other shard's commit stream
+//!   unflushed, unfenced, or torn.
+
+use std::collections::HashMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+use blockdev::{DiskKind, SimDisk, BLOCK_SIZE};
+use nvmsim::{shard_devices, CrashPolicy, Nvm, NvmConfig, NvmTech, SimClock};
+use persistcheck::{CheckConfig, Checker};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use tinca::{PoolConfig, TincaConfig, TincaPool};
+
+use crate::quiet_crash_panics;
+
+/// One pool-fuzz iteration's result.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum PoolFuzzOutcome {
+    /// The script completed before the trip fired.
+    Completed,
+    /// Crash injected; all shards recovered and verified clean.
+    CrashedVerified,
+    /// Verification failed — a consistency bug.
+    Violation(String),
+}
+
+/// Aggregate over a pool-fuzz campaign.
+#[derive(Clone, Debug, Default)]
+pub struct PoolFuzzReport {
+    pub runs: u64,
+    pub completed: u64,
+    pub crashes: u64,
+    pub violations: Vec<String>,
+}
+
+impl PoolFuzzReport {
+    pub fn clean(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
+/// One scripted transaction: disjoint (block, fill) writes.
+type TxnSpec = Vec<(u64, u8)>;
+
+fn script(rng: &mut StdRng, txns: usize, blocks: u64) -> Vec<TxnSpec> {
+    (0..txns)
+        .map(|_| {
+            let n = rng.gen_range(1..=4usize);
+            let mut spec: TxnSpec = Vec::with_capacity(n);
+            while spec.len() < n {
+                let b = rng.gen_range(0..blocks);
+                if spec.iter().all(|(x, _)| *x != b) {
+                    spec.push((b, rng.gen_range(1..=255)));
+                }
+            }
+            spec
+        })
+        .collect()
+}
+
+fn fill(v: u8) -> [u8; BLOCK_SIZE] {
+    [v; BLOCK_SIZE]
+}
+
+/// Runs one seeded crash-fuzz iteration against an `N`-shard pool.
+pub fn pool_fuzz_one(shards: usize, seed: u64, txns: usize) -> PoolFuzzOutcome {
+    quiet_crash_panics();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let blocks = 96u64;
+
+    let nvm_cfg = NvmConfig::new(shards * (256 << 10), NvmTech::Pcm).with_tracing();
+    let devices: Vec<Nvm> = shard_devices(&nvm_cfg, shards);
+    let disk = SimDisk::new(DiskKind::Ssd, 1 << 16, SimClock::new());
+    let pool_cfg = PoolConfig {
+        shards,
+        cache: TincaConfig {
+            ring_bytes: 4096,
+            ..TincaConfig::default()
+        },
+        ..PoolConfig::default()
+    };
+    let pool = TincaPool::format(devices.clone(), disk.clone(), pool_cfg.clone());
+    let metadata_ranges: Vec<_> = (0..shards).map(|s| pool.shard_metadata_ranges(s)).collect();
+
+    let plan = script(&mut rng, txns, blocks);
+    let trip_shard = (seed % shards as u64) as usize;
+    let trip = rng.gen_range(1..4_000u64);
+    devices[trip_shard].set_trip(Some(trip));
+
+    // Durable oracle: block → last committed fill byte.
+    let mut durable: HashMap<u64, u8> = HashMap::new();
+    let mut committed = 0usize;
+    let crashed = {
+        let durable = &mut durable;
+        let committed = &mut committed;
+        let pool = &pool;
+        let plan = &plan;
+        catch_unwind(AssertUnwindSafe(move || {
+            for spec in plan {
+                let mut t = pool.init_txn();
+                for (b, v) in spec {
+                    t.write(*b, &fill(*v));
+                }
+                pool.commit(t).expect("fuzz commit");
+                for (b, v) in spec {
+                    durable.insert(*b, *v);
+                }
+                *committed += 1;
+            }
+        }))
+        .is_err()
+    };
+    devices[trip_shard].set_trip(None);
+    if !crashed {
+        return PoolFuzzOutcome::Completed;
+    }
+
+    // Power failure: every shard resolves its volatile state adversarially.
+    for (s, d) in devices.iter().enumerate() {
+        d.crash(CrashPolicy::Random(seed ^ 0xD1CE ^ (s as u64) << 17));
+    }
+    let pool = match TincaPool::recover(devices.clone(), disk, pool_cfg) {
+        Ok(p) => p,
+        Err(e) => {
+            return PoolFuzzOutcome::Violation(format!(
+                "seed {seed} trip {trip}@shard{trip_shard}: recovery failed: {e}"
+            ));
+        }
+    };
+
+    match verify(
+        &pool,
+        &devices,
+        &metadata_ranges,
+        &durable,
+        &plan[committed],
+        shards,
+    ) {
+        Ok(()) => PoolFuzzOutcome::CrashedVerified,
+        Err(e) => {
+            PoolFuzzOutcome::Violation(format!("seed {seed} trip {trip}@shard{trip_shard}: {e}"))
+        }
+    }
+}
+
+fn verify(
+    pool: &TincaPool,
+    devices: &[Nvm],
+    metadata_ranges: &[Vec<std::ops::Range<usize>>],
+    durable: &HashMap<u64, u8>,
+    in_flight: &TxnSpec,
+    shards: usize,
+) -> Result<(), String> {
+    // 1. Internal invariants of every shard.
+    pool.check_consistency()
+        .map_err(|e| format!("inconsistent internals: {e}"))?;
+
+    // 2. Persist-order cleanliness of every shard's full event trace
+    //    (format + workload + crash + recovery).
+    for (s, d) in devices.iter().enumerate() {
+        let mut checker = Checker::new(CheckConfig::with_metadata(metadata_ranges[s].clone()));
+        checker.push_all(&d.take_trace());
+        let report = checker.report();
+        if !report.is_clean() {
+            return Err(format!("shard {s} persist-order violation: {report}"));
+        }
+    }
+
+    // 3. Committed transactions are durable; the in-flight transaction is
+    //    all-or-nothing per shard fragment.
+    let staged: HashMap<u64, u8> = in_flight.iter().copied().collect();
+    let mut buf = [0u8; BLOCK_SIZE];
+    for (&b, &v) in durable {
+        if staged.contains_key(&b) {
+            continue; // judged as part of the fragment check below
+        }
+        pool.read(b, &mut buf);
+        if buf != fill(v) {
+            return Err(format!(
+                "durable block {b}: expected fill {v:#x}, read {:#x}",
+                buf[0]
+            ));
+        }
+    }
+    for s in 0..shards {
+        let frag: Vec<(u64, u8)> = in_flight
+            .iter()
+            .filter(|(b, _)| (*b % shards as u64) as usize == s)
+            .copied()
+            .collect();
+        if frag.is_empty() {
+            continue;
+        }
+        let mut news = 0usize;
+        let mut olds = 0usize;
+        for &(b, v) in &frag {
+            pool.read(b, &mut buf);
+            if buf == fill(v) {
+                news += 1;
+            } else if buf == fill(durable.get(&b).copied().unwrap_or(0)) {
+                olds += 1;
+            } else {
+                return Err(format!(
+                    "in-flight block {b} on shard {s} is torn: read {:#x}",
+                    buf[0]
+                ));
+            }
+        }
+        if news != 0 && olds != 0 {
+            return Err(format!(
+                "shard {s} fragment not atomic: {news} new / {olds} old of {}",
+                frag.len()
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// Runs a pool-fuzz campaign of `runs` seeds.
+pub fn pool_fuzz_campaign(shards: usize, base_seed: u64, runs: u64, txns: usize) -> PoolFuzzReport {
+    let mut report = PoolFuzzReport::default();
+    for i in 0..runs {
+        report.runs += 1;
+        match pool_fuzz_one(shards, base_seed + i, txns) {
+            PoolFuzzOutcome::Completed => report.completed += 1,
+            PoolFuzzOutcome::CrashedVerified => report.crashes += 1,
+            PoolFuzzOutcome::Violation(v) => {
+                report.crashes += 1;
+                report.violations.push(v);
+            }
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scripts_are_deterministic() {
+        let mut a = StdRng::seed_from_u64(9);
+        let mut b = StdRng::seed_from_u64(9);
+        assert_eq!(script(&mut a, 20, 64), script(&mut b, 20, 64));
+    }
+
+    #[test]
+    fn scripted_txns_have_distinct_blocks() {
+        let mut rng = StdRng::seed_from_u64(11);
+        for spec in script(&mut rng, 50, 16) {
+            let mut blocks: Vec<u64> = spec.iter().map(|(b, _)| *b).collect();
+            blocks.sort_unstable();
+            blocks.dedup();
+            assert_eq!(blocks.len(), spec.len());
+        }
+    }
+}

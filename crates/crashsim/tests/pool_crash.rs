@@ -1,0 +1,33 @@
+//! Crash-fuzz campaign over the sharded pool: crash one shard mid-commit,
+//! power-cycle all shards, recover, and verify durability, per-fragment
+//! atomicity, and persist-order cleanliness on every shard.
+
+use crashsim::{pool_fuzz_campaign, pool_fuzz_one};
+
+#[test]
+fn four_shard_pool_survives_fuzz_campaign() {
+    let report = pool_fuzz_campaign(4, 0x900D, 24, 40);
+    assert!(
+        report.clean(),
+        "pool crash-consistency violations: {:#?}",
+        report.violations
+    );
+    assert!(
+        report.crashes > 0,
+        "campaign never crashed — trips too late for the workload size"
+    );
+}
+
+#[test]
+fn single_shard_pool_survives_fuzz() {
+    let report = pool_fuzz_campaign(1, 0x1D, 10, 40);
+    assert!(report.clean(), "violations: {:#?}", report.violations);
+    assert!(report.crashes > 0);
+}
+
+#[test]
+fn outcomes_are_deterministic_per_seed() {
+    let a = pool_fuzz_one(4, 77, 30);
+    let b = pool_fuzz_one(4, 77, 30);
+    assert_eq!(a, b);
+}

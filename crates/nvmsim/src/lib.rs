@@ -41,6 +41,7 @@ mod clock;
 mod config;
 mod device;
 mod line;
+mod shard;
 mod stats;
 mod trace;
 
@@ -48,5 +49,6 @@ pub use clock::SimClock;
 pub use config::{FlushInstr, NvmConfig, NvmTech};
 pub use device::{CrashPolicy, CrashTripped, Nvm, NvmDevice};
 pub use line::{CACHE_LINE, WORDS_PER_LINE, WORD_SIZE};
+pub use shard::shard_devices;
 pub use stats::{NvmStats, WearSummary};
 pub use trace::{TraceEvent, TracedOp};

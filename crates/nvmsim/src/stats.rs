@@ -38,6 +38,20 @@ impl NvmStats {
         }
     }
 
+    /// Per-field sum `self + other` (aggregating per-shard devices into
+    /// one pool-wide view).
+    pub fn merge(&self, o: &NvmStats) -> NvmStats {
+        NvmStats {
+            clflush: self.clflush + o.clflush,
+            sfence: self.sfence + o.sfence,
+            atomic_stores: self.atomic_stores + o.atomic_stores,
+            lines_written: self.lines_written + o.lines_written,
+            lines_read: self.lines_read + o.lines_read,
+            bytes_stored: self.bytes_stored + o.bytes_stored,
+            bytes_read: self.bytes_read + o.bytes_read,
+        }
+    }
+
     /// Bytes written back to the medium (`lines_written × 64`).
     pub fn bytes_written_back(&self) -> u64 {
         self.lines_written * crate::CACHE_LINE as u64
@@ -115,6 +129,26 @@ mod tests {
         assert_eq!(d.clflush, 15);
         assert_eq!(d.sfence, 5);
         assert_eq!(d.lines_written, 3);
+    }
+
+    #[test]
+    fn merge_adds_fieldwise() {
+        let a = NvmStats {
+            clflush: 10,
+            sfence: 4,
+            bytes_read: 7,
+            ..Default::default()
+        };
+        let b = NvmStats {
+            clflush: 5,
+            atomic_stores: 2,
+            ..Default::default()
+        };
+        let m = a.merge(&b);
+        assert_eq!(m.clflush, 15);
+        assert_eq!(m.sfence, 4);
+        assert_eq!(m.atomic_stores, 2);
+        assert_eq!(m.bytes_read, 7);
     }
 
     #[test]

@@ -36,6 +36,7 @@
 
 pub mod filebench;
 pub mod fio;
+pub mod mtfio;
 pub mod rand_util;
 pub mod report;
 pub mod spec;

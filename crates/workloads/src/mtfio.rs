@@ -1,0 +1,281 @@
+//! Multi-threaded Fio-like driver over a sharded [`TincaPool`].
+//!
+//! The paper drives its prototype with multi-threaded Fio (Table 2); the
+//! single-threaded [`fio`](crate::fio) module exercises one stack from one
+//! thread. This driver spawns `threads` OS threads against one pool, each
+//! with its own seeded RNG stream, issuing random 4 KB block reads and
+//! multi-block transactional writes.
+//!
+//! ## Time model
+//!
+//! Each pool shard owns an independent [`SimClock`]: shards model disjoint
+//! NVM sub-regions that serve flushes concurrently. The report therefore
+//! exposes two durations:
+//!
+//! * `wall_ns` — the **maximum** per-shard clock advance: simulated
+//!   wall-clock time assuming perfect shard parallelism;
+//! * `busy_ns` — the **sum** of per-shard advances: total device-busy
+//!   time, which equals wall time for a single shard.
+//!
+//! Throughput (`ops_per_sec`) uses `wall_ns`, so a run on more shards with
+//! the same total work shows the scaling the tentpole figure plots.
+
+use blockdev::BLOCK_SIZE;
+use nvmsim::NvmStats;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use tinca::{CacheStats, TincaPool};
+
+/// Parameters for one multi-threaded run.
+#[derive(Clone, Debug)]
+pub struct MtFioSpec {
+    /// Worker threads.
+    pub threads: usize,
+    /// Read percentage of the operation mix (paper: 30/50/70).
+    pub read_pct: u32,
+    /// Addressable disk blocks (dataset size / 4 KB).
+    pub blocks: u64,
+    /// Operations per thread (an op is one read or one committed txn).
+    pub ops_per_thread: u64,
+    /// Blocks staged per write transaction.
+    pub txn_blocks: usize,
+    pub seed: u64,
+}
+
+impl MtFioSpec {
+    /// A small smoke configuration at `threads` workers.
+    pub fn smoke(threads: usize) -> MtFioSpec {
+        MtFioSpec {
+            threads,
+            read_pct: 30,
+            blocks: 512,
+            ops_per_thread: 200,
+            txn_blocks: 2,
+            seed: 0x3710,
+        }
+    }
+}
+
+/// Merged counters over one multi-threaded measured phase.
+#[derive(Clone, Debug)]
+pub struct MtReport {
+    pub threads: usize,
+    pub shards: usize,
+    /// Read operations completed (all threads).
+    pub read_ops: u64,
+    /// Write transactions committed (all threads).
+    pub write_txns: u64,
+    /// Max per-shard simulated-clock advance (parallel wall time).
+    pub wall_ns: u64,
+    /// Sum of per-shard clock advances (device-busy time).
+    pub busy_ns: u64,
+    /// NVM counters summed over shards.
+    pub nvm: NvmStats,
+    /// Cache counters summed over shards.
+    pub cache: CacheStats,
+}
+
+impl MtReport {
+    /// Total operations (reads + committed transactions).
+    pub fn ops(&self) -> u64 {
+        self.read_ops + self.write_txns
+    }
+
+    /// Operations per simulated second of parallel wall time.
+    pub fn ops_per_sec(&self) -> f64 {
+        if self.wall_ns == 0 {
+            return 0.0;
+        }
+        self.ops() as f64 / (self.wall_ns as f64 / 1e9)
+    }
+
+    /// `clflush` executions per committed transaction (the flushes/txn
+    /// series of the scaling figure; group commit drives this down).
+    pub fn flushes_per_txn(&self) -> f64 {
+        self.nvm.clflush as f64 / self.write_txns.max(1) as f64
+    }
+
+    /// Fraction of committed transactions that rode a multi-transaction
+    /// ring commit.
+    pub fn batched_fraction(&self) -> f64 {
+        let committed = (self.cache.commits - self.cache.group_commits) + self.cache.batched_txns;
+        if committed == 0 {
+            return 0.0;
+        }
+        self.cache.batched_txns as f64 / committed as f64
+    }
+}
+
+/// The driver. Stateless between runs; everything lives in the spec.
+pub struct MtFio {
+    spec: MtFioSpec,
+}
+
+impl MtFio {
+    pub fn new(spec: MtFioSpec) -> MtFio {
+        assert!(spec.threads >= 1, "need at least one thread");
+        assert!(spec.txn_blocks >= 1, "transactions stage at least a block");
+        assert!(spec.blocks >= spec.txn_blocks as u64);
+        MtFio { spec }
+    }
+
+    /// Pre-commits every `warm_blocks` block so the measured phase sees a
+    /// populated cache (mirrors `Fio::setup`'s pre-allocation).
+    pub fn setup(&self, pool: &TincaPool, warm_blocks: u64) {
+        let payload = [0x66u8; BLOCK_SIZE];
+        for b in 0..warm_blocks.min(self.spec.blocks) {
+            let mut t = pool.init_txn();
+            t.write(b, &payload);
+            pool.commit(t).expect("warm-up commit");
+        }
+    }
+
+    /// Runs the measured phase: `threads` workers over `pool`, each with a
+    /// decorrelated RNG stream, and returns the merged report.
+    pub fn run(&self, pool: &TincaPool) -> MtReport {
+        let shards = pool.shard_count();
+        let nvm0: Vec<NvmStats> = (0..shards)
+            .map(|s| pool.with_shard(s, |c| c.nvm().stats()))
+            .collect();
+        let clk0: Vec<u64> = (0..shards)
+            .map(|s| pool.with_shard(s, |c| c.nvm().clock().now_ns()))
+            .collect();
+        let cache0 = pool.stats();
+
+        let spec = &self.spec;
+        let mut totals: Vec<(u64, u64)> = Vec::with_capacity(spec.threads);
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..spec.threads)
+                .map(|t| {
+                    scope.spawn(move || {
+                        // SplitMix-style stream decorrelation per thread.
+                        let stream = spec
+                            .seed
+                            .wrapping_add((t as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+                        let mut rng = StdRng::seed_from_u64(stream);
+                        let mut wbuf = [0u8; BLOCK_SIZE];
+                        let mut reads = 0u64;
+                        let mut txns = 0u64;
+                        let mut rbuf = [0u8; BLOCK_SIZE];
+                        for _ in 0..spec.ops_per_thread {
+                            if rng.gen_range(0..100) < spec.read_pct {
+                                let b = rng.gen_range(0..spec.blocks);
+                                pool.read(b, &mut rbuf);
+                                reads += 1;
+                            } else {
+                                let mut txn = pool.init_txn();
+                                for _ in 0..spec.txn_blocks {
+                                    let b = rng.gen_range(0..spec.blocks);
+                                    wbuf.fill(rng.gen());
+                                    txn.write(b, &wbuf);
+                                }
+                                pool.commit(txn).expect("mtfio commit");
+                                txns += 1;
+                            }
+                        }
+                        (reads, txns)
+                    })
+                })
+                .collect();
+            for h in handles {
+                totals.push(h.join().expect("worker thread"));
+            }
+        });
+
+        let mut wall_ns = 0u64;
+        let mut busy_ns = 0u64;
+        let mut nvm = NvmStats::default();
+        for s in 0..shards {
+            let d = pool.with_shard(s, |c| c.nvm().clock().now_ns()) - clk0[s];
+            wall_ns = wall_ns.max(d);
+            busy_ns += d;
+            nvm = nvm.merge(&pool.with_shard(s, |c| c.nvm().stats()).delta(&nvm0[s]));
+        }
+        MtReport {
+            threads: spec.threads,
+            shards,
+            read_ops: totals.iter().map(|(r, _)| r).sum(),
+            write_txns: totals.iter().map(|(_, w)| w).sum(),
+            wall_ns,
+            busy_ns,
+            nvm,
+            cache: pool.stats().delta(&cache0),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use blockdev::{DiskKind, SimDisk};
+    use nvmsim::{shard_devices, NvmConfig, NvmTech, SimClock};
+    use tinca::{PoolConfig, TincaConfig};
+
+    fn make_pool(shards: usize) -> TincaPool {
+        let devices = shard_devices(&NvmConfig::new(8 << 20, NvmTech::Pcm), shards);
+        let disk = SimDisk::new(DiskKind::Ssd, 1 << 20, SimClock::new());
+        TincaPool::format(
+            devices,
+            disk,
+            PoolConfig {
+                shards,
+                cache: TincaConfig {
+                    ring_bytes: 4096,
+                    ..TincaConfig::default()
+                },
+                ..PoolConfig::default()
+            },
+        )
+    }
+
+    #[test]
+    fn single_thread_run_reports_exact_op_counts() {
+        let pool = make_pool(1);
+        let fio = MtFio::new(MtFioSpec::smoke(1));
+        fio.setup(&pool, 64);
+        let r = fio.run(&pool);
+        assert_eq!(r.ops(), 200);
+        assert_eq!(r.read_ops + r.write_txns, 200);
+        assert!(r.write_txns > 0 && r.read_ops > 0);
+        assert!(r.wall_ns > 0);
+        assert_eq!(r.wall_ns, r.busy_ns, "one shard: wall == busy");
+        assert!(r.nvm.clflush > 0);
+        assert!(r.flushes_per_txn() > 0.0);
+        pool.check_consistency().unwrap();
+    }
+
+    #[test]
+    fn multi_thread_run_on_sharded_pool() {
+        let pool = make_pool(4);
+        let fio = MtFio::new(MtFioSpec::smoke(4));
+        fio.setup(&pool, 64);
+        let r = fio.run(&pool);
+        assert_eq!(r.ops(), 4 * 200);
+        assert_eq!(r.shards, 4);
+        assert!(r.wall_ns > 0);
+        assert!(r.busy_ns >= r.wall_ns, "busy time sums over shards");
+        assert!(r.ops_per_sec() > 0.0);
+        pool.check_consistency().unwrap();
+        // Commit accounting stays sane under concurrency: every committed
+        // txn fragment rode exactly one ring commit, and a spanning txn
+        // contributes one fragment per shard it touches.
+        let c = r.cache;
+        let fragments = (c.commits - c.group_commits) + c.batched_txns;
+        assert!(fragments >= r.write_txns, "{fragments} < {}", r.write_txns);
+        assert_eq!(c.failed_commits, 0);
+    }
+
+    #[test]
+    fn read_mix_is_roughly_honoured() {
+        let pool = make_pool(2);
+        let fio = MtFio::new(MtFioSpec {
+            threads: 2,
+            read_pct: 50,
+            ..MtFioSpec::smoke(2)
+        });
+        fio.setup(&pool, 128);
+        let r = fio.run(&pool);
+        let frac = r.read_ops as f64 / r.ops() as f64;
+        assert!((0.35..0.65).contains(&frac), "read fraction {frac}");
+    }
+}
