@@ -81,7 +81,7 @@ fn bench_read_hit(c: &mut Criterion) {
         let mut buf = [0u8; BLOCK_SIZE];
         let mut i = 0u64;
         b.iter(|| {
-            cache.read(i % 512, &mut buf);
+            cache.read(i % 512, &mut buf).unwrap();
             i += 1;
         });
     });

@@ -1,0 +1,14 @@
+//! Crash+fault fuzz campaign and degraded-mode figure. Pass `--quick` for
+//! a smoke-sized run; exits non-zero on any violation.
+use bench::figs;
+
+fn quick() -> bool {
+    std::env::args().any(|a| a == "--quick")
+}
+
+fn main() {
+    let (_, clean) = figs::degraded::run(quick());
+    if !clean {
+        std::process::exit(1);
+    }
+}

@@ -70,7 +70,7 @@ pub fn run_point(shards: usize, threads: usize, quick: bool) -> ScalingPoint {
     let fio = MtFio::new(spec);
     fio.setup(&pool, if quick { 64 } else { 256 });
     let report = fio.run(&pool);
-    pool.flush_all();
+    pool.flush_all().unwrap();
 
     let mut violations = 0usize;
     for (s, d) in devices.iter().enumerate() {

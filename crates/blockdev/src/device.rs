@@ -1,6 +1,6 @@
 //! The block device abstraction used by caches and file systems.
 
-use crate::DiskStats;
+use crate::{DiskStats, IoError};
 
 /// Block size of the disks and caches in this reproduction (the paper's
 /// cache manages NVM "in a unit of 4KB block by default", §4.2).
@@ -9,16 +9,20 @@ pub const BLOCK_SIZE: usize = 4096;
 /// A block-addressed storage device.
 ///
 /// Blocks are addressed by a `u64` logical block number. Reads of blocks
-/// never written return zeroes (as a fresh device would).
+/// never written return zeroes (as a fresh device would). I/O is
+/// **fallible**: requests can fail transiently or permanently
+/// ([`IoError`]); callers decide whether to retry, quarantine, or
+/// propagate. A failed request still consumes device time (the media
+/// attempt happened), so latency models stay honest under faults.
 pub trait BlockDevice: Send + Sync {
     /// Reads block `blk` into `buf` (`buf.len() == BLOCK_SIZE`).
-    fn read_block(&self, blk: u64, buf: &mut [u8]);
+    fn read_block(&self, blk: u64, buf: &mut [u8]) -> Result<(), IoError>;
 
     /// Writes `buf` (`BLOCK_SIZE` bytes) to block `blk`. Writes are modelled
-    /// as durable when the call returns (the devices in this reproduction
-    /// are the *backing* store below the NVM cache; their internal caching
-    /// is outside the paper's consistency argument).
-    fn write_block(&self, blk: u64, buf: &[u8]);
+    /// as durable when the call returns `Ok` (the devices in this
+    /// reproduction are the *backing* store below the NVM cache; their
+    /// internal caching is outside the paper's consistency argument).
+    fn write_block(&self, blk: u64, buf: &[u8]) -> Result<(), IoError>;
 
     /// Number of addressable blocks.
     fn num_blocks(&self) -> u64;

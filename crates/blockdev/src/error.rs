@@ -1,0 +1,81 @@
+//! Block-device I/O errors.
+//!
+//! Real devices fail: a request can land outside the device, a sector can
+//! return an uncorrectable media error transiently (vibration, marginal
+//! cells) or permanently (grown defects), and the paper's Tinca prototype
+//! sits directly above such devices. Every [`crate::BlockDevice`] method
+//! that touches media reports these as [`IoError`] so the cache layers can
+//! retry, quarantine, or degrade instead of silently corrupting state.
+
+use std::fmt;
+
+/// An error returned by a [`crate::BlockDevice`] I/O request.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum IoError {
+    /// The request addressed a block beyond the end of the device.
+    OutOfRange { blk: u64, num_blocks: u64 },
+    /// A read failed transiently; the same request may succeed if retried.
+    TransientRead { blk: u64 },
+    /// A write failed transiently; the same request may succeed if retried.
+    TransientWrite { blk: u64 },
+    /// The block is permanently bad (grown defect); retrying cannot help.
+    BadBlock { blk: u64 },
+}
+
+impl IoError {
+    /// Whether retrying the same request can succeed.
+    pub fn is_transient(&self) -> bool {
+        matches!(
+            self,
+            IoError::TransientRead { .. } | IoError::TransientWrite { .. }
+        )
+    }
+
+    /// The block number the failed request addressed.
+    pub fn blk(&self) -> u64 {
+        match *self {
+            IoError::OutOfRange { blk, .. }
+            | IoError::TransientRead { blk }
+            | IoError::TransientWrite { blk }
+            | IoError::BadBlock { blk } => blk,
+        }
+    }
+}
+
+impl fmt::Display for IoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IoError::OutOfRange { blk, num_blocks } => {
+                write!(f, "block {blk} out of range (device has {num_blocks})")
+            }
+            IoError::TransientRead { blk } => write!(f, "transient read error at block {blk}"),
+            IoError::TransientWrite { blk } => write!(f, "transient write error at block {blk}"),
+            IoError::BadBlock { blk } => write!(f, "permanently bad block {blk}"),
+        }
+    }
+}
+
+impl std::error::Error for IoError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transience_classification() {
+        assert!(IoError::TransientRead { blk: 1 }.is_transient());
+        assert!(IoError::TransientWrite { blk: 1 }.is_transient());
+        assert!(!IoError::BadBlock { blk: 1 }.is_transient());
+        assert!(!IoError::OutOfRange {
+            blk: 9,
+            num_blocks: 4
+        }
+        .is_transient());
+    }
+
+    #[test]
+    fn display_names_the_block() {
+        assert!(IoError::BadBlock { blk: 42 }.to_string().contains("42"));
+        assert_eq!(IoError::TransientWrite { blk: 7 }.blk(), 7);
+    }
+}

@@ -17,19 +17,23 @@
 //!
 //! let clock = SimClock::new();
 //! let disk = SimDisk::new(DiskKind::Ssd, 1024, clock.clone());
-//! disk.write_block(7, &[0xAB; BLOCK_SIZE]);
+//! disk.write_block(7, &[0xAB; BLOCK_SIZE]).unwrap();
 //! let mut buf = [0u8; BLOCK_SIZE];
-//! disk.read_block(7, &mut buf);
+//! disk.read_block(7, &mut buf).unwrap();
 //! assert_eq!(buf[0], 0xAB);
 //! assert_eq!(clock.now_ns(), disk.stats().busy_ns);
 //! ```
 
 mod device;
+mod error;
+mod fault;
 mod latency;
 mod sim;
 mod stats;
 
 pub use device::{BlockDevice, BLOCK_SIZE};
+pub use error::IoError;
+pub use fault::{FaultPlan, FaultStats, FaultyDisk};
 pub use latency::{DiskKind, LatencyModel};
 pub use sim::{Disk, SimDisk};
 pub use stats::DiskStats;

@@ -6,7 +6,7 @@ use std::sync::Arc;
 use nvmsim::SimClock;
 use parking_lot::Mutex;
 
-use crate::{BlockDevice, DiskKind, DiskStats, LatencyModel, BLOCK_SIZE};
+use crate::{BlockDevice, DiskKind, DiskStats, IoError, LatencyModel, BLOCK_SIZE};
 
 /// Cloneable handle to a [`SimDisk`].
 pub type Disk = Arc<SimDisk>;
@@ -20,7 +20,9 @@ struct State {
 /// A simulated disk: sparse in-memory block store + latency model.
 ///
 /// Blocks never written read back as zeroes. All latency is charged to the
-/// shared [`SimClock`] of the owning storage stack.
+/// shared [`SimClock`] of the owning storage stack — including the latency
+/// of *failed* requests: the head still seeks and the device is busy even
+/// when no data is transferred, so an error never buys a free seek.
 pub struct SimDisk {
     model: LatencyModel,
     num_blocks: u64,
@@ -53,12 +55,51 @@ impl SimDisk {
     pub fn resident_blocks(&self) -> usize {
         self.state.lock().blocks.len()
     }
+
+    /// Charges the cost of an attempted-but-failed media access targeting
+    /// `blk`: the head seeks to the (clamped) target, the device is busy
+    /// for the model's full duration, and an error counter bumps — but no
+    /// data moves. Used internally for out-of-range requests and by fault
+    /// wrappers (e.g. [`crate::FaultyDisk`]) so injected errors advance
+    /// `last_blk` and the clock exactly like real failed I/Os: without
+    /// this, an HDD retry after an error would look sequential and get a
+    /// free seek.
+    pub fn charge_failed_io(&self, blk: u64, write: bool) {
+        let target = blk.min(self.num_blocks.saturating_sub(1));
+        let mut st = self.state.lock();
+        let ns = if write {
+            self.model.write_ns(target, st.last_blk)
+        } else {
+            self.model.read_ns(target, st.last_blk)
+        };
+        st.last_blk = target;
+        if write {
+            st.stats.write_errors += 1;
+        } else {
+            st.stats.read_errors += 1;
+        }
+        st.stats.busy_ns += ns;
+        self.clock.advance(ns);
+    }
+
+    /// Charges `ns` of extra device busy time with no head movement — a
+    /// latency spike (controller hiccup, internal GC pause).
+    pub fn charge_latency_spike(&self, ns: u64) {
+        self.state.lock().stats.busy_ns += ns;
+        self.clock.advance(ns);
+    }
 }
 
 impl BlockDevice for SimDisk {
-    fn read_block(&self, blk: u64, buf: &mut [u8]) {
-        assert!(blk < self.num_blocks, "disk read out of range: {blk}");
+    fn read_block(&self, blk: u64, buf: &mut [u8]) -> Result<(), IoError> {
         assert_eq!(buf.len(), BLOCK_SIZE);
+        if blk >= self.num_blocks {
+            self.charge_failed_io(blk, false);
+            return Err(IoError::OutOfRange {
+                blk,
+                num_blocks: self.num_blocks,
+            });
+        }
         let mut st = self.state.lock();
         match st.blocks.get(&blk) {
             Some(b) => buf.copy_from_slice(&b[..]),
@@ -69,11 +110,18 @@ impl BlockDevice for SimDisk {
         st.stats.reads += 1;
         st.stats.busy_ns += ns;
         self.clock.advance(ns);
+        Ok(())
     }
 
-    fn write_block(&self, blk: u64, buf: &[u8]) {
-        assert!(blk < self.num_blocks, "disk write out of range: {blk}");
+    fn write_block(&self, blk: u64, buf: &[u8]) -> Result<(), IoError> {
         assert_eq!(buf.len(), BLOCK_SIZE);
+        if blk >= self.num_blocks {
+            self.charge_failed_io(blk, true);
+            return Err(IoError::OutOfRange {
+                blk,
+                num_blocks: self.num_blocks,
+            });
+        }
         let mut st = self.state.lock();
         let entry = st
             .blocks
@@ -85,6 +133,7 @@ impl BlockDevice for SimDisk {
         st.stats.writes += 1;
         st.stats.busy_ns += ns;
         self.clock.advance(ns);
+        Ok(())
     }
 
     fn num_blocks(&self) -> u64 {
@@ -108,7 +157,7 @@ mod tests {
     fn unwritten_blocks_read_zero() {
         let d = disk(DiskKind::Ssd);
         let mut b = [1u8; BLOCK_SIZE];
-        d.read_block(7, &mut b);
+        d.read_block(7, &mut b).unwrap();
         assert!(b.iter().all(|&x| x == 0));
     }
 
@@ -116,9 +165,9 @@ mod tests {
     fn write_then_read_round_trips() {
         let d = disk(DiskKind::Ssd);
         let data = [0x5Au8; BLOCK_SIZE];
-        d.write_block(3, &data);
+        d.write_block(3, &data).unwrap();
         let mut b = [0u8; BLOCK_SIZE];
-        d.read_block(3, &mut b);
+        d.read_block(3, &mut b).unwrap();
         assert_eq!(b, data);
     }
 
@@ -127,10 +176,10 @@ mod tests {
         let clock = SimClock::new();
         let d = SimDisk::new(DiskKind::Ssd, 16, clock.clone());
         let buf = [0u8; BLOCK_SIZE];
-        d.write_block(0, &buf);
-        d.write_block(1, &buf);
+        d.write_block(0, &buf).unwrap();
+        d.write_block(1, &buf).unwrap();
         let mut rb = [0u8; BLOCK_SIZE];
-        d.read_block(0, &mut rb);
+        d.read_block(0, &mut rb).unwrap();
         let s = d.stats();
         assert_eq!(s.writes, 2);
         assert_eq!(s.reads, 1);
@@ -143,12 +192,12 @@ mod tests {
         let clock = SimClock::new();
         let d = SimDisk::new(DiskKind::Hdd, 1 << 20, clock.clone());
         let buf = [0u8; BLOCK_SIZE];
-        d.write_block(0, &buf);
+        d.write_block(0, &buf).unwrap();
         let t0 = clock.now_ns();
-        d.write_block(1, &buf); // sequential
+        d.write_block(1, &buf).unwrap(); // sequential
         let seq = clock.now_ns() - t0;
         let t1 = clock.now_ns();
-        d.write_block(900_000, &buf); // long seek
+        d.write_block(900_000, &buf).unwrap(); // long seek
         let rnd = clock.now_ns() - t1;
         assert!(rnd > 100 * seq);
     }
@@ -157,16 +206,54 @@ mod tests {
     fn resident_blocks_tracks_sparse_usage() {
         let d = disk(DiskKind::Ssd);
         assert_eq!(d.resident_blocks(), 0);
-        d.write_block(1, &[0u8; BLOCK_SIZE]);
-        d.write_block(1, &[1u8; BLOCK_SIZE]);
-        d.write_block(2, &[2u8; BLOCK_SIZE]);
+        d.write_block(1, &[0u8; BLOCK_SIZE]).unwrap();
+        d.write_block(1, &[1u8; BLOCK_SIZE]).unwrap();
+        d.write_block(2, &[2u8; BLOCK_SIZE]).unwrap();
         assert_eq!(d.resident_blocks(), 2);
     }
 
     #[test]
-    #[should_panic(expected = "out of range")]
-    fn oob_write_panics() {
+    fn oob_access_errors_instead_of_panicking() {
         let d = disk(DiskKind::Ssd);
-        d.write_block(5000, &[0u8; BLOCK_SIZE]);
+        assert_eq!(
+            d.write_block(5000, &[0u8; BLOCK_SIZE]),
+            Err(IoError::OutOfRange {
+                blk: 5000,
+                num_blocks: 1024
+            })
+        );
+        let mut b = [0u8; BLOCK_SIZE];
+        assert_eq!(
+            d.read_block(9999, &mut b),
+            Err(IoError::OutOfRange {
+                blk: 9999,
+                num_blocks: 1024
+            })
+        );
+        let s = d.stats();
+        assert_eq!((s.reads, s.writes), (0, 0), "failed I/O transfers nothing");
+        assert_eq!((s.read_errors, s.write_errors), (1, 1));
+    }
+
+    #[test]
+    fn failed_io_still_charges_seek_and_moves_head() {
+        // HDD: a failed access seeks to the (clamped) target, so the next
+        // access from there is sequential — and the failed attempt itself
+        // pays the full random-access cost (no free seeks after an error).
+        let clock = SimClock::new();
+        let d = SimDisk::new(DiskKind::Hdd, 1024, clock.clone());
+        let buf = [0u8; BLOCK_SIZE];
+        d.write_block(0, &buf).unwrap();
+        let t0 = clock.now_ns();
+        assert!(d.write_block(5000, &buf).is_err()); // clamps head to 1023
+        let failed_cost = clock.now_ns() - t0;
+        let t1 = clock.now_ns();
+        d.write_block(1023, &buf).unwrap(); // head already there
+        let settled_cost = clock.now_ns() - t1;
+        assert!(
+            failed_cost > 50 * settled_cost,
+            "failed I/O {failed_cost} must pay the seek; follow-up {settled_cost} is sequential"
+        );
+        assert_eq!(d.stats().busy_ns, clock.now_ns());
     }
 }

@@ -209,7 +209,9 @@ impl ClassicCache {
             }
             let rec = self.records[slot as usize];
             self.nvm.read(self.layout.data_addr(slot), &mut buf);
-            self.disk.write_block(rec.disk_blk, &buf);
+            self.disk
+                .write_block(rec.disk_blk, &buf)
+                .expect("classic cache assumes a fault-free disk");
             self.stats.writebacks += 1;
             self.set_record(
                 slot,
@@ -230,7 +232,9 @@ impl ClassicCache {
             self.stats.read_hits += 1;
             return;
         }
-        self.disk.read_block(disk_blk, buf);
+        self.disk
+            .read_block(disk_blk, buf)
+            .expect("classic cache assumes a fault-free disk");
         self.stats.read_misses += 1;
         if self.cfg.cache_reads {
             let slot = self.take_slot(disk_blk);
@@ -274,7 +278,9 @@ impl ClassicCache {
         if rec.dirty {
             let mut buf = [0u8; BLOCK_SIZE];
             self.nvm.read(self.layout.data_addr(slot), &mut buf);
-            self.disk.write_block(rec.disk_blk, &buf);
+            self.disk
+                .write_block(rec.disk_blk, &buf)
+                .expect("classic cache assumes a fault-free disk");
             self.stats.writebacks += 1;
         }
         self.index.remove(&rec.disk_blk);
@@ -344,7 +350,9 @@ impl ClassicCache {
             let rec = self.records[slot as usize];
             if rec.valid && rec.dirty {
                 self.nvm.read(self.layout.data_addr(slot), &mut buf);
-                self.disk.write_block(rec.disk_blk, &buf);
+                self.disk
+                    .write_block(rec.disk_blk, &buf)
+                    .expect("classic cache assumes a fault-free disk");
                 self.stats.writebacks += 1;
                 self.set_record(
                     slot,
@@ -409,7 +417,9 @@ impl ClassicCache {
         let mut touched_slots: Vec<u32> = Vec::new();
         for (disk_blk, slot) in to_clean {
             self.nvm.read(self.layout.data_addr(slot), &mut buf);
-            self.disk.write_block(disk_blk, &buf);
+            self.disk
+                .write_block(disk_blk, &buf)
+                .expect("classic cache assumes a fault-free disk");
             self.stats.writebacks += 1;
             let set = (slot / self.layout.assoc) as usize;
             self.set_dirty[set] -= 1;
@@ -467,7 +477,9 @@ impl ClassicCache {
         if let Some(&slot) = self.index.get(&disk_blk) {
             self.nvm.read(self.layout.data_addr(slot), buf);
         } else {
-            self.disk.read_block(disk_blk, buf);
+            self.disk
+                .read_block(disk_blk, buf)
+                .expect("classic cache assumes a fault-free disk");
         }
     }
 
@@ -649,7 +661,8 @@ mod tests {
         );
         assert_eq!(c.stats().evictions, 1);
         let mut buf = [0u8; BLOCK_SIZE];
-        disk.read_block(same_set[0], &mut buf);
+        disk.read_block(same_set[0], &mut buf)
+            .expect("classic cache assumes a fault-free disk");
         assert_eq!(buf, blk(1));
         c.check_consistency().unwrap();
     }
@@ -724,7 +737,8 @@ mod tests {
         c.flush_all();
         let mut buf = [0u8; BLOCK_SIZE];
         for i in 0..5u64 {
-            disk.read_block(i, &mut buf);
+            disk.read_block(i, &mut buf)
+                .expect("classic cache assumes a fault-free disk");
             assert_eq!(buf, blk(i as u8 + 1));
         }
         let w = disk.stats().writes;
@@ -736,7 +750,8 @@ mod tests {
     #[test]
     fn read_miss_fill_is_clean() {
         let (mut c, _, disk) = setup(64);
-        disk.write_block(40, &blk(4));
+        disk.write_block(40, &blk(4))
+            .expect("classic cache assumes a fault-free disk");
         let mut buf = [0u8; BLOCK_SIZE];
         c.read(40, &mut buf);
         assert_eq!(buf, blk(4));

@@ -33,7 +33,7 @@ fn fallow_blocks_reach_disk_on_barrier() {
     assert_eq!(disk.stats().writes, 0, "nothing cleaned before a barrier");
     c.flush_barrier();
     let mut buf = [0u8; BLOCK_SIZE];
-    disk.read_block(1, &mut buf);
+    disk.read_block(1, &mut buf).unwrap();
     assert_eq!(
         buf,
         blk(0xAA),
@@ -141,7 +141,7 @@ fn barrier_cleaning_is_elevator_ordered() {
         "elevator-sorted drain too expensive: {barrier_ns} ns"
     );
     let mut buf = [0u8; BLOCK_SIZE];
-    disk.read_block(1050, &mut buf);
+    disk.read_block(1050, &mut buf).unwrap();
     assert_eq!(buf, blk(2));
 }
 

@@ -70,7 +70,7 @@ proptest! {
                     // After a full flush, the DISK alone matches the model.
                     for (&blk, &want) in &model {
                         use blockdev::BlockDevice;
-                        disk.read_block(blk, &mut buf);
+                        disk.read_block(blk, &mut buf).unwrap();
                         prop_assert_eq!(buf, [want; BLOCK_SIZE], "disk block {}", blk);
                     }
                 }

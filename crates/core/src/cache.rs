@@ -1,9 +1,9 @@
 //! The transactional NVM disk cache (§4).
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
 
-use blockdev::{BlockDevice, BLOCK_SIZE};
+use blockdev::{BlockDevice, IoError, BLOCK_SIZE};
 use nvmsim::Nvm;
 
 use crate::entry::{CacheEntry, Role, FRESH};
@@ -16,6 +16,26 @@ use crate::{CacheStats, TincaConfig, TincaError, Txn, WritePolicy};
 
 /// Shared handle to the backing disk below the cache.
 pub type DynDisk = Arc<dyn BlockDevice>;
+
+/// Operational condition of a cache (or pool) with respect to its backing
+/// disk. Transient disk faults absorbed by the retry loop never change the
+/// health; only *permanent* writeback failures do.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Health {
+    /// No unresolved disk faults.
+    Healthy,
+    /// Some dirty blocks could not be written back and are quarantined in
+    /// NVM (pinned, never evicted, still readable). The cache keeps
+    /// serving reads and commits with its remaining capacity.
+    Degraded {
+        /// Currently quarantined dirty blocks.
+        quarantined: usize,
+    },
+    /// Every NVM block is quarantined and the free pool is empty: no new
+    /// block can be admitted, so writes of uncached blocks will fail.
+    /// Cached data remains readable.
+    ReadOnly,
+}
 
 /// The transactional NVM disk cache.
 ///
@@ -49,6 +69,11 @@ pub struct TincaCache {
     /// Entries pinned by the committing transaction.
     pin_entries: Vec<bool>,
     pin_entry_list: Vec<u32>,
+    /// Entries whose dirty payload could not be written back (permanent
+    /// disk fault). Quarantined entries stay pinned-dirty in NVM: never
+    /// chosen as eviction victims, still served to reads, re-attempted by
+    /// [`flush_all`](Self::flush_all).
+    quarantined: HashSet<u32>,
     stats: CacheStats,
 }
 
@@ -101,6 +126,7 @@ impl TincaCache {
             pin_block_list: Vec::new(),
             pin_entries: vec![false; layout.entry_count as usize],
             pin_entry_list: Vec::new(),
+            quarantined: HashSet::new(),
             stats: CacheStats::default(),
             layout,
         }
@@ -343,20 +369,109 @@ impl TincaCache {
     }
 
     /// Write-through extension: push every committed block to disk and mark
-    /// it clean.
+    /// it clean. The commit is already durable in NVM when this runs, so a
+    /// permanent disk fault does not fail the commit — the block is
+    /// quarantined (stays dirty in NVM) and the cache degrades.
     fn write_through(&mut self, touched: &[u32]) {
         let mut buf = [0u8; BLOCK_SIZE];
         for &idx in touched {
             let e = self.read_entry(idx);
             self.nvm.read(self.layout.data_addr(e.cur), &mut buf);
-            self.disk.write_block(e.disk_blk, &buf);
-            self.stats.writebacks += 1;
-            let clean = CacheEntry {
-                modified: false,
-                ..e
-            };
-            self.write_entry(idx, clean);
+            match self.disk_write_retry(e.disk_blk, &buf) {
+                Ok(()) => {
+                    self.stats.writebacks += 1;
+                    let clean = CacheEntry {
+                        modified: false,
+                        ..e
+                    };
+                    self.write_entry(idx, clean);
+                }
+                Err(_) => self.quarantine(idx),
+            }
         }
+    }
+
+    // ------------------------------------------------------------------
+    // Fallible disk I/O: retry, backoff, quarantine
+    // ------------------------------------------------------------------
+
+    /// Reads `blk` from disk, retrying transient errors up to the
+    /// configured budget with simulated-clock backoff between attempts.
+    fn disk_read_retry(&mut self, blk: u64, buf: &mut [u8]) -> Result<(), IoError> {
+        let mut attempt = 1;
+        loop {
+            match self.disk.read_block(blk, buf) {
+                Ok(()) => {
+                    if attempt > 1 {
+                        self.stats.transient_errors_absorbed += 1;
+                    }
+                    return Ok(());
+                }
+                Err(e) if e.is_transient() && attempt < self.cfg.max_io_retries => {
+                    attempt += 1;
+                    self.stats.io_retries += 1;
+                    self.nvm.clock().advance(self.cfg.retry_backoff_ns);
+                }
+                Err(e) => {
+                    self.stats.permanent_io_errors += 1;
+                    return Err(e);
+                }
+            }
+        }
+    }
+
+    /// Writes `blk` to disk with the same transient-retry policy as
+    /// [`Self::disk_read_retry`].
+    fn disk_write_retry(&mut self, blk: u64, buf: &[u8]) -> Result<(), IoError> {
+        let mut attempt = 1;
+        loop {
+            match self.disk.write_block(blk, buf) {
+                Ok(()) => {
+                    if attempt > 1 {
+                        self.stats.transient_errors_absorbed += 1;
+                    }
+                    return Ok(());
+                }
+                Err(e) if e.is_transient() && attempt < self.cfg.max_io_retries => {
+                    attempt += 1;
+                    self.stats.io_retries += 1;
+                    self.nvm.clock().advance(self.cfg.retry_backoff_ns);
+                }
+                Err(e) => {
+                    self.stats.permanent_io_errors += 1;
+                    return Err(e);
+                }
+            }
+        }
+    }
+
+    /// Marks entry `idx` quarantined: its dirty payload stays pinned in
+    /// NVM until a later [`flush_all`](Self::flush_all) succeeds.
+    fn quarantine(&mut self, idx: u32) {
+        if self.quarantined.insert(idx) {
+            self.stats.quarantined_blocks += 1;
+        }
+    }
+
+    /// The cache's current fault condition; see [`Health`].
+    pub fn health(&self) -> Health {
+        let q = self.quarantined.len();
+        if q == 0 {
+            return Health::Healthy;
+        }
+        let evictable = self.index.len() - q;
+        if self.free_blocks.free_count() == 0 && evictable == 0 {
+            Health::ReadOnly
+        } else {
+            Health::Degraded { quarantined: q }
+        }
+    }
+
+    /// Number of currently quarantined dirty blocks (the live count;
+    /// [`CacheStats::quarantined_blocks`](crate::CacheStats) is
+    /// cumulative).
+    pub fn quarantined_count(&self) -> usize {
+        self.quarantined.len()
     }
 
     /// Revokes the already-written blocks of a failed committing
@@ -402,14 +517,18 @@ impl TincaCache {
                 if !self.free_blocks.is_free(e.cur) {
                     self.free_blocks.release(e.cur);
                 }
+                // A freed entry slot must not carry a stale quarantine mark
+                // into its next life.
+                self.quarantined.remove(&idx);
             }
         }
         self.stats.revoked_blocks += 1;
     }
 
     /// Reads on-disk block `disk_blk` through the cache (§4.6: Tinca caches
-    /// reads as well as writes).
-    pub fn read(&mut self, disk_blk: u64, buf: &mut [u8]) {
+    /// reads as well as writes). Misses retry transient disk errors with
+    /// backoff; a permanent fault surfaces as [`TincaError::Io`].
+    pub fn read(&mut self, disk_blk: u64, buf: &mut [u8]) -> Result<(), TincaError> {
         assert_eq!(buf.len(), BLOCK_SIZE);
         if let Some(&idx) = self.index.get(&disk_blk) {
             let e = self.read_entry(idx);
@@ -417,13 +536,14 @@ impl TincaCache {
             self.nvm.read(self.layout.data_addr(e.cur), buf);
             self.lru.touch(idx);
             self.stats.read_hits += 1;
-            return;
+            return Ok(());
         }
-        self.disk.read_block(disk_blk, buf);
+        self.disk_read_retry(disk_blk, buf)?;
         self.stats.read_misses += 1;
         if self.cfg.cache_reads {
             self.fill_clean(disk_blk, buf);
         }
+        Ok(())
     }
 
     /// Inserts a clean copy of `disk_blk` after a read miss. Best-effort:
@@ -444,37 +564,48 @@ impl TincaCache {
     }
 
     /// Allocates an NVM data block, evicting the LRU unpinned buffer block
-    /// if the free pool is empty.
+    /// if the free pool is empty. A victim whose dirty writeback fails
+    /// permanently is quarantined (not freed) and the search moves to the
+    /// next candidate; [`TincaError::NoVictim`] means every remaining
+    /// block is pinned or quarantined.
     fn alloc_block(&mut self) -> Result<u32, TincaError> {
-        if let Some(b) = self.free_blocks.allocate() {
-            return Ok(b);
-        }
-        let victim = self.lru.iter_lru().find(|&idx| {
-            if self.pin_entries[idx as usize] {
-                return false;
+        loop {
+            if let Some(b) = self.free_blocks.allocate() {
+                return Ok(b);
             }
-            let e = self.read_entry(idx);
-            // Log blocks and blocks pinned as a committing prev/cur stay
-            // (§4.6 rule 2); everything else is fair game.
-            e.valid && e.role == Role::Buffer && !self.pin_blocks[e.cur as usize]
-        });
-        let Some(idx) = victim else {
-            return Err(TincaError::NoVictim);
-        };
-        self.evict(idx);
-        Ok(self.free_blocks.allocate().expect("eviction frees a block"))
+            let victim = self.lru.iter_lru().find(|&idx| {
+                if self.pin_entries[idx as usize] || self.quarantined.contains(&idx) {
+                    return false;
+                }
+                let e = self.read_entry(idx);
+                // Log blocks and blocks pinned as a committing prev/cur stay
+                // (§4.6 rule 2); everything else is fair game.
+                e.valid && e.role == Role::Buffer && !self.pin_blocks[e.cur as usize]
+            });
+            let Some(idx) = victim else {
+                return Err(TincaError::NoVictim);
+            };
+            // On writeback failure the victim is quarantined and excluded
+            // from the next search pass, so the loop always terminates.
+            let _ = self.evict(idx);
+        }
     }
 
     /// Evicts entry `idx`: writes the block back if dirty, then
     /// persistently invalidates the entry *before* its NVM block can be
-    /// reused (so a crash never sees an entry naming a reused block).
-    fn evict(&mut self, idx: u32) {
+    /// reused (so a crash never sees an entry naming a reused block). If
+    /// the writeback fails permanently, the entry is quarantined instead
+    /// — its payload stays safe in NVM.
+    fn evict(&mut self, idx: u32) -> Result<(), IoError> {
         let e = self.read_entry(idx);
         debug_assert!(e.valid && e.role == Role::Buffer);
         if e.modified {
             let mut buf = [0u8; BLOCK_SIZE];
             self.nvm.read(self.layout.data_addr(e.cur), &mut buf);
-            self.disk.write_block(e.disk_blk, &buf);
+            if let Err(err) = self.disk_write_retry(e.disk_blk, &buf) {
+                self.quarantine(idx);
+                return Err(err);
+            }
             self.stats.writebacks += 1;
         }
         self.write_entry(idx, CacheEntry::INVALID);
@@ -483,29 +614,52 @@ impl TincaCache {
         self.free_entries.release(idx);
         self.free_blocks.release(e.cur);
         self.stats.evictions += 1;
+        Ok(())
     }
 
     /// Writes back every dirty cached block and marks it clean. Used at
     /// orderly shutdown and by verification harnesses.
-    pub fn flush_all(&mut self) {
-        debug_assert_eq!(self.head, self.tail);
+    ///
+    /// Quarantined blocks are re-attempted (a replaced disk recovers
+    /// them). Errors are collected, not short-circuited: every dirty
+    /// block gets its flush attempt, then the first error is returned —
+    /// with [`Health`] reporting how much is still pinned in NVM.
+    pub fn flush_all(&mut self) -> Result<(), TincaError> {
+        if self.head != self.tail {
+            return Err(TincaError::CommitInProgress {
+                head: self.head,
+                tail: self.tail,
+            });
+        }
         let mut buf = [0u8; BLOCK_SIZE];
+        let mut first_err = Ok(());
         let idxs: Vec<u32> = self.index.values().copied().collect();
         for idx in idxs {
             let e = self.read_entry(idx);
             if e.valid && e.modified {
                 self.nvm.read(self.layout.data_addr(e.cur), &mut buf);
-                self.disk.write_block(e.disk_blk, &buf);
-                self.stats.writebacks += 1;
-                self.write_entry(
-                    idx,
-                    CacheEntry {
-                        modified: false,
-                        ..e
-                    },
-                );
+                match self.disk_write_retry(e.disk_blk, &buf) {
+                    Ok(()) => {
+                        self.stats.writebacks += 1;
+                        self.write_entry(
+                            idx,
+                            CacheEntry {
+                                modified: false,
+                                ..e
+                            },
+                        );
+                        self.quarantined.remove(&idx);
+                    }
+                    Err(err) => {
+                        self.quarantine(idx);
+                        if first_err.is_ok() {
+                            first_err = Err(TincaError::Io(err));
+                        }
+                    }
+                }
             }
         }
+        first_err
     }
 
     // ------------------------------------------------------------------
@@ -716,5 +870,52 @@ impl TincaCache {
             ));
         }
         Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use blockdev::{DiskKind, SimDisk};
+    use nvmsim::{NvmConfig, NvmDevice, NvmTech, SimClock};
+
+    fn small_cache() -> TincaCache {
+        let clock = SimClock::new();
+        let nvm = NvmDevice::new(NvmConfig::new(256 << 10, NvmTech::Pcm), clock.clone());
+        let disk = SimDisk::new(DiskKind::Ssd, 1 << 16, clock);
+        TincaCache::format(
+            nvm,
+            disk,
+            TincaConfig {
+                ring_bytes: 4096,
+                ..TincaConfig::default()
+            },
+        )
+    }
+
+    /// `flush_all` must refuse to run while a transaction is committing
+    /// (`Head != Tail`) — in release builds too, not just under
+    /// `debug_assert`. A flush interleaved with the commit protocol could
+    /// write a log-role (uncommitted) payload to disk.
+    #[test]
+    fn flush_all_mid_commit_is_rejected_at_runtime() {
+        let mut c = small_cache();
+        let mut t = c.init_txn();
+        t.write(5, &[7u8; BLOCK_SIZE]);
+        c.commit(&t).unwrap();
+        // Reproduce the mid-protocol window (Head moved, Tail not) that a
+        // concurrent flush would observe.
+        let (head, tail) = c.head_tail();
+        c.set_head_tail(head + 1, tail);
+        match c.flush_all() {
+            Err(TincaError::CommitInProgress { head: h, tail: t }) => {
+                assert_eq!((h, t), (head + 1, tail));
+            }
+            other => panic!("expected CommitInProgress, got {other:?}"),
+        }
+        // Restoring the ring makes the same call succeed.
+        c.set_head_tail(head, tail);
+        c.flush_all().unwrap();
+        assert_eq!(c.stats().writebacks, 1);
     }
 }

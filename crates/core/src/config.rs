@@ -33,6 +33,14 @@ pub struct TincaConfig {
     /// scan, which revokes every log-role entry regardless of the ring.
     /// Default `false` (the paper's exact protocol).
     pub batched_ring: bool,
+    /// Maximum attempts for a disk I/O that fails with a *transient* error
+    /// (`1` = no retry). Permanent errors (bad block, out of range) are
+    /// never retried. Default 4: enough to absorb the default fault-plan
+    /// burst length deterministically.
+    pub max_io_retries: u32,
+    /// Simulated backoff charged to the stack's clock between transient-
+    /// error retries.
+    pub retry_backoff_ns: u64,
 }
 
 impl Default for TincaConfig {
@@ -43,6 +51,8 @@ impl Default for TincaConfig {
             write_policy: WritePolicy::WriteBack,
             role_switch: true,
             batched_ring: false,
+            max_io_retries: 4,
+            retry_backoff_ns: 100_000,
         }
     }
 }
@@ -58,5 +68,6 @@ mod tests {
         assert_eq!(c.write_policy, WritePolicy::WriteBack);
         assert!(c.role_switch);
         assert!(!c.batched_ring, "default is the paper's exact protocol");
+        assert!(c.max_io_retries >= 1, "at least one attempt");
     }
 }

@@ -2,6 +2,8 @@
 
 use std::fmt;
 
+use blockdev::IoError;
+
 /// Errors reported by [`crate::TincaCache`].
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum TincaError {
@@ -16,6 +18,32 @@ pub enum TincaError {
     NoVictim,
     /// The NVM region does not carry a valid Tinca header.
     BadMagic { found: u64 },
+    /// The NVM header disagrees with the geometry derived from the current
+    /// configuration (e.g. the region was formatted with a different
+    /// `ring_bytes` or capacity). Recovering with mismatched geometry
+    /// would misaddress every entry and data block, so recovery refuses.
+    GeometryMismatch {
+        /// Which header field disagrees (`"ring_cap"`, `"entry_count"`,
+        /// `"data_blocks"`).
+        field: &'static str,
+        /// The value stored in the NVM header.
+        found: u64,
+        /// The value the current configuration expects.
+        expected: u64,
+    },
+    /// `flush_all` was called while a transaction was mid-commit
+    /// (`Head != Tail`): flushing would write back blocks the crash
+    /// protocol may still revoke.
+    CommitInProgress { head: u64, tail: u64 },
+    /// A disk I/O failed after exhausting the configured retries (or
+    /// immediately, for permanent faults).
+    Io(IoError),
+}
+
+impl From<IoError> for TincaError {
+    fn from(e: IoError) -> Self {
+        TincaError::Io(e)
+    }
 }
 
 impl fmt::Display for TincaError {
@@ -38,6 +66,25 @@ impl fmt::Display for TincaError {
             TincaError::BadMagic { found } => {
                 write!(f, "NVM region is not a Tinca cache (magic {found:#x})")
             }
+            TincaError::GeometryMismatch {
+                field,
+                found,
+                expected,
+            } => {
+                write!(
+                    f,
+                    "NVM header geometry mismatch: {field} is {found} but the \
+                     configuration expects {expected} (changed ring_bytes or capacity?)"
+                )
+            }
+            TincaError::CommitInProgress { head, tail } => {
+                write!(
+                    f,
+                    "operation refused while a transaction is committing \
+                     (head={head}, tail={tail})"
+                )
+            }
+            TincaError::Io(e) => write!(f, "disk I/O failed: {e}"),
         }
     }
 }
@@ -58,5 +105,18 @@ mod tests {
         assert!(e.to_string().contains("10"));
         let e = TincaError::BadMagic { found: 0xabc };
         assert!(e.to_string().contains("0xabc"));
+        let e = TincaError::GeometryMismatch {
+            field: "ring_cap",
+            found: 128,
+            expected: 8192,
+        };
+        assert!(e.to_string().contains("ring_cap"));
+        assert!(e.to_string().contains("128"));
+        assert!(e.to_string().contains("8192"));
+        let e = TincaError::CommitInProgress { head: 9, tail: 5 };
+        assert!(e.to_string().contains("head=9"));
+        let e = TincaError::from(IoError::BadBlock { blk: 77 });
+        assert_eq!(e, TincaError::Io(IoError::BadBlock { blk: 77 }));
+        assert!(e.to_string().contains("77"));
     }
 }

@@ -33,7 +33,7 @@
 //! cache.commit(&txn).unwrap();
 //!
 //! let mut buf = [0u8; BLOCK_SIZE];
-//! cache.read(10, &mut buf);
+//! cache.read(10, &mut buf).unwrap();
 //! assert_eq!(buf[0], 0xAA);
 //! ```
 
@@ -49,7 +49,7 @@ mod recovery;
 mod stats;
 mod txn;
 
-pub use cache::{DynDisk, TincaCache};
+pub use cache::{DynDisk, Health, TincaCache};
 pub use config::{TincaConfig, WritePolicy};
 pub use entry::{CacheEntry, Role, FRESH};
 pub use error::TincaError;

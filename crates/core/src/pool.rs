@@ -43,7 +43,7 @@ use nvmsim::Nvm;
 use parking_lot::Mutex;
 
 use crate::cache::DynDisk;
-use crate::{CacheStats, TincaCache, TincaConfig, TincaError, Txn};
+use crate::{CacheStats, Health, TincaCache, TincaConfig, TincaError, Txn};
 
 /// Configuration for a [`TincaPool`].
 #[derive(Clone, Debug)]
@@ -337,16 +337,16 @@ impl TincaPool {
     }
 
     /// Reads on-disk block `disk_blk` through its home shard.
-    pub fn read(&self, disk_blk: u64, buf: &mut [u8]) {
+    pub fn read(&self, disk_blk: u64, buf: &mut [u8]) -> Result<(), TincaError> {
         assert_eq!(buf.len(), BLOCK_SIZE);
         let s = self.shard_of(disk_blk);
-        self.shards[s].cache.lock().read(disk_blk, buf);
+        self.shards[s].cache.lock().read(disk_blk, buf)
     }
 
     /// Reads without populating any cache (verification).
-    pub fn read_nocache(&self, disk_blk: u64, buf: &mut [u8]) {
+    pub fn read_nocache(&self, disk_blk: u64, buf: &mut [u8]) -> Result<(), TincaError> {
         let s = self.shard_of(disk_blk);
-        self.shards[s].cache.lock().read_nocache(disk_blk, buf);
+        self.shards[s].cache.lock().read_nocache(disk_blk, buf)
     }
 
     /// True if `disk_blk` is cached in its home shard.
@@ -362,9 +362,45 @@ impl TincaPool {
     }
 
     /// Writes back every dirty block of every shard (orderly shutdown).
-    pub fn flush_all(&self) {
+    /// Every shard gets its flush attempt even if an earlier one fails;
+    /// the first error is returned (see [`TincaCache::flush_all`]).
+    pub fn flush_all(&self) -> Result<(), TincaError> {
+        let mut first_err = Ok(());
         for sh in &self.shards {
-            sh.cache.lock().flush_all();
+            let res = sh.cache.lock().flush_all();
+            if first_err.is_ok() {
+                first_err = res;
+            }
+        }
+        first_err
+    }
+
+    /// Pool-wide fault condition: `Healthy` when every shard is healthy,
+    /// `ReadOnly` when every shard is read-only, otherwise `Degraded` with
+    /// the total quarantined count — one shard on a dead disk degrades the
+    /// pool but the other shards keep committing.
+    pub fn health(&self) -> Health {
+        let mut quarantined = 0usize;
+        let mut any_fault = false;
+        let mut all_read_only = true;
+        for sh in &self.shards {
+            let cache = sh.cache.lock();
+            match cache.health() {
+                Health::Healthy => all_read_only = false,
+                Health::Degraded { .. } => {
+                    any_fault = true;
+                    all_read_only = false;
+                }
+                Health::ReadOnly => any_fault = true,
+            }
+            quarantined += cache.quarantined_count();
+        }
+        if !any_fault {
+            Health::Healthy
+        } else if all_read_only {
+            Health::ReadOnly
+        } else {
+            Health::Degraded { quarantined }
         }
     }
 

@@ -42,18 +42,31 @@ impl TincaCache {
             return Err(TincaError::BadMagic { found: magic });
         }
         let layout = Layout::compute(nvm.capacity(), cfg.ring_bytes);
-        let ring_cap = nvm.read_u64(RING_CAP_OFF);
-        let entry_count = nvm.read_u64(ENTRY_COUNT_OFF);
-        let data_blocks = nvm.read_u64(DATA_BLOCKS_OFF);
-        assert_eq!(
-            (ring_cap, entry_count, data_blocks),
+        // Geometry must agree field-by-field before any derived address is
+        // trusted: recovering with a different ring_bytes or capacity would
+        // misaddress every entry and data block.
+        let checks = [
+            ("ring_cap", nvm.read_u64(RING_CAP_OFF), layout.ring_cap),
             (
-                layout.ring_cap,
+                "entry_count",
+                nvm.read_u64(ENTRY_COUNT_OFF),
                 layout.entry_count as u64,
-                layout.data_blocks as u64
             ),
-            "NVM header does not match configuration (changed ring_bytes or capacity?)"
-        );
+            (
+                "data_blocks",
+                nvm.read_u64(DATA_BLOCKS_OFF),
+                layout.data_blocks as u64,
+            ),
+        ];
+        for (field, found, expected) in checks {
+            if found != expected {
+                return Err(TincaError::GeometryMismatch {
+                    field,
+                    found,
+                    expected,
+                });
+            }
+        }
         let head = nvm.read_u64(HEAD_OFF);
         let tail = nvm.read_u64(TAIL_OFF);
         let mut cache = Self::recovery_parts(nvm, disk, cfg, layout, head, tail);
@@ -145,13 +158,16 @@ impl TincaCache {
     }
 
     /// Reads `disk_blk` *without* populating the cache — used by recovery
-    /// verifiers to compare post-crash contents against an oracle.
-    pub fn read_nocache(&self, disk_blk: u64, buf: &mut [u8]) {
+    /// verifiers to compare post-crash contents against an oracle. No
+    /// retry loop: verifiers run with fault injection disabled, so an
+    /// error here is a real harness bug and is surfaced as-is.
+    pub fn read_nocache(&self, disk_blk: u64, buf: &mut [u8]) -> Result<(), TincaError> {
         assert_eq!(buf.len(), BLOCK_SIZE);
         if let Some(data) = self.peek(disk_blk) {
             buf.copy_from_slice(&data);
+            Ok(())
         } else {
-            self.disk().read_block(disk_blk, buf);
+            self.disk().read_block(disk_blk, buf).map_err(Into::into)
         }
     }
 }

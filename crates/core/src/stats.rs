@@ -36,6 +36,19 @@ pub struct CacheStats {
     pub revoked_blocks: u64,
     /// Recovery passes executed.
     pub recoveries: u64,
+    /// Disk I/O attempts repeated after a transient error (each retry of
+    /// each request counts once).
+    pub io_retries: u64,
+    /// Disk requests that ultimately succeeded after ≥ 1 transient error
+    /// (the retry loop absorbed the fault).
+    pub transient_errors_absorbed: u64,
+    /// Disk requests that failed permanently: a non-transient error, or
+    /// transient errors exhausting the retry budget.
+    pub permanent_io_errors: u64,
+    /// Dirty blocks quarantined in NVM after a permanent writeback
+    /// failure (cumulative; blocks later flushed successfully still
+    /// count).
+    pub quarantined_blocks: u64,
 }
 
 impl CacheStats {
@@ -74,6 +87,10 @@ impl CacheStats {
             writebacks: self.writebacks - e.writebacks,
             revoked_blocks: self.revoked_blocks - e.revoked_blocks,
             recoveries: self.recoveries - e.recoveries,
+            io_retries: self.io_retries - e.io_retries,
+            transient_errors_absorbed: self.transient_errors_absorbed - e.transient_errors_absorbed,
+            permanent_io_errors: self.permanent_io_errors - e.permanent_io_errors,
+            quarantined_blocks: self.quarantined_blocks - e.quarantined_blocks,
         }
     }
 
@@ -96,6 +113,10 @@ impl CacheStats {
             writebacks: self.writebacks + o.writebacks,
             revoked_blocks: self.revoked_blocks + o.revoked_blocks,
             recoveries: self.recoveries + o.recoveries,
+            io_retries: self.io_retries + o.io_retries,
+            transient_errors_absorbed: self.transient_errors_absorbed + o.transient_errors_absorbed,
+            permanent_io_errors: self.permanent_io_errors + o.permanent_io_errors,
+            quarantined_blocks: self.quarantined_blocks + o.quarantined_blocks,
         }
     }
 }
@@ -144,6 +165,8 @@ mod tests {
             evictions: 3,
             failed_commits: 1,
             coalesced_writes: 4,
+            io_retries: 6,
+            quarantined_blocks: 2,
             ..Default::default()
         };
         let d = b.delta(&a);
@@ -151,6 +174,8 @@ mod tests {
         assert_eq!(d.evictions, 3);
         assert_eq!(d.failed_commits, 1);
         assert_eq!(d.coalesced_writes, 4);
+        assert_eq!(d.io_retries, 6);
+        assert_eq!(d.quarantined_blocks, 2);
     }
 
     #[test]

@@ -79,7 +79,7 @@ fn batched_commit_reads_back_and_recovers() {
     rec.check_consistency().unwrap();
     let mut buf = [0u8; BLOCK_SIZE];
     for i in 0..16u64 {
-        rec.read_nocache(i, &mut buf);
+        rec.read_nocache(i, &mut buf).unwrap();
         assert_eq!(buf, blk(10), "block {i}");
     }
 }
@@ -129,7 +129,7 @@ fn batched_crash_sweep_is_atomic() {
         let versions: Vec<u8> = blocks
             .iter()
             .map(|&b| {
-                rec.read_nocache(b, &mut buf);
+                rec.read_nocache(b, &mut buf).unwrap();
                 assert!(
                     buf.iter().all(|&x| x == buf[0]),
                     "torn payload at trip {trip}"

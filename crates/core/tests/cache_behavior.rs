@@ -37,7 +37,7 @@ fn commit_then_read_back() {
 
     let mut buf = [0u8; BLOCK_SIZE];
     for (b, v) in [(100u64, 1u8), (200, 2), (300, 3)] {
-        cache.read(b, &mut buf);
+        cache.read(b, &mut buf).unwrap();
         assert_eq!(buf, blk(v));
     }
     let s = cache.stats();
@@ -69,7 +69,7 @@ fn write_hit_uses_cow_and_counts_hit() {
     cache.commit(&t2).unwrap();
 
     let mut buf = [0u8; BLOCK_SIZE];
-    cache.read(7, &mut buf);
+    cache.read(7, &mut buf).unwrap();
     assert_eq!(buf, blk(2));
     let s = cache.stats();
     assert_eq!(s.write_misses, 1);
@@ -82,14 +82,14 @@ fn write_hit_uses_cow_and_counts_hit() {
 #[test]
 fn read_miss_fills_cache() {
     let (mut cache, _, disk, _) = setup(1 << 20, 4096);
-    disk.write_block(42, &blk(9));
+    disk.write_block(42, &blk(9)).unwrap();
     let mut buf = [0u8; BLOCK_SIZE];
-    cache.read(42, &mut buf);
+    cache.read(42, &mut buf).unwrap();
     assert_eq!(buf, blk(9));
     assert_eq!(cache.stats().read_misses, 1);
     // Second read hits NVM.
     let reads_before = disk.stats().reads;
-    cache.read(42, &mut buf);
+    cache.read(42, &mut buf).unwrap();
     assert_eq!(cache.stats().read_hits, 1);
     assert_eq!(disk.stats().reads, reads_before);
     cache.check_consistency().unwrap();
@@ -107,8 +107,8 @@ fn read_caching_can_be_disabled() {
     };
     let mut cache = TincaCache::format(nvm, disk.clone(), cfg);
     let mut buf = [0u8; BLOCK_SIZE];
-    cache.read(5, &mut buf);
-    cache.read(5, &mut buf);
+    cache.read(5, &mut buf).unwrap();
+    cache.read(5, &mut buf).unwrap();
     assert_eq!(cache.stats().read_misses, 2);
     assert_eq!(cache.cached_blocks(), 0);
 }
@@ -130,7 +130,7 @@ fn eviction_writes_back_dirty_lru_block() {
     assert!(disk.stats().writes >= 4, "dirty victims must reach disk");
     // The earliest (LRU) blocks were evicted; their data must be on disk.
     let mut buf = [0u8; BLOCK_SIZE];
-    disk.read_block(0, &mut buf);
+    disk.read_block(0, &mut buf).unwrap();
     assert_eq!(buf, blk(0));
     cache.check_consistency().unwrap();
 }
@@ -142,7 +142,7 @@ fn clean_eviction_does_not_touch_disk() {
     // Fill with clean read-misses only.
     let mut buf = [0u8; BLOCK_SIZE];
     for i in 0..n + 4 {
-        cache.read(i, &mut buf);
+        cache.read(i, &mut buf).unwrap();
     }
     assert!(cache.stats().evictions >= 4);
     assert_eq!(
@@ -195,7 +195,7 @@ fn txn_too_big_for_cache_is_rejected_cleanly() {
     assert_eq!(s.revoked_blocks, 0, "no revocation on clean rejection");
     // Previously committed contents are untouched.
     let mut buf = [0u8; BLOCK_SIZE];
-    cache.read(0, &mut buf);
+    cache.read(0, &mut buf).unwrap();
     assert_eq!(buf, blk(1));
     cache.check_consistency().unwrap();
 }
@@ -217,7 +217,7 @@ fn full_capacity_fresh_txn_is_admitted() {
     assert_eq!(cache.cached_blocks(), n);
     let mut buf = [0u8; BLOCK_SIZE];
     for i in 0..n as u64 {
-        cache.read(i, &mut buf);
+        cache.read(i, &mut buf).unwrap();
         assert_eq!(buf, blk(3));
     }
     cache.check_consistency().unwrap();
@@ -246,14 +246,14 @@ fn failed_commit_rolls_back_previous_values() {
         Ok(()) => {
             // Fine on this geometry — all version 2.
             let mut buf = [0u8; BLOCK_SIZE];
-            cache.read(0, &mut buf);
+            cache.read(0, &mut buf).unwrap();
             assert_eq!(buf, blk(2));
         }
         Err(_) => {
             // Rolled back: all version 1 readable.
             let mut buf = [0u8; BLOCK_SIZE];
             for i in 0..n / 2 {
-                cache.read(i, &mut buf);
+                cache.read(i, &mut buf).unwrap();
                 assert_eq!(buf, blk(1), "block {i} must hold the old version");
             }
         }
@@ -309,7 +309,7 @@ fn ablation_double_write_costs_two_payload_writes() {
     );
     // Data still correct.
     let mut buf = [0u8; BLOCK_SIZE];
-    cache.read(3, &mut buf);
+    cache.read(3, &mut buf).unwrap();
     assert_eq!(buf, blk(3));
     cache.check_consistency().unwrap();
 }
@@ -329,7 +329,7 @@ fn write_through_policy_reaches_disk_immediately() {
     txn.write(9, &blk(5));
     cache.commit(&txn).unwrap();
     let mut buf = [0u8; BLOCK_SIZE];
-    disk.read_block(9, &mut buf);
+    disk.read_block(9, &mut buf).unwrap();
     assert_eq!(buf, blk(5));
     cache.check_consistency().unwrap();
 }
@@ -342,15 +342,15 @@ fn flush_all_persists_everything_to_disk() {
         t.write(i, &blk(i as u8 + 1));
         cache.commit(&t).unwrap();
     }
-    cache.flush_all();
+    cache.flush_all().unwrap();
     let mut buf = [0u8; BLOCK_SIZE];
     for i in 0..10u64 {
-        disk.read_block(i, &mut buf);
+        disk.read_block(i, &mut buf).unwrap();
         assert_eq!(buf, blk(i as u8 + 1));
     }
     // Flushing twice writes nothing new.
     let w = disk.stats().writes;
-    cache.flush_all();
+    cache.flush_all().unwrap();
     assert_eq!(disk.stats().writes, w);
     cache.check_consistency().unwrap();
 }
@@ -366,7 +366,7 @@ fn lru_order_respected_on_eviction() {
     }
     // Touch block 0 so it becomes MRU; block 1 is now LRU.
     let mut buf = [0u8; BLOCK_SIZE];
-    cache.read(0, &mut buf);
+    cache.read(0, &mut buf).unwrap();
     // Trigger one eviction.
     let mut t = cache.init_txn();
     t.write(n + 1, &blk(2));
@@ -374,7 +374,7 @@ fn lru_order_respected_on_eviction() {
     assert!(cache.contains(0), "recently-touched block must survive");
     assert!(!cache.contains(1), "LRU block must be the victim");
     let mut dbuf = [0u8; BLOCK_SIZE];
-    disk.read_block(1, &mut dbuf);
+    disk.read_block(1, &mut dbuf).unwrap();
     assert_eq!(dbuf, blk(1));
 }
 
@@ -443,7 +443,7 @@ fn many_blocks_one_txn_all_visible() {
     cache.commit(&txn).unwrap();
     let mut buf = [0u8; BLOCK_SIZE];
     for i in 0..200u64 {
-        cache.read(i * 3, &mut buf);
+        cache.read(i * 3, &mut buf).unwrap();
         assert_eq!(buf, blk((i % 251) as u8));
     }
     cache.check_consistency().unwrap();
@@ -457,7 +457,7 @@ fn disk_sees_old_version_until_eviction() {
     cache.commit(&t).unwrap();
     // Write-back: the disk still has zeroes.
     let mut buf = [0u8; BLOCK_SIZE];
-    disk.read_block(5, &mut buf);
+    disk.read_block(5, &mut buf).unwrap();
     assert_eq!(buf, blk(0));
     let d = Arc::clone(cache.disk());
     assert_eq!(d.stats().writes, 0);

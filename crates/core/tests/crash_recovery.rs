@@ -43,7 +43,7 @@ fn blk(byte: u8) -> [u8; BLOCK_SIZE] {
 /// and returns its first byte (our block payloads are constant-filled).
 fn observed(cache: &TincaCache, b: u64) -> u8 {
     let mut buf = [0u8; BLOCK_SIZE];
-    cache.read_nocache(b, &mut buf);
+    cache.read_nocache(b, &mut buf).unwrap();
     let first = buf[0];
     assert!(
         buf.iter().all(|&x| x == first),
@@ -465,4 +465,46 @@ fn recovery_across_ring_wraparound() {
     if !crashed {
         assert!(all_new);
     }
+}
+
+/// Recovering with a config whose geometry disagrees with the NVM header
+/// must fail with a structured error naming the first mismatching field —
+/// not panic — and must leave the region recoverable with the right
+/// config. (Regression: this used to be an `assert_eq!`.)
+#[test]
+fn recover_with_wrong_geometry_returns_structured_error() {
+    let (nvm, disk) = fresh_stack();
+    let cfg = TincaConfig {
+        ring_bytes: RING_BYTES,
+        ..TincaConfig::default()
+    };
+    let mut cache = TincaCache::format(nvm.clone(), disk.clone(), cfg.clone());
+    let mut t = cache.init_txn();
+    t.write(3, &blk(0x42));
+    cache.commit(&t).unwrap();
+    drop(cache);
+
+    let wrong = TincaConfig {
+        ring_bytes: RING_BYTES * 2,
+        ..TincaConfig::default()
+    };
+    match TincaCache::recover(nvm.clone(), disk.clone(), wrong) {
+        Err(TincaError::GeometryMismatch {
+            field,
+            found,
+            expected,
+        }) => {
+            assert_eq!(field, "ring_cap");
+            assert_eq!(found, (RING_BYTES / 8) as u64);
+            assert_eq!(expected, (RING_BYTES * 2 / 8) as u64);
+        }
+        Err(other) => panic!("expected GeometryMismatch, got {other:?}"),
+        Ok(_) => panic!("recovery with wrong geometry must fail"),
+    }
+
+    // The failed attempt read the header only; the right config recovers
+    // the region and the committed block intact.
+    let cache = TincaCache::recover(nvm, disk, cfg).unwrap();
+    cache.check_consistency().unwrap();
+    assert_eq!(observed(&cache, 3), 0x42);
 }

@@ -72,9 +72,9 @@ fn single_shard_pool_matches_bare_cache_bit_for_bit() {
         }
         cache.commit(&ta).unwrap();
         p.commit(tb).unwrap();
-        cache.read(round % 7, &mut buf);
+        cache.read(round % 7, &mut buf).unwrap();
         let mut buf2 = [0u8; BLOCK_SIZE];
-        p.read(round % 7, &mut buf2);
+        p.read(round % 7, &mut buf2).unwrap();
         assert_eq!(buf, buf2);
     }
 
@@ -110,7 +110,7 @@ fn blocks_route_to_home_shards_and_read_back() {
     for b in 0..64u64 {
         assert_eq!(p.shard_of(b), (b % 4) as usize);
         assert!(p.contains(b));
-        p.read(b, &mut buf);
+        p.read(b, &mut buf).unwrap();
         assert_eq!(buf, blk((b % 251) as u8));
     }
     // 64 blocks spread evenly: every shard committed 16.
@@ -133,7 +133,7 @@ fn spanning_txn_lands_on_every_shard() {
     p.commit(t).unwrap();
     let mut buf = [0u8; BLOCK_SIZE];
     for (b, v) in [(0u64, 1u8), (1, 2), (2, 3)] {
-        p.read(b, &mut buf);
+        p.read(b, &mut buf).unwrap();
         assert_eq!(buf, blk(v));
     }
     assert_eq!(p.shard_stats(0).committed_blocks, 2);
@@ -185,8 +185,8 @@ fn commit_many_batches_into_one_ring_commit() {
     let mut a = [0u8; BLOCK_SIZE];
     let mut b = [0u8; BLOCK_SIZE];
     for i in 0..8u64 {
-        p.read(i, &mut a);
-        baseline.read(i, &mut b);
+        p.read(i, &mut a).unwrap();
+        baseline.read(i, &mut b).unwrap();
         assert_eq!(a, b);
     }
     p.check_consistency().unwrap();
@@ -202,7 +202,7 @@ fn commit_many_coalesces_overlapping_txns_last_writer_wins() {
     let results = p.commit_many(vec![t1, t2]);
     assert!(results.iter().all(Result::is_ok));
     let mut buf = [0u8; BLOCK_SIZE];
-    p.read(5, &mut buf);
+    p.read(5, &mut buf).unwrap();
     assert_eq!(buf, blk(2), "later transaction in the batch must win");
     let s = p.stats();
     assert_eq!(s.commits, 1);
@@ -243,7 +243,7 @@ fn multithreaded_stress_rounds_preserve_consistency() {
                     // Read-your-writes immediately after commit.
                     for k in 0..BLOCKS_PER_THREAD {
                         let b = t as u64 + 8 * k;
-                        p.read(b, &mut buf);
+                        p.read(b, &mut buf).unwrap();
                         assert_eq!(
                             buf,
                             blk((round + 1) as u8),
@@ -261,7 +261,7 @@ fn multithreaded_stress_rounds_preserve_consistency() {
     for t in 0..THREADS as u64 {
         for k in 0..BLOCKS_PER_THREAD {
             let b = t + 8 * k;
-            p.read(b, &mut buf);
+            p.read(b, &mut buf).unwrap();
             assert_eq!(buf, blk(ROUNDS as u8), "block {b} must hold final round");
         }
     }
@@ -301,9 +301,102 @@ fn pool_recovers_all_shards_after_clean_shutdown() {
     let p = TincaPool::recover(devices, disk, cfg).unwrap();
     let mut buf = [0u8; BLOCK_SIZE];
     for b in 0..32u64 {
-        p.read(b, &mut buf);
+        p.read(b, &mut buf).unwrap();
         assert_eq!(buf, blk((b + 1) as u8), "block {b} lost across remount");
     }
     p.check_consistency().unwrap();
     assert_eq!(p.stats().recoveries, 4, "each shard runs its own recovery");
+}
+
+/// One shard's disk turns permanently bad: its writebacks quarantine and
+/// the pool reports `Degraded`, while every other shard flushes clean and
+/// all shards — including the bad one — keep committing (write-back holds
+/// the data in NVM). After a reboot, recovery must not need the disk and
+/// every durable block must still read back.
+#[test]
+fn one_bad_shard_degrades_pool_but_commits_continue() {
+    use blockdev::{FaultPlan, FaultyDisk};
+    use nvmsim::CrashPolicy;
+    use tinca::Health;
+
+    let shards = 4usize;
+    let devices = shard_devices(&NvmConfig::new(1 << 20, NvmTech::Pcm), shards);
+    let disk = SimDisk::new(DiskKind::Ssd, 1 << 20, SimClock::new());
+    // Pool routing sends disk block `b` to shard `b % shards`: a bad-modulo
+    // fault plan with residue 2 kills exactly shard 2's backing store.
+    let faulty = FaultyDisk::new(disk, FaultPlan::quiet(11).with_bad_modulo(shards as u64, 2));
+    let mk_cfg = || PoolConfig {
+        shards,
+        cache: cache_cfg(),
+        ..PoolConfig::default()
+    };
+    let pool = TincaPool::format(devices.clone(), faulty.clone(), mk_cfg());
+
+    // Group-commit a batch touching every shard.
+    let txns: Vec<Txn> = (0..64u64)
+        .collect::<Vec<_>>()
+        .chunks(4)
+        .map(|ch| {
+            let mut t = pool.init_txn();
+            for &b in ch {
+                t.write(b, &blk(b as u8 + 1));
+            }
+            t
+        })
+        .collect();
+    for r in pool.commit_many(txns) {
+        r.unwrap();
+    }
+    assert_eq!(pool.health(), Health::Healthy);
+
+    // Orderly flush: shard 2's writebacks fail permanently and quarantine;
+    // the other shards flush clean.
+    assert!(
+        pool.flush_all().is_err(),
+        "flush over a bad shard must surface the error"
+    );
+    let q = pool.with_shard(2, |c| c.quarantined_count());
+    assert!(q > 0, "shard 2 must quarantine its dirty blocks");
+    assert!(pool.shard_stats(2).permanent_io_errors > 0);
+    for s in [0usize, 1, 3] {
+        assert_eq!(pool.with_shard(s, |c| c.quarantined_count()), 0);
+        assert_eq!(pool.shard_stats(s).permanent_io_errors, 0);
+    }
+    match pool.health() {
+        Health::Degraded { quarantined } => assert_eq!(quarantined, q),
+        h => panic!("expected Degraded, got {h:?}"),
+    }
+
+    // The pool keeps serving: commits on every shard still succeed.
+    for b in 0..8u64 {
+        let mut t = pool.init_txn();
+        t.write(b, &blk(0xA0 + b as u8));
+        pool.commit(t).unwrap();
+    }
+    let expect = |b: u64| {
+        if b < 8 {
+            0xA0 + b as u8
+        } else {
+            b as u8 + 1
+        }
+    };
+    let mut buf = [0u8; BLOCK_SIZE];
+    for b in 0..64u64 {
+        pool.read_nocache(b, &mut buf).unwrap();
+        assert_eq!(buf[0], expect(b), "block {b} before reboot");
+    }
+
+    // Reboot with the disk still bad: recovery reads NVM only, internal
+    // invariants hold, and every durable block reads back — shard 2's from
+    // its pinned-dirty NVM copies.
+    drop(pool);
+    for d in &devices {
+        d.crash(CrashPolicy::LoseVolatile);
+    }
+    let pool = TincaPool::recover(devices, faulty, mk_cfg()).unwrap();
+    pool.check_consistency().unwrap();
+    for b in 0..64u64 {
+        pool.read_nocache(b, &mut buf).unwrap();
+        assert_eq!(buf[0], expect(b), "block {b} after recovery");
+    }
 }

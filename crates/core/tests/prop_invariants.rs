@@ -75,7 +75,7 @@ proptest! {
                 }
                 Op::Read(b) => {
                     let mut buf = [0u8; BLOCK_SIZE];
-                    cache.read(b, &mut buf);
+                    cache.read(b, &mut buf).unwrap();
                     let want = model.get(&b).copied().unwrap_or(0);
                     prop_assert_eq!(buf, blk(want), "read mismatch on block {}", b);
                 }
@@ -96,7 +96,7 @@ proptest! {
         // Final sweep: the full model must be readable.
         let mut buf = [0u8; BLOCK_SIZE];
         for (&b, &v) in &model {
-            cache.read(b, &mut buf);
+            cache.read(b, &mut buf).unwrap();
             prop_assert_eq!(buf, blk(v), "final sweep mismatch on block {}", b);
         }
     }
@@ -144,7 +144,7 @@ proptest! {
         let versions: Vec<(u64, u8)> = touched
             .iter()
             .map(|&b| {
-                rec.read_nocache(b, &mut buf);
+                rec.read_nocache(b, &mut buf).unwrap();
                 prop_assert!(buf.iter().all(|&x| x == buf[0]), "torn payload");
                 Ok((b, buf[0]))
             })
@@ -159,7 +159,7 @@ proptest! {
         }
         // Blocks untouched by the crashing txn keep their committed values.
         for (&b, &v) in model.iter().filter(|(b, _)| !touched.contains(b)) {
-            rec.read_nocache(b, &mut buf);
+            rec.read_nocache(b, &mut buf).unwrap();
             prop_assert_eq!(buf, blk(v), "unrelated block {} damaged", b);
         }
     }

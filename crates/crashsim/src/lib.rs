@@ -23,11 +23,16 @@
 //! assert!(report.clean(), "no consistency violations: {:?}", report.violations);
 //! ```
 
+mod faultfuzz;
 mod fuzz;
 mod harness;
 mod oracle;
 mod poolfuzz;
 
+pub use faultfuzz::{
+    fault_fuzz_campaign, fault_fuzz_one, fault_fuzz_one_detailed, FaultFuzzOutcome,
+    FaultFuzzReport, FaultRunStats,
+};
 pub use fuzz::{
     fuzz_one, fuzz_one_mode, fuzz_system, fuzz_system_mode, FailureMode, FuzzOutcome, FuzzReport,
 };

@@ -189,7 +189,7 @@ fn verify(
         if staged.contains_key(&b) {
             continue; // judged as part of the fragment check below
         }
-        pool.read(b, &mut buf);
+        pool.read(b, &mut buf).expect("poolfuzz runs fault-free");
         if buf != fill(v) {
             return Err(format!(
                 "durable block {b}: expected fill {v:#x}, read {:#x}",
@@ -209,7 +209,7 @@ fn verify(
         let mut news = 0usize;
         let mut olds = 0usize;
         for &(b, v) in &frag {
-            pool.read(b, &mut buf);
+            pool.read(b, &mut buf).expect("poolfuzz runs fault-free");
             if buf == fill(v) {
                 news += 1;
             } else if buf == fill(durable.get(&b).copied().unwrap_or(0)) {

@@ -8,14 +8,19 @@ use tinca::TincaCache;
 use ubj::UbjCache;
 
 /// What the file system needs from the layer below it.
+///
+/// All I/O is fallible: the storage substrate can inject transient and
+/// permanent disk faults, and each backend either absorbs them (Tinca's
+/// retry/quarantine machinery) or surfaces them as a `String` the file
+/// system wraps in `FsError::Backend`.
 pub trait CacheBackend {
     /// Reads one block (cache-aware).
-    fn read(&mut self, blk: u64, buf: &mut [u8]);
+    fn read(&mut self, blk: u64, buf: &mut [u8]) -> Result<(), String>;
 
     /// Durably writes one block (used by JBD2 and no-journal modes; every
     /// call is persistent when it returns, which is the ordering JBD2's
     /// commit-record protocol relies on).
-    fn write_block(&mut self, blk: u64, data: &[u8]);
+    fn write_block(&mut self, blk: u64, data: &[u8]) -> Result<(), String>;
 
     /// Atomically commits a set of blocks (used by Tinca mode).
     /// Backends without transactional support return an error.
@@ -25,10 +30,10 @@ pub trait CacheBackend {
     fn supports_txn(&self) -> bool;
 
     /// Writes every dirty cached block to disk (orderly shutdown).
-    fn flush_all(&mut self);
+    fn flush_all(&mut self) -> Result<(), String>;
 
     /// Reads without populating the cache (verification).
-    fn read_nocache(&self, blk: u64, buf: &mut [u8]);
+    fn read_nocache(&self, blk: u64, buf: &mut [u8]) -> Result<(), String>;
 
     /// Cache-internal invariant check (verification harnesses).
     fn check(&self) -> Result<(), String> {
@@ -75,16 +80,14 @@ impl CacheBackend for TincaBackend {
         self
     }
 
-    fn read(&mut self, blk: u64, buf: &mut [u8]) {
-        self.cache.read(blk, buf);
+    fn read(&mut self, blk: u64, buf: &mut [u8]) -> Result<(), String> {
+        self.cache.read(blk, buf).map_err(|e| e.to_string())
     }
 
-    fn write_block(&mut self, blk: u64, data: &[u8]) {
+    fn write_block(&mut self, blk: u64, data: &[u8]) -> Result<(), String> {
         let mut txn = self.cache.init_txn();
         txn.write(blk, data);
-        self.cache
-            .commit(&txn)
-            .expect("single-block commit cannot exceed limits");
+        self.cache.commit(&txn).map_err(|e| e.to_string())
     }
 
     fn commit_txn(&mut self, blocks: &[(u64, Box<[u8; BLOCK_SIZE]>)]) -> Result<(), String> {
@@ -99,12 +102,12 @@ impl CacheBackend for TincaBackend {
         true
     }
 
-    fn flush_all(&mut self) {
-        self.cache.flush_all();
+    fn flush_all(&mut self) -> Result<(), String> {
+        self.cache.flush_all().map_err(|e| e.to_string())
     }
 
-    fn read_nocache(&self, blk: u64, buf: &mut [u8]) {
-        self.cache.read_nocache(blk, buf);
+    fn read_nocache(&self, blk: u64, buf: &mut [u8]) -> Result<(), String> {
+        self.cache.read_nocache(blk, buf).map_err(|e| e.to_string())
     }
 
     fn check(&self) -> Result<(), String> {
@@ -146,12 +149,14 @@ impl CacheBackend for ClassicBackend {
         self
     }
 
-    fn read(&mut self, blk: u64, buf: &mut [u8]) {
+    fn read(&mut self, blk: u64, buf: &mut [u8]) -> Result<(), String> {
         self.cache.read(blk, buf);
+        Ok(())
     }
 
-    fn write_block(&mut self, blk: u64, data: &[u8]) {
+    fn write_block(&mut self, blk: u64, data: &[u8]) -> Result<(), String> {
         self.cache.write(blk, data);
+        Ok(())
     }
 
     fn commit_txn(&mut self, _blocks: &[(u64, Box<[u8; BLOCK_SIZE]>)]) -> Result<(), String> {
@@ -162,12 +167,14 @@ impl CacheBackend for ClassicBackend {
         false
     }
 
-    fn flush_all(&mut self) {
+    fn flush_all(&mut self) -> Result<(), String> {
         self.cache.flush_all();
+        Ok(())
     }
 
-    fn read_nocache(&self, blk: u64, buf: &mut [u8]) {
+    fn read_nocache(&self, blk: u64, buf: &mut [u8]) -> Result<(), String> {
         self.cache.read_nocache(blk, buf);
+        Ok(())
     }
 
     fn check(&self) -> Result<(), String> {
@@ -209,16 +216,15 @@ impl CacheBackend for UbjBackend {
         self
     }
 
-    fn read(&mut self, blk: u64, buf: &mut [u8]) {
+    fn read(&mut self, blk: u64, buf: &mut [u8]) -> Result<(), String> {
         self.cache.read(blk, buf);
+        Ok(())
     }
 
-    fn write_block(&mut self, blk: u64, data: &[u8]) {
+    fn write_block(&mut self, blk: u64, data: &[u8]) -> Result<(), String> {
         let mut b: Box<[u8; BLOCK_SIZE]> = Box::new([0u8; BLOCK_SIZE]);
         b.copy_from_slice(data);
-        self.cache
-            .commit_txn(&[(blk, b)])
-            .expect("single-block commit");
+        self.cache.commit_txn(&[(blk, b)])
     }
 
     fn commit_txn(&mut self, blocks: &[(u64, Box<[u8; BLOCK_SIZE]>)]) -> Result<(), String> {
@@ -229,12 +235,14 @@ impl CacheBackend for UbjBackend {
         true
     }
 
-    fn flush_all(&mut self) {
+    fn flush_all(&mut self) -> Result<(), String> {
         self.cache.checkpoint_all();
+        Ok(())
     }
 
-    fn read_nocache(&self, blk: u64, buf: &mut [u8]) {
+    fn read_nocache(&self, blk: u64, buf: &mut [u8]) -> Result<(), String> {
         self.cache.read_nocache(blk, buf);
+        Ok(())
     }
 
     fn check(&self) -> Result<(), String> {
@@ -271,12 +279,12 @@ impl CacheBackend for RawDiskBackend {
         self
     }
 
-    fn read(&mut self, blk: u64, buf: &mut [u8]) {
-        self.disk.read_block(blk, buf);
+    fn read(&mut self, blk: u64, buf: &mut [u8]) -> Result<(), String> {
+        self.disk.read_block(blk, buf).map_err(|e| e.to_string())
     }
 
-    fn write_block(&mut self, blk: u64, data: &[u8]) {
-        self.disk.write_block(blk, data);
+    fn write_block(&mut self, blk: u64, data: &[u8]) -> Result<(), String> {
+        self.disk.write_block(blk, data).map_err(|e| e.to_string())
     }
 
     fn commit_txn(&mut self, _blocks: &[(u64, Box<[u8; BLOCK_SIZE]>)]) -> Result<(), String> {
@@ -287,10 +295,12 @@ impl CacheBackend for RawDiskBackend {
         false
     }
 
-    fn flush_all(&mut self) {}
+    fn flush_all(&mut self) -> Result<(), String> {
+        Ok(())
+    }
 
-    fn read_nocache(&self, blk: u64, buf: &mut [u8]) {
-        self.disk.read_block(blk, buf);
+    fn read_nocache(&self, blk: u64, buf: &mut [u8]) -> Result<(), String> {
+        self.disk.read_block(blk, buf).map_err(|e| e.to_string())
     }
 }
 
@@ -318,7 +328,7 @@ mod tests {
         let blocks = vec![(5u64, Box::new([7u8; BLOCK_SIZE]))];
         be.commit_txn(&blocks).unwrap();
         let mut buf = [0u8; BLOCK_SIZE];
-        be.read(5, &mut buf);
+        be.read(5, &mut buf).unwrap();
         assert_eq!(buf[0], 7);
     }
 
@@ -338,9 +348,9 @@ mod tests {
         let mut be = ClassicBackend::new(cache);
         assert!(!be.supports_txn());
         assert!(be.commit_txn(&[]).is_err());
-        be.write_block(3, &[9u8; BLOCK_SIZE]);
+        be.write_block(3, &[9u8; BLOCK_SIZE]).unwrap();
         let mut buf = [0u8; BLOCK_SIZE];
-        be.read(3, &mut buf);
+        be.read(3, &mut buf).unwrap();
         assert_eq!(buf[0], 9);
     }
 
@@ -348,9 +358,9 @@ mod tests {
     fn raw_disk_round_trip() {
         let disk = SimDisk::new(DiskKind::Ssd, 1 << 10, SimClock::new());
         let mut be = RawDiskBackend::new(disk);
-        be.write_block(1, &[3u8; BLOCK_SIZE]);
+        be.write_block(1, &[3u8; BLOCK_SIZE]).unwrap();
         let mut buf = [0u8; BLOCK_SIZE];
-        be.read_nocache(1, &mut buf);
+        be.read_nocache(1, &mut buf).unwrap();
         assert_eq!(buf[0], 3);
     }
 }

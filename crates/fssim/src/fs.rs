@@ -116,8 +116,12 @@ impl FsSim {
             JournalMode::Jbd2 => 1,
             JournalMode::Tinca => 2,
         };
-        backend.write_block(0, &sb);
-        let journal = (mode == JournalMode::Jbd2).then(|| Jbd2::format(&geo, &mut *backend));
+        backend.write_block(0, &sb).map_err(FsError::Backend)?;
+        let journal = if mode == JournalMode::Jbd2 {
+            Some(Jbd2::format(&geo, &mut *backend).map_err(FsError::Backend)?)
+        } else {
+            None
+        };
         Ok(Self::fresh(backend, geo, mode, journal))
     }
 
@@ -129,7 +133,7 @@ impl FsSim {
     /// already have happened when constructing the backend.)
     pub fn mount(mut backend: Box<dyn CacheBackend>, geo: Geometry) -> Result<FsSim, FsError> {
         let mut sb = [0u8; BLOCK_SIZE];
-        backend.read(0, &mut sb);
+        backend.read(0, &mut sb).map_err(FsError::Backend)?;
         if u64::from_le_bytes(sb[0..8].try_into().unwrap()) != SB_MAGIC {
             return Err(FsError::BadSuperblock("magic mismatch".into()));
         }
@@ -152,7 +156,7 @@ impl FsSim {
             _ => None,
         };
         let mut fs = Self::fresh(backend, geo, mode, journal);
-        fs.rebuild_mirrors();
+        fs.rebuild_mirrors()?;
         Ok(fs)
     }
 
@@ -183,14 +187,16 @@ impl FsSim {
 
     /// Rebuilds names/inodes/bitmap mirrors by scanning the metadata
     /// regions through the cache.
-    fn rebuild_mirrors(&mut self) {
+    fn rebuild_mirrors(&mut self) -> Result<(), FsError> {
         let geo = self.geo;
         let mut block = [0u8; BLOCK_SIZE];
         // Names.
         self.names.clear();
         self.free_name_slots.clear();
         for nb in 0..geo.name_blocks {
-            self.backend.read(geo.name_off + nb, &mut block);
+            self.backend
+                .read(geo.name_off + nb, &mut block)
+                .map_err(FsError::Backend)?;
             for i in 0..NAMES_PER_BLOCK {
                 let slot = nb * NAMES_PER_BLOCK as u64 + i as u64;
                 if slot >= geo.max_files {
@@ -211,7 +217,9 @@ impl FsSim {
         // Inodes.
         self.free_inodes.clear();
         for ib in 0..geo.inode_blocks {
-            self.backend.read(geo.inode_off + ib, &mut block);
+            self.backend
+                .read(geo.inode_off + ib, &mut block)
+                .map_err(FsError::Backend)?;
             for i in 0..crate::INODES_PER_BLOCK {
                 let ino = ib * crate::INODES_PER_BLOCK as u64 + i as u64;
                 if ino >= geo.max_files {
@@ -228,7 +236,9 @@ impl FsSim {
         // Bitmap.
         self.free_data_blocks = 0;
         for bb in 0..geo.bitmap_blocks {
-            self.backend.read(geo.bitmap_off + bb, &mut block);
+            self.backend
+                .read(geo.bitmap_off + bb, &mut block)
+                .map_err(FsError::Backend)?;
             for w in 0..BLOCK_SIZE / 8 {
                 let word_idx = bb as usize * (BLOCK_SIZE / 8) + w;
                 if word_idx < self.bitmap.len() {
@@ -242,31 +252,39 @@ impl FsSim {
                 self.free_data_blocks += 1;
             }
         }
+        Ok(())
     }
 
     // ------------------------------------------------------------------
     // Staging helpers (everything funnels into the page-cache dirty set)
     // ------------------------------------------------------------------
 
-    fn fetch_block(&mut self, blk: u64) -> Buf {
+    fn fetch_block(&mut self, blk: u64) -> Result<Buf, FsError> {
         if let Some(b) = self.pc.get(blk) {
-            return Box::new(*b);
+            return Ok(Box::new(*b));
         }
         let mut buf: Buf = Box::new([0u8; BLOCK_SIZE]);
-        self.backend.read(blk, &mut buf[..]);
+        self.backend
+            .read(blk, &mut buf[..])
+            .map_err(FsError::Backend)?;
         self.pc.insert_clean(blk, buf.clone());
-        buf
+        Ok(buf)
     }
 
     /// Mutates `blk` in the running transaction (read-modify-write).
-    fn stage_mutate(&mut self, blk: u64, f: impl FnOnce(&mut [u8; BLOCK_SIZE])) {
+    fn stage_mutate(
+        &mut self,
+        blk: u64,
+        f: impl FnOnce(&mut [u8; BLOCK_SIZE]),
+    ) -> Result<(), FsError> {
         if let Some(b) = self.pc.get_dirty_mut(blk) {
             f(b);
-            return;
+            return Ok(());
         }
-        let mut buf = self.fetch_block(blk);
+        let mut buf = self.fetch_block(blk)?;
         f(&mut buf);
         self.pc.write(blk, buf);
+        Ok(())
     }
 
     /// Replaces `blk` wholesale in the running transaction.
@@ -274,13 +292,13 @@ impl FsSim {
         self.pc.write(blk, data);
     }
 
-    fn stage_inode(&mut self, ino: u64) {
+    fn stage_inode(&mut self, ino: u64) -> Result<(), FsError> {
         let (blk, off) = self.geo.inode_pos(ino);
         let bytes = self.inodes[ino as usize].encode();
-        self.stage_mutate(blk, |b| b[off..off + INODE_BYTES].copy_from_slice(&bytes));
+        self.stage_mutate(blk, |b| b[off..off + INODE_BYTES].copy_from_slice(&bytes))
     }
 
-    fn stage_name_entry(&mut self, slot: u64, ino: u64, name: Option<&str>) {
+    fn stage_name_entry(&mut self, slot: u64, ino: u64, name: Option<&str>) -> Result<(), FsError> {
         let (blk, off) = self.geo.name_entry_pos(slot);
         let mut entry = [0u8; NAME_ENTRY_BYTES];
         if let Some(n) = name {
@@ -290,7 +308,7 @@ impl FsSim {
         }
         self.stage_mutate(blk, |b| {
             b[off..off + NAME_ENTRY_BYTES].copy_from_slice(&entry);
-        });
+        })
     }
 
     // ------------------------------------------------------------------
@@ -301,7 +319,7 @@ impl FsSim {
         self.bitmap[(rel / 64) as usize] & (1 << (rel % 64)) != 0
     }
 
-    fn set_bit(&mut self, rel: u64, v: bool) {
+    fn set_bit(&mut self, rel: u64, v: bool) -> Result<(), FsError> {
         let w = (rel / 64) as usize;
         if v {
             self.bitmap[w] |= 1 << (rel % 64);
@@ -319,7 +337,7 @@ impl FsSim {
             } else {
                 b[byte] &= !mask;
             }
-        });
+        })
     }
 
     /// Allocates one data block; returns its absolute disk block number.
@@ -332,7 +350,7 @@ impl FsSim {
             let rel = (self.alloc_cursor + probe) % n;
             if !self.bit(rel) {
                 self.alloc_cursor = (rel + 1) % n;
-                self.set_bit(rel, true);
+                self.set_bit(rel, true)?;
                 self.free_data_blocks -= 1;
                 return Ok(self.geo.data_off + rel);
             }
@@ -340,28 +358,31 @@ impl FsSim {
         Err(FsError::NoSpace)
     }
 
-    fn free_block(&mut self, abs: u64) {
+    fn free_block(&mut self, abs: u64) -> Result<(), FsError> {
         debug_assert!(abs >= self.geo.data_off && abs < self.geo.total_blocks);
         let rel = abs - self.geo.data_off;
         debug_assert!(self.bit(rel), "double free of data block {abs}");
-        self.set_bit(rel, false);
+        self.set_bit(rel, false)?;
         self.free_data_blocks += 1;
         self.pc.forget(abs);
+        Ok(())
     }
 
     // ------------------------------------------------------------------
     // Pointer resolution
     // ------------------------------------------------------------------
 
-    fn read_ptr(&mut self, blk: u64, slot: usize) -> u64 {
-        let buf = self.fetch_block(blk);
-        u64::from_le_bytes(buf[slot * 8..slot * 8 + 8].try_into().unwrap())
+    fn read_ptr(&mut self, blk: u64, slot: usize) -> Result<u64, FsError> {
+        let buf = self.fetch_block(blk)?;
+        Ok(u64::from_le_bytes(
+            buf[slot * 8..slot * 8 + 8].try_into().unwrap(),
+        ))
     }
 
-    fn write_ptr(&mut self, blk: u64, slot: usize, value: u64) {
+    fn write_ptr(&mut self, blk: u64, slot: usize, value: u64) -> Result<(), FsError> {
         self.stage_mutate(blk, |b| {
             b[slot * 8..slot * 8 + 8].copy_from_slice(&value.to_le_bytes());
-        });
+        })
     }
 
     /// Resolves file block `fb` of inode `ino`, returning the data block or
@@ -374,17 +395,17 @@ impl FsSim {
                 if inode.indirect == NO_BLOCK {
                     return Ok(NO_BLOCK);
                 }
-                Ok(self.read_ptr(inode.indirect, i))
+                self.read_ptr(inode.indirect, i)
             }
             BlockPath::DoubleIndirect(i, j) => {
                 if inode.dindirect == NO_BLOCK {
                     return Ok(NO_BLOCK);
                 }
-                let l2 = self.read_ptr(inode.dindirect, i);
+                let l2 = self.read_ptr(inode.dindirect, i)?;
                 if l2 == NO_BLOCK {
                     return Ok(NO_BLOCK);
                 }
-                Ok(self.read_ptr(l2, j))
+                self.read_ptr(l2, j)
             }
         }
     }
@@ -399,7 +420,7 @@ impl FsSim {
                 if self.inodes[ino as usize].direct[i] == NO_BLOCK {
                     let b = self.alloc_block()?;
                     self.inodes[ino as usize].direct[i] = b;
-                    self.stage_inode(ino);
+                    self.stage_inode(ino)?;
                     return Ok((b, true));
                 }
                 Ok((self.inodes[ino as usize].direct[i], false))
@@ -409,13 +430,13 @@ impl FsSim {
                     let nb = self.alloc_block()?;
                     self.stage_full(nb, Box::new([0u8; BLOCK_SIZE]));
                     self.inodes[ino as usize].indirect = nb;
-                    self.stage_inode(ino);
+                    self.stage_inode(ino)?;
                 }
                 let ind = self.inodes[ino as usize].indirect;
-                let ptr = self.read_ptr(ind, i);
+                let ptr = self.read_ptr(ind, i)?;
                 if ptr == NO_BLOCK {
                     let ptr = self.alloc_block()?;
-                    self.write_ptr(ind, i, ptr);
+                    self.write_ptr(ind, i, ptr)?;
                     return Ok((ptr, true));
                 }
                 Ok((ptr, false))
@@ -425,19 +446,19 @@ impl FsSim {
                     let nb = self.alloc_block()?;
                     self.stage_full(nb, Box::new([0u8; BLOCK_SIZE]));
                     self.inodes[ino as usize].dindirect = nb;
-                    self.stage_inode(ino);
+                    self.stage_inode(ino)?;
                 }
                 let l1 = self.inodes[ino as usize].dindirect;
-                let mut l2 = self.read_ptr(l1, i);
+                let mut l2 = self.read_ptr(l1, i)?;
                 if l2 == NO_BLOCK {
                     l2 = self.alloc_block()?;
                     self.stage_full(l2, Box::new([0u8; BLOCK_SIZE]));
-                    self.write_ptr(l1, i, l2);
+                    self.write_ptr(l1, i, l2)?;
                 }
-                let ptr = self.read_ptr(l2, j);
+                let ptr = self.read_ptr(l2, j)?;
                 if ptr == NO_BLOCK {
                     let ptr = self.alloc_block()?;
-                    self.write_ptr(l2, j, ptr);
+                    self.write_ptr(l2, j, ptr)?;
                     return Ok((ptr, true));
                 }
                 Ok((ptr, false))
@@ -466,8 +487,8 @@ impl FsSim {
             used: true,
             ..Inode::FREE
         };
-        self.stage_inode(ino);
-        self.stage_name_entry(slot, ino, Some(name));
+        self.stage_inode(ino)?;
+        self.stage_name_entry(slot, ino, Some(name))?;
         self.names.insert(name.into(), (ino, slot));
         self.stats.creates += 1;
         self.maybe_commit()?;
@@ -519,13 +540,13 @@ impl FsSim {
             } else {
                 self.stage_mutate(blk, |b| {
                     b[in_off..in_off + n].copy_from_slice(&data[pos..pos + n]);
-                });
+                })?;
             }
             pos += n;
         }
         if end > self.inodes[ino as usize].size {
             self.inodes[ino as usize].size = end;
-            self.stage_inode(ino);
+            self.stage_inode(ino)?;
         }
         self.stats.write_ops += 1;
         self.stats.bytes_written += data.len() as u64;
@@ -555,7 +576,7 @@ impl FsSim {
             if blk == NO_BLOCK {
                 buf[pos..pos + n].fill(0);
             } else {
-                let b = self.fetch_block(blk);
+                let b = self.fetch_block(blk)?;
                 buf[pos..pos + n].copy_from_slice(&b[in_off..in_off + n]);
             }
             pos += n;
@@ -574,37 +595,37 @@ impl FsSim {
         let inode = self.inodes[ino as usize].clone();
         for d in inode.direct {
             if d != NO_BLOCK {
-                self.free_block(d);
+                self.free_block(d)?;
             }
         }
         if inode.indirect != NO_BLOCK {
-            self.free_indirect(inode.indirect, 1);
+            self.free_indirect(inode.indirect, 1)?;
         }
         if inode.dindirect != NO_BLOCK {
-            self.free_indirect(inode.dindirect, 2);
+            self.free_indirect(inode.dindirect, 2)?;
         }
         self.inodes[ino as usize] = Inode::FREE;
-        self.stage_inode(ino);
-        self.stage_name_entry(slot, 0, None);
+        self.stage_inode(ino)?;
+        self.stage_name_entry(slot, 0, None)?;
         self.free_inodes.push(ino);
         self.free_name_slots.push(slot);
         self.stats.deletes += 1;
         self.maybe_commit()
     }
 
-    fn free_indirect(&mut self, blk: u64, depth: u32) {
+    fn free_indirect(&mut self, blk: u64, depth: u32) -> Result<(), FsError> {
         for i in 0..PTRS_PER_BLOCK {
-            let p = self.read_ptr(blk, i);
+            let p = self.read_ptr(blk, i)?;
             if p == NO_BLOCK {
                 continue;
             }
             if depth > 1 {
-                self.free_indirect(p, depth - 1);
+                self.free_indirect(p, depth - 1)?;
             } else {
-                self.free_block(p);
+                self.free_block(p)?;
             }
         }
-        self.free_block(blk);
+        self.free_block(blk)
     }
 
     /// Shrinks (or logically extends) a file to `new_size` bytes. Data
@@ -627,15 +648,15 @@ impl FsSim {
                 }
                 BlockPath::Indirect(i) => {
                     let ind = self.inodes[ino as usize].indirect;
-                    self.write_ptr(ind, i, NO_BLOCK);
+                    self.write_ptr(ind, i, NO_BLOCK)?;
                 }
                 BlockPath::DoubleIndirect(i, j) => {
                     let l1 = self.inodes[ino as usize].dindirect;
-                    let l2 = self.read_ptr(l1, i);
-                    self.write_ptr(l2, j, NO_BLOCK);
+                    let l2 = self.read_ptr(l1, i)?;
+                    self.write_ptr(l2, j, NO_BLOCK)?;
                 }
             }
-            self.free_block(blk);
+            self.free_block(blk)?;
         }
         // Zero the tail of the (kept) final partial block so a later
         // extension reads zeroes, not stale bytes.
@@ -644,11 +665,11 @@ impl FsSim {
             let blk = self.resolve(ino, fb)?;
             if blk != NO_BLOCK {
                 let cut = (new_size % BLOCK_SIZE as u64) as usize;
-                self.stage_mutate(blk, |b| b[cut..].fill(0));
+                self.stage_mutate(blk, |b| b[cut..].fill(0))?;
             }
         }
         self.inodes[ino as usize].size = new_size;
-        self.stage_inode(ino);
+        self.stage_inode(ino)?;
         self.maybe_commit()
     }
 
@@ -664,7 +685,7 @@ impl FsSim {
             .names
             .remove(from)
             .ok_or_else(|| FsError::NotFound(from.into()))?;
-        self.stage_name_entry(slot, ino, Some(to));
+        self.stage_name_entry(slot, ino, Some(to))?;
         self.names.insert(to.into(), (ino, slot));
         self.maybe_commit()
     }
@@ -691,14 +712,17 @@ impl FsSim {
         match self.mode {
             JournalMode::None => {
                 for (blk, data) in &dirty {
-                    self.backend.write_block(*blk, &data[..]);
+                    self.backend
+                        .write_block(*blk, &data[..])
+                        .map_err(FsError::Backend)?;
                 }
             }
             JournalMode::Jbd2 => {
                 self.journal
                     .as_mut()
                     .expect("JBD2 mode has a journal")
-                    .commit(&mut *self.backend, dirty);
+                    .commit(&mut *self.backend, dirty)
+                    .map_err(FsError::Backend)?;
             }
             JournalMode::Tinca => {
                 self.backend.commit_txn(&dirty).map_err(FsError::Backend)?;
@@ -721,9 +745,10 @@ impl FsSim {
     pub fn unmount(mut self) -> Result<(), FsError> {
         self.commit()?;
         if let Some(j) = self.journal.as_mut() {
-            j.checkpoint_all(&mut *self.backend);
+            j.checkpoint_all(&mut *self.backend)
+                .map_err(FsError::Backend)?;
         }
-        self.backend.flush_all();
+        self.backend.flush_all().map_err(FsError::Backend)?;
         Ok(())
     }
 

@@ -75,7 +75,7 @@ pub struct Jbd2 {
 
 impl Jbd2 {
     /// Creates a fresh journal and writes its superblock.
-    pub fn format(geo: &Geometry, backend: &mut dyn CacheBackend) -> Jbd2 {
+    pub fn format(geo: &Geometry, backend: &mut dyn CacheBackend) -> Result<Jbd2, String> {
         assert!(geo.journal_blocks >= 8, "journal too small");
         let mut j = Jbd2 {
             journal_off: geo.journal_off,
@@ -87,8 +87,8 @@ impl Jbd2 {
             committed: VecDeque::new(),
             stats: JournalStats::default(),
         };
-        j.write_sb(backend);
-        j
+        j.write_sb(backend)?;
+        Ok(j)
     }
 
     /// Opens the journal after a crash: replays every fully committed
@@ -96,7 +96,7 @@ impl Jbd2 {
     /// the log.
     pub fn recover(geo: &Geometry, backend: &mut dyn CacheBackend) -> Result<Jbd2, String> {
         let mut sb = [0u8; BLOCK_SIZE];
-        backend.read(geo.journal_off, &mut sb);
+        backend.read(geo.journal_off, &mut sb)?;
         if u64::from_le_bytes(sb[0..8].try_into().unwrap()) != SB_MAGIC {
             return Err("journal superblock missing".into());
         }
@@ -112,8 +112,8 @@ impl Jbd2 {
             committed: VecDeque::new(),
             stats: JournalStats::default(),
         };
-        j.replay(backend);
-        j.write_sb(backend);
+        j.replay(backend)?;
+        j.write_sb(backend)?;
         Ok(j)
     }
 
@@ -125,12 +125,12 @@ impl Jbd2 {
         self.area_slots - (self.head - self.tail)
     }
 
-    fn write_sb(&mut self, backend: &mut dyn CacheBackend) {
+    fn write_sb(&mut self, backend: &mut dyn CacheBackend) -> Result<(), String> {
         let mut sb = [0u8; BLOCK_SIZE];
         sb[0..8].copy_from_slice(&SB_MAGIC.to_le_bytes());
         sb[8..16].copy_from_slice(&self.tail.to_le_bytes());
         sb[16..24].copy_from_slice(&self.seq_at_tail.to_le_bytes());
-        backend.write_block(self.journal_off, &sb);
+        backend.write_block(self.journal_off, &sb)
     }
 
     /// Slots a transaction of `n` blocks occupies in the log.
@@ -145,23 +145,31 @@ impl Jbd2 {
     /// Oversized batches are split into multiple journal transactions —
     /// JBD2 likewise caps a transaction at a fraction of the journal
     /// (`j_max_transaction_buffers` = journal/4).
-    pub fn commit(&mut self, backend: &mut dyn CacheBackend, blocks: Vec<(u64, Buf)>) {
+    pub fn commit(
+        &mut self,
+        backend: &mut dyn CacheBackend,
+        blocks: Vec<(u64, Buf)>,
+    ) -> Result<(), String> {
         let max_txn = (self.area_slots as usize / 2).saturating_sub(4).max(1);
         if blocks.len() > max_txn {
             let mut rest = blocks;
             while !rest.is_empty() {
                 let tail = rest.split_off(rest.len().min(max_txn));
-                self.commit_one(backend, rest);
+                self.commit_one(backend, rest)?;
                 rest = tail;
             }
-            return;
+            return Ok(());
         }
-        self.commit_one(backend, blocks);
+        self.commit_one(backend, blocks)
     }
 
-    fn commit_one(&mut self, backend: &mut dyn CacheBackend, blocks: Vec<(u64, Buf)>) {
+    fn commit_one(
+        &mut self,
+        backend: &mut dyn CacheBackend,
+        blocks: Vec<(u64, Buf)>,
+    ) -> Result<(), String> {
         if blocks.is_empty() {
-            return;
+            return Ok(());
         }
         let needed = Self::slots_needed(blocks.len());
         assert!(
@@ -170,7 +178,7 @@ impl Jbd2 {
             blocks.len()
         );
         while self.free_slots() < needed {
-            self.checkpoint_oldest(backend);
+            self.checkpoint_oldest(backend)?;
         }
         let seq = self.seq;
         self.seq += 1;
@@ -187,12 +195,12 @@ impl Jbd2 {
             for (i, (home, _)) in remaining[..chunk].iter().enumerate() {
                 desc[32 + i * 8..40 + i * 8].copy_from_slice(&home.to_le_bytes());
             }
-            backend.write_block(self.slot_block(self.head), &desc);
+            backend.write_block(self.slot_block(self.head), &desc)?;
             self.head += 1;
             self.stats.desc_blocks += 1;
             // Log copies.
             for (_, data) in &remaining[..chunk] {
-                backend.write_block(self.slot_block(self.head), &data[..]);
+                backend.write_block(self.slot_block(self.head), &data[..])?;
                 self.head += 1;
                 self.stats.log_blocks += 1;
             }
@@ -203,7 +211,7 @@ impl Jbd2 {
         cb[0..8].copy_from_slice(&COMMIT_MAGIC.to_le_bytes());
         cb[8..16].copy_from_slice(&seq.to_le_bytes());
         cb[16..20].copy_from_slice(&(blocks.len() as u32).to_le_bytes());
-        backend.write_block(self.slot_block(self.head), &cb);
+        backend.write_block(self.slot_block(self.head), &cb)?;
         self.head += 1;
         self.stats.commit_blocks += 1;
         self.stats.commits += 1;
@@ -215,34 +223,36 @@ impl Jbd2 {
         // (barrier=1 semantics): the legacy stack conservatively drains
         // the write-back cache below it.
         backend.flush_barrier();
+        Ok(())
     }
 
     /// Checkpoints the oldest committed transaction: writes every block to
     /// its home location (the **second** write) and frees its log space.
-    fn checkpoint_oldest(&mut self, backend: &mut dyn CacheBackend) {
+    fn checkpoint_oldest(&mut self, backend: &mut dyn CacheBackend) -> Result<(), String> {
         let txn = self
             .committed
             .pop_front()
             .expect("journal full but nothing to checkpoint — journal too small for txn limit");
         for (home, data) in &txn.blocks {
-            backend.write_block(*home, &data[..]);
+            backend.write_block(*home, &data[..])?;
             self.stats.checkpoint_blocks += 1;
         }
         self.tail += txn.slots;
         self.seq_at_tail += 1;
-        self.write_sb(backend);
+        self.write_sb(backend)
     }
 
     /// Checkpoints everything (orderly shutdown).
-    pub fn checkpoint_all(&mut self, backend: &mut dyn CacheBackend) {
+    pub fn checkpoint_all(&mut self, backend: &mut dyn CacheBackend) -> Result<(), String> {
         while !self.committed.is_empty() {
-            self.checkpoint_oldest(backend);
+            self.checkpoint_oldest(backend)?;
         }
+        Ok(())
     }
 
     /// Redo replay: walk the log from `tail`, applying every fully
     /// committed transaction, stopping at the first incomplete one.
-    fn replay(&mut self, backend: &mut dyn CacheBackend) {
+    fn replay(&mut self, backend: &mut dyn CacheBackend) -> Result<(), String> {
         let mut pos = self.tail;
         let mut expect = self.seq_at_tail;
         let mut block = [0u8; BLOCK_SIZE];
@@ -255,7 +265,7 @@ impl Jbd2 {
                 if p - self.tail >= self.area_slots {
                     break 'txn; // wrapped the whole log without a commit
                 }
-                backend.read(self.slot_block(p), &mut block);
+                backend.read(self.slot_block(p), &mut block)?;
                 let magic = u64::from_le_bytes(block[0..8].try_into().unwrap());
                 let seq = u64::from_le_bytes(block[8..16].try_into().unwrap());
                 if magic != DESC_MAGIC || seq != expect {
@@ -287,7 +297,7 @@ impl Jbd2 {
             if p - self.tail >= self.area_slots {
                 break;
             }
-            backend.read(self.slot_block(p), &mut block);
+            backend.read(self.slot_block(p), &mut block)?;
             let magic = u64::from_le_bytes(block[0..8].try_into().unwrap());
             let seq = u64::from_le_bytes(block[8..16].try_into().unwrap());
             let total = u32::from_le_bytes(block[16..20].try_into().unwrap()) as usize;
@@ -297,8 +307,8 @@ impl Jbd2 {
             p += 1;
             // Fully committed: replay.
             for (home, slot) in homes.iter().zip(&log_slots) {
-                backend.read(self.slot_block(*slot), &mut block);
-                backend.write_block(*home, &block);
+                backend.read(self.slot_block(*slot), &mut block)?;
+                backend.write_block(*home, &block)?;
                 self.stats.replayed_blocks += 1;
             }
             self.stats.replayed_txns += 1;
@@ -310,6 +320,7 @@ impl Jbd2 {
         self.head = pos;
         self.seq = expect;
         self.seq_at_tail = expect;
+        Ok(())
     }
 
     /// Committed-but-unchckpointed transactions (test introspection).
@@ -342,13 +353,14 @@ mod tests {
     fn commit_writes_desc_log_commit() {
         let g = geo();
         let (mut be, disk) = backend();
-        let mut j = Jbd2::format(&g, &mut be);
+        let mut j = Jbd2::format(&g, &mut be).unwrap();
         let w0 = disk.stats().writes;
-        j.commit(&mut be, vec![(5000, buf(1)), (5001, buf(2))]);
+        j.commit(&mut be, vec![(5000, buf(1)), (5001, buf(2))])
+            .unwrap();
         // 1 desc + 2 log + 1 commit = 4 journal writes; home untouched.
         assert_eq!(disk.stats().writes - w0, 4);
         let mut b = [0u8; BLOCK_SIZE];
-        disk.read_block(5000, &mut b);
+        disk.read_block(5000, &mut b).unwrap();
         assert_eq!(b[0], 0, "home not written before checkpoint");
         assert_eq!(j.pending_checkpoints(), 1);
     }
@@ -357,11 +369,11 @@ mod tests {
     fn checkpoint_writes_home_copies() {
         let g = geo();
         let (mut be, disk) = backend();
-        let mut j = Jbd2::format(&g, &mut be);
-        j.commit(&mut be, vec![(6000, buf(9))]);
-        j.checkpoint_all(&mut be);
+        let mut j = Jbd2::format(&g, &mut be).unwrap();
+        j.commit(&mut be, vec![(6000, buf(9))]).unwrap();
+        j.checkpoint_all(&mut be).unwrap();
         let mut b = [0u8; BLOCK_SIZE];
-        disk.read_block(6000, &mut b);
+        disk.read_block(6000, &mut b).unwrap();
         assert_eq!(b[0], 9);
         assert_eq!(j.stats.checkpoint_blocks, 1);
         assert_eq!(j.pending_checkpoints(), 0);
@@ -371,16 +383,16 @@ mod tests {
     fn journal_wraps_and_forces_checkpoints() {
         let g = geo(); // 64-block journal → 63 slots
         let (mut be, disk) = backend();
-        let mut j = Jbd2::format(&g, &mut be);
+        let mut j = Jbd2::format(&g, &mut be).unwrap();
         // Each txn: 1 desc + 10 log + 1 commit = 12 slots. 6+ txns wrap.
         for round in 0..20u64 {
             let blocks: Vec<(u64, Buf)> = (0..10).map(|i| (7000 + i, buf(round as u8))).collect();
-            j.commit(&mut be, blocks);
+            j.commit(&mut be, blocks).unwrap();
         }
         assert!(j.stats.checkpoint_blocks > 0, "wrap must force checkpoints");
-        j.checkpoint_all(&mut be);
+        j.checkpoint_all(&mut be).unwrap();
         let mut b = [0u8; BLOCK_SIZE];
-        disk.read_block(7000, &mut b);
+        disk.read_block(7000, &mut b).unwrap();
         assert_eq!(b[0], 19, "home must hold the newest committed version");
     }
 
@@ -388,17 +400,18 @@ mod tests {
     fn recovery_replays_committed_txns() {
         let g = geo();
         let (mut be, disk) = backend();
-        let mut j = Jbd2::format(&g, &mut be);
-        j.commit(&mut be, vec![(8000, buf(1)), (8001, buf(2))]);
-        j.commit(&mut be, vec![(8000, buf(3))]);
+        let mut j = Jbd2::format(&g, &mut be).unwrap();
+        j.commit(&mut be, vec![(8000, buf(1)), (8001, buf(2))])
+            .unwrap();
+        j.commit(&mut be, vec![(8000, buf(3))]).unwrap();
         // Crash before any checkpoint: home blocks still zero.
         drop(j);
         let j2 = Jbd2::recover(&g, &mut be).unwrap();
         assert_eq!(j2.stats.replayed_txns, 2);
         let mut b = [0u8; BLOCK_SIZE];
-        disk.read_block(8000, &mut b);
+        disk.read_block(8000, &mut b).unwrap();
         assert_eq!(b[0], 3, "replay must apply txns in order");
-        disk.read_block(8001, &mut b);
+        disk.read_block(8001, &mut b).unwrap();
         assert_eq!(b[0], 2);
     }
 
@@ -406,8 +419,8 @@ mod tests {
     fn recovery_ignores_uncommitted_tail() {
         let g = geo();
         let (mut be, disk) = backend();
-        let mut j = Jbd2::format(&g, &mut be);
-        j.commit(&mut be, vec![(9000, buf(1))]);
+        let mut j = Jbd2::format(&g, &mut be).unwrap();
+        j.commit(&mut be, vec![(9000, buf(1))]).unwrap();
         // Forge a torn transaction: descriptor without commit block.
         let mut desc = [0u8; BLOCK_SIZE];
         desc[0..8].copy_from_slice(&DESC_MAGIC.to_le_bytes());
@@ -416,16 +429,16 @@ mod tests {
         desc[20] = 1;
         desc[32..40].copy_from_slice(&9001u64.to_le_bytes());
         let slot = j.slot_block(j.head);
-        be.write_block(slot, &desc);
-        be.write_block(slot + 1, &buf(7)[..]);
+        be.write_block(slot, &desc).unwrap();
+        be.write_block(slot + 1, &buf(7)[..]).unwrap();
         // No commit block → must not replay.
         drop(j);
         let j2 = Jbd2::recover(&g, &mut be).unwrap();
         assert_eq!(j2.stats.replayed_txns, 1);
         let mut b = [0u8; BLOCK_SIZE];
-        disk.read_block(9001, &mut b);
+        disk.read_block(9001, &mut b).unwrap();
         assert_eq!(b[0], 0, "torn txn must not reach home");
-        disk.read_block(9000, &mut b);
+        disk.read_block(9000, &mut b).unwrap();
         assert_eq!(b[0], 1);
     }
 
@@ -433,9 +446,9 @@ mod tests {
     fn recovery_after_checkpoint_is_idempotent() {
         let g = geo();
         let (mut be, disk) = backend();
-        let mut j = Jbd2::format(&g, &mut be);
-        j.commit(&mut be, vec![(9500, buf(4))]);
-        j.checkpoint_all(&mut be);
+        let mut j = Jbd2::format(&g, &mut be).unwrap();
+        j.commit(&mut be, vec![(9500, buf(4))]).unwrap();
+        j.checkpoint_all(&mut be).unwrap();
         drop(j);
         let j2 = Jbd2::recover(&g, &mut be).unwrap();
         assert_eq!(
@@ -443,7 +456,7 @@ mod tests {
             "checkpointed txns are past the tail"
         );
         let mut b = [0u8; BLOCK_SIZE];
-        disk.read_block(9500, &mut b);
+        disk.read_block(9500, &mut b).unwrap();
         assert_eq!(b[0], 4);
     }
 
@@ -452,19 +465,20 @@ mod tests {
         // > TAGS_PER_DESC blocks forces two descriptor blocks.
         let g = Geometry::compute(1 << 15, 2048, 100);
         let (mut be, disk) = backend();
-        let mut j = Jbd2::format(&g, &mut be);
+        let mut j = Jbd2::format(&g, &mut be).unwrap();
         let n = TAGS_PER_DESC + 5;
         let blocks: Vec<(u64, Buf)> = (0..n as u64)
             .map(|i| (10_000 + i, buf((i % 250) as u8)))
             .collect();
-        j.commit(&mut be, blocks);
+        j.commit(&mut be, blocks).unwrap();
         assert_eq!(j.stats.desc_blocks, 2);
         drop(j);
         let j2 = Jbd2::recover(&g, &mut be).unwrap();
         assert_eq!(j2.stats.replayed_txns, 1);
         assert_eq!(j2.stats.replayed_blocks as usize, n);
         let mut b = [0u8; BLOCK_SIZE];
-        disk.read_block(10_000 + TAGS_PER_DESC as u64, &mut b);
+        disk.read_block(10_000 + TAGS_PER_DESC as u64, &mut b)
+            .unwrap();
         assert_eq!(b[0] as usize, TAGS_PER_DESC % 250);
     }
 
@@ -474,13 +488,14 @@ mod tests {
         // twice (journal + checkpoint) plus transaction metadata.
         let g = geo();
         let (mut be, disk) = backend();
-        let mut j = Jbd2::format(&g, &mut be);
+        let mut j = Jbd2::format(&g, &mut be).unwrap();
         let w0 = disk.stats().writes;
         j.commit(
             &mut be,
             vec![(5000, buf(1)), (5001, buf(2)), (5002, buf(3))],
-        );
-        j.checkpoint_all(&mut be);
+        )
+        .unwrap();
+        j.checkpoint_all(&mut be).unwrap();
         let writes = disk.stats().writes - w0;
         // 3 log + 3 checkpoint + 1 desc + 1 commit + 1 sb update = 9
         assert!(

@@ -338,7 +338,9 @@ impl UbjCache {
             self.stats.read_hits += 1;
             return;
         }
-        self.disk.read_block(disk_blk, buf);
+        self.disk
+            .read_block(disk_blk, buf)
+            .expect("UBJ cache assumes a fault-free disk");
         self.stats.read_misses += 1;
         if let Ok(blk) = self.alloc_block() {
             let idx = self
@@ -399,7 +401,9 @@ impl UbjCache {
                 continue;
             }
             self.nvm.read(self.layout.data_addr(e.cur), &mut buf);
-            self.disk.write_block(e.disk_blk, &buf);
+            self.disk
+                .write_block(e.disk_blk, &buf)
+                .expect("UBJ cache assumes a fault-free disk");
             self.stats.checkpoint_blocks += 1;
             // The block is now clean (disk == NVM): evictable.
             self.write_entry(
@@ -477,7 +481,9 @@ impl UbjCache {
             let e = self.read_entry(idx);
             self.nvm.read(self.layout.data_addr(e.cur), buf);
         } else {
-            self.disk.read_block(disk_blk, buf);
+            self.disk
+                .read_block(disk_blk, buf)
+                .expect("UBJ cache assumes a fault-free disk");
         }
     }
 

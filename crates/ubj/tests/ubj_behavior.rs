@@ -126,7 +126,7 @@ fn checkpoint_writes_whole_transaction_to_disk() {
     assert_eq!(disk.stats().writes, 16, "checkpoint unit is the whole txn");
     assert!(c.stats().checkpoint_stall_ns > 0);
     let mut buf = [0u8; BLOCK_SIZE];
-    disk.read_block(3, &mut buf);
+    disk.read_block(3, &mut buf).unwrap();
     assert_eq!(buf[0], 7);
     // Blocks stay cached as clean.
     assert_eq!(c.cached_blocks(), 16);
@@ -140,7 +140,7 @@ fn superseded_frozen_versions_are_not_checkpointed() {
     c.commit_txn(&[(9, blk(2))]).unwrap(); // supersedes the first
     c.checkpoint_all();
     let mut buf = [0u8; BLOCK_SIZE];
-    disk.read_block(9, &mut buf);
+    disk.read_block(9, &mut buf).unwrap();
     assert_eq!(buf[0], 2, "only the newest committed version reaches disk");
     assert_eq!(disk.stats().writes, 1, "the stale version is skipped");
     c.check_consistency().unwrap();
@@ -252,7 +252,7 @@ fn crash_after_checkpoint_keeps_data_on_disk_and_cache() {
 #[test]
 fn read_miss_fills_clean_and_is_evictable() {
     let (mut c, _, disk) = setup(512 << 10);
-    disk.write_block(100, &blk(5)[..]);
+    disk.write_block(100, &blk(5)[..]).unwrap();
     let mut buf = [0u8; BLOCK_SIZE];
     c.read(100, &mut buf);
     assert_eq!(buf[0], 5);

@@ -160,7 +160,8 @@ impl MtFio {
                         for _ in 0..spec.ops_per_thread {
                             if rng.gen_range(0..100) < spec.read_pct {
                                 let b = rng.gen_range(0..spec.blocks);
-                                pool.read(b, &mut rbuf);
+                                pool.read(b, &mut rbuf)
+                                    .expect("workload disk is fault-free");
                                 reads += 1;
                             } else {
                                 let mut txn = pool.init_txn();

@@ -37,7 +37,7 @@ fn main() {
 
     // Read back through the cache.
     let mut buf = [0u8; BLOCK_SIZE];
-    cache.read(2000, &mut buf);
+    cache.read(2000, &mut buf).unwrap();
     assert_eq!(buf[0], 0xBB);
     println!("block 2000 reads back 0x{:02X}", buf[0]);
 
@@ -55,7 +55,7 @@ fn main() {
         .expect("consistent after crash");
 
     let mut buf = [0u8; BLOCK_SIZE];
-    recovered.read_nocache(1000, &mut buf);
+    recovered.read_nocache(1000, &mut buf).unwrap();
     assert_eq!(buf[0], 0xAA, "committed data survives the crash");
     println!(
         "after crash + recovery: block 1000 = 0x{:02X}, {} blocks cached, stats: {:?}",
