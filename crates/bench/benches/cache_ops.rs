@@ -35,7 +35,7 @@ fn bench_single_block_write(c: &mut Criterion) {
         let payload = [4u8; BLOCK_SIZE];
         let mut i = 0u64;
         b.iter(|| {
-            cache.write(i % 4096, &payload);
+            cache.write(i % 4096, &payload).unwrap();
             i += 1;
         });
     });
@@ -49,7 +49,7 @@ fn bench_single_block_write(c: &mut Criterion) {
         let payload = [5u8; BLOCK_SIZE];
         let mut i = 0u64;
         b.iter(|| {
-            cache.write(i % 4096, &payload);
+            cache.write(i % 4096, &payload).unwrap();
             i += 1;
         });
     });
@@ -90,12 +90,12 @@ fn bench_read_hit(c: &mut Criterion) {
         let mut cache = ClassicCache::format(nvm, disk, ClassicConfig::default());
         let payload = [7u8; BLOCK_SIZE];
         for i in 0..512u64 {
-            cache.write(i, &payload);
+            cache.write(i, &payload).unwrap();
         }
         let mut buf = [0u8; BLOCK_SIZE];
         let mut i = 0u64;
         b.iter(|| {
-            cache.read(i % 512, &mut buf);
+            cache.read(i % 512, &mut buf).unwrap();
             i += 1;
         });
     });
@@ -126,7 +126,7 @@ fn bench_eviction_pressure(c: &mut Criterion) {
         let payload = [9u8; BLOCK_SIZE];
         let mut i = 0u64;
         b.iter(|| {
-            cache.write((i * 17) % blocks, &payload);
+            cache.write((i * 17) % blocks, &payload).unwrap();
             i += 1;
         });
     });

@@ -1,0 +1,6 @@
+//! Commit-path phase breakdown (telemetry demo + attribution gate).
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    bench::figs::phases::run(quick);
+}

@@ -51,6 +51,8 @@ fn main() {
     done("meta_schemes");
     figs::recoverability::run(quick);
     done("recoverability");
+    figs::phases::run(quick);
+    done("phases");
     println!(
         "\nAll experiments regenerated in {:.1}s (quick={quick}). CSVs in EXPERIMENTS-results/.",
         t0.elapsed().as_secs_f64()

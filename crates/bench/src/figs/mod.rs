@@ -12,6 +12,7 @@ pub mod fig7;
 pub mod fig8;
 pub mod flush_instr;
 pub mod meta_schemes;
+pub mod phases;
 pub mod recoverability;
 pub mod scaling;
 pub mod tables;

@@ -1,0 +1,133 @@
+//! Commit-path phase breakdown — where every simulated nanosecond of a
+//! Tinca commit goes (telemetry subsystem demo + acceptance gate).
+//!
+//! Runs a seeded mixed workload against a bare [`TincaCache`] with the
+//! telemetry recorder armed, prints the phase tree, and writes:
+//!
+//! * `EXPERIMENTS-results/phases.csv` / `.json` — top-level phase totals;
+//! * `EXPERIMENTS-results/phases.jsonl` — the full JSONL event stream;
+//! * `EXPERIMENTS-results/phases.trace.json` — chrome://tracing file;
+//! * `BENCH_4.json` (repo root) — machine-readable summary: attribution
+//!   fraction, phase tree, histograms, and the unified [`StatsSnapshot`].
+//!
+//! The run asserts that ≥ 95 % of simulated commit-path time is
+//! attributed to named child phases (`commit` self time ≤ 5 %) — the
+//! instrumentation-coverage gate for the commit protocol.
+
+use std::fs;
+
+use blockdev::{DiskKind, SimDisk, BLOCK_SIZE};
+use nvmsim::{NvmConfig, NvmDevice, NvmTech, SimClock};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use telemetry::Json;
+use tinca::{StatsSnapshot, TincaCache, TincaConfig};
+
+use crate::table::Table;
+use crate::{banner, fmt, results_dir, write_csv};
+
+/// Minimum fraction of commit-path simulated time that must land in named
+/// child phases.
+pub const MIN_ATTRIBUTED: f64 = 0.95;
+
+/// Runs the breakdown; returns the attributed fraction of `commit` time.
+pub fn run(quick: bool) -> f64 {
+    banner(
+        "Phases",
+        "Commit-path phase breakdown (simulated-time telemetry)",
+        "every commit-path ns attributed: stage / entry / ring / commit point / write-through",
+    );
+    let ops: u64 = if quick { 2_000 } else { 10_000 };
+    let nvm_bytes = if quick { 2 << 20 } else { 4 << 20 };
+
+    let clock = SimClock::new();
+    let nvm = NvmDevice::new(NvmConfig::new(nvm_bytes, NvmTech::Pcm), clock.clone());
+    let disk = SimDisk::new(DiskKind::Ssd, 1 << 16, clock.clone());
+    let cfg = TincaConfig {
+        ring_bytes: 4096,
+        ..TincaConfig::default()
+    };
+    let mut cache = TincaCache::format(nvm, disk, cfg.clone());
+    // 2.5× the cache's block capacity so evictions and writebacks appear
+    // in the tree alongside the commit protocol itself.
+    let span_blocks = cache.data_block_count() as u64 * 5 / 2;
+
+    let (snapshot, report) = telemetry::record(&clock, telemetry::Config::with_events(), || {
+        let mut rng = StdRng::seed_from_u64(0x9E57);
+        for _ in 0..ops {
+            if rng.gen_bool(0.3) {
+                let mut buf = [0u8; BLOCK_SIZE];
+                let blk = rng.gen_range(0..span_blocks);
+                cache.read(blk, &mut buf).expect("fault-free read");
+            } else {
+                let mut txn = cache.init_txn();
+                for _ in 0..rng.gen_range(1..=4u32) {
+                    let blk = rng.gen_range(0..span_blocks);
+                    txn.write(blk, &[blk as u8; BLOCK_SIZE]);
+                }
+                cache.commit(&txn).expect("fault-free commit");
+            }
+        }
+        cache.flush_all().expect("fault-free flush");
+        // Reopen from NVM so recovery shows up in the phase tree too.
+        let (nvm, disk) = (cache.nvm().clone(), cache.disk().clone());
+        cache = TincaCache::recover(nvm, disk, cfg).expect("recover");
+        StatsSnapshot::collect(&cache)
+    });
+
+    println!("{}", report.phase_report());
+
+    let frac = report
+        .attributed_fraction("commit")
+        .expect("workload ran commits");
+    println!(
+        "commit-path attribution: {:.2}% of {} simulated ns in named phases",
+        frac * 100.0,
+        report.find("commit").map_or(0, |p| p.total_ns),
+    );
+    assert!(
+        frac >= MIN_ATTRIBUTED,
+        "only {:.2}% of commit-path time attributed (< {:.0}%) — \
+         a commit-path charge point lost its span",
+        frac * 100.0,
+        MIN_ATTRIBUTED * 100.0
+    );
+
+    // Top-level phases as a table/CSV like every other figure.
+    let mut t = Table::new(&["Phase", "total ns", "count", "share %"]);
+    let total: u64 = report.total_ns.max(1);
+    for p in report.phases.iter().filter(|p| p.parent == Some(0)) {
+        t.row(vec![
+            p.name.clone(),
+            p.total_ns.to_string(),
+            p.count.to_string(),
+            fmt(p.total_ns as f64 / total as f64 * 100.0),
+        ]);
+    }
+    t.print();
+    write_csv("phases", &t.headers(), t.rows());
+
+    // Exporters: full event stream + chrome trace.
+    let dir = results_dir();
+    fs::write(dir.join("phases.jsonl"), report.to_jsonl()).expect("write jsonl");
+    fs::write(dir.join("phases.trace.json"), report.to_chrome_trace()).expect("write trace");
+    eprintln!("  [jsonl] {}", dir.join("phases.jsonl").display());
+    eprintln!("  [trace] {}", dir.join("phases.trace.json").display());
+
+    // BENCH_4.json: the machine-readable bench result at the repo root.
+    let bench = Json::obj(vec![
+        ("bench", "phases".into()),
+        ("quick", quick.into()),
+        ("ops", ops.into()),
+        ("attributed_fraction_commit", frac.into()),
+        ("min_attributed", MIN_ATTRIBUTED.into()),
+        ("stats", snapshot.to_json()),
+        ("telemetry", report.to_json()),
+    ]);
+    let root = dir.parent().expect("results dir sits in the repo root");
+    let path = root.join("BENCH_4.json");
+    fs::write(&path, bench.render()).expect("write BENCH_4.json");
+    eprintln!("  [bench] {}", path.display());
+
+    frac
+}

@@ -26,7 +26,8 @@ pub fn results_dir() -> PathBuf {
     dir
 }
 
-/// Writes one CSV file of results.
+/// Writes one CSV file of results, plus its machine-readable JSON
+/// companion (same name, `.json` extension — see [`write_json`]).
 pub fn write_csv(name: &str, headers: &[&str], rows: &[Vec<String>]) {
     let path = results_dir().join(format!("{name}.csv"));
     let mut f = fs::File::create(&path).expect("create csv");
@@ -35,6 +36,32 @@ pub fn write_csv(name: &str, headers: &[&str], rows: &[Vec<String>]) {
         writeln!(f, "{}", row.join(",")).unwrap();
     }
     eprintln!("  [csv] {}", path.display());
+    write_json(name, headers, rows);
+}
+
+/// Writes the JSON companion of one result set: an object carrying the
+/// figure name, column headers, and rows (cells as strings, exactly as
+/// the CSV renders them), so downstream tooling never re-parses CSV.
+pub fn write_json(name: &str, headers: &[&str], rows: &[Vec<String>]) {
+    use telemetry::Json;
+    let json = Json::obj(vec![
+        ("figure", name.into()),
+        (
+            "headers",
+            Json::Arr(headers.iter().map(|h| (*h).into()).collect()),
+        ),
+        (
+            "rows",
+            Json::Arr(
+                rows.iter()
+                    .map(|r| Json::Arr(r.iter().map(|c| c.as_str().into()).collect()))
+                    .collect(),
+            ),
+        ),
+    ]);
+    let path = results_dir().join(format!("{name}.json"));
+    fs::write(&path, json.render()).expect("write json");
+    eprintln!("  [json] {}", path.display());
 }
 
 /// Prints the standard experiment banner.

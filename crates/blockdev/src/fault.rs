@@ -138,7 +138,7 @@ struct FaultState {
 }
 
 /// A [`BlockDevice`] that injects the faults of a [`FaultPlan`] above a
-/// real [`SimDisk`]. See the module docs.
+/// real [`SimDisk`](crate::SimDisk). See the module docs.
 pub struct FaultyDisk {
     inner: Disk,
     plan: FaultPlan,

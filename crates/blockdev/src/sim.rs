@@ -80,6 +80,7 @@ impl SimDisk {
         }
         st.stats.busy_ns += ns;
         self.clock.advance(ns);
+        telemetry::charge(telemetry::phase::DISK_FAULT, ns);
     }
 
     /// Charges `ns` of extra device busy time with no head movement — a
@@ -87,12 +88,14 @@ impl SimDisk {
     pub fn charge_latency_spike(&self, ns: u64) {
         self.state.lock().stats.busy_ns += ns;
         self.clock.advance(ns);
+        telemetry::charge(telemetry::phase::DISK_SPIKE, ns);
     }
 }
 
 impl BlockDevice for SimDisk {
     fn read_block(&self, blk: u64, buf: &mut [u8]) -> Result<(), IoError> {
         assert_eq!(buf.len(), BLOCK_SIZE);
+        let _t = telemetry::span(telemetry::phase::DISK_READ);
         if blk >= self.num_blocks {
             self.charge_failed_io(blk, false);
             return Err(IoError::OutOfRange {
@@ -115,6 +118,7 @@ impl BlockDevice for SimDisk {
 
     fn write_block(&self, blk: u64, buf: &[u8]) -> Result<(), IoError> {
         assert_eq!(buf.len(), BLOCK_SIZE);
+        let _t = telemetry::span(telemetry::phase::DISK_WRITE);
         if blk >= self.num_blocks {
             self.charge_failed_io(blk, true);
             return Err(IoError::OutOfRange {

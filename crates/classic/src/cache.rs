@@ -11,7 +11,7 @@ use crate::meta::{
     MAGIC_OFF, NUM_BLOCKS_OFF, RECORDS_PER_META_BLOCK, RECORD_BYTES,
 };
 use crate::setlru::SetLru;
-use crate::{ClassicConfig, ClassicStats, MetadataScheme};
+use crate::{ClassicConfig, ClassicError, ClassicStats, MetadataScheme};
 
 /// Header offset of the metadata-log generation counter.
 const GEN_OFF: usize = 24;
@@ -152,7 +152,8 @@ impl ClassicCache {
     /// Writes one block through the cache (write-back): data into the slot
     /// (in place on a hit), then the covering metadata block, both with
     /// full flush+fence persistence (Flashcache's synchronous update).
-    pub fn write(&mut self, disk_blk: u64, data: &[u8]) {
+    /// Errors if slot-making or cleaning needed the disk and it failed.
+    pub fn write(&mut self, disk_blk: u64, data: &[u8]) -> Result<(), ClassicError> {
         assert_eq!(data.len(), BLOCK_SIZE);
         let slot = match self.index.get(&disk_blk) {
             Some(&slot) => {
@@ -162,7 +163,7 @@ impl ClassicCache {
             }
             None => {
                 self.stats.write_misses += 1;
-                let slot = self.take_slot(disk_blk);
+                let slot = self.take_slot(disk_blk)?;
                 self.index.insert(disk_blk, slot);
                 self.lru.push_mru(slot);
                 slot
@@ -182,16 +183,16 @@ impl ClassicCache {
                 disk_blk,
             },
         );
-        self.clean_set(self.layout.set_of(disk_blk));
+        self.clean_set(self.layout.set_of(disk_blk))
     }
 
     /// Flashcache's proactive cleaner: while the set holds more dirty
     /// blocks than `dirty_thresh_pct` allows, write the LRU-most dirty
     /// blocks back to disk and mark them clean.
-    fn clean_set(&mut self, set: u32) {
+    fn clean_set(&mut self, set: u32) -> Result<(), ClassicError> {
         let allowed = (self.layout.assoc * self.cfg.dirty_thresh_pct / 100).max(1);
         if self.set_dirty[set as usize] <= allowed {
-            return;
+            return Ok(());
         }
         // Collect dirty slots in LRU→MRU order.
         let mut order: Vec<u32> = Vec::new();
@@ -211,7 +212,7 @@ impl ClassicCache {
             self.nvm.read(self.layout.data_addr(slot), &mut buf);
             self.disk
                 .write_block(rec.disk_blk, &buf)
-                .expect("classic cache assumes a fault-free disk");
+                .map_err(|e| ClassicError::io("cleaner writeback", rec.disk_blk, e))?;
             self.stats.writebacks += 1;
             self.set_record(
                 slot,
@@ -221,23 +222,24 @@ impl ClassicCache {
                 },
             );
         }
+        Ok(())
     }
 
     /// Reads one block through the cache.
-    pub fn read(&mut self, disk_blk: u64, buf: &mut [u8]) {
+    pub fn read(&mut self, disk_blk: u64, buf: &mut [u8]) -> Result<(), ClassicError> {
         assert_eq!(buf.len(), BLOCK_SIZE);
         if let Some(&slot) = self.index.get(&disk_blk) {
             self.nvm.read(self.layout.data_addr(slot), buf);
             self.lru.touch(slot);
             self.stats.read_hits += 1;
-            return;
+            return Ok(());
         }
         self.disk
             .read_block(disk_blk, buf)
-            .expect("classic cache assumes a fault-free disk");
+            .map_err(|e| ClassicError::io("read miss fill", disk_blk, e))?;
         self.stats.read_misses += 1;
         if self.cfg.cache_reads {
-            let slot = self.take_slot(disk_blk);
+            let slot = self.take_slot(disk_blk)?;
             self.index.insert(disk_blk, slot);
             self.lru.push_mru(slot);
             let addr = self.layout.data_addr(slot);
@@ -252,27 +254,28 @@ impl ClassicCache {
                 },
             );
         }
+        Ok(())
     }
 
     /// Finds a slot in `disk_blk`'s set, evicting the set's LRU victim if
     /// the set is full.
-    fn take_slot(&mut self, disk_blk: u64) -> u32 {
+    fn take_slot(&mut self, disk_blk: u64) -> Result<u32, ClassicError> {
         let set = self.layout.set_of(disk_blk);
         // A free (invalid) slot in the set?
         for slot in self.layout.set_slots(set) {
             if !self.records[slot as usize].valid {
-                return slot;
+                return Ok(slot);
             }
         }
         let victim = self
             .lru
             .lru_of_set(set)
             .expect("full set must have linked slots");
-        self.evict(victim);
-        victim
+        self.evict(victim)?;
+        Ok(victim)
     }
 
-    fn evict(&mut self, slot: u32) {
+    fn evict(&mut self, slot: u32) -> Result<(), ClassicError> {
         let rec = self.records[slot as usize];
         debug_assert!(rec.valid);
         if rec.dirty {
@@ -280,7 +283,7 @@ impl ClassicCache {
             self.nvm.read(self.layout.data_addr(slot), &mut buf);
             self.disk
                 .write_block(rec.disk_blk, &buf)
-                .expect("classic cache assumes a fault-free disk");
+                .map_err(|e| ClassicError::io("eviction writeback", rec.disk_blk, e))?;
             self.stats.writebacks += 1;
         }
         self.index.remove(&rec.disk_blk);
@@ -288,6 +291,7 @@ impl ClassicCache {
         // Invalidate persistently before the slot is reused.
         self.set_record(slot, SlotRecord::INVALID);
         self.stats.evictions += 1;
+        Ok(())
     }
 
     /// Updates a slot's record and synchronously persists it per the
@@ -344,7 +348,9 @@ impl ClassicCache {
     }
 
     /// Writes back every dirty block (orderly shutdown / verification).
-    pub fn flush_all(&mut self) {
+    /// Stops at the first disk error — the remaining dirty blocks stay
+    /// dirty and a later retry resumes where this one failed.
+    pub fn flush_all(&mut self) -> Result<(), ClassicError> {
         let mut buf = [0u8; BLOCK_SIZE];
         for slot in 0..self.layout.num_blocks {
             let rec = self.records[slot as usize];
@@ -352,7 +358,7 @@ impl ClassicCache {
                 self.nvm.read(self.layout.data_addr(slot), &mut buf);
                 self.disk
                     .write_block(rec.disk_blk, &buf)
-                    .expect("classic cache assumes a fault-free disk");
+                    .map_err(|e| ClassicError::io("flush writeback", rec.disk_blk, e))?;
                 self.stats.writebacks += 1;
                 self.set_record(
                     slot,
@@ -363,6 +369,7 @@ impl ClassicCache {
                 );
             }
         }
+        Ok(())
     }
 
     /// Handles a device flush barrier (REQ_FLUSH) from the file system:
@@ -375,9 +382,9 @@ impl ClassicCache {
     /// every colder version — journal copies prominently — reaches the
     /// SSD, which is the disk write amplification of §3.1 / Fig. 7(c).
     /// No-op when `drain_on_flush` is disabled.
-    pub fn flush_barrier(&mut self) {
+    pub fn flush_barrier(&mut self) -> Result<(), ClassicError> {
         if !self.cfg.drain_on_flush {
-            return;
+            return Ok(());
         }
         let allowed = (self.layout.assoc * self.cfg.dirty_thresh_pct / 100).max(1);
         let mut to_clean: Vec<(u64, u32)> = Vec::new();
@@ -410,7 +417,7 @@ impl ClassicCache {
             }
         }
         if to_clean.is_empty() {
-            return;
+            return Ok(());
         }
         to_clean.sort_unstable(); // elevator order
         let mut buf = [0u8; BLOCK_SIZE];
@@ -419,7 +426,7 @@ impl ClassicCache {
             self.nvm.read(self.layout.data_addr(slot), &mut buf);
             self.disk
                 .write_block(disk_blk, &buf)
-                .expect("classic cache assumes a fault-free disk");
+                .map_err(|e| ClassicError::io("barrier writeback", disk_blk, e))?;
             self.stats.writebacks += 1;
             let set = (slot / self.layout.assoc) as usize;
             self.set_dirty[set] -= 1;
@@ -452,6 +459,7 @@ impl ClassicCache {
                 }
             }
         }
+        Ok(())
     }
 
     /// Serialises and persists one metadata block from the DRAM mirror.
@@ -472,14 +480,15 @@ impl ClassicCache {
     }
 
     /// Reads `disk_blk` without populating the cache (verification).
-    pub fn read_nocache(&self, disk_blk: u64, buf: &mut [u8]) {
+    pub fn read_nocache(&self, disk_blk: u64, buf: &mut [u8]) -> Result<(), ClassicError> {
         assert_eq!(buf.len(), BLOCK_SIZE);
         if let Some(&slot) = self.index.get(&disk_blk) {
             self.nvm.read(self.layout.data_addr(slot), buf);
+            Ok(())
         } else {
             self.disk
                 .read_block(disk_blk, buf)
-                .expect("classic cache assumes a fault-free disk");
+                .map_err(|e| ClassicError::io("uncached read", disk_blk, e))
         }
     }
 
@@ -577,9 +586,9 @@ mod tests {
     #[test]
     fn write_read_round_trip() {
         let (mut c, _, _) = setup(64);
-        c.write(10, &blk(1));
+        c.write(10, &blk(1)).unwrap();
         let mut buf = [0u8; BLOCK_SIZE];
-        c.read(10, &mut buf);
+        c.read(10, &mut buf).unwrap();
         assert_eq!(buf, blk(1));
         assert_eq!(c.stats().write_misses, 1);
         assert_eq!(c.stats().read_hits, 1);
@@ -590,8 +599,8 @@ mod tests {
     fn every_write_rewrites_a_metadata_block() {
         let (mut c, nvm, _) = setup(64);
         let before = nvm.stats();
-        c.write(1, &blk(1));
-        c.write(2, &blk(2));
+        c.write(1, &blk(1)).unwrap();
+        c.write(2, &blk(2)).unwrap();
         let d = nvm.stats().delta(&before);
         assert_eq!(c.stats().meta_block_writes, 2);
         // Two data blocks + two metadata blocks, each 64 dirty lines.
@@ -615,7 +624,7 @@ mod tests {
         };
         let mut c = ClassicCache::format(nvm.clone(), disk, cfg);
         let before = nvm.stats();
-        c.write(1, &blk(1));
+        c.write(1, &blk(1)).unwrap();
         let d = nvm.stats().delta(&before);
         assert_eq!(c.stats().meta_block_writes, 0);
         assert!(
@@ -627,12 +636,12 @@ mod tests {
     #[test]
     fn write_hit_overwrites_in_place() {
         let (mut c, _, _) = setup(64);
-        c.write(5, &blk(1));
-        c.write(5, &blk(2));
+        c.write(5, &blk(1)).unwrap();
+        c.write(5, &blk(2)).unwrap();
         assert_eq!(c.stats().write_hits, 1);
         assert_eq!(c.cached_blocks(), 1);
         let mut buf = [0u8; BLOCK_SIZE];
-        c.read(5, &mut buf);
+        c.read(5, &mut buf).unwrap();
         assert_eq!(buf, blk(2));
     }
 
@@ -651,7 +660,7 @@ mod tests {
             b += 1;
         }
         for (i, &sb) in same_set.iter().enumerate() {
-            c.write(sb, &blk(i as u8 + 1));
+            c.write(sb, &blk(i as u8 + 1)).unwrap();
         }
         // The set holds 4 slots: the first block must have been evicted
         // even though the rest of the cache is empty.
@@ -670,8 +679,8 @@ mod tests {
     #[test]
     fn recover_rebuilds_index_from_metadata_blocks() {
         let (mut c, nvm, disk) = setup(64);
-        c.write(7, &blk(9));
-        c.write(8, &blk(10));
+        c.write(7, &blk(9)).unwrap();
+        c.write(8, &blk(10)).unwrap();
         drop(c);
         nvm.crash(CrashPolicy::LoseVolatile);
         let rec = ClassicCache::recover(
@@ -685,7 +694,7 @@ mod tests {
         .unwrap();
         assert!(rec.contains(7) && rec.contains(8));
         let mut buf = [0u8; BLOCK_SIZE];
-        rec.read_nocache(7, &mut buf);
+        rec.read_nocache(7, &mut buf).unwrap();
         assert_eq!(buf, blk(9));
         rec.check_consistency().unwrap();
     }
@@ -704,7 +713,7 @@ mod tests {
                 ..ClassicConfig::default()
             };
             let mut c = ClassicCache::format(nvm.clone(), disk.clone(), cfg.clone());
-            c.write(3, &blk(1));
+            c.write(3, &blk(1)).unwrap();
             // Second write crashes mid-flush.
             nvm.set_trip(Some(20));
             let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| c.write(3, &blk(2))));
@@ -716,7 +725,7 @@ mod tests {
             nvm.crash(CrashPolicy::Random(seed));
             let rec = ClassicCache::recover(nvm, disk, cfg).unwrap();
             let mut buf = [0u8; BLOCK_SIZE];
-            rec.read_nocache(3, &mut buf);
+            rec.read_nocache(3, &mut buf).unwrap();
             if buf.iter().any(|&x| x != buf[0]) {
                 torn = true;
                 break;
@@ -732,9 +741,9 @@ mod tests {
     fn flush_all_cleans_dirty_blocks() {
         let (mut c, _, disk) = setup(64);
         for i in 0..5u64 {
-            c.write(i, &blk(i as u8 + 1));
+            c.write(i, &blk(i as u8 + 1)).unwrap();
         }
-        c.flush_all();
+        c.flush_all().unwrap();
         let mut buf = [0u8; BLOCK_SIZE];
         for i in 0..5u64 {
             disk.read_block(i, &mut buf)
@@ -742,7 +751,7 @@ mod tests {
             assert_eq!(buf, blk(i as u8 + 1));
         }
         let w = disk.stats().writes;
-        c.flush_all();
+        c.flush_all().unwrap();
         assert_eq!(disk.stats().writes, w, "second flush writes nothing");
         c.check_consistency().unwrap();
     }
@@ -753,12 +762,12 @@ mod tests {
         disk.write_block(40, &blk(4))
             .expect("classic cache assumes a fault-free disk");
         let mut buf = [0u8; BLOCK_SIZE];
-        c.read(40, &mut buf);
+        c.read(40, &mut buf).unwrap();
         assert_eq!(buf, blk(4));
         assert!(c.contains(40));
         // Evicting it must not write back.
         let w = disk.stats().writes;
-        c.flush_all();
+        c.flush_all().unwrap();
         assert_eq!(disk.stats().writes, w);
     }
 }

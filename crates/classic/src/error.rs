@@ -1,0 +1,61 @@
+//! Error type for the Classic cache.
+
+use std::fmt;
+
+use blockdev::IoError;
+
+/// A backing-disk failure surfaced by the Classic cache.
+///
+/// The Classic baseline has no retry or quarantine machinery — that is
+/// Tinca's contribution — so any disk error aborts the operation in
+/// progress and is handed to the caller (the journaling file system
+/// above, which treats it like a failed bio).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ClassicError {
+    /// The cache operation that needed the disk (`"writeback"`,
+    /// `"read miss fill"`, ...).
+    pub op: &'static str,
+    /// The disk block the failed request addressed.
+    pub disk_blk: u64,
+    /// The underlying device error.
+    pub source: IoError,
+}
+
+impl ClassicError {
+    /// Tags a disk error with the cache operation it interrupted.
+    pub fn io(op: &'static str, disk_blk: u64, source: IoError) -> ClassicError {
+        ClassicError {
+            op,
+            disk_blk,
+            source,
+        }
+    }
+}
+
+impl fmt::Display for ClassicError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "classic cache {} of disk block {} failed: {}",
+            self.op, self.disk_blk, self.source
+        )
+    }
+}
+
+impl std::error::Error for ClassicError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        Some(&self.source)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_op_and_block() {
+        let e = ClassicError::io("writeback", 42, IoError::BadBlock { blk: 42 });
+        let s = e.to_string();
+        assert!(s.contains("writeback") && s.contains("42"));
+    }
+}

@@ -30,17 +30,19 @@
 //! let nvm = NvmDevice::new(NvmConfig::new(2 << 20, NvmTech::Pcm), clock.clone());
 //! let disk = SimDisk::new(DiskKind::Ssd, 1 << 14, clock);
 //! let mut cache = ClassicCache::format(nvm, disk, ClassicConfig { assoc: 64, ..Default::default() });
-//! cache.write(42, &[1u8; BLOCK_SIZE]);
+//! cache.write(42, &[1u8; BLOCK_SIZE]).unwrap();
 //! assert_eq!(cache.stats().meta_block_writes, 1); // synchronous 4 KB metadata write
 //! ```
 
 mod cache;
 mod config;
+mod error;
 mod meta;
 mod setlru;
 mod stats;
 
 pub use cache::ClassicCache;
 pub use config::{ClassicConfig, MetadataScheme};
+pub use error::ClassicError;
 pub use meta::{ClassicLayout, SlotRecord};
 pub use stats::ClassicStats;

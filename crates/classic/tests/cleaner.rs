@@ -26,12 +26,12 @@ fn fallow_blocks_reach_disk_on_barrier() {
     };
     let (mut c, disk) = setup(cfg);
     // Block 1 goes dirty, then 20 other writes age it past the fallow window.
-    c.write(1, &blk(0xAA));
+    c.write(1, &blk(0xAA)).unwrap();
     for i in 100..120u64 {
-        c.write(i, &blk(1));
+        c.write(i, &blk(1)).unwrap();
     }
     assert_eq!(disk.stats().writes, 0, "nothing cleaned before a barrier");
-    c.flush_barrier();
+    c.flush_barrier().unwrap();
     let mut buf = [0u8; BLOCK_SIZE];
     disk.read_block(1, &mut buf).unwrap();
     assert_eq!(
@@ -52,8 +52,8 @@ fn hot_blocks_absorb_across_barriers() {
     let (mut c, disk) = setup(cfg);
     // Rewrite the same block between barriers: it never goes fallow.
     for round in 0..20 {
-        c.write(7, &blk(round));
-        c.flush_barrier();
+        c.write(7, &blk(round)).unwrap();
+        c.flush_barrier().unwrap();
     }
     let writes = disk.stats().writes;
     assert!(
@@ -75,9 +75,9 @@ fn cold_versions_hit_disk_once_each() {
     let region: Vec<u64> = (200..264).collect(); // 64-block "journal"
     for wrap in 0..4u8 {
         for &b in &region {
-            c.write(b, &blk(wrap));
+            c.write(b, &blk(wrap)).unwrap();
         }
-        c.flush_barrier();
+        c.flush_barrier().unwrap();
     }
     let writes = disk.stats().writes;
     // 4 wraps × 64 blocks: nearly every version cleaned (only the last
@@ -98,9 +98,9 @@ fn drain_can_be_disabled() {
     };
     let (mut c, disk) = setup(cfg);
     for i in 0..50u64 {
-        c.write(i, &blk(1));
+        c.write(i, &blk(1)).unwrap();
     }
-    c.flush_barrier();
+    c.flush_barrier().unwrap();
     assert_eq!(
         disk.stats().writes,
         0,
@@ -126,13 +126,13 @@ fn barrier_cleaning_is_elevator_ordered() {
     let mut order: Vec<u64> = (1000..1100).collect();
     order.reverse();
     for &b in &order {
-        c.write(b, &blk(2));
+        c.write(b, &blk(2)).unwrap();
     }
     for i in 0..8u64 {
-        c.write(i, &blk(3)); // age the range
+        c.write(i, &blk(3)).unwrap(); // age the range
     }
     let t0 = clock.now_ns();
-    c.flush_barrier();
+    c.flush_barrier().unwrap();
     let barrier_ns = clock.now_ns() - t0;
     // 100 sorted sequential-ish writes: mostly transfer + one seek, far
     // below 100 independent random writes (~100 × 5ms).
@@ -153,21 +153,21 @@ fn cleaned_blocks_stay_cached_and_clean() {
         ..ClassicConfig::default()
     };
     let (mut c, disk) = setup(cfg);
-    c.write(5, &blk(9));
+    c.write(5, &blk(9)).unwrap();
     for i in 100..110u64 {
-        c.write(i, &blk(1));
+        c.write(i, &blk(1)).unwrap();
     }
-    c.flush_barrier();
+    c.flush_barrier().unwrap();
     assert!(c.contains(5), "cleaning must not evict");
     // A read still hits the cache, not the disk.
     let reads_before = disk.stats().reads;
     let mut buf = [0u8; BLOCK_SIZE];
-    c.read(5, &mut buf);
+    c.read(5, &mut buf).unwrap();
     assert_eq!(buf, blk(9));
     assert_eq!(disk.stats().reads, reads_before);
     // Flushing again writes nothing (already clean).
     let w = disk.stats().writes;
-    c.flush_barrier();
+    c.flush_barrier().unwrap();
     assert_eq!(disk.stats().writes, w);
     c.check_consistency().unwrap();
 }

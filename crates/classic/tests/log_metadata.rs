@@ -28,8 +28,8 @@ fn blk(b: u8) -> [u8; BLOCK_SIZE] {
 fn log_appends_instead_of_block_rewrites() {
     let (mut c, nvm, _) = setup();
     let before = nvm.stats();
-    c.write(1, &blk(1));
-    c.write(2, &blk(2));
+    c.write(1, &blk(1)).unwrap();
+    c.write(2, &blk(2)).unwrap();
     let d = nvm.stats().delta(&before);
     let s = c.stats();
     assert_eq!(s.meta_log_appends, 2);
@@ -63,7 +63,7 @@ fn log_scheme_is_much_cheaper_than_sync_block() {
         );
         let before = nvm.stats();
         for i in 0..200u64 {
-            c.write(i, &blk(1));
+            c.write(i, &blk(1)).unwrap();
         }
         nvm.stats().delta(&before).clflush
     };
@@ -79,10 +79,10 @@ fn log_scheme_is_much_cheaper_than_sync_block() {
 fn recovery_replays_log_over_base() {
     let (mut c, nvm, disk) = setup();
     for i in 0..40u64 {
-        c.write(i, &blk((i % 250) as u8));
+        c.write(i, &blk((i % 250) as u8)).unwrap();
     }
     // Invalidate one slot via eviction-like update path: overwrite 0.
-    c.write(0, &blk(0xAA));
+    c.write(0, &blk(0xAA)).unwrap();
     drop(c);
     nvm.crash(CrashPolicy::LoseVolatile);
     let rec = ClassicCache::recover(nvm, disk, cfg()).unwrap();
@@ -91,7 +91,7 @@ fn recovery_replays_log_over_base() {
         assert!(rec.contains(i), "block {i} lost");
     }
     let mut buf = [0u8; BLOCK_SIZE];
-    rec.read_nocache(0, &mut buf);
+    rec.read_nocache(0, &mut buf).unwrap();
     assert_eq!(buf, blk(0xAA), "the newest logged state must win");
 }
 
@@ -101,7 +101,7 @@ fn checkpoint_on_log_full_and_recovery_across_generations() {
     // LOG_SLOTS is 4096: force past it so a checkpoint happens.
     for round in 0..3u64 {
         for i in 0..1500u64 {
-            c.write(i % 300, &blk((round * 80 + i % 80) as u8));
+            c.write(i % 300, &blk((round * 80 + i % 80) as u8)).unwrap();
         }
     }
     assert!(c.stats().meta_checkpoints >= 1, "log must have wrapped");
@@ -109,7 +109,7 @@ fn checkpoint_on_log_full_and_recovery_across_generations() {
     let mut want = Vec::new();
     let mut buf = [0u8; BLOCK_SIZE];
     for i in [0u64, 77, 299] {
-        c.read_nocache(i, &mut buf);
+        c.read_nocache(i, &mut buf).unwrap();
         want.push((i, buf));
     }
     drop(c);
@@ -117,7 +117,7 @@ fn checkpoint_on_log_full_and_recovery_across_generations() {
     let rec = ClassicCache::recover(nvm, disk, cfg()).unwrap();
     rec.check_consistency().unwrap();
     for (i, w) in want {
-        rec.read_nocache(i, &mut buf);
+        rec.read_nocache(i, &mut buf).unwrap();
         assert_eq!(
             buf, w,
             "block {i} state diverged across checkpoint generations"
@@ -133,12 +133,12 @@ fn flush_barrier_logs_cleaned_slots() {
     let nvm = NvmDevice::new(NvmConfig::new(4 << 20, NvmTech::Pcm), clock.clone());
     let disk = SimDisk::new(DiskKind::Ssd, 1 << 16, clock);
     let mut c = ClassicCache::format(nvm.clone(), disk.clone(), config.clone());
-    c.write(5, &blk(9));
+    c.write(5, &blk(9)).unwrap();
     for i in 100..110u64 {
-        c.write(i, &blk(1));
+        c.write(i, &blk(1)).unwrap();
     }
     let appends_before = c.stats().meta_log_appends;
-    c.flush_barrier();
+    c.flush_barrier().unwrap();
     assert!(
         c.stats().meta_log_appends > appends_before,
         "cleaning must log state changes"
@@ -149,7 +149,7 @@ fn flush_barrier_logs_cleaned_slots() {
     nvm.crash(CrashPolicy::LoseVolatile);
     let mut rec = ClassicCache::recover(nvm, disk.clone(), config).unwrap();
     let w = disk.stats().writes;
-    rec.flush_all();
+    rec.flush_all().unwrap();
     let rewritten = disk.stats().writes - w;
     assert!(
         rewritten < 11,

@@ -56,17 +56,17 @@ proptest! {
         for op in seq {
             match op {
                 Op::Write { blk, fill } => {
-                    cache.write(blk, &[fill; BLOCK_SIZE]);
+                    cache.write(blk, &[fill; BLOCK_SIZE]).unwrap();
                     model.insert(blk, fill);
                 }
                 Op::Read(blk) => {
-                    cache.read(blk, &mut buf);
+                    cache.read(blk, &mut buf).unwrap();
                     let want = model.get(&blk).copied().unwrap_or(0);
                     prop_assert_eq!(buf, [want; BLOCK_SIZE], "read of block {}", blk);
                 }
-                Op::Barrier => cache.flush_barrier(),
+                Op::Barrier => cache.flush_barrier().unwrap(),
                 Op::FlushAll => {
-                    cache.flush_all();
+                    cache.flush_all().unwrap();
                     // After a full flush, the DISK alone matches the model.
                     for (&blk, &want) in &model {
                         use blockdev::BlockDevice;
@@ -75,7 +75,7 @@ proptest! {
                     }
                 }
                 Op::Restart => {
-                    cache.flush_barrier(); // barrier, then clean restart
+                    cache.flush_barrier().unwrap(); // barrier, then clean restart
                     drop(cache);
                     nvm.crash(CrashPolicy::PersistAll);
                     cache = ClassicCache::recover(nvm.clone(), disk.clone(), cfg())
@@ -86,7 +86,7 @@ proptest! {
         }
         // Final sweep through the cache view.
         for (&blk, &want) in &model {
-            cache.read(blk, &mut buf);
+            cache.read(blk, &mut buf).unwrap();
             prop_assert_eq!(buf, [want; BLOCK_SIZE], "final read of {}", blk);
         }
     }

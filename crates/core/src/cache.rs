@@ -148,29 +148,33 @@ impl TincaCache {
         if txn.is_empty() {
             return Ok(());
         }
+        let _t = telemetry::span(telemetry::phase::COMMIT);
         let n = txn.len();
-        if n as u64 > self.layout.ring_cap {
-            return Err(TincaError::TxnTooLarge {
-                blocks: n,
-                ring_cap: self.layout.ring_cap,
-            });
-        }
-        // Admission: the commit protocol allocates one new NVM block per
-        // staged block (two in the double-write ablation), while the
-        // current versions of staged-and-cached blocks stay pinned as
-        // revocation `prev`s. Supply is the free pool plus every cached
-        // block that stays evictable mid-protocol — NOT the total block
-        // count: a commit admitted against `data_blocks` alone could run
-        // out of victims mid-protocol and take the revoke path.
-        let needed = if self.cfg.role_switch { n } else { 2 * n };
-        let overlap = txn
-            .blocks()
-            .iter()
-            .filter(|(b, _)| self.index.contains_key(b))
-            .count();
-        let available = self.free_blocks.free_count() + (self.index.len() - overlap);
-        if needed > available {
-            return Err(TincaError::CacheExhausted { needed, available });
+        {
+            let _a = telemetry::span(telemetry::phase::COMMIT_ADMISSION);
+            if n as u64 > self.layout.ring_cap {
+                return Err(TincaError::TxnTooLarge {
+                    blocks: n,
+                    ring_cap: self.layout.ring_cap,
+                });
+            }
+            // Admission: the commit protocol allocates one new NVM block per
+            // staged block (two in the double-write ablation), while the
+            // current versions of staged-and-cached blocks stay pinned as
+            // revocation `prev`s. Supply is the free pool plus every cached
+            // block that stays evictable mid-protocol — NOT the total block
+            // count: a commit admitted against `data_blocks` alone could run
+            // out of victims mid-protocol and take the revoke path.
+            let needed = if self.cfg.role_switch { n } else { 2 * n };
+            let overlap = txn
+                .blocks()
+                .iter()
+                .filter(|(b, _)| self.index.contains_key(b))
+                .count();
+            let available = self.free_blocks.free_count() + (self.index.len() - overlap);
+            if needed > available {
+                return Err(TincaError::CacheExhausted { needed, available });
+            }
         }
 
         debug_assert_eq!(
@@ -192,11 +196,14 @@ impl TincaCache {
         });
         match result {
             Ok(()) => {
-                // Commit point: Tail := Head (one 8 B atomic store).
-                self.tail = self.head;
-                self.nvm.atomic_write_u64(TAIL_OFF, self.tail);
-                self.nvm.persist(TAIL_OFF, 8);
-                self.nvm.note_commit(TAIL_OFF, 8);
+                {
+                    // Commit point: Tail := Head (one 8 B atomic store).
+                    let _p = telemetry::span(telemetry::phase::COMMIT_POINT);
+                    self.tail = self.head;
+                    self.nvm.atomic_write_u64(TAIL_OFF, self.tail);
+                    self.nvm.persist(TAIL_OFF, 8);
+                    self.nvm.note_commit(TAIL_OFF, 8);
+                }
                 // DRAM-only reclamation, strictly after the commit point:
                 // previous versions become free, committed blocks turn MRU
                 // (§4.6 rule 2b).
@@ -210,6 +217,7 @@ impl TincaCache {
                 self.stats.committed_blocks += n as u64;
                 self.stats.coalesced_writes += txn.coalesced_writes();
                 if self.cfg.write_policy == WritePolicy::WriteThrough {
+                    let _w = telemetry::span(telemetry::phase::COMMIT_WRITE_THROUGH);
                     self.write_through(&touched);
                 }
                 self.clear_pins();
@@ -268,12 +276,17 @@ impl TincaCache {
     ) -> Result<(), TincaError> {
         for (disk_blk, data) in txn.blocks() {
             // (1) COW block write: new NVM block, payload, flush, fence.
-            let new_blk = self.alloc_block()?;
-            self.pin_block(new_blk);
-            let addr = self.layout.data_addr(new_blk);
-            self.nvm.write(addr, &data[..]);
-            self.nvm.persist(addr, BLOCK_SIZE);
+            let new_blk = {
+                let _s = telemetry::span(telemetry::phase::COMMIT_STAGE);
+                let new_blk = self.alloc_block()?;
+                self.pin_block(new_blk);
+                let addr = self.layout.data_addr(new_blk);
+                self.nvm.write(addr, &data[..]);
+                self.nvm.persist(addr, BLOCK_SIZE);
+                new_blk
+            };
             // (2) Create/update the cache entry with one 16 B atomic store.
+            let _e = telemetry::span(telemetry::phase::COMMIT_ENTRY);
             let idx = match self.index.get(disk_blk) {
                 Some(&idx) => {
                     let old = self.read_entry(idx);
@@ -300,11 +313,13 @@ impl TincaCache {
                     idx
                 }
             };
+            drop(_e);
             self.pin_entry(idx);
             touched.push(idx);
             // (3) Record the block number in the ring via an 8 B atomic
             // store, then (4) move Head. In batched mode the slot is only
             // flushed (fence deferred) and Head moves once at the end.
+            let _r = telemetry::span(telemetry::phase::COMMIT_RING);
             let slot = self.layout.ring_slot_addr(self.head);
             self.nvm.atomic_write_u64(slot, *disk_blk);
             if self.cfg.batched_ring {
@@ -319,6 +334,7 @@ impl TincaCache {
         }
         if self.cfg.batched_ring {
             // All slots durable before the single Head move.
+            let _r = telemetry::span(telemetry::phase::COMMIT_RING);
             self.nvm.sfence();
             self.nvm.atomic_write_u64(HEAD_OFF, self.head);
             self.nvm.persist(HEAD_OFF, 8);
@@ -331,6 +347,7 @@ impl TincaCache {
     /// `prev` fields are retained; they are reclaimed only after `Tail`
     /// moves, so a crash here can still revoke the whole transaction.
     fn complete_role_switch(&mut self, touched: &[u32]) {
+        let _t = telemetry::span(telemetry::phase::COMMIT_ROLE_SWITCH);
         for &idx in touched {
             let e = self.read_entry(idx);
             debug_assert_eq!(e.role, Role::Log);
@@ -346,6 +363,7 @@ impl TincaCache {
     /// write *inside* the cache — every committed block is copied to a
     /// second NVM block ("checkpoint" copy) before the commit point.
     fn complete_double_write(&mut self, touched: &mut [u32]) -> Result<(), TincaError> {
+        let _t = telemetry::span(telemetry::phase::COMMIT_DOUBLE_WRITE);
         let mut buf = [0u8; BLOCK_SIZE];
         for &idx in touched.iter() {
             let e = self.read_entry(idx);
@@ -411,6 +429,10 @@ impl TincaCache {
                     attempt += 1;
                     self.stats.io_retries += 1;
                     self.nvm.clock().advance(self.cfg.retry_backoff_ns);
+                    telemetry::charge(
+                        telemetry::phase::IO_RETRY_BACKOFF,
+                        self.cfg.retry_backoff_ns,
+                    );
                 }
                 Err(e) => {
                     self.stats.permanent_io_errors += 1;
@@ -436,6 +458,10 @@ impl TincaCache {
                     attempt += 1;
                     self.stats.io_retries += 1;
                     self.nvm.clock().advance(self.cfg.retry_backoff_ns);
+                    telemetry::charge(
+                        telemetry::phase::IO_RETRY_BACKOFF,
+                        self.cfg.retry_backoff_ns,
+                    );
                 }
                 Err(e) => {
                     self.stats.permanent_io_errors += 1;
@@ -477,6 +503,7 @@ impl TincaCache {
     /// Revokes the already-written blocks of a failed committing
     /// transaction (runtime `tinca_abort` of a committing transaction).
     fn revoke_in_flight(&mut self, touched: &[u32]) {
+        let _t = telemetry::span(telemetry::phase::COMMIT_REVOKE);
         for &idx in touched {
             let e = self.read_entry(idx);
             if !e.valid || e.is_revoked_marker() {
@@ -530,6 +557,7 @@ impl TincaCache {
     /// backoff; a permanent fault surfaces as [`TincaError::Io`].
     pub fn read(&mut self, disk_blk: u64, buf: &mut [u8]) -> Result<(), TincaError> {
         assert_eq!(buf.len(), BLOCK_SIZE);
+        let _t = telemetry::span(telemetry::phase::CACHE_READ);
         if let Some(&idx) = self.index.get(&disk_blk) {
             let e = self.read_entry(idx);
             debug_assert!(e.valid && e.disk_blk == disk_blk);
@@ -597,9 +625,11 @@ impl TincaCache {
     /// the writeback fails permanently, the entry is quarantined instead
     /// — its payload stays safe in NVM.
     fn evict(&mut self, idx: u32) -> Result<(), IoError> {
+        let _t = telemetry::span(telemetry::phase::CACHE_EVICT);
         let e = self.read_entry(idx);
         debug_assert!(e.valid && e.role == Role::Buffer);
         if e.modified {
+            let _w = telemetry::span(telemetry::phase::CACHE_WRITEBACK);
             let mut buf = [0u8; BLOCK_SIZE];
             self.nvm.read(self.layout.data_addr(e.cur), &mut buf);
             if let Err(err) = self.disk_write_retry(e.disk_blk, &buf) {
@@ -631,12 +661,14 @@ impl TincaCache {
                 tail: self.tail,
             });
         }
+        let _t = telemetry::span(telemetry::phase::CACHE_FLUSH_ALL);
         let mut buf = [0u8; BLOCK_SIZE];
         let mut first_err = Ok(());
         let idxs: Vec<u32> = self.index.values().copied().collect();
         for idx in idxs {
             let e = self.read_entry(idx);
             if e.valid && e.modified {
+                let _w = telemetry::span(telemetry::phase::CACHE_WRITEBACK);
                 self.nvm.read(self.layout.data_addr(e.cur), &mut buf);
                 match self.disk_write_retry(e.disk_blk, &buf) {
                     Ok(()) => {

@@ -46,6 +46,7 @@ mod layout;
 mod lru;
 mod pool;
 mod recovery;
+mod snapshot;
 mod stats;
 mod txn;
 
@@ -55,5 +56,6 @@ pub use entry::{CacheEntry, Role, FRESH};
 pub use error::TincaError;
 pub use layout::Layout;
 pub use pool::{PoolConfig, TincaPool};
+pub use snapshot::StatsSnapshot;
 pub use stats::CacheStats;
 pub use txn::{block_buf, BlockBuf, Txn};

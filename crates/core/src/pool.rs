@@ -293,10 +293,14 @@ impl TincaPool {
                 return res;
             }
             if gc.leader {
+                // Simulated time a follower spends parked behind the
+                // in-flight group commit (the leader advances the clock).
+                let _w = telemetry::span(telemetry::phase::COMMIT_GROUP_WAIT);
                 gc = sh.cv.wait(gc).unwrap_or_else(PoisonError::into_inner);
                 continue;
             }
             gc.leader = true;
+            let lead = telemetry::span(telemetry::phase::COMMIT_GROUP_LEAD);
             let mut tickets = Vec::new();
             let mut batch = Vec::new();
             let mut staged = 0usize;
@@ -318,6 +322,7 @@ impl TincaPool {
             // commit; restore leadership and wake waiters before unwinding
             // so surviving threads are not stranded.
             let res = catch_unwind(AssertUnwindSafe(|| sh.cache.lock().commit_group(batch)));
+            drop(lead);
             gc = lock_gc(sh);
             gc.leader = false;
             match res {

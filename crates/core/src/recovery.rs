@@ -75,6 +75,7 @@ impl TincaCache {
     }
 
     fn run_recovery(&mut self) {
+        let _t = telemetry::span(telemetry::phase::RECOVERY);
         let (head, tail) = self.head_tail();
         let layout = *self.layout();
 

@@ -1,0 +1,207 @@
+//! Unified, serializable view of every statistics domain in the stack.
+//!
+//! The cache ([`CacheStats`]), NVM device ([`NvmStats`]), backing disk
+//! ([`DiskStats`]) and pool health ([`Health`]) each keep their own
+//! counters; figure harnesses and telemetry exporters want them as one
+//! coherent object stamped with the simulated time they were taken at.
+//! [`StatsSnapshot`] is that object, with a hand-rolled JSON rendering
+//! (via [`telemetry::Json`]) so benches can emit machine-readable results
+//! without a serialization dependency.
+
+use blockdev::DiskStats;
+use nvmsim::NvmStats;
+use telemetry::Json;
+
+use crate::cache::Health;
+use crate::{CacheStats, TincaCache, TincaPool};
+
+/// One coherent sample of every counter domain, stamped with the simulated
+/// clock.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct StatsSnapshot {
+    /// Simulated nanoseconds at sampling time.
+    pub sim_ns: u64,
+    /// Cache-level counters (pool-wide sum when taken from a pool).
+    pub cache: CacheStats,
+    /// NVM device counters (summed over shard devices for a pool).
+    pub nvm: NvmStats,
+    /// Backing-disk counters.
+    pub disk: DiskStats,
+    /// Fault condition at sampling time.
+    pub health: Health,
+}
+
+impl StatsSnapshot {
+    /// Samples a single cache.
+    pub fn collect(cache: &TincaCache) -> StatsSnapshot {
+        StatsSnapshot {
+            sim_ns: cache.nvm().clock().now_ns(),
+            cache: cache.stats(),
+            nvm: cache.nvm().stats(),
+            disk: cache.disk().stats(),
+            health: cache.health(),
+        }
+    }
+
+    /// Samples a pool: cache and NVM counters are summed over shards, the
+    /// disk is shared (read once), and `sim_ns` is shard 0's clock.
+    pub fn collect_pool(pool: &TincaPool) -> StatsSnapshot {
+        let mut nvm = NvmStats::default();
+        for s in 0..pool.shard_count() {
+            nvm = nvm.merge(&pool.with_shard(s, |c| c.nvm().stats()));
+        }
+        let (sim_ns, disk) = pool.with_shard(0, |c| (c.nvm().clock().now_ns(), c.disk().stats()));
+        StatsSnapshot {
+            sim_ns,
+            cache: pool.stats(),
+            nvm,
+            disk,
+            health: pool.health(),
+        }
+    }
+
+    /// Per-domain difference `self - earlier` (all counters are monotone).
+    /// Health is *not* differenced: the later sample's condition stands.
+    pub fn delta(&self, earlier: &StatsSnapshot) -> StatsSnapshot {
+        StatsSnapshot {
+            sim_ns: self.sim_ns - earlier.sim_ns,
+            cache: self.cache.delta(&earlier.cache),
+            nvm: self.nvm.delta(&earlier.nvm),
+            disk: self.disk.delta(&earlier.disk),
+            health: self.health,
+        }
+    }
+
+    /// JSON value with one object per domain, field names matching the
+    /// Rust struct fields.
+    pub fn to_json(&self) -> Json {
+        let c = &self.cache;
+        let n = &self.nvm;
+        let d = &self.disk;
+        let (status, quarantined) = match self.health {
+            Health::Healthy => ("healthy", 0u64),
+            Health::Degraded { quarantined } => ("degraded", quarantined as u64),
+            Health::ReadOnly => ("read_only", 0),
+        };
+        Json::obj(vec![
+            ("sim_ns", self.sim_ns.into()),
+            (
+                "cache",
+                Json::obj(vec![
+                    ("read_hits", c.read_hits.into()),
+                    ("read_misses", c.read_misses.into()),
+                    ("write_hits", c.write_hits.into()),
+                    ("write_misses", c.write_misses.into()),
+                    ("commits", c.commits.into()),
+                    ("committed_blocks", c.committed_blocks.into()),
+                    ("user_aborts", c.user_aborts.into()),
+                    ("failed_commits", c.failed_commits.into()),
+                    ("group_commits", c.group_commits.into()),
+                    ("batched_txns", c.batched_txns.into()),
+                    ("coalesced_writes", c.coalesced_writes.into()),
+                    ("evictions", c.evictions.into()),
+                    ("writebacks", c.writebacks.into()),
+                    ("revoked_blocks", c.revoked_blocks.into()),
+                    ("recoveries", c.recoveries.into()),
+                    ("io_retries", c.io_retries.into()),
+                    (
+                        "transient_errors_absorbed",
+                        c.transient_errors_absorbed.into(),
+                    ),
+                    ("permanent_io_errors", c.permanent_io_errors.into()),
+                    ("quarantined_blocks", c.quarantined_blocks.into()),
+                ]),
+            ),
+            (
+                "nvm",
+                Json::obj(vec![
+                    ("clflush", n.clflush.into()),
+                    ("sfence", n.sfence.into()),
+                    ("atomic_stores", n.atomic_stores.into()),
+                    ("lines_written", n.lines_written.into()),
+                    ("lines_read", n.lines_read.into()),
+                    ("bytes_stored", n.bytes_stored.into()),
+                    ("bytes_read", n.bytes_read.into()),
+                ]),
+            ),
+            (
+                "disk",
+                Json::obj(vec![
+                    ("reads", d.reads.into()),
+                    ("writes", d.writes.into()),
+                    ("busy_ns", d.busy_ns.into()),
+                    ("read_errors", d.read_errors.into()),
+                    ("write_errors", d.write_errors.into()),
+                ]),
+            ),
+            (
+                "health",
+                Json::obj(vec![
+                    ("status", status.into()),
+                    ("quarantined", quarantined.into()),
+                ]),
+            ),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::TincaConfig;
+    use blockdev::{DiskKind, SimDisk};
+    use nvmsim::{NvmConfig, NvmDevice, NvmTech, SimClock};
+
+    fn cache() -> TincaCache {
+        let clock = SimClock::new();
+        let nvm = NvmDevice::new(NvmConfig::new(1 << 20, NvmTech::Pcm), clock.clone());
+        let disk = SimDisk::new(DiskKind::Ssd, 1 << 14, clock);
+        TincaCache::format(
+            nvm,
+            disk,
+            TincaConfig {
+                ring_bytes: 4096,
+                ..TincaConfig::default()
+            },
+        )
+    }
+
+    #[test]
+    fn collect_stamps_clock_and_domains() {
+        let mut c = cache();
+        let mut t = c.init_txn();
+        t.write(3, &[7u8; blockdev::BLOCK_SIZE]);
+        c.commit(&t).unwrap();
+        let s = StatsSnapshot::collect(&c);
+        assert_eq!(s.cache.commits, 1);
+        assert!(s.nvm.clflush > 0, "commit must flush lines");
+        assert_eq!(s.sim_ns, c.nvm().clock().now_ns());
+        assert_eq!(s.health, Health::Healthy);
+    }
+
+    #[test]
+    fn delta_isolates_an_interval() {
+        let mut c = cache();
+        let mut t = c.init_txn();
+        t.write(1, &[1u8; blockdev::BLOCK_SIZE]);
+        c.commit(&t).unwrap();
+        let mid = StatsSnapshot::collect(&c);
+        let mut t = c.init_txn();
+        t.write(2, &[2u8; blockdev::BLOCK_SIZE]);
+        c.commit(&t).unwrap();
+        let end = StatsSnapshot::collect(&c);
+        let d = end.delta(&mid);
+        assert_eq!(d.cache.commits, 1);
+        assert!(d.sim_ns > 0);
+    }
+
+    #[test]
+    fn json_round_trips_field_names() {
+        let c = cache();
+        let rendered = StatsSnapshot::collect(&c).to_json().render();
+        for key in ["sim_ns", "\"cache\"", "\"nvm\"", "\"disk\"", "\"health\""] {
+            assert!(rendered.contains(key), "missing {key} in {rendered}");
+        }
+        assert!(rendered.contains("\"status\":\"healthy\""));
+    }
+}

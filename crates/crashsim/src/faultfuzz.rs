@@ -140,6 +140,8 @@ pub fn fault_fuzz_one_detailed(seed: u64, txns: usize) -> (FaultFuzzOutcome, Fau
     let plan = draw_plan(&mut rng, seed);
 
     let clock = SimClock::new();
+    telemetry::swap_clock(&clock);
+    let _seed_span = telemetry::span(telemetry::phase::CRASH_SEED);
     let nvm = NvmDevice::new(
         NvmConfig::new(256 << 10, NvmTech::Pcm).with_tracing(),
         clock.clone(),

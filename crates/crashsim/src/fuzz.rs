@@ -138,6 +138,11 @@ pub fn fuzz_one_mode(system: System, seed: u64, steps: usize, mode: FailureMode)
     let mut cfg = StackConfig::tiny(system);
     cfg.txn_block_limit = 100_000; // commits only at explicit fsync
     let mut harness = CrashHarness::new(cfg);
+    // Each seed builds a fresh stack with its own simulated clock; point
+    // any installed telemetry recorder at it so per-seed spans attribute
+    // this run's simulated time (a no-op when telemetry is off).
+    telemetry::swap_clock(&harness.stack().clock);
+    let _seed_span = telemetry::span(telemetry::phase::CRASH_SEED);
     let mut oracle = FsOracle::new();
     let plan = script(&mut rng, steps, 12);
 
@@ -183,10 +188,17 @@ pub fn fuzz_system_mode(
     for i in 0..runs {
         report.runs += 1;
         match fuzz_one_mode(system, base_seed + i, steps, mode) {
-            FuzzOutcome::Completed => report.completed += 1,
-            FuzzOutcome::CrashedVerified => report.crashes += 1,
+            FuzzOutcome::Completed => {
+                report.completed += 1;
+                telemetry::count("crash.seeds.completed", 1);
+            }
+            FuzzOutcome::CrashedVerified => {
+                report.crashes += 1;
+                telemetry::count("crash.seeds.crashed", 1);
+            }
             FuzzOutcome::Violation(v) => {
                 report.crashes += 1;
+                telemetry::count("crash.seeds.violations", 1);
                 report.violations.push(v);
             }
         }

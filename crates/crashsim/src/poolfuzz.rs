@@ -85,7 +85,10 @@ pub fn pool_fuzz_one(shards: usize, seed: u64, txns: usize) -> PoolFuzzOutcome {
 
     let nvm_cfg = NvmConfig::new(shards * (256 << 10), NvmTech::Pcm).with_tracing();
     let devices: Vec<Nvm> = shard_devices(&nvm_cfg, shards);
-    let disk = SimDisk::new(DiskKind::Ssd, 1 << 16, SimClock::new());
+    let clock = SimClock::new();
+    telemetry::swap_clock(&clock);
+    let _seed_span = telemetry::span(telemetry::phase::CRASH_SEED);
+    let disk = SimDisk::new(DiskKind::Ssd, 1 << 16, clock);
     let pool_cfg = PoolConfig {
         shards,
         cache: TincaConfig {

@@ -48,7 +48,9 @@ pub trait CacheBackend {
     /// Device flush barrier (REQ_FLUSH) from the file system. The legacy
     /// write-back cache drains dirty blocks to disk; a transactional NVM
     /// cache needs nothing — its commit *is* the durability point.
-    fn flush_barrier(&mut self) {}
+    fn flush_barrier(&mut self) -> Result<(), String> {
+        Ok(())
+    }
 
     /// NVM address ranges holding cache metadata (commit records, cache
     /// entries, ring buffer). Crash harnesses hand these to the
@@ -150,13 +152,11 @@ impl CacheBackend for ClassicBackend {
     }
 
     fn read(&mut self, blk: u64, buf: &mut [u8]) -> Result<(), String> {
-        self.cache.read(blk, buf);
-        Ok(())
+        self.cache.read(blk, buf).map_err(|e| e.to_string())
     }
 
     fn write_block(&mut self, blk: u64, data: &[u8]) -> Result<(), String> {
-        self.cache.write(blk, data);
-        Ok(())
+        self.cache.write(blk, data).map_err(|e| e.to_string())
     }
 
     fn commit_txn(&mut self, _blocks: &[(u64, Box<[u8; BLOCK_SIZE]>)]) -> Result<(), String> {
@@ -168,13 +168,11 @@ impl CacheBackend for ClassicBackend {
     }
 
     fn flush_all(&mut self) -> Result<(), String> {
-        self.cache.flush_all();
-        Ok(())
+        self.cache.flush_all().map_err(|e| e.to_string())
     }
 
     fn read_nocache(&self, blk: u64, buf: &mut [u8]) -> Result<(), String> {
-        self.cache.read_nocache(blk, buf);
-        Ok(())
+        self.cache.read_nocache(blk, buf).map_err(|e| e.to_string())
     }
 
     fn check(&self) -> Result<(), String> {
@@ -193,8 +191,8 @@ impl CacheBackend for ClassicBackend {
         }
     }
 
-    fn flush_barrier(&mut self) {
-        self.cache.flush_barrier();
+    fn flush_barrier(&mut self) -> Result<(), String> {
+        self.cache.flush_barrier().map_err(|e| e.to_string())
     }
 }
 

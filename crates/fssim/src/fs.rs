@@ -708,6 +708,7 @@ impl FsSim {
         if dirty.is_empty() {
             return Ok(());
         }
+        let _t = telemetry::span(telemetry::phase::FS_OP);
         let n = dirty.len();
         match self.mode {
             JournalMode::None => {
@@ -718,9 +719,12 @@ impl FsSim {
                 }
             }
             JournalMode::Jbd2 => {
-                self.journal
-                    .as_mut()
-                    .expect("JBD2 mode has a journal")
+                let Some(journal) = self.journal.as_mut() else {
+                    return Err(FsError::BadSuperblock(
+                        "mounted in JBD2 mode but the journal failed to open".into(),
+                    ));
+                };
+                journal
                     .commit(&mut *self.backend, dirty)
                     .map_err(FsError::Backend)?;
             }

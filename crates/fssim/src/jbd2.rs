@@ -171,6 +171,7 @@ impl Jbd2 {
         if blocks.is_empty() {
             return Ok(());
         }
+        let _t = telemetry::span(telemetry::phase::JBD2_COMMIT);
         let needed = Self::slots_needed(blocks.len());
         assert!(
             needed <= self.area_slots,
@@ -222,17 +223,22 @@ impl Jbd2 {
         // The commit record is followed by a device flush barrier
         // (barrier=1 semantics): the legacy stack conservatively drains
         // the write-back cache below it.
-        backend.flush_barrier();
+        backend.flush_barrier()?;
         Ok(())
     }
 
     /// Checkpoints the oldest committed transaction: writes every block to
     /// its home location (the **second** write) and frees its log space.
     fn checkpoint_oldest(&mut self, backend: &mut dyn CacheBackend) -> Result<(), String> {
-        let txn = self
-            .committed
-            .pop_front()
-            .expect("journal full but nothing to checkpoint — journal too small for txn limit");
+        let _t = telemetry::span(telemetry::phase::JBD2_CHECKPOINT);
+        let Some(txn) = self.committed.pop_front() else {
+            // Reachable only if the journal is too small for the txn split
+            // limit; surfaced instead of panicking so the FS can refuse the
+            // write and stay consistent.
+            return Err(
+                "journal full but nothing to checkpoint — journal too small for txn limit".into(),
+            );
+        };
         for (home, data) in &txn.blocks {
             backend.write_block(*home, &data[..])?;
             self.stats.checkpoint_blocks += 1;
@@ -253,6 +259,7 @@ impl Jbd2 {
     /// Redo replay: walk the log from `tail`, applying every fully
     /// committed transaction, stopping at the first incomplete one.
     fn replay(&mut self, backend: &mut dyn CacheBackend) -> Result<(), String> {
+        let _t = telemetry::span(telemetry::phase::JBD2_REPLAY);
         let mut pos = self.tail;
         let mut expect = self.seq_at_tail;
         let mut block = [0u8; BLOCK_SIZE];

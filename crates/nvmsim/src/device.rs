@@ -154,6 +154,7 @@ impl NvmDevice {
         if buf.is_empty() {
             return;
         }
+        let _t = telemetry::span(telemetry::phase::NVM_STORE);
         let mut st = self.state.lock();
         record(&mut st, || TraceEvent::Store {
             addr,
@@ -185,6 +186,7 @@ impl NvmDevice {
         if buf.is_empty() {
             return;
         }
+        let _t = telemetry::span(telemetry::phase::NVM_READ);
         let mut st = self.state.lock();
         if st.in_recovery {
             record(&mut st, || TraceEvent::ReadAfterRecovery {
@@ -223,6 +225,7 @@ impl NvmDevice {
             "atomic u64 store must be 8-byte aligned"
         );
         self.check_range(addr, 8);
+        let _t = telemetry::span(telemetry::phase::NVM_ATOMIC_STORE);
         let mut st = self.state.lock();
         record(&mut st, || TraceEvent::AtomicStore { addr, len: 8 });
         let line = addr / CACHE_LINE;
@@ -245,6 +248,7 @@ impl NvmDevice {
             "atomic u128 store must be 16-byte aligned"
         );
         self.check_range(addr, 16);
+        let _t = telemetry::span(telemetry::phase::NVM_ATOMIC_STORE);
         let mut st = self.state.lock();
         record(&mut st, || TraceEvent::AtomicStore { addr, len: 16 });
         let line = addr / CACHE_LINE;
@@ -279,6 +283,9 @@ impl NvmDevice {
             return;
         }
         self.check_range(addr, len);
+        // Held across the armed-trip panic too: the guard exits during
+        // unwind, so flush time up to the crash point stays attributed.
+        let _t = telemetry::span(telemetry::phase::NVM_FLUSH);
         let first = addr / CACHE_LINE;
         let last = (addr + len - 1) / CACHE_LINE;
         let mut st = self.state.lock();
@@ -318,6 +325,7 @@ impl NvmDevice {
     /// Executes `sfence`: all previously flushed lines become durable, in
     /// order, before any later store may persist.
     pub fn sfence(&self) {
+        let _t = telemetry::span(telemetry::phase::NVM_FENCE);
         let mut st = self.state.lock();
         let staged_lines = st.epoch.len();
         record(&mut st, || TraceEvent::Sfence { staged_lines });

@@ -37,7 +37,6 @@
 //! assert_eq!(&buf, &[0; 5]);
 //! ```
 
-mod clock;
 mod config;
 mod device;
 mod line;
@@ -45,7 +44,10 @@ mod shard;
 mod stats;
 mod trace;
 
-pub use clock::SimClock;
+// The clock lives in `telemetry` (the observability layer reads it to
+// attribute simulated ns); re-exported here so device users are unaffected.
+pub use telemetry::SimClock;
+
 pub use config::{FlushInstr, NvmConfig, NvmTech};
 pub use device::{CrashPolicy, CrashTripped, Nvm, NvmDevice};
 pub use line::{CACHE_LINE, WORDS_PER_LINE, WORD_SIZE};

@@ -10,6 +10,10 @@ use std::sync::Arc;
 /// throughput that is independent of host speed and deterministic across
 /// runs. Cloning is cheap (`Arc` internally) and all methods take `&self`,
 /// so a clock can be shared freely across the layers of a stack.
+///
+/// The telemetry recorder reads (never advances) this clock: spans and
+/// charges attribute the nanoseconds the devices charge, so recording is
+/// invisible to the simulation itself.
 #[derive(Clone, Debug, Default)]
 pub struct SimClock {
     ns: Arc<AtomicU64>,

@@ -1,0 +1,78 @@
+//! The phase taxonomy: every named span/charge point in the stack.
+//!
+//! Names are `&'static str` constants so call sites stay cheap (interning
+//! keys on the pointer-free `(parent, name)` pair) and so the taxonomy is
+//! greppable in one place. Dots group related phases (`commit.stage`); the
+//! tree structure itself comes from span nesting at runtime, not from the
+//! names.
+
+/// Whole commit critical path (txn submit → durable commit point).
+pub const COMMIT: &str = "commit";
+/// Admission control: capacity/quarantine checks before staging.
+pub const COMMIT_ADMISSION: &str = "commit.admission";
+/// COW block staging: NVM block copy + per-block persist.
+pub const COMMIT_STAGE: &str = "commit.stage";
+/// 16-byte atomic mapping-entry update.
+pub const COMMIT_ENTRY: &str = "commit.entry";
+/// 8-byte ring-slot record + persist.
+pub const COMMIT_RING: &str = "commit.ring";
+/// Log→buffer role switch bookkeeping.
+pub const COMMIT_ROLE_SWITCH: &str = "commit.role_switch";
+/// Double-write fallback when no role switch is possible.
+pub const COMMIT_DOUBLE_WRITE: &str = "commit.double_write";
+/// Tail move: the atomic commit point (8B store + persist).
+pub const COMMIT_POINT: &str = "commit.point";
+/// Optional synchronous write-through to the backing disk.
+pub const COMMIT_WRITE_THROUGH: &str = "commit.write_through";
+/// Revoking staged blocks after a failed commit.
+pub const COMMIT_REVOKE: &str = "commit.revoke";
+/// Group commit: leader draining and committing a batch.
+pub const COMMIT_GROUP_LEAD: &str = "commit.group.lead";
+/// Group commit: follower waiting for its leader's commit point.
+pub const COMMIT_GROUP_WAIT: &str = "commit.group.wait";
+
+/// Cache read path (hit or miss+fill).
+pub const CACHE_READ: &str = "cache.read";
+/// Eviction: choosing and reclaiming a victim block.
+pub const CACHE_EVICT: &str = "cache.evict";
+/// Dirty-block writeback to the backing disk.
+pub const CACHE_WRITEBACK: &str = "cache.writeback";
+/// Full-cache flush (drain all dirty blocks).
+pub const CACHE_FLUSH_ALL: &str = "cache.flush_all";
+
+/// Crash-recovery replay (entry scan, ring revoke, rebuild).
+pub const RECOVERY: &str = "recovery";
+/// Simulated backoff charged between failed-I/O retries.
+pub const IO_RETRY_BACKOFF: &str = "io.retry_backoff";
+
+/// NVM store path (cache-line writes into the overlay).
+pub const NVM_STORE: &str = "nvm.store";
+/// NVM load path.
+pub const NVM_READ: &str = "nvm.read";
+/// `clflush`/`clwb` of dirty or clean lines.
+pub const NVM_FLUSH: &str = "nvm.flush";
+/// Store fence draining the flush epoch.
+pub const NVM_FENCE: &str = "nvm.fence";
+/// 8/16-byte failure-atomic stores.
+pub const NVM_ATOMIC_STORE: &str = "nvm.atomic_store";
+
+/// Block-device read (seek + transfer model).
+pub const DISK_READ: &str = "disk.read";
+/// Block-device write.
+pub const DISK_WRITE: &str = "disk.write";
+/// Seek/transfer cost charged by a *failed* I/O.
+pub const DISK_FAULT: &str = "disk.fault";
+/// Injected tail-latency spike.
+pub const DISK_SPIKE: &str = "disk.spike";
+
+/// JBD2-style journal commit (descriptor + data + commit record).
+pub const JBD2_COMMIT: &str = "jbd2.commit";
+/// Journal checkpoint (in-place writeback + head advance).
+pub const JBD2_CHECKPOINT: &str = "jbd2.checkpoint";
+/// Journal replay during mount.
+pub const JBD2_REPLAY: &str = "jbd2.replay";
+
+/// One file-system operation as issued by a workload.
+pub const FS_OP: &str = "fs.op";
+/// One seed of a crash/fault-fuzz campaign.
+pub const CRASH_SEED: &str = "crash.seed";

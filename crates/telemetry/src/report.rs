@@ -1,0 +1,498 @@
+//! The finished recording: a phase tree plus metric registries, with
+//! exporters for JSONL, chrome://tracing, and a human phase breakdown.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use crate::hist::Histogram;
+use crate::json::Json;
+use crate::recorder::Event;
+
+/// One node of the phase tree. Node 0 is the synthetic root spanning the
+/// whole recording window; its `name`/`path` are empty.
+#[derive(Clone, Debug)]
+pub struct PhaseNode {
+    /// Leaf name, e.g. `"commit.stage"`.
+    pub name: String,
+    /// `/`-joined path from the root, e.g. `"commit/commit.stage"`.
+    pub path: String,
+    /// Parent index (`None` for the root).
+    pub parent: Option<usize>,
+    /// Child indices, in first-observation order.
+    pub children: Vec<usize>,
+    /// Total simulated ns attributed to this node (includes children).
+    pub total_ns: u64,
+    /// Number of span occurrences / charges.
+    pub count: u64,
+}
+
+/// Everything one recording produced.
+#[derive(Clone, Debug)]
+pub struct TelemetryReport {
+    /// Phase tree, parent-before-child; `phases[0]` is the root.
+    pub phases: Vec<PhaseNode>,
+    /// Monotonic counters.
+    pub counters: BTreeMap<String, u64>,
+    /// Last-write-wins gauges.
+    pub gauges: BTreeMap<String, i64>,
+    /// Latency histograms (span durations auto-feed one per phase name).
+    pub hists: BTreeMap<String, Histogram>,
+    /// Individual span events (empty unless `Config::record_events`).
+    pub events: Vec<Event>,
+    /// Events discarded once the buffer cap was hit.
+    pub dropped_events: u64,
+    /// Simulated ns covered by the recording window.
+    pub total_ns: u64,
+}
+
+impl TelemetryReport {
+    /// Looks up a phase by its `/`-joined path (e.g. `"commit/commit.stage"`).
+    pub fn find(&self, path: &str) -> Option<&PhaseNode> {
+        self.phases.iter().find(|p| p.path == path)
+    }
+
+    /// Simulated ns attributed to this node but to none of its children.
+    pub fn self_ns(&self, idx: usize) -> u64 {
+        let n = &self.phases[idx];
+        let children: u64 = n.children.iter().map(|&c| self.phases[c].total_ns).sum();
+        n.total_ns.saturating_sub(children)
+    }
+
+    /// Fraction of the phase's simulated ns attributed to named child
+    /// phases (`None` if the phase is missing or empty). This is the
+    /// number the commit-path acceptance check gates on.
+    pub fn attributed_fraction(&self, path: &str) -> Option<f64> {
+        let idx = self.phases.iter().position(|p| p.path == path)?;
+        let total = self.phases[idx].total_ns;
+        if total == 0 {
+            return None;
+        }
+        Some(1.0 - self.self_ns(idx) as f64 / total as f64)
+    }
+
+    /// Merges two reports (e.g. per-seed campaign recordings): phase
+    /// totals/counts sum by path, counters sum, gauges take `other`'s
+    /// value on conflict, histograms merge, events concatenate.
+    pub fn merge(&self, other: &TelemetryReport) -> TelemetryReport {
+        // path -> (name, total_ns, count), BTreeMap so parents (string
+        // prefixes) iterate before their children.
+        let mut acc: BTreeMap<String, (String, u64, u64)> = BTreeMap::new();
+        for r in [self, other] {
+            for p in &r.phases[1..] {
+                let e = acc
+                    .entry(p.path.clone())
+                    .or_insert_with(|| (p.name.clone(), 0, 0));
+                e.1 += p.total_ns;
+                e.2 += p.count;
+            }
+        }
+        let mut phases = vec![PhaseNode {
+            name: String::new(),
+            path: String::new(),
+            parent: None,
+            children: Vec::new(),
+            total_ns: self.total_ns + other.total_ns,
+            count: 0,
+        }];
+        let mut idx_of: BTreeMap<&str, usize> = BTreeMap::new();
+        for (path, (name, total_ns, count)) in &acc {
+            let parent = match path.rfind('/') {
+                Some(cut) => idx_of.get(&path[..cut]).copied().unwrap_or(0),
+                None => 0,
+            };
+            let idx = phases.len();
+            phases.push(PhaseNode {
+                name: name.clone(),
+                path: path.clone(),
+                parent: Some(parent),
+                children: Vec::new(),
+                total_ns: *total_ns,
+                count: *count,
+            });
+            phases[parent].children.push(idx);
+            idx_of.insert(path, idx);
+        }
+
+        let mut counters = self.counters.clone();
+        for (k, v) in &other.counters {
+            *counters.entry(k.clone()).or_insert(0) += v;
+        }
+        let mut gauges = self.gauges.clone();
+        for (k, v) in &other.gauges {
+            gauges.insert(k.clone(), *v);
+        }
+        let mut hists = self.hists.clone();
+        for (k, h) in &other.hists {
+            hists
+                .entry(k.clone())
+                .and_modify(|mine| *mine = mine.merge(h))
+                .or_insert_with(|| h.clone());
+        }
+        let mut events = self.events.clone();
+        events.extend(other.events.iter().cloned());
+
+        TelemetryReport {
+            phases,
+            counters,
+            gauges,
+            hists,
+            events,
+            dropped_events: self.dropped_events + other.dropped_events,
+            total_ns: self.total_ns + other.total_ns,
+        }
+    }
+
+    /// Human-readable phase breakdown: tree with totals, share of parent,
+    /// occurrence counts, and unattributed self time.
+    pub fn phase_report(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "phase breakdown — {} simulated ns recorded",
+            group_digits(self.total_ns)
+        );
+        self.render_node(&mut out, 0, 0);
+        if !self.counters.is_empty() {
+            let _ = writeln!(out, "counters:");
+            for (k, v) in &self.counters {
+                let _ = writeln!(out, "  {k:<32} {}", group_digits(*v));
+            }
+        }
+        let mut shown = false;
+        for (k, h) in &self.hists {
+            let (Some(p50), Some(p95), Some(p99), Some(max)) = (h.p50(), h.p95(), h.p99(), h.max())
+            else {
+                continue;
+            };
+            if !shown {
+                let _ = writeln!(out, "latency histograms (ns):");
+                shown = true;
+            }
+            let _ = writeln!(
+                out,
+                "  {k:<28} n={:<8} p50={p50:<10} p95={p95:<10} p99={p99:<10} max={max}",
+                h.count()
+            );
+        }
+        out
+    }
+
+    fn render_node(&self, out: &mut String, idx: usize, depth: usize) {
+        let n = &self.phases[idx];
+        if idx != 0 {
+            let parent_total = self.phases[n.parent.unwrap_or(0)].total_ns;
+            let share = if parent_total > 0 {
+                n.total_ns as f64 * 100.0 / parent_total as f64
+            } else {
+                0.0
+            };
+            let indent = "  ".repeat(depth);
+            let label = format!("{indent}{}", n.name);
+            let _ = writeln!(
+                out,
+                "{label:<34} {:>16} ns {share:>5.1}%  n={}",
+                group_digits(n.total_ns),
+                n.count
+            );
+        }
+        for &c in &n.children {
+            self.render_node(out, c, depth + if idx == 0 { 0 } else { 1 });
+        }
+        if idx != 0 && !n.children.is_empty() {
+            let self_ns = self.self_ns(idx);
+            if self_ns > 0 {
+                let share = self_ns as f64 * 100.0 / n.total_ns.max(1) as f64;
+                let indent = "  ".repeat(depth + 1);
+                let label = format!("{indent}(self)");
+                let _ = writeln!(
+                    out,
+                    "{label:<34} {:>16} ns {share:>5.1}%",
+                    group_digits(self_ns)
+                );
+            }
+        }
+    }
+
+    /// The whole report as one JSON value.
+    pub fn to_json(&self) -> Json {
+        let phases = self
+            .phases
+            .iter()
+            .enumerate()
+            .skip(1)
+            .map(|(i, p)| {
+                Json::obj(vec![
+                    ("path", p.path.as_str().into()),
+                    ("name", p.name.as_str().into()),
+                    ("total_ns", Json::U64(p.total_ns)),
+                    ("self_ns", Json::U64(self.self_ns(i))),
+                    ("count", Json::U64(p.count)),
+                ])
+            })
+            .collect();
+        let counters = self
+            .counters
+            .iter()
+            .map(|(k, v)| (k.clone(), Json::U64(*v)))
+            .collect();
+        let gauges = self
+            .gauges
+            .iter()
+            .map(|(k, v)| (k.clone(), Json::I64(*v)))
+            .collect();
+        let hists = self
+            .hists
+            .iter()
+            .map(|(k, h)| (k.clone(), hist_json(h)))
+            .collect();
+        Json::obj(vec![
+            ("total_ns", Json::U64(self.total_ns)),
+            ("phases", Json::Arr(phases)),
+            ("counters", Json::Obj(counters)),
+            ("gauges", Json::Obj(gauges)),
+            ("histograms", Json::Obj(hists)),
+            ("events_recorded", Json::U64(self.events.len() as u64)),
+            ("events_dropped", Json::U64(self.dropped_events)),
+        ])
+    }
+
+    /// JSONL export: one JSON object per line (`meta`, `phase`, `counter`,
+    /// `gauge`, `hist`, `event` records).
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::new();
+        out.push_str(
+            &Json::obj(vec![
+                ("type", "meta".into()),
+                ("total_ns", Json::U64(self.total_ns)),
+                ("events_dropped", Json::U64(self.dropped_events)),
+            ])
+            .render(),
+        );
+        out.push('\n');
+        for (i, p) in self.phases.iter().enumerate().skip(1) {
+            out.push_str(
+                &Json::obj(vec![
+                    ("type", "phase".into()),
+                    ("path", p.path.as_str().into()),
+                    ("total_ns", Json::U64(p.total_ns)),
+                    ("self_ns", Json::U64(self.self_ns(i))),
+                    ("count", Json::U64(p.count)),
+                ])
+                .render(),
+            );
+            out.push('\n');
+        }
+        for (k, v) in &self.counters {
+            out.push_str(
+                &Json::obj(vec![
+                    ("type", "counter".into()),
+                    ("name", k.as_str().into()),
+                    ("value", Json::U64(*v)),
+                ])
+                .render(),
+            );
+            out.push('\n');
+        }
+        for (k, v) in &self.gauges {
+            out.push_str(
+                &Json::obj(vec![
+                    ("type", "gauge".into()),
+                    ("name", k.as_str().into()),
+                    ("value", Json::I64(*v)),
+                ])
+                .render(),
+            );
+            out.push('\n');
+        }
+        for (k, h) in &self.hists {
+            let mut fields = vec![
+                ("type".to_string(), Json::from("hist")),
+                ("name".to_string(), k.as_str().into()),
+            ];
+            if let Json::Obj(rest) = hist_json(h) {
+                fields.extend(rest);
+            }
+            out.push_str(&Json::Obj(fields).render());
+            out.push('\n');
+        }
+        for e in &self.events {
+            out.push_str(
+                &Json::obj(vec![
+                    ("type", "event".into()),
+                    ("name", e.name.into()),
+                    ("start_ns", Json::U64(e.start_ns)),
+                    ("end_ns", Json::U64(e.end_ns)),
+                    ("depth", Json::U64(u64::from(e.depth))),
+                ])
+                .render(),
+            );
+            out.push('\n');
+        }
+        out
+    }
+
+    /// chrome://tracing (Trace Event Format) export. Span events become
+    /// `ph:"X"` complete events with microsecond timestamps; requires
+    /// `Config::record_events`, otherwise only phase-summary counters are
+    /// emitted.
+    pub fn to_chrome_trace(&self) -> String {
+        let mut trace_events: Vec<Json> = self
+            .events
+            .iter()
+            .map(|e| {
+                Json::obj(vec![
+                    ("name", e.name.into()),
+                    ("cat", "sim".into()),
+                    ("ph", "X".into()),
+                    ("pid", Json::U64(0)),
+                    ("tid", Json::U64(u64::from(e.depth))),
+                    ("ts", Json::F64(e.start_ns as f64 / 1000.0)),
+                    ("dur", Json::F64((e.end_ns - e.start_ns) as f64 / 1000.0)),
+                ])
+            })
+            .collect();
+        // Phase totals as instant metadata so a trace without events still
+        // carries the breakdown.
+        for (i, p) in self.phases.iter().enumerate().skip(1) {
+            trace_events.push(Json::obj(vec![
+                ("name", format!("total:{}", p.path).into()),
+                ("cat", "summary".into()),
+                ("ph", "C".into()),
+                ("pid", Json::U64(0)),
+                ("tid", Json::U64(0)),
+                ("ts", Json::F64(self.total_ns as f64 / 1000.0)),
+                (
+                    "args",
+                    Json::obj(vec![
+                        ("total_ns", Json::U64(p.total_ns)),
+                        ("self_ns", Json::U64(self.self_ns(i))),
+                        ("count", Json::U64(p.count)),
+                    ]),
+                ),
+            ]));
+        }
+        Json::obj(vec![
+            ("traceEvents", Json::Arr(trace_events)),
+            ("displayTimeUnit", "ns".into()),
+        ])
+        .render()
+    }
+}
+
+fn hist_json(h: &Histogram) -> Json {
+    let buckets = h
+        .nonzero_buckets()
+        .into_iter()
+        .map(|(upper, count)| Json::Arr(vec![Json::U64(upper), Json::U64(count)]))
+        .collect();
+    Json::obj(vec![
+        ("count", Json::U64(h.count())),
+        ("sum", Json::U64(h.sum())),
+        ("min", h.min().map_or(Json::Null, Json::U64)),
+        ("max", h.max().map_or(Json::Null, Json::U64)),
+        ("p50", h.p50().map_or(Json::Null, Json::U64)),
+        ("p95", h.p95().map_or(Json::Null, Json::U64)),
+        ("p99", h.p99().map_or(Json::Null, Json::U64)),
+        ("buckets", Json::Arr(buckets)),
+    ])
+}
+
+/// `1234567` → `"1,234,567"`.
+fn group_digits(v: u64) -> String {
+    let s = v.to_string();
+    let mut out = String::with_capacity(s.len() + s.len() / 3);
+    for (i, c) in s.chars().enumerate() {
+        if i > 0 && (s.len() - i).is_multiple_of(3) {
+            out.push(',');
+        }
+        out.push(c);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_report() -> TelemetryReport {
+        // root -> a (100ns, child b 60ns), counter x=2
+        let phases = vec![
+            PhaseNode {
+                name: String::new(),
+                path: String::new(),
+                parent: None,
+                children: vec![1],
+                total_ns: 120,
+                count: 0,
+            },
+            PhaseNode {
+                name: "a".into(),
+                path: "a".into(),
+                parent: Some(0),
+                children: vec![2],
+                total_ns: 100,
+                count: 1,
+            },
+            PhaseNode {
+                name: "b".into(),
+                path: "a/b".into(),
+                parent: Some(1),
+                children: vec![],
+                total_ns: 60,
+                count: 3,
+            },
+        ];
+        let mut counters = BTreeMap::new();
+        counters.insert("x".to_string(), 2);
+        TelemetryReport {
+            phases,
+            counters,
+            gauges: BTreeMap::new(),
+            hists: BTreeMap::new(),
+            events: Vec::new(),
+            dropped_events: 0,
+            total_ns: 120,
+        }
+    }
+
+    #[test]
+    fn self_ns_and_attribution() {
+        let r = tiny_report();
+        assert_eq!(r.self_ns(1), 40);
+        let f = r.attributed_fraction("a").unwrap();
+        assert!((f - 0.6).abs() < 1e-9);
+        assert!(r.find("a/b").is_some());
+        assert!(r.find("nope").is_none());
+    }
+
+    #[test]
+    fn merge_sums_by_path() {
+        let r = tiny_report();
+        let m = r.merge(&r);
+        assert_eq!(m.total_ns, 240);
+        let a = m.find("a").unwrap();
+        assert_eq!(a.total_ns, 200);
+        assert_eq!(a.count, 2);
+        let b = m.find("a/b").unwrap();
+        assert_eq!(b.total_ns, 120);
+        assert_eq!(m.counters["x"], 4);
+        // Tree structure survives the rebuild.
+        let ai = m.phases.iter().position(|p| p.path == "a").unwrap();
+        assert_eq!(m.self_ns(ai), 80);
+    }
+
+    #[test]
+    fn exports_are_non_empty_and_parseable_shape() {
+        let r = tiny_report();
+        let jsonl = r.to_jsonl();
+        assert!(jsonl.lines().count() >= 4);
+        for line in jsonl.lines() {
+            assert!(line.starts_with('{') && line.ends_with('}'));
+        }
+        let trace = r.to_chrome_trace();
+        assert!(trace.starts_with("{\"traceEvents\":["));
+        let text = r.phase_report();
+        assert!(text.contains("a/b") || text.contains("b"));
+        assert!(text.contains("counters:"));
+    }
+}

@@ -1,0 +1,62 @@
+//! Telemetry is driven by the simulated clock only, so a seeded workload
+//! must produce byte-identical exports every time it runs.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use telemetry::{Config, SimClock, TelemetryReport};
+
+/// A synthetic seeded "workload": nested spans, charges, counters, and
+/// histogram samples with RNG-chosen durations.
+fn run_workload(seed: u64) -> TelemetryReport {
+    let clock = SimClock::new();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let ((), report) = telemetry::record(&clock, Config::with_events(), || {
+        for _ in 0..200 {
+            let _commit = telemetry::span(telemetry::phase::COMMIT);
+            {
+                let _stage = telemetry::span(telemetry::phase::COMMIT_STAGE);
+                clock.advance(rng.gen_range(100..2000));
+                telemetry::charge(telemetry::phase::NVM_FLUSH, {
+                    let ns = rng.gen_range(50..500);
+                    clock.advance(ns);
+                    ns
+                });
+            }
+            if rng.gen_bool(0.3) {
+                let _wb = telemetry::span(telemetry::phase::CACHE_WRITEBACK);
+                clock.advance(rng.gen_range(1000..50_000));
+            }
+            telemetry::count("commits", 1);
+            telemetry::gauge("dirty", rng.gen_range(0..64));
+            telemetry::observe("batch", rng.gen_range(1..16) as u64);
+            clock.advance(rng.gen_range(0..100));
+        }
+    });
+    report
+}
+
+#[test]
+fn same_seed_produces_identical_exports_twice() {
+    let a = run_workload(42);
+    let b = run_workload(42);
+    assert_eq!(a.total_ns, b.total_ns);
+    assert_eq!(a.to_jsonl(), b.to_jsonl());
+    assert_eq!(a.to_chrome_trace(), b.to_chrome_trace());
+    assert_eq!(a.to_json().render(), b.to_json().render());
+    assert_eq!(a.phase_report(), b.phase_report());
+}
+
+#[test]
+fn different_seeds_produce_different_recordings() {
+    let a = run_workload(1);
+    let b = run_workload(2);
+    assert_ne!(a.to_jsonl(), b.to_jsonl());
+}
+
+#[test]
+fn merged_campaign_report_is_deterministic() {
+    let m1 = run_workload(7).merge(&run_workload(8));
+    let m2 = run_workload(7).merge(&run_workload(8));
+    assert_eq!(m1.to_jsonl(), m2.to_jsonl());
+    assert_eq!(m1.counters["commits"], 400);
+}

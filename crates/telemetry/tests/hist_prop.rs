@@ -1,0 +1,105 @@
+//! Property tests for the log-linear histogram: quantiles of a merged
+//! histogram are bounded by the per-input quantiles, and bucketing never
+//! loses or misplaces samples.
+
+use proptest::prelude::*;
+use telemetry::Histogram;
+
+fn hist_of(samples: &[u64]) -> Histogram {
+    let mut h = Histogram::new();
+    for &v in samples {
+        h.record(v);
+    }
+    h
+}
+
+/// Samples spanning the interesting ranges: exact buckets, mid-range,
+/// and the top octaves.
+fn sample() -> impl Strategy<Value = u64> {
+    prop_oneof![
+        4 => 0u64..16,
+        4 => 0u64..100_000,
+        2 => 0u64..u64::MAX,
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 256, ..ProptestConfig::default() })]
+
+    #[test]
+    fn merged_quantiles_are_bounded_by_inputs(
+        a in proptest::collection::vec(sample(), 1..200),
+        b in proptest::collection::vec(sample(), 1..200),
+        qm in 0u32..=1000,
+    ) {
+        let q = f64::from(qm) / 1000.0;
+        let (ha, hb) = (hist_of(&a), hist_of(&b));
+        let m = ha.merge(&hb);
+        let qa = ha.quantile(q).unwrap();
+        let qb = hb.quantile(q).unwrap();
+        let qq = m.quantile(q).unwrap();
+        prop_assert!(
+            qa.min(qb) <= qq && qq <= qa.max(qb),
+            "q={q}: merged quantile {qq} outside [{}, {}]",
+            qa.min(qb),
+            qa.max(qb)
+        );
+    }
+
+    #[test]
+    fn merge_is_commutative_and_preserves_totals(
+        a in proptest::collection::vec(sample(), 0..100),
+        b in proptest::collection::vec(sample(), 0..100),
+    ) {
+        let (ha, hb) = (hist_of(&a), hist_of(&b));
+        prop_assert_eq!(ha.merge(&hb), hb.merge(&ha));
+        let m = ha.merge(&hb);
+        prop_assert_eq!(m.count(), (a.len() + b.len()) as u64);
+        let direct = hist_of(&[a.clone(), b.clone()].concat());
+        prop_assert_eq!(m, direct);
+    }
+
+    #[test]
+    fn quantile_is_an_upper_bound_with_bounded_error(
+        xs in proptest::collection::vec(sample(), 1..200),
+        qm in 0u32..=1000,
+    ) {
+        let q = f64::from(qm) / 1000.0;
+        let h = hist_of(&xs);
+        let est = h.quantile(q).unwrap();
+        let mut sorted = xs;
+        sorted.sort_unstable();
+        let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+        let exact = sorted[rank - 1];
+        // The representative is the upper bound of the true value's
+        // bucket: never below the exact quantile, and within one
+        // sub-bucket (≤ +25% relative, +1 absolute for tiny values).
+        prop_assert!(est >= exact, "est {est} < exact {exact}");
+        let limit = exact.saturating_add(exact / 4).saturating_add(1);
+        prop_assert!(est <= limit, "est {est} > limit {limit} (exact {exact})");
+    }
+
+    #[test]
+    fn quantiles_are_monotone_in_q(
+        xs in proptest::collection::vec(sample(), 1..200),
+        q1 in 0u32..=1000,
+        q2 in 0u32..=1000,
+    ) {
+        let h = hist_of(&xs);
+        let (lo, hi) = (q1.min(q2), q1.max(q2));
+        let vlo = h.quantile(f64::from(lo) / 1000.0).unwrap();
+        let vhi = h.quantile(f64::from(hi) / 1000.0).unwrap();
+        prop_assert!(vlo <= vhi, "q{lo}={vlo} > q{hi}={vhi}");
+    }
+
+    #[test]
+    fn min_max_sum_track_inputs(xs in proptest::collection::vec(sample(), 1..200)) {
+        let h = hist_of(&xs);
+        prop_assert_eq!(h.min().unwrap(), *xs.iter().min().unwrap());
+        prop_assert_eq!(h.max().unwrap(), *xs.iter().max().unwrap());
+        let sum = xs.iter().fold(0u64, |acc, &v| acc.saturating_add(v));
+        prop_assert_eq!(h.sum(), sum);
+        let buckets: u64 = h.nonzero_buckets().iter().map(|&(_, c)| c).sum();
+        prop_assert_eq!(buckets, xs.len() as u64);
+    }
+}

@@ -8,7 +8,7 @@
 //!
 //! ## Time model
 //!
-//! Each pool shard owns an independent [`SimClock`]: shards model disjoint
+//! Each pool shard owns an independent [`nvmsim::SimClock`]: shards model disjoint
 //! NVM sub-regions that serve flushes concurrently. The report therefore
 //! exposes two durations:
 //!

@@ -323,7 +323,7 @@ pub mod collection {
     use super::{fmt, Strategy, TestRng};
     use std::ops::{Range, RangeInclusive};
 
-    /// Permitted size arguments for [`vec`].
+    /// Permitted size arguments for [`vec()`].
     #[derive(Clone, Copy, Debug)]
     pub struct SizeRange {
         lo: usize,
