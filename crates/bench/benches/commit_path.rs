@@ -125,10 +125,74 @@ fn bench_ring_batching(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_flush_coalescing(c: &mut Criterion) {
+    // Host-time cost of the stage+ring hot path with per-line flushes vs
+    // the cache-line dedup pass (the dedup set is extra DRAM work per
+    // commit; the elided clflushes are simulated time, not host time —
+    // this group bounds what the bookkeeping itself costs).
+    let mut group = c.benchmark_group("flush_coalescing");
+    for (name, coalesce) in [("per_line_flush", false), ("coalesced_flush", true)] {
+        group.bench_function(name, |b| {
+            let mut cache = build_cache_cfg(TincaConfig {
+                ring_bytes: 256 << 10,
+                coalesce_flushes: coalesce,
+                ..TincaConfig::default()
+            });
+            let payload = [0x3Cu8; BLOCK_SIZE];
+            let mut round = 0u64;
+            b.iter(|| {
+                let mut txn = cache.init_txn();
+                for i in 0..32u64 {
+                    txn.write((round * 5 + i) % 2048, &payload);
+                }
+                cache.commit(&txn).unwrap();
+                round += 1;
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_destage_pipeline(c: &mut Criterion) {
+    // Commit under steady eviction pressure (working set 2× the cache):
+    // synchronous victim writeback on the allocation path vs the
+    // watermark daemon's batched background writeback.
+    let mut group = c.benchmark_group("destage_pipeline");
+    for (name, destage) in [("sync_writeback", false), ("write_behind", true)] {
+        group.bench_function(name, |b| {
+            let clock = SimClock::new();
+            let nvm = NvmDevice::new(NvmConfig::new(1 << 20, NvmTech::Pcm), clock.clone());
+            let disk = SimDisk::new(DiskKind::Ssd, 1 << 18, clock);
+            let mut cache = TincaCache::format(
+                nvm,
+                disk,
+                TincaConfig {
+                    ring_bytes: 4096,
+                    destage,
+                    coalesce_flushes: destage,
+                    ..TincaConfig::default()
+                },
+            );
+            let span = cache.data_block_count() as u64 * 2;
+            let payload = [0xC3u8; BLOCK_SIZE];
+            let mut round = 0u64;
+            b.iter(|| {
+                let mut txn = cache.init_txn();
+                for i in 0..4u64 {
+                    txn.write((round * 13 + i) % span, &payload);
+                }
+                cache.commit(&txn).unwrap();
+                round += 1;
+            });
+        });
+    }
+    group.finish();
+}
+
 criterion_group!(
     name = benches;
     config = Criterion::default().sample_size(20);
     targets = bench_commit_sizes, bench_role_switch_ablation, bench_commit_hit_vs_miss,
-        bench_ring_batching
+        bench_ring_batching, bench_flush_coalescing, bench_destage_pipeline
 );
 criterion_main!(benches);

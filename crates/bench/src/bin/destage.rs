@@ -1,0 +1,6 @@
+//! Write-behind destage ablation. `--quick` shrinks the run for CI.
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    bench::figs::destage::run(quick);
+}

@@ -1,0 +1,117 @@
+//! Performance-regression gate over the `phases` bench summary.
+//!
+//! Compares the `gate` counters of a freshly generated `BENCH_5.json`
+//! against a committed baseline and fails (exit 1) if an efficiency
+//! counter regressed by more than the tolerance. Counters gated:
+//!
+//! * `clflush_per_op` — commit-path flush coalescing must keep paying;
+//! * `disk_busy_ns`   — destage batching must keep device time down.
+//!
+//! `commit_total_ns` and `sim_ns` are reported for context but not
+//! gated (they move with workload-shape changes that are often
+//! intentional). Both files must come from the same mode (`--quick` vs
+//! full); the gate refuses to compare across modes.
+//!
+//! JSON is read by string extraction — the values are numbers written
+//! by our own `telemetry::Json`, so no serialization dependency is
+//! needed or wanted here.
+//!
+//! Usage: `cargo run --release -p bench --bin perfgate -- <baseline.json> <new.json>`
+
+use std::process::exit;
+
+/// Maximum tolerated relative increase of a gated counter.
+const TOLERANCE: f64 = 0.05;
+
+/// Extracts the flat `"gate":{...}` object body from a BENCH_5 rendering.
+fn gate_body(text: &str, path: &str) -> String {
+    let start = text
+        .find("\"gate\":{")
+        .unwrap_or_else(|| panic!("{path}: no \"gate\" object — not a BENCH_5.json?"));
+    let body = &text[start + 8..];
+    let end = body
+        .find('}')
+        .unwrap_or_else(|| panic!("{path}: unterminated gate object"));
+    body[..end].to_string()
+}
+
+/// Reads one numeric field out of a flat JSON object body.
+fn field(body: &str, key: &str, path: &str) -> f64 {
+    let pat = format!("\"{key}\":");
+    let start = body
+        .find(&pat)
+        .unwrap_or_else(|| panic!("{path}: gate counter {key} missing"));
+    let rest = &body[start + pat.len()..];
+    let end = rest.find(',').unwrap_or(rest.len());
+    rest[..end]
+        .trim()
+        .parse()
+        .unwrap_or_else(|e| panic!("{path}: gate counter {key} not numeric: {e}"))
+}
+
+/// Reads the top-level `"quick"` flag.
+fn quick_flag(text: &str, path: &str) -> bool {
+    if text.contains("\"quick\":true") {
+        true
+    } else if text.contains("\"quick\":false") {
+        false
+    } else {
+        panic!("{path}: no \"quick\" flag")
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let [baseline_path, new_path] = args.as_slice() else {
+        eprintln!("usage: perfgate <baseline BENCH_5.json> <new BENCH_5.json>");
+        exit(2);
+    };
+    let read =
+        |p: &String| std::fs::read_to_string(p).unwrap_or_else(|e| panic!("cannot read {p}: {e}"));
+    let (old_text, new_text) = (read(baseline_path), read(new_path));
+    assert_eq!(
+        quick_flag(&old_text, baseline_path),
+        quick_flag(&new_text, new_path),
+        "refusing to compare a --quick run against a full run"
+    );
+    let (old_gate, new_gate) = (
+        gate_body(&old_text, baseline_path),
+        gate_body(&new_text, new_path),
+    );
+
+    let gated = ["clflush_per_op", "disk_busy_ns"];
+    let informational = ["commit_total_ns", "sim_ns"];
+    let mut failed = false;
+    println!(
+        "{:<16} {:>16} {:>16} {:>9}  verdict",
+        "counter", "baseline", "new", "delta"
+    );
+    for key in gated.iter().chain(&informational) {
+        let old = field(&old_gate, key, baseline_path);
+        let new = field(&new_gate, key, new_path);
+        let delta = if old == 0.0 { 0.0 } else { (new - old) / old };
+        let is_gated = gated.contains(key);
+        let verdict = if !is_gated {
+            "info"
+        } else if delta > TOLERANCE {
+            failed = true;
+            "FAIL"
+        } else {
+            "ok"
+        };
+        println!(
+            "{key:<16} {old:>16.2} {new:>16.2} {:>8.2}%  {verdict}",
+            delta * 100.0
+        );
+    }
+    if failed {
+        eprintln!(
+            "perf regression: a gated counter grew more than {:.0}% over the \
+             committed baseline (rerun `phases` and commit BENCH_5.json only \
+             if the regression is intended and explained)",
+            TOLERANCE * 100.0
+        );
+        exit(1);
+    }
+    println!("perfgate: within {:.0}% of baseline", TOLERANCE * 100.0);
+}

@@ -51,6 +51,8 @@ fn main() {
     done("meta_schemes");
     figs::recoverability::run(quick);
     done("recoverability");
+    figs::destage::run(quick);
+    done("destage");
     figs::phases::run(quick);
     done("phases");
     println!(

@@ -1,6 +1,7 @@
 //! One module per table/figure of the paper's evaluation.
 
 pub mod degraded;
+pub mod destage;
 pub mod endurance;
 pub mod fig10;
 pub mod fig11;
@@ -28,6 +29,10 @@ use fssim::stack::{StackConfig, System};
 pub fn local_cfg(system: System, quick: bool) -> StackConfig {
     let mut cfg = StackConfig::scaled_local(system);
     cfg.nvm_bytes = if quick { 8 << 20 } else { 32 << 20 };
+    // The local figures measure Tinca with the write-behind pipeline
+    // (destage daemon + flush coalescing) enabled; the `destage` figure
+    // isolates its contribution with an explicit on/off comparison.
+    cfg.destage = true;
     cfg
 }
 

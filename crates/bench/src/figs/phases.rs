@@ -7,8 +7,10 @@
 //! * `EXPERIMENTS-results/phases.csv` / `.json` — top-level phase totals;
 //! * `EXPERIMENTS-results/phases.jsonl` — the full JSONL event stream;
 //! * `EXPERIMENTS-results/phases.trace.json` — chrome://tracing file;
-//! * `BENCH_4.json` (repo root) — machine-readable summary: attribution
-//!   fraction, phase tree, histograms, and the unified [`StatsSnapshot`].
+//! * `BENCH_5.json` (repo root) — machine-readable summary: attribution
+//!   fraction, phase tree, histograms, the unified [`StatsSnapshot`],
+//!   and a flat `gate` object of per-op efficiency counters that the
+//!   `perfgate` bin diffs against the committed baseline in CI.
 //!
 //! The run asserts that ≥ 95 % of simulated commit-path time is
 //! attributed to named child phases (`commit` self time ≤ 5 %) — the
@@ -45,6 +47,10 @@ pub fn run(quick: bool) -> f64 {
     let disk = SimDisk::new(DiskKind::Ssd, 1 << 16, clock.clone());
     let cfg = TincaConfig {
         ring_bytes: 4096,
+        // The gate protects the optimised commit path: write-behind
+        // destage + flush coalescing, as the local figures run it.
+        destage: true,
+        coalesce_flushes: true,
         ..TincaConfig::default()
     };
     let mut cache = TincaCache::format(nvm, disk, cfg.clone());
@@ -114,19 +120,32 @@ pub fn run(quick: bool) -> f64 {
     eprintln!("  [jsonl] {}", dir.join("phases.jsonl").display());
     eprintln!("  [trace] {}", dir.join("phases.trace.json").display());
 
-    // BENCH_4.json: the machine-readable bench result at the repo root.
+    // BENCH_5.json: the machine-readable bench result at the repo root.
+    // The flat `gate` counters are what `perfgate` diffs in CI — keep
+    // their names stable (string-extraction parsing, no serde).
+    let commit_ns = report.find("commit").map_or(0, |p| p.total_ns);
+    let gate = Json::obj(vec![
+        (
+            "clflush_per_op",
+            (snapshot.nvm.clflush as f64 / ops as f64).into(),
+        ),
+        ("disk_busy_ns", snapshot.disk.busy_ns.into()),
+        ("commit_total_ns", commit_ns.into()),
+        ("sim_ns", snapshot.sim_ns.into()),
+    ]);
     let bench = Json::obj(vec![
         ("bench", "phases".into()),
         ("quick", quick.into()),
         ("ops", ops.into()),
         ("attributed_fraction_commit", frac.into()),
         ("min_attributed", MIN_ATTRIBUTED.into()),
+        ("gate", gate),
         ("stats", snapshot.to_json()),
         ("telemetry", report.to_json()),
     ]);
     let root = dir.parent().expect("results dir sits in the repo root");
-    let path = root.join("BENCH_4.json");
-    fs::write(&path, bench.render()).expect("write BENCH_4.json");
+    let path = root.join("BENCH_5.json");
+    fs::write(&path, bench.render()).expect("write BENCH_5.json");
     eprintln!("  [bench] {}", path.display());
 
     frac

@@ -1,7 +1,7 @@
 //! §5.1 recoverability — the power-pull experiment, mechanised as a crash
 //! fuzz campaign.
 
-use crashsim::fuzz_system;
+use crashsim::{fuzz_system_opts, FailureMode};
 use fssim::stack::System;
 
 use crate::table::Table;
@@ -18,10 +18,21 @@ pub fn run(quick: bool) -> Table {
     );
     let runs: u64 = if quick { 10 } else { 40 };
     let mut t = Table::new(&["System", "runs", "mid-run crashes", "violations"]);
-    for (sys, seed) in [(System::Tinca, 51_000u64), (System::Classic, 52_000)] {
-        let report = fuzz_system(sys, seed, runs, 60);
+    for (sys, seed, destage) in [
+        (System::Tinca, 51_000u64, false),
+        (System::Classic, 52_000, false),
+        // The write-behind pipeline on a shrunken cache: crashes land
+        // during background destage batches too.
+        (System::Tinca, 53_000, true),
+    ] {
+        let report = fuzz_system_opts(sys, seed, runs, 60, FailureMode::PowerPull, destage);
+        let label = if destage {
+            format!("{}+destage", sys.name())
+        } else {
+            sys.name().to_string()
+        };
         t.row(vec![
-            sys.name().into(),
+            label,
             report.runs.to_string(),
             report.crashes.to_string(),
             report.violations.len().to_string(),

@@ -6,6 +6,47 @@ use crate::{DiskStats, IoError};
 /// cache manages NVM "in a unit of 4KB block by default", §4.2).
 pub const BLOCK_SIZE: usize = 4096;
 
+/// Which simulated-time lane an I/O is charged to.
+///
+/// The stack models overlap of background I/O with foreground work the
+/// same way `workloads::mtfio` models shard parallelism: device busy
+/// time (`DiskStats::busy_ns`) always accumulates, but only
+/// **foreground** requests advance the stack's shared `SimClock`.
+/// Background requests (destage writebacks) consume device time on a
+/// separate lane; the *caller* decides when that lane's completion time
+/// forces the foreground clock forward (e.g. a drain or a full pool).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum IoLane {
+    /// The request is on the critical path: charge `busy_ns` **and**
+    /// advance the simulated clock (the classic synchronous model).
+    Foreground,
+    /// The request overlaps foreground compute: charge `busy_ns` only.
+    /// The returned [`BatchReport::device_ns`] tells the caller how long
+    /// the device was occupied so it can track lane completion.
+    Background,
+}
+
+/// Outcome of one vectored [`BlockDevice::write_blocks`] request.
+#[derive(Clone, Debug, Default)]
+pub struct BatchReport {
+    /// Requests that failed, as `(index into the request slice, error)`.
+    /// Per-block error semantics are preserved: a failure of request `i`
+    /// never prevents request `i+1` from being attempted.
+    pub errors: Vec<(usize, IoError)>,
+    /// Total device time consumed by the batch (successful transfers,
+    /// failed media attempts, and injected spikes). On
+    /// [`IoLane::Foreground`] the same amount was also charged to the
+    /// simulated clock; on [`IoLane::Background`] only `busy_ns` moved.
+    pub device_ns: u64,
+}
+
+impl BatchReport {
+    /// True if every request in the batch succeeded.
+    pub fn all_ok(&self) -> bool {
+        self.errors.is_empty()
+    }
+}
+
 /// A block-addressed storage device.
 ///
 /// Blocks are addressed by a `u64` logical block number. Reads of blocks
@@ -23,6 +64,33 @@ pub trait BlockDevice: Send + Sync {
     /// reproduction are the *backing* store below the NVM cache; their
     /// internal caching is outside the paper's consistency argument).
     fn write_block(&self, blk: u64, buf: &[u8]) -> Result<(), IoError>;
+
+    /// Vectored write: submits every `(blk, buf)` request as one batch.
+    ///
+    /// Latency models may amortise per-request overhead across
+    /// address-contiguous runs (one seek + sequential streaming instead
+    /// of N independent random accesses); the resulting data on the
+    /// device is **byte-identical** to issuing the same requests through
+    /// [`write_block`](Self::write_block) one at a time, and per-block
+    /// error semantics are preserved (see [`BatchReport::errors`]).
+    ///
+    /// The default implementation loops `write_block`, which always
+    /// charges the foreground clock; devices with a real batched path
+    /// override this to price runs and honour `lane`.
+    fn write_blocks(&self, reqs: &[(u64, &[u8])], lane: IoLane) -> BatchReport {
+        let _ = lane;
+        let before = self.stats().busy_ns;
+        let mut errors = Vec::new();
+        for (i, (blk, buf)) in reqs.iter().enumerate() {
+            if let Err(e) = self.write_block(*blk, buf) {
+                errors.push((i, e));
+            }
+        }
+        BatchReport {
+            errors,
+            device_ns: self.stats().busy_ns - before,
+        }
+    }
 
     /// Number of addressable blocks.
     fn num_blocks(&self) -> u64;

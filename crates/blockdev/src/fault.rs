@@ -19,7 +19,7 @@ use parking_lot::Mutex;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-use crate::{BlockDevice, Disk, DiskStats, IoError, BLOCK_SIZE};
+use crate::{BatchReport, BlockDevice, Disk, DiskStats, IoError, IoLane, BLOCK_SIZE};
 
 /// A deterministic, seedable plan of device faults.
 #[derive(Clone, Debug)]
@@ -186,15 +186,35 @@ impl FaultyDisk {
     /// (latency charged as a failed media attempt); `None` means pass
     /// through (possibly after a latency spike).
     fn inject(&self, blk: u64, write: bool) -> Option<IoError> {
-        enum Fate {
-            Pass,
-            Spike,
-            Bad,
-            Transient,
+        match self.decide(blk, write) {
+            Fate::Pass => None,
+            Fate::Spike => {
+                self.inner.charge_latency_spike(self.plan.spike_ns);
+                None
+            }
+            Fate::Bad => {
+                self.inner.charge_failed_io(blk, write);
+                Some(IoError::BadBlock { blk })
+            }
+            Fate::Transient => {
+                self.inner.charge_failed_io(blk, write);
+                Some(if write {
+                    IoError::TransientWrite { blk }
+                } else {
+                    IoError::TransientRead { blk }
+                })
+            }
         }
+    }
+
+    /// Rolls the fate of one access without charging anything. Fates are
+    /// decided in strict request order (one RNG draw sequence), so a
+    /// vectored batch consumes exactly the same injection schedule as
+    /// the equivalent per-block loop.
+    fn decide(&self, blk: u64, write: bool) -> Fate {
         // Decide under the fault lock; charge the disk after dropping it
         // (the disk has its own lock).
-        let fate = {
+        {
             let mut st = self.state.lock();
             if !st.enabled {
                 Fate::Pass
@@ -244,27 +264,16 @@ impl FaultyDisk {
                     Fate::Pass
                 }
             }
-        };
-        match fate {
-            Fate::Pass => None,
-            Fate::Spike => {
-                self.inner.charge_latency_spike(self.plan.spike_ns);
-                None
-            }
-            Fate::Bad => {
-                self.inner.charge_failed_io(blk, write);
-                Some(IoError::BadBlock { blk })
-            }
-            Fate::Transient => {
-                self.inner.charge_failed_io(blk, write);
-                Some(if write {
-                    IoError::TransientWrite { blk }
-                } else {
-                    IoError::TransientRead { blk }
-                })
-            }
         }
     }
+}
+
+/// What the injector decided for one access.
+enum Fate {
+    Pass,
+    Spike,
+    Bad,
+    Transient,
 }
 
 impl BlockDevice for FaultyDisk {
@@ -282,6 +291,66 @@ impl BlockDevice for FaultyDisk {
             return Err(err);
         }
         self.inner.write_block(blk, buf)
+    }
+
+    /// Vectored write with fault injection: fates are rolled per block in
+    /// request order (same RNG schedule as a per-block loop), and the
+    /// batch is **split at fault boundaries** — passing runs go to the
+    /// inner disk as sub-batches (keeping the streaming amortisation),
+    /// while each injected failure charges a failed media attempt at its
+    /// position, so per-block error semantics and head movement are
+    /// preserved exactly.
+    fn write_blocks(&self, reqs: &[(u64, &[u8])], lane: IoLane) -> BatchReport {
+        fn flush(
+            disk: &Disk,
+            lane: IoLane,
+            run: &mut Vec<(u64, &[u8])>,
+            run_idx: &mut Vec<usize>,
+            report: &mut BatchReport,
+        ) {
+            if run.is_empty() {
+                return;
+            }
+            let sub = disk.write_blocks(run, lane);
+            report.device_ns += sub.device_ns;
+            for (j, e) in sub.errors {
+                report.errors.push((run_idx[j], e));
+            }
+            run.clear();
+            run_idx.clear();
+        }
+
+        let mut report = BatchReport::default();
+        let mut run: Vec<(u64, &[u8])> = Vec::new();
+        let mut run_idx: Vec<usize> = Vec::new();
+        for (i, (blk, buf)) in reqs.iter().enumerate() {
+            assert_eq!(buf.len(), BLOCK_SIZE);
+            match self.decide(*blk, true) {
+                Fate::Pass => {
+                    run.push((*blk, buf));
+                    run_idx.push(i);
+                }
+                Fate::Spike => {
+                    report.device_ns +=
+                        self.inner.charge_latency_spike_on(self.plan.spike_ns, lane);
+                    run.push((*blk, buf));
+                    run_idx.push(i);
+                }
+                fate @ (Fate::Bad | Fate::Transient) => {
+                    // The pending run must land before the failed attempt
+                    // so the head moves in request order.
+                    flush(&self.inner, lane, &mut run, &mut run_idx, &mut report);
+                    report.device_ns += self.inner.charge_failed_io_on(*blk, true, lane);
+                    let err = match fate {
+                        Fate::Bad => IoError::BadBlock { blk: *blk },
+                        _ => IoError::TransientWrite { blk: *blk },
+                    };
+                    report.errors.push((i, err));
+                }
+            }
+        }
+        flush(&self.inner, lane, &mut run, &mut run_idx, &mut report);
+        report
     }
 
     fn num_blocks(&self) -> u64 {
@@ -395,6 +464,85 @@ mod tests {
         let data = [3u8; BLOCK_SIZE];
         d.write_block(1, &data).unwrap();
         assert_eq!(d.fault_stats().permanent_rejections, 0);
+    }
+
+    #[test]
+    fn batched_writes_split_at_fault_boundaries() {
+        let d = FaultyDisk::new(base(), FaultPlan::quiet(11).with_bad_range(4..6));
+        let bufs: Vec<[u8; BLOCK_SIZE]> = (0..8u8).map(|i| [i + 1; BLOCK_SIZE]).collect();
+        let reqs: Vec<(u64, &[u8])> = bufs
+            .iter()
+            .enumerate()
+            .map(|(i, b)| (i as u64, &b[..]))
+            .collect();
+        let r = d.write_blocks(&reqs, IoLane::Foreground);
+        assert_eq!(r.errors.len(), 2);
+        assert!(matches!(r.errors[0], (4, IoError::BadBlock { blk: 4 })));
+        assert!(matches!(r.errors[1], (5, IoError::BadBlock { blk: 5 })));
+        // Every passing block landed despite the mid-batch failures.
+        d.set_enabled(false);
+        let mut buf = [0u8; BLOCK_SIZE];
+        for (i, b) in bufs.iter().enumerate() {
+            if (4..6).contains(&(i as u64)) {
+                continue;
+            }
+            d.read_block(i as u64, &mut buf).unwrap();
+            assert_eq!(&buf, b, "block {i}");
+        }
+        assert_eq!(d.fault_stats().permanent_rejections, 2);
+        assert_eq!(d.stats().write_errors, 2);
+        assert_eq!(d.stats().writes, 6);
+    }
+
+    #[test]
+    fn batched_injection_consumes_the_same_rng_schedule_as_per_block() {
+        let plan = || {
+            FaultPlan::quiet(21)
+                .with_transient_writes(300)
+                .with_burst_len(1)
+        };
+        let bufs: Vec<[u8; BLOCK_SIZE]> = (0..32u8).map(|i| [i; BLOCK_SIZE]).collect();
+        // Per-block loop.
+        let d1 = FaultyDisk::new(base(), plan());
+        let per_block: Vec<bool> = bufs
+            .iter()
+            .enumerate()
+            .map(|(i, b)| d1.write_block(i as u64, b).is_err())
+            .collect();
+        // One vectored batch.
+        let d2 = FaultyDisk::new(base(), plan());
+        let reqs: Vec<(u64, &[u8])> = bufs
+            .iter()
+            .enumerate()
+            .map(|(i, b)| (i as u64, &b[..]))
+            .collect();
+        let r = d2.write_blocks(&reqs, IoLane::Foreground);
+        let batched: Vec<bool> = (0..bufs.len())
+            .map(|i| r.errors.iter().any(|(j, _)| *j == i))
+            .collect();
+        assert_eq!(per_block, batched, "identical fault schedule either way");
+    }
+
+    #[test]
+    fn background_batch_with_faults_leaves_foreground_clock_alone() {
+        let clock = SimClock::new();
+        let inner = SimDisk::new(DiskKind::Ssd, 1024, clock.clone());
+        let d = FaultyDisk::new(
+            inner,
+            FaultPlan::quiet(31)
+                .with_bad_range(2..3)
+                .with_latency_spikes(1000, 7_000),
+        );
+        let buf = [5u8; BLOCK_SIZE];
+        let reqs: Vec<(u64, &[u8])> = (0..4u64).map(|b| (b, &buf[..])).collect();
+        let r = d.write_blocks(&reqs, IoLane::Background);
+        assert_eq!(r.errors.len(), 1);
+        assert_eq!(
+            clock.now_ns(),
+            0,
+            "background faults must not stall foreground"
+        );
+        assert_eq!(d.stats().busy_ns, r.device_ns);
     }
 
     #[test]

@@ -31,7 +31,7 @@ mod latency;
 mod sim;
 mod stats;
 
-pub use device::{BlockDevice, BLOCK_SIZE};
+pub use device::{BatchReport, BlockDevice, IoLane, BLOCK_SIZE};
 pub use error::IoError;
 pub use fault::{FaultPlan, FaultStats, FaultyDisk};
 pub use latency::{DiskKind, LatencyModel};

@@ -6,7 +6,9 @@ use std::sync::Arc;
 use nvmsim::SimClock;
 use parking_lot::Mutex;
 
-use crate::{BlockDevice, DiskKind, DiskStats, IoError, LatencyModel, BLOCK_SIZE};
+use crate::{
+    BatchReport, BlockDevice, DiskKind, DiskStats, IoError, IoLane, LatencyModel, BLOCK_SIZE,
+};
 
 /// Cloneable handle to a [`SimDisk`].
 pub type Disk = Arc<SimDisk>;
@@ -65,6 +67,15 @@ impl SimDisk {
     /// this, an HDD retry after an error would look sequential and get a
     /// free seek.
     pub fn charge_failed_io(&self, blk: u64, write: bool) {
+        self.charge_failed_io_on(blk, write, IoLane::Foreground);
+    }
+
+    /// Lane-aware variant of [`Self::charge_failed_io`]: on
+    /// [`IoLane::Background`] the head still moves and `busy_ns` and the
+    /// error counters still bump, but the foreground clock does not
+    /// advance. Returns the device time consumed so background callers
+    /// can extend their lane's completion time.
+    pub fn charge_failed_io_on(&self, blk: u64, write: bool, lane: IoLane) -> u64 {
         let target = blk.min(self.num_blocks.saturating_sub(1));
         let mut st = self.state.lock();
         let ns = if write {
@@ -79,16 +90,29 @@ impl SimDisk {
             st.stats.read_errors += 1;
         }
         st.stats.busy_ns += ns;
-        self.clock.advance(ns);
-        telemetry::charge(telemetry::phase::DISK_FAULT, ns);
+        drop(st);
+        if lane == IoLane::Foreground {
+            self.clock.advance(ns);
+            telemetry::charge(telemetry::phase::DISK_FAULT, ns);
+        }
+        ns
     }
 
     /// Charges `ns` of extra device busy time with no head movement — a
     /// latency spike (controller hiccup, internal GC pause).
     pub fn charge_latency_spike(&self, ns: u64) {
+        self.charge_latency_spike_on(ns, IoLane::Foreground);
+    }
+
+    /// Lane-aware variant of [`Self::charge_latency_spike`]; background
+    /// spikes occupy the device but do not stall the foreground clock.
+    pub fn charge_latency_spike_on(&self, ns: u64, lane: IoLane) -> u64 {
         self.state.lock().stats.busy_ns += ns;
-        self.clock.advance(ns);
-        telemetry::charge(telemetry::phase::DISK_SPIKE, ns);
+        if lane == IoLane::Foreground {
+            self.clock.advance(ns);
+            telemetry::charge(telemetry::phase::DISK_SPIKE, ns);
+        }
+        ns
     }
 }
 
@@ -138,6 +162,70 @@ impl BlockDevice for SimDisk {
         st.stats.busy_ns += ns;
         self.clock.advance(ns);
         Ok(())
+    }
+
+    /// Batched write path: one lock pass over the whole request vector.
+    /// The first request of each address-contiguous run pays the full
+    /// random-access cost; every follower pays only streaming cost
+    /// ([`LatencyModel::streaming_write_ns`]). Out-of-range requests
+    /// charge a failed media attempt exactly like the per-block path and
+    /// do not abort the rest of the batch.
+    fn write_blocks(&self, reqs: &[(u64, &[u8])], lane: IoLane) -> BatchReport {
+        let mut errors = Vec::new();
+        let mut ok_ns = 0u64;
+        let mut fault_ns = 0u64;
+        {
+            let mut st = self.state.lock();
+            let mut in_batch = false;
+            for (i, (blk, buf)) in reqs.iter().enumerate() {
+                assert_eq!(buf.len(), BLOCK_SIZE);
+                if *blk >= self.num_blocks {
+                    let target = (*blk).min(self.num_blocks.saturating_sub(1));
+                    let ns = self.model.write_ns(target, st.last_blk);
+                    st.last_blk = target;
+                    st.stats.write_errors += 1;
+                    st.stats.busy_ns += ns;
+                    fault_ns += ns;
+                    in_batch = false;
+                    errors.push((
+                        i,
+                        IoError::OutOfRange {
+                            blk: *blk,
+                            num_blocks: self.num_blocks,
+                        },
+                    ));
+                    continue;
+                }
+                let ns = if in_batch {
+                    self.model.streaming_write_ns(*blk, st.last_blk)
+                } else {
+                    self.model.write_ns(*blk, st.last_blk)
+                };
+                in_batch = true;
+                let entry = st
+                    .blocks
+                    .entry(*blk)
+                    .or_insert_with(|| Box::new([0u8; BLOCK_SIZE]));
+                entry.copy_from_slice(buf);
+                st.last_blk = *blk;
+                st.stats.writes += 1;
+                st.stats.busy_ns += ns;
+                ok_ns += ns;
+            }
+        }
+        if lane == IoLane::Foreground {
+            self.clock.advance(ok_ns + fault_ns);
+            if ok_ns > 0 {
+                telemetry::charge(telemetry::phase::DISK_WRITE, ok_ns);
+            }
+            if fault_ns > 0 {
+                telemetry::charge(telemetry::phase::DISK_FAULT, fault_ns);
+            }
+        }
+        BatchReport {
+            errors,
+            device_ns: ok_ns + fault_ns,
+        }
     }
 
     fn num_blocks(&self) -> u64 {
@@ -237,6 +325,81 @@ mod tests {
         let s = d.stats();
         assert_eq!((s.reads, s.writes), (0, 0), "failed I/O transfers nothing");
         assert_eq!((s.read_errors, s.write_errors), (1, 1));
+    }
+
+    #[test]
+    fn batched_contiguous_writes_stream_after_one_seek() {
+        let clock = SimClock::new();
+        let d = SimDisk::new(DiskKind::Ssd, 1024, clock.clone());
+        let bufs: Vec<[u8; BLOCK_SIZE]> = (0..8u8).map(|i| [i; BLOCK_SIZE]).collect();
+        let reqs: Vec<(u64, &[u8])> = bufs
+            .iter()
+            .enumerate()
+            .map(|(i, b)| (i as u64 + 100, &b[..]))
+            .collect();
+        let r = d.write_blocks(&reqs, IoLane::Foreground);
+        assert!(r.all_ok());
+        // One full 80 µs op plus 7 streamed followers — far below 8 random ops.
+        assert!(
+            r.device_ns < 8 * 80_000 / 4,
+            "batch {} should amortise",
+            r.device_ns
+        );
+        assert!(r.device_ns >= 80_000);
+        assert_eq!(
+            clock.now_ns(),
+            r.device_ns,
+            "foreground lane advances the clock"
+        );
+        let mut buf = [0u8; BLOCK_SIZE];
+        for (i, b) in bufs.iter().enumerate() {
+            d.read_block(i as u64 + 100, &mut buf).unwrap();
+            assert_eq!(&buf, b);
+        }
+    }
+
+    #[test]
+    fn background_lane_charges_busy_but_not_the_clock() {
+        let clock = SimClock::new();
+        let d = SimDisk::new(DiskKind::Hdd, 1 << 20, clock.clone());
+        let buf = [3u8; BLOCK_SIZE];
+        let reqs: Vec<(u64, &[u8])> = (0..4u64).map(|i| (i * 50_000, &buf[..])).collect();
+        let r = d.write_blocks(&reqs, IoLane::Background);
+        assert!(r.all_ok());
+        assert!(r.device_ns > 0);
+        assert_eq!(clock.now_ns(), 0, "background I/O overlaps foreground time");
+        assert_eq!(d.stats().busy_ns, r.device_ns, "device was still occupied");
+        assert_eq!(d.stats().writes, 4);
+    }
+
+    #[test]
+    fn batch_oob_request_errors_without_aborting_the_rest() {
+        let d = disk(DiskKind::Ssd);
+        let buf = [9u8; BLOCK_SIZE];
+        let reqs: Vec<(u64, &[u8])> = vec![(1, &buf), (5000, &buf), (2, &buf)];
+        let r = d.write_blocks(&reqs, IoLane::Foreground);
+        assert_eq!(r.errors.len(), 1);
+        assert_eq!(r.errors[0].0, 1);
+        assert!(matches!(
+            r.errors[0].1,
+            IoError::OutOfRange { blk: 5000, .. }
+        ));
+        let s = d.stats();
+        assert_eq!((s.writes, s.write_errors), (2, 1));
+        let mut rb = [0u8; BLOCK_SIZE];
+        d.read_block(2, &mut rb).unwrap();
+        assert_eq!(rb, buf);
+    }
+
+    #[test]
+    fn lane_aware_failed_io_and_spike_skip_the_clock() {
+        let clock = SimClock::new();
+        let d = SimDisk::new(DiskKind::Ssd, 64, clock.clone());
+        let ns = d.charge_failed_io_on(999, true, IoLane::Background);
+        d.charge_latency_spike_on(5_000, IoLane::Background);
+        assert_eq!(clock.now_ns(), 0);
+        assert_eq!(d.stats().busy_ns, ns + 5_000);
+        assert_eq!(d.stats().write_errors, 1);
     }
 
     #[test]

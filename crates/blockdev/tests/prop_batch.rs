@@ -1,0 +1,121 @@
+//! Property tests of the vectored write path: `write_blocks` must leave
+//! the device byte-identical to the equivalent per-block `write_block`
+//! loop — for both lanes, and across the sub-batch splits a
+//! [`FaultyDisk`] introduces at injected fault boundaries.
+
+use blockdev::{BlockDevice, DiskKind, FaultPlan, FaultyDisk, IoLane, SimDisk, BLOCK_SIZE};
+use nvmsim::SimClock;
+use proptest::prelude::*;
+
+const NUM_BLOCKS: u64 = 96;
+
+/// One generated request: a target block (deliberately allowed to run a
+/// little past the end of the device so out-of-range errors are part of
+/// the property) and a payload fill byte.
+fn reqs() -> impl Strategy<Value = Vec<(u64, u8)>> {
+    prop::collection::vec((0u64..(NUM_BLOCKS + 8), any::<u8>()), 1..48)
+}
+
+fn fill(i: usize, b: u8) -> [u8; BLOCK_SIZE] {
+    let mut buf = [b; BLOCK_SIZE];
+    // Make payloads position-dependent so reordering would be caught.
+    buf[0] = i as u8;
+    buf
+}
+
+/// Reads every in-range block of `d` with injection off.
+fn image(d: &dyn BlockDevice) -> Vec<[u8; BLOCK_SIZE]> {
+    let mut out = Vec::with_capacity(NUM_BLOCKS as usize);
+    let mut buf = [0u8; BLOCK_SIZE];
+    for b in 0..NUM_BLOCKS {
+        d.read_block(b, &mut buf).expect("in-range read");
+        out.push(buf);
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Plain `SimDisk`: batch ≡ per-block, bytes and error positions.
+    #[test]
+    fn simdisk_batch_equals_per_block(rs in reqs(), lane_bg in any::<bool>()) {
+        let lane = if lane_bg { IoLane::Background } else { IoLane::Foreground };
+        let payloads: Vec<[u8; BLOCK_SIZE]> =
+            rs.iter().enumerate().map(|(i, (_, b))| fill(i, *b)).collect();
+
+        let batch_disk = SimDisk::new(DiskKind::Ssd, NUM_BLOCKS, SimClock::new());
+        let slice: Vec<(u64, &[u8])> = rs
+            .iter()
+            .zip(&payloads)
+            .map(|((blk, _), p)| (*blk, &p[..]))
+            .collect();
+        let report = batch_disk.write_blocks(&slice, lane);
+
+        let loop_disk = SimDisk::new(DiskKind::Ssd, NUM_BLOCKS, SimClock::new());
+        let mut loop_errs = Vec::new();
+        for (i, ((blk, _), p)) in rs.iter().zip(&payloads).enumerate() {
+            if let Err(e) = loop_disk.write_block(*blk, p) {
+                loop_errs.push((i, e));
+            }
+        }
+
+        prop_assert_eq!(image(&*batch_disk), image(&*loop_disk));
+        prop_assert_eq!(report.errors, loop_errs);
+        prop_assert_eq!(batch_disk.stats().writes, loop_disk.stats().writes);
+        prop_assert_eq!(batch_disk.stats().write_errors, loop_disk.stats().write_errors);
+    }
+
+    /// `FaultyDisk`: same seed, same requests → identical bytes and the
+    /// identical per-request error schedule, even though the batch path
+    /// splits into sub-batches at every injected fault.
+    #[test]
+    fn faultydisk_batch_equals_per_block(
+        rs in reqs(),
+        seed in any::<u64>(),
+        transient_pm in 0u32..400,
+        burst in 1u32..4,
+        bad_start in 0u64..NUM_BLOCKS,
+        bad_len in 0u64..8,
+        lane_bg in any::<bool>(),
+    ) {
+        let lane = if lane_bg { IoLane::Background } else { IoLane::Foreground };
+        let plan = || {
+            FaultPlan::quiet(seed)
+                .with_transient_writes(transient_pm)
+                .with_burst_len(burst)
+                .with_bad_range(bad_start..(bad_start + bad_len).min(NUM_BLOCKS))
+        };
+        let payloads: Vec<[u8; BLOCK_SIZE]> =
+            rs.iter().enumerate().map(|(i, (_, b))| fill(i, *b)).collect();
+
+        let batch_disk = FaultyDisk::new(
+            SimDisk::new(DiskKind::Hdd, NUM_BLOCKS, SimClock::new()),
+            plan(),
+        );
+        let slice: Vec<(u64, &[u8])> = rs
+            .iter()
+            .zip(&payloads)
+            .map(|((blk, _), p)| (*blk, &p[..]))
+            .collect();
+        let report = batch_disk.write_blocks(&slice, lane);
+
+        let loop_disk = FaultyDisk::new(
+            SimDisk::new(DiskKind::Hdd, NUM_BLOCKS, SimClock::new()),
+            plan(),
+        );
+        let mut loop_errs = Vec::new();
+        for (i, ((blk, _), p)) in rs.iter().zip(&payloads).enumerate() {
+            if let Err(e) = loop_disk.write_block(*blk, p) {
+                loop_errs.push((i, e));
+            }
+        }
+
+        batch_disk.set_enabled(false);
+        loop_disk.set_enabled(false);
+        prop_assert_eq!(image(&*batch_disk), image(&*loop_disk));
+        prop_assert_eq!(report.errors, loop_errs);
+        prop_assert_eq!(batch_disk.fault_stats(), loop_disk.fault_stats());
+        prop_assert_eq!(batch_disk.stats().writes, loop_disk.stats().writes);
+    }
+}

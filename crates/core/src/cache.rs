@@ -3,7 +3,7 @@
 use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
 
-use blockdev::{BlockDevice, IoError, BLOCK_SIZE};
+use blockdev::{BlockDevice, IoError, IoLane, BLOCK_SIZE};
 use nvmsim::Nvm;
 
 use crate::entry::{CacheEntry, Role, FRESH};
@@ -74,6 +74,19 @@ pub struct TincaCache {
     /// chosen as eviction victims, still served to reads, re-attempted by
     /// [`flush_all`](Self::flush_all).
     quarantined: HashSet<u32>,
+    /// Entry indices whose cached block is modified — the DRAM mirror of
+    /// the durable `modified` bits (recounting from NVM would charge read
+    /// latency to the foreground clock). Drives the destage watermark
+    /// check and lets the clean-victim scan reject dirty candidates
+    /// without touching NVM; audited by
+    /// [`check_consistency`](Self::check_consistency).
+    dirty_idx: HashSet<u32>,
+    /// Absolute simulated time at which the background destage lane is
+    /// free again. The lane is busy while one vectored writeback batch
+    /// is "in flight": its device time extends this deadline instead of
+    /// advancing the foreground clock (wall = max, busy = sum — the same
+    /// overlap model `workloads::mtfio` uses for shard parallelism).
+    destage_lane_free_ns: u64,
     stats: CacheStats,
 }
 
@@ -127,6 +140,8 @@ impl TincaCache {
             pin_entries: vec![false; layout.entry_count as usize],
             pin_entry_list: Vec::new(),
             quarantined: HashSet::new(),
+            dirty_idx: HashSet::new(),
+            destage_lane_free_ns: 0,
             stats: CacheStats::default(),
             layout,
         }
@@ -194,7 +209,7 @@ impl TincaCache {
                 self.complete_double_write(&mut touched)
             }
         });
-        match result {
+        let out = match result {
             Ok(()) => {
                 {
                     // Commit point: Tail := Head (one 8 B atomic store).
@@ -229,7 +244,14 @@ impl TincaCache {
                 self.stats.failed_commits += 1;
                 Err(e)
             }
+        };
+        // Destage runs after the commit span closes: its writebacks
+        // overlap foreground time and must not count as commit latency.
+        drop(_t);
+        if out.is_ok() {
+            self.maybe_destage();
         }
+        out
     }
 
     /// Commits a batch of transactions as **one** ring commit (group
@@ -268,12 +290,26 @@ impl TincaCache {
     }
 
     /// Steps 1–3 + per-block ring recording of the commit protocol.
+    ///
+    /// With [`TincaConfig::coalesce_flushes`] the per-step persists are
+    /// deduplicated at cache-line granularity *within this transaction*:
+    /// payloads are flushed without a fence, entry updates (four 16 B
+    /// entries per 64 B line) defer their flush to one pass over
+    /// distinct lines, and ring slots flush like batched-ring mode. A
+    /// single fence then drains everything before `Head` moves — so the
+    /// commit point (`Tail`, persisted by the caller strictly after the
+    /// role switch's own fence) still orders after every staged line.
+    /// Crash-safety is unchanged: until the `Head` move persists, `Head
+    /// == Tail` and recovery's full entry scan revokes every log-role
+    /// entry; after it, the ring window names every staged block.
     fn commit_blocks(
         &mut self,
         txn: &Txn,
         touched: &mut Vec<u32>,
         replaced_prevs: &mut Vec<u32>,
     ) -> Result<(), TincaError> {
+        let coalesce = self.coalescing();
+        let mut entry_lines: Vec<usize> = Vec::new();
         for (disk_blk, data) in txn.blocks() {
             // (1) COW block write: new NVM block, payload, flush, fence.
             let new_blk = {
@@ -282,7 +318,12 @@ impl TincaCache {
                 self.pin_block(new_blk);
                 let addr = self.layout.data_addr(new_blk);
                 self.nvm.write(addr, &data[..]);
-                self.nvm.persist(addr, BLOCK_SIZE);
+                if coalesce {
+                    // Flush now, fence once for the whole transaction.
+                    self.nvm.clflush(addr, BLOCK_SIZE);
+                } else {
+                    self.nvm.persist(addr, BLOCK_SIZE);
+                }
                 new_blk
             };
             // (2) Create/update the cache entry with one 16 B atomic store.
@@ -292,11 +333,18 @@ impl TincaCache {
                     let old = self.read_entry(idx);
                     debug_assert!(old.valid && old.disk_blk == *disk_blk);
                     debug_assert_eq!(old.role, Role::Buffer);
+                    if !old.modified {
+                        self.dirty_idx.insert(idx);
+                    }
                     let prev = old.cur;
                     self.pin_block(prev);
                     replaced_prevs.push(prev);
                     let e = CacheEntry::new(Role::Log, true, *disk_blk, prev, new_blk);
-                    self.write_entry(idx, e);
+                    if coalesce {
+                        self.write_entry_unflushed(idx, e);
+                    } else {
+                        self.write_entry(idx, e);
+                    }
                     self.stats.write_hits += 1;
                     idx
                 }
@@ -306,23 +354,34 @@ impl TincaCache {
                         .allocate()
                         .expect("entry pool exhausts strictly after block pool");
                     let e = CacheEntry::new(Role::Log, true, *disk_blk, FRESH, new_blk);
-                    self.write_entry(idx, e);
+                    if coalesce {
+                        self.write_entry_unflushed(idx, e);
+                    } else {
+                        self.write_entry(idx, e);
+                    }
                     self.index.insert(*disk_blk, idx);
                     self.lru.push_mru(idx);
+                    self.dirty_idx.insert(idx);
                     self.stats.write_misses += 1;
                     idx
                 }
             };
             drop(_e);
+            if coalesce {
+                entry_lines.push(self.layout.entry_addr(idx) / nvmsim::CACHE_LINE);
+            }
             self.pin_entry(idx);
             touched.push(idx);
             // (3) Record the block number in the ring via an 8 B atomic
-            // store, then (4) move Head. In batched mode the slot is only
-            // flushed (fence deferred) and Head moves once at the end.
+            // store, then (4) move Head. In batched/coalesced mode the
+            // slot is only flushed (fence deferred) and Head moves once
+            // at the end. The slot flush is *not* deferred: a failed
+            // commit's revoke path re-persists entries but not ring
+            // slots, so slots must already be flushed when it fences.
             let _r = telemetry::span(telemetry::phase::COMMIT_RING);
             let slot = self.layout.ring_slot_addr(self.head);
             self.nvm.atomic_write_u64(slot, *disk_blk);
-            if self.cfg.batched_ring {
+            if self.cfg.batched_ring || coalesce {
                 self.nvm.clflush(slot, 8);
                 self.head += 1;
             } else {
@@ -332,7 +391,29 @@ impl TincaCache {
                 self.nvm.persist(HEAD_OFF, 8);
             }
         }
-        if self.cfg.batched_ring {
+        if coalesce {
+            {
+                // Deferred entry flush: one clflush per *distinct* line.
+                let _e = telemetry::span(telemetry::phase::COMMIT_ENTRY);
+                entry_lines.sort_unstable();
+                entry_lines.dedup();
+                self.stats.coalesced_flushes += (touched.len() - entry_lines.len()) as u64;
+                for &line in &entry_lines {
+                    self.nvm.clflush(line * nvmsim::CACHE_LINE, 1);
+                }
+            }
+            // One fence drains payloads, entries and ring slots, then the
+            // single Head move makes the ring window visible to recovery.
+            let _r = telemetry::span(telemetry::phase::COMMIT_RING);
+            if !self.cfg.batched_ring {
+                // vs the paper's per-block Head persist: all but one of
+                // the Head flushes are elided.
+                self.stats.coalesced_flushes += (touched.len() - 1) as u64;
+            }
+            self.nvm.sfence();
+            self.nvm.atomic_write_u64(HEAD_OFF, self.head);
+            self.nvm.persist(HEAD_OFF, 8);
+        } else if self.cfg.batched_ring {
             // All slots durable before the single Head move.
             let _r = telemetry::span(telemetry::phase::COMMIT_RING);
             self.nvm.sfence();
@@ -342,19 +423,48 @@ impl TincaCache {
         Ok(())
     }
 
+    /// True when commit-path flush coalescing is in force (requires the
+    /// role switch: the double-write ablation keeps per-step persists).
+    fn coalescing(&self) -> bool {
+        self.cfg.coalesce_flushes && self.cfg.role_switch
+    }
+
     /// Step (4) of §4.4: flip every committed block from *log* to *buffer*.
     /// One atomic store + flush per entry, a single fence for the batch.
     /// `prev` fields are retained; they are reclaimed only after `Tail`
     /// moves, so a crash here can still revoke the whole transaction.
     fn complete_role_switch(&mut self, touched: &[u32]) {
         let _t = telemetry::span(telemetry::phase::COMMIT_ROLE_SWITCH);
-        for &idx in touched {
-            let e = self.read_entry(idx);
-            debug_assert_eq!(e.role, Role::Log);
-            let addr = self.layout.entry_addr(idx);
-            self.nvm
-                .atomic_write_u128(addr, e.switched_to_buffer().encode());
-            self.nvm.clflush(addr, 16);
+        if self.coalescing() {
+            // Coalesced: store all role flips first, then flush each
+            // *distinct* entry line once. The trailing fence drains these
+            // lines (and any remaining staged ones) strictly before the
+            // caller persists `Tail`, so the commit point cannot be
+            // observed ahead of a role flip.
+            let mut lines: Vec<usize> = Vec::with_capacity(touched.len());
+            for &idx in touched {
+                let e = self.read_entry(idx);
+                debug_assert_eq!(e.role, Role::Log);
+                let addr = self.layout.entry_addr(idx);
+                self.nvm
+                    .atomic_write_u128(addr, e.switched_to_buffer().encode());
+                lines.push(addr / nvmsim::CACHE_LINE);
+            }
+            lines.sort_unstable();
+            lines.dedup();
+            self.stats.coalesced_flushes += (touched.len() - lines.len()) as u64;
+            for &line in &lines {
+                self.nvm.clflush(line * nvmsim::CACHE_LINE, 1);
+            }
+        } else {
+            for &idx in touched {
+                let e = self.read_entry(idx);
+                debug_assert_eq!(e.role, Role::Log);
+                let addr = self.layout.entry_addr(idx);
+                self.nvm
+                    .atomic_write_u128(addr, e.switched_to_buffer().encode());
+                self.nvm.clflush(addr, 16);
+            }
         }
         self.nvm.sfence();
     }
@@ -403,6 +513,7 @@ impl TincaCache {
                         ..e
                     };
                     self.write_entry(idx, clean);
+                    self.dirty_idx.remove(&idx);
                 }
                 Err(_) => self.quarantine(idx),
             }
@@ -529,6 +640,10 @@ impl TincaCache {
         debug_assert!(e.valid && !e.is_revoked_marker());
         match e.revoked() {
             Some(restored) => {
+                // In-flight entries are always modified, and so is the
+                // restored entry (`revoked()` marks the previous version
+                // dirty): net zero for the dirty count.
+                debug_assert!(e.modified && restored.modified);
                 self.write_entry(idx, restored);
                 if !self.free_blocks.is_free(e.cur) {
                     self.free_blocks.release(e.cur);
@@ -547,6 +662,10 @@ impl TincaCache {
                 // A freed entry slot must not carry a stale quarantine mark
                 // into its next life.
                 self.quarantined.remove(&idx);
+                // A no-op during crash recovery (the set is rebuilt from
+                // the surviving entries afterwards); at runtime the entry
+                // was tracked.
+                self.dirty_idx.remove(&idx);
             }
         }
         self.stats.revoked_blocks += 1;
@@ -571,6 +690,11 @@ impl TincaCache {
         if self.cfg.cache_reads {
             self.fill_clean(disk_blk, buf);
         }
+        drop(_t);
+        // Miss fills consume free blocks just like commits do; a
+        // read-heavy stretch must wake the daemon too or the supply only
+        // recovers at commit boundaries.
+        self.maybe_destage();
         Ok(())
     }
 
@@ -601,22 +725,56 @@ impl TincaCache {
             if let Some(b) = self.free_blocks.allocate() {
                 return Ok(b);
             }
-            let victim = self.lru.iter_lru().find(|&idx| {
-                if self.pin_entries[idx as usize] || self.quarantined.contains(&idx) {
-                    return false;
+            let victim = if self.cfg.destage {
+                // Destage keeps the LRU tail clean, so eviction should be
+                // free; a dirty fallback means the daemon fell behind and
+                // the foreground path pays a synchronous writeback — the
+                // stall the watermarks exist to avoid.
+                let clean = self.find_victim(true);
+                if clean.is_none() {
+                    let dirty = self.find_victim(false);
+                    if dirty.is_some() {
+                        self.stats.destage_stalls += 1;
+                    }
+                    dirty
+                } else {
+                    clean
                 }
-                let e = self.read_entry(idx);
-                // Log blocks and blocks pinned as a committing prev/cur stay
-                // (§4.6 rule 2); everything else is fair game.
-                e.valid && e.role == Role::Buffer && !self.pin_blocks[e.cur as usize]
-            });
+            } else {
+                self.find_victim(false)
+            };
             let Some(idx) = victim else {
                 return Err(TincaError::NoVictim);
             };
             // On writeback failure the victim is quarantined and excluded
-            // from the next search pass, so the loop always terminates.
-            let _ = self.evict(idx);
+            // from the next search pass, so the loop always terminates —
+            // the error is counted, not silently swallowed.
+            if self.evict(idx).is_err() {
+                self.stats.eviction_errors += 1;
+            }
         }
+    }
+
+    /// LRU-order victim search. Log blocks and blocks pinned as a
+    /// committing prev/cur stay (§4.6 rule 2); quarantined entries are
+    /// never victims. `clean_only` restricts the search to unmodified
+    /// blocks (evictable without disk I/O).
+    fn find_victim(&self, clean_only: bool) -> Option<u32> {
+        self.lru.iter_lru().find(|&idx| {
+            if self.pin_entries[idx as usize] || self.quarantined.contains(&idx) {
+                return false;
+            }
+            // DRAM dirty-set rejection first: a clean-only scan that finds
+            // nothing must not charge an NVM entry read per candidate.
+            if clean_only && self.dirty_idx.contains(&idx) {
+                return false;
+            }
+            let e = self.read_entry(idx);
+            e.valid
+                && e.role == Role::Buffer
+                && !self.pin_blocks[e.cur as usize]
+                && (!clean_only || !e.modified)
+        })
     }
 
     /// Evicts entry `idx`: writes the block back if dirty, then
@@ -643,6 +801,7 @@ impl TincaCache {
         self.lru.remove(idx);
         self.free_entries.release(idx);
         self.free_blocks.release(e.cur);
+        self.dirty_idx.remove(&idx);
         self.stats.evictions += 1;
         Ok(())
     }
@@ -662,6 +821,10 @@ impl TincaCache {
             });
         }
         let _t = telemetry::span(telemetry::phase::CACHE_FLUSH_ALL);
+        // A full flush is a drain barrier: any destage batch still in
+        // flight on the background lane completes (its entries are
+        // already clean; the foreground clock catches up to the lane).
+        self.drain_destage_lane();
         let mut buf = [0u8; BLOCK_SIZE];
         let mut first_err = Ok(());
         let idxs: Vec<u32> = self.index.values().copied().collect();
@@ -681,6 +844,7 @@ impl TincaCache {
                             },
                         );
                         self.quarantined.remove(&idx);
+                        self.dirty_idx.remove(&idx);
                     }
                     Err(err) => {
                         self.quarantine(idx);
@@ -695,8 +859,184 @@ impl TincaCache {
     }
 
     // ------------------------------------------------------------------
+    // Write-behind destage (background lane)
+    // ------------------------------------------------------------------
+
+    /// Low/high-watermark write-behind daemon, run after every successful
+    /// commit. When the *supply* — free NVM blocks plus clean cached
+    /// blocks, i.e. everything [`Self::alloc_block`] can hand out without
+    /// disk I/O — drops below `destage_low_water_pct` of the data blocks,
+    /// the daemon harvests dirty LRU victims (up to `destage_batch`, or
+    /// fewer if that already restores `destage_high_water_pct`), sorts
+    /// them by disk address and issues one vectored
+    /// [`BlockDevice::write_blocks`] on the background lane.
+    ///
+    /// Clock model (mtfio-style wall = max, busy = sum): the batch's
+    /// device time is *not* charged to the foreground clock. Instead the
+    /// lane's absolute free deadline (`destage_lane_free_ns`) moves
+    /// forward, and at most one batch is in flight: the daemon refuses to
+    /// fire again until the deadline passes, and
+    /// [`Self::drain_destage_lane`] stalls the foreground clock up to the
+    /// deadline where ordering demands it (full flush). Disk `busy_ns`
+    /// still accumulates, so utilisation reports stay honest.
+    ///
+    /// Durability is unchanged: destage only writes *committed* blocks
+    /// (read from the persistent NVM image — everything outside the
+    /// commit window is durable) and marking a block clean is a pure
+    /// cache-state transition. A crash mid-destage at worst leaves a
+    /// block dirty that was already on disk; recovery re-writes it.
+    fn maybe_destage(&mut self) {
+        if !self.cfg.destage {
+            return;
+        }
+        let now = self.nvm.clock().now_ns();
+        if self.destage_lane_free_ns > now {
+            return; // previous batch still occupies the lane
+        }
+        let data_blocks = self.layout.data_blocks as usize;
+        let supply = self.free_blocks.free_count() + (self.index.len() - self.dirty_idx.len());
+        if supply * 100 >= data_blocks * self.cfg.destage_low_water_pct as usize {
+            return;
+        }
+        let _t = telemetry::span(telemetry::phase::DESTAGE);
+        let target = data_blocks * self.cfg.destage_high_water_pct as usize / 100;
+        let need = target
+            .saturating_sub(supply)
+            .clamp(1, self.cfg.destage_batch.max(1));
+        // Harvest in LRU order: the blocks eviction would want next. The
+        // scan uses persistent entry reads so the daemon's bookkeeping
+        // does not bill NVM latency to the foreground clock.
+        let mut victims: Vec<(u32, CacheEntry)> = Vec::with_capacity(need);
+        for idx in self.lru.iter_lru() {
+            if victims.len() >= need {
+                break;
+            }
+            if self.pin_entries[idx as usize]
+                || self.quarantined.contains(&idx)
+                || !self.dirty_idx.contains(&idx)
+            {
+                continue;
+            }
+            let e = self.read_entry_persistent(idx);
+            if e.valid && e.role == Role::Buffer && e.modified && !self.pin_blocks[e.cur as usize] {
+                victims.push((idx, e));
+            }
+        }
+        if victims.is_empty() {
+            return;
+        }
+        // Address-sort: contiguous runs stream on the device after one
+        // seek (the point of batching).
+        victims.sort_unstable_by_key(|&(_, e)| e.disk_blk);
+        let payloads: Vec<Vec<u8>> = victims
+            .iter()
+            .map(|&(_, e)| {
+                let mut buf = vec![0u8; BLOCK_SIZE];
+                self.nvm
+                    .read_persistent(self.layout.data_addr(e.cur), &mut buf);
+                buf
+            })
+            .collect();
+        let reqs: Vec<(u64, &[u8])> = victims
+            .iter()
+            .zip(&payloads)
+            .map(|(&(_, e), p)| (e.disk_blk, &p[..]))
+            .collect();
+        let report = self.disk.write_blocks(&reqs, IoLane::Background);
+        drop(reqs);
+        let mut lane_ns = report.device_ns;
+        self.stats.destage_batches += 1;
+        let failed: HashMap<usize, IoError> = report.errors.into_iter().collect();
+        for (pos, &(idx, e)) in victims.iter().enumerate() {
+            let res = match failed.get(&pos) {
+                None => Ok(()),
+                Some(&err) => {
+                    let (extra, res) = self.destage_retry(e.disk_blk, &payloads[pos], err);
+                    lane_ns += extra;
+                    res
+                }
+            };
+            match res {
+                Ok(()) => {
+                    // Same persistence discipline as the eviction path:
+                    // the clean mark is a real entry write on the
+                    // foreground clock (metadata cost is not hidden).
+                    self.write_entry(
+                        idx,
+                        CacheEntry {
+                            modified: false,
+                            ..e
+                        },
+                    );
+                    self.quarantined.remove(&idx);
+                    self.dirty_idx.remove(&idx);
+                    self.stats.writebacks += 1;
+                    self.stats.destage_blocks += 1;
+                }
+                Err(_) => self.quarantine(idx),
+            }
+        }
+        self.destage_lane_free_ns = now + lane_ns;
+        // Busy-lane time, deliberately charged without a clock advance:
+        // the phase report shows overlapped device time next to the
+        // foreground phases (see DESIGN.md §11).
+        telemetry::charge(telemetry::phase::DESTAGE_WRITEBACK, lane_ns);
+    }
+
+    /// Background-lane retry loop for one failed destage request. Mirrors
+    /// [`Self::disk_write_retry`]'s counting exactly, but backoff and
+    /// device time extend the lane deadline instead of stalling the
+    /// foreground clock. Returns the lane time consumed and the outcome.
+    fn destage_retry(
+        &mut self,
+        blk: u64,
+        buf: &[u8],
+        first: IoError,
+    ) -> (u64, Result<(), IoError>) {
+        let mut lane_ns = 0u64;
+        let mut err = first;
+        let mut attempt = 1u32;
+        loop {
+            if !err.is_transient() || attempt >= self.cfg.max_io_retries {
+                self.stats.permanent_io_errors += 1;
+                return (lane_ns, Err(err));
+            }
+            attempt += 1;
+            self.stats.io_retries += 1;
+            lane_ns += self.cfg.retry_backoff_ns;
+            let r = self.disk.write_blocks(&[(blk, buf)], IoLane::Background);
+            lane_ns += r.device_ns;
+            match r.errors.into_iter().next() {
+                None => {
+                    self.stats.transient_errors_absorbed += 1;
+                    return (lane_ns, Ok(()));
+                }
+                Some((_, e)) => err = e,
+            }
+        }
+    }
+
+    /// Stalls the foreground clock until the background destage lane is
+    /// idle. Ordering barrier for operations that must observe all prior
+    /// writebacks as complete (full flush, orderly shutdown).
+    fn drain_destage_lane(&mut self) {
+        let now = self.nvm.clock().now_ns();
+        if self.destage_lane_free_ns > now {
+            let wait = self.destage_lane_free_ns - now;
+            self.nvm.clock().advance(wait);
+            telemetry::charge(telemetry::phase::DESTAGE_DRAIN, wait);
+        }
+    }
+
+    // ------------------------------------------------------------------
     // Accessors & inspection
     // ------------------------------------------------------------------
+
+    /// Number of dirty (modified, valid) cached blocks — maintained
+    /// incrementally; audited by [`Self::check_consistency`].
+    pub fn dirty_block_count(&self) -> usize {
+        self.dirty_idx.len()
+    }
 
     /// The cache's NVM space partitioning.
     pub fn layout(&self) -> &Layout {
@@ -758,6 +1098,28 @@ impl TincaCache {
         self.nvm.persist(addr, 16);
     }
 
+    /// Entry store *without* the per-entry persist. Used only by the
+    /// coalesced commit path, which flushes the distinct 64 B entry
+    /// lines once per transaction and fences before `Head` moves — see
+    /// [`TincaConfig::coalesce_flushes`].
+    fn write_entry_unflushed(&self, idx: u32, e: CacheEntry) {
+        self.nvm
+            .atomic_write_u128(self.layout.entry_addr(idx), e.encode());
+    }
+
+    /// Reads entry `idx` from the *persistent* NVM image, charging no
+    /// simulated latency. Valid whenever the cache is between commits:
+    /// every entry is persisted before the commit point (and recovery
+    /// re-persists survivors), so the persistent image equals the
+    /// volatile one. The destage daemon scans with this so its harvest
+    /// does not bill NVM read time to the foreground clock.
+    fn read_entry_persistent(&self, idx: u32) -> CacheEntry {
+        let mut b = [0u8; 16];
+        self.nvm
+            .read_persistent(self.layout.entry_addr(idx), &mut b);
+        CacheEntry::decode(u128::from_le_bytes(b))
+    }
+
     // ------------------------------------------------------------------
     // Pinning (§4.6 rule 2)
     // ------------------------------------------------------------------
@@ -803,6 +1165,10 @@ impl TincaCache {
         c
     }
 
+    pub(crate) fn dram_mark_dirty(&mut self, idx: u32) {
+        self.dirty_idx.insert(idx);
+    }
+
     pub(crate) fn set_head_tail(&mut self, head: u64, tail: u64) {
         self.head = head;
         self.tail = tail;
@@ -845,6 +1211,7 @@ impl TincaCache {
         }
         let mut seen_cur = vec![false; self.layout.data_blocks as usize];
         let mut valid_count = 0usize;
+        let mut dirty = 0usize;
         for idx in 0..self.layout.entry_count {
             let e = self.read_entry(idx);
             if !e.valid {
@@ -854,6 +1221,16 @@ impl TincaCache {
                 continue;
             }
             valid_count += 1;
+            if e.modified {
+                dirty += 1;
+            }
+            if e.modified != self.dirty_idx.contains(&idx) {
+                return Err(format!(
+                    "entry {idx} modified={} but dirty set says {}",
+                    e.modified,
+                    self.dirty_idx.contains(&idx)
+                ));
+            }
             if e.role == Role::Log {
                 return Err(format!("entry {idx} still has log role at rest"));
             }
@@ -899,6 +1276,12 @@ impl TincaCache {
         if used_blocks != valid_count {
             return Err(format!(
                 "{used_blocks} blocks in use but {valid_count} valid entries"
+            ));
+        }
+        if dirty != self.dirty_idx.len() {
+            return Err(format!(
+                "dirty set holds {} but {dirty} modified entries",
+                self.dirty_idx.len()
             ));
         }
         Ok(())

@@ -41,6 +41,33 @@ pub struct TincaConfig {
     /// Simulated backoff charged to the stack's clock between transient-
     /// error retries.
     pub retry_backoff_ns: u64,
+    /// Write-behind destage: a low/high-watermark daemon that writes
+    /// dirty LRU blocks back in address-sorted vectored batches on a
+    /// background simulated-time lane, so evictions on the allocation
+    /// path find clean victims instead of paying a synchronous disk
+    /// write. Default `false` (the paper's passive free-block monitor:
+    /// writebacks happen one block at a time on the eviction path).
+    pub destage: bool,
+    /// Destage trigger: the daemon fires when the *supply* (free NVM
+    /// blocks + clean cached blocks, i.e. everything allocatable without
+    /// disk I/O) drops below this percentage of the data blocks.
+    pub destage_low_water_pct: u32,
+    /// Destage target: one firing harvests enough dirty LRU victims to
+    /// lift the supply back to this percentage (bounded by
+    /// [`Self::destage_batch`]).
+    pub destage_high_water_pct: u32,
+    /// Maximum victims per vectored destage batch (also bounds the
+    /// per-batch payload staging buffer: `destage_batch` × 4 KB).
+    pub destage_batch: usize,
+    /// Commit-path flush coalescing: dedupe `clflush` at cache-line
+    /// granularity within one committing transaction — entry flushes are
+    /// deferred to one pass over *distinct* lines (four 16 B entries
+    /// share a 64 B line) and per-block fences collapse into one fence
+    /// before the `Head` move. The commit point is provably not
+    /// reordered: `Tail` persists only after a fence that drains every
+    /// staged line. Only takes effect with `role_switch`. Default
+    /// `false` (the paper's per-step persist ordering).
+    pub coalesce_flushes: bool,
 }
 
 impl Default for TincaConfig {
@@ -53,6 +80,11 @@ impl Default for TincaConfig {
             batched_ring: false,
             max_io_retries: 4,
             retry_backoff_ns: 100_000,
+            destage: false,
+            destage_low_water_pct: 25,
+            destage_high_water_pct: 50,
+            destage_batch: 64,
+            coalesce_flushes: false,
         }
     }
 }
@@ -69,5 +101,15 @@ mod tests {
         assert!(c.role_switch);
         assert!(!c.batched_ring, "default is the paper's exact protocol");
         assert!(c.max_io_retries >= 1, "at least one attempt");
+        assert!(!c.destage, "default is the paper's synchronous writeback");
+        assert!(!c.coalesce_flushes, "default is per-step persist ordering");
+    }
+
+    #[test]
+    fn destage_watermarks_are_ordered() {
+        let c = TincaConfig::default();
+        assert!(c.destage_low_water_pct < c.destage_high_water_pct);
+        assert!(c.destage_high_water_pct <= 100);
+        assert!(c.destage_batch >= 1);
     }
 }

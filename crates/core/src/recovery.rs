@@ -128,6 +128,12 @@ impl TincaCache {
         for idx in 0..layout.entry_count {
             let e = self.read_entry(idx);
             if e.valid {
+                if e.modified {
+                    // The incrementally-maintained dirty set restarts
+                    // from the surviving entries (revocation above
+                    // already excluded in-flight ones).
+                    self.dram_mark_dirty(idx);
+                }
                 assert!(
                     self.index_get(e.disk_blk).is_none(),
                     "two valid entries map disk block {}",

@@ -100,7 +100,12 @@ impl StatsSnapshot {
                     ("batched_txns", c.batched_txns.into()),
                     ("coalesced_writes", c.coalesced_writes.into()),
                     ("evictions", c.evictions.into()),
+                    ("eviction_errors", c.eviction_errors.into()),
                     ("writebacks", c.writebacks.into()),
+                    ("coalesced_flushes", c.coalesced_flushes.into()),
+                    ("destage_batches", c.destage_batches.into()),
+                    ("destage_blocks", c.destage_blocks.into()),
+                    ("destage_stalls", c.destage_stalls.into()),
                     ("revoked_blocks", c.revoked_blocks.into()),
                     ("recoveries", c.recoveries.into()),
                     ("io_retries", c.io_retries.into()),

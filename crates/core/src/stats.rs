@@ -30,8 +30,23 @@ pub struct CacheStats {
     pub coalesced_writes: u64,
     /// Cache blocks evicted (clean or dirty).
     pub evictions: u64,
+    /// Eviction attempts on the allocation path that failed (victim
+    /// writeback error → quarantine). Previously swallowed silently.
+    pub eviction_errors: u64,
     /// Dirty evictions that wrote a block to disk.
     pub writebacks: u64,
+    /// `clflush` operations avoided by commit-path flush coalescing
+    /// (entry updates sharing a 64 B line flushed once per line).
+    pub coalesced_flushes: u64,
+    /// Vectored destage batches issued on the background lane.
+    pub destage_batches: u64,
+    /// Dirty blocks written back (and marked clean) by the destage
+    /// daemon.
+    pub destage_blocks: u64,
+    /// Allocations that found no free block and no clean victim while
+    /// destage was enabled — the foreground path had to pay a
+    /// synchronous dirty writeback because the daemon fell behind.
+    pub destage_stalls: u64,
     /// Blocks revoked during recovery or abort.
     pub revoked_blocks: u64,
     /// Recovery passes executed.
@@ -84,7 +99,12 @@ impl CacheStats {
             batched_txns: self.batched_txns - e.batched_txns,
             coalesced_writes: self.coalesced_writes - e.coalesced_writes,
             evictions: self.evictions - e.evictions,
+            eviction_errors: self.eviction_errors - e.eviction_errors,
             writebacks: self.writebacks - e.writebacks,
+            coalesced_flushes: self.coalesced_flushes - e.coalesced_flushes,
+            destage_batches: self.destage_batches - e.destage_batches,
+            destage_blocks: self.destage_blocks - e.destage_blocks,
+            destage_stalls: self.destage_stalls - e.destage_stalls,
             revoked_blocks: self.revoked_blocks - e.revoked_blocks,
             recoveries: self.recoveries - e.recoveries,
             io_retries: self.io_retries - e.io_retries,
@@ -110,7 +130,12 @@ impl CacheStats {
             batched_txns: self.batched_txns + o.batched_txns,
             coalesced_writes: self.coalesced_writes + o.coalesced_writes,
             evictions: self.evictions + o.evictions,
+            eviction_errors: self.eviction_errors + o.eviction_errors,
             writebacks: self.writebacks + o.writebacks,
+            coalesced_flushes: self.coalesced_flushes + o.coalesced_flushes,
+            destage_batches: self.destage_batches + o.destage_batches,
+            destage_blocks: self.destage_blocks + o.destage_blocks,
+            destage_stalls: self.destage_stalls + o.destage_stalls,
             revoked_blocks: self.revoked_blocks + o.revoked_blocks,
             recoveries: self.recoveries + o.recoveries,
             io_retries: self.io_retries + o.io_retries,
@@ -167,6 +192,11 @@ mod tests {
             coalesced_writes: 4,
             io_retries: 6,
             quarantined_blocks: 2,
+            eviction_errors: 1,
+            coalesced_flushes: 9,
+            destage_batches: 2,
+            destage_blocks: 8,
+            destage_stalls: 1,
             ..Default::default()
         };
         let d = b.delta(&a);
@@ -176,6 +206,11 @@ mod tests {
         assert_eq!(d.coalesced_writes, 4);
         assert_eq!(d.io_retries, 6);
         assert_eq!(d.quarantined_blocks, 2);
+        assert_eq!(d.eviction_errors, 1);
+        assert_eq!(d.coalesced_flushes, 9);
+        assert_eq!(d.destage_batches, 2);
+        assert_eq!(d.destage_blocks, 8);
+        assert_eq!(d.destage_stalls, 1);
     }
 
     #[test]
@@ -189,6 +224,10 @@ mod tests {
         let b = CacheStats {
             commits: 5,
             user_aborts: 1,
+            destage_batches: 4,
+            destage_blocks: 16,
+            coalesced_flushes: 2,
+            eviction_errors: 3,
             ..Default::default()
         };
         let m = a.merge(&b);
@@ -196,5 +235,9 @@ mod tests {
         assert_eq!(m.group_commits, 1);
         assert_eq!(m.batched_txns, 3);
         assert_eq!(m.user_aborts, 1);
+        assert_eq!(m.destage_batches, 4);
+        assert_eq!(m.destage_blocks, 16);
+        assert_eq!(m.coalesced_flushes, 2);
+        assert_eq!(m.eviction_errors, 3);
     }
 }

@@ -105,8 +105,12 @@ fn apply(fs: &mut FsSim, oracle: &mut FsOracle, step: &Step) {
             }
         }
         Step::Fsync => {
-            fs.fsync().expect("fsync");
-            oracle.committed();
+            // A commit error is a clean abort (e.g. the destage variant's
+            // tiny cache cannot stage the whole batch): the batch stays
+            // uncommitted and a later fsync may retry it.
+            if fs.fsync().is_ok() {
+                oracle.committed();
+            }
         }
     }
 }
@@ -134,9 +138,30 @@ pub fn fuzz_one(system: System, seed: u64, steps: usize) -> FuzzOutcome {
 
 /// [`fuzz_one`] with an explicit failure mode.
 pub fn fuzz_one_mode(system: System, seed: u64, steps: usize, mode: FailureMode) -> FuzzOutcome {
+    fuzz_one_opts(system, seed, steps, mode, false)
+}
+
+/// [`fuzz_one_mode`] with the write-behind pipeline toggle.
+///
+/// With `destage`, the stack runs the watermark destage daemon and
+/// commit-path flush coalescing on a shrunken NVM (160 KB ≈ 34 data
+/// blocks), so the script's working set crosses the low watermark and
+/// crashes land during background writeback — the campaign then proves
+/// that a crash mid-destage never loses an acknowledged commit.
+pub fn fuzz_one_opts(
+    system: System,
+    seed: u64,
+    steps: usize,
+    mode: FailureMode,
+    destage: bool,
+) -> FuzzOutcome {
     let mut rng = StdRng::seed_from_u64(seed);
     let mut cfg = StackConfig::tiny(system);
     cfg.txn_block_limit = 100_000; // commits only at explicit fsync
+    if destage {
+        cfg.destage = true;
+        cfg.nvm_bytes = 160 << 10;
+    }
     let mut harness = CrashHarness::new(cfg);
     // Each seed builds a fresh stack with its own simulated clock; point
     // any installed telemetry recorder at it so per-seed spans attribute
@@ -184,10 +209,23 @@ pub fn fuzz_system_mode(
     steps: usize,
     mode: FailureMode,
 ) -> FuzzReport {
+    fuzz_system_opts(system, base_seed, runs, steps, mode, false)
+}
+
+/// [`fuzz_system_mode`] with the write-behind pipeline toggle (see
+/// [`fuzz_one_opts`]).
+pub fn fuzz_system_opts(
+    system: System,
+    base_seed: u64,
+    runs: u64,
+    steps: usize,
+    mode: FailureMode,
+    destage: bool,
+) -> FuzzReport {
     let mut report = FuzzReport::default();
     for i in 0..runs {
         report.runs += 1;
-        match fuzz_one_mode(system, base_seed + i, steps, mode) {
+        match fuzz_one_opts(system, base_seed + i, steps, mode, destage) {
             FuzzOutcome::Completed => {
                 report.completed += 1;
                 telemetry::count("crash.seeds.completed", 1);

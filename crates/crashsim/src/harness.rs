@@ -108,9 +108,15 @@ impl CrashHarness {
     {
         let stack = self.stack.as_mut().expect("stack live");
         stack.nvm.set_trip(Some(trip));
-        let crashed = catch_unwind(AssertUnwindSafe(|| workload(&mut stack.fs))).is_err();
+        let outcome = catch_unwind(AssertUnwindSafe(|| workload(&mut stack.fs)));
         stack.nvm.set_trip(None);
-        crashed
+        match outcome {
+            Ok(()) => false,
+            // Only the injected crash counts as a crash; a workload bug
+            // must fail the campaign, not hide behind crash verification.
+            Err(p) if p.downcast_ref::<CrashTripped>().is_some() => true,
+            Err(p) => std::panic::resume_unwind(p),
+        }
     }
 
     /// Runs `workload` with no trip (must complete).

@@ -34,7 +34,8 @@ pub use faultfuzz::{
     FaultFuzzReport, FaultRunStats,
 };
 pub use fuzz::{
-    fuzz_one, fuzz_one_mode, fuzz_system, fuzz_system_mode, FailureMode, FuzzOutcome, FuzzReport,
+    fuzz_one, fuzz_one_mode, fuzz_one_opts, fuzz_system, fuzz_system_mode, fuzz_system_opts,
+    FailureMode, FuzzOutcome, FuzzReport,
 };
 pub use harness::{quiet_crash_panics, CrashHarness, VerifyError};
 pub use oracle::FsOracle;

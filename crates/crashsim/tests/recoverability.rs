@@ -3,7 +3,9 @@
 //! no-journal baseline must *not* (demonstrating that the consistency the
 //! other two provide is real, not vacuous).
 
-use crashsim::{fuzz_system, fuzz_system_mode, CrashHarness, FailureMode, FsOracle};
+use crashsim::{
+    fuzz_system, fuzz_system_mode, fuzz_system_opts, CrashHarness, FailureMode, FsOracle,
+};
 use fssim::stack::{StackConfig, System};
 use nvmsim::CrashPolicy;
 
@@ -49,6 +51,16 @@ fn classic_logmeta_survives_fuzzed_crashes() {
     // The FlashTier/bcache-style metadata log must be as crash-safe as
     // the synchronous metadata blocks.
     let report = fuzz_system(System::ClassicLogMeta, 5000, 20, 50);
+    assert!(report.clean(), "violations: {:?}", report.violations);
+}
+
+#[test]
+fn tinca_destage_pipeline_survives_fuzzed_crashes() {
+    // Write-behind destage + flush coalescing on a cache small enough
+    // that the watermark daemon runs mid-script: power cuts landing
+    // during background writeback must never lose an acknowledged fsync.
+    let report = fuzz_system_opts(System::Tinca, 7000, 30, 60, FailureMode::PowerPull, true);
+    assert!(report.crashes > 0, "campaign should hit mid-run crashes");
     assert!(report.clean(), "violations: {:?}", report.violations);
 }
 

@@ -88,6 +88,11 @@ pub struct StackConfig {
     /// DRAM page-cache blocks; `None` = the system's natural default
     /// (4096, or 0 for UBJ whose buffer cache is the NVM itself).
     pub dram_cache_blocks: Option<usize>,
+    /// Enables Tinca's write-behind pipeline: the watermark destage
+    /// daemon (batched, address-sorted background writeback) plus
+    /// commit-path flush coalescing. Ignored by non-Tinca systems.
+    /// Default `false` (the paper's synchronous eviction writeback).
+    pub destage: bool,
 }
 
 impl StackConfig {
@@ -108,6 +113,7 @@ impl StackConfig {
             assoc: 256,
             nvm_override: None,
             dram_cache_blocks: None,
+            destage: false,
         }
     }
 
@@ -126,6 +132,7 @@ impl StackConfig {
             assoc: 64,
             nvm_override: None,
             dram_cache_blocks: None,
+            destage: false,
         }
     }
 
@@ -160,6 +167,8 @@ impl StackConfig {
             ring_bytes: self.ring_bytes,
             role_switch: self.system != System::TincaNoRoleSwitch,
             batched_ring: self.system == System::TincaBatched,
+            destage: self.destage,
+            coalesce_flushes: self.destage,
             ..TincaConfig::default()
         }
     }

@@ -40,6 +40,17 @@ pub const CACHE_WRITEBACK: &str = "cache.writeback";
 /// Full-cache flush (drain all dirty blocks).
 pub const CACHE_FLUSH_ALL: &str = "cache.flush_all";
 
+/// Background destage pipeline (harvest + vectored writeback). Charged
+/// outside the `commit` span: destage I/O overlaps foreground time and
+/// only its stalls show up on the critical path.
+pub const DESTAGE: &str = "destage";
+/// Device time consumed by background vectored writebacks (busy-lane
+/// time, not foreground wall time).
+pub const DESTAGE_WRITEBACK: &str = "destage.writeback";
+/// Foreground stall waiting for the destage lane to drain (explicit
+/// drain, or the free pool emptied before the daemon caught up).
+pub const DESTAGE_DRAIN: &str = "destage.drain";
+
 /// Crash-recovery replay (entry scan, ring revoke, rebuild).
 pub const RECOVERY: &str = "recovery";
 /// Simulated backoff charged between failed-I/O retries.
