@@ -28,7 +28,7 @@ fn bench_file_write(c: &mut Criterion) {
             b.iter(|| {
                 s.fs.write(f, (i % 500) * BLOCK_SIZE as u64, &data).unwrap();
                 i += 1;
-                if i % 64 == 0 {
+                if i.is_multiple_of(64) {
                     s.fs.fsync().unwrap();
                 }
             });

@@ -55,6 +55,8 @@ fn main() {
     done("destage");
     figs::phases::run(quick);
     done("phases");
+    figs::persistrace::run(quick);
+    done("persistrace");
     println!(
         "\nAll experiments regenerated in {:.1}s (quick={quick}). CSVs in EXPERIMENTS-results/.",
         t0.elapsed().as_secs_f64()

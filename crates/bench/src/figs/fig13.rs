@@ -97,7 +97,7 @@ pub fn run(quick: bool) -> Table {
             vec![
                 i.to_string(),
                 v.to_string(),
-                wp_sizes.get(i).map(|w| w.to_string()).unwrap_or_default(),
+                wp_sizes.get(i).map(ToString::to_string).unwrap_or_default(),
             ]
         })
         .collect();

@@ -13,6 +13,7 @@ pub mod fig7;
 pub mod fig8;
 pub mod flush_instr;
 pub mod meta_schemes;
+pub mod persistrace;
 pub mod phases;
 pub mod recoverability;
 pub mod scaling;

@@ -113,6 +113,38 @@ pub fn run(quick: bool) -> f64 {
     t.print();
     write_csv("phases", &t.headers(), t.rows());
 
+    // Flush-hygiene smells per commit phase: the device marks every
+    // clflush of an already-clean line and every sfence that found
+    // nothing staged (count-only — no simulated time), so wasted persist
+    // instructions show up under the exact phase that issued them.
+    let mut clean_flushes = 0u64;
+    let mut empty_fences = 0u64;
+    let mut smells = Table::new(&["Phase", "smell", "count"]);
+    for p in &report.phases {
+        let smell = match p.name.as_str() {
+            telemetry::phase::NVM_FLUSH_CLEAN => {
+                clean_flushes += p.count;
+                "clean-line clflush"
+            }
+            telemetry::phase::NVM_FENCE_EMPTY => {
+                empty_fences += p.count;
+                "empty sfence"
+            }
+            _ => continue,
+        };
+        let parent = p
+            .parent
+            .map_or("(root)".to_string(), |i| report.phases[i].path.clone());
+        smells.row(vec![parent, smell.into(), p.count.to_string()]);
+    }
+    println!(
+        "flush-hygiene smells: {clean_flushes} clean-line clflush, {empty_fences} empty sfence"
+    );
+    if !smells.rows().is_empty() {
+        smells.print();
+    }
+    write_csv("phases_smells", &smells.headers(), smells.rows());
+
     // Exporters: full event stream + chrome trace.
     let dir = results_dir();
     fs::write(dir.join("phases.jsonl"), report.to_jsonl()).expect("write jsonl");
@@ -133,12 +165,17 @@ pub fn run(quick: bool) -> f64 {
         ("commit_total_ns", commit_ns.into()),
         ("sim_ns", snapshot.sim_ns.into()),
     ]);
+    let smell_totals = Json::obj(vec![
+        ("clean_line_clflush", clean_flushes.into()),
+        ("empty_sfence", empty_fences.into()),
+    ]);
     let bench = Json::obj(vec![
         ("bench", "phases".into()),
         ("quick", quick.into()),
         ("ops", ops.into()),
         ("attributed_fraction_commit", frac.into()),
         ("min_attributed", MIN_ATTRIBUTED.into()),
+        ("flush_smells", smell_totals),
         ("gate", gate),
         ("stats", snapshot.to_json()),
         ("telemetry", report.to_json()),

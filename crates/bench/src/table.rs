@@ -10,7 +10,7 @@ pub struct Table {
 impl Table {
     pub fn new(headers: &[&str]) -> Table {
         Table {
-            headers: headers.iter().map(|s| s.to_string()).collect(),
+            headers: headers.iter().map(ToString::to_string).collect(),
             rows: Vec::new(),
         }
     }
@@ -22,7 +22,7 @@ impl Table {
 
     /// Column widths for alignment.
     fn widths(&self) -> Vec<usize> {
-        let mut w: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        let mut w: Vec<usize> = self.headers.iter().map(String::len).collect();
         for row in &self.rows {
             for (i, c) in row.iter().enumerate() {
                 w[i] = w[i].max(c.len());
@@ -56,7 +56,7 @@ impl Table {
     }
 
     pub fn headers(&self) -> Vec<&str> {
-        self.headers.iter().map(|s| s.as_str()).collect()
+        self.headers.iter().map(String::as_str).collect()
     }
 }
 

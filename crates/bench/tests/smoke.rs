@@ -17,7 +17,7 @@ fn tables_render_and_write_csv() {
 #[test]
 fn fmt_is_compact() {
     assert_eq!(bench::fmt(0.0), "0");
-    assert_eq!(bench::fmt(3.14159), "3.14");
+    assert_eq!(bench::fmt(3.46159), "3.46");
     assert_eq!(bench::fmt(42.123), "42.1");
     assert_eq!(bench::fmt(12345.6), "12346");
 }

@@ -1,3 +1,7 @@
+// Test code may unwrap/expect/panic freely; non-test code is held to the
+// disallowed-methods ban in this crate's clippy.toml.
+#![cfg_attr(test, allow(clippy::disallowed_methods, clippy::disallowed_macros))]
+
 //! # blockdev — simulated SSD and HDD block devices
 //!
 //! The Tinca paper evaluates its NVM cache on top of a 128 GB SATA SSD and,

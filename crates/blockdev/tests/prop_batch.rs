@@ -1,3 +1,6 @@
+// Integration tests are exempt from the crate's unwrap/expect ban.
+#![allow(clippy::disallowed_methods, clippy::disallowed_macros)]
+
 //! Property tests of the vectored write path: `write_blocks` must leave
 //! the device byte-identical to the equivalent per-block `write_block`
 //! loop — for both lanes, and across the sub-batch splits a

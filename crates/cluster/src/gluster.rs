@@ -243,8 +243,7 @@ mod tests {
         for &ni in &group {
             c.crash_node(ni, 99 + ni as u64);
         }
-        use crossbeam::channel::bounded;
-        let (tx, rx) = bounded(1);
+        let (tx, rx) = crossbeam::channel::bounded(1);
         c.nodes[group[0]].send(NodeCmd::Read {
             name: "mail".into(),
             offset: 0,

@@ -349,6 +349,11 @@ impl TincaCache {
                     idx
                 }
                 None => {
+                    // Audited panic: the layout allocates one entry slot
+                    // per data block, so a free block implies a free
+                    // entry; exhaustion here is a layout bug, not a
+                    // recoverable condition.
+                    #[allow(clippy::disallowed_methods)]
                     let idx = self
                         .free_entries
                         .allocate()
@@ -705,6 +710,9 @@ impl TincaCache {
         let addr = self.layout.data_addr(blk);
         self.nvm.write(addr, data);
         self.nvm.persist(addr, BLOCK_SIZE);
+        // Audited panic: same layout invariant as commit — one entry slot
+        // per data block, so the just-allocated block guarantees a slot.
+        #[allow(clippy::disallowed_methods)]
         let idx = self
             .free_entries
             .allocate()

@@ -1,3 +1,7 @@
+// Test code may unwrap/expect/panic freely; non-test code is held to the
+// disallowed-methods ban in this crate's clippy.toml.
+#![cfg_attr(test, allow(clippy::disallowed_methods, clippy::disallowed_macros))]
+
 //! # tinca — Transactional NVM Disk Cache
 //!
 //! A user-space reproduction of **Tinca** from *"Transactional NVM Cache

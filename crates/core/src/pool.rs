@@ -84,12 +84,73 @@ struct GcState {
     leader: bool,
 }
 
+/// Sync-object ids this pool annotates on each shard's NVM trace, namespaced
+/// `shard_index * SYNC_STRIDE + kind` so a merged multi-shard trace
+/// ([`nvmsim::merge_shard_traces`]) never conflates two shards' locks.
+const SYNC_STRIDE: u64 = 16;
+/// The shard's cache mutex — serialises commits, reads, flushes, and the
+/// inline destage daemon (which runs under this same lock).
+const SYNC_CACHE_MUTEX: u64 = 0;
+/// The group-commit result handoff: the leader release-publishes the
+/// batch's results, each follower acquire-consumes its own.
+const SYNC_GC_PUBLISH: u64 = 1;
+
 struct Shard {
     cache: Mutex<TincaCache>,
     gc: StdMutex<GcState>,
     cv: Condvar,
     /// Ring slots of this shard's layout (bounds one merged batch).
     ring_slots: usize,
+    /// This shard's NVM device, for sync-event trace annotations.
+    nvm: Nvm,
+    /// First sync-object id of this shard's namespace.
+    sync_base: u64,
+}
+
+/// Cache-mutex guard that annotates acquisition and release as sync events
+/// on the shard's NVM trace (no-ops when tracing is off), so the
+/// happens-before engine sees the mutual exclusion the mutex provides.
+struct CacheGuard<'a> {
+    guard: parking_lot::MutexGuard<'a, TincaCache>,
+    nvm: &'a Nvm,
+    obj: u64,
+}
+
+impl std::ops::Deref for CacheGuard<'_> {
+    type Target = TincaCache;
+    fn deref(&self) -> &TincaCache {
+        &self.guard
+    }
+}
+
+impl std::ops::DerefMut for CacheGuard<'_> {
+    fn deref_mut(&mut self) -> &mut TincaCache {
+        &mut self.guard
+    }
+}
+
+impl Drop for CacheGuard<'_> {
+    fn drop(&mut self) {
+        // Runs before the mutex guard field drops, so the release
+        // annotation lands while the lock is still held.
+        self.nvm.note_lock_release(self.obj);
+    }
+}
+
+impl Shard {
+    /// Locks the cache mutex; the acquire annotation is recorded *after*
+    /// the lock is held (and the release before it drops), so annotations
+    /// appear in the trace in true lock order.
+    fn lock_cache(&self) -> CacheGuard<'_> {
+        let guard = self.cache.lock();
+        let obj = self.sync_base + SYNC_CACHE_MUTEX;
+        self.nvm.note_lock_acquire(obj);
+        CacheGuard {
+            guard,
+            nvm: &self.nvm,
+            obj,
+        }
+    }
 }
 
 fn lock_gc<'a>(sh: &'a Shard) -> StdGuard<'a, GcState> {
@@ -115,7 +176,10 @@ impl TincaPool {
         assert!(cfg.shards >= 1, "pool needs at least one shard");
         let shards = devices
             .into_iter()
-            .map(|nvm| Self::shard(TincaCache::format(nvm, disk.clone(), cfg.cache.clone())))
+            .enumerate()
+            .map(|(i, nvm)| {
+                Self::shard(i, TincaCache::format(nvm, disk.clone(), cfg.cache.clone()))
+            })
             .collect();
         TincaPool {
             shards,
@@ -133,12 +197,11 @@ impl TincaPool {
         );
         assert!(cfg.shards >= 1, "pool needs at least one shard");
         let mut shards = Vec::with_capacity(cfg.shards);
-        for nvm in devices {
-            shards.push(Self::shard(TincaCache::recover(
-                nvm,
-                disk.clone(),
-                cfg.cache.clone(),
-            )?));
+        for (i, nvm) in devices.into_iter().enumerate() {
+            shards.push(Self::shard(
+                i,
+                TincaCache::recover(nvm, disk.clone(), cfg.cache.clone())?,
+            ));
         }
         Ok(TincaPool {
             shards,
@@ -146,8 +209,9 @@ impl TincaPool {
         })
     }
 
-    fn shard(cache: TincaCache) -> Shard {
+    fn shard(index: usize, cache: TincaCache) -> Shard {
         let ring_slots = cache.layout().ring_cap as usize;
+        let nvm = cache.nvm().clone();
         Shard {
             cache: Mutex::new(cache),
             gc: StdMutex::new(GcState {
@@ -158,6 +222,8 @@ impl TincaPool {
             }),
             cv: Condvar::new(),
             ring_slots,
+            nvm,
+            sync_base: index as u64 * SYNC_STRIDE,
         }
     }
 
@@ -262,7 +328,7 @@ impl TincaPool {
                 continue;
             }
             let (idxs, parts): (Vec<usize>, Vec<Txn>) = batch.into_iter().unzip();
-            let res = self.shards[s].cache.lock().commit_group(parts);
+            let res = self.shards[s].lock_cache().commit_group(parts);
             if let Err(e) = res {
                 for i in idxs {
                     if results[i].is_ok() {
@@ -290,6 +356,11 @@ impl TincaPool {
         let mut gc = lock_gc(sh);
         loop {
             if let Some(res) = gc.results.remove(&ticket) {
+                // Adopt the publishing leader's history: everything it
+                // stored and fenced for this group happens-before whatever
+                // this thread does next.
+                sh.nvm
+                    .note_atomic_load_acquire(sh.sync_base + SYNC_GC_PUBLISH);
                 return res;
             }
             if gc.leader {
@@ -321,7 +392,7 @@ impl TincaPool {
             // A crash trip (simulated power failure) may panic out of the
             // commit; restore leadership and wake waiters before unwinding
             // so surviving threads are not stranded.
-            let res = catch_unwind(AssertUnwindSafe(|| sh.cache.lock().commit_group(batch)));
+            let res = catch_unwind(AssertUnwindSafe(|| sh.lock_cache().commit_group(batch)));
             drop(lead);
             gc = lock_gc(sh);
             gc.leader = false;
@@ -330,6 +401,11 @@ impl TincaPool {
                     for t in tickets {
                         gc.results.insert(t, res);
                     }
+                    // Publish the group's commit to its followers (still
+                    // under the gc mutex, so the release annotation is
+                    // trace-ordered before any follower's acquire).
+                    sh.nvm
+                        .note_atomic_store_release(sh.sync_base + SYNC_GC_PUBLISH);
                     sh.cv.notify_all();
                 }
                 Err(payload) => {
@@ -345,25 +421,25 @@ impl TincaPool {
     pub fn read(&self, disk_blk: u64, buf: &mut [u8]) -> Result<(), TincaError> {
         assert_eq!(buf.len(), BLOCK_SIZE);
         let s = self.shard_of(disk_blk);
-        self.shards[s].cache.lock().read(disk_blk, buf)
+        self.shards[s].lock_cache().read(disk_blk, buf)
     }
 
     /// Reads without populating any cache (verification).
     pub fn read_nocache(&self, disk_blk: u64, buf: &mut [u8]) -> Result<(), TincaError> {
         let s = self.shard_of(disk_blk);
-        self.shards[s].cache.lock().read_nocache(disk_blk, buf)
+        self.shards[s].lock_cache().read_nocache(disk_blk, buf)
     }
 
     /// True if `disk_blk` is cached in its home shard.
     pub fn contains(&self, disk_blk: u64) -> bool {
         let s = self.shard_of(disk_blk);
-        self.shards[s].cache.lock().contains(disk_blk)
+        self.shards[s].lock_cache().contains(disk_blk)
     }
 
     /// Cached payload of `disk_blk`, if present (inspection only).
     pub fn peek(&self, disk_blk: u64) -> Option<[u8; BLOCK_SIZE]> {
         let s = self.shard_of(disk_blk);
-        self.shards[s].cache.lock().peek(disk_blk)
+        self.shards[s].lock_cache().peek(disk_blk)
     }
 
     /// Writes back every dirty block of every shard (orderly shutdown).
@@ -372,7 +448,7 @@ impl TincaPool {
     pub fn flush_all(&self) -> Result<(), TincaError> {
         let mut first_err = Ok(());
         for sh in &self.shards {
-            let res = sh.cache.lock().flush_all();
+            let res = sh.lock_cache().flush_all();
             if first_err.is_ok() {
                 first_err = res;
             }
@@ -389,7 +465,7 @@ impl TincaPool {
         let mut any_fault = false;
         let mut all_read_only = true;
         for sh in &self.shards {
-            let cache = sh.cache.lock();
+            let cache = sh.lock_cache();
             match cache.health() {
                 Health::Healthy => all_read_only = false,
                 Health::Degraded { .. } => {
@@ -423,24 +499,24 @@ impl TincaPool {
     /// Pool-wide counters (sum over shards).
     pub fn stats(&self) -> CacheStats {
         self.shards.iter().fold(CacheStats::default(), |acc, sh| {
-            acc.merge(&sh.cache.lock().stats())
+            acc.merge(&sh.lock_cache().stats())
         })
     }
 
     /// One shard's counters.
     pub fn shard_stats(&self, s: usize) -> CacheStats {
-        self.shards[s].cache.lock().stats()
+        self.shards[s].lock_cache().stats()
     }
 
     /// Runs `f` with shard `s`'s cache locked (tests, fuzzers, benches).
     pub fn with_shard<R>(&self, s: usize, f: impl FnOnce(&mut TincaCache) -> R) -> R {
-        f(&mut self.shards[s].cache.lock())
+        f(&mut self.shards[s].lock_cache())
     }
 
     /// NVM metadata byte ranges of shard `s` (header + ring + entry table,
     /// in that shard's device address space) for persist-order analysis.
     pub fn shard_metadata_ranges(&self, s: usize) -> Vec<std::ops::Range<usize>> {
-        let metadata = 0..self.shards[s].cache.lock().layout().data_off;
+        let metadata = 0..self.shards[s].lock_cache().layout().data_off;
         vec![metadata]
     }
 
@@ -448,7 +524,7 @@ impl TincaPool {
     pub fn free_block_count(&self) -> usize {
         self.shards
             .iter()
-            .map(|sh| sh.cache.lock().free_block_count())
+            .map(|sh| sh.lock_cache().free_block_count())
             .sum()
     }
 
@@ -456,7 +532,7 @@ impl TincaPool {
     pub fn cached_blocks(&self) -> usize {
         self.shards
             .iter()
-            .map(|sh| sh.cache.lock().cached_blocks())
+            .map(|sh| sh.lock_cache().cached_blocks())
             .sum()
     }
 }

@@ -1,3 +1,6 @@
+// Integration tests are exempt from the crate's unwrap/expect ban.
+#![allow(clippy::disallowed_methods, clippy::disallowed_macros)]
+
 //! The batched-ring optimisation (one fence pair per transaction instead
 //! of per block) must keep the exact crash-atomicity guarantees of the
 //! paper's per-block protocol, while measurably reducing fences.

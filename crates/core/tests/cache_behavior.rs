@@ -1,3 +1,6 @@
+// Integration tests are exempt from the crate's unwrap/expect ban.
+#![allow(clippy::disallowed_methods, clippy::disallowed_macros)]
+
 //! Integration tests for the Tinca cache: commit protocol, COW writes,
 //! replacement, pinning, and the cost model the paper's figures rely on.
 

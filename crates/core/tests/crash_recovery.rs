@@ -1,3 +1,6 @@
+// Integration tests are exempt from the crate's unwrap/expect ban.
+#![allow(clippy::disallowed_methods, clippy::disallowed_macros)]
+
 //! Crash-recovery tests (§4.5): crash the cache at *every* persistence
 //! event during commits, recover, and verify transaction atomicity and
 //! metadata consistency. This is a strengthened version of the paper's

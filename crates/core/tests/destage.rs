@@ -1,3 +1,6 @@
+// Integration tests are exempt from the crate's unwrap/expect ban.
+#![allow(clippy::disallowed_methods, clippy::disallowed_macros)]
+
 //! Write-behind destage pipeline and commit-path flush coalescing:
 //! watermark behavior, foreground-latency benefit, durability, and the
 //! eviction-error accounting regression.

@@ -1,3 +1,6 @@
+// Integration tests are exempt from the crate's unwrap/expect ban.
+#![allow(clippy::disallowed_methods, clippy::disallowed_macros)]
+
 //! Integration tests for `TincaPool`: single-shard equivalence, shard
 //! routing, group commit, and deterministic multi-threaded stress.
 

@@ -1,3 +1,6 @@
+// Integration tests are exempt from the crate's unwrap/expect ban.
+#![allow(clippy::disallowed_methods, clippy::disallowed_macros)]
+
 //! Property-based tests: the cache must behave exactly like a flat
 //! key→value store over (disk block → payload), under arbitrary
 //! interleavings of commits, reads, evictions, recoveries and crashes.
@@ -92,7 +95,7 @@ proptest! {
                 }
             }
         }
-        cache.check_consistency().map_err(|e| TestCaseError::fail(e))?;
+        cache.check_consistency().map_err(TestCaseError::fail)?;
         // Final sweep: the full model must be readable.
         let mut buf = [0u8; BLOCK_SIZE];
         for (&b, &v) in &model {
@@ -138,7 +141,7 @@ proptest! {
         nvm.crash(CrashPolicy::Random(seed));
 
         let rec = TincaCache::recover(nvm, disk, cfg()).unwrap();
-        rec.check_consistency().map_err(|e| TestCaseError::fail(e))?;
+        rec.check_consistency().map_err(TestCaseError::fail)?;
 
         let mut buf = [0u8; BLOCK_SIZE];
         let versions: Vec<(u64, u8)> = touched

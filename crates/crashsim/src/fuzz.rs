@@ -35,8 +35,9 @@ impl FuzzReport {
     }
 }
 
-/// A deterministic scripted workload step.
-enum Step {
+/// A deterministic scripted workload step. Shared with the crash-frontier
+/// enumerator ([`crate::frontier`]), which replays the same scripts.
+pub(crate) enum Step {
     Create(String),
     Write {
         name: String,
@@ -48,7 +49,7 @@ enum Step {
     Fsync,
 }
 
-fn script(rng: &mut StdRng, steps: usize, max_files: usize) -> Vec<Step> {
+pub(crate) fn script(rng: &mut StdRng, steps: usize, max_files: usize) -> Vec<Step> {
     let mut live: Vec<String> = Vec::new();
     let mut out = Vec::with_capacity(steps);
     let mut next_id = 0u32;
@@ -79,7 +80,7 @@ fn script(rng: &mut StdRng, steps: usize, max_files: usize) -> Vec<Step> {
     out
 }
 
-fn apply(fs: &mut FsSim, oracle: &mut FsOracle, step: &Step) {
+pub(crate) fn apply(fs: &mut FsSim, oracle: &mut FsOracle, step: &Step) {
     match step {
         Step::Create(name) => {
             if fs.create(name).is_ok() {

@@ -145,6 +145,20 @@ impl CrashHarness {
         self.stack = Some(rebooted);
     }
 
+    /// Like [`Self::crash_and_remount`], but the power failure resolves to
+    /// an *exact* persist frontier: of the lines staged in the open fence
+    /// epoch, precisely those in `keep` persist; everything else (other
+    /// staged lines, all dirty overlay lines) drops. The crash-frontier
+    /// enumerator drives this once per reachable frontier.
+    pub fn crash_frontier_and_remount(&mut self, keep: &std::collections::HashSet<usize>) {
+        let stack = self.stack.take().expect("stack live");
+        let (nvm, disk, clock) = (stack.nvm, stack.disk, stack.clock);
+        drop(stack.fs);
+        nvm.crash_frontier(keep);
+        let rebooted = remount(&self.cfg, nvm, disk, clock).expect("remount after crash");
+        self.stack = Some(rebooted);
+    }
+
     /// Checks the recovered state against the oracle: internal invariants
     /// hold, and the visible file set + contents equal either the durable
     /// or the staged state (all-or-nothing).

@@ -24,10 +24,13 @@
 //! ```
 
 mod faultfuzz;
+mod frontier;
 mod fuzz;
 mod harness;
 mod oracle;
 mod poolfuzz;
+
+pub use frontier::{frontier_fs_campaign, pool_frontier_campaign, FrontierReport};
 
 pub use faultfuzz::{
     fault_fuzz_campaign, fault_fuzz_one, fault_fuzz_one_detailed, FaultFuzzOutcome,

@@ -1,0 +1,48 @@
+//! Little-endian field decoding for on-disk structures.
+//!
+//! Every on-disk integer in fssim (superblocks, inodes, journal
+//! descriptors, pointer blocks) is a fixed-width little-endian field at a
+//! computed offset. Decoding via `buf[a..b].try_into().unwrap()` scatters
+//! panicking conversions through crash-recovery code, where this crate
+//! bans `unwrap`/`expect` (see `clippy.toml`); these helpers centralise
+//! the conversion without any fallible step — the width is pinned by a
+//! fixed-size copy. Out-of-range offsets still panic on the slice index,
+//! exactly like the open-coded form, and indicate a caller bug (a
+//! corrupted *value* is in-range by construction: callers read whole
+//! blocks).
+
+/// Reads the little-endian `u64` at byte offset `off` of `buf`.
+pub(crate) fn le_u64(buf: &[u8], off: usize) -> u64 {
+    let mut w = [0u8; 8];
+    w.copy_from_slice(&buf[off..off + 8]);
+    u64::from_le_bytes(w)
+}
+
+/// Reads the little-endian `u32` at byte offset `off` of `buf`.
+pub(crate) fn le_u32(buf: &[u8], off: usize) -> u32 {
+    let mut w = [0u8; 4];
+    w.copy_from_slice(&buf[off..off + 4]);
+    u32::from_le_bytes(w)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn decodes_at_offsets() {
+        let mut buf = [0u8; 24];
+        buf[8..16].copy_from_slice(&0xDEAD_BEEF_CAFE_u64.to_le_bytes());
+        buf[16..20].copy_from_slice(&0x1234_5678_u32.to_le_bytes());
+        assert_eq!(le_u64(&buf, 8), 0xDEAD_BEEF_CAFE);
+        assert_eq!(le_u32(&buf, 16), 0x1234_5678);
+        assert_eq!(le_u64(&buf, 0), 0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_range_offset_panics_like_slicing() {
+        let buf = [0u8; 8];
+        let _ = le_u64(&buf, 1);
+    }
+}

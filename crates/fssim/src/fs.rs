@@ -5,6 +5,7 @@ use blockdev::BLOCK_SIZE;
 use std::collections::HashMap;
 
 use crate::backend::CacheBackend;
+use crate::bytes;
 use crate::error::FsError;
 use crate::geometry::{Geometry, MAX_NAME_LEN, NAMES_PER_BLOCK, NAME_ENTRY_BYTES};
 use crate::inode::{classify, BlockPath, Inode, INODE_BYTES, NO_BLOCK, PTRS_PER_BLOCK};
@@ -134,12 +135,12 @@ impl FsSim {
     pub fn mount(mut backend: Box<dyn CacheBackend>, geo: Geometry) -> Result<FsSim, FsError> {
         let mut sb = [0u8; BLOCK_SIZE];
         backend.read(0, &mut sb).map_err(FsError::Backend)?;
-        if u64::from_le_bytes(sb[0..8].try_into().unwrap()) != SB_MAGIC {
+        if bytes::le_u64(&sb, 0) != SB_MAGIC {
             return Err(FsError::BadSuperblock("magic mismatch".into()));
         }
-        let total = u64::from_le_bytes(sb[8..16].try_into().unwrap());
-        let jblocks = u64::from_le_bytes(sb[16..24].try_into().unwrap());
-        let max_files = u64::from_le_bytes(sb[24..32].try_into().unwrap());
+        let total = bytes::le_u64(&sb, 8);
+        let jblocks = bytes::le_u64(&sb, 16);
+        let max_files = bytes::le_u64(&sb, 24);
         if (total, jblocks, max_files) != (geo.total_blocks, geo.journal_blocks, geo.max_files) {
             return Err(FsError::BadSuperblock("geometry mismatch".into()));
         }
@@ -207,7 +208,7 @@ impl FsSim {
                 if len == 0 {
                     self.free_name_slots.push(slot);
                 } else {
-                    let ino = u64::from_le_bytes(e[0..8].try_into().unwrap());
+                    let ino = bytes::le_u64(e, 0);
                     let name = String::from_utf8_lossy(&e[9..9 + len]).into_owned();
                     self.names.insert(name, (ino, slot));
                 }
@@ -242,8 +243,7 @@ impl FsSim {
             for w in 0..BLOCK_SIZE / 8 {
                 let word_idx = bb as usize * (BLOCK_SIZE / 8) + w;
                 if word_idx < self.bitmap.len() {
-                    self.bitmap[word_idx] =
-                        u64::from_le_bytes(block[w * 8..w * 8 + 8].try_into().unwrap());
+                    self.bitmap[word_idx] = bytes::le_u64(&block, w * 8);
                 }
             }
         }
@@ -374,9 +374,7 @@ impl FsSim {
 
     fn read_ptr(&mut self, blk: u64, slot: usize) -> Result<u64, FsError> {
         let buf = self.fetch_block(blk)?;
-        Ok(u64::from_le_bytes(
-            buf[slot * 8..slot * 8 + 8].try_into().unwrap(),
-        ))
+        Ok(bytes::le_u64(&buf[..], slot * 8))
     }
 
     fn write_ptr(&mut self, blk: u64, slot: usize, value: u64) -> Result<(), FsError> {

@@ -64,6 +64,10 @@ impl Geometry {
         let inode_blocks = max_files.div_ceil(crate::INODES_PER_BLOCK as u64);
         let bitmap_off = inode_off + inode_blocks;
         // Solve for the bitmap size: each bitmap block maps 32768 data blocks.
+        // Audited panic: a disk too small to hold its own metadata is a
+        // configuration bug, caught while the geometry is being built —
+        // never a runtime storage fault (the assert below is its twin).
+        #[allow(clippy::disallowed_methods)]
         let remaining = total_blocks
             .checked_sub(bitmap_off)
             .expect("disk too small for metadata");

@@ -2,6 +2,8 @@
 
 use blockdev::BLOCK_SIZE;
 
+use crate::bytes;
+
 /// Bytes per on-disk inode.
 pub const INODE_BYTES: usize = 256;
 /// Inodes per 4 KB block.
@@ -57,13 +59,13 @@ impl Inode {
     pub fn decode(raw: &[u8]) -> Inode {
         let mut ino = Inode::FREE;
         ino.used = raw[0] != 0;
-        ino.size = u64::from_le_bytes(raw[8..16].try_into().unwrap());
+        ino.size = bytes::le_u64(raw, 8);
         for i in 0..NDIRECT {
-            ino.direct[i] = u64::from_le_bytes(raw[16 + i * 8..24 + i * 8].try_into().unwrap());
+            ino.direct[i] = bytes::le_u64(raw, 16 + i * 8);
         }
         let base = 16 + NDIRECT * 8;
-        ino.indirect = u64::from_le_bytes(raw[base..base + 8].try_into().unwrap());
-        ino.dindirect = u64::from_le_bytes(raw[base + 8..base + 16].try_into().unwrap());
+        ino.indirect = bytes::le_u64(raw, base);
+        ino.dindirect = bytes::le_u64(raw, base + 8);
         ino
     }
 }

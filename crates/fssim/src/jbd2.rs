@@ -16,6 +16,7 @@ use std::collections::VecDeque;
 use blockdev::BLOCK_SIZE;
 
 use crate::backend::CacheBackend;
+use crate::bytes;
 use crate::geometry::Geometry;
 
 type Buf = Box<[u8; BLOCK_SIZE]>;
@@ -97,11 +98,11 @@ impl Jbd2 {
     pub fn recover(geo: &Geometry, backend: &mut dyn CacheBackend) -> Result<Jbd2, String> {
         let mut sb = [0u8; BLOCK_SIZE];
         backend.read(geo.journal_off, &mut sb)?;
-        if u64::from_le_bytes(sb[0..8].try_into().unwrap()) != SB_MAGIC {
+        if bytes::le_u64(&sb, 0) != SB_MAGIC {
             return Err("journal superblock missing".into());
         }
-        let tail = u64::from_le_bytes(sb[8..16].try_into().unwrap());
-        let seq_at_tail = u64::from_le_bytes(sb[16..24].try_into().unwrap());
+        let tail = bytes::le_u64(&sb, 8);
+        let seq_at_tail = bytes::le_u64(&sb, 16);
         let mut j = Jbd2 {
             journal_off: geo.journal_off,
             area_slots: geo.journal_blocks - 1,
@@ -273,20 +274,18 @@ impl Jbd2 {
                     break 'txn; // wrapped the whole log without a commit
                 }
                 backend.read(self.slot_block(p), &mut block)?;
-                let magic = u64::from_le_bytes(block[0..8].try_into().unwrap());
-                let seq = u64::from_le_bytes(block[8..16].try_into().unwrap());
+                let magic = bytes::le_u64(&block, 0);
+                let seq = bytes::le_u64(&block, 8);
                 if magic != DESC_MAGIC || seq != expect {
                     break 'txn;
                 }
-                let count = u32::from_le_bytes(block[16..20].try_into().unwrap()) as usize;
+                let count = bytes::le_u32(&block, 16) as usize;
                 let last = block[20] != 0;
                 if count == 0 || count > TAGS_PER_DESC {
                     break 'txn;
                 }
                 for i in 0..count {
-                    homes.push(u64::from_le_bytes(
-                        block[32 + i * 8..40 + i * 8].try_into().unwrap(),
-                    ));
+                    homes.push(bytes::le_u64(&block, 32 + i * 8));
                 }
                 p += 1;
                 for _ in 0..count {
@@ -305,9 +304,9 @@ impl Jbd2 {
                 break;
             }
             backend.read(self.slot_block(p), &mut block)?;
-            let magic = u64::from_le_bytes(block[0..8].try_into().unwrap());
-            let seq = u64::from_le_bytes(block[8..16].try_into().unwrap());
-            let total = u32::from_le_bytes(block[16..20].try_into().unwrap()) as usize;
+            let magic = bytes::le_u64(&block, 0);
+            let seq = bytes::le_u64(&block, 8);
+            let total = bytes::le_u32(&block, 16) as usize;
             if magic != COMMIT_MAGIC || seq != expect || total != homes.len() {
                 break;
             }

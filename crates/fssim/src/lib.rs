@@ -1,3 +1,7 @@
+// Test code may unwrap/expect/panic freely; non-test code is held to the
+// disallowed-methods ban in this crate's clippy.toml.
+#![cfg_attr(test, allow(clippy::disallowed_methods, clippy::disallowed_macros))]
+
 //! # fssim — a mini block file system with pluggable crash consistency
 //!
 //! The paper compares two stacks (Fig. 1):
@@ -37,6 +41,7 @@
 //! ```
 
 mod backend;
+mod bytes;
 mod error;
 mod fs;
 mod geometry;

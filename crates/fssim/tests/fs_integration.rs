@@ -1,3 +1,6 @@
+// Integration tests are exempt from the crate's unwrap/expect ban.
+#![allow(clippy::disallowed_methods, clippy::disallowed_macros)]
+
 //! End-to-end file-system tests across all stack configurations.
 
 use blockdev::BLOCK_SIZE;

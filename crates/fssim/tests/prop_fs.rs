@@ -1,3 +1,6 @@
+// Integration tests are exempt from the crate's unwrap/expect ban.
+#![allow(clippy::disallowed_methods, clippy::disallowed_macros)]
+
 //! Property tests: the mini file system must behave exactly like a flat
 //! map of name → byte-vector under arbitrary operation sequences, on both
 //! cache stacks, including across remounts.

@@ -313,6 +313,7 @@ impl NvmDevice {
                 st.wear[line] += 1;
                 self.clock.advance(self.cfg.flush_dirty_ns());
             } else {
+                telemetry::mark(telemetry::phase::NVM_FLUSH_CLEAN, 1);
                 self.clock.advance(self.cfg.clflush_clean_ns);
             }
             if let Some(event) = bump_event(&mut st) {
@@ -328,6 +329,9 @@ impl NvmDevice {
         let _t = telemetry::span(telemetry::phase::NVM_FENCE);
         let mut st = self.state.lock();
         let staged_lines = st.epoch.len();
+        if staged_lines == 0 {
+            telemetry::mark(telemetry::phase::NVM_FENCE_EMPTY, 1);
+        }
         record(&mut st, || TraceEvent::Sfence { staged_lines });
         let epoch = std::mem::take(&mut st.epoch);
         for rec in epoch {
@@ -503,6 +507,75 @@ impl NvmDevice {
         self.check_range(addr, len);
         record(&mut st, || TraceEvent::Commit { addr, len });
         st.in_recovery = false;
+    }
+
+    /// Annotates the trace: the calling thread just acquired mutex `obj`.
+    /// The happens-before engine draws an edge from the last release of
+    /// `obj`. Pure annotation — no clock, statistics, or persistence-event
+    /// side effects — and a no-op unless tracing is enabled, so lock paths
+    /// may call it unconditionally.
+    pub fn note_lock_acquire(&self, obj: u64) {
+        if !self.cfg.trace_events {
+            return;
+        }
+        let mut st = self.state.lock();
+        record(&mut st, || TraceEvent::LockAcquire { obj });
+    }
+
+    /// Annotates the trace: the calling thread is about to release mutex
+    /// `obj`, publishing its history to the next acquirer. Pure annotation
+    /// (see [`Self::note_lock_acquire`]).
+    pub fn note_lock_release(&self, obj: u64) {
+        if !self.cfg.trace_events {
+            return;
+        }
+        let mut st = self.state.lock();
+        record(&mut st, || TraceEvent::LockRelease { obj });
+    }
+
+    /// Annotates the trace: the calling thread performed an acquire-ordered
+    /// atomic load of sync object `obj` (adopting the history published by
+    /// the last release-store to it). Pure annotation.
+    pub fn note_atomic_load_acquire(&self, obj: u64) {
+        if !self.cfg.trace_events {
+            return;
+        }
+        let mut st = self.state.lock();
+        record(&mut st, || TraceEvent::AtomicLoadAcquire { obj });
+    }
+
+    /// Annotates the trace: the calling thread performed a release-ordered
+    /// atomic store to sync object `obj` (publishing its history to later
+    /// acquire-loads). Pure annotation.
+    pub fn note_atomic_store_release(&self, obj: u64) {
+        if !self.cfg.trace_events {
+            return;
+        }
+        let mut st = self.state.lock();
+        record(&mut st, || TraceEvent::AtomicStoreRelease { obj });
+    }
+
+    /// Simulates a power failure at an *exact* persist frontier: of the
+    /// flush records staged in the currently open fence epoch, exactly
+    /// those whose line is in `keep` persist (in staging order); the rest
+    /// drop, along with all dirty overlay lines. This is the primitive the
+    /// crash-frontier enumerator uses to visit every reachable crash state
+    /// between two fences, instead of sampling one with
+    /// [`CrashPolicy::Random`]. Like [`Self::crash`], the device keeps
+    /// running on the surviving image and any armed trip is cleared.
+    pub fn crash_frontier(&self, keep: &std::collections::HashSet<usize>) {
+        let mut st = self.state.lock();
+        record(&mut st, || TraceEvent::Crash);
+        st.in_recovery = true;
+        let epoch = std::mem::take(&mut st.epoch);
+        for rec in epoch {
+            if keep.contains(&rec.line) {
+                apply_record(&mut st.persistent, &rec, u8::MAX);
+                st.poison.remove(&rec.line);
+            }
+        }
+        st.overlay.clear();
+        st.trip_at = None;
     }
 
     /// Marks the cache line containing `addr` as a media fault: the line's
@@ -994,6 +1067,108 @@ mod tests {
         assert_eq!(s0.clflush, s1.clflush);
         assert_eq!(s0.sfence, s1.sfence);
         assert_eq!(s0.bytes_stored, s1.bytes_stored);
+    }
+
+    #[test]
+    fn sync_notes_are_traced_with_provenance() {
+        use crate::TraceEvent as E;
+        crate::set_trace_thread(3);
+        let d = traced_dev();
+        d.note_lock_acquire(10);
+        {
+            let _t = crate::txn_scope(77);
+            d.write(0, &[1u8; 8]);
+        }
+        d.note_lock_release(10);
+        d.note_atomic_store_release(11);
+        d.note_atomic_load_acquire(11);
+        let t = d.take_trace();
+        let kinds: Vec<_> = t.iter().map(|op| op.event.kind()).collect();
+        assert_eq!(
+            kinds,
+            [
+                "lock-acquire",
+                "store",
+                "lock-release",
+                "atomic-store-release",
+                "atomic-load-acquire"
+            ]
+        );
+        assert_eq!(t[0].event, E::LockAcquire { obj: 10 });
+        assert!(t[0].event.is_sync());
+        assert!(!t[1].event.is_sync());
+        assert_eq!(t[1].txn, Some(77), "store inside the txn scope is tagged");
+        assert_eq!(t[2].txn, None, "scope closed before the release");
+        for op in &t {
+            assert_eq!(op.thread, 3);
+        }
+    }
+
+    #[test]
+    fn sync_notes_are_pure_annotations() {
+        let d = dev();
+        let t0 = d.clock().now_ns();
+        let (s0, e0) = (d.stats(), d.events());
+        d.note_lock_acquire(1);
+        d.note_lock_release(1);
+        d.note_atomic_load_acquire(2);
+        d.note_atomic_store_release(2);
+        assert_eq!(d.clock().now_ns(), t0);
+        assert_eq!(d.stats(), s0);
+        assert_eq!(d.events(), e0);
+        assert_eq!(d.trace_len(), 0, "tracing off records nothing");
+    }
+
+    #[test]
+    fn crash_frontier_persists_exactly_the_kept_lines() {
+        use std::collections::HashSet;
+        let d = dev();
+        d.write(0, &[1u8; 64]);
+        d.write(64, &[2u8; 64]);
+        d.write(128, &[3u8; 64]);
+        d.clflush(0, 192); // three lines staged in the open epoch
+        d.write(256, &[4u8; 64]); // dirty, never flushed
+        let keep: HashSet<usize> = [0usize, 2].into_iter().collect();
+        d.crash_frontier(&keep);
+        assert_eq!(d.read_u64(0), u64::from_le_bytes([1; 8]), "kept");
+        assert_eq!(d.read_u64(64), 0, "staged but dropped");
+        assert_eq!(d.read_u64(128), u64::from_le_bytes([3; 8]), "kept");
+        assert_eq!(d.read_u64(256), 0, "dirty overlay always lost");
+    }
+
+    #[test]
+    fn crash_frontier_applies_same_line_records_in_order() {
+        use std::collections::HashSet;
+        let d = dev();
+        d.write(0, &[1u8; 8]);
+        d.clflush(0, 8);
+        d.write(0, &[2u8; 8]);
+        d.clflush(0, 8); // second record for the same line, later in epoch
+        let keep: HashSet<usize> = [0usize].into_iter().collect();
+        d.crash_frontier(&keep);
+        assert_eq!(
+            d.read_u64(0),
+            u64::from_le_bytes([2; 8]),
+            "later staging wins"
+        );
+    }
+
+    #[test]
+    fn crash_frontier_full_keep_matches_fence() {
+        use std::collections::HashSet;
+        let d = dev();
+        d.write(0, &[7u8; 128]);
+        d.clflush(0, 128);
+        let keep: HashSet<usize> = [0usize, 1].into_iter().collect();
+        d.crash_frontier(&keep);
+        let d2 = dev();
+        d2.write(0, &[7u8; 128]);
+        d2.persist(0, 128);
+        d2.crash(CrashPolicy::LoseVolatile);
+        let (mut a, mut b) = ([0u8; 128], [0u8; 128]);
+        d.read(0, &mut a);
+        d2.read(0, &mut b);
+        assert_eq!(a, b);
     }
 
     #[test]

@@ -51,6 +51,9 @@ pub use telemetry::SimClock;
 pub use config::{FlushInstr, NvmConfig, NvmTech};
 pub use device::{CrashPolicy, CrashTripped, Nvm, NvmDevice};
 pub use line::{CACHE_LINE, WORDS_PER_LINE, WORD_SIZE};
-pub use shard::shard_devices;
+pub use shard::{merge_shard_traces, shard_devices};
 pub use stats::{NvmStats, WearSummary};
-pub use trace::{TraceEvent, TracedOp};
+pub use trace::{
+    set_trace_thread, set_trace_txn, trace_thread, trace_txn, txn_scope, TraceEvent, TracedOp,
+    TxnScope,
+};

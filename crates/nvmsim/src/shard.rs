@@ -9,7 +9,7 @@
 //! event trace, so persist-order analysis audits every shard's commit
 //! stream in isolation.
 
-use crate::{NvmConfig, NvmDevice, SimClock, CACHE_LINE};
+use crate::{NvmConfig, NvmDevice, SimClock, TraceEvent, TracedOp, CACHE_LINE};
 
 /// Splits `cfg.capacity` evenly over `shards` devices, each with its own
 /// clock and a per-shard copy of every other knob (tech, flush
@@ -31,6 +31,63 @@ pub fn shard_devices(cfg: &NvmConfig, shards: usize) -> Vec<crate::Nvm> {
                 ..cfg.clone()
             };
             NvmDevice::new(shard_cfg, SimClock::new())
+        })
+        .collect()
+}
+
+/// Merges per-shard traces into one stream over the pool's unified
+/// address space.
+///
+/// Shard `i`'s addresses (and `clflush` line numbers) are rebased by
+/// `i * shard_capacity` bytes, so lines of different shards never alias —
+/// exactly the partitioning [`shard_devices`] models — and every op is
+/// stamped with `device = i`, so analyzers keep fence-epoch and
+/// commit-window state per device: shard `i`'s `sfence` orders only shard
+/// `i`'s write-backs, never another shard's. Sync-object ids are
+/// pool-global and pass through unchanged, as do thread ids: a thread
+/// keeps one stable id across every shard it touches, which is what lets
+/// the happens-before engine follow it between shards.
+///
+/// Events interleave deterministically by (per-shard ordinal, shard
+/// index) — a round-robin merge — and are re-numbered with fresh global
+/// `seq` ordinals. There is no cross-shard timeline to recover (each
+/// shard device has its own clock); any deterministic interleaving is
+/// equally valid for analysis because the per-thread and per-line
+/// orderings the rules consume are preserved within each shard stream.
+pub fn merge_shard_traces(per_shard: Vec<Vec<TracedOp>>, shard_capacity: usize) -> Vec<TracedOp> {
+    assert!(
+        shard_capacity.is_multiple_of(CACHE_LINE),
+        "shard capacity must be line-aligned"
+    );
+    let mut tagged: Vec<(u64, usize, TracedOp)> = Vec::new();
+    for (shard, ops) in per_shard.into_iter().enumerate() {
+        let addr_base = shard * shard_capacity;
+        let line_base = addr_base / CACHE_LINE;
+        for mut op in ops {
+            op.device = shard as u32;
+            match &mut op.event {
+                TraceEvent::Store { addr, .. }
+                | TraceEvent::AtomicStore { addr, .. }
+                | TraceEvent::Commit { addr, .. }
+                | TraceEvent::ReadAfterRecovery { addr, .. } => *addr += addr_base,
+                TraceEvent::Clflush { line, .. } => *line += line_base,
+                TraceEvent::Sfence { .. }
+                | TraceEvent::Crash
+                | TraceEvent::LockAcquire { .. }
+                | TraceEvent::LockRelease { .. }
+                | TraceEvent::AtomicLoadAcquire { .. }
+                | TraceEvent::AtomicStoreRelease { .. } => {}
+            }
+            tagged.push((op.seq, shard, op));
+        }
+    }
+    tagged.sort_by_key(|&(seq, shard, _)| (seq, shard));
+    tagged
+        .into_iter()
+        .enumerate()
+        .map(|(i, (_, _, mut op))| {
+            op.seq = i as u64;
+            op
         })
         .collect()
 }
@@ -78,5 +135,68 @@ mod tests {
     fn rejects_over_sharding() {
         let cfg = NvmConfig::new(CACHE_LINE, NvmTech::Pcm);
         let _ = shard_devices(&cfg, 2);
+    }
+
+    #[test]
+    fn merge_rebases_addresses_and_renumbers() {
+        use crate::TraceEvent as E;
+        let cfg = NvmConfig::new(8192, NvmTech::Pcm).with_tracing();
+        let devs = shard_devices(&cfg, 2);
+        let per = devs[0].capacity();
+        devs[0].write(0, &[1u8; 8]);
+        devs[0].persist(0, 8);
+        devs[1].write(64, &[2u8; 8]);
+        devs[1].persist(64, 8);
+        devs[1].note_commit(64, 8);
+        let merged =
+            merge_shard_traces(devs.iter().map(|d| d.take_trace()).collect::<Vec<_>>(), per);
+        // Round-robin by per-shard ordinal: s0#0, s1#0, s0#1, s1#1, …
+        assert_eq!(merged.len(), 7);
+        for (i, op) in merged.iter().enumerate() {
+            assert_eq!(op.seq, i as u64, "fresh global ordinals");
+            assert!(op.device < 2, "device tag is the shard index");
+        }
+        assert_eq!(merged[0].device, 0);
+        assert_eq!(merged[1].device, 1);
+        assert_eq!(merged[0].event, E::Store { addr: 0, len: 8 });
+        assert_eq!(
+            merged[1].event,
+            E::Store {
+                addr: per + 64,
+                len: 8
+            }
+        );
+        let lines: Vec<usize> = merged
+            .iter()
+            .filter_map(|op| match op.event {
+                E::Clflush { line, .. } => Some(line),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(lines, [0, (per + 64) / CACHE_LINE]);
+        assert_eq!(
+            merged.last().unwrap().event,
+            E::Commit {
+                addr: per + 64,
+                len: 8
+            }
+        );
+    }
+
+    #[test]
+    fn merge_keeps_sync_objects_and_threads_unrebased() {
+        let cfg = NvmConfig::new(8192, NvmTech::Pcm).with_tracing();
+        let devs = shard_devices(&cfg, 2);
+        crate::set_trace_thread(9);
+        devs[0].note_lock_acquire(5);
+        devs[1].note_lock_release(5);
+        let merged = merge_shard_traces(
+            devs.iter().map(|d| d.take_trace()).collect::<Vec<_>>(),
+            devs[0].capacity(),
+        );
+        assert_eq!(merged[0].event, crate::TraceEvent::LockAcquire { obj: 5 });
+        assert_eq!(merged[1].event, crate::TraceEvent::LockRelease { obj: 5 });
+        assert_eq!(merged[0].thread, 9);
+        assert_eq!(merged[1].thread, 9);
     }
 }

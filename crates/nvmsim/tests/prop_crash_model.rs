@@ -139,19 +139,23 @@ proptest! {
         dev.crash(CrashPolicy::Random(seed));
         let mut post = vec![0u8; CAP];
         dev.read(0, &mut post);
-        for i in 0..CAP {
+        for (i, &got) in post.iter().enumerate() {
             if shadow.guaranteed(i) {
                 prop_assert_eq!(
-                    post[i], shadow.durable[i],
-                    "guaranteed-durable byte {} lost", i
+                    got,
+                    shadow.durable[i],
+                    "guaranteed-durable byte {} lost",
+                    i
                 );
             } else {
                 // May be the durable, staged, or newest value — never
                 // anything else.
                 prop_assert!(
-                    shadow.legal(i).contains(&post[i]),
+                    shadow.legal(i).contains(&got),
                     "byte {} holds {} which is none of {:?}",
-                    i, post[i], shadow.legal(i)
+                    i,
+                    got,
+                    shadow.legal(i)
                 );
             }
         }

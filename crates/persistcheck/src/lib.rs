@@ -25,6 +25,19 @@
 //!   atomicity, so recovery can observe the line half-updated. Metadata
 //!   updates must go through `atomic_write_u64`/`atomic_write_u128`.
 //!
+//! Concurrency rules (the *persistrace* engine, in the `race` module):
+//! driven by the thread/txn provenance and sync annotations on each
+//! [`TracedOp`], a vector-clock happens-before engine with an
+//! Eraser-style lockset fallback. All three are correctness rules; none
+//! can fire on a single-threaded trace (it is totally ordered).
+//!
+//! * **persist-race** — two threads' unfenced stores to the same cache
+//!   line with no happens-before edge.
+//! * **unordered-commit** — a commit annotation not HB-after the fence
+//!   that made the data it covers durable.
+//! * **cross-thread-flush-dependency** — thread A's durability depends on
+//!   a flush only thread B issues, with no sync edge A→B.
+//!
 //! Performance lints (reported separately, never fail the check):
 //!
 //! * **redundant-flush** — `clflush` of a clean line: costs latency,
@@ -36,12 +49,27 @@
 //! [`TraceEvent::Commit`](nvmsim::TraceEvent) annotations emitted by the
 //! commit path ([`NvmDevice::note_commit`](nvmsim::NvmDevice)) and on the
 //! caller-declared metadata address ranges in [`CheckConfig`].
+//!
+//! ## Multi-device (merged) traces
+//!
+//! Every [`TracedOp`] names its originating device; a single device
+//! records `0`, and [`nvmsim::merge_shard_traces`] stamps each op with
+//! its shard index. Fence epochs, fence counters, and commit windows are
+//! kept **per device**: an `sfence` on shard A orders only shard A's
+//! write-backs, and a commit record judges only the stores of its own
+//! device. The happens-before engine, by contrast, is pool-global — it
+//! follows threads and sync objects across devices, which is exactly
+//! what lets the race rules see a thread hand work between shards.
+
+mod race;
 
 use std::collections::HashMap;
 use std::fmt;
 use std::ops::Range;
 
 use nvmsim::{TraceEvent, TracedOp, CACHE_LINE, WORD_SIZE};
+use race::RaceEngine;
+use telemetry::Json;
 
 /// How many example event ordinals each perf-lint counter retains.
 const LINT_EXAMPLES: usize = 8;
@@ -76,23 +104,41 @@ impl CheckConfig {
     }
 }
 
-/// The five analyzer rules.
+/// The analyzer rules.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum Rule {
     MissingFlush,
     FlushWithoutFence,
     TornUpdate,
+    PersistRace,
+    UnorderedCommit,
+    CrossThreadFlushDependency,
     RedundantFlush,
     FenceWithoutFlush,
 }
 
 impl Rule {
+    /// Every rule, correctness first, in report order.
+    pub const ALL: [Rule; 8] = [
+        Rule::MissingFlush,
+        Rule::FlushWithoutFence,
+        Rule::TornUpdate,
+        Rule::PersistRace,
+        Rule::UnorderedCommit,
+        Rule::CrossThreadFlushDependency,
+        Rule::RedundantFlush,
+        Rule::FenceWithoutFlush,
+    ];
+
     /// Stable kebab-case rule name, as printed in reports.
     pub fn name(self) -> &'static str {
         match self {
             Rule::MissingFlush => "missing-flush",
             Rule::FlushWithoutFence => "flush-without-fence",
             Rule::TornUpdate => "torn-update",
+            Rule::PersistRace => "persist-race",
+            Rule::UnorderedCommit => "unordered-commit",
+            Rule::CrossThreadFlushDependency => "cross-thread-flush-dependency",
             Rule::RedundantFlush => "redundant-flush",
             Rule::FenceWithoutFlush => "fence-without-flush",
         }
@@ -100,10 +146,7 @@ impl Rule {
 
     /// Whether a hit means possible data loss (vs. wasted work).
     pub fn is_correctness(self) -> bool {
-        matches!(
-            self,
-            Rule::MissingFlush | Rule::FlushWithoutFence | Rule::TornUpdate
-        )
+        !matches!(self, Rule::RedundantFlush | Rule::FenceWithoutFlush)
     }
 }
 
@@ -184,6 +227,59 @@ impl Report {
         }
         out
     }
+
+    /// Machine-readable report. The schema is stable — downstream tooling
+    /// parses it — and versioned by the `schema` field:
+    ///
+    /// ```json
+    /// {"schema":1,"events":N,"commits":N,"crashes":N,"clean":bool,
+    ///  "counts":{"<rule-name>":N, ...},                 // all 8 rules, always present
+    ///  "violations":[{"rule":"...","addr":N,"events":[N,...],"detail":"..."}],
+    ///  "redundant_flush_events":[N,...],"empty_fence_events":[N,...]}
+    /// ```
+    pub fn to_json(&self) -> Json {
+        let ordinals = |evs: &[u64]| Json::Arr(evs.iter().map(|&e| Json::U64(e)).collect());
+        let counts = Rule::ALL
+            .iter()
+            .map(|&r| {
+                let n = match r {
+                    Rule::RedundantFlush => self.redundant_flushes,
+                    Rule::FenceWithoutFlush => self.empty_fences,
+                    _ => self.count(r) as u64,
+                };
+                (r.name().to_string(), Json::U64(n))
+            })
+            .collect();
+        Json::obj(vec![
+            ("schema", Json::U64(1)),
+            ("events", Json::U64(self.events)),
+            ("commits", Json::U64(self.commits)),
+            ("crashes", Json::U64(self.crashes)),
+            ("clean", Json::Bool(self.is_clean())),
+            ("counts", Json::Obj(counts)),
+            (
+                "violations",
+                Json::Arr(
+                    self.violations
+                        .iter()
+                        .map(|v| {
+                            Json::obj(vec![
+                                ("rule", v.rule.name().into()),
+                                ("addr", Json::U64(v.addr as u64)),
+                                ("events", ordinals(&v.events)),
+                                ("detail", v.detail.as_str().into()),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            (
+                "redundant_flush_events",
+                ordinals(&self.redundant_flush_events),
+            ),
+            ("empty_fence_events", ordinals(&self.empty_fence_events)),
+        ])
+    }
 }
 
 impl fmt::Display for Report {
@@ -240,13 +336,33 @@ struct LineState {
     staged: bool,
     /// Ordinal of the most recent flush of this line.
     last_flush_seq: u64,
-    /// Fence epoch (1-based sfence count) at which the line last became
-    /// durable; 0 = never fenced.
+    /// Fence epoch (1-based per-device sfence count) at which the line
+    /// last became durable; 0 = never fenced.
     last_fence: u64,
     /// Ever made durable by a fence (used as the torn-update
     /// precondition: formatting fresh, never-persisted space with plain
     /// stores is fine).
     durable_once: bool,
+    /// Device the line belongs to. Devices of a merged shard trace never
+    /// share lines (shard addresses are rebased to disjoint ranges), so
+    /// stamping on every touch is stable.
+    device: u32,
+}
+
+/// Per-device fence-pipeline state. A single-device trace (`device == 0`
+/// on every op) uses exactly one of these; a merged shard trace
+/// ([`nvmsim::merge_shard_traces`]) gets one per shard, because an
+/// `sfence` orders only the write-backs of its own device and a commit
+/// record only judges the commit window of the device it was written to.
+#[derive(Debug, Default)]
+struct DevState {
+    /// Lines flushed into this device's currently open fence epoch.
+    epoch_lines: Vec<usize>,
+    /// Lines stored on this device since its last commit/crash →
+    /// ordinal of the latest store.
+    window: HashMap<usize, u64>,
+    /// sfences seen on this device so far (1-based epoch ids).
+    fences: u64,
 }
 
 /// Incremental trace analyzer. Feed events with [`Checker::push`] (in
@@ -256,13 +372,12 @@ struct LineState {
 pub struct Checker {
     cfg: CheckConfig,
     lines: HashMap<usize, LineState>,
-    /// Lines flushed into the currently open fence epoch.
-    epoch_lines: Vec<usize>,
-    /// Lines stored since the last commit/crash → ordinal of latest store.
-    window: HashMap<usize, u64>,
-    /// sfences seen so far (1-based epoch ids).
-    fences: u64,
+    /// Fence/commit pipeline state, keyed by originating device (ordered
+    /// so strict end-of-trace sweeps report deterministically).
+    devs: std::collections::BTreeMap<u32, DevState>,
     last_seq: Option<u64>,
+    /// Happens-before + lockset state for the concurrency rules.
+    race: RaceEngine,
     report: Report,
 }
 
@@ -271,10 +386,9 @@ impl Checker {
         Checker {
             cfg,
             lines: HashMap::new(),
-            epoch_lines: Vec::new(),
-            window: HashMap::new(),
-            fences: 0,
+            devs: std::collections::BTreeMap::new(),
             last_seq: None,
+            race: RaceEngine::default(),
             report: Report::default(),
         }
     }
@@ -290,14 +404,21 @@ impl Checker {
         }
         self.last_seq = Some(op.seq);
         self.report.events += 1;
+        let t = op.thread;
+        let d = op.device;
+        self.race.begin(t);
         match op.event {
-            TraceEvent::Store { addr, len } => self.on_store(op.seq, addr, len, false),
-            TraceEvent::AtomicStore { addr, len } => self.on_store(op.seq, addr, len, true),
-            TraceEvent::Clflush { line, staged } => self.on_clflush(op.seq, line, staged),
-            TraceEvent::Sfence { staged_lines } => self.on_sfence(op.seq, staged_lines),
-            TraceEvent::Commit { addr, len } => self.on_commit(op.seq, addr, len),
-            TraceEvent::Crash => self.on_crash(op.seq),
+            TraceEvent::Store { addr, len } => self.on_store(t, d, op.seq, addr, len, false),
+            TraceEvent::AtomicStore { addr, len } => self.on_store(t, d, op.seq, addr, len, true),
+            TraceEvent::Clflush { line, staged } => self.on_clflush(t, d, op.seq, line, staged),
+            TraceEvent::Sfence { staged_lines } => self.on_sfence(t, d, op.seq, staged_lines),
+            TraceEvent::Commit { addr, len } => self.on_commit(t, d, op.seq, addr, len),
+            TraceEvent::Crash => self.on_crash(d, op.seq),
             TraceEvent::ReadAfterRecovery { .. } => {}
+            TraceEvent::LockAcquire { obj } => self.race.acquire(t, obj),
+            TraceEvent::LockRelease { obj } => self.race.release(t, obj),
+            TraceEvent::AtomicLoadAcquire { obj } => self.race.load_acquire(t, obj),
+            TraceEvent::AtomicStoreRelease { obj } => self.race.store_release(t, obj),
         }
     }
 
@@ -319,17 +440,22 @@ impl Checker {
     pub fn finish(mut self) -> Report {
         if self.cfg.strict {
             let seq = self.last_seq.map_or(0, |s| s + 1);
-            self.flag_open_epoch(seq, "end of trace");
+            let devices: Vec<u32> = self.devs.keys().copied().collect();
+            for d in devices {
+                self.flag_open_epoch(d, seq, "end of trace");
+            }
         }
         self.report
     }
 
-    fn on_store(&mut self, seq: u64, addr: usize, len: usize, atomic: bool) {
+    fn on_store(&mut self, t: u32, d: u32, seq: u64, addr: usize, len: usize, atomic: bool) {
         if len == 0 {
             return;
         }
         let first = addr / CACHE_LINE;
         let last = (addr + len - 1) / CACHE_LINE;
+        self.race
+            .store(t, seq, first..=last, &mut self.report.violations);
         for line in first..=last {
             let base = line * CACHE_LINE;
             let start = addr.max(base);
@@ -350,17 +476,20 @@ impl Checker {
             }
             let ls = self.lines.entry(line).or_default();
             ls.dirty = true;
-            self.window.insert(line, seq);
+            ls.device = d;
+            self.devs.entry(d).or_default().window.insert(line, seq);
         }
     }
 
-    fn on_clflush(&mut self, seq: u64, line: usize, staged: bool) {
+    fn on_clflush(&mut self, t: u32, d: u32, seq: u64, line: usize, staged: bool) {
         if staged {
+            self.race.flush(t, seq, line, &mut self.report.violations);
             let ls = self.lines.entry(line).or_default();
             ls.dirty = false;
+            ls.device = d;
             if !ls.staged {
                 ls.staged = true;
-                self.epoch_lines.push(line);
+                self.devs.entry(d).or_default().epoch_lines.push(line);
             }
             ls.last_flush_seq = seq;
         } else {
@@ -371,25 +500,27 @@ impl Checker {
         }
     }
 
-    fn on_sfence(&mut self, seq: u64, staged_lines: usize) {
-        self.fences += 1;
+    fn on_sfence(&mut self, t: u32, d: u32, seq: u64, staged_lines: usize) {
+        let dev = self.devs.entry(d).or_default();
+        dev.fences += 1;
         if staged_lines == 0 {
             self.report.empty_fences += 1;
             if self.report.empty_fence_events.len() < LINT_EXAMPLES {
                 self.report.empty_fence_events.push(seq);
             }
         }
-        let fences = self.fences;
-        for line in self.epoch_lines.drain(..) {
+        let fences = dev.fences;
+        for line in dev.epoch_lines.drain(..) {
             if let Some(ls) = self.lines.get_mut(&line) {
                 ls.staged = false;
                 ls.last_fence = fences;
                 ls.durable_once = true;
+                self.race.fence_line(t, seq, line, ls.dirty);
             }
         }
     }
 
-    fn on_commit(&mut self, seq: u64, addr: usize, len: usize) {
+    fn on_commit(&mut self, t: u32, d: u32, seq: u64, addr: usize, len: usize) {
         self.report.commits += 1;
         let rec_first = addr / CACHE_LINE;
         let rec_last = if len == 0 {
@@ -397,8 +528,10 @@ impl Checker {
         } else {
             (addr + len - 1) / CACHE_LINE
         };
+        let dev = self.devs.entry(d).or_default();
+        let dev_fences = dev.fences;
         // Deterministic report order: judge window lines oldest-store first.
-        let mut entries: Vec<(usize, u64)> = self.window.iter().map(|(&l, &s)| (l, s)).collect();
+        let mut entries: Vec<(usize, u64)> = dev.window.drain().collect();
         entries.sort_by_key(|&(l, s)| (s, l));
         for (line, store_seq) in entries {
             if (rec_first..=rec_last).contains(&line) {
@@ -418,7 +551,7 @@ impl Checker {
                          commit record persisted at #{seq}; a crash now loses committed data"
                     ),
                 });
-            } else if ls.last_fence == self.fences {
+            } else if ls.last_fence == dev_fences {
                 self.report.violations.push(Violation {
                     rule: Rule::FlushWithoutFence,
                     addr: base,
@@ -430,27 +563,41 @@ impl Checker {
                         ls.last_flush_seq
                     ),
                 });
+            } else if ls.last_fence != 0 {
+                // Durable in an earlier epoch: the data is safe, but the
+                // commit must still be ordered after the fence that made
+                // it so — another thread's fence needs a sync edge.
+                self.race
+                    .commit_check(t, seq, line, &mut self.report.violations);
             }
         }
-        self.window.clear();
     }
 
-    fn on_crash(&mut self, seq: u64) {
+    fn on_crash(&mut self, d: u32, seq: u64) {
         self.report.crashes += 1;
+        self.race.crash();
         if self.cfg.strict {
-            self.flag_open_epoch(seq, "crash");
+            self.flag_open_epoch(d, seq, "crash");
         }
-        // The device drops volatile state at a crash; mirror it.
+        // The crashed device drops its volatile state; mirror it. Other
+        // devices of a merged trace keep theirs — power is per device.
         for ls in self.lines.values_mut() {
-            ls.dirty = false;
-            ls.staged = false;
+            if ls.device == d {
+                ls.dirty = false;
+                ls.staged = false;
+            }
         }
-        self.epoch_lines.clear();
-        self.window.clear();
+        if let Some(dev) = self.devs.get_mut(&d) {
+            dev.epoch_lines.clear();
+            dev.window.clear();
+        }
     }
 
-    fn flag_open_epoch(&mut self, seq: u64, at: &str) {
-        let open = std::mem::take(&mut self.epoch_lines);
+    fn flag_open_epoch(&mut self, d: u32, seq: u64, at: &str) {
+        let open = match self.devs.get_mut(&d) {
+            Some(dev) => std::mem::take(&mut dev.epoch_lines),
+            None => return,
+        };
         for line in open {
             let Some(ls) = self.lines.get(&line) else {
                 continue;
@@ -491,7 +638,8 @@ mod tests {
             NvmConfig::new(4096, NvmTech::Pcm).with_tracing(),
             SimClock::new(),
         );
-        (dev, CheckConfig::with_metadata(vec![0..256]))
+        let meta = 0..256;
+        (dev, CheckConfig::with_metadata(vec![meta]))
     }
 
     #[test]
@@ -678,5 +826,422 @@ mod tests {
         let text = r.to_string();
         assert!(text.contains("missing-flush"), "{text}");
         assert!(text.contains("FAIL"), "{text}");
+    }
+
+    // ---- persistrace fixtures: hand-built multi-thread traces ----------
+    //
+    // The analyzer is pure, so deliberately-racy interleavings are easiest
+    // to pin down as synthetic `TracedOp` streams with explicit thread
+    // tags — no real threads, fully deterministic ordinals.
+
+    use nvmsim::TraceEvent as E;
+
+    fn op(seq: u64, thread: u32, event: E) -> TracedOp {
+        TracedOp::on_thread(seq, thread, event)
+    }
+
+    #[test]
+    fn persist_race_fires_with_ordinals_and_edge() {
+        // Two threads store into line 0 while it is unfenced, no sync.
+        let trace = [
+            op(0, 0, E::Store { addr: 0, len: 8 }),
+            op(1, 1, E::Store { addr: 8, len: 8 }),
+        ];
+        let r = check(&trace, CheckConfig::default());
+        assert_eq!(r.count(Rule::PersistRace), 1, "{r}");
+        let v = &r.violations[0];
+        assert_eq!(v.addr, 0);
+        assert_eq!(v.events, [0, 1], "cites both store ordinals");
+        assert!(
+            v.detail.contains("t0#0 -> t1#1"),
+            "names the missing edge: {}",
+            v.detail
+        );
+    }
+
+    #[test]
+    fn persist_race_reported_once_per_line_and_pair() {
+        let trace = [
+            op(0, 0, E::Store { addr: 0, len: 8 }),
+            op(1, 1, E::Store { addr: 8, len: 8 }),
+            op(2, 0, E::Store { addr: 16, len: 8 }),
+            op(3, 1, E::Store { addr: 24, len: 8 }),
+            op(4, 1, E::Store { addr: 64, len: 8 }), // different line, alone
+        ];
+        let r = check(&trace, CheckConfig::default());
+        assert_eq!(r.count(Rule::PersistRace), 1, "deduplicated: {r}");
+    }
+
+    #[test]
+    fn lock_edge_suppresses_persist_race() {
+        // Proper release→acquire: the second store is ordered after the
+        // first through lock 1.
+        let trace = [
+            op(0, 0, E::LockAcquire { obj: 1 }),
+            op(1, 0, E::Store { addr: 0, len: 8 }),
+            op(2, 0, E::LockRelease { obj: 1 }),
+            op(3, 1, E::LockAcquire { obj: 1 }),
+            op(4, 1, E::Store { addr: 8, len: 8 }),
+            op(5, 1, E::LockRelease { obj: 1 }),
+        ];
+        let r = check(&trace, CheckConfig::default());
+        assert!(r.is_clean(), "{r}");
+    }
+
+    #[test]
+    fn lockset_fallback_suppresses_without_hb_edge() {
+        // Both threads hold lock 1 per the lockset, but the release that
+        // would order them was elided from the trace: no HB edge exists,
+        // yet the Eraser fallback suppresses the report.
+        let trace = [
+            op(0, 0, E::LockAcquire { obj: 1 }),
+            op(1, 1, E::LockAcquire { obj: 1 }),
+            op(2, 0, E::Store { addr: 0, len: 8 }),
+            op(3, 1, E::Store { addr: 8, len: 8 }),
+        ];
+        let r = check(&trace, CheckConfig::default());
+        assert_eq!(r.count(Rule::PersistRace), 0, "{r}");
+    }
+
+    #[test]
+    fn atomic_release_acquire_creates_edge() {
+        let trace = [
+            op(0, 0, E::Store { addr: 0, len: 8 }),
+            op(1, 0, E::AtomicStoreRelease { obj: 9 }),
+            op(2, 1, E::AtomicLoadAcquire { obj: 9 }),
+            op(3, 1, E::Store { addr: 8, len: 8 }),
+        ];
+        let r = check(&trace, CheckConfig::default());
+        assert!(r.is_clean(), "{r}");
+    }
+
+    #[test]
+    fn cross_thread_flush_dependency_fires() {
+        // t1 flushes the line t0 stored, with no edge from the store.
+        let trace = [
+            op(0, 0, E::Store { addr: 0, len: 8 }),
+            op(
+                1,
+                1,
+                E::Clflush {
+                    line: 0,
+                    staged: true,
+                },
+            ),
+        ];
+        let r = check(&trace, CheckConfig::default());
+        assert_eq!(r.count(Rule::CrossThreadFlushDependency), 1, "{r}");
+        let v = &r.violations[0];
+        assert_eq!(v.events, [0, 1]);
+        assert!(v.detail.contains("t0#0 -> t1#1"), "{}", v.detail);
+        // With a sync edge between store and flush: clean.
+        let ok = [
+            op(0, 0, E::Store { addr: 0, len: 8 }),
+            op(1, 0, E::LockRelease { obj: 2 }),
+            op(2, 1, E::LockAcquire { obj: 2 }),
+            op(
+                3,
+                1,
+                E::Clflush {
+                    line: 0,
+                    staged: true,
+                },
+            ),
+        ];
+        assert!(check(&ok, CheckConfig::default()).is_clean());
+    }
+
+    /// t0 persists data; t1 persists its own commit record and annotates
+    /// the commit — without ever synchronizing with t0's fence.
+    fn unordered_commit_trace(with_lock: bool) -> Vec<TracedOp> {
+        let mut t = Vec::new();
+        let mut seq = 0u64;
+        let mut push = |thread: u32, e: E, t: &mut Vec<TracedOp>| {
+            t.push(op(seq, thread, e));
+            seq += 1;
+        };
+        if with_lock {
+            push(0, E::LockAcquire { obj: 1 }, &mut t);
+        }
+        push(0, E::Store { addr: 64, len: 8 }, &mut t);
+        push(
+            0,
+            E::Clflush {
+                line: 1,
+                staged: true,
+            },
+            &mut t,
+        );
+        push(0, E::Sfence { staged_lines: 1 }, &mut t);
+        if with_lock {
+            push(0, E::LockRelease { obj: 1 }, &mut t);
+            push(1, E::LockAcquire { obj: 1 }, &mut t);
+        }
+        push(1, E::AtomicStore { addr: 0, len: 8 }, &mut t);
+        push(
+            1,
+            E::Clflush {
+                line: 0,
+                staged: true,
+            },
+            &mut t,
+        );
+        push(1, E::Sfence { staged_lines: 1 }, &mut t);
+        push(1, E::Commit { addr: 0, len: 8 }, &mut t);
+        if with_lock {
+            push(1, E::LockRelease { obj: 1 }, &mut t);
+        }
+        t
+    }
+
+    #[test]
+    fn unordered_commit_fires_without_sync_edge() {
+        let r = check(&unordered_commit_trace(false), CheckConfig::default());
+        assert_eq!(r.count(Rule::UnorderedCommit), 1, "{r}");
+        assert_eq!(r.fired_rules(), ["unordered-commit"]);
+        let v = &r.violations[0];
+        assert_eq!(v.addr, 64, "cites the data line");
+        assert_eq!(v.events, [2, 6], "cites t0's fence and t1's commit");
+        assert!(v.detail.contains("t0#2 -> t1#6"), "{}", v.detail);
+    }
+
+    #[test]
+    fn unordered_commit_clean_under_lock_handoff() {
+        let r = check(&unordered_commit_trace(true), CheckConfig::default());
+        assert!(r.is_clean(), "{r}");
+    }
+
+    #[test]
+    fn single_threaded_traces_never_race() {
+        // The whole existing corpus runs on one thread; spot-check that a
+        // gnarly single-thread interleaving stays race-free.
+        let (d, cfg) = traced();
+        d.write(1024, &[7u8; 64]);
+        d.clflush(1024, 64);
+        d.write(1024, &[8u8; 64]);
+        d.sfence();
+        d.persist(1024, 64);
+        d.atomic_write_u64(0, 1);
+        d.persist(0, 8);
+        d.note_commit(0, 8);
+        let r = check(&d.take_trace(), cfg);
+        for rule in [
+            Rule::PersistRace,
+            Rule::UnorderedCommit,
+            Rule::CrossThreadFlushDependency,
+        ] {
+            assert_eq!(r.count(rule), 0, "{r}");
+        }
+    }
+
+    #[test]
+    fn mutex_serialized_multi_thread_commits_are_clean() {
+        // The pool's current commit discipline, in miniature: each thread
+        // takes the shard lock, stores/persists data and its commit
+        // record, annotates, releases. Two threads, same lines.
+        let mut trace = Vec::new();
+        let mut seq = 0u64;
+        for thread in [0u32, 1, 0, 1] {
+            for e in [
+                E::LockAcquire { obj: 7 },
+                E::Store { addr: 512, len: 64 },
+                E::Clflush {
+                    line: 8,
+                    staged: true,
+                },
+                E::Sfence { staged_lines: 1 },
+                E::AtomicStore { addr: 0, len: 8 },
+                E::Clflush {
+                    line: 0,
+                    staged: true,
+                },
+                E::Sfence { staged_lines: 1 },
+                E::Commit { addr: 0, len: 8 },
+                E::LockRelease { obj: 7 },
+            ] {
+                trace.push(op(seq, thread, e));
+                seq += 1;
+            }
+        }
+        let r = check(&trace, CheckConfig::default());
+        assert!(r.is_clean(), "{r}");
+    }
+
+    // ---- multi-device (merged shard) traces ----------------------------
+
+    fn on_device(seq: u64, thread: u32, device: u32, event: E) -> TracedOp {
+        let mut o = op(seq, thread, event);
+        o.device = device;
+        o
+    }
+
+    #[test]
+    fn fences_and_commits_are_scoped_per_device() {
+        // Round-robin merge of two clean single-shard commit protocols:
+        // device 1's sfence interleaves into device 0's open epoch and
+        // vice versa. With per-device epochs this is clean; a global
+        // epoch would let each shard's fence drain the other's lines and
+        // flag flush-without-fence / missing-flush everywhere.
+        let proto = |d: u32| {
+            vec![
+                E::Store {
+                    addr: 1024,
+                    len: 64,
+                },
+                E::Clflush {
+                    line: 16,
+                    staged: true,
+                },
+                E::Sfence { staged_lines: 1 },
+                E::AtomicStore { addr: 0, len: 8 },
+                E::Clflush {
+                    line: 0,
+                    staged: true,
+                },
+                E::Sfence { staged_lines: 1 },
+                E::Commit { addr: 0, len: 8 },
+            ]
+            .into_iter()
+            .map(move |e| {
+                // Rebase device 1 like merge_shard_traces would.
+                let base = d as usize * 4096;
+                match e {
+                    E::Store { addr, len } => E::Store {
+                        addr: addr + base,
+                        len,
+                    },
+                    E::AtomicStore { addr, len } => E::AtomicStore {
+                        addr: addr + base,
+                        len,
+                    },
+                    E::Clflush { line, staged } => E::Clflush {
+                        line: line + base / CACHE_LINE,
+                        staged,
+                    },
+                    E::Commit { addr, len } => E::Commit {
+                        addr: addr + base,
+                        len,
+                    },
+                    other => other,
+                }
+            })
+        };
+        let mut trace = Vec::new();
+        let mut seq = 0u64;
+        for (a, b) in proto(0).zip(proto(1)) {
+            trace.push(on_device(seq, 0, 0, a));
+            trace.push(on_device(seq + 1, 1, 1, b));
+            seq += 2;
+        }
+        let r = check(&trace, CheckConfig::default());
+        assert!(r.is_clean(), "{r}");
+        assert_eq!(r.commits, 2);
+    }
+
+    #[test]
+    fn commit_judges_only_its_own_devices_window() {
+        // Device 1 has a dirty, never-flushed line in flight when device
+        // 0's commit lands: not device 0's problem. Device 1's own commit
+        // later must still flag it.
+        let trace = [
+            on_device(0, 1, 1, E::Store { addr: 4096, len: 8 }),
+            on_device(1, 0, 0, E::AtomicStore { addr: 0, len: 8 }),
+            on_device(
+                2,
+                0,
+                0,
+                E::Clflush {
+                    line: 0,
+                    staged: true,
+                },
+            ),
+            on_device(3, 0, 0, E::Sfence { staged_lines: 1 }),
+            on_device(4, 0, 0, E::Commit { addr: 0, len: 8 }),
+        ];
+        let r = check(&trace, CheckConfig::default());
+        assert_eq!(r.count(Rule::MissingFlush), 0, "{r}");
+
+        let mut with_d1_commit = trace.to_vec();
+        with_d1_commit.extend([
+            on_device(5, 1, 1, E::AtomicStore { addr: 4160, len: 8 }),
+            on_device(
+                6,
+                1,
+                1,
+                E::Clflush {
+                    line: 65,
+                    staged: true,
+                },
+            ),
+            on_device(7, 1, 1, E::Sfence { staged_lines: 1 }),
+            on_device(8, 1, 1, E::Commit { addr: 4160, len: 8 }),
+        ]);
+        let r = check(&with_d1_commit, CheckConfig::default());
+        assert_eq!(r.count(Rule::MissingFlush), 1, "{r}");
+        assert_eq!(r.violations[0].addr, 4096);
+    }
+
+    #[test]
+    fn crash_clears_only_the_crashed_device() {
+        // Device 0 crashes with device 1's store in flight; device 1's
+        // commit must still see its own dirty line.
+        let trace = [
+            on_device(0, 1, 1, E::Store { addr: 4096, len: 8 }),
+            on_device(1, 0, 0, E::Store { addr: 64, len: 8 }),
+            on_device(2, 0, 0, E::Crash),
+            on_device(3, 1, 1, E::AtomicStore { addr: 4160, len: 8 }),
+            on_device(
+                4,
+                1,
+                1,
+                E::Clflush {
+                    line: 65,
+                    staged: true,
+                },
+            ),
+            on_device(5, 1, 1, E::Sfence { staged_lines: 1 }),
+            on_device(6, 1, 1, E::Commit { addr: 4160, len: 8 }),
+        ];
+        let r = check(&trace, CheckConfig::default());
+        assert_eq!(r.count(Rule::MissingFlush), 1, "{r}");
+        assert_eq!(r.violations[0].addr, 4096);
+        assert_eq!(r.crashes, 1);
+    }
+
+    // ---- JSON schema stability -----------------------------------------
+
+    #[test]
+    fn json_schema_is_stable() {
+        let (d, cfg) = traced();
+        d.write(1024, &[7u8; 128]); // 2 lines, never flushed
+        d.atomic_write_u64(0, 1);
+        d.persist(0, 8);
+        d.note_commit(0, 8);
+        let j = check(&d.take_trace(), cfg).to_json().render();
+        // Top-level keys, in order.
+        assert!(j.starts_with(r#"{"schema":1,"events":5,"commits":1,"crashes":0,"clean":false,"#));
+        // The counts object always lists every rule by its stable name.
+        assert!(
+            j.contains(
+                r#""counts":{"missing-flush":2,"flush-without-fence":0,"torn-update":0,"persist-race":0,"unordered-commit":0,"cross-thread-flush-dependency":0,"redundant-flush":0,"fence-without-flush":0}"#
+            ),
+            "{j}"
+        );
+        // Violations carry rule name, line address, and ordinal citations.
+        assert!(
+            j.contains(r#""rule":"missing-flush","addr":1024,"events":[0,4]"#),
+            "{j}"
+        );
+        assert!(j.contains(r#""redundant_flush_events":[]"#), "{j}");
+        assert!(j.contains(r#""empty_fence_events":[]"#), "{j}");
+    }
+
+    #[test]
+    fn json_counts_race_rules() {
+        let r = check(&unordered_commit_trace(false), CheckConfig::default());
+        let j = r.to_json().render();
+        assert!(j.contains(r#""unordered-commit":1"#), "{j}");
+        assert!(j.contains(r#""clean":false"#), "{j}");
+        assert!(j.contains(r#""events":[2,6]"#), "{j}");
     }
 }

@@ -36,7 +36,8 @@ fn device() -> Nvm {
 }
 
 fn config() -> CheckConfig {
-    CheckConfig::with_metadata(vec![0..DATA_OFF])
+    let meta = 0..DATA_OFF;
+    CheckConfig::with_metadata(vec![meta])
 }
 
 /// One commit of one block, following §4.4 step for step.

@@ -157,11 +157,13 @@ proptest! {
         d.crash(CrashPolicy::LoseVolatile);
         shadow.crash();
         let post = read_all(&d);
-        for i in 0..CAP {
+        for (i, (&got, &want)) in post.iter().zip(&shadow.durable).enumerate() {
             prop_assert!(
-                post[i] == shadow.durable[i],
+                got == want,
                 "byte {} holds {:#x} after crash, shadow model says {:#x}",
-                i, post[i], shadow.durable[i]
+                i,
+                got,
+                want
             );
         }
     }

@@ -1,0 +1,85 @@
+//! Property: analyzer verdicts are identical whether the device trace is
+//! drained in chunks via repeated `take_trace()` (seq continuity across
+//! `TraceBuf::base`) or consumed as one whole trace at the end.
+
+use nvmsim::{CrashPolicy, NvmConfig, NvmDevice, NvmTech, SimClock};
+use persistcheck::{check, CheckConfig, Checker, Report};
+use proptest::prelude::*;
+
+/// One scripted device op: (discriminant, line index, length).
+type Step = (u8, usize, usize);
+
+fn apply(d: &nvmsim::Nvm, &(op, line, len): &Step) {
+    let addr = line * 64;
+    match op % 6 {
+        0 => d.write(addr, &vec![0xA5u8; len]),
+        1 => d.atomic_write_u64(addr, 0xDEAD_BEEF),
+        2 => d.clflush(addr, len),
+        3 => d.sfence(),
+        4 => {
+            d.atomic_write_u64(0, 1);
+            d.persist(0, 8);
+            d.note_commit(0, 8);
+        }
+        _ => d.crash(CrashPolicy::LoseVolatile),
+    }
+}
+
+fn assert_same_verdict(a: &Report, b: &Report) {
+    assert_eq!(a.events, b.events, "event counts differ");
+    assert_eq!(a.commits, b.commits);
+    assert_eq!(a.crashes, b.crashes);
+    assert_eq!(a.violations.len(), b.violations.len(), "\nA: {a}\nB: {b}");
+    for (va, vb) in a.violations.iter().zip(&b.violations) {
+        assert_eq!(va.rule, vb.rule);
+        assert_eq!(va.addr, vb.addr);
+        assert_eq!(va.events, vb.events, "ordinal citations must match");
+    }
+    assert_eq!(a.redundant_flushes, b.redundant_flushes);
+    assert_eq!(a.redundant_flush_events, b.redundant_flush_events);
+    assert_eq!(a.empty_fences, b.empty_fences);
+    assert_eq!(a.empty_fence_events, b.empty_fence_events);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn chunked_take_matches_one_shot_trace(
+        script in prop::collection::vec(
+            ((0u8..6), (1usize..60), (1usize..128), any::<bool>()),
+            1..60,
+        ),
+    ) {
+        let mk = || {
+            NvmDevice::new(
+                NvmConfig::new(4096, NvmTech::Pcm).with_tracing(),
+                SimClock::new(),
+            )
+        };
+        let meta = 0..256;
+        let cfg = CheckConfig::with_metadata(vec![meta]);
+
+        // Device A: drained at every scripted drain point (and once more
+        // at the end), fed incrementally.
+        let a = mk();
+        let mut inc = Checker::new(cfg.clone());
+        for &(op, line, len, drain) in &script {
+            apply(&a, &(op, line, len));
+            if drain {
+                inc.push_all(&a.take_trace());
+            }
+        }
+        inc.push_all(&a.take_trace());
+        let ra = inc.finish();
+
+        // Device B: identical script, one drain at the very end.
+        let b = mk();
+        for &(op, line, len, _) in &script {
+            apply(&b, &(op, line, len));
+        }
+        let rb = check(&b.take_trace(), cfg);
+
+        assert_same_verdict(&ra, &rb);
+    }
+}

@@ -158,6 +158,21 @@ pub fn charge(cat: &'static str, ns: u64) {
     });
 }
 
+/// Bumps leaf phase `name` under the current span by `n` occurrences
+/// without attributing simulated time (per-phase event tallies such as
+/// flush/fence waste marks).
+#[inline]
+pub fn mark(name: &'static str, n: u64) {
+    if !is_enabled() {
+        return;
+    }
+    RECORDER.with(|r| {
+        if let Some(rec) = r.borrow_mut().as_mut() {
+            rec.mark(name, n);
+        }
+    });
+}
+
 /// Adds `n` to counter `name`.
 #[inline]
 pub fn count(name: &'static str, n: u64) {

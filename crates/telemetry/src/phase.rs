@@ -62,8 +62,14 @@ pub const NVM_STORE: &str = "nvm.store";
 pub const NVM_READ: &str = "nvm.read";
 /// `clflush`/`clwb` of dirty or clean lines.
 pub const NVM_FLUSH: &str = "nvm.flush";
+/// Perf-smell mark: a `clflush` that hit a clean line (persisted nothing,
+/// still paid latency). Count-only leaf under [`NVM_FLUSH`].
+pub const NVM_FLUSH_CLEAN: &str = "nvm.flush.clean";
 /// Store fence draining the flush epoch.
 pub const NVM_FENCE: &str = "nvm.fence";
+/// Perf-smell mark: an `sfence` whose flush epoch was empty (ordered
+/// nothing). Count-only leaf under [`NVM_FENCE`].
+pub const NVM_FENCE_EMPTY: &str = "nvm.fence.empty";
 /// 8/16-byte failure-atomic stores.
 pub const NVM_ATOMIC_STORE: &str = "nvm.atomic_store";
 

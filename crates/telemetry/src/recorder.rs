@@ -175,6 +175,17 @@ impl Recorder {
         *self.counters.entry(name).or_insert(0) += n;
     }
 
+    /// Bumps the occurrence count of leaf phase `name` under the current
+    /// span without attributing any simulated time (and without touching
+    /// the latency histograms). Used for per-phase event tallies — e.g.
+    /// flush/fence perf smells — where *where in the tree* the event
+    /// happened is the datum, not how long it took.
+    pub fn mark(&mut self, name: &'static str, n: u64) {
+        let parent = self.current();
+        let node = self.intern(parent, name);
+        self.nodes[node as usize].count += n;
+    }
+
     /// Sets the gauge `name` to `v`.
     pub fn gauge(&mut self, name: &'static str, v: i64) {
         self.gauges.insert(name, v);

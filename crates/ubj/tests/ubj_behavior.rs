@@ -204,7 +204,7 @@ fn crash_sweep_commit_is_atomic() {
         nvm.set_trip(Some(trip));
         let crashed = catch_unwind(AssertUnwindSafe(|| {
             c.commit_txn(&[(1, blk(2)), (2, blk(2)), (3, blk(2))])
-                .unwrap()
+                .unwrap();
         }))
         .is_err();
         nvm.set_trip(None);

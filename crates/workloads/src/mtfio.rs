@@ -148,6 +148,10 @@ impl MtFio {
             let handles: Vec<_> = (0..spec.threads)
                 .map(|t| {
                     scope.spawn(move || {
+                        // Stamp a stable trace-thread id well above the
+                        // lazily assigned range, so per-shard event traces
+                        // carry unambiguous provenance for the race rules.
+                        nvmsim::set_trace_thread(1000 + t as u32);
                         // SplitMix-style stream decorrelation per thread.
                         let stream = spec
                             .seed

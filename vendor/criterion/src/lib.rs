@@ -7,7 +7,7 @@
 
 #![allow(clippy::all, clippy::pedantic)]
 
-use std::fmt::{self, Display};
+use std::fmt::Display;
 use std::time::Instant;
 
 /// Opaque value barrier, forwarding to `std::hint::black_box`.
