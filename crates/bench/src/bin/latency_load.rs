@@ -1,0 +1,51 @@
+//! Latency-under-load knee curve (open-loop tier), Tinca vs
+//! Classic+JBD2. `--quick` for the CI smoke run.
+//!
+//! Exits non-zero unless the run reproduces the paper-level claims:
+//! Tinca's knee at a strictly higher offered load than Classic's, p999
+//! superlinear past saturation, persist-order traces clean at every
+//! load point, and the crash-mid-backlog campaign free of oracle
+//! violations.
+
+use std::process::exit;
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let r = bench::figs::latency_load::run(quick);
+
+    let mut failed = false;
+    let mut check = |ok: bool, what: &str| {
+        if !ok {
+            eprintln!("ACCEPTANCE FAIL: {what}");
+            failed = true;
+        }
+    };
+    check(
+        r.tinca_knee > r.classic_knee,
+        "Tinca's knee must sit at strictly higher offered load than Classic+JBD2's",
+    );
+    check(
+        r.classic_knee > 0.0,
+        "Classic must keep up at the bottom of the ladder (ladder mis-spanned?)",
+    );
+    check(
+        r.tinca_tail_ratio > 4.0,
+        "p999 must rise superlinearly past saturation (knee not visible)",
+    );
+    check(
+        r.persist_clean,
+        "persist-order audit must be clean at every load point",
+    );
+    check(
+        r.campaign.clean(),
+        "crash-mid-backlog campaign must have zero oracle violations",
+    );
+    check(
+        r.campaign.crashes > 0 && r.campaign.shed > 0,
+        "campaign must actually crash mid-backlog (trips fired, ops shed)",
+    );
+    if failed {
+        exit(1);
+    }
+    println!("latency_load: acceptance checks passed");
+}

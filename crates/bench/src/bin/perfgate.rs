@@ -1,33 +1,72 @@
-//! Performance-regression gate over the `phases` bench summary.
+//! Performance-regression gate over the machine-readable bench
+//! summaries (`BENCH_5.json` from `phases`, `BENCH_6.json` from
+//! `latency_load`).
 //!
-//! Compares the `gate` counters of a freshly generated `BENCH_5.json`
-//! against a committed baseline and fails (exit 1) if an efficiency
-//! counter regressed by more than the tolerance. Counters gated:
+//! Compares the `gate` counters of a freshly generated summary against a
+//! committed baseline and fails (exit 1) on a regression beyond the
+//! tolerance. Gating is **direction-aware** — each counter declares
+//! which way "worse" points:
 //!
-//! * `clflush_per_op` — commit-path flush coalescing must keep paying;
-//! * `disk_busy_ns`   — destage batching must keep device time down.
+//! * `phases` (BENCH_5): `clflush_per_op` and `disk_busy_ns` are
+//!   lower-is-better (flush coalescing and destage batching must keep
+//!   paying); `commit_total_ns` / `sim_ns` are informational.
+//! * `latency_load` (BENCH_6): `tinca_knee_ops_per_sec` is
+//!   higher-is-better (the knee must not move down the load axis) and
+//!   `tinca_p99_ns_subknee` is lower-is-better (sub-knee tail latency
+//!   must not inflate); the `classic_*` twins are informational — the
+//!   baseline system's drift is context, not our regression.
 //!
-//! `commit_total_ns` and `sim_ns` are reported for context but not
-//! gated (they move with workload-shape changes that are often
-//! intentional). Both files must come from the same mode (`--quick` vs
-//! full); the gate refuses to compare across modes.
+//! The two files must describe the same bench and the same mode
+//! (`--quick` vs full); the gate refuses to compare across either.
 //!
 //! JSON is read by string extraction — the values are numbers written
 //! by our own `telemetry::Json`, so no serialization dependency is
-//! needed or wanted here.
+//! needed or wanted here. This requires the `gate` object to stay flat.
 //!
 //! Usage: `cargo run --release -p bench --bin perfgate -- <baseline.json> <new.json>`
 
 use std::process::exit;
 
-/// Maximum tolerated relative increase of a gated counter.
+/// Maximum tolerated relative movement of a gated counter in its bad
+/// direction.
 const TOLERANCE: f64 = 0.05;
 
-/// Extracts the flat `"gate":{...}` object body from a BENCH_5 rendering.
+/// Which way "worse" points for one gated counter.
+#[derive(Clone, Copy, PartialEq)]
+enum Direction {
+    /// Regression = counter grew (cost/latency counters).
+    LowerIsBetter,
+    /// Regression = counter shrank (throughput/capacity counters).
+    HigherIsBetter,
+    /// Reported for context, never fails the gate.
+    Info,
+}
+
+/// The gate schema of each bench summary this tool understands.
+fn counters(bench: &str) -> Vec<(&'static str, Direction)> {
+    use Direction::*;
+    match bench {
+        "phases" => vec![
+            ("clflush_per_op", LowerIsBetter),
+            ("disk_busy_ns", LowerIsBetter),
+            ("commit_total_ns", Info),
+            ("sim_ns", Info),
+        ],
+        "latency_load" => vec![
+            ("tinca_knee_ops_per_sec", HigherIsBetter),
+            ("tinca_p99_ns_subknee", LowerIsBetter),
+            ("classic_knee_ops_per_sec", Info),
+            ("classic_p99_ns_subknee", Info),
+        ],
+        other => panic!("unknown bench {other:?} — teach perfgate its gate schema"),
+    }
+}
+
+/// Extracts the flat `"gate":{...}` object body from a bench summary.
 fn gate_body(text: &str, path: &str) -> String {
     let start = text
         .find("\"gate\":{")
-        .unwrap_or_else(|| panic!("{path}: no \"gate\" object — not a BENCH_5.json?"));
+        .unwrap_or_else(|| panic!("{path}: no \"gate\" object — not a BENCH_N.json?"));
     let body = &text[start + 8..];
     let end = body
         .find('}')
@@ -49,6 +88,19 @@ fn field(body: &str, key: &str, path: &str) -> f64 {
         .unwrap_or_else(|e| panic!("{path}: gate counter {key} not numeric: {e}"))
 }
 
+/// Reads the top-level `"bench"` name.
+fn bench_name(text: &str, path: &str) -> String {
+    let pat = "\"bench\":\"";
+    let start = text
+        .find(pat)
+        .unwrap_or_else(|| panic!("{path}: no \"bench\" name"));
+    let rest = &text[start + pat.len()..];
+    let end = rest
+        .find('"')
+        .unwrap_or_else(|| panic!("{path}: unterminated bench name"));
+    rest[..end].to_string()
+}
+
 /// Reads the top-level `"quick"` flag.
 fn quick_flag(text: &str, path: &str) -> bool {
     if text.contains("\"quick\":true") {
@@ -63,12 +115,18 @@ fn quick_flag(text: &str, path: &str) -> bool {
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let [baseline_path, new_path] = args.as_slice() else {
-        eprintln!("usage: perfgate <baseline BENCH_5.json> <new BENCH_5.json>");
+        eprintln!("usage: perfgate <baseline BENCH_N.json> <new BENCH_N.json>");
         exit(2);
     };
     let read =
         |p: &String| std::fs::read_to_string(p).unwrap_or_else(|e| panic!("cannot read {p}: {e}"));
     let (old_text, new_text) = (read(baseline_path), read(new_path));
+    let bench = bench_name(&old_text, baseline_path);
+    assert_eq!(
+        bench,
+        bench_name(&new_text, new_path),
+        "refusing to compare different benches"
+    );
     assert_eq!(
         quick_flag(&old_text, baseline_path),
         quick_flag(&new_text, new_path),
@@ -79,35 +137,37 @@ fn main() {
         gate_body(&new_text, new_path),
     );
 
-    let gated = ["clflush_per_op", "disk_busy_ns"];
-    let informational = ["commit_total_ns", "sim_ns"];
     let mut failed = false;
+    println!("bench: {bench}");
     println!(
-        "{:<16} {:>16} {:>16} {:>9}  verdict",
+        "{:<24} {:>16} {:>16} {:>9}  verdict",
         "counter", "baseline", "new", "delta"
     );
-    for key in gated.iter().chain(&informational) {
+    for (key, dir) in counters(&bench) {
         let old = field(&old_gate, key, baseline_path);
         let new = field(&new_gate, key, new_path);
         let delta = if old == 0.0 { 0.0 } else { (new - old) / old };
-        let is_gated = gated.contains(key);
-        let verdict = if !is_gated {
-            "info"
-        } else if delta > TOLERANCE {
-            failed = true;
-            "FAIL"
-        } else {
-            "ok"
+        let verdict = match dir {
+            Direction::Info => "info",
+            Direction::LowerIsBetter if delta > TOLERANCE => {
+                failed = true;
+                "FAIL"
+            }
+            Direction::HigherIsBetter if delta < -TOLERANCE => {
+                failed = true;
+                "FAIL"
+            }
+            _ => "ok",
         };
         println!(
-            "{key:<16} {old:>16.2} {new:>16.2} {:>8.2}%  {verdict}",
+            "{key:<24} {old:>16.2} {new:>16.2} {:>8.2}%  {verdict}",
             delta * 100.0
         );
     }
     if failed {
         eprintln!(
-            "perf regression: a gated counter grew more than {:.0}% over the \
-             committed baseline (rerun `phases` and commit BENCH_5.json only \
+            "perf regression: a gated counter moved more than {:.0}% in its bad \
+             direction (rerun the bench and commit the new BENCH_N.json only \
              if the regression is intended and explained)",
             TOLERANCE * 100.0
         );

@@ -12,6 +12,7 @@ pub mod fig4;
 pub mod fig7;
 pub mod fig8;
 pub mod flush_instr;
+pub mod latency_load;
 pub mod meta_schemes;
 pub mod persistrace;
 pub mod phases;

@@ -903,12 +903,16 @@ impl TincaCache {
         }
         let data_blocks = self.layout.data_blocks as usize;
         let supply = self.free_blocks.free_count() + (self.index.len() - self.dirty_idx.len());
-        if supply * 100 >= data_blocks * self.cfg.destage_low_water_pct as usize {
+        // Watermarks round with ceiling division and guarantee
+        // `high > low` so a completed harvest always clears the trigger
+        // (flooring both used to collapse tiny caches to low == high or
+        // a zero-block target; see `TincaConfig::destage_watermarks`).
+        let (low_blocks, high_blocks) = self.cfg.destage_watermarks(data_blocks);
+        if supply >= low_blocks {
             return;
         }
         let _t = telemetry::span(telemetry::phase::DESTAGE);
-        let target = data_blocks * self.cfg.destage_high_water_pct as usize / 100;
-        let need = target
+        let need = high_blocks
             .saturating_sub(supply)
             .clamp(1, self.cfg.destage_batch.max(1));
         // Harvest in LRU order: the blocks eviction would want next. The

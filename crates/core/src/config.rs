@@ -70,6 +70,33 @@ pub struct TincaConfig {
     pub coalesce_flushes: bool,
 }
 
+impl TincaConfig {
+    /// The destage daemon's low/high watermarks in **blocks** for a cache
+    /// of `data_blocks` data blocks: the daemon fires when the supply
+    /// (free + clean-cached blocks) drops below `low`, and one firing
+    /// harvests toward `high`.
+    ///
+    /// Both thresholds use ceiling division, and `high` is clamped to at
+    /// least `low + 1`. Truncating (flooring) both instead — as the
+    /// daemon originally did — collapses tiny caches (`data_blocks < 4`)
+    /// to `low == high` or `high == 0` targets: a daemon that either
+    /// re-fires on every commit without making progress (thrash) or
+    /// computes a zero-block harvest. With `high ≥ low + 1`, a completed
+    /// harvest always leaves the supply at or above `low`, so the daemon
+    /// cannot immediately re-fire. The firing condition `supply < low`
+    /// with a ceiled `low` is exactly equivalent to the exact rational
+    /// comparison `supply < data_blocks · pct / 100` for integer
+    /// supplies, so large-cache trigger points are unchanged.
+    pub fn destage_watermarks(&self, data_blocks: usize) -> (usize, usize) {
+        let low = (data_blocks * self.destage_low_water_pct as usize).div_ceil(100);
+        let high = (data_blocks * self.destage_high_water_pct as usize)
+            .div_ceil(100)
+            .max(low + 1)
+            .min(data_blocks.max(low + 1));
+        (low, high)
+    }
+}
+
 impl Default for TincaConfig {
     fn default() -> Self {
         Self {
@@ -111,5 +138,56 @@ mod tests {
         assert!(c.destage_low_water_pct < c.destage_high_water_pct);
         assert!(c.destage_high_water_pct <= 100);
         assert!(c.destage_batch >= 1);
+    }
+
+    #[test]
+    fn tiny_cache_watermarks_never_collapse() {
+        // Regression for the integer-truncation bug: with the default
+        // 25/50 split, flooring gave data_blocks = 3 the targets
+        // low = 0 (via the exact comparison) and high = ⌊1.5⌋ = 1, and
+        // data_blocks = 1 the target high = ⌊0.5⌋ = 0. Every boundary
+        // size must produce strictly ordered, progress-making targets.
+        let c = TincaConfig::default();
+        for db in 1..=4usize {
+            let (low, high) = c.destage_watermarks(db);
+            assert!(low < high, "data_blocks={db}: low={low} high={high}");
+            // A completed harvest (supply == high) must sit at or above
+            // the firing threshold, or the daemon thrashes.
+            assert!(high >= low + 1, "data_blocks={db} would thrash");
+        }
+        // data_blocks = 3: ceil(1.5) = 2, not the truncated 1.
+        assert_eq!(c.destage_watermarks(3), (1, 2));
+        // data_blocks = 1: high is forced a block above low.
+        assert_eq!(c.destage_watermarks(1), (1, 2));
+    }
+
+    #[test]
+    fn ceiled_trigger_matches_exact_rational_comparison() {
+        // The firing condition `supply < low_blocks` (ceiled) must be
+        // equivalent to the pre-fix exact cross-multiplied comparison
+        // `supply * 100 < data_blocks * pct` for every integer supply,
+        // so full-scale trigger points are bit-for-bit unchanged.
+        let c = TincaConfig::default();
+        for db in 1..=257usize {
+            let (low, _) = c.destage_watermarks(db);
+            for supply in 0..=db {
+                let exact = supply * 100 < db * c.destage_low_water_pct as usize;
+                assert_eq!(
+                    supply < low,
+                    exact,
+                    "data_blocks={db} supply={supply} low={low}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn large_cache_watermarks_follow_the_percentages() {
+        let c = TincaConfig::default();
+        let (low, high) = c.destage_watermarks(1000);
+        assert_eq!((low, high), (250, 500));
+        let (low, high) = c.destage_watermarks(1001);
+        // Ceiling, consistently on both thresholds.
+        assert_eq!((low, high), (251, 501));
     }
 }

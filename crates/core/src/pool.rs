@@ -513,6 +513,21 @@ impl TincaPool {
         f(&mut self.shards[s].lock_cache())
     }
 
+    /// A handle on shard `s`'s simulated clock (clones share time).
+    ///
+    /// This is the queue-wait hook of the open-loop tier: an arrival-
+    /// driven driver calls [`nvmsim::SimClock::advance_to`] with each
+    /// op's arrival instant so idle time between arrivals actually
+    /// passes on the shard — background-lane deadlines (destage) expire
+    /// during load gaps, and `service start = max(arrival, shard now)`
+    /// makes queue wait measurable instead of modelled away. Closed-loop
+    /// drivers never advance this clock directly; only the shard's
+    /// devices do. Advancing it is only meaningful while the shard is
+    /// otherwise quiescent (single-threaded driving).
+    pub fn shard_clock(&self, s: usize) -> nvmsim::SimClock {
+        self.shards[s].lock_cache().nvm().clock().clone()
+    }
+
     /// NVM metadata byte ranges of shard `s` (header + ring + entry table,
     /// in that shard's device address space) for persist-order analysis.
     pub fn shard_metadata_ranges(&self, s: usize) -> Vec<std::ops::Range<usize>> {

@@ -23,6 +23,7 @@
 //! assert!(report.clean(), "no consistency violations: {:?}", report.violations);
 //! ```
 
+mod backlog;
 mod faultfuzz;
 mod frontier;
 mod fuzz;
@@ -30,6 +31,9 @@ mod harness;
 mod oracle;
 mod poolfuzz;
 
+pub use backlog::{
+    backlog_campaign, backlog_one, backlog_one_detailed, BacklogOutcome, BacklogReport,
+};
 pub use frontier::{frontier_fs_campaign, pool_frontier_campaign, FrontierReport};
 
 pub use faultfuzz::{

@@ -35,6 +35,29 @@ impl SimClock {
         self.ns.fetch_add(ns, Ordering::Relaxed);
     }
 
+    /// Advances simulated time to `target_ns` if that is ahead of now;
+    /// a no-op when the clock already passed it (time never runs
+    /// backwards). Returns the nanoseconds actually advanced. Open-loop
+    /// drivers use this to let idle time pass up to an op's arrival
+    /// instant, so background-lane deadlines expire during load gaps.
+    pub fn advance_to(&self, target_ns: u64) -> u64 {
+        let mut now = self.ns.load(Ordering::Relaxed);
+        loop {
+            if target_ns <= now {
+                return 0;
+            }
+            match self.ns.compare_exchange_weak(
+                now,
+                target_ns,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return target_ns - now,
+                Err(seen) => now = seen,
+            }
+        }
+    }
+
     /// Current simulated time in seconds.
     pub fn now_secs(&self) -> f64 {
         self.now_ns() as f64 / 1e9
@@ -73,6 +96,18 @@ mod tests {
         assert_eq!(d.now_ns(), 7);
         d.advance(3);
         assert_eq!(c.now_ns(), 10);
+    }
+
+    #[test]
+    fn advance_to_is_monotone() {
+        let c = SimClock::new();
+        assert_eq!(c.advance_to(500), 500);
+        assert_eq!(c.now_ns(), 500);
+        assert_eq!(c.advance_to(300), 0, "never runs backwards");
+        assert_eq!(c.now_ns(), 500);
+        assert_eq!(c.advance_to(500), 0, "equal target is a no-op");
+        assert_eq!(c.advance_to(750), 250);
+        assert_eq!(c.now_ns(), 750);
     }
 
     #[test]

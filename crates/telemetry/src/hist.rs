@@ -99,9 +99,13 @@ impl Histogram {
     }
 
     /// The `q`-quantile (`q` in `[0, 1]`): upper bound of the bucket
-    /// holding the sample of rank `ceil(q·n)`. `None` when empty.
+    /// holding the sample of rank `ceil(q·n)`. `None` when the histogram
+    /// is empty **or** `q` is NaN / outside `[0, 1]` — an invalid rank
+    /// must never be answered with a bucket representative (open-loop
+    /// shed can legitimately leave per-shard histograms empty, and a NaN
+    /// `q` would otherwise silently cast to rank 1).
     pub fn quantile(&self, q: f64) -> Option<u64> {
-        if self.total == 0 {
+        if self.total == 0 || !(0.0..=1.0).contains(&q) {
             return None;
         }
         let rank = ((q * self.total as f64).ceil() as u64).clamp(1, self.total);
@@ -128,6 +132,11 @@ impl Histogram {
     /// 99th percentile.
     pub fn p99(&self) -> Option<u64> {
         self.quantile(0.99)
+    }
+
+    /// 99.9th percentile (the open-loop tail-latency series).
+    pub fn p999(&self) -> Option<u64> {
+        self.quantile(0.999)
     }
 
     /// Element-wise sum of two histograms (merging per-thread or per-shard
@@ -201,10 +210,44 @@ mod tests {
     fn empty_histogram_returns_none() {
         let h = Histogram::new();
         assert_eq!(h.quantile(0.5), None);
+        assert_eq!(h.p999(), None);
         assert_eq!(h.mean(), None);
         assert_eq!(h.min(), None);
         assert_eq!(h.max(), None);
         assert_eq!(h.count(), 0);
+    }
+
+    #[test]
+    fn invalid_q_returns_none_instead_of_a_representative() {
+        // Regression: NaN used to cast to rank 0 → clamp to 1 → the
+        // minimum bucket's representative; out-of-range q clamped
+        // similarly. All must be explicit `None`.
+        let mut h = Histogram::new();
+        h.record(100);
+        assert_eq!(h.quantile(f64::NAN), None);
+        assert_eq!(h.quantile(-0.1), None);
+        assert_eq!(h.quantile(1.1), None);
+        assert_eq!(h.quantile(f64::INFINITY), None);
+        assert_eq!(h.quantile(f64::NEG_INFINITY), None);
+        // The valid boundary values still answer.
+        assert!(h.quantile(0.0).is_some());
+        assert!(h.quantile(1.0).is_some());
+    }
+
+    #[test]
+    fn p999_tracks_the_extreme_tail() {
+        // 2 outliers in 1001 samples: rank ceil(0.999·1001) = 1000 lands
+        // on the outlier bucket, while p99's rank 991 stays in the bulk.
+        let mut h = Histogram::new();
+        for _ in 0..999 {
+            h.record(100);
+        }
+        h.record(1_000_000);
+        h.record(1_000_000);
+        let p99 = h.p99().unwrap();
+        let p999 = h.p999().unwrap();
+        assert!(p99 < 1_000_000, "p99={p99} should miss the 2/1001 outliers");
+        assert!(p999 >= 1_000_000, "p999={p999} must catch the outliers");
     }
 
     #[test]

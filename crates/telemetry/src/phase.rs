@@ -93,3 +93,14 @@ pub const JBD2_REPLAY: &str = "jbd2.replay";
 pub const FS_OP: &str = "fs.op";
 /// One seed of a crash/fault-fuzz campaign.
 pub const CRASH_SEED: &str = "crash.seed";
+
+/// Open-loop arrival-to-completion latency (queue wait + service) of one
+/// served op, on the serving shard's simulated clock.
+pub const OPENLOOP_LATENCY: &str = "openloop.latency";
+/// Open-loop queue wait: arrival instant → service start.
+pub const OPENLOOP_QUEUE_WAIT: &str = "openloop.queue_wait";
+/// Open-loop service time: service start → completion.
+pub const OPENLOOP_SERVICE: &str = "openloop.service";
+/// Open-loop admission rejections (bounded queue full or token-bucket
+/// throttle) — count-only.
+pub const OPENLOOP_SHED: &str = "openloop.shed";

@@ -37,6 +37,7 @@
 pub mod filebench;
 pub mod fio;
 pub mod mtfio;
+pub mod openloop;
 pub mod rand_util;
 pub mod report;
 pub mod spec;
