@@ -1,6 +1,6 @@
 //! Performance-regression gate over the machine-readable bench
 //! summaries (`BENCH_5.json` from `phases`, `BENCH_6.json` from
-//! `latency_load`).
+//! `latency_load`, `BENCH_7.json` from `spanning`).
 //!
 //! Compares the `gate` counters of a freshly generated summary against a
 //! committed baseline and fails (exit 1) on a regression beyond the
@@ -15,6 +15,10 @@
 //!   `tinca_p99_ns_subknee` is lower-is-better (sub-knee tail latency
 //!   must not inflate); the `classic_*` twins are informational — the
 //!   baseline system's drift is context, not our regression.
+//! * `spanning` (BENCH_7): `single_shard_ns_per_txn` is lower-is-better
+//!   — the 0 %-spanning point is the plain fast path, and the spanning
+//!   machinery must never tax it — as is `spanning50_ns_per_txn`; the
+//!   overhead ratio is informational.
 //!
 //! The two files must describe the same bench and the same mode
 //! (`--quick` vs full); the gate refuses to compare across either.
@@ -57,6 +61,11 @@ fn counters(bench: &str) -> Vec<(&'static str, Direction)> {
             ("tinca_p99_ns_subknee", LowerIsBetter),
             ("classic_knee_ops_per_sec", Info),
             ("classic_p99_ns_subknee", Info),
+        ],
+        "spanning" => vec![
+            ("single_shard_ns_per_txn", LowerIsBetter),
+            ("spanning50_ns_per_txn", LowerIsBetter),
+            ("spanning_overhead_x", Info),
         ],
         other => panic!("unknown bench {other:?} — teach perfgate its gate schema"),
     }

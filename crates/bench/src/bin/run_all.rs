@@ -57,6 +57,8 @@ fn main() {
     done("phases");
     figs::persistrace::run(quick);
     done("persistrace");
+    figs::spanning::run(quick);
+    done("spanning");
     println!(
         "\nAll experiments regenerated in {:.1}s (quick={quick}). CSVs in EXPERIMENTS-results/.",
         t0.elapsed().as_secs_f64()

@@ -1,0 +1,55 @@
+//! Spanning-mix figure (cross-shard two-phase commit cost) plus the
+//! spanning crash smoke. `--quick` for the CI smoke run.
+//!
+//! Exits non-zero unless the run shows the protocol behaving: the 0 %
+//! point runs at fast-path cost with spanning strictly (but boundedly)
+//! dearer, persist-order traces clean per shard and merged, and both
+//! crash campaigns — frontier enumeration and random-trip fuzz — free of
+//! torn spanning transactions.
+
+use std::process::exit;
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let r = bench::figs::spanning::run(quick);
+
+    let mut failed = false;
+    let mut check = |ok: bool, what: &str| {
+        if !ok {
+            eprintln!("ACCEPTANCE FAIL: {what}");
+            failed = true;
+        }
+    };
+    check(
+        r.points[0].spanning_txns == 0,
+        "the 0% point must run no spanning transaction at all",
+    );
+    check(
+        r.points.iter().skip(1).all(|p| p.spanning_txns > 0),
+        "every non-zero mix must actually run spanning transactions",
+    );
+    check(
+        r.overhead_x > 1.0,
+        "the two-phase protocol cannot be free: 50% mix must cost more than 0%",
+    );
+    check(
+        r.overhead_x < 8.0,
+        "spanning overhead out of hand (fast path regressed or protocol bloated?)",
+    );
+    check(
+        r.persist_clean,
+        "persist-order audit must be clean per shard and on the merged trace",
+    );
+    check(
+        r.frontier.clean() && r.frontier.states_run > 0,
+        "frontier enumeration must run states and find zero torn spanning txns",
+    );
+    check(
+        r.fuzz.clean() && r.fuzz.crashes > 0,
+        "fuzz sweep must crash mid-commit and find zero torn spanning txns",
+    );
+    if failed {
+        exit(1);
+    }
+    println!("spanning: acceptance checks passed");
+}

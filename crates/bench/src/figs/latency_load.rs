@@ -178,10 +178,7 @@ pub fn run(quick: bool) -> LatencyLoadResult {
         let mut server = classic_server(quick);
         probe_capacity(&mut server, &base_spec(quick, 1_000.0), probe_ops)
     };
-    println!(
-        "probed capacity: Tinca {:.0} ops/s, Classic {:.0} ops/s",
-        cap_tinca, cap_classic
-    );
+    println!("probed capacity: Tinca {cap_tinca:.0} ops/s, Classic {cap_classic:.0} ops/s");
 
     // One absolute ladder covering well under the weaker system's knee
     // through well past the stronger one's.

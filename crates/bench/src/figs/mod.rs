@@ -18,6 +18,7 @@ pub mod persistrace;
 pub mod phases;
 pub mod recoverability;
 pub mod scaling;
+pub mod spanning;
 pub mod tables;
 pub mod ubj_compare;
 

@@ -17,6 +17,18 @@ use crate::{CacheStats, TincaConfig, TincaError, Txn, WritePolicy};
 /// Shared handle to the backing disk below the cache.
 pub type DynDisk = Arc<dyn BlockDevice>;
 
+/// One shard's staged fragment of a spanning transaction: the commit
+/// protocol has run up to (but not including) the shard's `Tail` move, so
+/// the ring window is still open and the staged entries are revocable.
+/// Returned by [`TincaCache::prepare_fragment`] and consumed by
+/// [`TincaCache::complete_fragment`] / [`TincaCache::abort_fragment`].
+pub(crate) struct PreparedFragment {
+    touched: Vec<u32>,
+    replaced_prevs: Vec<u32>,
+    blocks: u64,
+    coalesced: u64,
+}
+
 /// Operational condition of a cache (or pool) with respect to its backing
 /// disk. Transient disk faults absorbed by the retry loop never change the
 /// health; only *permanent* writeback failures do.
@@ -198,7 +210,7 @@ impl TincaCache {
         );
         let mut touched: Vec<u32> = Vec::with_capacity(n);
         let mut replaced_prevs: Vec<u32> = Vec::with_capacity(n);
-        let result = self.commit_blocks(txn, &mut touched, &mut replaced_prevs);
+        let result = self.commit_blocks(txn, &mut touched, &mut replaced_prevs, 0);
         let result = result.and_then(|()| {
             if self.cfg.role_switch {
                 self.complete_role_switch(&touched);
@@ -289,6 +301,123 @@ impl TincaCache {
         self.stats.user_aborts += 1;
     }
 
+    // ------------------------------------------------------------------
+    // Spanning-transaction fragments (two-phase commit, pool-driven)
+    // ------------------------------------------------------------------
+
+    /// Stages one shard's fragment of a spanning transaction: runs the
+    /// full commit protocol (COW writes, entry updates, tagged ring
+    /// slots, `Head` move, role switch) but **stops before the commit
+    /// point** — `Tail` does not move, so the ring window `[Tail, Head)`
+    /// stays open and recovery can still revoke everything. Pins stay
+    /// held. The caller must follow up with exactly one of
+    /// [`complete_fragment`](Self::complete_fragment) or
+    /// [`abort_fragment`](Self::abort_fragment) before any other commit
+    /// runs on this shard (the pool holds the shard lock throughout).
+    pub(crate) fn prepare_fragment(
+        &mut self,
+        txn: &Txn,
+        tag: u8,
+    ) -> Result<PreparedFragment, TincaError> {
+        debug_assert!(!txn.is_empty());
+        debug_assert_ne!(tag, 0, "spanning fragments must carry an intent tag");
+        let _t = telemetry::span(telemetry::phase::COMMIT);
+        let n = txn.len();
+        {
+            let _a = telemetry::span(telemetry::phase::COMMIT_ADMISSION);
+            if n as u64 > self.layout.ring_cap {
+                return Err(TincaError::TxnTooLarge {
+                    blocks: n,
+                    ring_cap: self.layout.ring_cap,
+                });
+            }
+            let needed = if self.cfg.role_switch { n } else { 2 * n };
+            let overlap = txn
+                .blocks()
+                .iter()
+                .filter(|(b, _)| self.index.contains_key(b))
+                .count();
+            let available = self.free_blocks.free_count() + (self.index.len() - overlap);
+            if needed > available {
+                return Err(TincaError::CacheExhausted { needed, available });
+            }
+        }
+        debug_assert_eq!(
+            self.head, self.tail,
+            "previous transaction left the ring open"
+        );
+        let mut touched: Vec<u32> = Vec::with_capacity(n);
+        let mut replaced_prevs: Vec<u32> = Vec::with_capacity(n);
+        let result = self
+            .commit_blocks(txn, &mut touched, &mut replaced_prevs, tag)
+            .and_then(|()| {
+                if self.cfg.role_switch {
+                    self.complete_role_switch(&touched);
+                    Ok(())
+                } else {
+                    self.complete_double_write(&mut touched)
+                }
+            });
+        match result {
+            Ok(()) => Ok(PreparedFragment {
+                touched,
+                replaced_prevs,
+                blocks: n as u64,
+                coalesced: txn.coalesced_writes(),
+            }),
+            Err(e) => {
+                self.revoke_in_flight(&touched);
+                self.clear_pins();
+                self.stats.failed_commits += 1;
+                Err(e)
+            }
+        }
+    }
+
+    /// Second phase of a resolved spanning commit: moves `Tail` (this
+    /// shard's commit point) and performs the DRAM reclamation the
+    /// ordinary commit does after its own commit point. Only called once
+    /// the pool's intent record is durably `RESOLVED` — from then on
+    /// recovery rolls this fragment forward, so the `Tail` store merely
+    /// retires the revocation window early.
+    pub(crate) fn complete_fragment(&mut self, frag: PreparedFragment) {
+        let _t = telemetry::span(telemetry::phase::COMMIT);
+        {
+            let _p = telemetry::span(telemetry::phase::COMMIT_POINT);
+            self.tail = self.head;
+            self.nvm.atomic_write_u64(TAIL_OFF, self.tail);
+            self.nvm.persist(TAIL_OFF, 8);
+            self.nvm.note_commit(TAIL_OFF, 8);
+        }
+        for p in frag.replaced_prevs {
+            self.free_blocks.release(p);
+        }
+        for &idx in &frag.touched {
+            self.lru.touch(idx);
+        }
+        self.stats.commits += 1;
+        self.stats.committed_blocks += frag.blocks;
+        self.stats.coalesced_writes += frag.coalesced;
+        self.stats.spanning_fragments += 1;
+        if self.cfg.write_policy == WritePolicy::WriteThrough {
+            let _w = telemetry::span(telemetry::phase::COMMIT_WRITE_THROUGH);
+            self.write_through(&frag.touched);
+        }
+        self.clear_pins();
+        drop(_t);
+        self.maybe_destage();
+    }
+
+    /// Aborts a prepared fragment before the intent resolves: revokes
+    /// every staged entry (restoring previous versions) and closes the
+    /// ring window, exactly like a failed ordinary commit.
+    pub(crate) fn abort_fragment(&mut self, frag: PreparedFragment) {
+        let _t = telemetry::span(telemetry::phase::COMMIT);
+        self.revoke_in_flight(&frag.touched);
+        self.clear_pins();
+        self.stats.failed_commits += 1;
+    }
+
     /// Steps 1–3 + per-block ring recording of the commit protocol.
     ///
     /// With [`TincaConfig::coalesce_flushes`] the per-step persists are
@@ -302,11 +431,16 @@ impl TincaCache {
     /// Crash-safety is unchanged: until the `Head` move persists, `Head
     /// == Tail` and recovery's full entry scan revokes every log-role
     /// entry; after it, the ring window names every staged block.
+    /// `tag` is the spanning-intent tag recorded in each ring slot's top
+    /// byte ([`crate::layout::slot_value`]); ordinary commits pass `0`,
+    /// which stores the bare block number — bit-for-bit the untagged
+    /// protocol.
     fn commit_blocks(
         &mut self,
         txn: &Txn,
         touched: &mut Vec<u32>,
         replaced_prevs: &mut Vec<u32>,
+        tag: u8,
     ) -> Result<(), TincaError> {
         let coalesce = self.coalescing();
         let mut entry_lines: Vec<usize> = Vec::new();
@@ -385,7 +519,8 @@ impl TincaCache {
             // slots, so slots must already be flushed when it fences.
             let _r = telemetry::span(telemetry::phase::COMMIT_RING);
             let slot = self.layout.ring_slot_addr(self.head);
-            self.nvm.atomic_write_u64(slot, *disk_blk);
+            self.nvm
+                .atomic_write_u64(slot, crate::layout::slot_value(*disk_blk, tag));
             if self.cfg.batched_ring || coalesce {
                 self.nvm.clflush(slot, 8);
                 self.head += 1;

@@ -153,7 +153,7 @@ mod tests {
             assert!(low < high, "data_blocks={db}: low={low} high={high}");
             // A completed harvest (supply == high) must sit at or above
             // the firing threshold, or the daemon thrashes.
-            assert!(high >= low + 1, "data_blocks={db} would thrash");
+            assert!(high > low, "data_blocks={db} would thrash");
         }
         // data_blocks = 3: ceil(1.5) = 2, not the truncated 1.
         assert_eq!(c.destage_watermarks(3), (1, 2));

@@ -15,8 +15,65 @@ pub const DATA_BLOCKS_OFF: usize = 24;
 pub const HEAD_OFF: usize = 64;
 pub const TAIL_OFF: usize = 128;
 
+/// Byte offset of the pool's **spanning-intent record**: one cache line in
+/// the header block, used only on shard 0's device of a multi-shard pool.
+/// Formatting persists bytes `0..INTENT_OFF` and never touches this line,
+/// so an all-zero line means "no spanning transaction in flight" on both
+/// fresh and legacy regions.
+pub const INTENT_OFF: usize = 192;
+/// Intent state word: `0` when no intent exists, otherwise
+/// `(intent_id << 8) | state` with `state` one of
+/// [`INTENT_PREPARED`]/[`INTENT_RESOLVED`]. Published, resolved, and
+/// retired with single 8 B atomic stores.
+pub const INTENT_STATE_OFF: usize = INTENT_OFF;
+/// Participant shard bitmap (bit `s` set when shard `s` holds a fragment;
+/// shards ≥ 64 saturate onto bit 63). Advisory — recovery trusts the
+/// per-slot intent tags, not this summary.
+pub const INTENT_SHARDS_OFF: usize = INTENT_OFF + 8;
+/// Intent state: every fragment is being prepared; none is visible yet.
+/// Recovery must roll tagged fragments **back**.
+pub const INTENT_PREPARED: u64 = 1;
+/// Intent state: every fragment is durable; the transaction is committed.
+/// Recovery must roll tagged fragments **forward**.
+pub const INTENT_RESOLVED: u64 = 2;
+
+/// Bits of a ring slot holding the disk block number. Disk block numbers
+/// are bounded by [`crate::entry::CacheEntry`]'s 56-bit field, so the top
+/// byte of the 8 B slot is free to carry a spanning-intent tag.
+pub const SLOT_BLK_MASK: u64 = (1 << 56) - 1;
+/// Shift of the intent tag within a ring slot.
+pub const SLOT_TAG_SHIFT: u32 = 56;
+
+/// Encodes a ring slot: the disk block number plus an intent tag in the
+/// top byte. Tag `0` (ordinary single-shard commit) stores exactly
+/// `disk_blk` — bit-for-bit what the untagged protocol stored.
+pub fn slot_value(disk_blk: u64, tag: u8) -> u64 {
+    debug_assert!(disk_blk <= SLOT_BLK_MASK);
+    disk_blk | (tag as u64) << SLOT_TAG_SHIFT
+}
+
+/// Splits a raw ring-slot value into `(disk_blk, tag)`.
+pub fn split_slot(raw: u64) -> (u64, u8) {
+    (raw & SLOT_BLK_MASK, (raw >> SLOT_TAG_SHIFT) as u8)
+}
+
+/// The slot tag identifying fragments of spanning intent `id`. The high
+/// bit is always set so a tag is never `0`; the id's low 7 bits
+/// disambiguate the (single) in-flight intent from stale tags of earlier
+/// intents that may still sit in committed ring slots.
+pub fn intent_tag(intent_id: u64) -> u8 {
+    0x80 | (intent_id & 0x7f) as u8
+}
+
 /// Size reserved for the header.
 pub const HEADER_BYTES: usize = BLOCK_SIZE;
+
+// The intent record must sit inside the persisted header — cache-line
+// aligned, after the format prefix (`Tail` is its last word), before the
+// ring — so the existing metadata ranges `0..data_off` cover it.
+const _: () = assert!(INTENT_OFF.is_multiple_of(64));
+const _: () = assert!(INTENT_OFF >= TAIL_OFF + 8);
+const _: () = assert!(INTENT_SHARDS_OFF + 8 <= HEADER_BYTES);
 
 /// Size of one cache entry in bytes (§4.2: 16 B, atomically writable with
 /// `LOCK cmpxchg16b`).
@@ -155,5 +212,24 @@ mod tests {
     #[should_panic(expected = "too small")]
     fn tiny_region_rejected() {
         let _ = Layout::compute(8192, 4096);
+    }
+
+    #[test]
+    fn untagged_slots_store_the_bare_block_number() {
+        for blk in [0u64, 1, 96, SLOT_BLK_MASK] {
+            assert_eq!(slot_value(blk, 0), blk);
+            assert_eq!(split_slot(blk), (blk, 0));
+        }
+    }
+
+    #[test]
+    fn tagged_slots_round_trip() {
+        for id in [0u64, 1, 7, 127, 128, 1 << 40] {
+            let tag = intent_tag(id);
+            assert_ne!(tag, 0, "intent tags must be distinguishable from none");
+            for blk in [0u64, 5, SLOT_BLK_MASK] {
+                assert_eq!(split_slot(slot_value(blk, tag)), (blk, tag));
+            }
+        }
     }
 }

@@ -60,6 +60,7 @@ pub use entry::{CacheEntry, Role, FRESH};
 pub use error::TincaError;
 pub use layout::Layout;
 pub use pool::{PoolConfig, TincaPool};
+pub use recovery::SpanningIntent;
 pub use snapshot::StatsSnapshot;
 pub use stats::CacheStats;
 pub use txn::{block_buf, BlockBuf, Txn};

@@ -26,13 +26,42 @@
 //!
 //! ## Atomicity scope
 //!
-//! A transaction whose blocks all route to one shard commits atomically
-//! (all-or-nothing across any crash). A transaction spanning shards is
-//! split and committed per shard in shard order; each fragment is atomic,
-//! but a crash between fragments can persist some shards' fragments and
-//! not others (the same guarantee per-allocation-group journals give).
-//! Block-aligned workloads — Fio 4 KB requests, per-shard files — never
-//! split.
+//! **Every** transaction commits all-or-nothing across any crash or I/O
+//! fault — including transactions whose blocks span shards. A
+//! single-shard transaction (always the case for `N = 1`, and for
+//! block-aligned workloads like Fio 4 KB requests) takes the unchanged
+//! fast path: one shard's ring commit, group-committed with its
+//! neighbours, not a single extra store, flush, or fence.
+//!
+//! A **spanning** transaction runs a persistent two-phase commit:
+//!
+//! 1. **Publish.** A one-cache-line *spanning-intent record* (sequence id
+//!    plus participant shard bitmap, at the layout module's `INTENT_OFF` on
+//!    shard 0's device) is written and fenced *before* any fragment. While
+//!    the record reads `PREPARED`, recovery rolls every tagged fragment
+//!    back.
+//! 2. **Prepare.** Each participant shard stages its fragment with the
+//!    full commit protocol — COW payload writes, entry updates, ring
+//!    slots tagged with the intent id in their top byte, `Head` move,
+//!    role switch — but **its `Tail` does not move**: the shard's ring
+//!    window stays open, so the fragment is durable yet still revocable.
+//!    A fragment failure aborts: prepared fragments are revoked, later
+//!    fragments are never attempted, the intent is retired, and nothing
+//!    of the transaction survives recovery.
+//! 3. **Resolve.** One 8 B atomic store flips the record to `RESOLVED`
+//!    and is fenced: this single store is the transaction's commit point.
+//!    Every fragment was fenced-durable before it, so recovery now rolls
+//!    all of them *forward*. Each shard's `Tail` then moves (retiring its
+//!    revocation window), and the record is retired.
+//!
+//! Recovery ([`TincaPool::recover`]) reads the record first and hands
+//! every shard the same [`SpanningIntent`] directive, so all shards roll
+//! the same direction exactly once; the record is cleared only after
+//! every shard recovered, which makes a crash *during* recovery repeat
+//! the same decision. Spanning commits serialise on one pool-level mutex
+//! (the record has a single slot) and lock shard 0 plus the participants
+//! in ascending index order, so they cannot deadlock with each other or
+//! with single-shard commits.
 
 use std::collections::{HashMap, VecDeque};
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
@@ -42,8 +71,9 @@ use blockdev::BLOCK_SIZE;
 use nvmsim::Nvm;
 use parking_lot::Mutex;
 
-use crate::cache::DynDisk;
-use crate::{CacheStats, Health, TincaCache, TincaConfig, TincaError, Txn};
+use crate::cache::{DynDisk, PreparedFragment};
+use crate::layout::{intent_tag, INTENT_OFF, INTENT_SHARDS_OFF, INTENT_STATE_OFF};
+use crate::{CacheStats, Health, SpanningIntent, TincaCache, TincaConfig, TincaError, Txn};
 
 /// Configuration for a [`TincaPool`].
 #[derive(Clone, Debug)]
@@ -161,6 +191,11 @@ fn lock_gc<'a>(sh: &'a Shard) -> StdGuard<'a, GcState> {
 pub struct TincaPool {
     shards: Vec<Shard>,
     max_batch_txns: usize,
+    /// Serialises spanning commits (the persistent intent record has one
+    /// slot) and hands out intent sequence ids. Poison-tolerant like the
+    /// gc mutexes: a simulated crash panic mid-commit must not strand
+    /// surviving threads.
+    spanning: StdMutex<u64>,
 }
 
 impl TincaPool {
@@ -184,11 +219,16 @@ impl TincaPool {
         TincaPool {
             shards,
             max_batch_txns: cfg.max_batch_txns.max(1),
+            spanning: StdMutex::new(0),
         }
     }
 
     /// Recovers every shard from its NVM region after a crash or clean
-    /// shutdown. Each shard runs the full §4.5 recovery independently.
+    /// shutdown. The pool decodes the spanning-intent record (shard 0's
+    /// device) first and hands each shard's §4.5 recovery the same
+    /// [`SpanningIntent`] directive, so an interrupted spanning
+    /// transaction rolls the same direction on every shard; the record is
+    /// retired only once every shard has recovered.
     pub fn recover(devices: Vec<Nvm>, disk: DynDisk, cfg: PoolConfig) -> Result<Self, TincaError> {
         assert_eq!(
             devices.len(),
@@ -196,16 +236,39 @@ impl TincaPool {
             "one NVM device per shard required"
         );
         assert!(cfg.shards >= 1, "pool needs at least one shard");
+        // Single-shard pools never write the record; skipping the read
+        // keeps `N = 1` recovery bit-for-bit identical to a bare cache.
+        let intent = if cfg.shards > 1 {
+            SpanningIntent::decode(devices[0].read_u64(INTENT_STATE_OFF))
+        } else {
+            SpanningIntent::None
+        };
         let mut shards = Vec::with_capacity(cfg.shards);
-        for (i, nvm) in devices.into_iter().enumerate() {
+        for (i, nvm) in devices.iter().enumerate() {
             shards.push(Self::shard(
                 i,
-                TincaCache::recover(nvm, disk.clone(), cfg.cache.clone())?,
+                TincaCache::recover_with_intent(
+                    nvm.clone(),
+                    disk.clone(),
+                    cfg.cache.clone(),
+                    intent,
+                )?,
             ));
+        }
+        if intent != SpanningIntent::None {
+            // All shards rolled the directive's way and closed their
+            // rings; a crash before this store re-reads the record and
+            // repeats the identical (idempotent) decision.
+            let host = &devices[0];
+            host.atomic_write_u64(INTENT_STATE_OFF, SpanningIntent::None.encode());
+            host.atomic_write_u64(INTENT_SHARDS_OFF, 0);
+            host.persist(INTENT_OFF, 16);
+            host.note_commit(INTENT_OFF, 64);
         }
         Ok(TincaPool {
             shards,
             max_batch_txns: cfg.max_batch_txns.max(1),
+            spanning: StdMutex::new(0),
         })
     }
 
@@ -243,11 +306,37 @@ impl TincaPool {
         Txn::new()
     }
 
-    /// Commits `txn`. Single-shard transactions (all blocks route to one
-    /// shard — always true for `N = 1`) are atomic and may be group-
+    /// The single shard all of `txn`'s blocks route to, or `None` when
+    /// the transaction spans shards (or stages nothing).
+    fn home_shard(&self, txn: &Txn) -> Option<usize> {
+        let mut home = None;
+        for b in txn.disk_blocks() {
+            let s = self.shard_of(b);
+            if *home.get_or_insert(s) != s {
+                return None;
+            }
+        }
+        home
+    }
+
+    /// Splits a spanning transaction into per-shard fragments via
+    /// [`shard_of`](Self::shard_of), preserving first-write order and
+    /// moving payload buffers.
+    fn split_spanning(&self, txn: Txn) -> Vec<Option<Txn>> {
+        let mut parts: Vec<Option<Txn>> = (0..self.shards.len()).map(|_| None).collect();
+        for (blk, buf) in txn.into_blocks() {
+            let s = self.shard_of(blk);
+            parts[s].get_or_insert_with(Txn::new).stage_owned(blk, buf);
+        }
+        parts
+    }
+
+    /// Commits `txn` atomically. Single-shard transactions (all blocks
+    /// route to one shard — always true for `N = 1`) may be group-
     /// committed with concurrent transactions on the same shard. Spanning
-    /// transactions are split and committed per shard in shard order; the
-    /// first error is returned after every fragment was attempted.
+    /// transactions run the two-phase intent protocol (module docs):
+    /// all-or-nothing across every shard, and on error — a fragment
+    /// rejected mid-sequence — nothing of the transaction stays durable.
     pub fn commit(&self, txn: Txn) -> Result<(), TincaError> {
         if txn.is_empty() {
             return Ok(());
@@ -255,87 +344,153 @@ impl TincaPool {
         if self.shards.len() == 1 {
             return self.commit_on_shard(0, txn);
         }
-        let mut home = None;
-        for b in txn.disk_blocks() {
-            let s = self.shard_of(b);
-            if *home.get_or_insert(s) != s {
-                home = None;
-                break;
+        match self.home_shard(&txn) {
+            Some(s) => self.commit_on_shard(s, txn),
+            None => self.commit_spanning(txn),
+        }
+    }
+
+    /// Two-phase spanning commit (module docs): publish the intent
+    /// record, prepare one tagged fragment per participant shard, resolve
+    /// with a single 8 B store, then retire every shard's revocation
+    /// window. Holds the pool-level spanning mutex throughout, plus the
+    /// cache locks of shard 0 (the intent host — guarantees the record's
+    /// commit annotations are ordered against that device's other
+    /// commits) and every participant, acquired in ascending order.
+    fn commit_spanning(&self, txn: Txn) -> Result<(), TincaError> {
+        let _t = telemetry::span(telemetry::phase::COMMIT_SPANNING);
+        let coalesced = txn.coalesced_writes();
+        let mut parts = self.split_spanning(txn);
+        let mut next_id = self.spanning.lock().unwrap_or_else(PoisonError::into_inner);
+        let intent_id = *next_id;
+        *next_id += 1;
+        let tag = intent_tag(intent_id);
+        // Tag this thread's trace ops with the intent id (provenance for
+        // merged-trace analysis; a no-op when tracing is off).
+        let _prov = nvmsim::txn_scope(intent_id);
+        let mut guards: Vec<(usize, CacheGuard<'_>)> = Vec::new();
+        for (s, sh) in self.shards.iter().enumerate() {
+            if s == 0 || parts[s].is_some() {
+                guards.push((s, sh.lock_cache()));
             }
         }
-        if let Some(s) = home {
-            return self.commit_on_shard(s, txn);
+        let host = &self.shards[0].nvm;
+        // Participant bitmap (advisory; shards ≥ 64 saturate onto bit 63).
+        let mut bitmap: u64 = 0;
+        for (s, p) in parts.iter().enumerate() {
+            if p.is_some() {
+                bitmap |= 1 << s.min(63);
+            }
         }
-        // Spanning transaction: split, preserving first-write order and
-        // moving payload buffers.
-        let coalesced = txn.coalesced_writes();
-        let mut parts: Vec<Option<Txn>> = (0..self.shards.len()).map(|_| None).collect();
-        for (blk, buf) in txn.into_blocks() {
-            let s = (blk % self.shards.len() as u64) as usize;
-            parts[s].get_or_insert_with(Txn::new).stage_owned(blk, buf);
-        }
-        let mut first_err = Ok(());
+        // Publish: one cache line, one fence. Until the resolve store
+        // below, recovery rolls every fragment tagged `tag` back.
+        host.atomic_write_u64(INTENT_SHARDS_OFF, bitmap);
+        host.atomic_write_u64(
+            INTENT_STATE_OFF,
+            SpanningIntent::Prepared { id: intent_id }.encode(),
+        );
+        host.persist(INTENT_OFF, 16);
+        host.note_commit(INTENT_OFF, 64);
+
+        // Phase 1: prepare fragments in ascending shard order, stopping
+        // at the first failure — later fragments are never attempted.
+        let mut prepared: Vec<(usize, PreparedFragment)> = Vec::new();
+        let mut failure = None;
         let mut first_part = true;
-        for (s, part) in parts.into_iter().enumerate() {
-            let Some(mut part) = part else { continue };
+        for (gi, (s, guard)) in guards.iter_mut().enumerate() {
+            let Some(mut part) = parts[*s].take() else {
+                continue;
+            };
             if first_part {
                 // Keep the original transaction's coalescing count on its
                 // first fragment so pool-wide stats still add up.
                 part.add_coalesced(coalesced);
                 first_part = false;
             }
-            let res = self.commit_on_shard(s, part);
-            if first_err.is_ok() {
-                first_err = res;
+            match guard.prepare_fragment(&part, tag) {
+                Ok(frag) => prepared.push((gi, frag)),
+                Err(e) => {
+                    failure = Some(e);
+                    break;
+                }
             }
         }
-        first_err
+        if let Some(e) = failure {
+            // Abort: revoke every prepared fragment, then retire the
+            // intent — nothing of the transaction stays durable, and a
+            // crash anywhere in here still rolls every fragment back.
+            for (gi, frag) in prepared {
+                guards[gi].1.abort_fragment(frag);
+            }
+            host.atomic_write_u64(INTENT_STATE_OFF, SpanningIntent::None.encode());
+            host.persist(INTENT_STATE_OFF, 8);
+            host.note_commit(INTENT_OFF, 64);
+            guards[0].1.stats_mut().spanning_aborts += 1;
+            return Err(e);
+        }
+
+        // Resolve: the transaction's commit point. Every fragment was
+        // fenced-durable before this store, so from here recovery rolls
+        // all of them forward.
+        host.atomic_write_u64(
+            INTENT_STATE_OFF,
+            SpanningIntent::Resolved { id: intent_id }.encode(),
+        );
+        host.persist(INTENT_STATE_OFF, 8);
+        host.note_commit(INTENT_OFF, 64);
+
+        // Phase 2: move every participant's Tail (closing its revocation
+        // window) and reclaim, then retire the record — all windows are
+        // closed, so future recoveries need no directive.
+        for (gi, frag) in prepared {
+            guards[gi].1.complete_fragment(frag);
+        }
+        host.atomic_write_u64(INTENT_STATE_OFF, SpanningIntent::None.encode());
+        host.persist(INTENT_STATE_OFF, 8);
+        host.note_commit(INTENT_OFF, 64);
+        guards[0].1.stats_mut().spanning_commits += 1;
+        Ok(())
     }
 
-    /// Submits a whole batch of transactions at once: all are routed and
-    /// queued before any shard commits, so transactions sharing a shard
-    /// are guaranteed to ride one group commit (deterministically — no
-    /// reliance on thread timing). Returns one result per transaction, in
-    /// submission order.
+    /// Submits a whole batch of transactions at once: single-shard
+    /// transactions are routed and queued before any shard commits, so
+    /// those sharing a shard are guaranteed to ride one group commit
+    /// (deterministically — no reliance on thread timing); spanning
+    /// transactions each run the two-phase intent protocol. Returns one
+    /// result per transaction, in submission order — each result reflects
+    /// that transaction's commit/abort outcome (a group is atomic as a
+    /// unit, and a spanning abort leaves nothing durable), never "`Err`
+    /// but half-durable".
     pub fn commit_many(&self, txns: Vec<Txn>) -> Vec<Result<(), TincaError>> {
         let n = txns.len();
-        // Fragments per shard, tagged with the submitting txn's index.
+        let mut results: Vec<Result<(), TincaError>> = vec![Ok(()); n];
+        // Whole transactions per home shard, tagged with the submitting
+        // txn's index; spanning transactions are set aside.
         let mut per_shard: Vec<Vec<(usize, Txn)>> =
             (0..self.shards.len()).map(|_| Vec::new()).collect();
+        let mut spanning: Vec<(usize, Txn)> = Vec::new();
         for (i, txn) in txns.into_iter().enumerate() {
             if txn.is_empty() {
                 continue;
             }
-            let coalesced = txn.coalesced_writes();
-            let mut parts: Vec<Option<Txn>> = (0..self.shards.len()).map(|_| None).collect();
-            for (blk, buf) in txn.into_blocks() {
-                let s = (blk % self.shards.len() as u64) as usize;
-                parts[s].get_or_insert_with(Txn::new).stage_owned(blk, buf);
-            }
-            let mut first_part = true;
-            for (s, part) in parts.into_iter().enumerate() {
-                let Some(mut part) = part else { continue };
-                if first_part {
-                    part.add_coalesced(coalesced);
-                    first_part = false;
-                }
-                per_shard[s].push((i, part));
+            match self.home_shard(&txn) {
+                Some(s) => per_shard[s].push((i, txn)),
+                None => spanning.push((i, txn)),
             }
         }
-        let mut results: Vec<Result<(), TincaError>> = vec![Ok(()); n];
         for (s, batch) in per_shard.into_iter().enumerate() {
             if batch.is_empty() {
                 continue;
             }
             let (idxs, parts): (Vec<usize>, Vec<Txn>) = batch.into_iter().unzip();
-            let res = self.shards[s].lock_cache().commit_group(parts);
-            if let Err(e) = res {
+            if let Err(e) = self.shards[s].lock_cache().commit_group(parts) {
                 for i in idxs {
-                    if results[i].is_ok() {
-                        results[i] = Err(e);
-                    }
+                    results[i] = Err(e);
                 }
             }
+        }
+        for (i, txn) in spanning {
+            results[i] = self.commit_spanning(txn);
         }
         results
     }

@@ -19,6 +19,19 @@
 //! Recovery is **idempotent**: revoked entries carry the `prev == cur`
 //! marker (see [`crate::CacheEntry::revoked`]), so a crash during recovery
 //! followed by a second recovery pass cannot revoke twice.
+//!
+//! ## Spanning transactions
+//!
+//! A multi-shard pool passes each shard a [`SpanningIntent`] directive
+//! derived from the pool's persistent intent record. Ring slots carry an
+//! intent tag in their top byte ([`crate::layout::split_slot`]); when the
+//! directive is `Resolved { id }`, window slots tagged with `id` are
+//! **rolled forward** (kept — their role switch is already durable,
+//! because the resolve store persists strictly after every fragment's
+//! fences) instead of revoked. Every other tagged or untagged window slot
+//! rolls back exactly as before. Both directions are idempotent: rolling
+//! forward only skips revocation and lets the ring close, and a repeated
+//! recovery with the same directive reaches the same state.
 
 use std::collections::HashMap;
 
@@ -28,15 +41,74 @@ use nvmsim::Nvm;
 use crate::cache::DynDisk;
 use crate::entry::Role;
 use crate::layout::{
-    Layout, DATA_BLOCKS_OFF, ENTRY_COUNT_OFF, HEAD_OFF, MAGIC, MAGIC_OFF, RING_CAP_OFF, TAIL_OFF,
+    intent_tag, split_slot, Layout, DATA_BLOCKS_OFF, ENTRY_COUNT_OFF, HEAD_OFF, INTENT_PREPARED,
+    INTENT_RESOLVED, MAGIC, MAGIC_OFF, RING_CAP_OFF, TAIL_OFF,
 };
 use crate::{TincaCache, TincaConfig, TincaError};
+
+/// Directive a recovering shard receives about the pool's spanning-intent
+/// record (always [`None`](SpanningIntent::None) for a standalone cache or
+/// a single-shard pool — roll every in-flight fragment back).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum SpanningIntent {
+    /// No spanning transaction was in flight (or its fragments must roll
+    /// back because the intent never resolved).
+    #[default]
+    None,
+    /// Intent `id` was published but not resolved: its fragments roll
+    /// back. Equivalent to `None` for the ring scan; retained so the pool
+    /// can report and retire the record.
+    Prepared {
+        /// The unresolved intent's sequence id.
+        id: u64,
+    },
+    /// Intent `id` resolved before the crash: every fragment tagged with
+    /// it is durable and rolls forward.
+    Resolved {
+        /// The resolved intent's sequence id.
+        id: u64,
+    },
+}
+
+impl SpanningIntent {
+    /// Decodes a persistent intent-state word (`INTENT_STATE_OFF` in the
+    /// layout module). Unknown state bytes decode as `Prepared` — the
+    /// conservative direction (roll back).
+    pub fn decode(word: u64) -> SpanningIntent {
+        let id = word >> 8;
+        match word & 0xff {
+            0 => SpanningIntent::None,
+            INTENT_RESOLVED => SpanningIntent::Resolved { id },
+            _ => SpanningIntent::Prepared { id },
+        }
+    }
+
+    /// Encodes back into the persistent state word.
+    pub fn encode(self) -> u64 {
+        match self {
+            SpanningIntent::None => 0,
+            SpanningIntent::Prepared { id } => (id << 8) | INTENT_PREPARED,
+            SpanningIntent::Resolved { id } => (id << 8) | INTENT_RESOLVED,
+        }
+    }
+}
 
 impl TincaCache {
     /// Opens an existing Tinca NVM region after a crash or clean shutdown:
     /// validates the header, revokes any incomplete transaction, and
     /// rebuilds the DRAM index/LRU/free monitors (§4.5, §4.6).
     pub fn recover(nvm: Nvm, disk: DynDisk, cfg: TincaConfig) -> Result<Self, TincaError> {
+        Self::recover_with_intent(nvm, disk, cfg, SpanningIntent::None)
+    }
+
+    /// [`recover`](Self::recover) with a pool-supplied spanning-intent
+    /// directive; see the module docs.
+    pub fn recover_with_intent(
+        nvm: Nvm,
+        disk: DynDisk,
+        cfg: TincaConfig,
+        intent: SpanningIntent,
+    ) -> Result<Self, TincaError> {
         let magic = nvm.read_u64(MAGIC_OFF);
         if magic != MAGIC {
             return Err(TincaError::BadMagic { found: magic });
@@ -70,11 +142,11 @@ impl TincaCache {
         let head = nvm.read_u64(HEAD_OFF);
         let tail = nvm.read_u64(TAIL_OFF);
         let mut cache = Self::recovery_parts(nvm, disk, cfg, layout, head, tail);
-        cache.run_recovery();
+        cache.run_recovery(intent);
         Ok(cache)
     }
 
-    fn run_recovery(&mut self) {
+    fn run_recovery(&mut self, intent: SpanningIntent) {
         let _t = telemetry::span(telemetry::phase::RECOVERY);
         let (head, tail) = self.head_tail();
         let layout = *self.layout();
@@ -93,16 +165,32 @@ impl TincaCache {
             }
         }
 
-        // Pass 2: revoke everything the ring window names.
+        // Pass 2: judge everything the ring window names. Slots tagged
+        // with a *resolved* spanning intent roll forward (their entries
+        // are already durable buffer-role — the resolve store persisted
+        // strictly after every fragment's fences); everything else rolls
+        // back.
+        let forward_tag = match intent {
+            SpanningIntent::Resolved { id } => Some(intent_tag(id)),
+            _ => None,
+        };
         if head != tail {
             for seq in tail..head {
-                let disk_blk = self.nvm().read_u64(layout.ring_slot_addr(seq));
+                let raw = self.nvm().read_u64(layout.ring_slot_addr(seq));
+                let (disk_blk, tag) = split_slot(raw);
+                if tag != 0 && forward_tag == Some(tag) {
+                    self.stats_mut().spanning_rolled_forward += 1;
+                    continue;
+                }
                 let Some(&idx) = by_disk.get(&disk_blk) else {
                     continue;
                 };
                 let e = self.read_entry(idx);
                 if e.valid && !e.is_revoked_marker() {
                     self.revoke_entry(idx, e);
+                    if tag != 0 {
+                        self.stats_mut().spanning_rolled_back += 1;
+                    }
                 }
             }
         }

@@ -115,6 +115,11 @@ impl StatsSnapshot {
                     ),
                     ("permanent_io_errors", c.permanent_io_errors.into()),
                     ("quarantined_blocks", c.quarantined_blocks.into()),
+                    ("spanning_commits", c.spanning_commits.into()),
+                    ("spanning_aborts", c.spanning_aborts.into()),
+                    ("spanning_fragments", c.spanning_fragments.into()),
+                    ("spanning_rolled_back", c.spanning_rolled_back.into()),
+                    ("spanning_rolled_forward", c.spanning_rolled_forward.into()),
                 ]),
             ),
             (

@@ -64,6 +64,23 @@ pub struct CacheStats {
     /// failure (cumulative; blocks later flushed successfully still
     /// count).
     pub quarantined_blocks: u64,
+    /// Spanning transactions resolved and completed via the two-phase
+    /// pool commit (counted once per transaction, on the intent-host
+    /// shard).
+    pub spanning_commits: u64,
+    /// Spanning transactions aborted mid-prepare (a fragment failed; every
+    /// prepared fragment was revoked and the intent retired). Counted once
+    /// per transaction, on the intent-host shard.
+    pub spanning_aborts: u64,
+    /// Fragments of spanning transactions this shard completed (its share
+    /// of `commits` driven by the two-phase path).
+    pub spanning_fragments: u64,
+    /// Ring-window blocks revoked at recovery because their spanning
+    /// intent never resolved (fragment rolled back).
+    pub spanning_rolled_back: u64,
+    /// Ring-window blocks preserved at recovery because their spanning
+    /// intent had resolved (fragment rolled forward).
+    pub spanning_rolled_forward: u64,
 }
 
 impl CacheStats {
@@ -111,6 +128,11 @@ impl CacheStats {
             transient_errors_absorbed: self.transient_errors_absorbed - e.transient_errors_absorbed,
             permanent_io_errors: self.permanent_io_errors - e.permanent_io_errors,
             quarantined_blocks: self.quarantined_blocks - e.quarantined_blocks,
+            spanning_commits: self.spanning_commits - e.spanning_commits,
+            spanning_aborts: self.spanning_aborts - e.spanning_aborts,
+            spanning_fragments: self.spanning_fragments - e.spanning_fragments,
+            spanning_rolled_back: self.spanning_rolled_back - e.spanning_rolled_back,
+            spanning_rolled_forward: self.spanning_rolled_forward - e.spanning_rolled_forward,
         }
     }
 
@@ -142,6 +164,11 @@ impl CacheStats {
             transient_errors_absorbed: self.transient_errors_absorbed + o.transient_errors_absorbed,
             permanent_io_errors: self.permanent_io_errors + o.permanent_io_errors,
             quarantined_blocks: self.quarantined_blocks + o.quarantined_blocks,
+            spanning_commits: self.spanning_commits + o.spanning_commits,
+            spanning_aborts: self.spanning_aborts + o.spanning_aborts,
+            spanning_fragments: self.spanning_fragments + o.spanning_fragments,
+            spanning_rolled_back: self.spanning_rolled_back + o.spanning_rolled_back,
+            spanning_rolled_forward: self.spanning_rolled_forward + o.spanning_rolled_forward,
         }
     }
 }

@@ -8,6 +8,7 @@ use std::sync::{Arc, Barrier};
 
 use blockdev::{DiskKind, SimDisk, BLOCK_SIZE};
 use nvmsim::{shard_devices, NvmConfig, NvmDevice, NvmTech, SimClock};
+use proptest::prelude::*;
 use tinca::{PoolConfig, TincaCache, TincaConfig, TincaPool, Txn};
 
 fn blk(byte: u8) -> [u8; BLOCK_SIZE] {
@@ -279,6 +280,86 @@ fn multithreaded_stress_rounds_preserve_consistency() {
         THREADS as u64 * ROUNDS * BLOCKS_PER_THREAD
     );
     assert_eq!(s.failed_commits, 0);
+}
+
+/// Spanning commits keep exact accounting: one `spanning_commits` per
+/// transaction (counted on the intent-host shard), one
+/// `spanning_fragments` per participant shard, and every fragment's
+/// blocks land on — and only on — their home shard.
+#[test]
+fn spanning_commit_accounting_is_exact() {
+    let p = pool(4, 4 << 20);
+    // 6 transactions, each spanning all 4 shards (blocks b, b+1, b+2, b+3).
+    for round in 0..6u64 {
+        let mut t = p.init_txn();
+        for s in 0..4u64 {
+            t.write(4 * round + s, &blk((round + 1) as u8));
+        }
+        p.commit(t).unwrap();
+    }
+    let s = p.stats();
+    assert_eq!(s.spanning_commits, 6, "one per spanning transaction");
+    assert_eq!(s.spanning_fragments, 24, "one per participant shard");
+    assert_eq!(s.spanning_aborts, 0);
+    assert_eq!(s.commits, 24, "each fragment is one ring commit");
+    assert_eq!(s.committed_blocks, 24);
+    assert_eq!(s.failed_commits, 0);
+    // The intent host carries the per-txn counters; fragments spread out.
+    assert_eq!(p.shard_stats(0).spanning_commits, 6);
+    for sh in 0..4 {
+        assert_eq!(p.shard_stats(sh).spanning_fragments, 6, "shard {sh}");
+    }
+    let mut buf = [0u8; BLOCK_SIZE];
+    for round in 0..6u64 {
+        for s in 0..4u64 {
+            p.read(4 * round + s, &mut buf).unwrap();
+            assert_eq!(buf, blk((round + 1) as u8));
+        }
+    }
+    p.check_consistency().unwrap();
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Routing property: after committing an arbitrary mix of
+    /// single-shard and spanning transactions, every block is cached on
+    /// exactly `shard_of(blk)` — the split never strands a fragment on a
+    /// foreign shard — and every block reads back its last value.
+    #[test]
+    fn split_fragments_land_on_their_home_shard(
+        specs in proptest::collection::vec(
+            proptest::collection::vec((0..96u64, 1..=255u8), 1..6),
+            1..12,
+        ),
+        shards in 2..=4usize,
+    ) {
+        let p = pool(shards, shards * (1 << 20));
+        let mut expect = std::collections::HashMap::new();
+        for spec in &specs {
+            let mut t = p.init_txn();
+            for &(b, v) in spec {
+                t.write(b, &blk(v)); // duplicate blocks coalesce, last wins
+                expect.insert(b, v);
+            }
+            p.commit(t).unwrap();
+        }
+        let mut buf = [0u8; BLOCK_SIZE];
+        for (&b, &v) in &expect {
+            let home = p.shard_of(b);
+            prop_assert_eq!(home, (b % shards as u64) as usize);
+            for s in 0..shards {
+                prop_assert_eq!(
+                    p.with_shard(s, |c| c.contains(b)),
+                    s == home,
+                    "block {} cached on shard {} but homes on {}", b, s, home
+                );
+            }
+            p.read(b, &mut buf).unwrap();
+            prop_assert_eq!(buf, blk(v), "block {} read back wrong", b);
+        }
+        p.check_consistency().unwrap();
+    }
 }
 
 #[test]

@@ -16,7 +16,7 @@
 //! included); the report counts those epochs so a capped run is never
 //! mistaken for an exhaustive one.
 //!
-//! Two campaigns are provided:
+//! Three campaigns are provided:
 //!
 //! * [`frontier_fs_campaign`] — the single-threaded FS stack, replaying
 //!   the same scripts as [`crate::fuzz`];
@@ -24,14 +24,23 @@
 //!   workload: one OS thread per shard (blocks ≡ thread mod shards keep
 //!   every shard single-writer and its event stream deterministic), the
 //!   spawn handoff annotated with release/acquire sync events so the
-//!   persistrace rules audit each shard's trace without false positives.
+//!   persistrace rules audit each shard's trace without false positives;
+//! * [`spanning_frontier_campaign`] — a single-threaded stream of
+//!   transactions that each touch **every** shard, so each commit runs
+//!   the pool's two-phase spanning protocol. Epochs are enumerated on
+//!   every device in turn, which lands crashes inside the intent publish,
+//!   between fragment prepares, around the resolve store, and during
+//!   window retirement; recovery must make each transaction
+//!   all-or-nothing across all shards at every frontier.
 
 use std::collections::{BTreeSet, HashMap, HashSet};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 
 use blockdev::{Disk, DiskKind, SimDisk, BLOCK_SIZE};
 use fssim::stack::{StackConfig, System};
-use nvmsim::{shard_devices, CrashPolicy, CrashTripped, Nvm, NvmConfig, NvmTech, SimClock};
+use nvmsim::{
+    merge_shard_traces, shard_devices, CrashPolicy, CrashTripped, Nvm, NvmConfig, NvmTech, SimClock,
+};
 use nvmsim::{TraceEvent, TracedOp};
 use persistcheck::{CheckConfig, Checker};
 use rand::rngs::StdRng;
@@ -570,6 +579,244 @@ fn verify_pool(
     Ok(())
 }
 
+// ---------------------------------------------------------------------------
+// Spanning campaign (single-threaded, every transaction crosses all shards)
+// ---------------------------------------------------------------------------
+
+/// Spanning script: every transaction writes one block on **each** shard
+/// (`base * shards + s`), so every commit exercises the pool's two-phase
+/// spanning protocol — intent publish, one prepared fragment per shard,
+/// resolve, and window retirement.
+fn spanning_script(rng: &mut StdRng, txns: usize, bases: u64, shards: u64) -> Vec<TxnSpec> {
+    (0..txns)
+        .map(|_| {
+            let base = rng.gen_range(0..bases);
+            (0..shards)
+                .map(|s| (base * shards + s, rng.gen_range(1..=255)))
+                .collect()
+        })
+        .collect()
+}
+
+/// Commits `plan` on the calling thread; returns `(committed, crashed)`.
+/// Any panic other than the armed [`CrashTripped`] propagates.
+fn run_spanning_script(pool: &TincaPool, plan: &[TxnSpec]) -> (usize, bool) {
+    let mut committed = 0usize;
+    let outcome = {
+        let committed = &mut committed;
+        catch_unwind(AssertUnwindSafe(move || {
+            for spec in plan {
+                let mut t = pool.init_txn();
+                for (b, v) in spec {
+                    t.write(*b, &fill(*v));
+                }
+                pool.commit(t).expect("spanning frontier commit");
+                *committed += 1;
+            }
+        }))
+    };
+    let crashed = match outcome {
+        Ok(()) => false,
+        Err(p) if p.downcast_ref::<CrashTripped>().is_some() => true,
+        Err(p) => std::panic::resume_unwind(p),
+    };
+    (committed, crashed)
+}
+
+/// Enumerates crash frontiers for a spanning-transaction workload. The
+/// script is single-threaded (the spanning path serialises pool-wide
+/// anyway), so every device's event stream is replay-stable; each
+/// device's fence epochs are enumerated in turn, the crash landing on
+/// that device while the others lose their volatile state.
+pub fn spanning_frontier_campaign(
+    shards: usize,
+    seed: u64,
+    txns: usize,
+    cap_per_epoch: usize,
+) -> FrontierReport {
+    quiet_crash_panics();
+    let mut report = FrontierReport {
+        cap_per_epoch: cap_per_epoch.max(2),
+        ..FrontierReport::default()
+    };
+    let plan = {
+        let mut rng = StdRng::seed_from_u64(seed);
+        spanning_script(&mut rng, txns, 12, shards as u64)
+    };
+
+    // Probe: full run, no trip, harvest every device's epochs.
+    let (epochs_per_dev, starts) = {
+        let (devices, disk, pool_cfg) = build_pool(shards);
+        let pool = TincaPool::format(devices.clone(), disk, pool_cfg);
+        let starts: Vec<u64> = devices.iter().map(|d| d.events()).collect();
+        let (committed, crashed) = run_spanning_script(&pool, &plan);
+        drop(pool);
+        if crashed || committed != plan.len() {
+            report
+                .violations
+                .push("probe run crashed with no trip armed".into());
+            return report;
+        }
+        let epochs: Vec<Vec<FenceEpoch>> = devices
+            .iter()
+            .map(|d| epochs_from_trace(&d.take_trace()))
+            .collect();
+        (epochs, starts)
+    };
+
+    for (s, epochs) in epochs_per_dev.iter().enumerate() {
+        for (i, ep) in epochs.iter().enumerate() {
+            if ep.trip_event <= starts[s] {
+                report.epochs_skipped_setup += 1;
+                continue;
+            }
+            report.epochs_total += 1;
+            let sub_seed = seed ^ ((s as u64) << 48) ^ ((i as u64) << 32);
+            let (keeps, capped) = frontiers(&ep.staged, cap_per_epoch, sub_seed);
+            if capped {
+                report.epochs_capped += 1;
+                telemetry::count("frontier.epochs.capped", 1);
+            } else {
+                report.epochs_exhaustive += 1;
+            }
+            for keep in keeps {
+                report.states_run += 1;
+                telemetry::count("frontier.states", 1);
+                if let Err(e) =
+                    run_spanning_state(shards, &plan, s, ep.trip_event - starts[s], &keep)
+                {
+                    report.violations.push(format!(
+                        "seed {seed} device {s} epoch {i} trip {} keep {keep:?}: {e}",
+                        ep.trip_event
+                    ));
+                }
+            }
+        }
+    }
+    report
+}
+
+/// One spanning crash state: replay, trip device `trip_dev` at
+/// `rel_trip`, resolve its open epoch to exactly `keep` (the other
+/// devices lose volatile state), recover the pool, verify.
+fn run_spanning_state(
+    shards: usize,
+    plan: &[TxnSpec],
+    trip_dev: usize,
+    rel_trip: u64,
+    keep: &[usize],
+) -> Result<(), String> {
+    let (devices, disk, pool_cfg) = build_pool(shards);
+    let pool = TincaPool::format(devices.clone(), disk.clone(), pool_cfg.clone());
+    let metadata_ranges: Vec<_> = (0..shards).map(|s| pool.shard_metadata_ranges(s)).collect();
+    devices[trip_dev].set_trip(Some(rel_trip));
+    let (committed, crashed) = run_spanning_script(&pool, plan);
+    devices[trip_dev].set_trip(None);
+    drop(pool);
+
+    if !crashed {
+        return Err("trip did not fire on replay (stream not deterministic?)".into());
+    }
+    let keep_set: HashSet<usize> = keep.iter().copied().collect();
+    devices[trip_dev].crash_frontier(&keep_set);
+    for (s, d) in devices.iter().enumerate() {
+        if s != trip_dev {
+            d.crash(CrashPolicy::LoseVolatile);
+        }
+    }
+    let pool = TincaPool::recover(devices.clone(), disk, pool_cfg)
+        .map_err(|e| format!("recovery failed: {e}"))?;
+    verify_spanning(&pool, &devices, &metadata_ranges, plan, committed)
+}
+
+/// Post-recovery oracle for the spanning campaign: internals, per-shard
+/// and merged persist-order cleanliness, committed durability, and
+/// whole-transaction atomicity of the in-flight spanning commit.
+fn verify_spanning(
+    pool: &TincaPool,
+    devices: &[Nvm],
+    metadata_ranges: &[Vec<std::ops::Range<usize>>],
+    plan: &[TxnSpec],
+    committed: usize,
+) -> Result<(), String> {
+    pool.check_consistency()
+        .map_err(|e| format!("inconsistent internals: {e}"))?;
+
+    let traces: Vec<_> = devices.iter().map(|d| d.take_trace()).collect();
+    for (s, trace) in traces.iter().enumerate() {
+        let mut checker = Checker::new(CheckConfig::with_metadata(metadata_ranges[s].clone()));
+        checker.push_all(trace);
+        let rep = checker.report();
+        if !rep.is_clean() {
+            return Err(format!("shard {s} analyzer violation: {rep}"));
+        }
+    }
+    let shard_capacity = devices[0].capacity();
+    let merged_ranges: Vec<_> = metadata_ranges
+        .iter()
+        .enumerate()
+        .flat_map(|(s, ranges)| {
+            let base = s * shard_capacity;
+            ranges.iter().map(move |r| r.start + base..r.end + base)
+        })
+        .collect();
+    let mut checker = Checker::new(CheckConfig::with_metadata(merged_ranges));
+    checker.push_all(&merge_shard_traces(traces, shard_capacity));
+    let rep = checker.report();
+    if !rep.is_clean() {
+        return Err(format!("merged-trace analyzer violation: {rep}"));
+    }
+
+    // Durability + whole-txn atomicity. Blocks whose in-flight value
+    // equals their last committed value cannot witness either outcome
+    // and are skipped.
+    let mut durable: HashMap<u64, u8> = HashMap::new();
+    for spec in &plan[..committed] {
+        for &(b, v) in spec {
+            durable.insert(b, v);
+        }
+    }
+    let in_flight = &plan[committed];
+    let staged: HashMap<u64, u8> = in_flight.iter().copied().collect();
+    let mut buf = [0u8; BLOCK_SIZE];
+    for (&b, &v) in &durable {
+        if staged.contains_key(&b) {
+            continue;
+        }
+        pool.read(b, &mut buf)
+            .map_err(|e| format!("read {b}: {e}"))?;
+        if buf != fill(v) {
+            return Err(format!(
+                "durable block {b}: expected fill {v:#x}, read {:#x}",
+                buf[0]
+            ));
+        }
+    }
+    let mut news: Vec<u64> = Vec::new();
+    let mut olds: Vec<u64> = Vec::new();
+    for &(b, v) in in_flight {
+        let old = durable.get(&b).copied().unwrap_or(0);
+        if old == v {
+            continue;
+        }
+        pool.read(b, &mut buf)
+            .map_err(|e| format!("read {b}: {e}"))?;
+        if buf == fill(v) {
+            news.push(b);
+        } else if buf == fill(old) {
+            olds.push(b);
+        } else {
+            return Err(format!("in-flight block {b} is torn: read {:#x}", buf[0]));
+        }
+    }
+    if !news.is_empty() && !olds.is_empty() {
+        return Err(format!(
+            "in-flight spanning txn not atomic: blocks {news:?} read new, {olds:?} read old"
+        ));
+    }
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -660,6 +907,16 @@ mod tests {
         // The commit record is a single line: some epochs must have been
         // enumerated exhaustively even with a tiny cap.
         assert!(report.epochs_exhaustive > 0, "{report}");
+    }
+
+    #[test]
+    fn spanning_frontier_enumeration_is_all_or_nothing() {
+        let report = spanning_frontier_campaign(2, 9, 2, 4);
+        assert!(report.clean(), "{:?}", report.violations);
+        assert!(report.epochs_total > 0, "probe found no workload epochs");
+        // Epochs exist on both devices: the intent record lives on device
+        // 0, the second fragment commits on device 1.
+        assert!(report.states_run >= 2 * report.epochs_total);
     }
 
     #[test]

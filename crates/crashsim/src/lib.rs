@@ -34,7 +34,9 @@ mod poolfuzz;
 pub use backlog::{
     backlog_campaign, backlog_one, backlog_one_detailed, BacklogOutcome, BacklogReport,
 };
-pub use frontier::{frontier_fs_campaign, pool_frontier_campaign, FrontierReport};
+pub use frontier::{
+    frontier_fs_campaign, pool_frontier_campaign, spanning_frontier_campaign, FrontierReport,
+};
 
 pub use faultfuzz::{
     fault_fuzz_campaign, fault_fuzz_one, fault_fuzz_one_detailed, FaultFuzzOutcome,

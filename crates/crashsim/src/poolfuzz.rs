@@ -10,17 +10,23 @@
 //!
 //! * every shard passes `check_consistency`;
 //! * every transaction committed before the crash reads back exactly;
-//! * the in-flight transaction is all-or-nothing **per shard fragment**
-//!   (the pool's documented atomicity scope);
+//! * the in-flight transaction is all-or-nothing **across every shard it
+//!   touches** — the scripts draw random blocks, so most transactions
+//!   span shards and exercise the pool's two-phase spanning commit; a
+//!   crash between fragments (or during intent publish/resolve) must
+//!   leave the whole transaction either fully visible or fully rolled
+//!   back after recovery;
 //! * every shard's event trace passes the persist-order analyzer — the
 //!   crash on one shard must not leave any other shard's commit stream
-//!   unflushed, unfenced, or torn.
+//!   unflushed, unfenced, or torn — and so does the **merged**
+//!   multi-shard trace (intent publish/resolve/retire annotations
+//!   included).
 
 use std::collections::HashMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 
 use blockdev::{DiskKind, SimDisk, BLOCK_SIZE};
-use nvmsim::{shard_devices, CrashPolicy, Nvm, NvmConfig, NvmTech, SimClock};
+use nvmsim::{merge_shard_traces, shard_devices, CrashPolicy, Nvm, NvmConfig, NvmTech, SimClock};
 use persistcheck::{CheckConfig, Checker};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -174,23 +180,44 @@ fn verify(
         .map_err(|e| format!("inconsistent internals: {e}"))?;
 
     // 2. Persist-order cleanliness of every shard's full event trace
-    //    (format + workload + crash + recovery).
-    for (s, d) in devices.iter().enumerate() {
+    //    (format + workload + crash + recovery), and of the merged
+    //    pool-wide trace — the intent record's publish/resolve/retire
+    //    stores on shard 0 must be ordered like any other commit point.
+    let traces: Vec<_> = devices.iter().map(|d| d.take_trace()).collect();
+    for (s, trace) in traces.iter().enumerate() {
         let mut checker = Checker::new(CheckConfig::with_metadata(metadata_ranges[s].clone()));
-        checker.push_all(&d.take_trace());
+        checker.push_all(trace);
         let report = checker.report();
         if !report.is_clean() {
             return Err(format!("shard {s} persist-order violation: {report}"));
         }
     }
+    let shard_capacity = devices[0].capacity();
+    let merged_ranges: Vec<_> = metadata_ranges
+        .iter()
+        .enumerate()
+        .flat_map(|(s, ranges)| {
+            let base = s * shard_capacity;
+            ranges.iter().map(move |r| r.start + base..r.end + base)
+        })
+        .collect();
+    let mut checker = Checker::new(CheckConfig::with_metadata(merged_ranges));
+    checker.push_all(&merge_shard_traces(traces, shard_capacity));
+    let report = checker.report();
+    if !report.is_clean() {
+        return Err(format!("merged-trace persist-order violation: {report}"));
+    }
 
     // 3. Committed transactions are durable; the in-flight transaction is
-    //    all-or-nothing per shard fragment.
+    //    all-or-nothing across every shard it touches. Blocks whose
+    //    in-flight value equals their last committed value cannot witness
+    //    either outcome and are skipped (same disambiguation the FS-level
+    //    oracle uses).
     let staged: HashMap<u64, u8> = in_flight.iter().copied().collect();
     let mut buf = [0u8; BLOCK_SIZE];
     for (&b, &v) in durable {
         if staged.contains_key(&b) {
-            continue; // judged as part of the fragment check below
+            continue; // judged as part of the in-flight check below
         }
         pool.read(b, &mut buf).expect("poolfuzz runs fault-free");
         if buf != fill(v) {
@@ -200,36 +227,31 @@ fn verify(
             ));
         }
     }
-    for s in 0..shards {
-        let frag: Vec<(u64, u8)> = in_flight
+    let mut news: Vec<u64> = Vec::new();
+    let mut olds: Vec<u64> = Vec::new();
+    for &(b, v) in in_flight {
+        let old = durable.get(&b).copied().unwrap_or(0);
+        if old == v {
+            continue; // uninformative: both outcomes read alike
+        }
+        pool.read(b, &mut buf).expect("poolfuzz runs fault-free");
+        if buf == fill(v) {
+            news.push(b);
+        } else if buf == fill(old) {
+            olds.push(b);
+        } else {
+            return Err(format!("in-flight block {b} is torn: read {:#x}", buf[0]));
+        }
+    }
+    if !news.is_empty() && !olds.is_empty() {
+        let spanned: std::collections::HashSet<usize> = in_flight
             .iter()
-            .filter(|(b, _)| (*b % shards as u64) as usize == s)
-            .copied()
+            .map(|(b, _)| (*b % shards as u64) as usize)
             .collect();
-        if frag.is_empty() {
-            continue;
-        }
-        let mut news = 0usize;
-        let mut olds = 0usize;
-        for &(b, v) in &frag {
-            pool.read(b, &mut buf).expect("poolfuzz runs fault-free");
-            if buf == fill(v) {
-                news += 1;
-            } else if buf == fill(durable.get(&b).copied().unwrap_or(0)) {
-                olds += 1;
-            } else {
-                return Err(format!(
-                    "in-flight block {b} on shard {s} is torn: read {:#x}",
-                    buf[0]
-                ));
-            }
-        }
-        if news != 0 && olds != 0 {
-            return Err(format!(
-                "shard {s} fragment not atomic: {news} new / {olds} old of {}",
-                frag.len()
-            ));
-        }
+        return Err(format!(
+            "in-flight txn over shards {spanned:?} not atomic: \
+             blocks {news:?} read new, {olds:?} read old"
+        ));
     }
     Ok(())
 }

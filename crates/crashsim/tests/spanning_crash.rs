@@ -1,0 +1,200 @@
+//! Deterministic spanning-commit crash coverage.
+//!
+//! The fuzz sweep ([`crashsim::pool_fuzz_campaign`]) and the frontier
+//! enumerator ([`crashsim::spanning_frontier_campaign`]) sample and
+//! enumerate crash states; these tests instead **pin** the instants that
+//! define the two-phase protocol's correctness argument:
+//!
+//! * a crash *between fragments* — after shard 0's fragment is prepared
+//!   but before shard 1's lands — must roll the whole transaction back
+//!   (the intent record still reads `PREPARED`);
+//! * a crash *after the resolve store is fenced* must roll every prepared
+//!   fragment forward (the record reads `RESOLVED`);
+//! * a mid-sequence fragment failure (shard 1's fragment too large) must
+//!   abort the intent and leave **nothing** visible, before and after a
+//!   power cut.
+//!
+//! A full trip sweep over every persistence event of both devices then
+//! proves the all-or-nothing property holds at *every* crash instant of a
+//! spanning commit, not just the pinned ones.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+use blockdev::{DiskKind, SimDisk, BLOCK_SIZE};
+use crashsim::quiet_crash_panics;
+use nvmsim::{shard_devices, CrashPolicy, CrashTripped, Nvm, NvmConfig, NvmTech, SimClock};
+use tinca::{PoolConfig, TincaConfig, TincaPool};
+
+fn build_pool(shards: usize) -> (Vec<Nvm>, blockdev::Disk, PoolConfig) {
+    let nvm_cfg = NvmConfig::new(shards * (256 << 10), NvmTech::Pcm).with_tracing();
+    let devices = shard_devices(&nvm_cfg, shards);
+    let clock = SimClock::new();
+    telemetry::swap_clock(&clock);
+    let disk = SimDisk::new(DiskKind::Ssd, 1 << 16, clock);
+    let pool_cfg = PoolConfig {
+        shards,
+        cache: TincaConfig {
+            ring_bytes: 4096,
+            ..TincaConfig::default()
+        },
+        ..PoolConfig::default()
+    };
+    (devices, disk, pool_cfg)
+}
+
+fn fill(v: u8) -> [u8; BLOCK_SIZE] {
+    [v; BLOCK_SIZE]
+}
+
+/// Commits one two-shard spanning transaction (block 0 → shard 0,
+/// block 1 → shard 1); returns whether the armed trip fired.
+fn try_spanning_commit(pool: &TincaPool) -> bool {
+    let outcome = catch_unwind(AssertUnwindSafe(|| {
+        let mut t = pool.init_txn();
+        t.write(0, &fill(0xAA));
+        t.write(1, &fill(0xBB));
+        pool.commit(t).expect("spanning commit");
+    }));
+    match outcome {
+        Ok(()) => false,
+        Err(p) if p.downcast_ref::<CrashTripped>().is_some() => true,
+        Err(p) => std::panic::resume_unwind(p),
+    }
+}
+
+fn read_block(pool: &TincaPool, b: u64) -> [u8; BLOCK_SIZE] {
+    let mut buf = [0u8; BLOCK_SIZE];
+    pool.read(b, &mut buf).expect("read after recovery");
+    buf
+}
+
+/// Arms a trip at persistence event `k` of device `dev`, runs the
+/// spanning commit until it crashes, power-cycles every device
+/// (volatile state lost), recovers, and returns the recovered pool.
+fn crash_at(dev: usize, k: u64) -> (TincaPool, Vec<Nvm>) {
+    let (devices, disk, pool_cfg) = build_pool(2);
+    let pool = TincaPool::format(devices.clone(), disk.clone(), pool_cfg.clone());
+    devices[dev].set_trip(Some(k));
+    let crashed = try_spanning_commit(&pool);
+    devices[dev].set_trip(None);
+    drop(pool);
+    assert!(crashed, "trip {k} on device {dev} did not fire");
+    for d in &devices {
+        d.crash(CrashPolicy::LoseVolatile);
+    }
+    let pool = TincaPool::recover(devices.clone(), disk, pool_cfg).expect("recovery");
+    (pool, devices)
+}
+
+/// Crash between fragments: the first persistence event on device 1
+/// lands inside shard 1's fragment prepare, *after* shard 0's fragment
+/// is fully prepared and the intent record is durably `PREPARED`.
+/// Recovery must roll shard 0's prepared fragment back.
+#[test]
+fn crash_between_fragments_rolls_the_prepared_fragment_back() {
+    quiet_crash_panics();
+    let (pool, _devices) = crash_at(1, 1);
+    assert_eq!(read_block(&pool, 0), fill(0), "shard 0 fragment leaked");
+    assert_eq!(read_block(&pool, 1), fill(0), "shard 1 fragment leaked");
+    let stats = pool.stats();
+    assert!(
+        stats.spanning_rolled_back >= 1,
+        "recovery revoked no prepared fragment: {stats:?}"
+    );
+    assert_eq!(stats.spanning_rolled_forward, 0, "{stats:?}");
+}
+
+/// Full trip sweep: crash a spanning commit at **every** persistence
+/// event of both devices in turn. Each recovered state must be
+/// all-or-nothing, and the sweep must witness both protocol outcomes —
+/// at least one state rolled back (intent still `PREPARED`) and at
+/// least one rolled forward (resolve store already fenced).
+#[test]
+fn every_crash_instant_is_all_or_nothing() {
+    quiet_crash_panics();
+    // Probe: per-device persistence events consumed by one spanning commit.
+    let spans: Vec<u64> = {
+        let (devices, disk, pool_cfg) = build_pool(2);
+        let pool = TincaPool::format(devices.clone(), disk, pool_cfg);
+        let starts: Vec<u64> = devices.iter().map(|d| d.events()).collect();
+        assert!(!try_spanning_commit(&pool), "probe crashed with no trip");
+        devices
+            .iter()
+            .zip(&starts)
+            .map(|(d, s)| d.events() - s)
+            .collect()
+    };
+    assert!(
+        spans.iter().all(|&e| e > 0),
+        "probe saw no events: {spans:?}"
+    );
+
+    let (mut saw_rolled_back, mut saw_rolled_forward) = (false, false);
+    for (dev, &events) in spans.iter().enumerate() {
+        for k in 1..=events {
+            let (pool, _devices) = crash_at(dev, k);
+            let (b0, b1) = (read_block(&pool, 0), read_block(&pool, 1));
+            let stats = pool.stats();
+            if b0 == fill(0xAA) && b1 == fill(0xBB) {
+                saw_rolled_forward |= stats.spanning_rolled_forward > 0;
+            } else if b0 == fill(0) && b1 == fill(0) {
+                saw_rolled_back |= stats.spanning_rolled_back > 0;
+            } else {
+                panic!(
+                    "device {dev} trip {k}: torn spanning txn \
+                     (block0={:#x}, block1={:#x})",
+                    b0[0], b1[0]
+                );
+            }
+        }
+    }
+    assert!(saw_rolled_back, "no crash instant exercised roll-back");
+    assert!(
+        saw_rolled_forward,
+        "no crash instant exercised roll-forward"
+    );
+}
+
+/// A mid-sequence fragment failure (shard 1's fragment exceeds its
+/// shard's capacity after shard 0's fragment already prepared) must
+/// abort the intent: the commit returns `Err`, nothing is visible, and
+/// nothing resurfaces after a power cut — the pool stays usable.
+#[test]
+fn mid_sequence_fragment_failure_leaves_nothing_visible() {
+    let (devices, disk, pool_cfg) = build_pool(2);
+    let pool = TincaPool::format(devices.clone(), disk.clone(), pool_cfg.clone());
+
+    // One block on shard 0, far more blocks on shard 1 than its cache
+    // can hold: fragment 0 prepares, fragment 1 is refused.
+    let mut t = pool.init_txn();
+    t.write(0, &fill(0x5A));
+    for i in 0..200u64 {
+        t.write(1 + 2 * i, &fill(0x5B));
+    }
+    assert!(
+        pool.commit(t).is_err(),
+        "oversized spanning commit succeeded"
+    );
+    assert!(pool.stats().spanning_aborts >= 1, "abort not counted");
+
+    // Nothing visible before the power cut…
+    assert_eq!(read_block(&pool, 0), fill(0));
+    assert_eq!(read_block(&pool, 1), fill(0));
+    drop(pool);
+
+    // …or after it.
+    for d in &devices {
+        d.crash(CrashPolicy::LoseVolatile);
+    }
+    let pool = TincaPool::recover(devices, disk, pool_cfg).expect("recovery");
+    assert_eq!(read_block(&pool, 0), fill(0));
+    assert_eq!(read_block(&pool, 1), fill(0));
+
+    // The aborted intent must not wedge later spanning commits.
+    let mut t = pool.init_txn();
+    t.write(0, &fill(0x11));
+    t.write(1, &fill(0x22));
+    pool.commit(t).expect("post-abort spanning commit");
+    assert_eq!(read_block(&pool, 0), fill(0x11));
+    assert_eq!(read_block(&pool, 1), fill(0x22));
+}

@@ -30,6 +30,10 @@ pub const COMMIT_REVOKE: &str = "commit.revoke";
 pub const COMMIT_GROUP_LEAD: &str = "commit.group.lead";
 /// Group commit: follower waiting for its leader's commit point.
 pub const COMMIT_GROUP_WAIT: &str = "commit.group.wait";
+/// Two-phase spanning commit: intent publish, per-shard fragment
+/// prepares, resolve, and window retirement (pool-level; the per-shard
+/// fragment work nests `commit` spans underneath).
+pub const COMMIT_SPANNING: &str = "commit.spanning";
 
 /// Cache read path (hit or miss+fill).
 pub const CACHE_READ: &str = "cache.read";
