@@ -1,6 +1,7 @@
 //! Performance-regression gate over the machine-readable bench
 //! summaries (`BENCH_5.json` from `phases`, `BENCH_6.json` from
-//! `latency_load`, `BENCH_7.json` from `spanning`).
+//! `latency_load`, `BENCH_7.json` from `spanning`, `BENCH_8.json` from
+//! `wal_elim`).
 //!
 //! Compares the `gate` counters of a freshly generated summary against a
 //! committed baseline and fails (exit 1) on a regression beyond the
@@ -19,6 +20,11 @@
 //!   — the 0 %-spanning point is the plain fast path, and the spanning
 //!   machinery must never tax it — as is `spanning50_ns_per_txn`; the
 //!   overhead ratio is informational.
+//! * `wal_elim` (BENCH_8): `tinca_ns_per_txn` and
+//!   `tinca_bytes_per_txn` are lower-is-better (the no-WAL personality
+//!   is the one we own end to end); the `wal_*` twins and the two
+//!   ratios are informational — the comparison baseline's drift is
+//!   context, not our regression.
 //!
 //! The two files must describe the same bench and the same mode
 //! (`--quick` vs full); the gate refuses to compare across either.
@@ -66,6 +72,14 @@ fn counters(bench: &str) -> Vec<(&'static str, Direction)> {
             ("single_shard_ns_per_txn", LowerIsBetter),
             ("spanning50_ns_per_txn", LowerIsBetter),
             ("spanning_overhead_x", Info),
+        ],
+        "wal_elim" => vec![
+            ("tinca_ns_per_txn", LowerIsBetter),
+            ("tinca_bytes_per_txn", LowerIsBetter),
+            ("wal_ns_per_txn", Info),
+            ("wal_bytes_per_txn", Info),
+            ("speedup_x", Info),
+            ("bytes_ratio_x", Info),
         ],
         other => panic!("unknown bench {other:?} — teach perfgate its gate schema"),
     }

@@ -59,6 +59,8 @@ fn main() {
     done("persistrace");
     figs::spanning::run(quick);
     done("spanning");
+    figs::wal_elim::run(quick);
+    done("wal_elim");
     println!(
         "\nAll experiments regenerated in {:.1}s (quick={quick}). CSVs in EXPERIMENTS-results/.",
         t0.elapsed().as_secs_f64()

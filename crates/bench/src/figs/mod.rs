@@ -21,6 +21,7 @@ pub mod scaling;
 pub mod spanning;
 pub mod tables;
 pub mod ubj_compare;
+pub mod wal_elim;
 
 use fssim::stack::{StackConfig, System};
 

@@ -1,0 +1,341 @@
+//! WAL-elimination figure — what the kvdb personality buys by making the
+//! NVM cache the transaction mechanism.
+//!
+//! Drives the **same** seeded TPC-C record stream through both kvdb
+//! durability personalities:
+//!
+//! * **WalMode** — ARIES-lite redo WAL on the classic
+//!   Ext4+JBD2+Flashcache stack. Every committed page travels the
+//!   "journaling of journal" route the paper's §2.2 diagnoses: app WAL
+//!   append → FS data+journal → home-location writeback → checkpoint
+//!   into the database file.
+//! * **TincaMode** — no WAL anywhere: one Tinca pool transaction per KV
+//!   commit, ring commit = durability point, multi-shard batches on the
+//!   persistent two-phase spanning path.
+//!
+//! Reports simulated commit cost (ns/txn), total device bytes written
+//! (NVM lines + disk blocks), and write amplification against the
+//! page-image payload, with the commit-path phase tree for each mode.
+//! Embeds both modes' crash smoke (random-trip fuzz + persist-frontier
+//! enumeration, persistcheck audited inside each recovery) so the
+//! headline claim — faster *and* fewer bytes *without* losing crash
+//! consistency — is checked in one run.
+//!
+//! Output: the standard CSV/JSON pair under `EXPERIMENTS-results/`, plus
+//! `BENCH_8.json` at the repo root with a flat `gate` object for
+//! `perfgate`.
+
+use std::fs;
+
+use crashsim::{CampaignReport, FailureMode, FrontierReport};
+use fssim::stack::{StackConfig, System};
+use kvdb::{
+    apply_txn, tinca_kv_frontier_campaign, tinca_kv_fuzz_campaign, wal_kv_frontier_campaign,
+    wal_kv_fuzz_campaign, Db, KvTpccDriver, PageStore, TincaStore, TincaStoreConfig, WalConfig,
+    WalStore,
+};
+use telemetry::Json;
+
+use crate::table::Table;
+use crate::{banner, fmt, results_dir, write_csv};
+
+/// TPC-C warehouses the figure's key stream draws from.
+const WAREHOUSES: u32 = 4;
+/// Seed shared by both modes — identical transaction streams.
+const SEED: u64 = 0xE11A;
+
+/// One measured durability personality.
+pub struct ModePoint {
+    pub mode: &'static str,
+    pub txns: u64,
+    pub commits: u64,
+    pub ns_per_txn: f64,
+    /// Total bytes that reached persistent media (NVM lines + disk blocks).
+    pub device_bytes: u64,
+    pub bytes_per_txn: f64,
+    /// Device bytes over committed page-image bytes.
+    pub amplification: f64,
+    /// Device bytes over logical KV payload bytes (keys + values written).
+    pub payload_amplification: f64,
+    /// Rendered commit-path phase tree.
+    pub phase_tree: String,
+}
+
+/// Everything the figure produced (for the bin's acceptance checks).
+pub struct WalElimResult {
+    pub table: Table,
+    pub wal: ModePoint,
+    pub tinca: ModePoint,
+    /// `wal_ns_per_txn / tinca_ns_per_txn` — the WAL-elimination speedup.
+    pub speedup_x: f64,
+    /// `wal_bytes_per_txn / tinca_bytes_per_txn` — the write saving.
+    pub bytes_ratio_x: f64,
+    pub wal_fuzz: CampaignReport,
+    pub tinca_fuzz: CampaignReport,
+    pub wal_frontier: FrontierReport,
+    pub tinca_frontier: FrontierReport,
+}
+
+/// Runs `txns` driver transactions against `db`, timing with `clock_now`
+/// (a closure so each personality supplies its own notion of elapsed
+/// simulated time). Returns the point plus the phase report.
+fn run_mode<S: PageStore>(
+    mode: &'static str,
+    db: &mut Db<S>,
+    clock_now: &dyn Fn(&Db<S>) -> u64,
+    telemetry_clock: &nvmsim::SimClock,
+    txns: u64,
+) -> ModePoint {
+    let mut driver = KvTpccDriver::new(SEED, WAREHOUSES);
+    let start_ns = clock_now(db);
+    let start_stats = db.store().stats();
+    let mut payload_bytes = 0u64;
+    let ((), report) = telemetry::record(telemetry_clock, telemetry::Config::default(), || {
+        for _ in 0..txns {
+            let txn = driver.next_txn();
+            payload_bytes += txn
+                .writes
+                .iter()
+                .map(|(k, v)| (k.len() + v.len()) as u64)
+                .sum::<u64>();
+            apply_txn(db, &txn).expect("wal_elim workload commit");
+        }
+    });
+    let elapsed = clock_now(db).saturating_sub(start_ns);
+    let stats = db.store().stats();
+    let device_bytes = stats.device_bytes() - start_stats.device_bytes();
+    let pages = stats.pages_committed - start_stats.pages_committed;
+    ModePoint {
+        mode,
+        txns,
+        commits: stats.commits - start_stats.commits,
+        ns_per_txn: elapsed as f64 / txns as f64,
+        device_bytes,
+        bytes_per_txn: device_bytes as f64 / txns as f64,
+        amplification: device_bytes as f64 / (pages * kvdb::PAGE_SIZE as u64).max(1) as f64,
+        payload_amplification: device_bytes as f64 / payload_bytes.max(1) as f64,
+        phase_tree: report.phase_report(),
+    }
+}
+
+fn run_wal(txns: u64) -> ModePoint {
+    let store = WalStore::format(StackConfig::tiny(System::Classic), WalConfig::default())
+        .expect("format WAL store");
+    let mut db = Db::open(store).expect("open WAL db");
+    let clock = db.store().stack().clock.clone();
+    run_mode(
+        "wal (classic)",
+        &mut db,
+        &|db| db.store().stack().clock.now_ns(),
+        &clock,
+        txns,
+    )
+}
+
+fn run_tinca(txns: u64) -> ModePoint {
+    let store = TincaStore::format(TincaStoreConfig::default());
+    let mut db = Db::open(store).expect("open Tinca db");
+    // Shard 0's clock times the phase tree: the meta page homes there, so
+    // it advances on every commit (the disk clock only moves on destage).
+    let clock = db.store().devices()[0].clock().clone();
+    // Shards advance their own clocks concurrently: elapsed pool time is
+    // the maximum over the per-shard clocks and the shared disk clock.
+    let now = |db: &Db<TincaStore>| -> u64 {
+        db.store()
+            .devices()
+            .iter()
+            .map(|d| d.clock().now_ns())
+            .chain(std::iter::once(db.store().clock().now_ns()))
+            .max()
+            .unwrap_or(0)
+    };
+    run_mode("tinca (no WAL)", &mut db, &now, &clock, txns)
+}
+
+fn campaign_json(r: &CampaignReport) -> Json {
+    Json::obj(vec![
+        ("runs", r.runs.into()),
+        ("crashes", r.crashes.into()),
+        ("violations", (r.violations.len() as u64).into()),
+    ])
+}
+
+fn frontier_json(r: &FrontierReport) -> Json {
+    Json::obj(vec![
+        ("epochs", r.epochs_total.into()),
+        ("states", r.states_run.into()),
+        ("violations", (r.violations.len() as u64).into()),
+    ])
+}
+
+/// Runs the figure: both personalities over the identical transaction
+/// stream, the embedded crash smoke for each, and writes CSV +
+/// `BENCH_8.json`.
+pub fn run(quick: bool) -> WalElimResult {
+    banner(
+        "wal_elim",
+        "KV commit path with and without a WAL (same TPC-C stream, both personalities)",
+        "no-WAL mode faster and fewer device bytes, with crash consistency intact",
+    );
+    let txns: u64 = if quick { 200 } else { 1_200 };
+
+    let wal = run_wal(txns);
+    let tinca = run_tinca(txns);
+
+    let mut t = Table::new(&[
+        "mode",
+        "txns",
+        "ns/txn",
+        "ktxn/s",
+        "device MB",
+        "bytes/txn",
+        "x page payload",
+        "x kv payload",
+    ]);
+    for p in [&wal, &tinca] {
+        t.row(vec![
+            p.mode.into(),
+            format!("{}", p.txns),
+            fmt(p.ns_per_txn),
+            fmt(1e6 / p.ns_per_txn),
+            fmt(p.device_bytes as f64 / (1 << 20) as f64),
+            fmt(p.bytes_per_txn),
+            fmt(p.amplification),
+            fmt(p.payload_amplification),
+        ]);
+    }
+    t.print();
+    write_csv("wal_elim", &t.headers(), t.rows());
+
+    let speedup_x = wal.ns_per_txn / tinca.ns_per_txn.max(f64::MIN_POSITIVE);
+    let bytes_ratio_x = wal.bytes_per_txn / tinca.bytes_per_txn.max(f64::MIN_POSITIVE);
+    println!(
+        "WAL {:.0} ns/txn vs no-WAL {:.0} ns/txn ({speedup_x:.2}x); \
+         {:.0} vs {:.0} device bytes/txn ({bytes_ratio_x:.2}x)",
+        wal.ns_per_txn, tinca.ns_per_txn, wal.bytes_per_txn, tinca.bytes_per_txn
+    );
+    for p in [&wal, &tinca] {
+        println!("--- {} commit-path phases ---", p.mode);
+        println!("{}", p.phase_tree);
+    }
+
+    // Embedded crash smoke: both personalities must survive random
+    // mid-commit trips and exhaustive persist-frontier enumeration, with
+    // the persist-order audit clean inside every recovery.
+    let crash_txns = 15;
+    let (fuzz_seeds, frontier_cap) = if quick { (8, 3) } else { (20, 6) };
+    let wal_fuzz = wal_kv_fuzz_campaign(
+        0xE1F0,
+        fuzz_seeds,
+        crash_txns,
+        20_000,
+        FailureMode::PowerPull,
+    );
+    let tinca_fuzz = tinca_kv_fuzz_campaign(
+        0xE1F1,
+        fuzz_seeds,
+        crash_txns,
+        1_500,
+        FailureMode::PowerPull,
+    );
+    let wal_frontier = wal_kv_frontier_campaign(0xE1F2, 2, frontier_cap);
+    let tinca_frontier = tinca_kv_frontier_campaign(0xE1F3, 2, frontier_cap);
+    for (what, runs, crashes, violations) in [
+        (
+            "wal fuzz",
+            wal_fuzz.runs,
+            wal_fuzz.crashes,
+            &wal_fuzz.violations,
+        ),
+        (
+            "tinca fuzz",
+            tinca_fuzz.runs,
+            tinca_fuzz.crashes,
+            &tinca_fuzz.violations,
+        ),
+        (
+            "wal frontier",
+            wal_frontier.epochs_total,
+            wal_frontier.states_run,
+            &wal_frontier.violations,
+        ),
+        (
+            "tinca frontier",
+            tinca_frontier.epochs_total,
+            tinca_frontier.states_run,
+            &tinca_frontier.violations,
+        ),
+    ] {
+        println!(
+            "{what}: {runs} runs/epochs, {crashes} crashes/states, {} violations",
+            violations.len()
+        );
+        for v in violations {
+            eprintln!("  violation: {v}");
+        }
+    }
+
+    // BENCH_8.json — machine-readable summary at the repo root. The flat
+    // `gate` counters are what `perfgate` diffs in CI: the no-WAL
+    // personality's cost and write volume must not drift; the WAL twins
+    // are context.
+    let gate = Json::obj(vec![
+        ("tinca_ns_per_txn", tinca.ns_per_txn.into()),
+        ("tinca_bytes_per_txn", tinca.bytes_per_txn.into()),
+        ("wal_ns_per_txn", wal.ns_per_txn.into()),
+        ("wal_bytes_per_txn", wal.bytes_per_txn.into()),
+        ("speedup_x", speedup_x.into()),
+        ("bytes_ratio_x", bytes_ratio_x.into()),
+    ]);
+    let figure = Json::obj(vec![
+        ("figure", "wal_elim".into()),
+        (
+            "headers",
+            Json::Arr(t.headers().iter().map(|h| (*h).into()).collect()),
+        ),
+        (
+            "rows",
+            Json::Arr(
+                t.rows()
+                    .iter()
+                    .map(|r| Json::Arr(r.iter().map(|c| c.as_str().into()).collect()))
+                    .collect(),
+            ),
+        ),
+    ]);
+    let crashes = Json::obj(vec![
+        ("wal_fuzz", campaign_json(&wal_fuzz)),
+        ("tinca_fuzz", campaign_json(&tinca_fuzz)),
+        ("wal_frontier", frontier_json(&wal_frontier)),
+        ("tinca_frontier", frontier_json(&tinca_frontier)),
+    ]);
+    let persist_clean =
+        wal_fuzz.clean() && tinca_fuzz.clean() && wal_frontier.clean() && tinca_frontier.clean();
+    let bench = Json::obj(vec![
+        ("bench", "wal_elim".into()),
+        ("quick", quick.into()),
+        ("txns", txns.into()),
+        ("warehouses", u64::from(WAREHOUSES).into()),
+        ("persistcheck_clean", persist_clean.into()),
+        ("gate", gate),
+        ("crash_campaigns", crashes),
+        ("wal_elim", figure),
+    ]);
+    let dir = results_dir();
+    let root = dir.parent().expect("results dir sits in the repo root");
+    let path = root.join("BENCH_8.json");
+    fs::write(&path, bench.render()).expect("write BENCH_8.json");
+    eprintln!("  [bench] {}", path.display());
+
+    WalElimResult {
+        table: t,
+        wal,
+        tinca,
+        speedup_x,
+        bytes_ratio_x,
+        wal_fuzz,
+        tinca_fuzz,
+        wal_frontier,
+        tinca_frontier,
+    }
+}

@@ -382,6 +382,7 @@ impl TincaCache {
     /// retires the revocation window early.
     pub(crate) fn complete_fragment(&mut self, frag: PreparedFragment) {
         let _t = telemetry::span(telemetry::phase::COMMIT);
+        let window = (self.tail, self.head);
         {
             let _p = telemetry::span(telemetry::phase::COMMIT_POINT);
             self.tail = self.head;
@@ -389,6 +390,11 @@ impl TincaCache {
             self.nvm.persist(TAIL_OFF, 8);
             self.nvm.note_commit(TAIL_OFF, 8);
         }
+        // Retire the window's intent tags (wraparound guard, DESIGN §14).
+        // Strictly after the commit point: a crash in between leaves the
+        // tags behind `Tail`, where window homogeneity keeps them inert
+        // until the slots are reused.
+        self.scrub_slot_tags(window.0, window.1);
         for p in frag.replaced_prevs {
             self.free_blocks.release(p);
         }
@@ -413,7 +419,9 @@ impl TincaCache {
     /// ring window, exactly like a failed ordinary commit.
     pub(crate) fn abort_fragment(&mut self, frag: PreparedFragment) {
         let _t = telemetry::span(telemetry::phase::COMMIT);
+        let window = (self.tail, self.head);
         self.revoke_in_flight(&frag.touched);
+        self.scrub_slot_tags(window.0, window.1);
         self.clear_pins();
         self.stats.failed_commits += 1;
     }
@@ -749,6 +757,44 @@ impl TincaCache {
     /// cumulative).
     pub fn quarantined_count(&self) -> usize {
         self.quarantined.len()
+    }
+
+    /// Clears the intent tags of the retired ring window `[from, to)`:
+    /// each tagged slot is rewritten with the bare block number, the
+    /// touched lines flushed, and one fence drains them.
+    ///
+    /// This guards the 7-bit intent tag against wraparound collision
+    /// (DESIGN §14): intent ids grow without bound but tags keep only the
+    /// low 7 bits, so after 128 spanning commits a *new* intent's tag
+    /// equals a *stale* one's. The window-homogeneity argument already
+    /// makes stale tags unreachable — recovery only reads `[Tail, Head)`,
+    /// and slots are fenced-durable before `Head` moves, so the window
+    /// only ever holds the current fragment's slots — but scrubbing on
+    /// retirement makes the stronger structural invariant hold: outside
+    /// an open spanning window, **no ring slot carries a tag at all**, so
+    /// a colliding tag simply does not exist on the device. Untagged
+    /// windows (every single-shard commit) scrub nothing and emit no
+    /// events.
+    pub(crate) fn scrub_slot_tags(&mut self, from: u64, to: u64) {
+        let mut lines: Vec<usize> = Vec::new();
+        for seq in from..to {
+            let addr = self.layout.ring_slot_addr(seq);
+            let (blk, tag) = crate::layout::split_slot(self.nvm.read_u64(addr));
+            if tag != 0 {
+                self.nvm
+                    .atomic_write_u64(addr, crate::layout::slot_value(blk, 0));
+                lines.push(addr / nvmsim::CACHE_LINE);
+            }
+        }
+        if lines.is_empty() {
+            return;
+        }
+        lines.sort_unstable();
+        lines.dedup();
+        for line in lines {
+            self.nvm.clflush(line * nvmsim::CACHE_LINE, 1);
+        }
+        self.nvm.sfence();
     }
 
     /// Revokes the already-written blocks of a failed committing

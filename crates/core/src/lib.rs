@@ -58,7 +58,7 @@ pub use cache::{DynDisk, Health, TincaCache};
 pub use config::{TincaConfig, WritePolicy};
 pub use entry::{CacheEntry, Role, FRESH};
 pub use error::TincaError;
-pub use layout::Layout;
+pub use layout::{intent_tag, split_slot, Layout};
 pub use pool::{PoolConfig, TincaPool};
 pub use recovery::SpanningIntent;
 pub use snapshot::StatsSnapshot;

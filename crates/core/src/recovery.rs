@@ -210,6 +210,13 @@ impl TincaCache {
         self.nvm().persist(TAIL_OFF, 8);
         self.nvm().note_commit(TAIL_OFF, 8);
 
+        // Retire the judged window's intent tags (wraparound guard,
+        // DESIGN §14): rolled-forward slots keep their data but lose the
+        // tag, restoring the invariant that no closed-window slot is
+        // tagged. A no-op (no events) when the window held no tags —
+        // i.e. on every single-shard recovery.
+        self.scrub_slot_tags(tail, head);
+
         // Pass 4: rebuild the DRAM structures from the surviving entries
         // (§4.6: "they can be reconstructed on the startup of system").
         let mut cur_used = vec![false; layout.data_blocks as usize];

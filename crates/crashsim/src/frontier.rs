@@ -92,7 +92,7 @@ impl std::fmt::Display for FrontierReport {
 
 /// One fence epoch reconstructed from a probe trace.
 #[derive(Clone, Debug, PartialEq, Eq)]
-pub(crate) struct FenceEpoch {
+pub struct FenceEpoch {
     /// Staged lines, in first-staging order, deduplicated.
     pub staged: Vec<usize>,
     /// Absolute persistence-event ordinal of the epoch's **last staged
@@ -106,7 +106,7 @@ pub(crate) struct FenceEpoch {
 /// one line, mirroring the device's persistence-event counter: each
 /// `clflush` *line*, each `sfence`, and each atomic store bumps it; plain
 /// stores and sync annotations do not.
-pub(crate) fn epochs_from_trace(ops: &[TracedOp]) -> Vec<FenceEpoch> {
+pub fn epochs_from_trace(ops: &[TracedOp]) -> Vec<FenceEpoch> {
     let mut out = Vec::new();
     let mut event = 0u64;
     let mut staged: Vec<usize> = Vec::new();
@@ -177,6 +177,65 @@ fn frontiers(staged: &[usize], cap: usize, seed: u64) -> (Vec<Vec<usize>>, bool)
     (seen.into_iter().collect(), true)
 }
 
+/// The shared frontier-enumeration loop: for each device's probe-harvested
+/// fence epochs, skips setup epochs, enumerates (or samples) each epoch's
+/// frontiers, and calls `run_state(device, rel_trip, keep)` once per crash
+/// state — which must replay the workload to `rel_trip` events past the
+/// device's start, crash at exactly `keep`, recover, and verify.
+///
+/// `site` labels the device index in violation strings (`Some("shard")` →
+/// `"seed S shard D epoch I …"`; `None` omits it, for single-device
+/// campaigns). All three built-in campaigns and the kvdb frontier
+/// campaigns run through this loop.
+pub fn frontier_enumerate<F>(
+    seed: u64,
+    cap_per_epoch: usize,
+    epochs_per_dev: &[Vec<FenceEpoch>],
+    starts: &[u64],
+    site: Option<&str>,
+    mut run_state: F,
+) -> FrontierReport
+where
+    F: FnMut(usize, u64, &[usize]) -> Result<(), String>,
+{
+    let mut report = FrontierReport {
+        cap_per_epoch: cap_per_epoch.max(2),
+        ..FrontierReport::default()
+    };
+    for (s, epochs) in epochs_per_dev.iter().enumerate() {
+        for (i, ep) in epochs.iter().enumerate() {
+            if ep.trip_event <= starts[s] {
+                report.epochs_skipped_setup += 1;
+                continue;
+            }
+            report.epochs_total += 1;
+            let sub_seed = seed ^ ((s as u64) << 48) ^ ((i as u64) << 32);
+            let (keeps, capped) = frontiers(&ep.staged, cap_per_epoch, sub_seed);
+            if capped {
+                report.epochs_capped += 1;
+                telemetry::count("frontier.epochs.capped", 1);
+            } else {
+                report.epochs_exhaustive += 1;
+            }
+            for keep in keeps {
+                report.states_run += 1;
+                telemetry::count("frontier.states", 1);
+                if let Err(e) = run_state(s, ep.trip_event - starts[s], &keep) {
+                    let at = match site {
+                        Some(site) => format!("{site} {s} epoch {i}"),
+                        None => format!("epoch {i}"),
+                    };
+                    report.violations.push(format!(
+                        "seed {seed} {at} trip {} keep {keep:?}: {e}",
+                        ep.trip_event
+                    ));
+                }
+            }
+        }
+    }
+    report
+}
+
 // ---------------------------------------------------------------------------
 // FS campaign (single-threaded stack, same scripts as the random fuzzer)
 // ---------------------------------------------------------------------------
@@ -194,10 +253,6 @@ pub fn frontier_fs_campaign(
     cap_per_epoch: usize,
 ) -> FrontierReport {
     quiet_crash_panics();
-    let mut report = FrontierReport {
-        cap_per_epoch: cap_per_epoch.max(2),
-        ..FrontierReport::default()
-    };
     let mut cfg = StackConfig::tiny(system);
     cfg.txn_block_limit = 100_000; // commits only at explicit fsync
     let plan = {
@@ -219,31 +274,14 @@ pub fn frontier_fs_campaign(
         (epochs_from_trace(&probe.stack().nvm.take_trace()), start)
     };
 
-    for (i, ep) in epochs.iter().enumerate() {
-        if ep.trip_event <= start_events {
-            report.epochs_skipped_setup += 1;
-            continue;
-        }
-        report.epochs_total += 1;
-        let (keeps, capped) = frontiers(&ep.staged, cap_per_epoch, seed ^ ((i as u64) << 32));
-        if capped {
-            report.epochs_capped += 1;
-            telemetry::count("frontier.epochs.capped", 1);
-        } else {
-            report.epochs_exhaustive += 1;
-        }
-        for keep in keeps {
-            report.states_run += 1;
-            telemetry::count("frontier.states", 1);
-            if let Err(e) = run_fs_state(&cfg, &plan, ep.trip_event - start_events, &keep) {
-                report.violations.push(format!(
-                    "seed {seed} epoch {i} trip {} keep {keep:?}: {e}",
-                    ep.trip_event
-                ));
-            }
-        }
-    }
-    report
+    frontier_enumerate(
+        seed,
+        cap_per_epoch,
+        &[epochs],
+        &[start_events],
+        None,
+        |_, rel_trip, keep| run_fs_state(&cfg, &plan, rel_trip, keep),
+    )
 }
 
 /// One crash state: replay to the epoch's trip, crash at exactly `keep`,
@@ -425,35 +463,14 @@ pub fn pool_frontier_campaign(
         (epochs, starts)
     };
 
-    for (s, epochs) in epochs_per_shard.iter().enumerate() {
-        for (i, ep) in epochs.iter().enumerate() {
-            if ep.trip_event <= starts[s] {
-                report.epochs_skipped_setup += 1;
-                continue;
-            }
-            report.epochs_total += 1;
-            let sub_seed = seed ^ ((s as u64) << 48) ^ ((i as u64) << 32);
-            let (keeps, capped) = frontiers(&ep.staged, cap_per_epoch, sub_seed);
-            if capped {
-                report.epochs_capped += 1;
-                telemetry::count("frontier.epochs.capped", 1);
-            } else {
-                report.epochs_exhaustive += 1;
-            }
-            for keep in keeps {
-                report.states_run += 1;
-                telemetry::count("frontier.states", 1);
-                if let Err(e) = run_pool_state(shards, &plans, s, ep.trip_event - starts[s], &keep)
-                {
-                    report.violations.push(format!(
-                        "seed {seed} shard {s} epoch {i} trip {} keep {keep:?}: {e}",
-                        ep.trip_event
-                    ));
-                }
-            }
-        }
-    }
-    report
+    frontier_enumerate(
+        seed,
+        cap_per_epoch,
+        &epochs_per_shard,
+        &starts,
+        Some("shard"),
+        |s, rel_trip, keep| run_pool_state(shards, &plans, s, rel_trip, keep),
+    )
 }
 
 /// One pool crash state: replay, trip shard `trip_shard` at `rel_trip`,
@@ -664,36 +681,14 @@ pub fn spanning_frontier_campaign(
         (epochs, starts)
     };
 
-    for (s, epochs) in epochs_per_dev.iter().enumerate() {
-        for (i, ep) in epochs.iter().enumerate() {
-            if ep.trip_event <= starts[s] {
-                report.epochs_skipped_setup += 1;
-                continue;
-            }
-            report.epochs_total += 1;
-            let sub_seed = seed ^ ((s as u64) << 48) ^ ((i as u64) << 32);
-            let (keeps, capped) = frontiers(&ep.staged, cap_per_epoch, sub_seed);
-            if capped {
-                report.epochs_capped += 1;
-                telemetry::count("frontier.epochs.capped", 1);
-            } else {
-                report.epochs_exhaustive += 1;
-            }
-            for keep in keeps {
-                report.states_run += 1;
-                telemetry::count("frontier.states", 1);
-                if let Err(e) =
-                    run_spanning_state(shards, &plan, s, ep.trip_event - starts[s], &keep)
-                {
-                    report.violations.push(format!(
-                        "seed {seed} device {s} epoch {i} trip {} keep {keep:?}: {e}",
-                        ep.trip_event
-                    ));
-                }
-            }
-        }
-    }
-    report
+    frontier_enumerate(
+        seed,
+        cap_per_epoch,
+        &epochs_per_dev,
+        &starts,
+        Some("device"),
+        |s, rel_trip, keep| run_spanning_state(shards, &plan, s, rel_trip, keep),
+    )
 }
 
 /// One spanning crash state: replay, trip device `trip_dev` at

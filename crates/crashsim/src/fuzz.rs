@@ -7,6 +7,7 @@ use nvmsim::CrashPolicy;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
+use crate::app::{campaign, run_recoverable, AppOutcome, RecoverableApp};
 use crate::{CrashHarness, FsOracle};
 
 /// One fuzz run's result.
@@ -18,6 +19,16 @@ pub enum FuzzOutcome {
     CrashedVerified,
     /// Crash injected and verification failed (a consistency bug!).
     Violation(String),
+}
+
+impl From<AppOutcome> for FuzzOutcome {
+    fn from(o: AppOutcome) -> FuzzOutcome {
+        match o {
+            AppOutcome::Completed => FuzzOutcome::Completed,
+            AppOutcome::CrashedVerified => FuzzOutcome::CrashedVerified,
+            AppOutcome::Violation(v) => FuzzOutcome::Violation(v),
+        }
+    }
 }
 
 /// Aggregate over a fuzz campaign.
@@ -156,44 +167,78 @@ pub fn fuzz_one_opts(
     mode: FailureMode,
     destage: bool,
 ) -> FuzzOutcome {
-    let mut rng = StdRng::seed_from_u64(seed);
-    let mut cfg = StackConfig::tiny(system);
-    cfg.txn_block_limit = 100_000; // commits only at explicit fsync
-    if destage {
-        cfg.destage = true;
-        cfg.nvm_bytes = 160 << 10;
-    }
-    let mut harness = CrashHarness::new(cfg);
-    // Each seed builds a fresh stack with its own simulated clock; point
-    // any installed telemetry recorder at it so per-seed spans attribute
-    // this run's simulated time (a no-op when telemetry is off).
-    telemetry::swap_clock(&harness.stack().clock);
-    let _seed_span = telemetry::span(telemetry::phase::CRASH_SEED);
-    let mut oracle = FsOracle::new();
-    let plan = script(&mut rng, steps, 12);
+    run_recoverable(&mut FsApp::new(system, seed, steps, mode, destage)).into()
+}
 
-    // Measure the full run once to bound the trip point.
-    let trip = rng.gen_range(1..20_000u64);
-    let crashed = {
-        let oracle_ref = &mut oracle;
-        let plan_ref = &plan;
-        harness.run_with_trip(trip, move |fs| {
-            for step in plan_ref {
-                apply(fs, oracle_ref, step);
+/// The FS-level crash application: a scripted file workload over one
+/// stack, with the [`FsOracle`] tracking durable/staged state.
+struct FsApp {
+    harness: CrashHarness,
+    oracle: FsOracle,
+    plan: Vec<Step>,
+    trip: u64,
+    mode: FailureMode,
+    seed: u64,
+    /// Attributes the whole run (workload + recovery + verify) to this
+    /// seed's simulated clock; dropped when the app is.
+    _seed_span: telemetry::Span,
+}
+
+impl FsApp {
+    fn new(system: System, seed: u64, steps: usize, mode: FailureMode, destage: bool) -> FsApp {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut cfg = StackConfig::tiny(system);
+        cfg.txn_block_limit = 100_000; // commits only at explicit fsync
+        if destage {
+            cfg.destage = true;
+            cfg.nvm_bytes = 160 << 10;
+        }
+        let harness = CrashHarness::new(cfg);
+        // Each seed builds a fresh stack with its own simulated clock;
+        // point any installed telemetry recorder at it so per-seed spans
+        // attribute this run's simulated time (a no-op when telemetry is
+        // off).
+        telemetry::swap_clock(&harness.stack().clock);
+        let _seed_span = telemetry::span(telemetry::phase::CRASH_SEED);
+        let plan = script(&mut rng, steps, 12);
+        let trip = rng.gen_range(1..20_000u64);
+        FsApp {
+            harness,
+            oracle: FsOracle::new(),
+            plan,
+            trip,
+            mode,
+            seed,
+            _seed_span,
+        }
+    }
+}
+
+impl RecoverableApp for FsApp {
+    fn run_to_trip(&mut self) -> bool {
+        let oracle = &mut self.oracle;
+        let plan = &self.plan;
+        self.harness.run_with_trip(self.trip, move |fs| {
+            for step in plan {
+                apply(fs, oracle, step);
             }
         })
-    };
-    if !crashed {
-        return FuzzOutcome::Completed;
     }
-    let policy = match mode {
-        FailureMode::PowerPull => CrashPolicy::Random(seed ^ 0xD1CE),
-        FailureMode::ProcessKill => CrashPolicy::PersistAll,
-    };
-    harness.crash_and_remount(policy);
-    match harness.verify(&oracle) {
-        Ok(()) => FuzzOutcome::CrashedVerified,
-        Err(e) => FuzzOutcome::Violation(format!("seed {seed} trip {trip} ({mode:?}): {e}")),
+
+    fn crash_recover(&mut self) -> Result<(), String> {
+        let policy = match self.mode {
+            FailureMode::PowerPull => CrashPolicy::Random(self.seed ^ 0xD1CE),
+            FailureMode::ProcessKill => CrashPolicy::PersistAll,
+        };
+        self.harness.crash_and_remount(policy);
+        Ok(())
+    }
+
+    fn verify(&mut self) -> Result<(), String> {
+        self.harness.verify(&self.oracle).map_err(|e| {
+            let (seed, trip, mode) = (self.seed, self.trip, self.mode);
+            format!("seed {seed} trip {trip} ({mode:?}): {e}")
+        })
     }
 }
 
@@ -223,26 +268,15 @@ pub fn fuzz_system_opts(
     mode: FailureMode,
     destage: bool,
 ) -> FuzzReport {
-    let mut report = FuzzReport::default();
-    for i in 0..runs {
-        report.runs += 1;
-        match fuzz_one_opts(system, base_seed + i, steps, mode, destage) {
-            FuzzOutcome::Completed => {
-                report.completed += 1;
-                telemetry::count("crash.seeds.completed", 1);
-            }
-            FuzzOutcome::CrashedVerified => {
-                report.crashes += 1;
-                telemetry::count("crash.seeds.crashed", 1);
-            }
-            FuzzOutcome::Violation(v) => {
-                report.crashes += 1;
-                telemetry::count("crash.seeds.violations", 1);
-                report.violations.push(v);
-            }
-        }
+    let r = campaign(runs, true, |i| {
+        run_recoverable(&mut FsApp::new(system, base_seed + i, steps, mode, destage))
+    });
+    FuzzReport {
+        runs: r.runs,
+        completed: r.completed,
+        crashes: r.crashes,
+        violations: r.violations,
     }
-    report
 }
 
 #[cfg(test)]

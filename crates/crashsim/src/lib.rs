@@ -23,6 +23,7 @@
 //! assert!(report.clean(), "no consistency violations: {:?}", report.violations);
 //! ```
 
+mod app;
 mod backlog;
 mod faultfuzz;
 mod frontier;
@@ -31,11 +32,13 @@ mod harness;
 mod oracle;
 mod poolfuzz;
 
+pub use app::{campaign, run_recoverable, AppOutcome, CampaignReport, RecoverableApp};
 pub use backlog::{
     backlog_campaign, backlog_one, backlog_one_detailed, BacklogOutcome, BacklogReport,
 };
 pub use frontier::{
-    frontier_fs_campaign, pool_frontier_campaign, spanning_frontier_campaign, FrontierReport,
+    epochs_from_trace, frontier_enumerate, frontier_fs_campaign, pool_frontier_campaign,
+    spanning_frontier_campaign, FenceEpoch, FrontierReport,
 };
 
 pub use faultfuzz::{

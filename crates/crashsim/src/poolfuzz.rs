@@ -25,13 +25,14 @@
 use std::collections::HashMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 
-use blockdev::{DiskKind, SimDisk, BLOCK_SIZE};
+use blockdev::{Disk, DiskKind, SimDisk, BLOCK_SIZE};
 use nvmsim::{merge_shard_traces, shard_devices, CrashPolicy, Nvm, NvmConfig, NvmTech, SimClock};
 use persistcheck::{CheckConfig, Checker};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use tinca::{PoolConfig, TincaConfig, TincaPool};
 
+use crate::app::{campaign, run_recoverable, AppOutcome, RecoverableApp};
 use crate::quiet_crash_panics;
 
 /// One pool-fuzz iteration's result.
@@ -43,6 +44,16 @@ pub enum PoolFuzzOutcome {
     CrashedVerified,
     /// Verification failed — a consistency bug.
     Violation(String),
+}
+
+impl From<AppOutcome> for PoolFuzzOutcome {
+    fn from(o: AppOutcome) -> PoolFuzzOutcome {
+        match o {
+            AppOutcome::Completed => PoolFuzzOutcome::Completed,
+            AppOutcome::CrashedVerified => PoolFuzzOutcome::CrashedVerified,
+            AppOutcome::Violation(v) => PoolFuzzOutcome::Violation(v),
+        }
+    }
 }
 
 /// Aggregate over a pool-fuzz campaign.
@@ -85,85 +96,136 @@ fn fill(v: u8) -> [u8; BLOCK_SIZE] {
 
 /// Runs one seeded crash-fuzz iteration against an `N`-shard pool.
 pub fn pool_fuzz_one(shards: usize, seed: u64, txns: usize) -> PoolFuzzOutcome {
-    quiet_crash_panics();
-    let mut rng = StdRng::seed_from_u64(seed);
-    let blocks = 96u64;
+    run_recoverable(&mut PoolApp::new(shards, seed, txns)).into()
+}
 
-    let nvm_cfg = NvmConfig::new(shards * (256 << 10), NvmTech::Pcm).with_tracing();
-    let devices: Vec<Nvm> = shard_devices(&nvm_cfg, shards);
-    let clock = SimClock::new();
-    telemetry::swap_clock(&clock);
-    let _seed_span = telemetry::span(telemetry::phase::CRASH_SEED);
-    let disk = SimDisk::new(DiskKind::Ssd, 1 << 16, clock);
-    let pool_cfg = PoolConfig {
-        shards,
-        cache: TincaConfig {
-            ring_bytes: 4096,
-            ..TincaConfig::default()
-        },
-        ..PoolConfig::default()
-    };
-    let pool = TincaPool::format(devices.clone(), disk.clone(), pool_cfg.clone());
-    let metadata_ranges: Vec<_> = (0..shards).map(|s| pool.shard_metadata_ranges(s)).collect();
+/// The pool-level crash application: scripted block transactions against
+/// an `N`-shard pool, with a durable block → fill-byte oracle.
+struct PoolApp {
+    pool: TincaPool,
+    devices: Vec<Nvm>,
+    disk: Disk,
+    pool_cfg: PoolConfig,
+    metadata_ranges: Vec<Vec<std::ops::Range<usize>>>,
+    plan: Vec<TxnSpec>,
+    /// Durable oracle: block → last committed fill byte.
+    durable: HashMap<u64, u8>,
+    committed: usize,
+    shards: usize,
+    trip_shard: usize,
+    trip: u64,
+    seed: u64,
+    _seed_span: telemetry::Span,
+}
 
-    let plan = script(&mut rng, txns, blocks);
-    let trip_shard = (seed % shards as u64) as usize;
-    let trip = rng.gen_range(1..4_000u64);
-    devices[trip_shard].set_trip(Some(trip));
+impl PoolApp {
+    fn new(shards: usize, seed: u64, txns: usize) -> PoolApp {
+        quiet_crash_panics();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let blocks = 96u64;
 
-    // Durable oracle: block → last committed fill byte.
-    let mut durable: HashMap<u64, u8> = HashMap::new();
-    let mut committed = 0usize;
-    let crashed = {
-        let durable = &mut durable;
-        let committed = &mut committed;
-        let pool = &pool;
-        let plan = &plan;
-        catch_unwind(AssertUnwindSafe(move || {
-            for spec in plan {
-                let mut t = pool.init_txn();
-                for (b, v) in spec {
-                    t.write(*b, &fill(*v));
+        let nvm_cfg = NvmConfig::new(shards * (256 << 10), NvmTech::Pcm).with_tracing();
+        let devices: Vec<Nvm> = shard_devices(&nvm_cfg, shards);
+        let clock = SimClock::new();
+        telemetry::swap_clock(&clock);
+        let _seed_span = telemetry::span(telemetry::phase::CRASH_SEED);
+        let disk = SimDisk::new(DiskKind::Ssd, 1 << 16, clock);
+        let pool_cfg = PoolConfig {
+            shards,
+            cache: TincaConfig {
+                ring_bytes: 4096,
+                ..TincaConfig::default()
+            },
+            ..PoolConfig::default()
+        };
+        let pool = TincaPool::format(devices.clone(), disk.clone(), pool_cfg.clone());
+        let metadata_ranges: Vec<_> = (0..shards).map(|s| pool.shard_metadata_ranges(s)).collect();
+
+        let plan = script(&mut rng, txns, blocks);
+        let trip_shard = (seed % shards as u64) as usize;
+        let trip = rng.gen_range(1..4_000u64);
+        devices[trip_shard].set_trip(Some(trip));
+        PoolApp {
+            pool,
+            devices,
+            disk,
+            pool_cfg,
+            metadata_ranges,
+            plan,
+            durable: HashMap::new(),
+            committed: 0,
+            shards,
+            trip_shard,
+            trip,
+            seed,
+            _seed_span,
+        }
+    }
+}
+
+impl RecoverableApp for PoolApp {
+    fn run_to_trip(&mut self) -> bool {
+        let crashed = {
+            let durable = &mut self.durable;
+            let committed = &mut self.committed;
+            let pool = &self.pool;
+            let plan = &self.plan;
+            catch_unwind(AssertUnwindSafe(move || {
+                for spec in plan {
+                    let mut t = pool.init_txn();
+                    for (b, v) in spec {
+                        t.write(*b, &fill(*v));
+                    }
+                    pool.commit(t).expect("fuzz commit");
+                    for (b, v) in spec {
+                        durable.insert(*b, *v);
+                    }
+                    *committed += 1;
                 }
-                pool.commit(t).expect("fuzz commit");
-                for (b, v) in spec {
-                    durable.insert(*b, *v);
-                }
-                *committed += 1;
+            }))
+            .is_err()
+        };
+        self.devices[self.trip_shard].set_trip(None);
+        crashed
+    }
+
+    fn crash_recover(&mut self) -> Result<(), String> {
+        // Power failure: every shard resolves its volatile state
+        // adversarially.
+        for (s, d) in self.devices.iter().enumerate() {
+            d.crash(CrashPolicy::Random(self.seed ^ 0xD1CE ^ (s as u64) << 17));
+        }
+        match TincaPool::recover(
+            self.devices.clone(),
+            self.disk.clone(),
+            self.pool_cfg.clone(),
+        ) {
+            Ok(p) => {
+                self.pool = p;
+                Ok(())
             }
-        }))
-        .is_err()
-    };
-    devices[trip_shard].set_trip(None);
-    if !crashed {
-        return PoolFuzzOutcome::Completed;
+            Err(e) => {
+                let (seed, trip, trip_shard) = (self.seed, self.trip, self.trip_shard);
+                Err(format!(
+                    "seed {seed} trip {trip}@shard{trip_shard}: recovery failed: {e}"
+                ))
+            }
+        }
     }
 
-    // Power failure: every shard resolves its volatile state adversarially.
-    for (s, d) in devices.iter().enumerate() {
-        d.crash(CrashPolicy::Random(seed ^ 0xD1CE ^ (s as u64) << 17));
-    }
-    let pool = match TincaPool::recover(devices.clone(), disk, pool_cfg) {
-        Ok(p) => p,
-        Err(e) => {
-            return PoolFuzzOutcome::Violation(format!(
-                "seed {seed} trip {trip}@shard{trip_shard}: recovery failed: {e}"
-            ));
-        }
-    };
-
-    match verify(
-        &pool,
-        &devices,
-        &metadata_ranges,
-        &durable,
-        &plan[committed],
-        shards,
-    ) {
-        Ok(()) => PoolFuzzOutcome::CrashedVerified,
-        Err(e) => {
-            PoolFuzzOutcome::Violation(format!("seed {seed} trip {trip}@shard{trip_shard}: {e}"))
-        }
+    fn verify(&mut self) -> Result<(), String> {
+        verify(
+            &self.pool,
+            &self.devices,
+            &self.metadata_ranges,
+            &self.durable,
+            &self.plan[self.committed],
+            self.shards,
+        )
+        .map_err(|e| {
+            let (seed, trip, trip_shard) = (self.seed, self.trip, self.trip_shard);
+            format!("seed {seed} trip {trip}@shard{trip_shard}: {e}")
+        })
     }
 }
 
@@ -258,19 +320,15 @@ fn verify(
 
 /// Runs a pool-fuzz campaign of `runs` seeds.
 pub fn pool_fuzz_campaign(shards: usize, base_seed: u64, runs: u64, txns: usize) -> PoolFuzzReport {
-    let mut report = PoolFuzzReport::default();
-    for i in 0..runs {
-        report.runs += 1;
-        match pool_fuzz_one(shards, base_seed + i, txns) {
-            PoolFuzzOutcome::Completed => report.completed += 1,
-            PoolFuzzOutcome::CrashedVerified => report.crashes += 1,
-            PoolFuzzOutcome::Violation(v) => {
-                report.crashes += 1;
-                report.violations.push(v);
-            }
-        }
+    let r = campaign(runs, false, |i| {
+        run_recoverable(&mut PoolApp::new(shards, base_seed + i, txns))
+    });
+    PoolFuzzReport {
+        runs: r.runs,
+        completed: r.completed,
+        crashes: r.crashes,
+        violations: r.violations,
     }
-    report
 }
 
 #[cfg(test)]

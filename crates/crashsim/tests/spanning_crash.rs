@@ -198,3 +198,98 @@ fn mid_sequence_fragment_failure_leaves_nothing_visible() {
     assert_eq!(read_block(&pool, 0), fill(0x11));
     assert_eq!(read_block(&pool, 1), fill(0x22));
 }
+
+/// Every ring slot of shard `s` that still carries a nonzero intent tag,
+/// as `(seq, tag)` pairs. The wraparound guard's structural invariant
+/// says this is empty whenever no spanning window is open.
+fn tagged_slots(pool: &TincaPool, s: usize) -> Vec<(u64, u8)> {
+    pool.with_shard(s, |cache| {
+        let layout = *cache.layout();
+        (0..layout.ring_cap)
+            .filter_map(|seq| {
+                let raw = cache.nvm().read_u64(layout.ring_slot_addr(seq));
+                let (_, tag) = tinca::split_slot(raw);
+                (tag != 0).then_some((seq, tag))
+            })
+            .collect()
+    })
+}
+
+fn commit_spanning_pair(pool: &TincaPool, v: u8) {
+    let mut t = pool.init_txn();
+    t.write(0, &fill(v));
+    t.write(1, &fill(v ^ 0xFF));
+    pool.commit(t).expect("spanning commit");
+}
+
+/// Wraparound guard (DESIGN §14): the intent tag keeps only the low
+/// 7 bits of the intent id, so after 128 spanning commits a new intent's
+/// tag collides with a stale one's. Retiring commits must scrub their
+/// window's tags, so no stale tag ever survives on the device — even
+/// after 130+ retirements, and even across a crash that resets the
+/// intent-id counter to zero (forcing outright id reuse).
+#[test]
+fn intent_tag_wraparound_leaves_no_stale_tags() {
+    quiet_crash_panics();
+    let (devices, disk, pool_cfg) = build_pool(2);
+    let pool = TincaPool::format(devices.clone(), disk.clone(), pool_cfg.clone());
+
+    // Drive the 7-bit tag space around: ids 0..=129, tags wrap at 128.
+    for i in 0..130u32 {
+        commit_spanning_pair(&pool, (i % 251) as u8 + 1);
+        for s in 0..2 {
+            assert_eq!(
+                tagged_slots(&pool, s),
+                vec![],
+                "stale tags on shard {s} after commit {i}"
+            );
+        }
+    }
+    assert!(pool.stats().spanning_commits >= 130);
+
+    // Crash mid-commit *after* the wrap: the in-flight intent's tag
+    // (id 130 → tag 0x82) equals intent 2's tag, whose slots went
+    // through this very ring long ago. Recovery must judge only the open
+    // window and come out clean + all-or-nothing.
+    devices[1].set_trip(Some(1));
+    let crashed = try_spanning_commit(&pool);
+    devices[1].set_trip(None);
+    drop(pool);
+    assert!(crashed, "trip did not fire");
+    for d in &devices {
+        d.crash(CrashPolicy::LoseVolatile);
+    }
+    let pool = TincaPool::recover(devices.clone(), disk.clone(), pool_cfg.clone())
+        .expect("recovery after wrap");
+    let (b0, b1) = (read_block(&pool, 0), read_block(&pool, 1));
+    let last = (129u32 % 251) as u8 + 1;
+    let atomic = (b0 == fill(0xAA) && b1 == fill(0xBB)) // rolled forward
+        || (b0 == fill(last) && b1 == fill(last ^ 0xFF)); // rolled back
+    assert!(
+        atomic,
+        "post-wrap crash not all-or-nothing: block0={:#x} block1={:#x}",
+        b0[0], b1[0]
+    );
+    for s in 0..2 {
+        assert_eq!(
+            tagged_slots(&pool, s),
+            vec![],
+            "stale tags on shard {s} after recovery"
+        );
+    }
+
+    // Recovery reset the intent-id counter to 0: the next 130 spanning
+    // commits reuse every id the pre-crash run already consumed. The
+    // scrubbed ring makes that reuse collision-free.
+    for i in 0..130u32 {
+        commit_spanning_pair(&pool, (i % 250) as u8 + 1);
+    }
+    for s in 0..2 {
+        assert_eq!(
+            tagged_slots(&pool, s),
+            vec![],
+            "stale tags on shard {s} after id reuse"
+        );
+    }
+    assert_eq!(read_block(&pool, 0), fill((129u32 % 250) as u8 + 1));
+}

@@ -1,0 +1,630 @@
+//! The ordered KV store: a B-tree of fixed-size pages over a
+//! [`PageStore`], with single-writer transactions.
+//!
+//! All tree mutation happens in a DRAM page cache; `commit` encodes the
+//! dirty nodes (plus the meta page, which rides in **every** commit so
+//! the committed root is always consistent with the committed pages) and
+//! hands them to the store as one atomic batch. There is no programmatic
+//! abort: a crash discards DRAM, and the store's recovery guarantees the
+//! batch was all-or-nothing — the same contract Tinca gives the
+//! journal-free file system, one level up.
+//!
+//! Structure policy: nodes split when their encoding would overflow the
+//! page; a leaf that empties is freed and unlinked from its parent (a
+//! non-root branch that loses every separator survives as a one-child
+//! chain node, keeping all leaves at uniform depth), and a root branch
+//! with no separator collapses into its single child. `validate` walks
+//! the committed tree re-checking exactly these invariants — the crash
+//! oracles run it after every recovery.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::ops::Bound;
+
+use crate::page::{
+    decode_meta, decode_node, encode_meta, encode_node, is_blank, Meta, Node, MAX_KEY, MAX_VAL,
+    PAGE_SIZE,
+};
+use crate::store::{KvError, PageStore};
+
+/// Decoded pages kept in DRAM before clean ones become eviction
+/// candidates. Dirty pages are pinned until commit.
+const CACHE_PAGES: usize = 1024;
+
+/// An owned key/value pair, as returned by scans.
+pub type KvPair = (Vec<u8>, Vec<u8>);
+
+/// Validation work-list entry: (child page, lower bound, upper bound).
+type ChildBounds = (u32, Option<Vec<u8>>, Option<Vec<u8>>);
+
+/// An embedded ordered KV store over a [`PageStore`].
+pub struct Db<S: PageStore> {
+    store: S,
+    /// Decoded node cache. A `BTreeMap` keyed by page id keeps eviction
+    /// deterministic, so crash-replay event streams are replay-stable.
+    cache: BTreeMap<u32, Node>,
+    dirty: BTreeSet<u32>,
+    meta: Meta,
+    commit_seq: u64,
+    in_txn: bool,
+}
+
+impl<S: PageStore> Db<S> {
+    /// Opens (or formats) a store. A blank page 0 means a fresh store:
+    /// an empty root leaf and the meta page are committed immediately,
+    /// so even a never-written database recovers to a valid tree.
+    pub fn open(mut store: S) -> Result<Db<S>, KvError> {
+        let mut buf = [0u8; PAGE_SIZE];
+        store.read_page(0, &mut buf)?;
+        if is_blank(&buf) {
+            let meta = Meta {
+                root: 1,
+                page_count: 2,
+                free: Vec::new(),
+            };
+            let mut db = Db {
+                store,
+                cache: BTreeMap::new(),
+                dirty: BTreeSet::new(),
+                meta,
+                commit_seq: 0,
+                in_txn: false,
+            };
+            db.cache.insert(1, Node::Leaf(Vec::new()));
+            db.dirty.insert(1);
+            db.write_batch()?;
+            return Ok(db);
+        }
+        let (meta, lsn) = decode_meta(&buf).map_err(|err| KvError::Corrupt { page: 0, err })?;
+        Ok(Db {
+            store,
+            cache: BTreeMap::new(),
+            dirty: BTreeSet::new(),
+            meta,
+            commit_seq: lsn,
+            in_txn: false,
+        })
+    }
+
+    /// The underlying store (device-stats access).
+    pub fn store(&self) -> &S {
+        &self.store
+    }
+
+    /// Mutable store access (crash harnesses arm trips and run
+    /// device-level checks through this; the store's pages are not
+    /// touched behind the cache's back).
+    pub fn store_mut(&mut self) -> &mut S {
+        &mut self.store
+    }
+
+    /// Consumes the database, returning the store.
+    pub fn into_store(self) -> S {
+        self.store
+    }
+
+    /// Commits executed so far (the meta page's lsn).
+    pub fn commit_seq(&self) -> u64 {
+        self.commit_seq
+    }
+
+    // -- transaction lifecycle ---------------------------------------------
+
+    /// Starts the (single) writer transaction.
+    pub fn begin(&mut self) -> Result<(), KvError> {
+        if self.in_txn {
+            return Err(KvError::TxnState("begin inside an open transaction"));
+        }
+        self.in_txn = true;
+        Ok(())
+    }
+
+    /// Commits the open transaction: encodes every dirty node plus the
+    /// meta page and applies them through the store as one atomic batch.
+    /// A read-only transaction commits without touching the store.
+    pub fn commit(&mut self) -> Result<(), KvError> {
+        if !self.in_txn {
+            return Err(KvError::TxnState("commit with no open transaction"));
+        }
+        if !self.dirty.is_empty() {
+            self.write_batch()?;
+        }
+        self.in_txn = false;
+        self.evict();
+        Ok(())
+    }
+
+    fn write_batch(&mut self) -> Result<(), KvError> {
+        self.commit_seq += 1;
+        let lsn = self.commit_seq;
+        let mut batch: Vec<(u32, [u8; PAGE_SIZE])> = Vec::with_capacity(self.dirty.len() + 1);
+        batch.push((
+            0,
+            encode_meta(&self.meta, lsn).map_err(|err| KvError::Corrupt { page: 0, err })?,
+        ));
+        for &id in &self.dirty {
+            let node = self.cache.get(&id).ok_or(KvError::TxnState(
+                "dirty page missing from cache (internal bug)",
+            ))?;
+            batch.push((
+                id,
+                encode_node(node, lsn).map_err(|err| KvError::Corrupt { page: id, err })?,
+            ));
+        }
+        self.store.commit_pages(&batch)?;
+        self.dirty.clear();
+        Ok(())
+    }
+
+    /// Drops clean decoded pages (lowest id first — deterministic) until
+    /// the cache fits its budget again.
+    fn evict(&mut self) {
+        while self.cache.len() > CACHE_PAGES {
+            let Some(id) = self
+                .cache
+                .keys()
+                .copied()
+                .find(|id| !self.dirty.contains(id))
+            else {
+                return; // everything dirty: pinned until commit
+            };
+            self.cache.remove(&id);
+        }
+    }
+
+    // -- node access -------------------------------------------------------
+
+    /// Faults page `id` into the cache and removes it for exclusive use;
+    /// callers must put it back.
+    fn take_node(&mut self, id: u32) -> Result<Node, KvError> {
+        if let Some(n) = self.cache.remove(&id) {
+            return Ok(n);
+        }
+        let mut buf = [0u8; PAGE_SIZE];
+        self.store.read_page(id, &mut buf)?;
+        let (node, _) = decode_node(&buf).map_err(|err| KvError::Corrupt { page: id, err })?;
+        Ok(node)
+    }
+
+    fn alloc(&mut self) -> Result<u32, KvError> {
+        if let Some(id) = self.meta.free.pop() {
+            return Ok(id);
+        }
+        if self.meta.page_count >= self.store.page_capacity() {
+            return Err(KvError::Full);
+        }
+        let id = self.meta.page_count;
+        self.meta.page_count += 1;
+        Ok(id)
+    }
+
+    fn free_page(&mut self, id: u32) {
+        self.cache.remove(&id);
+        self.dirty.remove(&id);
+        if self.meta.free.len() < Meta::free_capacity() {
+            self.meta.free.push(id);
+        }
+        // Beyond the meta page's free-list capacity the id leaks — a
+        // documented bound the workloads never reach.
+    }
+
+    // -- reads -------------------------------------------------------------
+
+    /// Point lookup.
+    pub fn get(&mut self, key: &[u8]) -> Result<Option<Vec<u8>>, KvError> {
+        let mut id = self.meta.root;
+        loop {
+            let node = self.take_node(id)?;
+            let next = match &node {
+                Node::Leaf(entries) => {
+                    let out = entries
+                        .binary_search_by(|(k, _)| k.as_slice().cmp(key))
+                        .ok()
+                        .map(|i| entries[i].1.clone());
+                    self.cache.insert(id, node);
+                    return Ok(out);
+                }
+                Node::Branch { first, seps } => child_for(*first, seps, key),
+            };
+            self.cache.insert(id, node);
+            id = next;
+        }
+    }
+
+    /// Ordered range scan over `[lo, hi)`; `None` bounds are open.
+    pub fn scan(&mut self, lo: Bound<&[u8]>, hi: Bound<&[u8]>) -> Result<Vec<KvPair>, KvError> {
+        let mut out = Vec::new();
+        let root = self.meta.root;
+        self.scan_rec(root, lo, hi, &mut out)?;
+        Ok(out)
+    }
+
+    /// The full committed-and-staged contents — what the crash oracles
+    /// diff against their expected maps.
+    pub fn scan_all(&mut self) -> Result<Vec<KvPair>, KvError> {
+        self.scan(Bound::Unbounded, Bound::Unbounded)
+    }
+
+    fn scan_rec(
+        &mut self,
+        id: u32,
+        lo: Bound<&[u8]>,
+        hi: Bound<&[u8]>,
+        out: &mut Vec<KvPair>,
+    ) -> Result<(), KvError> {
+        let node = self.take_node(id)?;
+        match &node {
+            Node::Leaf(entries) => {
+                for (k, v) in entries {
+                    if in_lo(lo, k) && in_hi(hi, k) {
+                        out.push((k.clone(), v.clone()));
+                    }
+                }
+            }
+            Node::Branch { first, seps } => {
+                // Child i covers [seps[i-1].0, seps[i].0) (open-ended at
+                // the edges); prune subtrees wholly outside the range.
+                let children: Vec<u32> = std::iter::once(*first)
+                    .chain(seps.iter().map(|(_, c)| *c))
+                    .collect();
+                let lower = |i: usize| -> Option<&[u8]> {
+                    if i == 0 {
+                        None
+                    } else {
+                        Some(seps[i - 1].0.as_slice())
+                    }
+                };
+                let upper = |i: usize| -> Option<&[u8]> { seps.get(i).map(|(k, _)| k.as_slice()) };
+                let kids: Vec<(usize, u32)> = children
+                    .iter()
+                    .copied()
+                    .enumerate()
+                    .filter(|&(i, _)| {
+                        let below = matches!((upper(i), lo), (Some(u), Bound::Included(l)) if u <= l)
+                            || matches!((upper(i), lo), (Some(u), Bound::Excluded(l)) if u <= l);
+                        let above = match (lower(i), hi) {
+                            (Some(l), Bound::Included(h)) => l > h,
+                            (Some(l), Bound::Excluded(h)) => l >= h,
+                            _ => false,
+                        };
+                        !below && !above
+                    })
+                    .collect();
+                self.cache.insert(id, node);
+                for (_, child) in kids {
+                    self.scan_rec(child, lo, hi, out)?;
+                }
+                return Ok(());
+            }
+        }
+        self.cache.insert(id, node);
+        Ok(())
+    }
+
+    // -- writes ------------------------------------------------------------
+
+    /// Inserts or replaces `key`.
+    pub fn put(&mut self, key: &[u8], val: &[u8]) -> Result<(), KvError> {
+        if !self.in_txn {
+            return Err(KvError::TxnState("put outside a transaction"));
+        }
+        if key.is_empty() || key.len() > MAX_KEY {
+            return Err(KvError::KeyTooLarge(key.len()));
+        }
+        if val.len() > MAX_VAL {
+            return Err(KvError::ValTooLarge(val.len()));
+        }
+        let root = self.meta.root;
+        if let Some((sep, right)) = self.insert_rec(root, key, val)? {
+            // Root split: grow the tree by one level.
+            let new_root = self.alloc()?;
+            self.cache.insert(
+                new_root,
+                Node::Branch {
+                    first: root,
+                    seps: vec![(sep, right)],
+                },
+            );
+            self.dirty.insert(new_root);
+            self.meta.root = new_root;
+        }
+        Ok(())
+    }
+
+    fn insert_rec(
+        &mut self,
+        id: u32,
+        key: &[u8],
+        val: &[u8],
+    ) -> Result<Option<(Vec<u8>, u32)>, KvError> {
+        let mut node = self.take_node(id)?;
+        let split = match &mut node {
+            Node::Leaf(entries) => {
+                match entries.binary_search_by(|(k, _)| k.as_slice().cmp(key)) {
+                    Ok(i) => entries[i].1 = val.to_vec(),
+                    Err(i) => entries.insert(i, (key.to_vec(), val.to_vec())),
+                }
+                self.dirty.insert(id);
+                if node.fits() {
+                    None
+                } else {
+                    let Node::Leaf(entries) = &mut node else {
+                        return Err(KvError::TxnState("leaf changed kind (internal bug)"));
+                    };
+                    let right_entries = split_half(entries);
+                    let sep = right_entries[0].0.clone();
+                    let right = self.alloc()?;
+                    self.cache.insert(right, Node::Leaf(right_entries));
+                    self.dirty.insert(right);
+                    Some((sep, right))
+                }
+            }
+            Node::Branch { first, seps } => {
+                let child = child_for(*first, seps, key);
+                // Reinsert before recursing so the child's own descent
+                // can fault pages freely.
+                self.cache.insert(id, node);
+                let promoted = self.insert_rec(child, key, val)?;
+                node = self.take_node(id)?;
+                let Some((sep, new_child)) = promoted else {
+                    self.cache.insert(id, node);
+                    return Ok(None);
+                };
+                let Node::Branch { seps, .. } = &mut node else {
+                    return Err(KvError::TxnState("branch changed kind (internal bug)"));
+                };
+                let pos = seps.partition_point(|(k, _)| k.as_slice() <= sep.as_slice());
+                seps.insert(pos, (sep, new_child));
+                self.dirty.insert(id);
+                if node.fits() {
+                    None
+                } else {
+                    let Node::Branch { seps, .. } = &mut node else {
+                        return Err(KvError::TxnState("branch changed kind (internal bug)"));
+                    };
+                    let mid = seps.len() / 2;
+                    let mut right_seps = seps.split_off(mid);
+                    let (promote_key, right_first) = right_seps.remove(0);
+                    let right = self.alloc()?;
+                    self.cache.insert(
+                        right,
+                        Node::Branch {
+                            first: right_first,
+                            seps: right_seps,
+                        },
+                    );
+                    self.dirty.insert(right);
+                    Some((promote_key, right))
+                }
+            }
+        };
+        self.cache.insert(id, node);
+        Ok(split)
+    }
+
+    /// Removes `key`; returns whether it was present.
+    pub fn delete(&mut self, key: &[u8]) -> Result<bool, KvError> {
+        if !self.in_txn {
+            return Err(KvError::TxnState("delete outside a transaction"));
+        }
+        let root = self.meta.root;
+        let (removed, emptied) = self.delete_rec(root, key)?;
+        if emptied {
+            // The whole tree emptied: reset the root to an empty leaf in
+            // place (the root id never dangles).
+            self.cache.insert(root, Node::Leaf(Vec::new()));
+            self.dirty.insert(root);
+        }
+        // A root branch left with no separator collapses into its single
+        // child, shrinking every path uniformly.
+        loop {
+            let node = self.take_node(self.meta.root)?;
+            if let Node::Branch { first, seps } = &node {
+                if seps.is_empty() {
+                    let old = self.meta.root;
+                    let first = *first;
+                    self.free_page(old);
+                    self.meta.root = first;
+                    continue;
+                }
+            }
+            self.cache.insert(self.meta.root, node);
+            break;
+        }
+        Ok(removed)
+    }
+
+    /// Returns `(removed, subtree_now_empty)`.
+    fn delete_rec(&mut self, id: u32, key: &[u8]) -> Result<(bool, bool), KvError> {
+        let mut node = self.take_node(id)?;
+        match &mut node {
+            Node::Leaf(entries) => {
+                let removed = match entries.binary_search_by(|(k, _)| k.as_slice().cmp(key)) {
+                    Ok(i) => {
+                        entries.remove(i);
+                        self.dirty.insert(id);
+                        true
+                    }
+                    Err(_) => false,
+                };
+                let empty = entries.is_empty();
+                self.cache.insert(id, node);
+                Ok((removed, removed && empty))
+            }
+            Node::Branch { first, seps } => {
+                let child = child_for(*first, seps, key);
+                self.cache.insert(id, node);
+                let (removed, child_empty) = self.delete_rec(child, key)?;
+                if !child_empty {
+                    return Ok((removed, false));
+                }
+                // Unlink and free the emptied child.
+                self.free_page(child);
+                let mut node = self.take_node(id)?;
+                let Node::Branch { first, seps } = &mut node else {
+                    return Err(KvError::TxnState("branch changed kind (internal bug)"));
+                };
+                let now_empty = if *first == child {
+                    if let Some(c) = seps.first().map(|(_, c)| *c) {
+                        *first = c;
+                        seps.remove(0);
+                        false
+                    } else {
+                        // Childless non-root branch: report empty so the
+                        // parent unlinks us too.
+                        true
+                    }
+                } else if let Some(pos) = seps.iter().position(|(_, c)| *c == child) {
+                    seps.remove(pos);
+                    false
+                } else {
+                    return Err(KvError::TxnState("freed child not found in parent"));
+                };
+                self.dirty.insert(id);
+                self.cache.insert(id, node);
+                Ok((removed, now_empty))
+            }
+        }
+    }
+
+    // -- validation (crash-oracle support) ---------------------------------
+
+    /// Walks the tree re-checking structural invariants: every reachable
+    /// page decodes (magic + CRC + sorted keys), separators bound their
+    /// subtrees, all leaves sit at the same depth, no page is reachable
+    /// twice or also on the free list, and every id is inside the
+    /// allocation frontier.
+    pub fn validate(&mut self) -> Result<(), String> {
+        let mut seen = BTreeSet::new();
+        let root = self.meta.root;
+        let mut leaf_depth = None;
+        self.validate_rec(root, None, None, 0, &mut seen, &mut leaf_depth)?;
+        for id in &self.meta.free {
+            if seen.contains(id) {
+                return Err(format!("page {id} is both reachable and on the free list"));
+            }
+            if *id >= self.meta.page_count {
+                return Err(format!(
+                    "free page {id} beyond allocation frontier {}",
+                    self.meta.page_count
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn validate_rec(
+        &mut self,
+        id: u32,
+        lo: Option<&[u8]>,
+        hi: Option<&[u8]>,
+        depth: usize,
+        seen: &mut BTreeSet<u32>,
+        leaf_depth: &mut Option<usize>,
+    ) -> Result<(), String> {
+        if id >= self.meta.page_count {
+            return Err(format!(
+                "page {id} beyond allocation frontier {}",
+                self.meta.page_count
+            ));
+        }
+        if !seen.insert(id) {
+            return Err(format!("page {id} reachable twice"));
+        }
+        let node = self.take_node(id).map_err(|e| e.to_string())?;
+        let in_bounds =
+            |k: &[u8]| -> bool { lo.is_none_or(|l| k >= l) && hi.is_none_or(|h| k < h) };
+        let result = match &node {
+            Node::Leaf(entries) => {
+                match *leaf_depth {
+                    None => *leaf_depth = Some(depth),
+                    Some(d) if d != depth => {
+                        return Err(format!("leaf {id} at depth {depth}, expected {d}"));
+                    }
+                    _ => {}
+                }
+                entries
+                    .iter()
+                    .find(|(k, _)| !in_bounds(k))
+                    .map_or(Ok(()), |(k, _)| {
+                        Err(format!("leaf {id} key {k:?} outside separator bounds"))
+                    })
+            }
+            Node::Branch { first, seps } => {
+                if let Some((k, _)) = seps.iter().find(|(k, _)| !in_bounds(k)) {
+                    return Err(format!("branch {id} separator {k:?} outside bounds"));
+                }
+                let children: Vec<ChildBounds> = {
+                    let mut out = Vec::with_capacity(seps.len() + 1);
+                    let mut prev_lo: Option<Vec<u8>> = lo.map(<[u8]>::to_vec);
+                    for i in 0..=seps.len() {
+                        let child = if i == 0 { *first } else { seps[i - 1].1 };
+                        let upper = seps
+                            .get(i)
+                            .map(|(k, _)| k.clone())
+                            .or_else(|| hi.map(<[u8]>::to_vec));
+                        out.push((child, prev_lo.clone(), upper.clone()));
+                        prev_lo = seps.get(i).map(|(k, _)| k.clone());
+                    }
+                    out
+                };
+                self.cache.insert(id, node);
+                for (child, clo, chi) in children {
+                    self.validate_rec(
+                        child,
+                        clo.as_deref(),
+                        chi.as_deref(),
+                        depth + 1,
+                        seen,
+                        leaf_depth,
+                    )?;
+                }
+                return Ok(());
+            }
+        };
+        self.cache.insert(id, node);
+        result
+    }
+}
+
+/// The child of a branch that covers `key`.
+fn child_for(first: u32, seps: &[(Vec<u8>, u32)], key: &[u8]) -> u32 {
+    let pos = seps.partition_point(|(k, _)| k.as_slice() <= key);
+    if pos == 0 {
+        first
+    } else {
+        seps[pos - 1].1
+    }
+}
+
+/// Splits `entries` at the byte-size midpoint; returns the right half.
+fn split_half(entries: &mut Vec<(Vec<u8>, Vec<u8>)>) -> Vec<(Vec<u8>, Vec<u8>)> {
+    let total: usize = entries.iter().map(|(k, v)| 3 + k.len() + v.len()).sum();
+    let mut acc = 0usize;
+    let mut split_at = entries.len() / 2; // fallback: count midpoint
+    for (i, (k, v)) in entries.iter().enumerate() {
+        acc += 3 + k.len() + v.len();
+        if acc >= total / 2 {
+            split_at = i + 1;
+            break;
+        }
+    }
+    let split_at = split_at.clamp(1, entries.len() - 1);
+    entries.split_off(split_at)
+}
+
+fn in_lo(lo: Bound<&[u8]>, k: &[u8]) -> bool {
+    match lo {
+        Bound::Included(l) => k >= l,
+        Bound::Excluded(l) => k > l,
+        Bound::Unbounded => true,
+    }
+}
+
+fn in_hi(hi: Bound<&[u8]>, k: &[u8]) -> bool {
+    match hi {
+        Bound::Included(h) => k <= h,
+        Bound::Excluded(h) => k < h,
+        Bound::Unbounded => true,
+    }
+}

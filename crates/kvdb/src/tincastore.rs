@@ -1,0 +1,186 @@
+//! The WAL-free durability personality: dirty pages become one Tinca
+//! pool transaction, and the ring commit *is* the durability point.
+//!
+//! No log, no replay, no checkpoint: the pool's commit protocol (and,
+//! for batches whose pages map to more than one shard, the persistent
+//! two-phase spanning path) already gives the all-or-nothing guarantee
+//! the [`crate::store::PageStore`] contract demands. Page `p` lives at
+//! disk block `p`, so with more than one shard the ever-present meta
+//! page (page 0, shard 0) plus any odd-id page makes the commit a
+//! spanning transaction — the kvdb crash campaigns exercise that path
+//! on every multi-page commit.
+
+use blockdev::{BlockDevice, Disk, DiskKind, SimDisk, BLOCK_SIZE};
+use nvmsim::{shard_devices, Nvm, NvmConfig, NvmTech, SimClock};
+use tinca::{PoolConfig, TincaConfig, TincaPool};
+
+use crate::page::PAGE_SIZE;
+use crate::store::{KvError, PageStore, StoreStats};
+
+/// Sizing for a [`TincaStore`]'s devices and pool.
+#[derive(Clone, Debug)]
+pub struct TincaStoreConfig {
+    /// Commit-ring shards (page id modulo shards picks the shard).
+    pub shards: usize,
+    /// NVM bytes per shard.
+    pub nvm_bytes_per_shard: usize,
+    /// Disk size in blocks (= the store's page capacity).
+    pub disk_blocks: u64,
+    /// Per-shard commit ring bytes.
+    pub ring_bytes: usize,
+    /// Trace NVM persistence events (crash harnesses need this).
+    pub traced: bool,
+}
+
+impl Default for TincaStoreConfig {
+    fn default() -> Self {
+        TincaStoreConfig {
+            shards: 2,
+            nvm_bytes_per_shard: 2 << 20,
+            disk_blocks: 1 << 16,
+            ring_bytes: 16 << 10,
+            traced: false,
+        }
+    }
+}
+
+impl TincaStoreConfig {
+    fn nvm_config(&self) -> NvmConfig {
+        let cfg = NvmConfig::new(self.shards * self.nvm_bytes_per_shard, NvmTech::Pcm);
+        if self.traced {
+            cfg.with_tracing()
+        } else {
+            cfg
+        }
+    }
+
+    fn pool_config(&self) -> PoolConfig {
+        PoolConfig {
+            shards: self.shards,
+            cache: TincaConfig {
+                ring_bytes: self.ring_bytes,
+                ..TincaConfig::default()
+            },
+            ..PoolConfig::default()
+        }
+    }
+}
+
+/// Journal-free page store: one Tinca pool transaction per KV commit.
+pub struct TincaStore {
+    pool: TincaPool,
+    devices: Vec<Nvm>,
+    disk: Disk,
+    clock: SimClock,
+    cfg: TincaStoreConfig,
+    commits: u64,
+    pages_committed: u64,
+}
+
+impl TincaStore {
+    /// Fresh devices, freshly formatted pool.
+    pub fn format(cfg: TincaStoreConfig) -> TincaStore {
+        let devices = shard_devices(&cfg.nvm_config(), cfg.shards);
+        let clock = SimClock::new();
+        let disk = SimDisk::new(DiskKind::Ssd, cfg.disk_blocks, clock.clone());
+        let pool = TincaPool::format(devices.clone(), disk.clone(), cfg.pool_config());
+        TincaStore {
+            pool,
+            devices,
+            disk,
+            clock,
+            cfg,
+            commits: 0,
+            pages_committed: 0,
+        }
+    }
+
+    /// Recovers a pool on surviving devices (the crash-and-remount path;
+    /// DRAM counters restart, exactly as a reboot would restart them).
+    pub fn recover(
+        devices: Vec<Nvm>,
+        disk: Disk,
+        clock: SimClock,
+        cfg: TincaStoreConfig,
+    ) -> Result<TincaStore, KvError> {
+        let pool = TincaPool::recover(devices.clone(), disk.clone(), cfg.pool_config())
+            .map_err(|e| KvError::Store(format!("pool recovery: {e}")))?;
+        Ok(TincaStore {
+            pool,
+            devices,
+            disk,
+            clock,
+            cfg,
+            commits: 0,
+            pages_committed: 0,
+        })
+    }
+
+    /// The shard devices (crash harnesses arm trips and crash these).
+    pub fn devices(&self) -> &[Nvm] {
+        &self.devices
+    }
+
+    /// The backing disk.
+    pub fn disk(&self) -> &Disk {
+        &self.disk
+    }
+
+    /// The simulated clock driving this store's devices.
+    pub fn clock(&self) -> &SimClock {
+        &self.clock
+    }
+
+    /// The live pool.
+    pub fn pool(&self) -> &TincaPool {
+        &self.pool
+    }
+
+    /// The store's sizing config (crash cycles rebuild from this).
+    pub fn config(&self) -> &TincaStoreConfig {
+        &self.cfg
+    }
+
+    /// Tears the store down to its surviving parts for a crash cycle.
+    pub fn into_parts(self) -> (Vec<Nvm>, Disk, SimClock, TincaStoreConfig) {
+        (self.devices, self.disk, self.clock, self.cfg)
+    }
+}
+
+impl PageStore for TincaStore {
+    fn read_page(&mut self, id: u32, buf: &mut [u8; PAGE_SIZE]) -> Result<(), KvError> {
+        self.pool
+            .read(u64::from(id), buf)
+            .map_err(|e| KvError::Store(format!("pool read of page {id}: {e}")))
+    }
+
+    fn commit_pages(&mut self, dirty: &[(u32, [u8; PAGE_SIZE])]) -> Result<(), KvError> {
+        let mut txn = self.pool.init_txn();
+        for (id, img) in dirty {
+            txn.write(u64::from(*id), img);
+        }
+        self.pool
+            .commit(txn)
+            .map_err(|e| KvError::Store(format!("pool commit: {e}")))?;
+        self.commits += 1;
+        self.pages_committed += dirty.len() as u64;
+        Ok(())
+    }
+
+    fn page_capacity(&self) -> u32 {
+        u32::try_from(self.cfg.disk_blocks).unwrap_or(u32::MAX)
+    }
+
+    fn stats(&self) -> StoreStats {
+        StoreStats {
+            commits: self.commits,
+            pages_committed: self.pages_committed,
+            nvm_bytes: self
+                .devices
+                .iter()
+                .map(|d| d.stats().bytes_written_back())
+                .sum(),
+            disk_bytes: self.disk.stats().writes * BLOCK_SIZE as u64,
+        }
+    }
+}

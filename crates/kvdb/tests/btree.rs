@@ -1,0 +1,286 @@
+//! B-tree correctness: unit tests for splits, merges and the page codec,
+//! plus property tests against a `BTreeMap` model on both durability
+//! personalities.
+#![allow(clippy::disallowed_methods, clippy::disallowed_macros)]
+
+use std::collections::BTreeMap;
+use std::ops::Bound;
+
+use kvdb::{Db, KvError, PageStore, TincaStore, TincaStoreConfig, WalConfig, WalStore};
+use proptest::prelude::*;
+
+fn tinca_db() -> Db<TincaStore> {
+    Db::open(TincaStore::format(TincaStoreConfig {
+        nvm_bytes_per_shard: 1 << 20,
+        ..TincaStoreConfig::default()
+    }))
+    .unwrap()
+}
+
+fn wal_db() -> Db<WalStore> {
+    Db::open(WalStore::tiny(WalConfig::default()).unwrap()).unwrap()
+}
+
+fn k(i: u32) -> Vec<u8> {
+    format!("key-{i:06}").into_bytes()
+}
+
+fn v(i: u32, tag: u32) -> Vec<u8> {
+    format!("val-{i:06}-{tag:04}-{}", "x".repeat(32)).into_bytes()
+}
+
+#[test]
+fn put_get_roundtrip_both_personalities() {
+    for mode in ["tinca", "wal"] {
+        type PutGet<'a> = &'a mut dyn FnMut(&[u8], &[u8]) -> Option<Vec<u8>>;
+        let check = |db: PutGet<'_>| {
+            assert_eq!(db(b"alpha", b"1"), Some(b"1".to_vec()), "{mode}");
+        };
+        match mode {
+            "tinca" => {
+                let mut db = tinca_db();
+                check(&mut |key, val| {
+                    db.begin().unwrap();
+                    db.put(key, val).unwrap();
+                    db.commit().unwrap();
+                    db.get(key).unwrap()
+                });
+            }
+            _ => {
+                let mut db = wal_db();
+                check(&mut |key, val| {
+                    db.begin().unwrap();
+                    db.put(key, val).unwrap();
+                    db.commit().unwrap();
+                    db.get(key).unwrap()
+                });
+            }
+        }
+    }
+}
+
+#[test]
+fn splits_preserve_order_and_contents() {
+    let mut db = tinca_db();
+    let n = 500u32;
+    db.begin().unwrap();
+    for i in 0..n {
+        // Insertion order hostile to naive splitting: alternating ends.
+        let i = if i % 2 == 0 { i / 2 } else { n - 1 - i / 2 };
+        db.put(&k(i), &v(i, 0)).unwrap();
+    }
+    db.commit().unwrap();
+    db.validate().unwrap();
+    let all = db.scan_all().unwrap();
+    assert_eq!(all.len(), n as usize);
+    for (i, (key, val)) in all.iter().enumerate() {
+        assert_eq!(key, &k(i as u32));
+        assert_eq!(val, &v(i as u32, 0));
+    }
+}
+
+#[test]
+fn overwrites_do_not_grow_the_tree() {
+    let mut db = tinca_db();
+    db.begin().unwrap();
+    for i in 0..200 {
+        db.put(&k(i), &v(i, 0)).unwrap();
+    }
+    db.commit().unwrap();
+    let count_before = db.scan_all().unwrap().len();
+    db.begin().unwrap();
+    for i in 0..200 {
+        db.put(&k(i), &v(i, 1)).unwrap();
+    }
+    db.commit().unwrap();
+    db.validate().unwrap();
+    assert_eq!(db.scan_all().unwrap().len(), count_before);
+    assert_eq!(db.get(&k(77)).unwrap(), Some(v(77, 1)));
+}
+
+#[test]
+fn delete_shrinks_back_to_empty_root() {
+    let mut db = tinca_db();
+    let n = 400u32;
+    db.begin().unwrap();
+    for i in 0..n {
+        db.put(&k(i), &v(i, 0)).unwrap();
+    }
+    db.commit().unwrap();
+    db.begin().unwrap();
+    for i in 0..n {
+        assert!(db.delete(&k(i)).unwrap(), "key {i} missing at delete");
+        if i % 67 == 0 {
+            db.validate().unwrap();
+        }
+    }
+    db.commit().unwrap();
+    db.validate().unwrap();
+    assert!(db.scan_all().unwrap().is_empty());
+    // The emptied tree's pages were freed and get reused.
+    db.begin().unwrap();
+    for i in 0..n {
+        db.put(&k(i), &v(i, 2)).unwrap();
+    }
+    db.commit().unwrap();
+    db.validate().unwrap();
+    assert_eq!(db.scan_all().unwrap().len(), n as usize);
+}
+
+#[test]
+fn scan_bounds_match_btreemap_semantics() {
+    let mut db = tinca_db();
+    let mut model = BTreeMap::new();
+    db.begin().unwrap();
+    for i in (0..300).step_by(3) {
+        db.put(&k(i), &v(i, 0)).unwrap();
+        model.insert(k(i), v(i, 0));
+    }
+    db.commit().unwrap();
+    let lo = k(30);
+    let hi = k(180);
+    let got = db.scan(Bound::Included(&lo), Bound::Excluded(&hi)).unwrap();
+    let want: Vec<_> = model
+        .range::<Vec<u8>, _>((Bound::Included(&lo), Bound::Excluded(&hi)))
+        .map(|(a, b)| (a.clone(), b.clone()))
+        .collect();
+    assert_eq!(got, want);
+}
+
+#[test]
+fn txn_state_is_enforced() {
+    let mut db = tinca_db();
+    assert!(matches!(db.put(b"a", b"b"), Err(KvError::TxnState(_))));
+    assert!(matches!(db.commit(), Err(KvError::TxnState(_))));
+    db.begin().unwrap();
+    assert!(matches!(db.begin(), Err(KvError::TxnState(_))));
+    db.commit().unwrap();
+}
+
+#[test]
+fn size_limits_are_enforced() {
+    let mut db = tinca_db();
+    db.begin().unwrap();
+    assert!(matches!(
+        db.put(&[7u8; kvdb::MAX_KEY + 1], b"v"),
+        Err(KvError::KeyTooLarge(_))
+    ));
+    assert!(matches!(db.put(b"", b"v"), Err(KvError::KeyTooLarge(0))));
+    assert!(matches!(
+        db.put(b"k", &vec![0u8; kvdb::MAX_VAL + 1]),
+        Err(KvError::ValTooLarge(_))
+    ));
+    db.commit().unwrap();
+}
+
+#[test]
+fn wal_store_survives_checkpoints() {
+    // A checkpoint threshold small enough that the workload crosses it
+    // several times: contents must be identical before and after.
+    let mut db = Db::open(
+        WalStore::tiny(WalConfig {
+            checkpoint_bytes: 64 << 10,
+            ..WalConfig::default()
+        })
+        .unwrap(),
+    )
+    .unwrap();
+    let mut model = BTreeMap::new();
+    for round in 0..6u32 {
+        db.begin().unwrap();
+        for i in 0..40 {
+            let key = k(i * 7 % 97);
+            let val = v(i, round);
+            db.put(&key, &val).unwrap();
+            model.insert(key, val);
+        }
+        db.commit().unwrap();
+    }
+    db.validate().unwrap();
+    let got: BTreeMap<_, _> = db.scan_all().unwrap().into_iter().collect();
+    assert_eq!(got, model);
+    assert!(db.store().stats().commits >= 6);
+}
+
+#[test]
+fn stats_count_commits_and_device_bytes() {
+    let mut db = tinca_db();
+    db.begin().unwrap();
+    db.put(b"k", b"v").unwrap();
+    db.commit().unwrap();
+    let s = db.store().stats();
+    assert!(s.commits >= 1);
+    assert!(s.pages_committed >= 2, "meta + leaf");
+    assert!(s.device_bytes() > 0);
+    assert!(s.amplification() > 0.0);
+}
+
+// ---------------------------------------------------------------------------
+// Property tests vs the BTreeMap model
+// ---------------------------------------------------------------------------
+
+/// One scripted op: key index into a small key universe, optional value.
+fn run_model_script<S: PageStore>(mut db: Db<S>, ops: &[(u16, u8, bool)]) {
+    let mut model: BTreeMap<Vec<u8>, Vec<u8>> = BTreeMap::new();
+    for chunk in ops.chunks(5) {
+        db.begin().unwrap();
+        for &(ki, vi, is_put) in chunk {
+            let key = k(u32::from(ki) % 113);
+            if is_put {
+                let val = v(u32::from(ki), u32::from(vi));
+                db.put(&key, &val).unwrap();
+                model.insert(key, val);
+            } else {
+                let want = model.remove(&key).is_some();
+                assert_eq!(db.delete(&key).unwrap(), want);
+            }
+        }
+        db.commit().unwrap();
+    }
+    db.validate().unwrap();
+    let got: BTreeMap<_, _> = db.scan_all().unwrap().into_iter().collect();
+    assert_eq!(got, model);
+    for (key, val) in &model {
+        assert_eq!(db.get(key).unwrap().as_ref(), Some(val));
+    }
+}
+
+proptest! {
+    #[test]
+    fn tinca_db_matches_btreemap_model(
+        ops in proptest::collection::vec((0u16..400, 0u8..255, any::<bool>()), 1..120),
+    ) {
+        run_model_script(tinca_db(), &ops);
+    }
+
+    #[test]
+    fn wal_db_matches_btreemap_model(
+        ops in proptest::collection::vec((0u16..400, 0u8..255, any::<bool>()), 1..60),
+    ) {
+        run_model_script(wal_db(), &ops);
+    }
+
+    #[test]
+    fn reopen_preserves_contents(
+        ops in proptest::collection::vec((0u16..200, 0u8..255), 1..60),
+    ) {
+        let mut db = tinca_db();
+        let mut model: BTreeMap<Vec<u8>, Vec<u8>> = BTreeMap::new();
+        db.begin().unwrap();
+        for &(ki, vi) in &ops {
+            let key = k(u32::from(ki) % 67);
+            let val = v(u32::from(ki), u32::from(vi));
+            db.put(&key, &val).unwrap();
+            model.insert(key, val);
+        }
+        db.commit().unwrap();
+        // Clean reopen on the same devices: recover the pool, reopen the
+        // tree from the committed meta page.
+        let (devices, disk, clock, cfg) = db.into_store().into_parts();
+        let store = TincaStore::recover(devices, disk, clock, cfg).unwrap();
+        let mut db = Db::open(store).unwrap();
+        db.validate().unwrap();
+        let got: BTreeMap<_, _> = db.scan_all().unwrap().into_iter().collect();
+        prop_assert_eq!(got, model);
+    }
+}

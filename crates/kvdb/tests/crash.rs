@@ -1,0 +1,87 @@
+//! Crash-consistency campaigns for both kvdb durability personalities:
+//! random trip sweeps under both failure modes, plus bounded exhaustive
+//! persist-frontier enumeration. The ignored 200-seed sweeps run in CI's
+//! dedicated kvdb crash step (`--ignored`).
+#![allow(clippy::disallowed_methods, clippy::disallowed_macros)]
+
+use crashsim::FailureMode;
+use kvdb::{
+    tinca_kv_frontier_campaign, tinca_kv_fuzz_campaign, wal_kv_frontier_campaign,
+    wal_kv_fuzz_campaign,
+};
+
+/// Transactions per seeded plan.
+const TXNS: usize = 15;
+/// Trip ranges sized from measured event rates (~1430 events/txn for the
+/// WAL stack, ~60–115/txn per shard for the pool), so trips land
+/// mid-workload for most seeds while some seeds run to completion.
+const WAL_TRIP_MAX: u64 = 20_000;
+const TINCA_TRIP_MAX: u64 = 1_500;
+
+#[test]
+fn wal_kv_fuzz_power_pull_smoke() {
+    let r = wal_kv_fuzz_campaign(0x11A0, 12, TXNS, WAL_TRIP_MAX, FailureMode::PowerPull);
+    assert!(r.clean(), "violations: {:#?}", r.violations);
+    assert!(r.crashes > 0, "no seed crashed: widen the trip range");
+}
+
+#[test]
+fn wal_kv_fuzz_process_kill_smoke() {
+    let r = wal_kv_fuzz_campaign(0x11B0, 6, TXNS, WAL_TRIP_MAX, FailureMode::ProcessKill);
+    assert!(r.clean(), "violations: {:#?}", r.violations);
+    assert!(r.crashes > 0, "no seed crashed: widen the trip range");
+}
+
+#[test]
+fn tinca_kv_fuzz_power_pull_smoke() {
+    let r = tinca_kv_fuzz_campaign(0x22A0, 12, TXNS, TINCA_TRIP_MAX, FailureMode::PowerPull);
+    assert!(r.clean(), "violations: {:#?}", r.violations);
+    assert!(r.crashes > 0, "no seed crashed: widen the trip range");
+}
+
+#[test]
+fn tinca_kv_fuzz_process_kill_smoke() {
+    let r = tinca_kv_fuzz_campaign(0x22B0, 6, TXNS, TINCA_TRIP_MAX, FailureMode::ProcessKill);
+    assert!(r.clean(), "violations: {:#?}", r.violations);
+    assert!(r.crashes > 0, "no seed crashed: widen the trip range");
+}
+
+#[test]
+fn wal_kv_frontier_smoke() {
+    let r = wal_kv_frontier_campaign(0x33A0, 2, 4);
+    assert!(r.clean(), "violations: {:#?}", r.violations);
+    assert!(r.epochs_total > 0, "probe found no workload epochs");
+    assert!(r.states_run >= 2 * r.epochs_total);
+}
+
+#[test]
+fn tinca_kv_frontier_smoke() {
+    let r = tinca_kv_frontier_campaign(0x44A0, 2, 4);
+    assert!(r.clean(), "violations: {:#?}", r.violations);
+    assert!(r.epochs_total > 0, "probe found no workload epochs");
+    // Both shards must contribute epochs: page 0 (meta) commits on shard
+    // 0 every transaction, odd B-tree pages commit on shard 1.
+    assert!(r.states_run >= 2 * r.epochs_total);
+}
+
+/// The 200-seed sweep CI runs with `--ignored`: 100 seeds per
+/// personality, both failure modes interleaved.
+#[test]
+#[ignore = "long: run via cargo test -p kvdb --release --test crash -- --ignored"]
+fn kv_fuzz_200_seeds() {
+    let mut violations: Vec<String> = Vec::new();
+    let mut crashes = 0u64;
+    for (base, mode) in [
+        (0xA000, FailureMode::PowerPull),
+        (0xB000, FailureMode::ProcessKill),
+    ] {
+        let w = wal_kv_fuzz_campaign(base, 50, TXNS, WAL_TRIP_MAX, mode);
+        crashes += w.crashes;
+        violations.extend(w.violations);
+        let t = tinca_kv_fuzz_campaign(base ^ 0xF0F0, 50, TXNS, TINCA_TRIP_MAX, mode);
+        crashes += t.crashes;
+        violations.extend(t.violations);
+    }
+    assert!(violations.is_empty(), "violations: {violations:#?}");
+    assert!(crashes >= 40, "only {crashes} of 200 seeds crashed");
+}

@@ -35,12 +35,84 @@ impl TxnType {
     }
 }
 
+/// The TPC-C tables this generator models. The discriminant order is the
+/// physical layout order inside a warehouse ([`Regions::page_of`]), so
+/// record keys sort by table exactly as their pages are laid out.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[repr(u8)]
+pub enum Table {
+    Warehouse = 0,
+    District = 1,
+    Stock = 2,
+    Customer = 3,
+    /// Orders and history share one append-mostly region.
+    Order = 4,
+}
+
+impl Table {
+    /// All tables, in key order.
+    pub const ALL: [Table; 5] = [
+        Table::Warehouse,
+        Table::District,
+        Table::Stock,
+        Table::Customer,
+        Table::Order,
+    ];
+
+    fn from_code(code: u8) -> Option<Table> {
+        Table::ALL.into_iter().find(|t| *t as u8 == code)
+    }
+}
+
+/// A deterministic TPC-C record key: `(warehouse, table, row)`.
+///
+/// `row` identifies a page-sized row group within the table's region (rows
+/// sharing a leaf page share a row group; for [`Table::Order`] it is the
+/// append cursor, eight of which share one page). One key codec serves
+/// both personalities of the reproduction: the block-level drivers map a
+/// key to a page via [`Regions::page_of`], and `kvdb` stores the record
+/// under [`encode`](Self::encode)'s ordered bytes — so fig 8/12 and the
+/// WAL-elimination figure exercise the same logical records.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct RecordKey {
+    pub warehouse: u32,
+    pub table: Table,
+    pub row: u64,
+}
+
+impl RecordKey {
+    /// Encoded size: `[warehouse: 4][table: 1][row: 8]`.
+    pub const ENCODED_LEN: usize = 13;
+
+    /// Encodes into fixed-width big-endian bytes, so byte-lexicographic
+    /// order over encodings equals [`Ord`] order over keys (and the
+    /// mapping is injective — equal encodings decode to equal keys).
+    pub fn encode(&self) -> [u8; Self::ENCODED_LEN] {
+        let mut out = [0u8; Self::ENCODED_LEN];
+        out[0..4].copy_from_slice(&self.warehouse.to_be_bytes());
+        out[4] = self.table as u8;
+        out[5..13].copy_from_slice(&self.row.to_be_bytes());
+        out
+    }
+
+    /// Decodes an [`encode`](Self::encode)d key; `None` on a wrong length
+    /// or an unknown table code.
+    pub fn decode(bytes: &[u8]) -> Option<RecordKey> {
+        let bytes: &[u8; Self::ENCODED_LEN] = bytes.try_into().ok()?;
+        Some(RecordKey {
+            warehouse: u32::from_be_bytes([bytes[0], bytes[1], bytes[2], bytes[3]]),
+            table: Table::from_code(bytes[4])?,
+            row: u64::from_be_bytes(bytes[5..13].try_into().ok()?),
+        })
+    }
+}
+
 /// Page-region layout inside a warehouse file, mirroring the locality
 /// structure of the TPC-C tables: a single scorching warehouse page, ten
 /// hot district pages, NURand-skewed stock and customer regions, and an
 /// append-mostly order/history region with a per-warehouse cursor.
 #[derive(Clone, Copy, Debug)]
-struct Regions {
+pub struct Regions {
     stock_start: u64,
     stock_len: u64,
     cust_start: u64,
@@ -50,7 +122,8 @@ struct Regions {
 }
 
 impl Regions {
-    fn new(pages: u64) -> Regions {
+    /// Region layout of a warehouse spanning `pages` 4 KB pages.
+    pub fn new(pages: u64) -> Regions {
         assert!(pages >= 64, "warehouse file too small: {pages} pages");
         let stock_start = 11;
         let stock_len = pages / 4;
@@ -68,39 +141,167 @@ impl Regions {
         }
     }
 
-    fn warehouse(&self) -> u64 {
-        0
+    /// The warehouse-file page holding `key`'s record — the one shared
+    /// (warehouse, table, row) → page mapping of the reproduction.
+    pub fn page_of(&self, key: RecordKey) -> u64 {
+        match key.table {
+            Table::Warehouse => 0,
+            Table::District => 1 + key.row % 10,
+            Table::Stock => self.stock_start + key.row % self.stock_len,
+            Table::Customer => self.cust_start + key.row % self.cust_len,
+            // Several consecutive appends share one page (a B-tree leaf
+            // fills up before the insert point moves on), so appends
+            // mostly rewrite a hot page.
+            Table::Order => self.order_start + (key.row / 8) % self.order_len,
+        }
     }
 
-    fn district(&self, rng: &mut StdRng) -> u64 {
-        1 + rng.gen_range(0..10)
+    /// Rolls a district row (0..10).
+    pub fn district_row(rng: &mut StdRng) -> u64 {
+        rng.gen_range(0..10)
     }
 
     /// Row-level NURand composed with page-level heat: popular items and
     /// B-tree upper levels concentrate 70 % of page touches on ⅛ of the
     /// region (the page working set a database buffer hierarchy sees).
-    fn hot_skewed(rng: &mut StdRng, start: u64, len: u64, c: u64) -> u64 {
+    fn hot_skewed(rng: &mut StdRng, len: u64, c: u64) -> u64 {
         let hot_len = (len / 8).max(1);
         if rng.gen_range(0..100) < 70 {
-            start + nurand(rng, (hot_len / 4).max(1), c, 0, hot_len - 1)
+            nurand(rng, (hot_len / 4).max(1), c, 0, hot_len - 1)
         } else {
-            start + nurand(rng, (len / 4).max(1), c, 0, len - 1)
+            nurand(rng, (len / 4).max(1), c, 0, len - 1)
         }
     }
 
-    fn stock(&self, rng: &mut StdRng) -> u64 {
-        Self::hot_skewed(rng, self.stock_start, self.stock_len, 7911)
+    /// Rolls a NURand-skewed stock row.
+    pub fn stock_row(&self, rng: &mut StdRng) -> u64 {
+        Self::hot_skewed(rng, self.stock_len, 7911)
     }
 
-    fn customer(&self, rng: &mut StdRng) -> u64 {
-        Self::hot_skewed(rng, self.cust_start, self.cust_len, 5813)
+    /// Rolls a NURand-skewed customer row.
+    pub fn customer_row(&self, rng: &mut StdRng) -> u64 {
+        Self::hot_skewed(rng, self.cust_len, 5813)
     }
+}
 
-    /// The order/history append page at `cursor` (wrapping). Several
-    /// consecutive records share one page (a B-tree leaf fills up before
-    /// the insert point moves on), so appends mostly rewrite a hot page.
-    fn order(&self, cursor: u64) -> u64 {
-        self.order_start + (cursor / 8) % self.order_len
+/// One generated transaction: its type and the record keys it touches.
+/// Appends (order/history inserts) are separated from in-place writes
+/// because a fresh page is *not* read first — they are the cache's
+/// genuine write misses.
+#[derive(Clone, Debug)]
+pub struct TxnKeys {
+    pub txn_type: TxnType,
+    pub reads: Vec<RecordKey>,
+    pub writes: Vec<RecordKey>,
+    pub appends: Vec<RecordKey>,
+}
+
+/// Rolls one TPC-C transaction's type and record keys for a user homed at
+/// warehouse `home`. `cursors` holds the per-warehouse order/history
+/// append cursors (advanced by NewOrder). This is the single source of
+/// the access pattern: the block-level driver maps each key to a page via
+/// [`Regions::page_of`], and kvdb stores each key's record under
+/// [`RecordKey::encode`] — one stream, two personalities.
+///
+/// Accesses follow the TPC-C tables' locality structure: the
+/// warehouse/district rows are scorching hot, stock/customer are
+/// NURand-skewed, and orders/history are appended at a per-warehouse
+/// cursor. 90 % of accesses hit the home warehouse (remote payments /
+/// order lines take the rest).
+pub fn gen_txn_keys(
+    rng: &mut StdRng,
+    regions: &Regions,
+    home: u32,
+    warehouses: u32,
+    cursors: &mut [u64],
+) -> TxnKeys {
+    let t = TxnType::roll(rng);
+    let pick_wh = |rng: &mut StdRng| -> u32 {
+        if rng.gen_range(0..100) < 90 {
+            home
+        } else {
+            rng.gen_range(0..warehouses)
+        }
+    };
+    let key = |warehouse: u32, table: Table, row: u64| RecordKey {
+        warehouse,
+        table,
+        row,
+    };
+    let mut reads: Vec<RecordKey> = Vec::with_capacity(24);
+    let mut writes: Vec<RecordKey> = Vec::with_capacity(16);
+    let mut appends: Vec<RecordKey> = Vec::with_capacity(4);
+    match t {
+        TxnType::NewOrder => {
+            // Reads: district, five stock rows, the customer.
+            // Page-cleaner-visible writes: the district page, two
+            // of the five stock pages (the buffer pool coalesces
+            // the rest between flush cycles), the order append.
+            let wh = pick_wh(rng);
+            let d = Regions::district_row(rng);
+            reads.push(key(wh, Table::District, d));
+            writes.push(key(wh, Table::District, d)); // next order id
+            for k in 0..5 {
+                let swh = pick_wh(rng);
+                let s = regions.stock_row(rng);
+                reads.push(key(swh, Table::Stock, s));
+                if k < 2 {
+                    writes.push(key(swh, Table::Stock, s)); // stock quantity update
+                }
+            }
+            reads.push(key(wh, Table::Customer, regions.customer_row(rng)));
+            let cur = cursors[wh as usize];
+            cursors[wh as usize] += 1;
+            appends.push(key(wh, Table::Order, cur));
+        }
+        TxnType::Payment => {
+            let wh = pick_wh(rng);
+            let d = Regions::district_row(rng);
+            let c = regions.customer_row(rng);
+            reads.push(key(wh, Table::Warehouse, 0));
+            reads.push(key(wh, Table::District, d));
+            reads.push(key(wh, Table::Customer, c));
+            // w_ytd / d_ytd updates coalesce in the buffer pool
+            // (those pages are re-dirtied by nearly every txn);
+            // the customer balance and history append reach the FS.
+            writes.push(key(wh, Table::Customer, c));
+            let cur = cursors[wh as usize];
+            appends.push(key(wh, Table::Order, cur)); // history append
+        }
+        TxnType::OrderStatus => {
+            let wh = pick_wh(rng);
+            reads.push(key(wh, Table::Customer, regions.customer_row(rng)));
+            let cur = cursors[wh as usize];
+            for k in 0..3u64 {
+                reads.push(key(wh, Table::Order, cur.saturating_sub(k)));
+            }
+        }
+        TxnType::Delivery => {
+            let wh = home;
+            let cur = cursors[wh as usize];
+            for k in 0..6u64 {
+                reads.push(key(wh, Table::Order, cur.saturating_sub(k)));
+            }
+            for k in 0..2u64 {
+                writes.push(key(wh, Table::Order, cur.saturating_sub(k)));
+            }
+            let c = regions.customer_row(rng);
+            reads.push(key(wh, Table::Customer, c));
+            writes.push(key(wh, Table::Customer, c));
+        }
+        TxnType::StockLevel => {
+            let wh = home;
+            reads.push(key(wh, Table::District, Regions::district_row(rng)));
+            for _ in 0..20 {
+                reads.push(key(wh, Table::Stock, regions.stock_row(rng)));
+            }
+        }
+    }
+    TxnKeys {
+        txn_type: t,
+        reads,
+        writes,
+        appends,
     }
 }
 
@@ -206,114 +407,42 @@ impl Tpcc {
 
     /// Executes one transaction for `user`; returns its type.
     ///
-    /// Accesses follow the TPC-C tables' locality structure: the
-    /// warehouse/district rows are scorching hot, stock/customer are
-    /// NURand-skewed, and orders/history are appended at a per-warehouse
-    /// cursor. 90 % of accesses hit the home warehouse (remote payments /
-    /// order lines take the rest).
+    /// The access pattern comes from [`gen_txn_keys`]; this driver maps
+    /// each record key to its warehouse-file page and replays the reads,
+    /// writes, and appends against the filesystem.
     fn run_txn(&mut self, stack: &mut Stack, user: usize) -> TxnType {
         let txn_t0 = stack.clock.now_ns();
         let pages = self.spec.warehouse_bytes / BLOCK_SIZE as u64;
         let regions = Regions::new(pages);
-        let t = TxnType::roll(&mut self.users[user].rng);
-        let home = self.users[user].home;
-        let pick_wh = |rng: &mut StdRng, warehouses: u32| -> u32 {
-            if rng.gen_range(0..100) < 90 {
-                home
-            } else {
-                rng.gen_range(0..warehouses)
-            }
-        };
-        let mut reads: Vec<(u32, u64)> = Vec::with_capacity(24);
-        let mut writes: Vec<(u32, u64)> = Vec::with_capacity(16);
-        // Append-style inserts (orders, history): a fresh page is *not*
-        // read first — these are the cache's genuine write misses.
-        let mut appends: Vec<(u32, u64)> = Vec::with_capacity(4);
-        {
-            let warehouses = self.spec.warehouses;
-            let u = &mut self.users[user];
-            match t {
-                TxnType::NewOrder => {
-                    // Reads: district, five stock rows, the customer.
-                    // Page-cleaner-visible writes: the district page, two
-                    // of the five stock pages (the buffer pool coalesces
-                    // the rest between flush cycles), the order append.
-                    let wh = pick_wh(&mut u.rng, warehouses);
-                    let d = regions.district(&mut u.rng);
-                    reads.push((wh, d));
-                    writes.push((wh, d)); // next order id
-                    for k in 0..5 {
-                        let swh = pick_wh(&mut u.rng, warehouses);
-                        let s = regions.stock(&mut u.rng);
-                        reads.push((swh, s));
-                        if k < 2 {
-                            writes.push((swh, s)); // stock quantity update
-                        }
-                    }
-                    reads.push((wh, regions.customer(&mut u.rng)));
-                    let cur = self.cursors[wh as usize];
-                    self.cursors[wh as usize] += 1;
-                    appends.push((wh, regions.order(cur)));
-                }
-                TxnType::Payment => {
-                    let wh = pick_wh(&mut u.rng, warehouses);
-                    let d = regions.district(&mut u.rng);
-                    let c = regions.customer(&mut u.rng);
-                    reads.push((wh, regions.warehouse()));
-                    reads.push((wh, d));
-                    reads.push((wh, c));
-                    // w_ytd / d_ytd updates coalesce in the buffer pool
-                    // (those pages are re-dirtied by nearly every txn);
-                    // the customer balance and history append reach the FS.
-                    writes.push((wh, c));
-                    let cur = self.cursors[wh as usize];
-                    appends.push((wh, regions.order(cur))); // history append
-                }
-                TxnType::OrderStatus => {
-                    let wh = pick_wh(&mut u.rng, warehouses);
-                    reads.push((wh, regions.customer(&mut u.rng)));
-                    let cur = self.cursors[wh as usize];
-                    for k in 0..3u64 {
-                        reads.push((wh, regions.order(cur.saturating_sub(k))));
-                    }
-                }
-                TxnType::Delivery => {
-                    let wh = home;
-                    let cur = self.cursors[wh as usize];
-                    for k in 0..6u64 {
-                        reads.push((wh, regions.order(cur.saturating_sub(k))));
-                    }
-                    for k in 0..2u64 {
-                        writes.push((wh, regions.order(cur.saturating_sub(k))));
-                    }
-                    let c = regions.customer(&mut u.rng);
-                    reads.push((wh, c));
-                    writes.push((wh, c));
-                }
-                TxnType::StockLevel => {
-                    let wh = home;
-                    reads.push((wh, regions.district(&mut u.rng)));
-                    for _ in 0..20 {
-                        reads.push((wh, regions.stock(&mut u.rng)));
-                    }
-                }
-            }
-        }
+        let warehouses = self.spec.warehouses;
+        let u = &mut self.users[user];
+        let keys = gen_txn_keys(&mut u.rng, &regions, u.home, warehouses, &mut self.cursors);
         let mut buf = [0u8; BLOCK_SIZE];
-        for (wh, page) in reads {
+        for k in &keys.reads {
+            let page = regions.page_of(*k);
             stack
                 .fs
-                .read(self.files[wh as usize], page * BLOCK_SIZE as u64, &mut buf)
+                .read(
+                    self.files[k.warehouse as usize],
+                    page * BLOCK_SIZE as u64,
+                    &mut buf,
+                )
                 .expect("read");
         }
-        let did_write = !writes.is_empty() || !appends.is_empty();
+        let did_write = !keys.writes.is_empty() || !keys.appends.is_empty();
         let payload = [0x22u8; BLOCK_SIZE];
-        for (wh, page) in writes.into_iter().chain(appends) {
+        for k in keys.writes.iter().chain(&keys.appends) {
+            let page = regions.page_of(*k);
             stack
                 .fs
-                .write(self.files[wh as usize], page * BLOCK_SIZE as u64, &payload)
+                .write(
+                    self.files[k.warehouse as usize],
+                    page * BLOCK_SIZE as u64,
+                    &payload,
+                )
                 .expect("write");
         }
+        let t = keys.txn_type;
         if did_write {
             self.since_fsync += 1;
             // Group commit (JBD2 merges concurrent fsyncs into one journal
@@ -425,5 +554,85 @@ mod tests {
         tpcc.setup(&mut stack);
         let r = tpcc.run(&mut stack);
         assert_eq!(r.ops, 100);
+    }
+
+    #[test]
+    fn record_key_round_trips() {
+        for table in Table::ALL {
+            for (wh, row) in [(0u32, 0u64), (3, 7), (u32::MAX, u64::MAX)] {
+                let k = RecordKey {
+                    warehouse: wh,
+                    table,
+                    row,
+                };
+                assert_eq!(RecordKey::decode(&k.encode()), Some(k));
+            }
+        }
+    }
+
+    #[test]
+    fn record_key_decode_rejects_garbage() {
+        assert_eq!(RecordKey::decode(&[]), None);
+        assert_eq!(RecordKey::decode(&[0u8; 12]), None);
+        assert_eq!(RecordKey::decode(&[0u8; 14]), None);
+        let mut bad = [0u8; RecordKey::ENCODED_LEN];
+        bad[4] = 0xEE; // unknown table code
+        assert_eq!(RecordKey::decode(&bad), None);
+    }
+
+    #[test]
+    fn page_of_matches_region_layout() {
+        let regions = Regions::new(256);
+        let key = |table, row| RecordKey {
+            warehouse: 0,
+            table,
+            row,
+        };
+        assert_eq!(regions.page_of(key(Table::Warehouse, 0)), 0);
+        assert_eq!(regions.page_of(key(Table::District, 0)), 1);
+        assert_eq!(regions.page_of(key(Table::District, 9)), 10);
+        // stock_start = 11, stock_len = cust_len = 64, order rest.
+        assert_eq!(regions.page_of(key(Table::Stock, 0)), 11);
+        assert_eq!(regions.page_of(key(Table::Customer, 0)), 75);
+        assert_eq!(regions.page_of(key(Table::Order, 0)), 139);
+        // Eight consecutive appends share a page; the ninth moves on.
+        assert_eq!(regions.page_of(key(Table::Order, 7)), 139);
+        assert_eq!(regions.page_of(key(Table::Order, 8)), 140);
+        // Pages never escape the file.
+        for table in Table::ALL {
+            for row in [0u64, 1, 63, 64, 1000, u64::MAX] {
+                assert!(regions.page_of(key(table, row)) < 256);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod codec_props {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn arb_key() -> impl Strategy<Value = RecordKey> {
+        (any::<u32>(), 0u8..5, any::<u64>()).prop_map(|(warehouse, t, row)| RecordKey {
+            warehouse,
+            table: Table::from_code(t).expect("codes 0..5 are all tables"),
+            row,
+        })
+    }
+
+    proptest! {
+        /// Byte-lexicographic order over encodings equals `Ord` over keys.
+        /// (Taking `a < b` to `encode(a) < encode(b)` also proves
+        /// injectivity: distinct keys are ordered, so their encodings are
+        /// ordered and hence distinct.)
+        #[test]
+        fn encoding_preserves_order(a in arb_key(), b in arb_key()) {
+            prop_assert_eq!(a.cmp(&b), a.encode().cmp(&b.encode()));
+        }
+
+        #[test]
+        fn encoding_round_trips(k in arb_key()) {
+            prop_assert_eq!(RecordKey::decode(&k.encode()), Some(k));
+        }
     }
 }
