@@ -59,6 +59,8 @@ fn main() {
     done("persistrace");
     figs::spanning::run(quick);
     done("spanning");
+    figs::mw_scaling::run(quick);
+    done("mw_scaling");
     figs::wal_elim::run(quick);
     done("wal_elim");
     println!(

@@ -14,6 +14,7 @@ pub mod fig8;
 pub mod flush_instr;
 pub mod latency_load;
 pub mod meta_schemes;
+pub mod mw_scaling;
 pub mod persistrace;
 pub mod phases;
 pub mod recoverability;

@@ -9,7 +9,8 @@ use nvmsim::Nvm;
 use crate::entry::{CacheEntry, Role, FRESH};
 use crate::freemon::FreeMonitor;
 use crate::layout::{
-    Layout, DATA_BLOCKS_OFF, ENTRY_COUNT_OFF, HEAD_OFF, MAGIC, MAGIC_OFF, RING_CAP_OFF, TAIL_OFF,
+    mw_desc_addr, mw_state_word, slot_value, Layout, DATA_BLOCKS_OFF, ENTRY_COUNT_OFF, HEAD_OFF,
+    MAGIC, MAGIC_OFF, MW_DEAD_TAG, MW_FLAG_SPANNING, MW_FREE, MW_RESERVED, RING_CAP_OFF, TAIL_OFF,
 };
 use crate::lru::LruList;
 use crate::{CacheStats, TincaConfig, TincaError, Txn, WritePolicy};
@@ -27,6 +28,38 @@ pub(crate) struct PreparedFragment {
     replaced_prevs: Vec<u32>,
     blocks: u64,
     coalesced: u64,
+}
+
+/// Per-window bookkeeping for the multi-writer lock-free commit path
+/// (DESIGN §16). Produced by [`TincaCache::mw_stage_meta`] while the shard
+/// lock is held; the payload staging jobs run *outside* any lock, and the
+/// rest is consumed by the sequencer ([`TincaCache::mw_sequence`]).
+pub(crate) struct MwStagedMeta {
+    /// First ring sequence number of the reserved window.
+    pub(crate) start: u64,
+    /// Window length in ring slots (= staged blocks).
+    pub(crate) len: u64,
+    /// Descriptor table slot holding the window's persistent state word.
+    pub(crate) desc_slot: usize,
+    /// Entry indices staged by this window (empty if the window failed).
+    pub(crate) touched: Vec<u32>,
+    /// Previous block versions to release after the commit point.
+    pub(crate) replaced_prevs: Vec<u32>,
+    /// Blocks this window pinned (its own raw unpin list).
+    pub(crate) pinned_blocks: Vec<u32>,
+    /// Entries this window pinned.
+    pub(crate) pinned_entries: Vec<u32>,
+    /// `(nvm data address, payload)` pairs the writer stages and flushes
+    /// concurrently, outside the shard lock.
+    pub(crate) stage_jobs: Vec<(usize, crate::txn::BlockBuf)>,
+    /// Staged block count (for `committed_blocks`).
+    pub(crate) blocks: u64,
+    /// Coalesced-write count carried from the transaction.
+    pub(crate) coalesced: u64,
+    /// The window was admitted but its meta phase failed: its entries are
+    /// revoked, its unwritten slots dead-tagged, and the sequencer treats
+    /// it as a published no-op so `Head` can pass it.
+    pub(crate) failed: bool,
 }
 
 /// Operational condition of a cache (or pool) with respect to its backing
@@ -99,6 +132,12 @@ pub struct TincaCache {
     /// advancing the foreground clock (wall = max, busy = sum — the same
     /// overlap model `workloads::mtfio` uses for shard parallelism).
     destage_lane_free_ns: u64,
+    /// Entries currently pinned by in-flight multi-writer windows. The
+    /// legacy admission supply (`free + evictable cached`) assumed one
+    /// committer; concurrent windows keep log-role entries alive between
+    /// rounds, and those must not count as evictable supply. Zero outside
+    /// the lock-free path.
+    mw_pinned_entries: usize,
     stats: CacheStats,
 }
 
@@ -154,6 +193,7 @@ impl TincaCache {
             quarantined: HashSet::new(),
             dirty_idx: HashSet::new(),
             destage_lane_free_ns: 0,
+            mw_pinned_entries: 0,
             stats: CacheStats::default(),
             layout,
         }
@@ -423,6 +463,410 @@ impl TincaCache {
         self.revoke_in_flight(&frag.touched);
         self.scrub_slot_tags(window.0, window.1);
         self.clear_pins();
+        self.stats.failed_commits += 1;
+    }
+
+    // ------------------------------------------------------------------
+    // Multi-writer ring windows (lock-free commit path, pool-driven;
+    // DESIGN §16)
+    // ------------------------------------------------------------------
+
+    /// Writes a window descriptor (state word + geometry) and flushes its
+    /// line — **no fence**: the descriptor only matters to recovery once
+    /// `Head` has passed the window, and the sequencer's drain fence runs
+    /// strictly before that `Head` store.
+    fn mw_write_desc(&mut self, slot: usize, word0: u64, start: u64, len: u64, flags: u64) {
+        let addr = mw_desc_addr(slot);
+        self.nvm.atomic_write_u64(addr, word0);
+        self.nvm.atomic_write_u64(addr + 8, start);
+        self.nvm.atomic_write_u64(addr + 16, len);
+        self.nvm.atomic_write_u64(addr + 24, flags);
+        self.nvm.clflush(addr, 32);
+    }
+
+    /// Retires a window descriptor back to [`MW_FREE`]. Flushed without a
+    /// fence: a retire store lost to a crash leaves a stale `STAGED`
+    /// descriptor whose window ends at or before `Tail`, which recovery
+    /// ignores (retired windows never overlap `[Tail, Head)`).
+    pub(crate) fn mw_retire_desc(&mut self, slot: usize) {
+        let addr = mw_desc_addr(slot);
+        self.nvm.atomic_write_u64(addr, MW_FREE);
+        self.nvm.atomic_write_u64(addr + 8, 0);
+        self.nvm.atomic_write_u64(addr + 16, 0);
+        self.nvm.atomic_write_u64(addr + 24, 0);
+        self.nvm.clflush(addr, 32);
+    }
+
+    /// Raw pin of a block on behalf of one window. Disjoint windows never
+    /// pin the same block (the pool's conflict admission keeps in-flight
+    /// disk blocks disjoint, and freshly allocated blocks are exclusive),
+    /// so per-window unpin lists cannot double-release.
+    fn mw_pin_block(&mut self, blk: u32, list: &mut Vec<u32>) {
+        if blk != FRESH && !self.pin_blocks[blk as usize] {
+            self.pin_blocks[blk as usize] = true;
+            list.push(blk);
+        }
+    }
+
+    /// Raw pin of an entry on behalf of one window.
+    fn mw_pin_entry(&mut self, idx: u32, list: &mut Vec<u32>) {
+        if !self.pin_entries[idx as usize] {
+            self.pin_entries[idx as usize] = true;
+            list.push(idx);
+            self.mw_pinned_entries += 1;
+        }
+    }
+
+    /// Releases one window's raw pins (the per-window analogue of
+    /// [`Self::clear_pins`]).
+    fn mw_unpin(&mut self, blocks: &[u32], entries: &[u32]) {
+        for &b in blocks {
+            self.pin_blocks[b as usize] = false;
+        }
+        for &i in entries {
+            self.pin_entries[i as usize] = false;
+        }
+        self.mw_pinned_entries -= entries.len();
+    }
+
+    /// Meta phase of a multi-writer window commit, run **under the shard
+    /// lock** with the ring window `[start, start+n)` already reserved by
+    /// the pool's fetch-add cursor: admission, block allocation, log-role
+    /// entry stores, ring-slot stores and the `RESERVED` descriptor — all
+    /// flushed but **never fenced** (the sequencer's single drain fence
+    /// covers everything). Payload writes are *not* performed here; they
+    /// are returned as staging jobs the writer runs outside the lock.
+    ///
+    /// On error the window is sealed as a no-op: entries staged so far are
+    /// revoked, unwritten slots are dead-tagged, pins drop — but the ring
+    /// window stays reserved and the caller must still publish and
+    /// sequence it (as `failed`) so `Head` can advance past it.
+    // The Err variant deliberately carries the sealed window's meta back:
+    // a failed reservation still occupies its ring window and must be
+    // published and sequenced as `failed` so `Head` can pass it.
+    #[allow(clippy::result_large_err)]
+    pub(crate) fn mw_stage_meta(
+        &mut self,
+        txn: Txn,
+        start: u64,
+        desc_slot: usize,
+        tag: u8,
+        ordinal: u64,
+    ) -> Result<MwStagedMeta, (TincaError, MwStagedMeta)> {
+        let _t = telemetry::span(telemetry::phase::COMMIT);
+        let n = txn.len();
+        debug_assert!(n > 0 && (n as u64) <= self.layout.ring_cap);
+        let spanning = tag != 0;
+        let mut meta = MwStagedMeta {
+            start,
+            len: n as u64,
+            desc_slot,
+            touched: Vec::with_capacity(n),
+            replaced_prevs: Vec::with_capacity(n),
+            pinned_blocks: Vec::with_capacity(2 * n),
+            pinned_entries: Vec::with_capacity(n),
+            stage_jobs: Vec::with_capacity(n),
+            blocks: n as u64,
+            coalesced: txn.coalesced_writes(),
+            failed: false,
+        };
+        self.mw_write_desc(
+            desc_slot,
+            mw_state_word(ordinal, MW_RESERVED),
+            start,
+            n as u64,
+            if spanning { MW_FLAG_SPANNING } else { 0 },
+        );
+        {
+            let _a = telemetry::span(telemetry::phase::COMMIT_ADMISSION);
+            // Same supply rule as `commit`, minus entries other in-flight
+            // windows keep pinned (they are not evictable mid-round).
+            let overlap = txn
+                .blocks()
+                .iter()
+                .filter(|(b, _)| self.index.contains_key(b))
+                .count();
+            let evictable = (self.index.len() - overlap).saturating_sub(self.mw_pinned_entries);
+            let available = self.free_blocks.free_count() + evictable;
+            if n > available {
+                self.mw_fail_window(&mut meta, 0);
+                return Err((
+                    TincaError::CacheExhausted {
+                        needed: n,
+                        available,
+                    },
+                    meta,
+                ));
+            }
+        }
+        let mut entry_lines: Vec<usize> = Vec::with_capacity(n);
+        for (seq, (disk_blk, data)) in (start..).zip(txn.into_blocks()) {
+            // (1) COW target block; the payload write itself is deferred to
+            // the caller's concurrent staging phase.
+            let new_blk = {
+                let _s = telemetry::span(telemetry::phase::COMMIT_STAGE);
+                match self.alloc_block() {
+                    Ok(b) => b,
+                    Err(e) => {
+                        self.mw_fail_window(&mut meta, seq - start);
+                        return Err((e, meta));
+                    }
+                }
+            };
+            let mut pinned_blocks = std::mem::take(&mut meta.pinned_blocks);
+            self.mw_pin_block(new_blk, &mut pinned_blocks);
+            meta.stage_jobs.push((self.layout.data_addr(new_blk), data));
+            // (2) Log-role entry, one 16 B atomic store, line flush deferred.
+            let _e = telemetry::span(telemetry::phase::COMMIT_ENTRY);
+            let idx = match self.index.get(&disk_blk) {
+                Some(&idx) => {
+                    let old = self.read_entry(idx);
+                    debug_assert!(old.valid && old.disk_blk == disk_blk);
+                    debug_assert_eq!(old.role, Role::Buffer);
+                    if !old.modified {
+                        self.dirty_idx.insert(idx);
+                    }
+                    let prev = old.cur;
+                    self.mw_pin_block(prev, &mut pinned_blocks);
+                    meta.replaced_prevs.push(prev);
+                    self.write_entry_unflushed(
+                        idx,
+                        CacheEntry::new(Role::Log, true, disk_blk, prev, new_blk),
+                    );
+                    self.stats.write_hits += 1;
+                    idx
+                }
+                None => {
+                    // Audited panic: one entry slot exists per data block,
+                    // so a free block implies a free entry (see `commit`).
+                    #[allow(clippy::disallowed_methods)]
+                    let idx = self
+                        .free_entries
+                        .allocate()
+                        .expect("entry pool exhausts strictly after block pool");
+                    self.write_entry_unflushed(
+                        idx,
+                        CacheEntry::new(Role::Log, true, disk_blk, FRESH, new_blk),
+                    );
+                    self.index.insert(disk_blk, idx);
+                    self.lru.push_mru(idx);
+                    self.dirty_idx.insert(idx);
+                    self.stats.write_misses += 1;
+                    idx
+                }
+            };
+            meta.pinned_blocks = pinned_blocks;
+            drop(_e);
+            entry_lines.push(self.layout.entry_addr(idx) / nvmsim::CACHE_LINE);
+            let mut pinned_entries = std::mem::take(&mut meta.pinned_entries);
+            self.mw_pin_entry(idx, &mut pinned_entries);
+            meta.pinned_entries = pinned_entries;
+            meta.touched.push(idx);
+            // (3) Ring slot: 8 B atomic store + line flush, fence deferred.
+            let _r = telemetry::span(telemetry::phase::COMMIT_RING);
+            let slot = self.layout.ring_slot_addr(seq);
+            self.nvm.atomic_write_u64(slot, slot_value(disk_blk, tag));
+            self.nvm.clflush(slot, 8);
+        }
+        // Deferred entry flush: one clflush per *distinct* line, no fence.
+        let _e = telemetry::span(telemetry::phase::COMMIT_ENTRY);
+        entry_lines.sort_unstable();
+        entry_lines.dedup();
+        self.stats.coalesced_flushes += (meta.touched.len() - entry_lines.len()) as u64;
+        for &line in &entry_lines {
+            self.nvm.clflush(line * nvmsim::CACHE_LINE, 1);
+        }
+        Ok(meta)
+    }
+
+    /// Seals a window whose meta phase failed after `processed` blocks:
+    /// revokes the staged entries, dead-tags the unwritten slots (a stale
+    /// slot value from the ring's previous lap could name another
+    /// in-flight window's block and corrupt roll-forward), and drops the
+    /// window's pins. The ring window itself stays reserved; the caller
+    /// publishes it `STAGED` so the sequencer can pass it as a no-op.
+    fn mw_fail_window(&mut self, meta: &mut MwStagedMeta, processed: u64) {
+        {
+            let _t = telemetry::span(telemetry::phase::COMMIT_REVOKE);
+            for &idx in &std::mem::take(&mut meta.touched) {
+                let e = self.read_entry(idx);
+                if e.valid && !e.is_revoked_marker() {
+                    self.revoke_entry(idx, e);
+                }
+            }
+        }
+        let mut lines: Vec<usize> = Vec::new();
+        for seq in meta.start + processed..meta.start + meta.len {
+            let addr = self.layout.ring_slot_addr(seq);
+            self.nvm.atomic_write_u64(addr, slot_value(0, MW_DEAD_TAG));
+            lines.push(addr / nvmsim::CACHE_LINE);
+        }
+        lines.sort_unstable();
+        lines.dedup();
+        for line in lines {
+            self.nvm.clflush(line * nvmsim::CACHE_LINE, 1);
+        }
+        let blocks = std::mem::take(&mut meta.pinned_blocks);
+        let entries = std::mem::take(&mut meta.pinned_entries);
+        self.mw_unpin(&blocks, &entries);
+        meta.replaced_prevs.clear();
+        meta.stage_jobs.clear();
+        meta.failed = true;
+        self.stats.failed_commits += 1;
+    }
+
+    /// Sequencer round (DESIGN §16): retires a maximal contiguous prefix
+    /// of published windows with **one** fence and **one** `Head` store.
+    /// `windows` must start at the current `Head` and be contiguous;
+    /// `max_ready_ns` is the latest private-clock completion time among
+    /// the windows' concurrent staging phases (overlap model: the round
+    /// cannot begin before the slowest writer finished flushing).
+    ///
+    /// Protocol: advance the clock past the slowest writer, fence once
+    /// (draining every writer's flushed payloads, entries, ring slots and
+    /// `STAGED` descriptor words — the fence epoch is device-global), then
+    /// persist `Head := end`. That `Head` store is the round's **commit
+    /// point**: recovery rolls every covered window forward from then on.
+    /// The role switch and `Tail := end` follow, exactly as in the
+    /// single-writer protocol.
+    pub(crate) fn mw_sequence(&mut self, mut windows: Vec<MwStagedMeta>, max_ready_ns: u64) {
+        let _t = telemetry::span(telemetry::phase::COMMIT);
+        debug_assert!(!windows.is_empty());
+        debug_assert_eq!(self.head, self.tail, "round must start at a closed ring");
+        debug_assert_eq!(windows[0].start, self.head, "round must start at Head");
+        let old_tail = self.tail;
+        let mut end = self.head;
+        for w in &windows {
+            debug_assert_eq!(w.start, end, "round windows must be contiguous");
+            end = w.start + w.len;
+        }
+        self.nvm.clock().advance_to(max_ready_ns);
+        {
+            // One fence + one Head move for the whole round.
+            let _r = telemetry::span(telemetry::phase::COMMIT_RING);
+            self.nvm.sfence();
+            self.head = end;
+            self.nvm.atomic_write_u64(HEAD_OFF, self.head);
+            self.nvm.persist(HEAD_OFF, 8);
+            self.nvm.note_commit(HEAD_OFF, 8);
+        }
+        let switched: Vec<u32> = windows
+            .iter()
+            .filter(|w| !w.failed)
+            .flat_map(|w| w.touched.iter().copied())
+            .collect();
+        self.complete_role_switch(&switched);
+        {
+            let _p = telemetry::span(telemetry::phase::COMMIT_POINT);
+            self.tail = self.head;
+            self.nvm.atomic_write_u64(TAIL_OFF, self.tail);
+            self.nvm.persist(TAIL_OFF, 8);
+            self.nvm.note_commit(TAIL_OFF, 8);
+        }
+        // Retired windows' slots may carry dead tags; scrub them so the
+        // "no tags at rest" invariant (DESIGN §14) holds on this path too.
+        self.scrub_slot_tags(old_tail, end);
+        let ok_windows = windows.iter().filter(|w| !w.failed).count() as u64;
+        for w in &mut windows {
+            self.mw_retire_desc(w.desc_slot);
+            for p in std::mem::take(&mut w.replaced_prevs) {
+                self.free_blocks.release(p);
+            }
+            for &idx in &w.touched {
+                self.lru.touch(idx);
+            }
+            let blocks = std::mem::take(&mut w.pinned_blocks);
+            let entries = std::mem::take(&mut w.pinned_entries);
+            self.mw_unpin(&blocks, &entries);
+            if !w.failed {
+                self.stats.commits += 1;
+                self.stats.committed_blocks += w.blocks;
+                self.stats.coalesced_writes += w.coalesced;
+            }
+        }
+        // "Windows published per Head advance": one group per round that
+        // retired more than one real window.
+        if ok_windows > 1 {
+            self.stats.group_commits += 1;
+            self.stats.batched_txns += ok_windows;
+        }
+        drop(_t);
+        self.maybe_destage();
+    }
+
+    /// Spanning prepare on the lock-free path: the shard is quiesced (the
+    /// pool drains all windows and blocks new reservations first), so this
+    /// window is the only one outstanding. Fences, advances `Head` past
+    /// the window and completes the role switch — but leaves `Tail` (and
+    /// the `STAGED` descriptor) in place: recovery judges the window's
+    /// tagged slots by the spanning intent, exactly as on the mutex path.
+    pub(crate) fn mw_sequence_spanning(&mut self, meta: &MwStagedMeta, max_ready_ns: u64) {
+        let _t = telemetry::span(telemetry::phase::COMMIT);
+        debug_assert!(!meta.failed);
+        debug_assert_eq!(
+            self.head, self.tail,
+            "spanning prepare needs a quiesced shard"
+        );
+        debug_assert_eq!(meta.start, self.head);
+        self.nvm.clock().advance_to(max_ready_ns);
+        let _r = telemetry::span(telemetry::phase::COMMIT_RING);
+        self.nvm.sfence();
+        self.head = meta.start + meta.len;
+        self.nvm.atomic_write_u64(HEAD_OFF, self.head);
+        self.nvm.persist(HEAD_OFF, 8);
+        drop(_r);
+        self.complete_role_switch(&meta.touched);
+    }
+
+    /// Second phase of a resolved spanning commit on the lock-free path:
+    /// the shard-local commit point (`Tail := Head`), then the same
+    /// retirement as [`Self::complete_fragment`].
+    pub(crate) fn mw_complete_spanning(&mut self, mut meta: MwStagedMeta) {
+        let _t = telemetry::span(telemetry::phase::COMMIT);
+        let window = (self.tail, self.head);
+        {
+            let _p = telemetry::span(telemetry::phase::COMMIT_POINT);
+            self.tail = self.head;
+            self.nvm.atomic_write_u64(TAIL_OFF, self.tail);
+            self.nvm.persist(TAIL_OFF, 8);
+            self.nvm.note_commit(TAIL_OFF, 8);
+        }
+        self.scrub_slot_tags(window.0, window.1);
+        self.mw_retire_desc(meta.desc_slot);
+        // Unlike the pipelined path — where the next sequencer round's
+        // drain fence orders the retire write-back before any later
+        // commit record — the very next persist here is the intent
+        // record on shard 0. Fence so the intent can never overtake the
+        // descriptor retirement.
+        self.nvm.sfence();
+        for p in std::mem::take(&mut meta.replaced_prevs) {
+            self.free_blocks.release(p);
+        }
+        for &idx in &meta.touched {
+            self.lru.touch(idx);
+        }
+        self.mw_unpin(&meta.pinned_blocks, &meta.pinned_entries);
+        self.stats.commits += 1;
+        self.stats.committed_blocks += meta.blocks;
+        self.stats.coalesced_writes += meta.coalesced;
+        self.stats.spanning_fragments += 1;
+        drop(_t);
+        self.maybe_destage();
+    }
+
+    /// Aborts a prepared spanning fragment on the lock-free path before
+    /// the intent resolves: revokes the staged entries and closes the ring
+    /// window, like [`Self::abort_fragment`].
+    pub(crate) fn mw_abort_spanning(&mut self, meta: MwStagedMeta) {
+        let _t = telemetry::span(telemetry::phase::COMMIT);
+        let window = (self.tail, self.head);
+        self.revoke_in_flight(&meta.touched);
+        self.scrub_slot_tags(window.0, window.1);
+        self.mw_retire_desc(meta.desc_slot);
+        // Same ordering requirement as `mw_complete_spanning`: the
+        // intent retire on shard 0 persists next.
+        self.nvm.sfence();
+        self.mw_unpin(&meta.pinned_blocks, &meta.pinned_entries);
         self.stats.failed_commits += 1;
     }
 
@@ -866,6 +1310,22 @@ impl TincaCache {
         if let Some(&idx) = self.index.get(&disk_blk) {
             let e = self.read_entry(idx);
             debug_assert!(e.valid && e.disk_blk == disk_blk);
+            if e.role == Role::Log {
+                // Multi-writer path: the block is staged by an in-flight
+                // (uncommitted) window, so serve the pre-transaction
+                // snapshot — the previous version if one exists, else the
+                // disk copy. Unreachable on the mutex path, where the
+                // shard lock covers the whole commit.
+                if e.prev != FRESH {
+                    self.nvm.read(self.layout.data_addr(e.prev), buf);
+                    self.lru.touch(idx);
+                    self.stats.read_hits += 1;
+                    return Ok(());
+                }
+                self.disk_read_retry(disk_blk, buf)?;
+                self.stats.read_misses += 1;
+                return Ok(());
+            }
             self.nvm.read(self.layout.data_addr(e.cur), buf);
             self.lru.touch(idx);
             self.stats.read_hits += 1;

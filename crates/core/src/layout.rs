@@ -65,6 +65,59 @@ pub fn intent_tag(intent_id: u64) -> u8 {
     0x80 | (intent_id & 0x7f) as u8
 }
 
+/// Byte offset of the **multi-writer window descriptor table**: one cache
+/// line per descriptor, used only when the pool runs the lock-free commit
+/// path ([`crate::CommitMode::LockFreeRing`]). Formatting never touches
+/// this region, so an all-zero table means "no window in flight" on fresh,
+/// legacy, and mutex-mode regions alike.
+pub const MW_DESC_OFF: usize = 256;
+/// Number of window descriptors (bounds in-flight windows per shard).
+pub const MW_WINDOWS: usize = 32;
+/// Bytes per descriptor — a full cache line, so concurrent writers never
+/// share a line when staging or publishing their own descriptor.
+pub const MW_DESC_BYTES: usize = 64;
+
+/// Descriptor word 0 (the *state word*, published with one 8 B atomic
+/// store): `(window ordinal << 8) | state`. An all-zero word is
+/// [`MW_FREE`].
+pub const MW_FREE: u64 = 0;
+/// State: the window's ring slots are reserved and its entries are being
+/// staged; nothing in it is visible to recovery yet.
+pub const MW_RESERVED: u64 = 1;
+/// State: the writer finished staging and flushing; the window is durable
+/// once the sequencer's fence drains it, and `Head` may advance past it.
+pub const MW_STAGED: u64 = 2;
+
+/// Descriptor flag (word 3): the window is a spanning-transaction fragment
+/// prepare — recovery judges its tagged ring slots by the pool's intent
+/// directive instead of the multi-writer roll-forward rule.
+pub const MW_FLAG_SPANNING: u64 = 1;
+
+/// Slot tag marking a **dead** ring slot inside a multi-writer window that
+/// failed mid-staging: the slot was reserved but never received a real
+/// block number, so roll-forward must skip it (a stale value left from the
+/// ring's previous lap could otherwise name another in-flight window's
+/// block). The high bit is clear, so a dead tag can never collide with an
+/// [`intent_tag`]; it is nonzero, so scrubbing rewrites it like any tag.
+pub const MW_DEAD_TAG: u8 = 0x7f;
+
+/// Byte address of multi-writer descriptor `slot` (`0..MW_WINDOWS`).
+pub fn mw_desc_addr(slot: usize) -> usize {
+    debug_assert!(slot < MW_WINDOWS);
+    MW_DESC_OFF + slot * MW_DESC_BYTES
+}
+
+/// Encodes a descriptor state word from a window ordinal and state.
+pub fn mw_state_word(ordinal: u64, state: u64) -> u64 {
+    debug_assert!(state <= MW_STAGED);
+    (ordinal << 8) | state
+}
+
+/// Splits a descriptor state word into `(ordinal, state)`.
+pub fn mw_split_state(word: u64) -> (u64, u64) {
+    (word >> 8, word & 0xff)
+}
+
 /// Size reserved for the header.
 pub const HEADER_BYTES: usize = BLOCK_SIZE;
 
@@ -74,6 +127,15 @@ pub const HEADER_BYTES: usize = BLOCK_SIZE;
 const _: () = assert!(INTENT_OFF.is_multiple_of(64));
 const _: () = assert!(INTENT_OFF >= TAIL_OFF + 8);
 const _: () = assert!(INTENT_SHARDS_OFF + 8 <= HEADER_BYTES);
+
+// The descriptor table must sit inside the header — cache-line aligned,
+// after the intent record's line, one line per descriptor — so the
+// existing metadata ranges `0..data_off` cover it and formatting (which
+// persists only `0..INTENT_OFF` plus the magic) leaves it all-zero.
+const _: () = assert!(MW_DESC_OFF.is_multiple_of(64));
+const _: () = assert!(MW_DESC_OFF >= INTENT_SHARDS_OFF + 8);
+const _: () = assert!(MW_DESC_BYTES == 64);
+const _: () = assert!(MW_DESC_OFF + MW_WINDOWS * MW_DESC_BYTES <= HEADER_BYTES);
 
 /// Size of one cache entry in bytes (§4.2: 16 B, atomically writable with
 /// `LOCK cmpxchg16b`).
@@ -219,6 +281,26 @@ mod tests {
         for blk in [0u64, 1, 96, SLOT_BLK_MASK] {
             assert_eq!(slot_value(blk, 0), blk);
             assert_eq!(split_slot(blk), (blk, 0));
+        }
+    }
+
+    #[test]
+    fn mw_descriptor_words_round_trip() {
+        for ordinal in [0u64, 1, 31, 1 << 40] {
+            for state in [MW_FREE, MW_RESERVED, MW_STAGED] {
+                assert_eq!(
+                    mw_split_state(mw_state_word(ordinal, state)),
+                    (ordinal, state)
+                );
+            }
+        }
+        // The all-zero header a fresh format leaves behind decodes FREE.
+        assert_eq!(mw_split_state(0), (0, MW_FREE));
+        // Descriptors are line-disjoint from each other and the intent line.
+        for s in 0..MW_WINDOWS {
+            assert_eq!(mw_desc_addr(s) % 64, 0);
+            assert!(mw_desc_addr(s) >= INTENT_SHARDS_OFF + 8);
+            assert!(mw_desc_addr(s) + MW_DESC_BYTES <= HEADER_BYTES);
         }
     }
 

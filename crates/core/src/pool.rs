@@ -65,15 +65,22 @@
 
 use std::collections::{HashMap, VecDeque};
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::Ordering;
 use std::sync::{Condvar, Mutex as StdMutex, MutexGuard as StdGuard, PoisonError};
 
 use blockdev::BLOCK_SIZE;
 use nvmsim::Nvm;
 use parking_lot::Mutex;
 
-use crate::cache::{DynDisk, PreparedFragment};
-use crate::layout::{intent_tag, INTENT_OFF, INTENT_SHARDS_OFF, INTENT_STATE_OFF};
-use crate::{CacheStats, Health, SpanningIntent, TincaCache, TincaConfig, TincaError, Txn};
+use crate::cache::{DynDisk, MwStagedMeta, PreparedFragment};
+use crate::layout::{
+    intent_tag, mw_desc_addr, mw_state_word, INTENT_OFF, INTENT_SHARDS_OFF, INTENT_STATE_OFF,
+    MW_STAGED, MW_WINDOWS,
+};
+use crate::mwring::{CommitMode, MwAdmission, MwShard, MwState, MwTicket, MwWindow};
+use crate::{
+    CacheStats, Health, SpanningIntent, TincaCache, TincaConfig, TincaError, Txn, WritePolicy,
+};
 
 /// Configuration for a [`TincaPool`].
 #[derive(Clone, Debug)]
@@ -82,6 +89,11 @@ pub struct PoolConfig {
     pub shards: usize,
     /// Maximum transactions folded into one group commit.
     pub max_batch_txns: usize,
+    /// How intra-shard commits are serialised; see [`CommitMode`]. The
+    /// default (`MutexGroup`) is bit-for-bit the classic path;
+    /// `LockFreeRing` enables the multi-writer pipeline (DESIGN §16) and
+    /// requires write-back policy with the role switch.
+    pub commit_mode: CommitMode,
     /// Per-shard cache configuration.
     pub cache: TincaConfig,
 }
@@ -91,6 +103,7 @@ impl Default for PoolConfig {
         PoolConfig {
             shards: 1,
             max_batch_txns: 64,
+            commit_mode: CommitMode::MutexGroup,
             cache: TincaConfig::default(),
         }
     }
@@ -124,6 +137,10 @@ const SYNC_CACHE_MUTEX: u64 = 0;
 /// The group-commit result handoff: the leader release-publishes the
 /// batch's results, each follower acquire-consumes its own.
 const SYNC_GC_PUBLISH: u64 = 1;
+/// The multi-writer window publication: each writer release-publishes its
+/// `STAGED` descriptor store, the sequencer acquire-consumes the round's
+/// windows before its drain fence.
+const SYNC_MW_PUBLISH: u64 = 2;
 
 struct Shard {
     cache: Mutex<TincaCache>,
@@ -135,6 +152,8 @@ struct Shard {
     nvm: Nvm,
     /// First sync-object id of this shard's namespace.
     sync_base: u64,
+    /// Multi-writer pipeline state (used only in `LockFreeRing` mode).
+    mw: MwShard,
 }
 
 /// Cache-mutex guard that annotates acquisition and release as sync events
@@ -187,10 +206,15 @@ fn lock_gc<'a>(sh: &'a Shard) -> StdGuard<'a, GcState> {
     sh.gc.lock().unwrap_or_else(PoisonError::into_inner)
 }
 
+fn lock_mw<'a>(sh: &'a Shard) -> StdGuard<'a, MwState> {
+    sh.mw.state.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
 /// Sharded multi-threaded front-end; see the module docs.
 pub struct TincaPool {
     shards: Vec<Shard>,
     max_batch_txns: usize,
+    commit_mode: CommitMode,
     /// Serialises spanning commits (the persistent intent record has one
     /// slot) and hands out intent sequence ids. Poison-tolerant like the
     /// gc mutexes: a simulated crash panic mid-commit must not strand
@@ -209,6 +233,7 @@ impl TincaPool {
             "one NVM device per shard required"
         );
         assert!(cfg.shards >= 1, "pool needs at least one shard");
+        Self::check_mode(&cfg);
         let shards = devices
             .into_iter()
             .enumerate()
@@ -219,7 +244,25 @@ impl TincaPool {
         TincaPool {
             shards,
             max_batch_txns: cfg.max_batch_txns.max(1),
+            commit_mode: cfg.commit_mode,
             spanning: StdMutex::new(0),
+        }
+    }
+
+    /// The lock-free path stages payloads outside the cache lock and
+    /// completes commits in sequencer rounds; write-through completion
+    /// and the double-write ablation are mutex-path-only features.
+    fn check_mode(cfg: &PoolConfig) {
+        if cfg.commit_mode == CommitMode::LockFreeRing {
+            assert_eq!(
+                cfg.cache.write_policy,
+                WritePolicy::WriteBack,
+                "CommitMode::LockFreeRing requires WritePolicy::WriteBack"
+            );
+            assert!(
+                cfg.cache.role_switch,
+                "CommitMode::LockFreeRing requires the role switch"
+            );
         }
     }
 
@@ -236,6 +279,7 @@ impl TincaPool {
             "one NVM device per shard required"
         );
         assert!(cfg.shards >= 1, "pool needs at least one shard");
+        Self::check_mode(&cfg);
         // Single-shard pools never write the record; skipping the read
         // keeps `N = 1` recovery bit-for-bit identical to a bare cache.
         let intent = if cfg.shards > 1 {
@@ -268,6 +312,7 @@ impl TincaPool {
         Ok(TincaPool {
             shards,
             max_batch_txns: cfg.max_batch_txns.max(1),
+            commit_mode: cfg.commit_mode,
             spanning: StdMutex::new(0),
         })
     }
@@ -275,6 +320,7 @@ impl TincaPool {
     fn shard(index: usize, cache: TincaCache) -> Shard {
         let ring_slots = cache.layout().ring_cap as usize;
         let nvm = cache.nvm().clone();
+        let (head, _tail) = cache.head_tail();
         Shard {
             cache: Mutex::new(cache),
             gc: StdMutex::new(GcState {
@@ -287,6 +333,7 @@ impl TincaPool {
             ring_slots,
             nvm,
             sync_base: index as u64 * SYNC_STRIDE,
+            mw: MwShard::new(head, ring_slots as u64),
         }
     }
 
@@ -340,6 +387,12 @@ impl TincaPool {
     pub fn commit(&self, txn: Txn) -> Result<(), TincaError> {
         if txn.is_empty() {
             return Ok(());
+        }
+        if self.commit_mode == CommitMode::LockFreeRing {
+            return match self.home_shard(&txn) {
+                Some(s) => self.commit_on_shard_mw(s, txn),
+                None => self.commit_spanning_mw(txn),
+            };
         }
         if self.shards.len() == 1 {
             return self.commit_on_shard(0, txn);
@@ -462,6 +515,13 @@ impl TincaPool {
     /// unit, and a spanning abort leaves nothing durable), never "`Err`
     /// but half-durable".
     pub fn commit_many(&self, txns: Vec<Txn>) -> Vec<Result<(), TincaError>> {
+        if self.commit_mode == CommitMode::LockFreeRing {
+            // The lock-free path has no leader-merged batches; each
+            // transaction runs the full reserve/stage/publish/sequence
+            // pipeline (single-threaded callers retire synchronously, so
+            // submission order is deterministic).
+            return txns.into_iter().map(|t| self.commit(t)).collect();
+        }
         let n = txns.len();
         let mut results: Vec<Result<(), TincaError>> = vec![Ok(()); n];
         // Whole transactions per home shard, tagged with the submitting
@@ -572,6 +632,581 @@ impl TincaPool {
         }
     }
 
+    // ──────────────────── multi-writer lock-free path ────────────────────
+
+    /// Non-blocking multi-writer admission of a single-shard transaction
+    /// (`LockFreeRing` mode only; see [`CommitMode`]). On
+    /// [`MwAdmission::Admitted`] the caller owns a reserved window and
+    /// must drive it through [`mw_stage`](Self::mw_stage),
+    /// [`mw_publish`](Self::mw_publish), and (eventually)
+    /// [`mw_sequence`](Self::mw_sequence); on [`MwAdmission::Busy`] the
+    /// transaction is handed back untouched for a later retry. This is
+    /// the steppable face of the pipeline — deterministic drivers
+    /// (benches, fuzzers, proptests) interleave the steps explicitly.
+    pub fn mw_try_begin(&self, txn: Txn) -> Result<MwAdmission, TincaError> {
+        assert_eq!(
+            self.commit_mode,
+            CommitMode::LockFreeRing,
+            "mw_try_begin requires CommitMode::LockFreeRing"
+        );
+        assert!(!txn.is_empty(), "empty transactions commit trivially");
+        let home = self.home_shard(&txn);
+        assert!(
+            home.is_some(),
+            "mw_try_begin requires a single-shard transaction"
+        );
+        self.mw_try_begin_on(home.unwrap_or(0), txn)
+    }
+
+    /// [`mw_try_begin`](Self::mw_try_begin) on a known home shard.
+    fn mw_try_begin_on(&self, s: usize, txn: Txn) -> Result<MwAdmission, TincaError> {
+        let sh = &self.shards[s];
+        let n = txn.len() as u64;
+        if txn.len() > sh.ring_slots {
+            return Err(TincaError::TxnTooLarge {
+                blocks: txn.len(),
+                ring_cap: sh.ring_slots as u64,
+            });
+        }
+        // Conflict admission *before* reservation: claim the disk blocks
+        // while holding no ring capacity, so a conflicting writer waits
+        // without starving the shard of slots (no hold-and-wait).
+        {
+            let mut mw = lock_mw(sh);
+            if mw.spanning_open || txn.disk_blocks().any(|b| mw.in_flight.contains(&b)) {
+                return Ok(MwAdmission::Busy(txn));
+            }
+            for b in txn.disk_blocks() {
+                mw.in_flight.insert(b);
+            }
+        }
+        let mut retries = 0u64;
+        // Descriptor credit: one persistent table slot per window.
+        loop {
+            let avail = sh.mw.slots_avail.load(Ordering::Acquire);
+            if avail == 0 {
+                return Ok(self.mw_back_out(sh, txn, retries, false));
+            }
+            match sh.mw.slots_avail.compare_exchange(
+                avail,
+                avail - 1,
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            ) {
+                Ok(_) => break,
+                Err(_) => retries += 1,
+            }
+        }
+        // Ring window: CAS-advance the reservation cursor, bounded by the
+        // sequencer-republished `ring_limit` (`Tail + ring_cap`), so a
+        // successful reservation can never lap a live slot.
+        let start = loop {
+            let cur = sh.mw.cursor.load(Ordering::Acquire);
+            if cur + n > sh.mw.ring_limit.load(Ordering::Acquire) {
+                return Ok(self.mw_back_out(sh, txn, retries, true));
+            }
+            match sh
+                .mw
+                .cursor
+                .compare_exchange(cur, cur + n, Ordering::AcqRel, Ordering::Acquire)
+            {
+                Ok(_) => break cur,
+                Err(_) => retries += 1,
+            }
+        };
+        let (ordinal, desc_slot) = {
+            let mut mw = lock_mw(sh);
+            mw.pending_cas_retries += retries;
+            let ordinal = mw.next_ordinal;
+            mw.next_ordinal += 1;
+            // Audited panic: a descriptor credit was CAS-acquired above,
+            // so the free list cannot be empty.
+            #[allow(clippy::disallowed_methods)]
+            let desc_slot = mw.free_desc.pop().expect("descriptor credit held");
+            let at = mw.windows.partition_point(|w| w.start < start);
+            mw.windows.insert(
+                at,
+                MwWindow {
+                    ordinal,
+                    start,
+                    len: n,
+                    desc_slot,
+                    staged: false,
+                    ready_ns: 0,
+                    disk_blocks: txn.disk_blocks().collect(),
+                    meta: None,
+                },
+            );
+            (ordinal, desc_slot)
+        };
+        // Latched meta phase (short, under the cache lock): block
+        // allocation, log-role entries, tagged ring slots, `RESERVED`
+        // descriptor — flushed, fence deferred to the sequencer.
+        // Bind before matching: a `match` scrutinee's temporaries (here
+        // the cache guard) would otherwise live to the end of the match,
+        // and the failure arm re-locks the cache via `mw_sequence`.
+        let staged = sh
+            .lock_cache()
+            .mw_stage_meta(txn, start, desc_slot, 0, ordinal);
+        match staged {
+            Ok(mut meta) => {
+                let stage_jobs = std::mem::take(&mut meta.stage_jobs);
+                let ready_ns = sh.nvm.clock().now_ns();
+                {
+                    let mut mw = lock_mw(sh);
+                    Self::mw_window_mut(&mut mw, ordinal).meta = Some(meta);
+                }
+                Ok(MwAdmission::Admitted(MwTicket {
+                    shard: s,
+                    ordinal,
+                    desc_slot,
+                    stage_jobs,
+                    ready_ns,
+                }))
+            }
+            Err((e, meta)) => {
+                // The window is sealed as a failed no-op (entries revoked,
+                // unwritten slots dead-tagged); publish it `STAGED` so the
+                // sequencer can pass it, then report the admission error.
+                {
+                    let mut mw = lock_mw(sh);
+                    let w = Self::mw_window_mut(&mut mw, ordinal);
+                    w.meta = Some(meta);
+                    w.staged = true;
+                    w.ready_ns = sh.nvm.clock().now_ns();
+                }
+                Self::mw_publish_desc(sh, desc_slot, ordinal);
+                sh.mw.cv.notify_all();
+                self.mw_sequence(s);
+                Err(e)
+            }
+        }
+    }
+
+    /// Undoes a reservation attempt that failed at the credit or cursor
+    /// CAS: un-claims the conflict-admission blocks (the caller still owns
+    /// `txn`) and refunds the descriptor credit if one was taken.
+    fn mw_back_out(&self, sh: &Shard, txn: Txn, retries: u64, refund_credit: bool) -> MwAdmission {
+        if refund_credit {
+            sh.mw.slots_avail.fetch_add(1, Ordering::AcqRel);
+        }
+        let mut mw = lock_mw(sh);
+        mw.pending_cas_retries += retries;
+        for b in txn.disk_blocks() {
+            mw.in_flight.remove(&b);
+        }
+        MwAdmission::Busy(txn)
+    }
+
+    /// The window registered by [`mw_try_begin_on`](Self::mw_try_begin_on)
+    /// for `ordinal` (only the sequencer removes windows, and it never
+    /// removes one whose writer still holds the ticket).
+    fn mw_window_mut(mw: &mut MwState, ordinal: u64) -> &mut MwWindow {
+        // Audited panic: see the doc comment — the window is present for
+        // the whole writer-visible lifetime of its ticket.
+        #[allow(clippy::disallowed_methods)]
+        mw.windows
+            .iter_mut()
+            .find(|w| w.ordinal == ordinal)
+            .expect("ticketed window registered")
+    }
+
+    /// Stages the window's payload blocks — COW write + flush per block —
+    /// on a **private clock** seeded at the meta-phase end, so concurrent
+    /// writers' staging overlaps in simulated time instead of serialising
+    /// (the cost the mutex path could never avoid). Runs under no lock.
+    pub fn mw_stage(&self, ticket: &mut MwTicket) {
+        let sh = &self.shards[ticket.shard];
+        let private = nvmsim::SimClock::new();
+        private.advance_to(ticket.ready_ns);
+        {
+            let _scope = nvmsim::divert_charges(private.clone());
+            let _t = telemetry::span(telemetry::phase::COMMIT_STAGE);
+            for (addr, data) in ticket.stage_jobs.drain(..) {
+                sh.nvm.write(addr, &data[..]);
+                sh.nvm.clflush(addr, BLOCK_SIZE);
+            }
+        }
+        ticket.ready_ns = private.now_ns();
+    }
+
+    /// Publishes the window: one 8 B release-store flips its descriptor
+    /// state word to `STAGED` (flushed; the fence is the sequencer's).
+    /// The store is charged to the writer's private clock, and the
+    /// window's `ready_ns` carries its durability frontier into the round.
+    pub fn mw_publish(&self, ticket: MwTicket) {
+        let sh = &self.shards[ticket.shard];
+        let private = nvmsim::SimClock::new();
+        private.advance_to(ticket.ready_ns);
+        {
+            let _scope = nvmsim::divert_charges(private.clone());
+            Self::mw_publish_desc(sh, ticket.desc_slot, ticket.ordinal);
+        }
+        {
+            let mut mw = lock_mw(sh);
+            let w = Self::mw_window_mut(&mut mw, ticket.ordinal);
+            w.staged = true;
+            w.ready_ns = private.now_ns();
+        }
+        sh.mw.cv.notify_all();
+    }
+
+    /// The `STAGED` descriptor store + flush + release annotation shared
+    /// by the fast path, the failed-window seal, and the spanning lane.
+    fn mw_publish_desc(sh: &Shard, desc_slot: usize, ordinal: u64) {
+        let addr = mw_desc_addr(desc_slot);
+        sh.nvm
+            .atomic_write_u64(addr, mw_state_word(ordinal, MW_STAGED));
+        sh.nvm.clflush(addr, 8);
+        sh.nvm
+            .note_atomic_store_release(sh.sync_base + SYNC_MW_PUBLISH);
+    }
+
+    /// Runs sequencer rounds on shard `s` until no retirable prefix
+    /// remains: the caller that wins the combiner flag drains the maximal
+    /// contiguous `STAGED` prefix with **one** fence and **one** `Head`
+    /// store (the round's commit point); losers count a handoff and
+    /// return. Returns the number of windows retired by this caller.
+    pub fn mw_sequence(&self, s: usize) -> usize {
+        let sh = &self.shards[s];
+        let mut retired_total = 0usize;
+        loop {
+            let (mut round, retries, handoffs) = {
+                let mut mw = lock_mw(sh);
+                if mw.sequencing {
+                    mw.pending_handoffs += 1;
+                    break;
+                }
+                // Maximal contiguous staged prefix, in ring order.
+                let mut k = 0;
+                while k < mw.windows.len() && mw.windows[k].staged && mw.windows[k].meta.is_some() {
+                    k += 1;
+                }
+                if k == 0 {
+                    break;
+                }
+                mw.sequencing = true;
+                let round: Vec<MwWindow> = mw.windows.drain(..k).collect();
+                (
+                    round,
+                    std::mem::take(&mut mw.pending_cas_retries),
+                    std::mem::take(&mut mw.pending_handoffs),
+                )
+            };
+            let max_ready = round.iter().map(|w| w.ready_ns).max().unwrap_or(0);
+            let end = round[round.len() - 1].start + round[round.len() - 1].len;
+            let metas: Vec<MwStagedMeta> = round
+                .iter_mut()
+                .map(|w| {
+                    // Audited panic: the drain predicate above required
+                    // `meta.is_some()` for every window of the round.
+                    #[allow(clippy::disallowed_methods)]
+                    w.meta.take().expect("staged window carries meta")
+                })
+                .collect();
+            // A crash trip may panic out of the round; clear the combiner
+            // flag and wake waiters before unwinding so surviving threads
+            // are not stranded.
+            let res = catch_unwind(AssertUnwindSafe(|| {
+                let mut cache = sh.lock_cache();
+                // Adopt every publisher's history before the drain fence.
+                sh.nvm
+                    .note_atomic_load_acquire(sh.sync_base + SYNC_MW_PUBLISH);
+                let st = cache.stats_mut();
+                st.reservation_cas_retries += retries;
+                st.sequencer_handoffs += handoffs;
+                cache.mw_sequence(metas, max_ready);
+            }));
+            match res {
+                Ok(()) => {
+                    {
+                        let mut mw = lock_mw(sh);
+                        for w in &round {
+                            for b in &w.disk_blocks {
+                                mw.in_flight.remove(b);
+                            }
+                            mw.free_desc.push(w.desc_slot);
+                            if mw.waiting.remove(&w.ordinal) {
+                                mw.retired.insert(w.ordinal);
+                            }
+                        }
+                        mw.sequencing = false;
+                    }
+                    sh.mw
+                        .slots_avail
+                        .fetch_add(round.len() as u64, Ordering::AcqRel);
+                    sh.mw
+                        .ring_limit
+                        .store(end + sh.ring_slots as u64, Ordering::Release);
+                    sh.mw.cv.notify_all();
+                    retired_total += round.len();
+                }
+                Err(payload) => {
+                    lock_mw(sh).sequencing = false;
+                    sh.mw.cv.notify_all();
+                    resume_unwind(payload);
+                }
+            }
+        }
+        retired_total
+    }
+
+    /// Blocking multi-writer commit on shard `s`: reserve (retrying while
+    /// the shard is busy), stage, publish, then sequence-or-wait until the
+    /// window retires.
+    fn commit_on_shard_mw(&self, s: usize, mut txn: Txn) -> Result<(), TincaError> {
+        let sh = &self.shards[s];
+        let mut ticket = loop {
+            match self.mw_try_begin_on(s, txn)? {
+                MwAdmission::Admitted(t) => break t,
+                MwAdmission::Busy(t) => {
+                    txn = t;
+                    self.mw_wait_busy(s);
+                }
+            }
+        };
+        self.mw_stage(&mut ticket);
+        let ordinal = ticket.ordinal;
+        lock_mw(sh).waiting.insert(ordinal);
+        self.mw_publish(ticket);
+        loop {
+            self.mw_sequence(s);
+            let mut mw = lock_mw(sh);
+            if mw.retired.remove(&ordinal) {
+                return Ok(());
+            }
+            // Another thread is sequencing, or our prefix is blocked
+            // behind an earlier unpublished window; park until the shard
+            // advances. Checking `retired` under the lock the sequencer
+            // updates it under rules out a lost wakeup.
+            let _w = telemetry::span(telemetry::phase::COMMIT_GROUP_WAIT);
+            drop(sh.mw.cv.wait(mw).unwrap_or_else(PoisonError::into_inner));
+        }
+    }
+
+    /// Helps or waits while shard `s` refuses admissions: runs a sequencer
+    /// round if one is retirable, else parks until a window publishes,
+    /// retires, or the spanning quiesce lifts.
+    fn mw_wait_busy(&self, s: usize) {
+        if self.mw_sequence(s) > 0 {
+            return;
+        }
+        let sh = &self.shards[s];
+        let mw = lock_mw(sh);
+        if mw.windows.is_empty() && !mw.sequencing && !mw.spanning_open {
+            // The shard already drained between our admission attempt and
+            // now; retry immediately.
+            return;
+        }
+        let _w = telemetry::span(telemetry::phase::COMMIT_GROUP_WAIT);
+        drop(sh.mw.cv.wait(mw).unwrap_or_else(PoisonError::into_inner));
+    }
+
+    /// Blocks new multi-writer admissions on shard `s` (`spanning_open`)
+    /// and drains every outstanding window — helping sequence staged
+    /// prefixes, waiting out unpublished stragglers — so the spanning
+    /// lane finds `Head == Tail == cursor` and all descriptors free.
+    fn mw_quiesce(&self, s: usize) {
+        let sh = &self.shards[s];
+        lock_mw(sh).spanning_open = true;
+        loop {
+            self.mw_sequence(s);
+            let mw = lock_mw(sh);
+            if mw.windows.is_empty() && !mw.sequencing {
+                return;
+            }
+            let _w = telemetry::span(telemetry::phase::COMMIT_GROUP_WAIT);
+            drop(sh.mw.cv.wait(mw).unwrap_or_else(PoisonError::into_inner));
+        }
+    }
+
+    /// Reopens multi-writer admissions after a spanning commit
+    /// ([`mw_quiesce`](Self::mw_quiesce) counterpart).
+    fn mw_reopen(&self, participants: &[usize]) {
+        for &s in participants {
+            let sh = &self.shards[s];
+            lock_mw(sh).spanning_open = false;
+            sh.mw.cv.notify_all();
+        }
+    }
+
+    /// Pool-side bookkeeping after a spanning-lane window closed on a
+    /// quiesced shard (the cache side already retired its descriptor):
+    /// refund the descriptor credit and republish the reservation limit
+    /// off the shard's already-advanced cursor.
+    fn mw_retire_slow(sh: &Shard, desc_slot: usize) {
+        let end = sh.mw.cursor.load(Ordering::Acquire);
+        lock_mw(sh).free_desc.push(desc_slot);
+        sh.mw.slots_avail.fetch_add(1, Ordering::AcqRel);
+        sh.mw
+            .ring_limit
+            .store(end + sh.ring_slots as u64, Ordering::Release);
+    }
+
+    /// Two-phase spanning commit in `LockFreeRing` mode. Each participant
+    /// shard is quiesced, then its fragment takes the pipeline's slow
+    /// lane: reserve directly off the shard atomics, run the meta phase
+    /// with intent-tagged ring slots and a `MW_FLAG_SPANNING` descriptor,
+    /// stage inline on the shared clock, and sequence alone with `Tail`
+    /// held open — so PR 8's prepare/resolve recovery rules carry over
+    /// unchanged (DESIGN §16).
+    fn commit_spanning_mw(&self, txn: Txn) -> Result<(), TincaError> {
+        let _t = telemetry::span(telemetry::phase::COMMIT_SPANNING);
+        let coalesced = txn.coalesced_writes();
+        let mut parts = self.split_spanning(txn);
+        // Size-check every fragment before any shard quiesces, so an
+        // oversized fragment aborts with no cross-shard work at all.
+        for (s, p) in parts.iter().enumerate() {
+            if let Some(p) = p {
+                if p.len() > self.shards[s].ring_slots {
+                    return Err(TincaError::TxnTooLarge {
+                        blocks: p.len(),
+                        ring_cap: self.shards[s].ring_slots as u64,
+                    });
+                }
+            }
+        }
+        let mut next_id = self.spanning.lock().unwrap_or_else(PoisonError::into_inner);
+        let intent_id = *next_id;
+        *next_id += 1;
+        let tag = intent_tag(intent_id);
+        let _prov = nvmsim::txn_scope(intent_id);
+        let participants: Vec<usize> = (0..self.shards.len())
+            .filter(|&s| parts[s].is_some())
+            .collect();
+        for &s in &participants {
+            self.mw_quiesce(s);
+        }
+        let mut guards: Vec<(usize, CacheGuard<'_>)> = Vec::new();
+        for (s, sh) in self.shards.iter().enumerate() {
+            if s == 0 || parts[s].is_some() {
+                guards.push((s, sh.lock_cache()));
+            }
+        }
+        let host = &self.shards[0].nvm;
+        let mut bitmap: u64 = 0;
+        for (s, p) in parts.iter().enumerate() {
+            if p.is_some() {
+                bitmap |= 1 << s.min(63);
+            }
+        }
+        // A preceding pipelined round leaves its descriptor-retire
+        // flushes unfenced on shard 0 (the next sequencer drain normally
+        // orders them); the intent record below is a commit record on
+        // that same device, so fence first.
+        host.sfence();
+        // Publish — identical to the mutex path; see `commit_spanning`.
+        host.atomic_write_u64(INTENT_SHARDS_OFF, bitmap);
+        host.atomic_write_u64(
+            INTENT_STATE_OFF,
+            SpanningIntent::Prepared { id: intent_id }.encode(),
+        );
+        host.persist(INTENT_OFF, 16);
+        host.note_commit(INTENT_OFF, 64);
+
+        // Phase 1: prepare one tagged window per participant, ascending.
+        let mut prepared: Vec<(usize, MwStagedMeta)> = Vec::new();
+        let mut failure = None;
+        let mut first_part = true;
+        for (gi, (s, guard)) in guards.iter_mut().enumerate() {
+            let Some(mut part) = parts[*s].take() else {
+                continue;
+            };
+            if first_part {
+                part.add_coalesced(coalesced);
+                first_part = false;
+            }
+            let sh = &self.shards[*s];
+            let n = part.len() as u64;
+            // The shard is quiesced and `spanning_open` blocks rivals, so
+            // plain stores reserve the window.
+            let start = sh.mw.cursor.load(Ordering::Acquire);
+            sh.mw.cursor.store(start + n, Ordering::Release);
+            sh.mw.slots_avail.fetch_sub(1, Ordering::AcqRel);
+            let (ordinal, desc_slot) = {
+                let mut mw = lock_mw(sh);
+                let ordinal = mw.next_ordinal;
+                mw.next_ordinal += 1;
+                // Audited panic: a quiesced shard has every descriptor
+                // slot free.
+                #[allow(clippy::disallowed_methods)]
+                let slot = mw
+                    .free_desc
+                    .pop()
+                    .expect("quiesced shard has free descriptors");
+                (ordinal, slot)
+            };
+            let staged = guard.mw_stage_meta(part, start, desc_slot, tag, ordinal);
+            match staged {
+                Ok(mut meta) => {
+                    // Inline staging on the shared clock: the spanning lane
+                    // is serialised anyway, so there is no overlap to model.
+                    for (addr, data) in std::mem::take(&mut meta.stage_jobs) {
+                        guard.nvm().write(addr, &data[..]);
+                        guard.nvm().clflush(addr, BLOCK_SIZE);
+                    }
+                    Self::mw_publish_desc(sh, desc_slot, ordinal);
+                    let now = guard.nvm().clock().now_ns();
+                    guard.mw_sequence_spanning(&meta, now);
+                    prepared.push((gi, meta));
+                }
+                Err((e, meta)) => {
+                    // Seal the failed window: publish and sequence it as a
+                    // no-op so the shard's ring closes cleanly.
+                    Self::mw_publish_desc(sh, desc_slot, ordinal);
+                    let now = guard.nvm().clock().now_ns();
+                    guard.mw_sequence(vec![meta], now);
+                    // The sequencer leaves its descriptor-retire flush
+                    // unfenced (the next round's drain fence orders it);
+                    // here the next persist is the intent abort on shard
+                    // 0, so fence before falling through to it.
+                    guard.nvm().sfence();
+                    Self::mw_retire_slow(sh, desc_slot);
+                    failure = Some(e);
+                    break;
+                }
+            }
+        }
+        if let Some(e) = failure {
+            // Abort — same shape as the mutex path: revoke every prepared
+            // fragment, then retire the intent.
+            for (gi, meta) in prepared {
+                let s = guards[gi].0;
+                let desc_slot = meta.desc_slot;
+                guards[gi].1.mw_abort_spanning(meta);
+                Self::mw_retire_slow(&self.shards[s], desc_slot);
+            }
+            host.atomic_write_u64(INTENT_STATE_OFF, SpanningIntent::None.encode());
+            host.persist(INTENT_STATE_OFF, 8);
+            host.note_commit(INTENT_OFF, 64);
+            guards[0].1.stats_mut().spanning_aborts += 1;
+            drop(guards);
+            self.mw_reopen(&participants);
+            return Err(e);
+        }
+
+        // Resolve: the transaction's commit point (see `commit_spanning`).
+        host.atomic_write_u64(
+            INTENT_STATE_OFF,
+            SpanningIntent::Resolved { id: intent_id }.encode(),
+        );
+        host.persist(INTENT_STATE_OFF, 8);
+        host.note_commit(INTENT_OFF, 64);
+        for (gi, meta) in prepared {
+            let s = guards[gi].0;
+            let desc_slot = meta.desc_slot;
+            guards[gi].1.mw_complete_spanning(meta);
+            Self::mw_retire_slow(&self.shards[s], desc_slot);
+        }
+        host.atomic_write_u64(INTENT_STATE_OFF, SpanningIntent::None.encode());
+        host.persist(INTENT_STATE_OFF, 8);
+        host.note_commit(INTENT_OFF, 64);
+        guards[0].1.stats_mut().spanning_commits += 1;
+        drop(guards);
+        self.mw_reopen(&participants);
+        Ok(())
+    }
+
     /// Reads on-disk block `disk_blk` through its home shard.
     pub fn read(&self, disk_blk: u64, buf: &mut [u8]) -> Result<(), TincaError> {
         assert_eq!(buf.len(), BLOCK_SIZE);
@@ -602,7 +1237,23 @@ impl TincaPool {
     /// the first error is returned (see [`TincaCache::flush_all`]).
     pub fn flush_all(&self) -> Result<(), TincaError> {
         let mut first_err = Ok(());
-        for sh in &self.shards {
+        for (s, sh) in self.shards.iter().enumerate() {
+            if self.commit_mode == CommitMode::LockFreeRing {
+                // Retire whatever is retirable first; an unpublished (or
+                // mid-sequence) window still in flight makes the flush
+                // racy, so report it like an open ring window.
+                self.mw_sequence(s);
+                let mw = lock_mw(sh);
+                if !mw.windows.is_empty() || mw.sequencing {
+                    if first_err.is_ok() {
+                        first_err = Err(TincaError::CommitInProgress {
+                            head: sh.mw.cursor.load(Ordering::Acquire),
+                            tail: mw.windows.front().map(|w| w.start).unwrap_or(0),
+                        });
+                    }
+                    continue;
+                }
+            }
             let res = sh.lock_cache().flush_all();
             if first_err.is_ok() {
                 first_err = res;
@@ -654,18 +1305,45 @@ impl TincaPool {
     /// Pool-wide counters (sum over shards).
     pub fn stats(&self) -> CacheStats {
         self.shards.iter().fold(CacheStats::default(), |acc, sh| {
-            acc.merge(&sh.lock_cache().stats())
+            acc.merge(&Self::fold_mw_pending(sh))
         })
     }
 
     /// One shard's counters.
     pub fn shard_stats(&self, s: usize) -> CacheStats {
-        self.shards[s].lock_cache().stats()
+        Self::fold_mw_pending(&self.shards[s])
+    }
+
+    /// A shard's cache counters plus the multi-writer pipeline's pending
+    /// (not-yet-sequenced) retry/handoff counts, so snapshots taken
+    /// between sequencer rounds still add up.
+    fn fold_mw_pending(sh: &Shard) -> CacheStats {
+        let mut st = sh.lock_cache().stats();
+        let mw = lock_mw(sh);
+        st.reservation_cas_retries += mw.pending_cas_retries;
+        st.sequencer_handoffs += mw.pending_handoffs;
+        st
     }
 
     /// Runs `f` with shard `s`'s cache locked (tests, fuzzers, benches).
     pub fn with_shard<R>(&self, s: usize, f: impl FnOnce(&mut TincaCache) -> R) -> R {
         f(&mut self.shards[s].lock_cache())
+    }
+
+    /// The commit-path mode this pool was built with.
+    pub fn commit_mode(&self) -> CommitMode {
+        self.commit_mode
+    }
+
+    /// How many commits one shard can hold in flight at once: 1 for the
+    /// mutex path, the descriptor-table capacity for the lock-free ring.
+    /// Service-model tiers (open-loop) use this as the per-shard server
+    /// multiplicity.
+    pub fn commit_concurrency(&self) -> usize {
+        match self.commit_mode {
+            CommitMode::MutexGroup => 1,
+            CommitMode::LockFreeRing => MW_WINDOWS,
+        }
     }
 
     /// A handle on shard `s`'s simulated clock (clones share time).

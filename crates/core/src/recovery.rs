@@ -41,8 +41,9 @@ use nvmsim::Nvm;
 use crate::cache::DynDisk;
 use crate::entry::Role;
 use crate::layout::{
-    intent_tag, split_slot, Layout, DATA_BLOCKS_OFF, ENTRY_COUNT_OFF, HEAD_OFF, INTENT_PREPARED,
-    INTENT_RESOLVED, MAGIC, MAGIC_OFF, RING_CAP_OFF, TAIL_OFF,
+    intent_tag, mw_desc_addr, mw_split_state, split_slot, Layout, DATA_BLOCKS_OFF, ENTRY_COUNT_OFF,
+    HEAD_OFF, INTENT_PREPARED, INTENT_RESOLVED, MAGIC, MAGIC_OFF, MW_DEAD_TAG, MW_FLAG_SPANNING,
+    MW_STAGED, MW_WINDOWS, RING_CAP_OFF, TAIL_OFF,
 };
 use crate::{TincaCache, TincaConfig, TincaError};
 
@@ -165,11 +166,70 @@ impl TincaCache {
             }
         }
 
-        // Pass 2: judge everything the ring window names. Slots tagged
-        // with a *resolved* spanning intent roll forward (their entries
-        // are already durable buffer-role — the resolve store persisted
-        // strictly after every fragment's fences); everything else rolls
-        // back.
+        // Multi-writer window descriptors (DESIGN §16): scan the table.
+        // Retired windows (end at or before `Tail`) are stale retire
+        // stores lost to the crash — inert, zeroed below. Published
+        // (`STAGED`) non-spanning windows overlapping `[Tail, Head)` are
+        // **durably committed**: `Head` only persists after the
+        // sequencer's fence drained every covering window's state word,
+        // payloads, entries and ring slots — so their slots roll
+        // *forward* (the crash can only have interrupted the role
+        // switch). Windows `Head` never passed roll back via the ordinary
+        // full-entry scan.
+        let mut mw_desc: Vec<(usize, u64, u64, u64, u64)> = Vec::new();
+        for slot in 0..MW_WINDOWS {
+            let addr = mw_desc_addr(slot);
+            let word0 = self.nvm().read_u64(addr);
+            if word0 == 0 {
+                continue;
+            }
+            let (_ordinal, state) = mw_split_state(word0);
+            let start = self.nvm().read_u64(addr + 8);
+            let len = self.nvm().read_u64(addr + 16);
+            let flags = self.nvm().read_u64(addr + 24);
+            mw_desc.push((slot, state, start, len, flags));
+        }
+        // Maximal contiguous STAGED coverage from Tail. Windows are
+        // disjoint and Head/Tail only ever store window boundaries, so
+        // coverage walks whole windows; the durability invariant above
+        // guarantees it reaches Head whenever the window set is nonempty.
+        let mut mw_cover = tail;
+        if head != tail {
+            let mut staged: Vec<(u64, u64)> = mw_desc
+                .iter()
+                .filter(|&&(_, state, start, len, flags)| {
+                    state == MW_STAGED
+                        && flags & MW_FLAG_SPANNING == 0
+                        && start >= tail
+                        && start < head
+                        && start + len > start
+                })
+                .map(|&(_, _, start, len, _)| (start, len))
+                .collect();
+            staged.sort_unstable();
+            for (start, len) in staged {
+                if start == mw_cover && mw_cover < head {
+                    mw_cover = start + len;
+                    self.stats_mut().mw_windows_resumed += 1;
+                } else {
+                    break;
+                }
+            }
+        }
+        for &(_, _, start, _, flags) in &mw_desc {
+            if start >= head && flags & MW_FLAG_SPANNING == 0 {
+                // A reserved/staged window Head never advanced past: its
+                // log-role entries fall to the full-entry revoke below.
+                self.stats_mut().mw_windows_rolled_back += 1;
+            }
+        }
+
+        // Pass 2: judge everything the ring window names. Slots covered
+        // by the multi-writer STAGED prefix roll forward (resuming the
+        // interrupted role switch); slots tagged with a *resolved*
+        // spanning intent roll forward (their entries are already durable
+        // buffer-role — the resolve store persisted strictly after every
+        // fragment's fences); everything else rolls back.
         let forward_tag = match intent {
             SpanningIntent::Resolved { id } => Some(intent_tag(id)),
             _ => None,
@@ -178,6 +238,25 @@ impl TincaCache {
             for seq in tail..head {
                 let raw = self.nvm().read_u64(layout.ring_slot_addr(seq));
                 let (disk_blk, tag) = split_slot(raw);
+                if tag == MW_DEAD_TAG {
+                    // Dead slot of a failed multi-writer window: it never
+                    // named a block, and its stale value must not be
+                    // judged (the bits left from the ring's previous lap
+                    // could collide with a live block).
+                    continue;
+                }
+                if seq < mw_cover && tag == 0 {
+                    if let Some(&idx) = by_disk.get(&disk_blk) {
+                        let e = self.read_entry(idx);
+                        if e.valid && e.role == Role::Log {
+                            // Roll forward: complete the role switch the
+                            // crash interrupted. Idempotent — a second
+                            // recovery finds the entry buffer-role.
+                            self.write_entry(idx, e.switched_to_buffer());
+                        }
+                    }
+                    continue;
+                }
                 if tag != 0 && forward_tag == Some(tag) {
                     self.stats_mut().spanning_rolled_forward += 1;
                     continue;
@@ -216,6 +295,18 @@ impl TincaCache {
         // tagged. A no-op (no events) when the window held no tags —
         // i.e. on every single-shard recovery.
         self.scrub_slot_tags(tail, head);
+
+        // Retire every multi-writer descriptor — strictly *after* the ring
+        // close: a crash in between leaves stale descriptors whose windows
+        // end at or before the (now equal) Head/Tail, which a re-run
+        // ignores. Zeroing first would instead let a re-run revoke windows
+        // this pass already rolled forward.
+        if !mw_desc.is_empty() {
+            for &(slot, ..) in &mw_desc {
+                self.mw_retire_desc(slot);
+            }
+            self.nvm().sfence();
+        }
 
         // Pass 4: rebuild the DRAM structures from the surviving entries
         // (§4.6: "they can be reconstructed on the startup of system").

@@ -120,6 +120,10 @@ impl StatsSnapshot {
                     ("spanning_fragments", c.spanning_fragments.into()),
                     ("spanning_rolled_back", c.spanning_rolled_back.into()),
                     ("spanning_rolled_forward", c.spanning_rolled_forward.into()),
+                    ("reservation_cas_retries", c.reservation_cas_retries.into()),
+                    ("sequencer_handoffs", c.sequencer_handoffs.into()),
+                    ("mw_windows_resumed", c.mw_windows_resumed.into()),
+                    ("mw_windows_rolled_back", c.mw_windows_rolled_back.into()),
                 ]),
             ),
             (

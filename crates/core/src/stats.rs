@@ -81,6 +81,20 @@ pub struct CacheStats {
     /// Ring-window blocks preserved at recovery because their spanning
     /// intent had resolved (fragment rolled forward).
     pub spanning_rolled_forward: u64,
+    /// Failed CAS attempts on the multi-writer ring-reservation cursor
+    /// (lock-free commit path; each retry is one lost race for a window).
+    pub reservation_cas_retries: u64,
+    /// Multi-writer sequencing attempts that deferred to another thread's
+    /// in-flight round (combiner handoff) instead of advancing `Head`.
+    pub sequencer_handoffs: u64,
+    /// Multi-writer windows rolled *forward* at recovery: published
+    /// (`STAGED`) windows inside the durable `[Tail, Head)` prefix whose
+    /// interrupted role switches were resumed.
+    pub mw_windows_resumed: u64,
+    /// Multi-writer windows rolled *back* at recovery: reserved or staged
+    /// windows `Head` never advanced past (their log-role entries were
+    /// revoked by the full entry scan).
+    pub mw_windows_rolled_back: u64,
 }
 
 impl CacheStats {
@@ -133,6 +147,10 @@ impl CacheStats {
             spanning_fragments: self.spanning_fragments - e.spanning_fragments,
             spanning_rolled_back: self.spanning_rolled_back - e.spanning_rolled_back,
             spanning_rolled_forward: self.spanning_rolled_forward - e.spanning_rolled_forward,
+            reservation_cas_retries: self.reservation_cas_retries - e.reservation_cas_retries,
+            sequencer_handoffs: self.sequencer_handoffs - e.sequencer_handoffs,
+            mw_windows_resumed: self.mw_windows_resumed - e.mw_windows_resumed,
+            mw_windows_rolled_back: self.mw_windows_rolled_back - e.mw_windows_rolled_back,
         }
     }
 
@@ -169,6 +187,10 @@ impl CacheStats {
             spanning_fragments: self.spanning_fragments + o.spanning_fragments,
             spanning_rolled_back: self.spanning_rolled_back + o.spanning_rolled_back,
             spanning_rolled_forward: self.spanning_rolled_forward + o.spanning_rolled_forward,
+            reservation_cas_retries: self.reservation_cas_retries + o.reservation_cas_retries,
+            sequencer_handoffs: self.sequencer_handoffs + o.sequencer_handoffs,
+            mw_windows_resumed: self.mw_windows_resumed + o.mw_windows_resumed,
+            mw_windows_rolled_back: self.mw_windows_rolled_back + o.mw_windows_rolled_back,
         }
     }
 }
@@ -224,6 +246,10 @@ mod tests {
             destage_batches: 2,
             destage_blocks: 8,
             destage_stalls: 1,
+            reservation_cas_retries: 5,
+            sequencer_handoffs: 2,
+            mw_windows_resumed: 3,
+            mw_windows_rolled_back: 1,
             ..Default::default()
         };
         let d = b.delta(&a);
@@ -238,6 +264,10 @@ mod tests {
         assert_eq!(d.destage_batches, 2);
         assert_eq!(d.destage_blocks, 8);
         assert_eq!(d.destage_stalls, 1);
+        assert_eq!(d.reservation_cas_retries, 5);
+        assert_eq!(d.sequencer_handoffs, 2);
+        assert_eq!(d.mw_windows_resumed, 3);
+        assert_eq!(d.mw_windows_rolled_back, 1);
     }
 
     #[test]
@@ -255,6 +285,8 @@ mod tests {
             destage_blocks: 16,
             coalesced_flushes: 2,
             eviction_errors: 3,
+            reservation_cas_retries: 7,
+            sequencer_handoffs: 4,
             ..Default::default()
         };
         let m = a.merge(&b);
@@ -266,5 +298,7 @@ mod tests {
         assert_eq!(m.destage_blocks, 16);
         assert_eq!(m.coalesced_flushes, 2);
         assert_eq!(m.eviction_errors, 3);
+        assert_eq!(m.reservation_cas_retries, 7);
+        assert_eq!(m.sequencer_handoffs, 4);
     }
 }

@@ -1,0 +1,299 @@
+// Integration tests are exempt from the crate's unwrap/expect ban.
+#![allow(clippy::disallowed_methods, clippy::disallowed_macros)]
+
+//! Integration tests for the multi-writer lock-free commit path
+//! (`CommitMode::LockFreeRing`, DESIGN §16): blocking commits, the
+//! steppable reserve/stage/publish/sequence API, conflict admission,
+//! failed-window sealing, spanning transactions, and recovery of
+//! unsequenced windows.
+
+use blockdev::{DiskKind, SimDisk, BLOCK_SIZE};
+use nvmsim::{shard_devices, NvmConfig, NvmTech, SimClock};
+use tinca::{CommitMode, MwAdmission, PoolConfig, TincaConfig, TincaError, TincaPool, Txn};
+
+fn blk(byte: u8) -> [u8; BLOCK_SIZE] {
+    [byte; BLOCK_SIZE]
+}
+
+fn mw_pool_cfg(shards: usize) -> PoolConfig {
+    PoolConfig {
+        shards,
+        commit_mode: CommitMode::LockFreeRing,
+        cache: TincaConfig {
+            ring_bytes: 4096,
+            ..TincaConfig::default()
+        },
+        ..PoolConfig::default()
+    }
+}
+
+fn mw_pool(shards: usize, nvm_bytes: usize) -> TincaPool {
+    let devices = shard_devices(&NvmConfig::new(nvm_bytes, NvmTech::Pcm), shards);
+    let disk = SimDisk::new(DiskKind::Ssd, 1 << 20, SimClock::new());
+    TincaPool::format(devices, disk, mw_pool_cfg(shards))
+}
+
+/// Blocking commits through the lock-free path produce the same visible
+/// contents as any other path: overwrites coalesce, reads hit, and the
+/// per-commit counters advance.
+#[test]
+fn mw_blocking_commits_read_back() {
+    let p = mw_pool(1, 1 << 20);
+    let mut buf = [0u8; BLOCK_SIZE];
+    for round in 0..10u64 {
+        let mut t = p.init_txn();
+        t.write(round % 3, &blk((round + 1) as u8));
+        t.write(50 + round, &blk(0xAA));
+        p.commit(t).unwrap();
+        p.read(round % 3, &mut buf).unwrap();
+        assert_eq!(buf[0], (round + 1) as u8);
+    }
+    let st = p.stats();
+    assert_eq!(st.commits, 10);
+    assert_eq!(st.failed_commits, 0);
+    assert_eq!(st.committed_blocks, 20);
+    p.flush_all().unwrap();
+    p.check_consistency().unwrap();
+}
+
+/// The steppable API: two windows reserved in order, published out of
+/// order. Publishing the later window first retires nothing (the prefix
+/// is blocked); publishing the earlier one lets a single sequencer round
+/// retire both — one fence, one `Head` store, counted as a group.
+#[test]
+fn mw_out_of_order_publish_retires_in_ring_order() {
+    let p = mw_pool(1, 1 << 20);
+
+    let mut ta = p.init_txn();
+    ta.write(1, &blk(0x11));
+    let mut tb = p.init_txn();
+    tb.write(2, &blk(0x22));
+
+    let MwAdmission::Admitted(mut a) = p.mw_try_begin(ta).unwrap() else {
+        panic!("empty shard must admit");
+    };
+    let MwAdmission::Admitted(mut b) = p.mw_try_begin(tb).unwrap() else {
+        panic!("disjoint blocks must admit");
+    };
+    p.mw_stage(&mut a);
+    p.mw_stage(&mut b);
+
+    // B first: its window sits behind A's unpublished one.
+    p.mw_publish(b);
+    assert_eq!(p.mw_sequence(0), 0, "prefix blocked by unpublished window");
+    let mut buf = [0u8; BLOCK_SIZE];
+
+    p.mw_publish(a);
+    assert_eq!(p.mw_sequence(0), 2, "one round retires both windows");
+
+    p.read(1, &mut buf).unwrap();
+    assert_eq!(buf[0], 0x11);
+    p.read(2, &mut buf).unwrap();
+    assert_eq!(buf[0], 0x22);
+    let st = p.stats();
+    assert_eq!(st.commits, 2);
+    assert_eq!(st.group_commits, 1, "both windows shared one Head advance");
+    assert_eq!(st.batched_txns, 2);
+    p.check_consistency().unwrap();
+}
+
+/// Conflict admission: a transaction touching a block owned by an
+/// in-flight window is handed back `Busy` *before* reserving ring slots,
+/// and admits cleanly once the conflicting window retires.
+#[test]
+fn mw_conflicting_writer_is_busy_until_retire() {
+    let p = mw_pool(1, 1 << 20);
+
+    let mut ta = p.init_txn();
+    ta.write(7, &blk(1));
+    let MwAdmission::Admitted(mut a) = p.mw_try_begin(ta).unwrap() else {
+        panic!("empty shard must admit");
+    };
+
+    let mut tb = p.init_txn();
+    tb.write(7, &blk(2));
+    let MwAdmission::Busy(tb) = p.mw_try_begin(tb).unwrap() else {
+        panic!("conflicting block must be busy");
+    };
+
+    p.mw_stage(&mut a);
+    p.mw_publish(a);
+    assert_eq!(p.mw_sequence(0), 1);
+
+    let MwAdmission::Admitted(mut b) = p.mw_try_begin(tb).unwrap() else {
+        panic!("conflict retired; must admit");
+    };
+    p.mw_stage(&mut b);
+    p.mw_publish(b);
+    assert_eq!(p.mw_sequence(0), 1);
+
+    let mut buf = [0u8; BLOCK_SIZE];
+    p.read(7, &mut buf).unwrap();
+    assert_eq!(buf[0], 2, "later writer wins");
+    p.check_consistency().unwrap();
+}
+
+/// An admission failure (cache exhausted) seals its window as a no-op:
+/// the error surfaces, nothing of the transaction survives, and the ring
+/// stays usable — the dead-tagged window is sequenced past and later
+/// commits proceed.
+#[test]
+fn mw_failed_admission_seals_window_and_commits_continue() {
+    let p = mw_pool(1, 1 << 20);
+    let blocks = p.with_shard(0, |c| c.data_block_count()) as u64;
+
+    let mut big = p.init_txn();
+    for b in 0..blocks + 8 {
+        big.write(b, &blk(3));
+    }
+    let err = p.commit(big).unwrap_err();
+    assert!(matches!(err, TincaError::CacheExhausted { .. }), "{err}");
+
+    let mut t = p.init_txn();
+    t.write(5, &blk(9));
+    p.commit(t).unwrap();
+    let mut buf = [0u8; BLOCK_SIZE];
+    p.read(5, &mut buf).unwrap();
+    assert_eq!(buf[0], 9);
+
+    let st = p.stats();
+    assert_eq!(st.failed_commits, 1);
+    assert_eq!(st.commits, 1);
+    p.check_consistency().unwrap();
+
+    // The failed window left no durable residue: recovery sees a closed
+    // ring and clean descriptors.
+    p.flush_all().unwrap();
+}
+
+/// Spanning transactions in lock-free mode quiesce their participants and
+/// run the two-phase intent protocol; both fragments land atomically.
+#[test]
+fn mw_spanning_commits_atomically_across_shards() {
+    let p = mw_pool(2, 1 << 20);
+    let mut t = p.init_txn();
+    t.write(0, &blk(0x5A)); // shard 0
+    t.write(1, &blk(0x5B)); // shard 1
+    p.commit(t).unwrap();
+
+    let mut buf = [0u8; BLOCK_SIZE];
+    p.read(0, &mut buf).unwrap();
+    assert_eq!(buf[0], 0x5A);
+    p.read(1, &mut buf).unwrap();
+    assert_eq!(buf[0], 0x5B);
+    assert_eq!(p.stats().spanning_commits, 1);
+
+    // And single-shard traffic keeps flowing afterwards (the quiesce
+    // reopened admissions).
+    let mut t = p.init_txn();
+    t.write(2, &blk(0x5C));
+    p.commit(t).unwrap();
+    p.check_consistency().unwrap();
+}
+
+/// A spanning transaction whose fragment fails on one participant aborts
+/// everywhere: no fragment survives, and the shards keep committing.
+#[test]
+fn mw_spanning_abort_leaves_nothing_durable() {
+    let p = mw_pool(2, 1 << 20);
+    let blocks = p.with_shard(1, |c| c.data_block_count()) as u64;
+
+    let mut t = p.init_txn();
+    t.write(0, &blk(0x77)); // shard 0: fine
+    for i in 0..blocks + 8 {
+        t.write(1 + 2 * i, &blk(0x78)); // shard 1: exhausts the cache
+    }
+    let err = p.commit(t).unwrap_err();
+    assert!(matches!(err, TincaError::CacheExhausted { .. }), "{err}");
+    assert_eq!(p.stats().spanning_aborts, 1);
+
+    // Shard 0's fragment was revoked: the block reads as disk zeroes.
+    let mut buf = [0u8; BLOCK_SIZE];
+    p.read(0, &mut buf).unwrap();
+    assert_eq!(buf[0], 0, "aborted fragment must not be visible");
+
+    let mut t = p.init_txn();
+    t.write(0, &blk(0x79));
+    t.write(1, &blk(0x7A));
+    p.commit(t).unwrap();
+    p.read(0, &mut buf).unwrap();
+    assert_eq!(buf[0], 0x79);
+    p.check_consistency().unwrap();
+}
+
+/// A window published but never sequenced (`Head` never moved) rolls back
+/// at recovery: its descriptor is counted, its entries revoked, and the
+/// previously committed contents survive untouched.
+#[test]
+fn mw_unsequenced_window_rolls_back_on_recovery() {
+    let devices = shard_devices(&NvmConfig::new(1 << 20, NvmTech::Pcm), 1);
+    let disk = SimDisk::new(DiskKind::Ssd, 1 << 20, SimClock::new());
+    let p = TincaPool::format(devices.clone(), disk.clone(), mw_pool_cfg(1));
+
+    let mut t1 = p.init_txn();
+    t1.write(10, &blk(0xA1));
+    p.commit(t1).unwrap();
+
+    // Reserve, stage, publish — but never sequence: no fence, no `Head`
+    // store, so the window is *not* committed.
+    let mut t2 = p.init_txn();
+    t2.write(20, &blk(0xB2));
+    let MwAdmission::Admitted(mut w) = p.mw_try_begin(t2).unwrap() else {
+        panic!("must admit");
+    };
+    p.mw_stage(&mut w);
+    p.mw_publish(w);
+    drop(p); // crash
+
+    let r = TincaPool::recover(devices, disk, mw_pool_cfg(1)).unwrap();
+    let mut buf = [0u8; BLOCK_SIZE];
+    r.read(10, &mut buf).unwrap();
+    assert_eq!(buf[0], 0xA1, "sequenced commit survives");
+    r.read(20, &mut buf).unwrap();
+    assert_eq!(buf[0], 0, "unsequenced window must roll back");
+    let st = r.shard_stats(0);
+    assert_eq!(st.mw_windows_rolled_back, 1);
+    assert_eq!(st.mw_windows_resumed, 0);
+    r.check_consistency().unwrap();
+
+    // The rolled-back window released its resources: the same block
+    // commits cleanly post-recovery.
+    let mut t = r.init_txn();
+    t.write(20, &blk(0xB3));
+    r.commit(t).unwrap();
+    r.read(20, &mut buf).unwrap();
+    assert_eq!(buf[0], 0xB3);
+}
+
+/// Threaded smoke: 8 writers hammer disjoint block ranges of one shard
+/// through the blocking path; all commits succeed and all contents land.
+#[test]
+fn mw_threaded_writers_commit_disjoint_ranges() {
+    let p = std::sync::Arc::new(mw_pool(1, 4 << 20));
+    let threads = 8;
+    let per = 12u64;
+    let mut handles = Vec::new();
+    for w in 0..threads {
+        let p = std::sync::Arc::clone(&p);
+        handles.push(std::thread::spawn(move || {
+            for i in 0..per {
+                let mut t = Txn::new();
+                t.write(1000 * w + i, &blk((w as u8) + 1));
+                p.commit(t).unwrap();
+            }
+        }));
+    }
+    for h in handles {
+        h.join().unwrap();
+    }
+    let mut buf = [0u8; BLOCK_SIZE];
+    for w in 0..threads {
+        for i in 0..per {
+            p.read(1000 * w + i, &mut buf).unwrap();
+            assert_eq!(buf[0], (w as u8) + 1);
+        }
+    }
+    assert_eq!(p.stats().commits, threads * per);
+    p.check_consistency().unwrap();
+    p.flush_all().unwrap();
+}

@@ -29,6 +29,7 @@ mod faultfuzz;
 mod frontier;
 mod fuzz;
 mod harness;
+mod mwfuzz;
 mod oracle;
 mod poolfuzz;
 
@@ -50,5 +51,6 @@ pub use fuzz::{
     FailureMode, FuzzOutcome, FuzzReport,
 };
 pub use harness::{quiet_crash_panics, CrashHarness, VerifyError};
+pub use mwfuzz::{mw_frontier_campaign, mw_pool_fuzz_campaign, mw_pool_fuzz_one};
 pub use oracle::FsOracle;
 pub use poolfuzz::{pool_fuzz_campaign, pool_fuzz_one, PoolFuzzOutcome, PoolFuzzReport};

@@ -70,6 +70,45 @@ fn record(st: &mut State, event: impl FnOnce() -> TraceEvent) {
 /// Cloneable handle to an [`NvmDevice`].
 pub type Nvm = Arc<NvmDevice>;
 
+std::thread_local! {
+    /// Per-thread stack of latency-diversion clocks; see [`divert_charges`].
+    static DIVERTED_CLOCKS: std::cell::RefCell<Vec<SimClock>> =
+        const { std::cell::RefCell::new(Vec::new()) };
+}
+
+/// RAII guard returned by [`divert_charges`]; dropping it restores the
+/// previous charging target (the device clock, or an outer scope's clock).
+pub struct ChargeScope {
+    _not_send: std::marker::PhantomData<*const ()>,
+}
+
+impl Drop for ChargeScope {
+    fn drop(&mut self) {
+        DIVERTED_CLOCKS.with(|d| {
+            d.borrow_mut().pop();
+        });
+    }
+}
+
+/// Diverts this thread's NVM latency charges to `clock` until the returned
+/// guard drops. Stores, loads, flushes, and fences issued by the thread
+/// still mutate device state, count persistence events, and appear in the
+/// trace exactly as before — only the *latency* lands on the private clock
+/// instead of the device's shared one.
+///
+/// This is the overlap model for concurrent commit staging (wall = max,
+/// busy = sum, the same discipline `workloads::mtfio` and the destage lane
+/// use): each writer stages its payload against a private clock seeded
+/// from the shared time, and the sequencer advances the shared clock to
+/// the maximum staging completion instant. Scopes nest; the innermost
+/// wins. Not `Send` — a scope must stay on the thread that opened it.
+pub fn divert_charges(clock: SimClock) -> ChargeScope {
+    DIVERTED_CLOCKS.with(|d| d.borrow_mut().push(clock));
+    ChargeScope {
+        _not_send: std::marker::PhantomData,
+    }
+}
+
 /// A simulated byte-addressable NVM device.
 ///
 /// All methods take `&self`; the device is internally synchronised and is
@@ -138,6 +177,22 @@ impl NvmDevice {
         self.state.lock().events
     }
 
+    /// Charges `ns` of device latency: to the thread's diversion clock if a
+    /// [`divert_charges`] scope is active, else to the device's shared clock.
+    fn charge(&self, ns: u64) {
+        let diverted = DIVERTED_CLOCKS.with(|d| {
+            if let Some(c) = d.borrow().last() {
+                c.advance(ns);
+                true
+            } else {
+                false
+            }
+        });
+        if !diverted {
+            self.clock.advance(ns);
+        }
+    }
+
     fn check_range(&self, addr: usize, len: usize) {
         assert!(
             addr.checked_add(len)
@@ -176,7 +231,7 @@ impl NvmDevice {
             lines += 1;
         }
         st.stats.bytes_stored += buf.len() as u64;
-        self.clock.advance(self.cfg.store_ns * lines);
+        self.charge(self.cfg.store_ns * lines);
     }
 
     /// Reads `buf.len()` bytes at `addr`, seeing the newest (possibly
@@ -214,8 +269,7 @@ impl NvmDevice {
         }
         st.stats.bytes_read += buf.len() as u64;
         st.stats.lines_read += media_lines;
-        self.clock
-            .advance(self.cfg.tech.read_ns() * media_lines + self.cfg.store_ns * cached_lines);
+        self.charge(self.cfg.tech.read_ns() * media_lines + self.cfg.store_ns * cached_lines);
     }
 
     /// 8-byte failure-atomic store (plain `mov` of an aligned u64).
@@ -236,7 +290,7 @@ impl NvmDevice {
         lb.mark_dirty_words(w, w);
         st.stats.atomic_stores += 1;
         st.stats.bytes_stored += 8;
-        self.clock.advance(self.cfg.atomic_store_ns);
+        self.charge(self.cfg.atomic_store_ns);
         self.bump_event(st);
     }
 
@@ -258,7 +312,7 @@ impl NvmDevice {
         lb.mark_atomic_pair(off / WORD_SIZE);
         st.stats.atomic_stores += 1;
         st.stats.bytes_stored += 16;
-        self.clock.advance(self.cfg.atomic_store_ns);
+        self.charge(self.cfg.atomic_store_ns);
         self.bump_event(st);
     }
 
@@ -311,10 +365,10 @@ impl NvmDevice {
                 st.epoch.push(rec);
                 st.stats.lines_written += 1;
                 st.wear[line] += 1;
-                self.clock.advance(self.cfg.flush_dirty_ns());
+                self.charge(self.cfg.flush_dirty_ns());
             } else {
                 telemetry::mark(telemetry::phase::NVM_FLUSH_CLEAN, 1);
-                self.clock.advance(self.cfg.clflush_clean_ns);
+                self.charge(self.cfg.clflush_clean_ns);
             }
             if let Some(event) = bump_event(&mut st) {
                 drop(st);
@@ -346,7 +400,7 @@ impl NvmDevice {
             st.overlay.retain(|_, lb| !lb.is_clean());
         }
         st.stats.sfence += 1;
-        self.clock.advance(self.cfg.sfence_ns);
+        self.charge(self.cfg.sfence_ns);
         self.bump_event(st);
     }
 
@@ -715,6 +769,45 @@ mod tests {
 
     fn dev() -> Nvm {
         NvmDevice::new(NvmConfig::new(4096, NvmTech::Pcm), SimClock::new())
+    }
+
+    #[test]
+    fn diverted_charges_land_on_the_private_clock() {
+        let d = dev();
+        let shared_before = d.clock().now_ns();
+        let private = SimClock::new();
+        private.advance_to(shared_before);
+        {
+            let _scope = divert_charges(private.clone());
+            d.write(0, &[0xAA; 64]);
+            d.clflush(0, 64);
+        }
+        // State changed, events counted, but the shared clock stood still.
+        assert_eq!(d.clock().now_ns(), shared_before);
+        assert!(private.now_ns() > shared_before, "staging time was charged");
+        assert!(d.events() > 0, "flush still counted as a persistence event");
+        // Outside the scope, charging reverts to the shared clock.
+        d.sfence();
+        assert!(d.clock().now_ns() > shared_before);
+        let mut b = [0u8; 64];
+        d.read(0, &mut b);
+        assert_eq!(b, [0xAA; 64]);
+    }
+
+    #[test]
+    fn divert_scopes_nest_innermost_wins() {
+        let d = dev();
+        let outer = SimClock::new();
+        let inner = SimClock::new();
+        let _o = divert_charges(outer.clone());
+        {
+            let _i = divert_charges(inner.clone());
+            d.write(0, &[1u8; 64]);
+        }
+        d.write(64, &[2u8; 64]);
+        assert!(inner.now_ns() > 0, "inner scope charged the inner clock");
+        assert!(outer.now_ns() > 0, "after pop, outer clock charges resume");
+        assert_eq!(d.clock().now_ns(), 0);
     }
 
     #[test]

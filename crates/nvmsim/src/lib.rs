@@ -49,7 +49,7 @@ mod trace;
 pub use telemetry::SimClock;
 
 pub use config::{FlushInstr, NvmConfig, NvmTech};
-pub use device::{CrashPolicy, CrashTripped, Nvm, NvmDevice};
+pub use device::{divert_charges, ChargeScope, CrashPolicy, CrashTripped, Nvm, NvmDevice};
 pub use line::{CACHE_LINE, WORDS_PER_LINE, WORD_SIZE};
 pub use shard::{merge_shard_traces, shard_devices};
 pub use stats::{NvmStats, WearSummary};

@@ -34,12 +34,25 @@
 //! *measured* (not bounded) by the open-loop tier
 //! ([`openloop`](crate::openloop)), which stamps arrivals and records
 //! wait explicitly.
+//!
+//! ## Multi-writer contention mode
+//!
+//! [`MtFio::run`] measures *shard*-level parallelism: excess threads on
+//! one shard still serialise behind its commit mutex. When the pool runs
+//! [`tinca::CommitMode::LockFreeRing`],
+//! [`MtFio::run_multi_writer`] instead drives true
+//! *intra-shard* write concurrency through the steppable window API —
+//! several logical writers hold reserved windows on the **same** shard
+//! at once, stage on private clocks, and retire through one sequencer
+//! round. Because the interleaving is scripted on a single OS thread, the
+//! run is deterministic, which is what mode-vs-mode comparisons (the
+//! `mw_scaling` figure) require.
 
 use blockdev::BLOCK_SIZE;
 use nvmsim::NvmStats;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use tinca::{CacheStats, TincaPool};
+use tinca::{CacheStats, MwAdmission, MwTicket, TincaPool};
 
 /// Parameters for one multi-threaded run.
 #[derive(Clone, Debug)]
@@ -136,6 +149,29 @@ impl MtReport {
     }
 }
 
+/// Per-shard clock/counter snapshot taken before a measured phase, so the
+/// report only covers the phase's own charges.
+struct Baseline {
+    nvm0: Vec<NvmStats>,
+    clk0: Vec<u64>,
+    cache0: CacheStats,
+}
+
+impl Baseline {
+    fn take(pool: &TincaPool) -> Baseline {
+        let shards = pool.shard_count();
+        Baseline {
+            nvm0: (0..shards)
+                .map(|s| pool.with_shard(s, |c| c.nvm().stats()))
+                .collect(),
+            clk0: (0..shards)
+                .map(|s| pool.with_shard(s, |c| c.nvm().clock().now_ns()))
+                .collect(),
+            cache0: pool.stats(),
+        }
+    }
+}
+
 /// The driver. Stateless between runs; everything lives in the spec.
 pub struct MtFio {
     spec: MtFioSpec,
@@ -163,15 +199,7 @@ impl MtFio {
     /// Runs the measured phase: `threads` workers over `pool`, each with a
     /// decorrelated RNG stream, and returns the merged report.
     pub fn run(&self, pool: &TincaPool) -> MtReport {
-        let shards = pool.shard_count();
-        let nvm0: Vec<NvmStats> = (0..shards)
-            .map(|s| pool.with_shard(s, |c| c.nvm().stats()))
-            .collect();
-        let clk0: Vec<u64> = (0..shards)
-            .map(|s| pool.with_shard(s, |c| c.nvm().clock().now_ns()))
-            .collect();
-        let cache0 = pool.stats();
-
+        let base = Baseline::take(pool);
         let spec = &self.spec;
         let mut totals: Vec<(u64, u64)> = Vec::with_capacity(spec.threads);
         std::thread::scope(|scope| {
@@ -217,14 +245,204 @@ impl MtFio {
             }
         });
 
+        let read_ops = totals.iter().map(|(r, _)| r).sum();
+        let write_txns = totals.iter().map(|(_, w)| w).sum();
+        self.finish(pool, base, read_ops, write_txns)
+    }
+
+    /// Runs the measured phase in **multi-writer contention mode**: the
+    /// pool must run [`tinca::CommitMode::LockFreeRing`], and
+    /// `spec.threads` *logical* writers are interleaved deterministically
+    /// on one OS thread through the steppable window API
+    /// (`mw_try_begin` → `mw_stage` → `mw_publish` → `mw_sequence`).
+    ///
+    /// Writer `w` targets shard `w % shards` with a block lane disjoint
+    /// from every other writer's, so admissions never conflict and each
+    /// round genuinely overlaps `ceil(threads / shards)` windows per
+    /// shard: staging charges land on private clocks and only the
+    /// sequencer's single fence-and-`Head`-store round serialises on the
+    /// shard clock. Publish order rotates per round to exercise
+    /// out-of-ring-order publication. Unlike [`run`](Self::run) this is
+    /// bit-for-bit deterministic (no OS-thread interleaving), which is
+    /// what the `mw_scaling` figure needs to compare modes.
+    pub fn run_multi_writer(&self, pool: &TincaPool) -> MtReport {
+        let base = Baseline::take(pool);
+        let spec = &self.spec;
+        let shards = pool.shard_count();
+        let writers = spec.threads;
+        // Writer w owns the blocks `s + shards * (lane + wps * k)` for
+        // k in 0..per: all route to shard s = w % shards, and distinct
+        // writers own disjoint sets, so concurrent windows never touch
+        // the same disk block.
+        let wps = writers.div_ceil(shards) as u64;
+        let per = (spec.blocks / writers as u64).max(spec.txn_blocks as u64);
+        let block_of = |w: usize, k: u64| -> u64 {
+            let s = (w % shards) as u64;
+            let lane = (w / shards) as u64;
+            s + shards as u64 * (lane + wps * (k % per))
+        };
+
+        let mut rngs: Vec<StdRng> = (0..writers)
+            .map(|w| {
+                let stream = spec
+                    .seed
+                    .wrapping_add((w as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+                StdRng::seed_from_u64(stream)
+            })
+            .collect();
+
+        let mut read_ops = 0u64;
+        let mut write_txns = 0u64;
+        let mut wbuf = [0u8; BLOCK_SIZE];
+        let mut rbuf = [0u8; BLOCK_SIZE];
+        for round in 0..spec.ops_per_thread {
+            // One reserved-and-staged window per writing writer this
+            // round, each tagged with its owner's trace id: the owner
+            // publishes its own window, exactly as real concurrent
+            // writers would.
+            let mut pending: Vec<(u32, MwTicket)> = Vec::new();
+            for (w, rng) in rngs.iter_mut().enumerate() {
+                // Distinct trace ids per logical writer (above the OS-thread
+                // range `run` uses) keep per-shard event provenance honest.
+                nvmsim::set_trace_thread(2000 + w as u32);
+                if rng.gen_range(0..100) < spec.read_pct {
+                    let b = block_of(w, rng.gen_range(0..per));
+                    pool.read(b, &mut rbuf)
+                        .expect("workload disk is fault-free");
+                    read_ops += 1;
+                    continue;
+                }
+                let mut txn = pool.init_txn();
+                for _ in 0..spec.txn_blocks {
+                    let b = block_of(w, rng.gen_range(0..per));
+                    wbuf.fill(rng.gen());
+                    txn.write(b, &wbuf);
+                }
+                // Lanes are disjoint, so Busy only ever means ring or
+                // descriptor capacity — retiring the round's windows
+                // frees it.
+                let mut spins = 0;
+                loop {
+                    match pool.mw_try_begin(txn).expect("mw admission") {
+                        MwAdmission::Admitted(mut ticket) => {
+                            pool.mw_stage(&mut ticket);
+                            pending.push((2000 + w as u32, ticket));
+                            write_txns += 1;
+                            break;
+                        }
+                        MwAdmission::Busy(t) => {
+                            txn = t;
+                            Self::mw_flush_round(pool, &mut pending, round as usize);
+                            spins += 1;
+                            assert!(spins < 64, "mw admission stuck on capacity");
+                        }
+                    }
+                }
+            }
+            Self::mw_flush_round(pool, &mut pending, round as usize);
+        }
+        self.finish(pool, base, read_ops, write_txns)
+    }
+
+    /// Replays the **exact** multi-writer lane workload through the
+    /// blocking commit path: same writer RNG streams, same blocks, same
+    /// fill values, same round-robin writer order — only the commit
+    /// mechanism differs. The `mw_scaling` figure prices the lock-free
+    /// pipeline against mutex+leader/follower on identical work with
+    /// this. One OS thread drives the round-robin, so the mutex path
+    /// sees no follower batching — it pays the full serialised
+    /// per-transaction cost, the same c = 1 service model the open-loop
+    /// tier uses for `MutexGroup`.
+    pub fn run_lanes_blocking(&self, pool: &TincaPool) -> MtReport {
+        let base = Baseline::take(pool);
+        let spec = &self.spec;
+        let shards = pool.shard_count();
+        let writers = spec.threads;
+        let wps = writers.div_ceil(shards) as u64;
+        let per = (spec.blocks / writers as u64).max(spec.txn_blocks as u64);
+        let block_of = |w: usize, k: u64| -> u64 {
+            let s = (w % shards) as u64;
+            let lane = (w / shards) as u64;
+            s + shards as u64 * (lane + wps * (k % per))
+        };
+        let mut rngs: Vec<StdRng> = (0..writers)
+            .map(|w| {
+                let stream = spec
+                    .seed
+                    .wrapping_add((w as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+                StdRng::seed_from_u64(stream)
+            })
+            .collect();
+        let mut read_ops = 0u64;
+        let mut write_txns = 0u64;
+        let mut wbuf = [0u8; BLOCK_SIZE];
+        let mut rbuf = [0u8; BLOCK_SIZE];
+        for _round in 0..spec.ops_per_thread {
+            for (w, rng) in rngs.iter_mut().enumerate() {
+                nvmsim::set_trace_thread(2000 + w as u32);
+                if rng.gen_range(0..100) < spec.read_pct {
+                    let b = block_of(w, rng.gen_range(0..per));
+                    pool.read(b, &mut rbuf)
+                        .expect("workload disk is fault-free");
+                    read_ops += 1;
+                    continue;
+                }
+                let mut txn = pool.init_txn();
+                for _ in 0..spec.txn_blocks {
+                    let b = block_of(w, rng.gen_range(0..per));
+                    wbuf.fill(rng.gen());
+                    txn.write(b, &wbuf);
+                }
+                pool.commit(txn).expect("lane workload commit");
+                write_txns += 1;
+            }
+        }
+        self.finish(pool, base, read_ops, write_txns)
+    }
+
+    /// Publishes the round's staged windows — in an order rotated by
+    /// `round`, so later ring windows regularly publish first — and runs
+    /// the sequencer on every touched shard until it retires nothing.
+    ///
+    /// Every publish runs under the *owning* writer's trace id (a
+    /// publish is the owner's release-store, not the round-driver's),
+    /// so the merged-trace HB audit sees each window's reservation and
+    /// publication on one thread and the cross-thread edges only where
+    /// the protocol really has them: publish release → sequencer
+    /// acquire. The sequencer rounds keep the last publisher's id — any
+    /// writer may win the combiner role.
+    fn mw_flush_round(pool: &TincaPool, pending: &mut Vec<(u32, MwTicket)>, round: usize) {
+        if pending.is_empty() {
+            return;
+        }
+        let rot = round % pending.len();
+        pending.rotate_left(rot);
+        let mut touched: Vec<usize> = Vec::new();
+        for (owner, ticket) in pending.drain(..) {
+            if !touched.contains(&ticket.shard()) {
+                touched.push(ticket.shard());
+            }
+            nvmsim::set_trace_thread(owner);
+            pool.mw_publish(ticket);
+        }
+        for s in touched {
+            while pool.mw_sequence(s) > 0 {}
+        }
+    }
+
+    /// Shared epilogue: per-shard clock/counter deltas merged into the
+    /// report. See the module docs for the wall/busy/contended model.
+    fn finish(&self, pool: &TincaPool, base: Baseline, read_ops: u64, write_txns: u64) -> MtReport {
+        let spec = &self.spec;
+        let shards = pool.shard_count();
         let mut wall_ns = 0u64;
         let mut busy_ns = 0u64;
         let mut nvm = NvmStats::default();
         for s in 0..shards {
-            let d = pool.with_shard(s, |c| c.nvm().clock().now_ns()) - clk0[s];
+            let d = pool.with_shard(s, |c| c.nvm().clock().now_ns()) - base.clk0[s];
             wall_ns = wall_ns.max(d);
             busy_ns += d;
-            nvm = nvm.merge(&pool.with_shard(s, |c| c.nvm().stats()).delta(&nvm0[s]));
+            nvm = nvm.merge(&pool.with_shard(s, |c| c.nvm().stats()).delta(&base.nvm0[s]));
         }
         // Graham/list-scheduling bound with p = min(threads, shards)
         // service contexts: any schedule finishes within busy/p + the
@@ -234,13 +452,13 @@ impl MtFio {
         MtReport {
             threads: spec.threads,
             shards,
-            read_ops: totals.iter().map(|(r, _)| r).sum(),
-            write_txns: totals.iter().map(|(_, w)| w).sum(),
+            read_ops,
+            write_txns,
             wall_ns,
             busy_ns,
             contended_wall_ns,
             nvm,
-            cache: pool.stats().delta(&cache0),
+            cache: pool.stats().delta(&base.cache0),
         }
     }
 }
@@ -332,6 +550,112 @@ mod tests {
         assert_eq!(
             r.contended_wall_ns, r.busy_ns,
             "p = min(threads, shards) = 1 must degrade to serial time"
+        );
+    }
+
+    fn make_mw_pool(shards: usize) -> TincaPool {
+        let devices = shard_devices(&NvmConfig::new(8 << 20, NvmTech::Pcm), shards);
+        let disk = SimDisk::new(DiskKind::Ssd, 16 << 20, SimClock::new());
+        TincaPool::format(
+            devices,
+            disk,
+            PoolConfig {
+                shards,
+                commit_mode: tinca::CommitMode::LockFreeRing,
+                cache: TincaConfig {
+                    ring_bytes: 4096,
+                    ..TincaConfig::default()
+                },
+                ..PoolConfig::default()
+            },
+        )
+    }
+
+    #[test]
+    fn multi_writer_single_writer_reports_exact_counts() {
+        let pool = make_mw_pool(1);
+        let fio = MtFio::new(MtFioSpec {
+            read_pct: 30,
+            ..MtFioSpec::smoke(1)
+        });
+        let r = fio.run_multi_writer(&pool);
+        assert_eq!(r.ops(), 200);
+        assert!(r.read_ops > 0 && r.write_txns > 0);
+        assert_eq!(r.cache.commits, r.write_txns);
+        assert_eq!(r.cache.failed_commits, 0);
+        assert!(r.wall_ns > 0);
+        pool.check_consistency().unwrap();
+        pool.flush_all().unwrap();
+    }
+
+    #[test]
+    fn multi_writer_contends_on_one_shard_and_groups_commits() {
+        let pool = make_mw_pool(1);
+        let fio = MtFio::new(MtFioSpec {
+            threads: 8,
+            read_pct: 0,
+            blocks: 512,
+            ops_per_thread: 40,
+            txn_blocks: 2,
+            seed: 0x3711,
+        });
+        let r = fio.run_multi_writer(&pool);
+        assert_eq!(r.write_txns, 8 * 40);
+        assert_eq!(r.cache.commits, r.write_txns);
+        assert_eq!(r.cache.failed_commits, 0);
+        // Eight windows per round share each sequencer round's fence and
+        // Head store, so nearly every txn rides a multi-window commit.
+        assert!(r.cache.group_commits > 0, "windows must batch per round");
+        assert!(r.batched_fraction() > 0.5, "{}", r.batched_fraction());
+        pool.check_consistency().unwrap();
+        pool.flush_all().unwrap();
+    }
+
+    #[test]
+    fn multi_writer_is_deterministic() {
+        let spec = MtFioSpec {
+            threads: 6,
+            read_pct: 20,
+            blocks: 384,
+            ops_per_thread: 25,
+            txn_blocks: 2,
+            seed: 0x3712,
+        };
+        let run = || {
+            let pool = make_mw_pool(2);
+            let r = MtFio::new(spec.clone()).run_multi_writer(&pool);
+            (r.wall_ns, r.busy_ns, r.nvm.clflush, r.cache.commits)
+        };
+        assert_eq!(run(), run(), "scripted interleaving must be replayable");
+    }
+
+    #[test]
+    fn multi_writer_overlap_beats_mutex_serialisation() {
+        // Same write-only contention shape — 8 writers on one shard —
+        // under both commit modes. The lock-free ring stages the eight
+        // windows of each round on private clocks, so its simulated wall
+        // time must beat the mutex path, where every staging charge
+        // serialises on the shard clock.
+        let spec = MtFioSpec {
+            threads: 8,
+            read_pct: 0,
+            blocks: 512,
+            ops_per_thread: 40,
+            txn_blocks: 4,
+            seed: 0x3713,
+        };
+        let mw_pool = make_mw_pool(1);
+        let mw = MtFio::new(spec.clone()).run_multi_writer(&mw_pool);
+
+        let mutex_pool = make_pool(1);
+        let mutex = MtFio::new(spec).run(&mutex_pool);
+
+        assert_eq!(mw.write_txns, mutex.write_txns);
+        assert!(
+            mw.wall_ns < mutex.wall_ns,
+            "lock-free {} ns must beat mutex {} ns",
+            mw.wall_ns,
+            mutex.wall_ns
         );
     }
 

@@ -292,6 +292,16 @@ pub trait OpenLoopServer {
     fn advance_to(&mut self, s: usize, at_ns: u64);
     /// Executes `op`, charging its device time to its shard's clock.
     fn serve(&mut self, op: &OpKind) -> Result<(), String>;
+    /// Service slots per shard. `1` (the default) models a strict-FIFO
+    /// single server: an op waits until the shard clock is free. A
+    /// backend whose commit path admits several writers at once — the
+    /// lock-free ring of `CommitMode::LockFreeRing` — returns its
+    /// admission bound, and the driver lets up to that many ops be in
+    /// service concurrently, so queue wait starts only when every slot
+    /// is held.
+    fn concurrency(&self, _s: usize) -> usize {
+        1
+    }
 }
 
 /// [`OpenLoopServer`] over a sharded [`TincaPool`].
@@ -308,6 +318,10 @@ pub struct TincaServer<'a> {
     pool: &'a TincaPool,
     shard_clocks: Vec<SimClock>,
     disk_clock: SimClock,
+    /// Per-shard service multiplicity, derived from the pool's commit
+    /// mode (1 for the mutex path, the window-descriptor capacity for
+    /// the lock-free ring).
+    commit_concurrency: usize,
 }
 
 impl<'a> TincaServer<'a> {
@@ -321,7 +335,17 @@ impl<'a> TincaServer<'a> {
             pool,
             shard_clocks,
             disk_clock,
+            commit_concurrency: pool.commit_concurrency(),
         }
+    }
+
+    /// Overrides the service multiplicity the pool's commit mode implies
+    /// (e.g. to model a bounded writer pool narrower than the
+    /// descriptor-table capacity).
+    pub fn with_commit_concurrency(mut self, c: usize) -> TincaServer<'a> {
+        assert!(c >= 1, "a shard serves at least one op at a time");
+        self.commit_concurrency = c;
+        self
     }
 }
 
@@ -366,6 +390,10 @@ impl OpenLoopServer for TincaServer<'_> {
             self.shard_clocks[s].advance(disk_ns);
         }
         Ok(())
+    }
+
+    fn concurrency(&self, _s: usize) -> usize {
+        self.commit_concurrency
     }
 }
 
@@ -632,7 +660,8 @@ impl<S: OpenLoopServer> OpenLoopDriver<S> {
         }
 
         // Idle time (if any) passes; a busy shard's clock is already
-        // ahead of `at`, and the gap is the queue wait.
+        // ahead of `at`.
+        let c = self.server.concurrency(s);
         self.server.advance_to(s, at);
         let start = self.server.now_ns(s);
         self.current = Some(a.clone());
@@ -641,17 +670,37 @@ impl<S: OpenLoopServer> OpenLoopDriver<S> {
             .expect("open-loop workloads run fault-free");
         self.current = None;
         let done = self.server.now_ns(s);
-        self.outstanding[s].push_back(done);
-
-        let queue_wait_ns = start - at;
         let service_ns = done - start;
-        let latency_ns = done - at;
+
+        // With one service slot the shard clock *is* the server: the gap
+        // between arrival and clock is the queue wait, and the
+        // clock-stamped completion is the op's. With `c` slots — the
+        // concurrent commit path — service still charges the shared shard
+        // clock (it is the device), but an op only queues while all `c`
+        // slots are held: it starts when the oldest of the `c` most
+        // recent outstanding completions frees a slot (no strict FIFO on
+        // the clock), and its modelled completion is that start plus its
+        // own service time.
+        let q = &mut self.outstanding[s];
+        let (queue_wait_ns, done_model) = if c <= 1 {
+            (start - at, done)
+        } else {
+            let slot_free = if q.len() < c { at } else { q[q.len() - c] };
+            let begin = at.max(slot_free);
+            (begin - at, begin + service_ns)
+        };
+        // Completions are no longer monotone under c > 1 (a short op can
+        // finish before an earlier long one); keep the deque sorted.
+        let pos = q.partition_point(|&d| d <= done_model);
+        q.insert(pos, done_model);
+
+        let latency_ns = queue_wait_ns + service_ns;
         self.completed += 1;
         match a.kind {
             OpKind::Read { .. } => self.reads += 1,
             OpKind::Write { .. } => self.writes += 1,
         }
-        self.max_done_ns = self.max_done_ns.max(done);
+        self.max_done_ns = self.max_done_ns.max(done).max(done_model);
         self.latency.record(latency_ns);
         self.queue_wait.record(queue_wait_ns);
         self.service.record(service_ns);
@@ -832,6 +881,70 @@ mod tests {
         // arrival window closed: the horizon is completion-bound, so the
         // delivered rate sits far below the configured offered rate.
         assert!(hot.delivered_ops_per_sec() < 0.5 * 100_000_000.0);
+    }
+
+    fn make_mw_pool(shards: usize) -> (TincaPool, SimClock) {
+        let devices = shard_devices(&NvmConfig::new(shards * (2 << 20), NvmTech::Pcm), shards);
+        let disk_clock = SimClock::new();
+        let disk = SimDisk::new(DiskKind::Ssd, 1 << 16, disk_clock.clone());
+        let pool = TincaPool::format(
+            devices,
+            disk,
+            PoolConfig {
+                shards,
+                commit_mode: tinca::CommitMode::LockFreeRing,
+                cache: TincaConfig {
+                    ring_bytes: 4096,
+                    ..TincaConfig::default()
+                },
+                ..PoolConfig::default()
+            },
+        );
+        (pool, disk_clock)
+    }
+
+    #[test]
+    fn concurrent_commit_path_cuts_overload_queue_wait() {
+        // Same overload against both commit modes. The mutex pool is a
+        // strict-FIFO single server per shard, so queue wait stacks up
+        // one full service time per backlogged op; the lock-free ring
+        // admits a window per writer, and the driver's multi-slot model
+        // lets ops wait only for a slot, not for every earlier op.
+        let (mutex_pool, mutex_clk) = make_pool(2);
+        let mutex_server = TincaServer::new(&mutex_pool, mutex_clk);
+        assert_eq!(mutex_server.concurrency(0), 1);
+        let mutex = OpenLoopDriver::new(OpenLoopSpec::smoke(100_000_000.0), mutex_server).run();
+
+        let (mw_pool, mw_clk) = make_mw_pool(2);
+        let mw_server = TincaServer::new(&mw_pool, mw_clk);
+        assert!(mw_server.concurrency(0) > 1, "ring mode must widen service");
+        let mw = OpenLoopDriver::new(OpenLoopSpec::smoke(100_000_000.0), mw_server).run();
+
+        assert_eq!(mw.completed, mw.offered);
+        assert_eq!(mw.reads + mw.writes, mutex.reads + mutex.writes);
+        let (mw_p99, mutex_p99) = (
+            mw.queue_wait.p99().unwrap(),
+            mutex.queue_wait.p99().unwrap(),
+        );
+        assert!(
+            mw_p99 * 4 < mutex_p99,
+            "concurrent path p99 wait {mw_p99} should sit far below mutex {mutex_p99}"
+        );
+        mw_pool.check_consistency().unwrap();
+    }
+
+    #[test]
+    fn narrowed_concurrency_degrades_to_fifo_model() {
+        // Forcing one slot on a lock-free-ring pool reproduces the
+        // strict-FIFO queue-wait accounting: latency == wait + service
+        // with completions stamped straight off the shard clock.
+        let (pool, clk) = make_mw_pool(1);
+        let server = TincaServer::new(&pool, clk).with_commit_concurrency(1);
+        assert_eq!(server.concurrency(0), 1);
+        let r = OpenLoopDriver::new(OpenLoopSpec::smoke(1_000.0), server).run();
+        assert_eq!(r.completed, r.offered);
+        assert_eq!(r.queue_wait.p50(), Some(0));
+        pool.check_consistency().unwrap();
     }
 
     #[test]
